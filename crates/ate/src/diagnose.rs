@@ -1,0 +1,181 @@
+//! Syndrome-based fault diagnosis.
+//!
+//! The paper argues that avoiding a MISR avoids both aliasing *and* "the
+//! possible loss of information for fault diagnosis": every failing bit is
+//! observed at a known cycle and position. This module exploits exactly
+//! that: each candidate fault's full failure log under the program is its
+//! *syndrome*; an observed log from a failing part is matched against the
+//! candidate syndromes by Jaccard similarity.
+
+use tvs_netlist::Netlist;
+
+use tvs_fault::Fault;
+
+use crate::{Dut, FailKind, TestProgram, VirtualAte};
+
+/// One ranked diagnosis candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// The candidate fault.
+    pub fault: Fault,
+    /// Jaccard similarity between the candidate's syndrome and the
+    /// observed failure log (1.0 = identical).
+    pub score: f64,
+}
+
+/// Ranks `candidates` by how well their simulated failure syndromes match
+/// an `observed` failure log, best first.
+///
+/// Candidates whose syndrome is empty (they would pass the program) score
+/// 0 unless the observed log is also empty. Ties preserve candidate order,
+/// so equivalent faults stay adjacent.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_ate::{diagnose, Dut, TestProgram, VirtualAte};
+/// use tvs_fault::{Fault, FaultList, StuckAt};
+/// use tvs_stitch::{StitchConfig, StitchEngine};
+///
+/// let netlist = tvs_circuits::fig1();
+/// let engine = StitchEngine::new(&netlist)?;
+/// let config = StitchConfig::default();
+/// let report = engine.run(&config)?;
+/// let program = TestProgram::from_report(&netlist, &report, &config);
+///
+/// // A part fails on the tester; log its failing bits.
+/// let truth = Fault::stem(netlist.find("D").unwrap(), StuckAt::Zero);
+/// let view = netlist.scan_view()?;
+/// let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+/// dut.inject(truth);
+/// let observed = VirtualAte::failure_log(&program, &mut dut);
+///
+/// let ranked = diagnose(&netlist, &program, &observed, FaultList::collapsed(&netlist).faults());
+/// // The top candidate matches the syndrome perfectly. (It may be an
+/// // *equivalent* fault — here D/0 collapses with the a→D branch, so the
+/// // representative a/0 is reported.)
+/// assert!((ranked[0].score - 1.0).abs() < 1e-12);
+/// assert_eq!(ranked[0].fault.display_in(&netlist), "a/0");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn diagnose(
+    netlist: &Netlist,
+    program: &TestProgram,
+    observed: &[(usize, FailKind, usize)],
+    candidates: &[Fault],
+) -> Vec<Diagnosis> {
+    let view = netlist.scan_view().expect("diagnosable circuits are valid");
+    let mut dut = Dut::new(netlist, &view, program.capture, program.observe);
+    let observed_set: std::collections::BTreeSet<_> = observed.iter().copied().collect();
+
+    let mut ranked: Vec<Diagnosis> = candidates
+        .iter()
+        .map(|&fault| {
+            dut.inject(fault);
+            let syndrome = VirtualAte::failure_log(program, &mut dut);
+            let syndrome_set: std::collections::BTreeSet<_> = syndrome.into_iter().collect();
+            let inter = observed_set.intersection(&syndrome_set).count();
+            let union = observed_set.union(&syndrome_set).count();
+            let score = if union == 0 {
+                1.0 // both empty: a passing part "matches" a passing candidate
+            } else {
+                inter as f64 / union as f64
+            };
+            Diagnosis { fault, score }
+        })
+        .collect();
+    dut.heal();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_fault::{FaultList, StuckAt};
+    use tvs_netlist::{GateKind, NetlistBuilder};
+    use tvs_stitch::{StitchConfig, StitchEngine};
+
+    fn fig1() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_caught_fault_is_self_diagnosed() {
+        let netlist = fig1();
+        let engine = StitchEngine::new(&netlist).unwrap();
+        let config = StitchConfig::default();
+        let report = engine.run(&config).unwrap();
+        let program = crate::TestProgram::from_report(&netlist, &report, &config);
+        let faults = FaultList::collapsed(&netlist);
+        let view = netlist.scan_view().unwrap();
+        let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+
+        for &truth in faults.faults() {
+            dut.inject(truth);
+            let observed = VirtualAte::failure_log(&program, &mut dut);
+            if observed.is_empty() {
+                continue; // redundant fault: passes, nothing to diagnose
+            }
+            let ranked = diagnose(&netlist, &program, &observed, faults.faults());
+            let top: Vec<_> = ranked
+                .iter()
+                .take_while(|d| (d.score - ranked[0].score).abs() < 1e-12)
+                .map(|d| d.fault)
+                .collect();
+            assert!(
+                top.contains(&truth),
+                "{} not among top candidates {:?}",
+                truth.display_in(&netlist),
+                top.iter().map(|f| f.display_in(&netlist)).collect::<Vec<_>>()
+            );
+            assert!((ranked[0].score - 1.0).abs() < 1e-12, "self-syndrome must match fully");
+        }
+    }
+
+    #[test]
+    fn passing_part_matches_only_passing_candidates() {
+        let netlist = fig1();
+        let engine = StitchEngine::new(&netlist).unwrap();
+        let config = StitchConfig::default();
+        let report = engine.run(&config).unwrap();
+        let program = crate::TestProgram::from_report(&netlist, &report, &config);
+        let faults = FaultList::collapsed(&netlist);
+
+        // Empty observed log = the part passed; only the redundant fault
+        // (whose syndrome is also empty) should score 1.
+        let ranked = diagnose(&netlist, &program, &[], faults.faults());
+        let perfect: Vec<String> = ranked
+            .iter()
+            .filter(|d| (d.score - 1.0).abs() < 1e-12)
+            .map(|d| d.fault.display_in(&netlist))
+            .collect();
+        assert_eq!(perfect, vec!["E-F/1".to_string()]);
+    }
+
+    #[test]
+    fn distinct_faults_get_distinct_syndromes_mostly() {
+        let netlist = fig1();
+        let engine = StitchEngine::new(&netlist).unwrap();
+        let config = StitchConfig::default();
+        let report = engine.run(&config).unwrap();
+        let program = crate::TestProgram::from_report(&netlist, &report, &config);
+        let view = netlist.scan_view().unwrap();
+        let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+
+        let a = tvs_fault::Fault::stem(netlist.find("D").unwrap(), StuckAt::Zero);
+        let b = tvs_fault::Fault::stem(netlist.find("E").unwrap(), StuckAt::Zero);
+        dut.inject(a);
+        let sa = VirtualAte::failure_log(&program, &mut dut);
+        dut.inject(b);
+        let sb = VirtualAte::failure_log(&program, &mut dut);
+        assert_ne!(sa, sb, "distinguishable faults must have distinct syndromes");
+    }
+}

@@ -1,0 +1,190 @@
+//! The device-under-test model.
+
+use tvs_logic::BitVec;
+use tvs_netlist::{Netlist, ScanView};
+use tvs_scan::{CaptureTransform, ObserveTransform, ScanChain};
+use tvs_sim::{Injection, ParallelSim};
+
+use tvs_fault::Fault;
+
+/// A cycle-accurate device-under-test: combinational core, scan chain state
+/// and optionally one injected stuck-at fault.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_ate::Dut;
+/// use tvs_logic::BitVec;
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+/// use tvs_scan::{CaptureTransform, ObserveTransform};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.add_dff("q", "d")?;
+/// b.add_gate("d", GateKind::Not, &["q"])?;
+/// let netlist = b.build()?;
+/// let view = netlist.scan_view()?;
+/// let mut dut = Dut::new(&netlist, &view, CaptureTransform::Plain, ObserveTransform::Direct);
+/// let (observed, _po) = dut.clock_cycle(&BitVec::new(), &BitVec::from_bools([true]));
+/// assert_eq!(observed.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Dut<'a> {
+    view: &'a ScanView,
+    chain: ScanChain,
+    sim: ParallelSim<'a>,
+    capture: CaptureTransform,
+    observe: ObserveTransform,
+    image: BitVec,
+    fault: Option<Fault>,
+}
+
+impl<'a> Dut<'a> {
+    /// Creates a fault-free DUT with an all-zero power-up chain image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no flip-flops (nothing to scan).
+    pub fn new(
+        netlist: &'a Netlist,
+        view: &'a ScanView,
+        capture: CaptureTransform,
+        observe: ObserveTransform,
+    ) -> Self {
+        assert!(netlist.dff_count() > 0, "a scan DUT needs a scan chain");
+        Dut {
+            view,
+            chain: ScanChain::new(netlist.dff_count()),
+            sim: ParallelSim::new(netlist, view),
+            capture,
+            observe,
+            image: BitVec::zeros(netlist.dff_count()),
+            fault: None,
+        }
+    }
+
+    /// Injects a stuck-at fault (replacing any previous one).
+    pub fn inject(&mut self, fault: Fault) {
+        self.fault = Some(fault);
+    }
+
+    /// Removes any injected fault.
+    pub fn heal(&mut self) {
+        self.fault = None;
+    }
+
+    /// The current chain image (for inspection/tests).
+    pub fn image(&self) -> &BitVec {
+        &self.image
+    }
+
+    /// Resets the chain image to all zeros (power-up state).
+    pub fn reset(&mut self) {
+        self.image = BitVec::zeros(self.chain.length());
+    }
+
+    /// Runs one tester cycle: shift `scan_in.len()` bits (entry order)
+    /// while emitting the observed stream, then apply the primary inputs,
+    /// pulse the capture clock and store the (possibly transformed)
+    /// response back into the chain.
+    ///
+    /// Returns `(observed stream, primary outputs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len()` differs from the circuit's primary input count
+    /// or `scan_in` is longer than the chain.
+    pub fn clock_cycle(&mut self, pi: &BitVec, scan_in: &BitVec) -> (BitVec, BitVec) {
+        assert_eq!(pi.len(), self.view.pi_count(), "primary input width");
+        let shifted = self.chain.shift(&self.image, scan_in, self.observe);
+
+        // Apply: PIs + chain contents drive the combinational core. A
+        // stuck-at on a scan cell's output corrupts what the core sees; a
+        // stuck-at on its D pin corrupts what is captured — both are
+        // handled by the injection mechanism of the simulator.
+        let mut words: Vec<u64> = Vec::with_capacity(self.view.input_count());
+        words.extend(pi.iter().map(u64::from));
+        words.extend(shifted.new_image.iter().map(u64::from));
+        let injections: Vec<Injection> =
+            self.fault.iter().map(|f| f.injection(1)).collect();
+        self.sim.eval(&words, &injections);
+        let out = self.sim.output_slot(0);
+
+        let po: BitVec = (0..self.view.po_count()).map(|o| out.get(o)).collect();
+        let resp: BitVec = (self.view.po_count()..self.view.output_count())
+            .map(|o| out.get(o))
+            .collect();
+        self.image = self.capture.capture(&shifted.new_image, &resp);
+        (shifted.observed, po)
+    }
+
+    /// Shifts out `len` bits with zero fill and no capture (the closing
+    /// flush).
+    pub fn flush(&mut self, len: usize) -> BitVec {
+        let shifted = self.chain.shift(&self.image, &BitVec::zeros(len), self.observe);
+        self.image = shifted.new_image;
+        shifted.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_fault::StuckAt;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    fn fig1() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_cycle_matches_paper_example() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut dut = Dut::new(&n, &v, CaptureTransform::Plain, ObserveTransform::Direct);
+        // Shift in 110 (cell a first -> entry order is reversed: 0,1,1).
+        let (_, _) = dut.clock_cycle(&BitVec::new(), &BitVec::from_bools([false, true, true]));
+        assert_eq!(dut.image().to_string(), "111", "captured response");
+        // Next stitched cycle: shift 2 zeros; observed = cells c, b of 111.
+        let (obs, _) = dut.clock_cycle(&BitVec::new(), &BitVec::from_bools([false, false]));
+        assert_eq!(obs.to_string(), "11");
+        assert_eq!(dut.image().to_string(), "010");
+    }
+
+    #[test]
+    fn injected_fault_changes_behaviour() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut dut = Dut::new(&n, &v, CaptureTransform::Plain, ObserveTransform::Direct);
+        let mut faulty = Dut::new(&n, &v, CaptureTransform::Plain, ObserveTransform::Direct);
+        faulty.inject(Fault::stem(n.find("F").unwrap(), StuckAt::Zero));
+        let stim = BitVec::from_bools([false, true, true]);
+        dut.clock_cycle(&BitVec::new(), &stim);
+        faulty.clock_cycle(&BitVec::new(), &stim);
+        assert_ne!(dut.image(), faulty.image());
+        faulty.heal();
+        faulty.reset();
+        dut.reset();
+        dut.clock_cycle(&BitVec::new(), &stim);
+        faulty.clock_cycle(&BitVec::new(), &stim);
+        assert_eq!(dut.image(), faulty.image());
+    }
+
+    #[test]
+    fn flush_empties_observably() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut dut = Dut::new(&n, &v, CaptureTransform::Plain, ObserveTransform::Direct);
+        dut.clock_cycle(&BitVec::new(), &BitVec::from_bools([false, true, true]));
+        let obs = dut.flush(3);
+        assert_eq!(obs.to_string(), "111");
+        assert_eq!(dut.image().to_string(), "000");
+    }
+}

@@ -1,0 +1,38 @@
+//! Virtual ATE for the TVS DFT toolkit.
+//!
+//! The stitching paper closes with the observation that *"seen from the
+//! vantage point of an ATE, the proposed scheme is identical to regular scan
+//! based application"* — a stitched schedule is just an ordinary sequence of
+//! shift and capture cycles with fewer shift clocks. This crate makes that
+//! statement executable:
+//!
+//! * [`TestProgram`] — the tester-side artifact: per-cycle primary-input
+//!   data, scan-in bits, expected scan-out stream and expected primary
+//!   outputs, plus the closing flush. Programs are built from a
+//!   [`StitchReport`](tvs_stitch::StitchReport) or from a conventional
+//!   pattern set, and round-trip through a plain-text `.tvp` format.
+//! * [`Dut`] — a cycle-accurate device-under-test model: the netlist, its
+//!   scan chain state and optionally one injected stuck-at fault.
+//! * [`VirtualAte`] — executes a program against a DUT pin by pin and
+//!   reports the first mismatch ([`TestOutcome`]).
+//! * [`diagnose`] — syndrome-based fault diagnosis: because no MISR
+//!   compacts the output stream, the per-cycle failure log pinpoints
+//!   candidate faults directly (the paper's no-aliasing argument).
+//!
+//! The crate doubles as the strongest validation artifact of the whole
+//! reproduction: integration tests execute generated stitched programs
+//! against every collapsed fault and assert that exactly the faults the
+//! engine claims caught make the program fail.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnose;
+mod dut;
+mod program;
+mod tester;
+
+pub use diagnose::{diagnose, Diagnosis};
+pub use dut::Dut;
+pub use program::{ParseProgramError, ScanCycle, TestProgram};
+pub use tester::{FailKind, TestOutcome, VirtualAte};

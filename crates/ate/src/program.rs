@@ -1,0 +1,424 @@
+//! The tester-side test program and its `.tvp` text format.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use tvs_logic::BitVec;
+use tvs_netlist::Netlist;
+use tvs_scan::{CaptureTransform, ObserveTransform};
+use tvs_stitch::{StitchConfig, StitchReport};
+
+use crate::Dut;
+
+/// One tester cycle: stimulus plus the expected observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanCycle {
+    /// Primary-input values applied during this cycle.
+    pub pi: BitVec,
+    /// Scan-in bits in entry order (first bit enters first and ends up
+    /// deepest).
+    pub scan_in: BitVec,
+    /// Expected scan-out stream emitted while `scan_in` shifts in.
+    pub expected_observed: BitVec,
+    /// Expected primary-output values after the capture clock.
+    pub expected_po: BitVec,
+}
+
+/// A complete scan test program: stimuli and expected responses, exactly
+/// what a tester stores.
+///
+/// From the ATE's point of view a stitched program is ordinary scan
+/// application with fewer shift clocks per cycle — the paper's closing
+/// observation, which this type makes concrete.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_ate::{TestProgram, VirtualAte, Dut, TestOutcome};
+/// use tvs_stitch::{StitchConfig, StitchEngine};
+///
+/// let netlist = tvs_circuits::fig1();
+/// let engine = StitchEngine::new(&netlist)?;
+/// let config = StitchConfig::default();
+/// let report = engine.run(&config)?;
+/// let program = TestProgram::from_report(&netlist, &report, &config);
+///
+/// let view = netlist.scan_view()?;
+/// let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+/// assert_eq!(VirtualAte::execute(&program, &mut dut), TestOutcome::Pass);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestProgram {
+    /// Program name (usually the circuit name).
+    pub name: String,
+    /// Scan chain length.
+    pub scan_len: usize,
+    /// Primary input count.
+    pub pi_count: usize,
+    /// Primary output count.
+    pub po_count: usize,
+    /// Capture transform the DUT is built with.
+    pub capture: CaptureTransform,
+    /// Observation transform the DUT is built with.
+    pub observe: ObserveTransform,
+    /// The tester cycles, in application order.
+    pub cycles: Vec<ScanCycle>,
+    /// Expected stream of the closing flush.
+    pub expected_flush: BitVec,
+}
+
+impl TestProgram {
+    /// Builds the program realizing a stitched run: the report's cycles,
+    /// then its fallback vectors as conventional full-shift cycles, then
+    /// the closing flush. Expected values are recorded by executing the
+    /// stimuli against a fault-free [`Dut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report does not belong to `netlist`.
+    pub fn from_report(netlist: &Netlist, report: &StitchReport, config: &StitchConfig) -> Self {
+        let p = netlist.input_count();
+        let l = netlist.dff_count();
+        let mut cycles = Vec::with_capacity(report.cycles.len() + report.extra_vectors.len());
+        for (record, &k) in report.cycles.iter().zip(&report.shifts) {
+            cycles.push(ScanCycle {
+                pi: slice_bits(&record.vector, 0..p),
+                scan_in: incoming_from_tv(&record.vector, p, k),
+                expected_observed: BitVec::new(),
+                expected_po: BitVec::new(),
+            });
+        }
+        // Mid-program flush: expose what the last stitched response left in
+        // the chain before switching to conventional vectors.
+        if !report.extra_vectors.is_empty() && report.final_flush > 0 {
+            cycles.push(ScanCycle {
+                pi: BitVec::zeros(p),
+                scan_in: BitVec::zeros(report.final_flush),
+                expected_observed: BitVec::new(),
+                expected_po: BitVec::new(),
+            });
+        }
+        for vector in &report.extra_vectors {
+            cycles.push(ScanCycle {
+                pi: slice_bits(vector, 0..p),
+                scan_in: incoming_from_tv(vector, p, l),
+                expected_observed: BitVec::new(),
+                expected_po: BitVec::new(),
+            });
+        }
+        let mut program = TestProgram {
+            name: netlist.name().to_owned(),
+            scan_len: l,
+            pi_count: p,
+            po_count: netlist.output_count(),
+            capture: config.capture,
+            observe: config.observe,
+            cycles,
+            expected_flush: BitVec::zeros(if report.extra_vectors.is_empty() {
+                report.final_flush
+            } else {
+                l
+            }),
+        };
+        program.record_expectations(netlist);
+        program
+    }
+
+    /// Builds a conventional full-shift program from a pattern set
+    /// (vectors over PIs-then-chain, as produced by
+    /// `tvs_atpg::generate_tests`).
+    pub fn from_patterns(netlist: &Netlist, patterns: &[BitVec]) -> Self {
+        let p = netlist.input_count();
+        let l = netlist.dff_count();
+        let cycles = patterns
+            .iter()
+            .map(|v| ScanCycle {
+                pi: slice_bits(v, 0..p),
+                scan_in: incoming_from_tv(v, p, l),
+                expected_observed: BitVec::new(),
+                expected_po: BitVec::new(),
+            })
+            .collect();
+        let mut program = TestProgram {
+            name: netlist.name().to_owned(),
+            scan_len: l,
+            pi_count: p,
+            po_count: netlist.output_count(),
+            capture: CaptureTransform::Plain,
+            observe: ObserveTransform::Direct,
+            cycles,
+            expected_flush: BitVec::zeros(l),
+        };
+        program.record_expectations(netlist);
+        program
+    }
+
+    /// (Re)records all expected observations by executing the stimuli
+    /// against a fault-free DUT.
+    pub fn record_expectations(&mut self, netlist: &Netlist) {
+        let view = netlist.scan_view().expect("program circuits are valid");
+        let mut dut = Dut::new(netlist, &view, self.capture, self.observe);
+        for cycle in &mut self.cycles {
+            let (observed, po) = dut.clock_cycle(&cycle.pi, &cycle.scan_in);
+            cycle.expected_observed = observed;
+            cycle.expected_po = po;
+        }
+        self.expected_flush = dut.flush(self.expected_flush.len());
+    }
+
+    /// Total shift clocks the program costs (the paper's time measure).
+    pub fn shift_cycles(&self) -> usize {
+        self.cycles.iter().map(|c| c.scan_in.len()).sum::<usize>() + self.expected_flush.len()
+    }
+
+    /// Serializes to the `.tvp` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# tvs test program v1");
+        let _ = writeln!(out, "name {}", self.name);
+        let _ = writeln!(
+            out,
+            "interface pi={} po={} scan={}",
+            self.pi_count, self.po_count, self.scan_len
+        );
+        let _ = writeln!(
+            out,
+            "capture {}",
+            match self.capture {
+                CaptureTransform::Plain => "plain".to_owned(),
+                CaptureTransform::VerticalXor => "vxor".to_owned(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "observe {}",
+            match self.observe {
+                ObserveTransform::Direct => "direct".to_owned(),
+                ObserveTransform::HorizontalXor(g) => format!("hxor:{g}"),
+            }
+        );
+        for c in &self.cycles {
+            let _ = writeln!(
+                out,
+                "cycle {} {} {} {}",
+                dash(&c.pi),
+                dash(&c.scan_in),
+                dash(&c.expected_observed),
+                dash(&c.expected_po)
+            );
+        }
+        let _ = writeln!(out, "flush {}", dash(&self.expected_flush));
+        out
+    }
+
+    /// Parses the `.tvp` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseProgramError`] on any malformed line.
+    pub fn parse(text: &str) -> Result<TestProgram, ParseProgramError> {
+        let err = |line: usize, msg: &str| ParseProgramError {
+            line,
+            message: msg.to_owned(),
+        };
+        let mut name = String::new();
+        let mut interface = None;
+        let mut capture = CaptureTransform::Plain;
+        let mut observe = ObserveTransform::Direct;
+        let mut cycles = Vec::new();
+        let mut flush = None;
+
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("name") => name = parts.next().unwrap_or("").to_owned(),
+                Some("interface") => {
+                    let mut pi = None;
+                    let mut po = None;
+                    let mut scan = None;
+                    for field in parts {
+                        let (k, v) = field
+                            .split_once('=')
+                            .ok_or_else(|| err(no + 1, "expected key=value"))?;
+                        let v: usize =
+                            v.parse().map_err(|_| err(no + 1, "bad interface number"))?;
+                        match k {
+                            "pi" => pi = Some(v),
+                            "po" => po = Some(v),
+                            "scan" => scan = Some(v),
+                            _ => return Err(err(no + 1, "unknown interface key")),
+                        }
+                    }
+                    interface = Some((
+                        pi.ok_or_else(|| err(no + 1, "missing pi="))?,
+                        po.ok_or_else(|| err(no + 1, "missing po="))?,
+                        scan.ok_or_else(|| err(no + 1, "missing scan="))?,
+                    ));
+                }
+                Some("capture") => {
+                    capture = match parts.next() {
+                        Some("plain") => CaptureTransform::Plain,
+                        Some("vxor") => CaptureTransform::VerticalXor,
+                        _ => return Err(err(no + 1, "unknown capture transform")),
+                    }
+                }
+                Some("observe") => {
+                    observe = match parts.next() {
+                        Some("direct") => ObserveTransform::Direct,
+                        Some(s) if s.starts_with("hxor:") => {
+                            let g = s[5..]
+                                .parse()
+                                .map_err(|_| err(no + 1, "bad hxor tap count"))?;
+                            ObserveTransform::HorizontalXor(g)
+                        }
+                        _ => return Err(err(no + 1, "unknown observe transform")),
+                    }
+                }
+                Some("cycle") => {
+                    let mut next_bits = || -> Result<BitVec, ParseProgramError> {
+                        undash(parts.next().ok_or_else(|| err(no + 1, "missing field"))?)
+                            .ok_or_else(|| err(no + 1, "bad bit string"))
+                    };
+                    cycles.push(ScanCycle {
+                        pi: next_bits()?,
+                        scan_in: next_bits()?,
+                        expected_observed: next_bits()?,
+                        expected_po: next_bits()?,
+                    });
+                }
+                Some("flush") => {
+                    flush = Some(
+                        undash(parts.next().unwrap_or("-"))
+                            .ok_or_else(|| err(no + 1, "bad flush bits"))?,
+                    );
+                }
+                Some(other) => return Err(err(no + 1, &format!("unknown directive {other:?}"))),
+                None => unreachable!("empty lines were skipped"),
+            }
+        }
+        let (pi_count, po_count, scan_len) =
+            interface.ok_or_else(|| err(0, "missing interface line"))?;
+        Ok(TestProgram {
+            name,
+            scan_len,
+            pi_count,
+            po_count,
+            capture,
+            observe,
+            cycles,
+            expected_flush: flush.unwrap_or_default(),
+        })
+    }
+}
+
+/// Error from [`TestProgram::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// 1-based line number (0 for file-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+fn dash(bits: &BitVec) -> String {
+    if bits.is_empty() {
+        "-".to_owned()
+    } else {
+        bits.to_string()
+    }
+}
+
+fn undash(s: &str) -> Option<BitVec> {
+    if s == "-" {
+        return Some(BitVec::new());
+    }
+    let mut out = BitVec::new();
+    for c in s.chars() {
+        match c {
+            '0' => out.push(false),
+            '1' => out.push(true),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn slice_bits(bits: &BitVec, range: std::ops::Range<usize>) -> BitVec {
+    range.map(|i| bits.get(i)).collect()
+}
+
+/// Scan-in bits (entry order) realizing the first `k` chain cells of a full
+/// vector whose chain part starts at `offset`.
+fn incoming_from_tv(vector: &BitVec, offset: usize, k: usize) -> BitVec {
+    (0..k).map(|t| vector.get(offset + k - 1 - t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TestProgram {
+        TestProgram {
+            name: "t".into(),
+            scan_len: 3,
+            pi_count: 1,
+            po_count: 2,
+            capture: CaptureTransform::VerticalXor,
+            observe: ObserveTransform::HorizontalXor(3),
+            cycles: vec![ScanCycle {
+                pi: BitVec::from_bools([true]),
+                scan_in: BitVec::from_bools([false, true]),
+                expected_observed: BitVec::from_bools([true, true]),
+                expected_po: BitVec::from_bools([false, true]),
+            }],
+            expected_flush: BitVec::from_bools([true, false]),
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let p = sample();
+        let text = p.to_text();
+        let back = TestProgram::parse(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn empty_fields_round_trip() {
+        let mut p = sample();
+        p.cycles[0].pi = BitVec::new();
+        p.cycles[0].expected_po = BitVec::new();
+        p.pi_count = 0;
+        p.po_count = 0;
+        let back = TestProgram::parse(&p.to_text()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TestProgram::parse("interface pi=1 po=1").is_err());
+        assert!(TestProgram::parse("interface pi=1 po=1 scan=2\nfrobnicate").is_err());
+        assert!(TestProgram::parse("interface pi=1 po=1 scan=2\ncycle 1 0 2 0").is_err());
+        assert!(TestProgram::parse("name x").is_err(), "missing interface");
+    }
+
+    #[test]
+    fn shift_cycles_counts_stimulus_and_flush() {
+        let p = sample();
+        assert_eq!(p.shift_cycles(), 2 + 2);
+    }
+}

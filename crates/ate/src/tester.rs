@@ -1,0 +1,173 @@
+//! Program execution and pass/fail comparison.
+
+use std::fmt;
+
+use crate::{Dut, TestProgram};
+
+/// Which comparison caught a mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailKind {
+    /// A bit of the scan-out stream during a shift.
+    ShiftStream,
+    /// A primary output after a capture.
+    PrimaryOutput,
+    /// A bit of the closing flush.
+    Flush,
+}
+
+impl fmt::Display for FailKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailKind::ShiftStream => "scan-out stream",
+            FailKind::PrimaryOutput => "primary output",
+            FailKind::Flush => "closing flush",
+        })
+    }
+}
+
+/// Outcome of executing a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// Every observed bit matched the expectations.
+    Pass,
+    /// First mismatch found.
+    Fail {
+        /// 0-based cycle index (`cycles.len()` denotes the closing flush).
+        cycle: usize,
+        /// Where the mismatch was seen.
+        kind: FailKind,
+        /// Bit position within the mismatching field.
+        bit: usize,
+    },
+}
+
+impl TestOutcome {
+    /// Returns `true` on [`TestOutcome::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, TestOutcome::Pass)
+    }
+}
+
+/// Executes [`TestProgram`]s against [`Dut`]s.
+///
+/// # Examples
+///
+/// See [`TestProgram`] for an end-to-end example.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualAte;
+
+impl VirtualAte {
+    /// Runs the program from power-up (the DUT is reset first) and stops at
+    /// the first mismatch — production-tester semantics.
+    pub fn execute(program: &TestProgram, dut: &mut Dut<'_>) -> TestOutcome {
+        dut.reset();
+        for (i, cycle) in program.cycles.iter().enumerate() {
+            let (observed, po) = dut.clock_cycle(&cycle.pi, &cycle.scan_in);
+            if let Some(bit) = first_diff(&observed, &cycle.expected_observed) {
+                return TestOutcome::Fail { cycle: i, kind: FailKind::ShiftStream, bit };
+            }
+            if let Some(bit) = first_diff(&po, &cycle.expected_po) {
+                return TestOutcome::Fail { cycle: i, kind: FailKind::PrimaryOutput, bit };
+            }
+        }
+        let flush = dut.flush(program.expected_flush.len());
+        if let Some(bit) = first_diff(&flush, &program.expected_flush) {
+            return TestOutcome::Fail {
+                cycle: program.cycles.len(),
+                kind: FailKind::Flush,
+                bit,
+            };
+        }
+        TestOutcome::Pass
+    }
+
+    /// Runs the whole program regardless of mismatches and returns every
+    /// failing observation — the syndrome used for diagnosis.
+    pub fn failure_log(program: &TestProgram, dut: &mut Dut<'_>) -> Vec<(usize, FailKind, usize)> {
+        let mut log = Vec::new();
+        dut.reset();
+        for (i, cycle) in program.cycles.iter().enumerate() {
+            let (observed, po) = dut.clock_cycle(&cycle.pi, &cycle.scan_in);
+            for bit in all_diffs(&observed, &cycle.expected_observed) {
+                log.push((i, FailKind::ShiftStream, bit));
+            }
+            for bit in all_diffs(&po, &cycle.expected_po) {
+                log.push((i, FailKind::PrimaryOutput, bit));
+            }
+        }
+        let flush = dut.flush(program.expected_flush.len());
+        for bit in all_diffs(&flush, &program.expected_flush) {
+            log.push((program.cycles.len(), FailKind::Flush, bit));
+        }
+        log
+    }
+}
+
+fn first_diff(got: &tvs_logic::BitVec, expect: &tvs_logic::BitVec) -> Option<usize> {
+    debug_assert_eq!(got.len(), expect.len());
+    (0..got.len().min(expect.len())).find(|&i| got.get(i) != expect.get(i))
+}
+
+fn all_diffs<'v>(
+    got: &'v tvs_logic::BitVec,
+    expect: &'v tvs_logic::BitVec,
+) -> impl Iterator<Item = usize> + 'v {
+    (0..got.len().min(expect.len())).filter(|&i| got.get(i) != expect.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_fault::{Fault, StuckAt};
+    use tvs_netlist::{GateKind, NetlistBuilder};
+    use tvs_scan::{CaptureTransform, ObserveTransform};
+
+    fn fig1() -> tvs_netlist::Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fault_free_program_passes_and_faulty_fails() {
+        use tvs_stitch::{StitchConfig, StitchEngine};
+        let netlist = fig1();
+        let engine = StitchEngine::new(&netlist).unwrap();
+        let config = StitchConfig::default();
+        let report = engine.run(&config).unwrap();
+        let program = crate::TestProgram::from_report(&netlist, &report, &config);
+
+        let view = netlist.scan_view().unwrap();
+        let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+        assert!(VirtualAte::execute(&program, &mut dut).passed());
+
+        dut.inject(Fault::stem(netlist.find("F").unwrap(), StuckAt::Zero));
+        let outcome = VirtualAte::execute(&program, &mut dut);
+        assert!(!outcome.passed(), "F/0 must be screened: {outcome:?}");
+    }
+
+    #[test]
+    fn failure_log_is_superset_of_first_fail() {
+        use tvs_stitch::{StitchConfig, StitchEngine};
+        let netlist = fig1();
+        let engine = StitchEngine::new(&netlist).unwrap();
+        let config = StitchConfig::default();
+        let report = engine.run(&config).unwrap();
+        let program = crate::TestProgram::from_report(&netlist, &report, &config);
+        let view = netlist.scan_view().unwrap();
+        let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+        dut.inject(Fault::stem(netlist.find("D").unwrap(), StuckAt::One));
+        let log = VirtualAte::failure_log(&program, &mut dut);
+        match VirtualAte::execute(&program, &mut dut) {
+            TestOutcome::Fail { cycle, kind, bit } => {
+                assert_eq!(log.first(), Some(&(cycle, kind, bit)));
+            }
+            TestOutcome::Pass => assert!(log.is_empty()),
+        }
+    }
+}

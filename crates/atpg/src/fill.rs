@@ -1,0 +1,62 @@
+//! Don't-care fill strategies.
+
+use rand::Rng;
+
+use tvs_logic::{BitVec, Cube};
+
+/// How the unspecified (`X`) positions of a generated test cube are
+/// completed into a fully specified vector.
+///
+/// Random fill is the production default: it maximizes fortuitous detection
+/// of untargeted faults. Constant fills are provided for ablation studies
+/// (they produce strongly biased response patterns, which interacts with the
+/// stitching constraint — see the ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillStrategy {
+    /// Fill each `X` with a uniformly random bit.
+    #[default]
+    Random,
+    /// Fill every `X` with 0.
+    Zero,
+    /// Fill every `X` with 1.
+    One,
+}
+
+impl FillStrategy {
+    /// Completes a cube into a fully specified bit vector.
+    ///
+    /// The `rng` is only consulted by [`FillStrategy::Random`].
+    pub fn apply<R: Rng + ?Sized>(self, cube: &Cube, rng: &mut R) -> BitVec {
+        match self {
+            FillStrategy::Random => cube.random_fill(rng),
+            FillStrategy::Zero => cube.fill_with(false),
+            FillStrategy::One => cube.fill_with(true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_fills() {
+        let cube: Cube = "1XX0".parse().unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(FillStrategy::Zero.apply(&cube, &mut rng).to_string(), "1000");
+        assert_eq!(FillStrategy::One.apply(&cube, &mut rng).to_string(), "1110");
+    }
+
+    #[test]
+    fn random_fill_keeps_specified_bits() {
+        let cube: Cube = "1XXXXXX0".parse().unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let bits = FillStrategy::Random.apply(&cube, &mut rng);
+            assert!(bits.get(0));
+            assert!(!bits.get(7));
+        }
+    }
+}

@@ -1,0 +1,806 @@
+//! PODEM (Path-Oriented DEcision Making) test generation with pinned bits.
+//!
+//! The implementation follows Goel's original branch-on-primary-inputs
+//! scheme, with the fault effect tracked by *dual simulation*: every signal
+//! carries a (good, faulty) pair of three-valued logic values, which is
+//! equivalent to the classic 5-valued D-calculus (`D` = good 1 / faulty 0,
+//! `D̄` = good 0 / faulty 1) but composes mechanically with any gate type.
+//!
+//! The one capability added for the stitching paper is **pinned bits**: the
+//! constraint cube pre-assigns some combinational inputs (the scan-cell bits
+//! retained from the previous response) before the decision loop starts;
+//! PODEM then only branches on the remaining free inputs, and an
+//! [`Untestable`](PodemResult::Untestable) verdict means *untestable under
+//! the constraint*, the signal the variable-shift policy keys off.
+
+use tvs_logic::{Cube, Logic};
+use tvs_netlist::{GateId, GateKind, Netlist, ScanView};
+
+use tvs_fault::{Fault, Scoap};
+
+/// Tuning knobs for [`Podem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodemConfig {
+    /// Maximum number of backtracks before giving up with
+    /// [`PodemResult::Aborted`].
+    pub backtrack_limit: u32,
+    /// Enable the X-path pruning check (a detected dead-end when no path of
+    /// unassigned signals remains from the D-frontier to an output).
+    pub xpath_check: bool,
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig {
+            backtrack_limit: 256,
+            xpath_check: true,
+        }
+    }
+}
+
+/// Outcome of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemResult {
+    /// A test cube over the combinational inputs (PIs then PPIs). Pinned
+    /// bits appear with their pinned values; remaining `X` positions are
+    /// genuine don't-cares.
+    Test(Cube),
+    /// No test exists under the given constraint (for an unconstrained run
+    /// this proves the fault redundant).
+    Untestable,
+    /// The backtrack limit was exhausted before a verdict.
+    Aborted,
+}
+
+impl PodemResult {
+    /// Returns the test cube if one was found.
+    pub fn test(&self) -> Option<&Cube> {
+        match self {
+            PodemResult::Test(cube) => Some(cube),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    input: usize,
+    value: bool,
+    flipped: bool,
+}
+
+/// Which value plane an objective lives on.
+///
+/// The dual (good, faulty) encoding is finer than the classic 5-valued
+/// D-calculus: a signal can be specified in the good machine while still
+/// unknown in the faulty one (the good side was frozen by a side input).
+/// Fault-effect propagation must then steer the *faulty* plane — outside
+/// the fault cone the planes coincide, so faulty-plane backtrace degrades
+/// gracefully into the classic scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plane {
+    Good,
+    Faulty,
+}
+
+/// The PODEM test generator.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_atpg::{Podem, PodemResult};
+/// use tvs_fault::{Fault, StuckAt};
+/// use tvs_logic::Cube;
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("and");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::And, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let n = b.build()?;
+/// let view = n.scan_view()?;
+/// let mut podem = Podem::new(&n, &view);
+///
+/// let fault = Fault::stem(n.find("y").unwrap(), StuckAt::Zero);
+/// let free = Cube::unspecified(2);
+/// match podem.generate(fault, &free) {
+///     PodemResult::Test(cube) => assert_eq!(cube.to_string(), "11"),
+///     other => panic!("expected a test, got {other:?}"),
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Podem<'a> {
+    netlist: &'a Netlist,
+    view: &'a ScanView,
+    scoap: Scoap,
+    config: PodemConfig,
+    good: Vec<Logic>,
+    faulty: Vec<Logic>,
+    /// Gates reachable from the current fault site.
+    cone: Vec<bool>,
+    /// Output indices whose driver lies in the cone.
+    cone_outputs: Vec<usize>,
+    /// Level-bucketed event queue.
+    buckets: Vec<Vec<GateId>>,
+    queued: Vec<bool>,
+    fault: Option<Fault>,
+    scratch: Vec<Logic>,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates a generator with the default configuration.
+    pub fn new(netlist: &'a Netlist, view: &'a ScanView) -> Self {
+        Podem::with_config(netlist, view, PodemConfig::default())
+    }
+
+    /// Creates a generator with an explicit configuration.
+    pub fn with_config(netlist: &'a Netlist, view: &'a ScanView, config: PodemConfig) -> Self {
+        let n = netlist.gate_count();
+        Podem {
+            netlist,
+            view,
+            scoap: Scoap::compute(netlist, view),
+            config,
+            good: vec![Logic::X; n],
+            faulty: vec![Logic::X; n],
+            cone: vec![false; n],
+            cone_outputs: Vec::new(),
+            buckets: vec![Vec::new(); view.depth() as usize + 2],
+            queued: vec![false; n],
+            fault: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Attempts to generate a test for `fault` under `constraint`.
+    ///
+    /// `constraint` is a cube over the combinational inputs (PIs then PPIs);
+    /// specified positions are pinned and never branched on. Pass
+    /// [`Cube::unspecified`] of the right length for an unconstrained run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint.len() != view.input_count()`.
+    pub fn generate(&mut self, fault: Fault, constraint: &Cube) -> PodemResult {
+        self.generate_observable(fault, constraint, None)
+    }
+
+    /// Like [`generate`](Self::generate), but only the combinational
+    /// outputs whose index is flagged in `observable` count as detection
+    /// points (`None` = all outputs observable).
+    ///
+    /// The stitching engine uses this to demand propagation to a primary
+    /// output or to a scan cell that the next shift will actually expose —
+    /// a test that merely differentiates the fault inside the retained part
+    /// of the chain does not move it to `f_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint.len() != view.input_count()` or the flag slice
+    /// length does not equal `view.output_count()`.
+    pub fn generate_observable(
+        &mut self,
+        fault: Fault,
+        constraint: &Cube,
+        observable: Option<&[bool]>,
+    ) -> PodemResult {
+        assert_eq!(
+            constraint.len(),
+            self.view.input_count(),
+            "constraint length must match the scan view"
+        );
+        if let Some(flags) = observable {
+            assert_eq!(
+                flags.len(),
+                self.view.output_count(),
+                "observable flag count must match the scan view"
+            );
+        }
+        self.reset(fault, observable);
+
+        // Pre-assign pinned bits.
+        for (i, v) in constraint.iter().enumerate() {
+            if let Some(bit) = v.to_bool() {
+                self.assign(i, Logic::from(bit));
+            }
+        }
+
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut backtracks = 0u32;
+
+        loop {
+            if self.detected() {
+                return PodemResult::Test(self.extract_cube());
+            }
+            let next = if self.conflict() {
+                None
+            } else {
+                self.objective()
+                    .and_then(|(plane, g, v)| self.backtrace(plane, g, v))
+            };
+            match next {
+                Some((input, value)) => {
+                    stack.push(Decision { input, value, flipped: false });
+                    self.assign(input, Logic::from(value));
+                }
+                None => {
+                    // Dead end: undo flipped decisions, flip the newest
+                    // unflipped one.
+                    backtracks += 1;
+                    if backtracks > self.config.backtrack_limit {
+                        return PodemResult::Aborted;
+                    }
+                    loop {
+                        match stack.pop() {
+                            None => return PodemResult::Untestable,
+                            Some(d) if d.flipped => {
+                                self.assign(d.input, Logic::X);
+                            }
+                            Some(d) => {
+                                self.assign(d.input, Logic::from(!d.value));
+                                stack.push(Decision {
+                                    input: d.input,
+                                    value: !d.value,
+                                    flipped: true,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self, fault: Fault, observable: Option<&[bool]>) {
+        self.good.fill(Logic::X);
+        self.faulty.fill(Logic::X);
+        self.fault = Some(fault);
+
+        // Influence cone of the fault site.
+        self.cone.fill(false);
+        self.cone_outputs.clear();
+        let seed = fault.site.gate;
+        let mut stack = vec![seed];
+        self.cone[seed.index()] = true;
+        while let Some(g) = stack.pop() {
+            for &(consumer, _) in self.netlist.fanout(g) {
+                if !self.cone[consumer.index()]
+                    && self.netlist.gate(consumer).kind().is_combinational()
+                {
+                    self.cone[consumer.index()] = true;
+                    stack.push(consumer);
+                }
+            }
+        }
+        for o in 0..self.view.output_count() {
+            if let Some(flags) = observable {
+                if !flags[o] {
+                    continue;
+                }
+            }
+            let driver = self.view.output_gate(o);
+            let in_cone = self.cone[driver.index()]
+                // a Dff-pin fault shows up only at that cell's PPO
+                || (o >= self.view.po_count()
+                    && fault.site.pin.is_some()
+                    && self.view.ppis()[o - self.view.po_count()] == fault.site.gate);
+            if in_cone {
+                self.cone_outputs.push(o);
+            }
+        }
+        // The faulty value at a stem fault site on a *source* gate is pinned
+        // immediately (sources are not re-evaluated by propagation).
+        if fault.site.pin.is_none() {
+            if let Some(i) = self.view.input_index_of(fault.site.gate) {
+                let _ = i;
+                self.faulty[fault.site.gate.index()] = stuck_logic(fault);
+            }
+        }
+    }
+
+    /// Assigns (or unassigns, with `Logic::X`) a combinational input and
+    /// propagates events forward.
+    fn assign(&mut self, input: usize, value: Logic) {
+        let gate = self.view.input_gate(input);
+        let fault = self.fault.expect("assign only runs inside generate");
+        self.good[gate.index()] = value;
+        self.faulty[gate.index()] =
+            if fault.site.pin.is_none() && fault.site.gate == gate {
+                stuck_logic(fault)
+            } else {
+                value
+            };
+        self.propagate_from(gate);
+    }
+
+    fn propagate_from(&mut self, source: GateId) {
+        for &(consumer, _) in self.netlist.fanout(source) {
+            self.enqueue(consumer);
+        }
+        for level in 0..self.buckets.len() {
+            while let Some(g) = pop_bucket(&mut self.buckets, level) {
+                self.queued[g.index()] = false;
+                let (ng, nf) = self.eval_gate(g);
+                if ng != self.good[g.index()] || nf != self.faulty[g.index()] {
+                    self.good[g.index()] = ng;
+                    self.faulty[g.index()] = nf;
+                    for &(consumer, _) in self.netlist.fanout(g) {
+                        self.enqueue(consumer);
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, g: GateId) {
+        if self.netlist.gate(g).kind().is_combinational() && !self.queued[g.index()] {
+            self.queued[g.index()] = true;
+            self.buckets[self.view.level(g) as usize].push(g);
+        }
+    }
+
+    fn eval_gate(&mut self, g: GateId) -> (Logic, Logic) {
+        let gate = self.netlist.gate(g);
+        let fault = self.fault.expect("eval only runs inside generate");
+        self.scratch.clear();
+        self.scratch
+            .extend(gate.fanin().iter().map(|&f| self.good[f.index()]));
+        let ng = gate.kind().eval(&self.scratch);
+
+        self.scratch.clear();
+        for (pin, &f) in gate.fanin().iter().enumerate() {
+            let v = if fault.site.pin == Some(pin as u32) && fault.site.gate == g {
+                stuck_logic(fault)
+            } else {
+                self.faulty[f.index()]
+            };
+            self.scratch.push(v);
+        }
+        let mut nf = gate.kind().eval(&self.scratch);
+        if fault.site.pin.is_none() && fault.site.gate == g {
+            nf = stuck_logic(fault);
+        }
+        (ng, nf)
+    }
+
+    fn output_pair(&self, o: usize) -> (Logic, Logic) {
+        let driver = self.view.output_gate(o);
+        let mut pair = (self.good[driver.index()], self.faulty[driver.index()]);
+        let fault = self.fault.expect("output_pair only runs inside generate");
+        if o >= self.view.po_count() {
+            let ff = self.view.ppis()[o - self.view.po_count()];
+            if fault.site.pin == Some(0) && fault.site.gate == ff {
+                pair.1 = stuck_logic(fault);
+            }
+        }
+        pair
+    }
+
+    fn detected(&self) -> bool {
+        self.cone_outputs.iter().any(|&o| {
+            let (g, f) = self.output_pair(o);
+            g.is_specified() && f.is_specified() && g != f
+        })
+    }
+
+    /// The good value at the fault site's *reference* net (the driver for a
+    /// branch fault, the gate itself for a stem fault).
+    fn site_value(&self) -> Logic {
+        let fault = self.fault.expect("site_value only runs inside generate");
+        match fault.site.pin {
+            None => self.good[fault.site.gate.index()],
+            Some(pin) => {
+                let driver = self.netlist.gate(fault.site.gate).fanin()[pin as usize];
+                self.good[driver.index()]
+            }
+        }
+    }
+
+    /// True when the current assignments can no longer lead to a detection.
+    fn conflict(&self) -> bool {
+        let fault = self.fault.expect("conflict only runs inside generate");
+        let site = self.site_value();
+        let stuck = stuck_logic(fault);
+        if site.is_specified() {
+            if site == stuck {
+                return true; // activation impossible
+            }
+            // Activated: the effect must still be propagatable.
+            if self.d_frontier_empty() && !self.detected() {
+                return true;
+            }
+            if self.config.xpath_check && !self.xpath_exists() {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn has_d_input(&self, g: GateId) -> bool {
+        let fault = self.fault.expect("inside generate");
+        self.netlist
+            .gate(g)
+            .fanin()
+            .iter()
+            .enumerate()
+            .any(|(pin, &f)| {
+                let good = self.good[f.index()];
+                let faulty = if fault.site.pin == Some(pin as u32) && fault.site.gate == g {
+                    stuck_logic(fault)
+                } else {
+                    self.faulty[f.index()]
+                };
+                good.is_specified() && faulty.is_specified() && good != faulty
+            })
+    }
+
+    fn is_d_frontier(&self, g: GateId) -> bool {
+        let (og, of) = (self.good[g.index()], self.faulty[g.index()]);
+        let undetermined = !og.is_specified() || !of.is_specified();
+        undetermined && self.has_d_input(g)
+    }
+
+    fn d_frontier_empty(&self) -> bool {
+        !self
+            .view
+            .order()
+            .iter()
+            .any(|&g| self.cone[g.index()] && self.is_d_frontier(g))
+    }
+
+    /// X-path check: from some D-frontier gate there must be a chain of
+    /// not-fully-determined signals reaching a cone output.
+    fn xpath_exists(&self) -> bool {
+        if self.detected() {
+            return true;
+        }
+        // Determine which cone outputs are still open (undetermined).
+        let open_output = |o: usize| {
+            let (g, f) = self.output_pair(o);
+            !g.is_specified() || !f.is_specified()
+        };
+        // Walk backwards from open outputs through undetermined gates;
+        // success if we touch a D-frontier gate.
+        let mut seen = vec![false; self.netlist.gate_count()];
+        let mut stack: Vec<GateId> = Vec::new();
+        for &o in &self.cone_outputs {
+            if open_output(o) {
+                let d = self.view.output_gate(o);
+                if self.cone[d.index()] && !seen[d.index()] {
+                    seen[d.index()] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        while let Some(g) = stack.pop() {
+            let undetermined =
+                !self.good[g.index()].is_specified() || !self.faulty[g.index()].is_specified();
+            if !undetermined {
+                continue;
+            }
+            if self.is_d_frontier(g) {
+                return true;
+            }
+            for &f in self.netlist.gate(g).fanin() {
+                if self.cone[f.index()]
+                    && !seen[f.index()]
+                    && self.netlist.gate(f).kind().is_combinational()
+                {
+                    seen[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn plane_value(&self, plane: Plane, gate: GateId) -> Logic {
+        match plane {
+            Plane::Good => self.good[gate.index()],
+            Plane::Faulty => self.faulty[gate.index()],
+        }
+    }
+
+    /// The next objective `(plane, gate, value)`: activate the fault (good
+    /// plane), or advance the D-frontier (faulty plane first — see
+    /// [`Plane`]).
+    fn objective(&self) -> Option<(Plane, GateId, bool)> {
+        let fault = self.fault.expect("inside generate");
+        let site = self.site_value();
+        if !site.is_specified() {
+            let target = match fault.site.pin {
+                None => fault.site.gate,
+                Some(pin) => self.netlist.gate(fault.site.gate).fanin()[pin as usize],
+            };
+            return Some((Plane::Good, target, !fault.stuck.as_bool()));
+        }
+        // Advance the D-frontier gate closest to an observation point.
+        let g = self
+            .view
+            .order()
+            .iter()
+            .filter(|&&g| self.cone[g.index()] && self.is_d_frontier(g))
+            .min_by_key(|&&g| self.scoap.co(g))?;
+        let kind = self.netlist.gate(*g).kind();
+        let noncontrolling = match kind.controlling_value() {
+            Some(Logic::Zero) => true,
+            Some(Logic::One) => false,
+            _ => false, // XOR-class: aim for 0, backtracking corrects
+            #[allow(unreachable_patterns)]
+            Some(Logic::X) => unreachable!(),
+        };
+        // Prefer an input whose faulty value is still free (the usual case,
+        // and the only lever when the good output is already frozen); fall
+        // back to a good-plane X input.
+        for plane in [Plane::Faulty, Plane::Good] {
+            if let Some(&pin) = self
+                .netlist
+                .gate(*g)
+                .fanin()
+                .iter()
+                .find(|&&f| !self.plane_value(plane, f).is_specified())
+            {
+                return Some((plane, pin, noncontrolling));
+            }
+        }
+        None
+    }
+
+    /// Walks an objective back to an unassigned combinational input,
+    /// choosing pins by SCOAP controllability. `plane` selects which value
+    /// plane the descent follows (propagation objectives use the faulty
+    /// plane); the terminal input assignment always acts on both planes.
+    fn backtrace(&self, plane: Plane, mut gate: GateId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            if let Some(i) = self.view.input_index_of(gate) {
+                if self.good[gate.index()].is_specified() {
+                    return None; // objective hit an already-pinned input
+                }
+                return Some((i, value));
+            }
+            let g = self.netlist.gate(gate);
+            let kind = g.kind();
+            let v_in = match kind {
+                GateKind::Buf => value,
+                GateKind::Not => !value,
+                GateKind::And | GateKind::Or => value,
+                GateKind::Nand | GateKind::Nor => !value,
+                GateKind::Xor | GateKind::Xnor => {
+                    // Needed parity assuming other unassigned inputs fall to 0.
+                    let mut parity = value ^ (kind == GateKind::Xnor);
+                    for &f in g.fanin() {
+                        if let Some(b) = self.plane_value(plane, f).to_bool() {
+                            parity ^= b;
+                        }
+                    }
+                    parity
+                }
+                GateKind::Input | GateKind::Dff => unreachable!("handled above"),
+            };
+            let unassigned = g
+                .fanin()
+                .iter()
+                .filter(|&&f| !self.plane_value(plane, f).is_specified());
+            let controlling = kind.controlling_value() == Some(Logic::from(v_in));
+            let cost = |f: &&GateId| {
+                if v_in {
+                    self.scoap.cc1(**f)
+                } else {
+                    self.scoap.cc0(**f)
+                }
+            };
+            let choice = if controlling || matches!(kind, GateKind::Buf | GateKind::Not) {
+                unassigned.min_by_key(cost)
+            } else {
+                unassigned.max_by_key(cost)
+            };
+            match choice {
+                Some(&f) => {
+                    gate = f;
+                    value = v_in;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    fn extract_cube(&self) -> Cube {
+        (0..self.view.input_count())
+            .map(|i| self.good[self.view.input_gate(i).index()])
+            .collect()
+    }
+}
+
+fn stuck_logic(fault: Fault) -> Logic {
+    Logic::from(fault.stuck.as_bool())
+}
+
+fn pop_bucket(buckets: &mut [Vec<GateId>], level: usize) -> Option<GateId> {
+    buckets[level].pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_fault::{FaultList, FaultSim, StuckAt};
+    use tvs_netlist::NetlistBuilder;
+
+    fn fig1() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Validates a PODEM cube by fault simulation: the (fill-0 and fill-1)
+    /// completions must both detect the fault.
+    fn assert_cube_detects(n: &Netlist, fault: Fault, cube: &Cube) {
+        let view = n.scan_view().unwrap();
+        let mut fsim = FaultSim::new(n, &view);
+        for fill in [false, true] {
+            let bits = cube.fill_with(fill);
+            assert!(
+                fsim.detect(&bits, &[fault])[0],
+                "cube {cube} (fill {fill}) fails to detect {}",
+                fault.display_in(n)
+            );
+        }
+    }
+
+    #[test]
+    fn finds_tests_for_every_irredundant_fig1_fault() {
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        let free = Cube::unspecified(view.input_count());
+        let mut untestable = Vec::new();
+        for &fault in FaultList::collapsed(&n).faults() {
+            match podem.generate(fault, &free) {
+                PodemResult::Test(cube) => assert_cube_detects(&n, fault, &cube),
+                PodemResult::Untestable => untestable.push(fault.display_in(&n)),
+                PodemResult::Aborted => panic!("aborted on tiny circuit"),
+            }
+        }
+        assert_eq!(untestable, vec!["E-F/1".to_string()], "only the paper's redundant fault");
+    }
+
+    #[test]
+    fn proves_the_redundant_fault_untestable() {
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        let f_gate = n.find("F").unwrap();
+        let fault = Fault::branch(f_gate, 1, StuckAt::One);
+        let free = Cube::unspecified(3);
+        assert_eq!(podem.generate(fault, &free), PodemResult::Untestable);
+    }
+
+    #[test]
+    fn respects_pinned_bits() {
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        // D/0 requires a=b=1. Pin a=0: now untestable under constraint.
+        let fault = Fault::stem(n.find("D").unwrap(), StuckAt::Zero);
+        let constraint: Cube = "0XX".parse().unwrap();
+        assert_eq!(podem.generate(fault, &constraint), PodemResult::Untestable);
+        // Pin a=1: testable, and the cube honours the pin.
+        let constraint: Cube = "1XX".parse().unwrap();
+        match podem.generate(fault, &constraint) {
+            PodemResult::Test(cube) => {
+                assert_eq!(cube[0], Logic::One);
+                assert_cube_detects(&n, fault, &cube);
+            }
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_only_detection_needs_no_decisions() {
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        // F/0 is detected by 110 outright.
+        let fault = Fault::stem(n.find("F").unwrap(), StuckAt::Zero);
+        let constraint: Cube = "110".parse().unwrap();
+        match podem.generate(fault, &constraint) {
+            PodemResult::Test(cube) => assert_eq!(cube.to_string(), "110"),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_gates_are_handled() {
+        let mut b = NetlistBuilder::new("parity");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_input("c").unwrap();
+        b.add_gate("p", GateKind::Xor, &["a", "b", "c"]).unwrap();
+        b.mark_output("p").unwrap();
+        let n = b.build().unwrap();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        let free = Cube::unspecified(3);
+        for &fault in FaultList::collapsed(&n).faults() {
+            match podem.generate(fault, &free) {
+                PodemResult::Test(cube) => assert_cube_detects(&n, fault, &cube),
+                other => panic!("{}: {other:?}", fault.display_in(&n)),
+            }
+        }
+    }
+
+    #[test]
+    fn classic_redundancy_is_proven() {
+        // y = OR(AND(a, b), AND(a, NOT b)) simplifies to a; the internal
+        // reconvergence makes some faults redundant; at minimum the
+        // generator must terminate with consistent verdicts.
+        let mut bld = NetlistBuilder::new("reconv");
+        bld.add_input("a").unwrap();
+        bld.add_input("b").unwrap();
+        bld.add_gate("nb", GateKind::Not, &["b"]).unwrap();
+        bld.add_gate("t1", GateKind::And, &["a", "b"]).unwrap();
+        bld.add_gate("t2", GateKind::And, &["a", "nb"]).unwrap();
+        bld.add_gate("y", GateKind::Or, &["t1", "t2"]).unwrap();
+        bld.mark_output("y").unwrap();
+        let n = bld.build().unwrap();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        let mut fsim = FaultSim::new(&n, &view);
+        let free = Cube::unspecified(2);
+        for &fault in FaultList::collapsed(&n).faults() {
+            match podem.generate(fault, &free) {
+                PodemResult::Test(cube) => assert_cube_detects(&n, fault, &cube),
+                PodemResult::Untestable => {
+                    // verify exhaustively: no pattern detects it
+                    for bits in 0..4u32 {
+                        let tv: tvs_logic::BitVec =
+                            (0..2).map(|i| (bits >> i) & 1 == 1).collect();
+                        assert!(
+                            !fsim.detect(&tv, &[fault])[0],
+                            "{} claimed untestable but pattern {bits:02b} detects it",
+                            fault.display_in(&n)
+                        );
+                    }
+                }
+                PodemResult::Aborted => panic!("aborted on tiny circuit"),
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_agree_with_exhaustive_simulation_on_fig1() {
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let mut podem = Podem::new(&n, &view);
+        let mut fsim = FaultSim::new(&n, &view);
+        let free = Cube::unspecified(3);
+        for &fault in FaultList::full(&n).faults() {
+            let exhaustively_testable = (0..8u32).any(|bits| {
+                let tv: tvs_logic::BitVec = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+                fsim.detect(&tv, &[fault])[0]
+            });
+            let verdict = podem.generate(fault, &free);
+            match verdict {
+                PodemResult::Test(_) => assert!(
+                    exhaustively_testable,
+                    "{} got a test but is untestable",
+                    fault.display_in(&n)
+                ),
+                PodemResult::Untestable => assert!(
+                    !exhaustively_testable,
+                    "{} proven untestable but a test exists",
+                    fault.display_in(&n)
+                ),
+                PodemResult::Aborted => panic!("aborted on tiny circuit"),
+            }
+        }
+    }
+}

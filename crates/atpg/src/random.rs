@@ -1,0 +1,128 @@
+//! Random-pattern phase of the baseline ATPG flow.
+
+use rand::Rng;
+
+use tvs_logic::BitVec;
+use tvs_netlist::{Netlist, ScanView};
+
+use tvs_fault::{Fault, FaultSim};
+
+/// Runs the random-pattern phase: draws random fully specified patterns,
+/// keeps each pattern that detects at least one still-undetected fault
+/// (fault dropping), and stops after `max_useless` consecutive useless
+/// patterns or `max_patterns` draws.
+///
+/// Returns the kept patterns and the per-fault detection flags. The
+/// remaining undetected faults are the "hard" faults handed to deterministic
+/// PODEM.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use tvs_atpg::random_phase;
+/// use tvs_fault::FaultList;
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::Xor, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let n = b.build()?;
+/// let view = n.scan_view()?;
+/// let faults = FaultList::collapsed(&n);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let (patterns, detected) = random_phase(&n, &view, faults.faults(), &mut rng, 256, 32);
+/// assert!(detected.iter().all(|&d| d), "XOR faults are all easy");
+/// assert!(!patterns.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn random_phase<R: Rng + ?Sized>(
+    netlist: &Netlist,
+    view: &ScanView,
+    faults: &[Fault],
+    rng: &mut R,
+    max_patterns: usize,
+    max_useless: usize,
+) -> (Vec<BitVec>, Vec<bool>) {
+    let mut sim = FaultSim::new(netlist, view);
+    let mut detected = vec![false; faults.len()];
+    let mut alive: Vec<usize> = (0..faults.len()).collect();
+    let mut patterns = Vec::new();
+    let mut useless = 0usize;
+
+    for _ in 0..max_patterns {
+        if alive.is_empty() || useless >= max_useless {
+            break;
+        }
+        let pattern: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+        let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
+        let hits = sim.detect(&pattern, &subset);
+        if hits.iter().any(|&h| h) {
+            useless = 0;
+            patterns.push(pattern);
+            let mut next = Vec::with_capacity(alive.len());
+            for (slot, &fi) in alive.iter().enumerate() {
+                if hits[slot] {
+                    detected[fi] = true;
+                } else {
+                    next.push(fi);
+                }
+            }
+            alive = next;
+        } else {
+            useless += 1;
+        }
+    }
+    (patterns, detected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tvs_fault::FaultList;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn detects_easy_faults_and_stops() {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("y", GateKind::Nand, &["a", "b"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        let view = n.scan_view().unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (patterns, detected) =
+            random_phase(&n, &view, faults.faults(), &mut rng, 512, 64);
+        assert!(detected.iter().all(|&d| d));
+        // Dropping means few patterns are kept for a 2-input gate.
+        assert!(patterns.len() <= 4, "{} patterns kept", patterns.len());
+    }
+
+    #[test]
+    fn gives_up_after_useless_budget() {
+        // A wide AND's output-1 faults are random-resistant.
+        let mut b = NetlistBuilder::new("wide");
+        let names: Vec<String> = (0..16).map(|i| format!("i{i}")).collect();
+        for nm in &names {
+            b.add_input(nm).unwrap();
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.add_gate("y", GateKind::And, &refs).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        let view = n.scan_view().unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (_, detected) = random_phase(&n, &view, faults.faults(), &mut rng, 200, 16);
+        assert!(
+            detected.iter().any(|&d| !d),
+            "random-resistant fault should survive the random phase"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Tests of `Podem::generate_observable`: detection must land on an
+//! allowed output, and masking every reachable output makes a testable
+//! fault untestable.
+
+use tvs_atpg::{Podem, PodemResult};
+use tvs_fault::{Fault, FaultList, FaultSim, SlotSpec, StuckAt};
+use tvs_logic::Cube;
+use tvs_netlist::{GateKind, Netlist, NetlistBuilder};
+
+fn fig1() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1");
+    b.add_dff("a", "F").unwrap();
+    b.add_dff("b", "E").unwrap();
+    b.add_dff("c", "D").unwrap();
+    b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+    b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+    b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn masking_the_only_reachable_output_proves_untestable() {
+    // F feeds only cell a (output index 0). With that PPO masked, F/0 has
+    // nowhere to be seen.
+    let netlist = fig1();
+    let view = netlist.scan_view().unwrap();
+    let mut podem = Podem::new(&netlist, &view);
+    let fault = Fault::stem(netlist.find("F").unwrap(), StuckAt::Zero);
+    let free = Cube::unspecified(3);
+
+    let all = vec![true; view.output_count()];
+    assert!(matches!(
+        podem.generate_observable(fault, &free, Some(&all)),
+        PodemResult::Test(_)
+    ));
+
+    let masked = vec![false, true, true];
+    assert_eq!(
+        podem.generate_observable(fault, &free, Some(&masked)),
+        PodemResult::Untestable
+    );
+}
+
+#[test]
+fn detection_lands_on_an_allowed_output() {
+    // For every testable fault and every single-output mask that admits a
+    // test, the resulting cube must differentiate the fault AT that output.
+    let netlist = fig1();
+    let view = netlist.scan_view().unwrap();
+    let faults = FaultList::collapsed(&netlist);
+    let mut podem = Podem::new(&netlist, &view);
+    let mut fsim = FaultSim::new(&netlist, &view);
+    let free = Cube::unspecified(3);
+
+    for &fault in faults.faults() {
+        for o in 0..view.output_count() {
+            let mut mask = vec![false; view.output_count()];
+            mask[o] = true;
+            if let PodemResult::Test(cube) = podem.generate_observable(fault, &free, Some(&mask)) {
+                for fill in [false, true] {
+                    let bits = cube.fill_with(fill);
+                    let good = fsim.good_outputs(&bits);
+                    let outs = fsim.run_slots(&[SlotSpec {
+                        stimulus: &bits,
+                        fault: Some(fault),
+                    }]);
+                    assert_ne!(
+                        outs[0].get(o),
+                        good.get(o),
+                        "{}: cube {cube} does not differentiate at output {o}",
+                        fault.display_in(&netlist)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn none_filter_equals_all_outputs() {
+    let netlist = fig1();
+    let view = netlist.scan_view().unwrap();
+    let faults = FaultList::collapsed(&netlist);
+    let mut podem = Podem::new(&netlist, &view);
+    let free = Cube::unspecified(3);
+    let all = vec![true; view.output_count()];
+    for &fault in faults.faults() {
+        let a = matches!(podem.generate(fault, &free), PodemResult::Test(_));
+        let b = matches!(
+            podem.generate_observable(fault, &free, Some(&all)),
+            PodemResult::Test(_)
+        );
+        assert_eq!(a, b, "{}", fault.display_in(&netlist));
+    }
+}

@@ -1,0 +1,51 @@
+//! Reproduces **Table 4** of the DATE 2003 paper: test vector selection
+//! strategies — Random, Hardness (hardest-first by SCOAP) and the greedy
+//! Most-faults — on the eight Table-2 circuits, reporting `m` and `t`.
+//!
+//! Usage: `table4 [--scale <f>] [--full]`.
+
+use tvs_bench::runner::{run_profile, Scaling};
+use tvs_bench::tables::{mean, ratio, TextTable};
+use tvs_stitch::{SelectionStrategy, StitchConfig};
+
+fn main() {
+    let scaling = Scaling::from_args();
+    let strategies = [
+        ("Random", SelectionStrategy::Random),
+        ("Hardness", SelectionStrategy::Hardness),
+        ("Most-faults", SelectionStrategy::MostFaults),
+    ];
+
+    println!("Table 4: selection of test vectors (m, t per strategy)\n");
+    let mut table = TextTable::new(vec![
+        "circ", "gates", "Rand m", "Rand t", "Hard m", "Hard t", "Most m", "Most t",
+    ]);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 6];
+
+    for profile in tvs_circuits::profiles_table2() {
+        let mut cells = vec![profile.name.to_owned(), String::new()];
+        for (i, (_, strategy)) in strategies.iter().enumerate() {
+            let cfg = StitchConfig {
+                selection: *strategy,
+                ..StitchConfig::default()
+            };
+            let row = run_profile(&profile, &scaling, &cfg);
+            cells[1] = row.gates.to_string();
+            let m = row.report.metrics.memory_ratio;
+            let t = row.report.metrics.time_ratio;
+            cells.push(ratio(m));
+            cells.push(ratio(t));
+            sums[2 * i].push(m);
+            sums[2 * i + 1].push(t);
+        }
+        table.row(cells);
+        eprintln!("  [{}] done", profile.name);
+    }
+    let mut avg = vec!["Ave".to_owned(), String::new()];
+    for s in &sums {
+        avg.push(ratio(mean(s.iter().copied())));
+    }
+    table.row(avg);
+    println!("{table}");
+    println!("(paper, averages: Random m=0.80 t=0.48; Hardness m=0.74 t=0.44; Most-faults m=0.64 t=0.38)");
+}

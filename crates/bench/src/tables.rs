@@ -1,0 +1,111 @@
+//! Plain-text table formatting for the reproduction binaries.
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_bench::tables::TextTable;
+///
+/// let mut t = TextTable::new(vec!["circ", "m", "t"]);
+/// t.row(vec!["s444".into(), "0.73".into(), "0.53".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("s444"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<&str>) -> Self {
+        TextTable {
+            header: header.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(cols) {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, w) in width.iter().enumerate().take(cols) {
+                let cell = cells.get(c).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:>w$}  "));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a ratio with two decimals, the tables' house style.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Computes the mean of an iterator of ratios.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].contains("xxxx"));
+    }
+
+    #[test]
+    fn ratio_and_mean() {
+        assert_eq!(ratio(0.731), "0.73");
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
+    }
+}

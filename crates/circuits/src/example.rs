@@ -1,0 +1,129 @@
+//! Hand-written circuits: the paper's Figure 1 example and an s27-class
+//! sequential circuit.
+
+use tvs_logic::BitVec;
+use tvs_netlist::{GateKind, Netlist, NetlistBuilder};
+
+/// The 3-gate, 3-scan-cell circuit of the DATE 2003 paper's Figure 1.
+///
+/// Reverse-engineered from the paper's Table 1 (the figure itself is a
+/// drawing): `D = AND(a, b)`, `E = OR(b, c)`, `F = AND(D, E)`; cell `a`
+/// captures `F`, cell `b` captures `E`, cell `c` captures `D`. The four
+/// vectors of [`fig1_vectors`] then produce exactly the paper's fault-free
+/// responses `111, 010, 000, 010`, and the fault universe contains exactly
+/// one redundant fault, the `E→F` branch stuck-at-1 (`E-F/1`).
+///
+/// # Examples
+///
+/// ```
+/// let netlist = tvs_circuits::fig1();
+/// assert_eq!(netlist.dff_count(), 3);
+/// assert_eq!(netlist.input_count(), 0);
+/// ```
+pub fn fig1() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1");
+    b.add_dff("a", "F").expect("fresh name");
+    b.add_dff("b", "E").expect("fresh name");
+    b.add_dff("c", "D").expect("fresh name");
+    b.add_gate("D", GateKind::And, &["a", "b"]).expect("fresh name");
+    b.add_gate("E", GateKind::Or, &["b", "c"]).expect("fresh name");
+    b.add_gate("F", GateKind::And, &["D", "E"]).expect("fresh name");
+    b.build().expect("fig1 is structurally valid")
+}
+
+/// The paper's four test vectors for [`fig1`], in application order
+/// (`110, 001, 100, 010`; cell `a` first).
+///
+/// Applied with 2-bit stitches after the initial full shift, they form a
+/// physically consistent stitched schedule — each vector's retained bit is
+/// the leftover of the previous response.
+pub fn fig1_vectors() -> Vec<BitVec> {
+    ["110", "001", "100", "010"]
+        .iter()
+        .map(|s| s.chars().map(|c| c == '1').collect())
+        .collect()
+}
+
+/// An s27-class sequential benchmark: 4 PIs, 1 PO, 3 flip-flops, 10 gates
+/// (the classic ISCAS89 s27 topology as commonly distributed).
+///
+/// Small enough for exhaustive checks, sequential enough to exercise every
+/// stitching code path (PIs *and* scan cells, a PO, reconvergent fanout).
+///
+/// # Examples
+///
+/// ```
+/// let netlist = tvs_circuits::s27();
+/// assert_eq!(netlist.input_count(), 4);
+/// assert_eq!(netlist.output_count(), 1);
+/// assert_eq!(netlist.dff_count(), 3);
+/// ```
+pub fn s27() -> Netlist {
+    let mut b = NetlistBuilder::new("s27");
+    for pi in ["G0", "G1", "G2", "G3"] {
+        b.add_input(pi).expect("fresh name");
+    }
+    b.mark_output("G17").expect("declared below");
+    b.add_dff("G5", "G10").expect("fresh name");
+    b.add_dff("G6", "G11").expect("fresh name");
+    b.add_dff("G7", "G13").expect("fresh name");
+    b.add_gate("G14", GateKind::Not, &["G0"]).expect("fresh name");
+    b.add_gate("G17", GateKind::Not, &["G11"]).expect("fresh name");
+    b.add_gate("G8", GateKind::And, &["G14", "G6"]).expect("fresh name");
+    b.add_gate("G15", GateKind::Or, &["G12", "G8"]).expect("fresh name");
+    b.add_gate("G16", GateKind::Or, &["G3", "G8"]).expect("fresh name");
+    b.add_gate("G9", GateKind::Nand, &["G16", "G15"]).expect("fresh name");
+    b.add_gate("G10", GateKind::Nor, &["G14", "G11"]).expect("fresh name");
+    b.add_gate("G11", GateKind::Nor, &["G5", "G9"]).expect("fresh name");
+    b.add_gate("G12", GateKind::Nor, &["G1", "G7"]).expect("fresh name");
+    b.add_gate("G13", GateKind::Nor, &["G2", "G12"]).expect("fresh name");
+    b.build().expect("s27 is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_matches_paper_responses() {
+        use tvs_sim::eval_single;
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let expect = ["111", "010", "000", "010"];
+        for (tv, resp) in fig1_vectors().iter().zip(expect) {
+            assert_eq!(eval_single(&n, &view, tv).to_string(), resp);
+        }
+    }
+
+    #[test]
+    fn fig1_vectors_are_stitchable_with_two_bit_shifts() {
+        use tvs_sim::eval_single;
+        let n = fig1();
+        let view = n.scan_view().unwrap();
+        let vectors = fig1_vectors();
+        for w in vectors.windows(2) {
+            let resp = eval_single(&n, &view, &w[0]);
+            // retained bit: response cell a (position 0) ends in cell c.
+            assert_eq!(w[1].get(2), resp.get(0), "stitch consistency");
+        }
+    }
+
+    #[test]
+    fn s27_shape() {
+        let n = s27();
+        let s = n.stats();
+        assert_eq!((s.inputs, s.outputs, s.dffs), (4, 1, 3));
+        assert_eq!(s.combinational_gates, 10);
+        assert!(n.scan_view().is_ok());
+    }
+
+    #[test]
+    fn s27_has_a_healthy_fault_universe() {
+        use tvs_fault::FaultList;
+        let n = s27();
+        let full = FaultList::full(&n);
+        let collapsed = FaultList::collapsed(&n);
+        assert!(collapsed.len() < full.len());
+        assert!(collapsed.len() >= 20, "{}", collapsed.len());
+    }
+}

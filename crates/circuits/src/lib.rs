@@ -1,0 +1,26 @@
+//! Benchmark circuits for the TVS DFT toolkit.
+//!
+//! Three sources of circuits:
+//!
+//! * [`fig1`] — the exact 3-gate, 3-scan-cell circuit of the DATE 2003
+//!   paper's Figure 1, together with the paper's four test vectors, used to
+//!   replay the worked example (Table 1);
+//! * [`s27`] — a small ISCAS89-class sequential circuit for fast tests;
+//! * [`synthesize`] / [`Profile`] — a deterministic, seeded generator of
+//!   ISCAS89-*calibrated* synthetic circuits. The genuine ISCAS89 netlists
+//!   are not redistributable in this offline environment; each profile
+//!   reproduces the published PI/PO/FF counts (the values in the paper's
+//!   tables) and a comparable gate count, depth and fanout distribution, so
+//!   that the structural statistics the compression ratios depend on are
+//!   preserved. See DESIGN.md §2 for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod example;
+mod profiles;
+mod synth;
+
+pub use example::{fig1, fig1_vectors, s27};
+pub use profiles::{profile, profiles_table2, profiles_table5, Profile};
+pub use synth::{synthesize, SynthConfig};

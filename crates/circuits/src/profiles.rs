@@ -1,0 +1,169 @@
+//! ISCAS89-calibrated circuit profiles.
+//!
+//! The genuine ISCAS89 netlists are not redistributable in this offline
+//! environment; each [`Profile`] records the published interface counts
+//! (matching the I/O and scan-length columns of the paper's Tables 2 and 5)
+//! and a comparable combinational gate count, and
+//! [`Profile::build`] deterministically synthesizes a stand-in circuit with
+//! that shape. See DESIGN.md §2 for why this preserves the experiments'
+//! structure.
+
+use tvs_netlist::Netlist;
+
+use crate::{synthesize, SynthConfig};
+
+/// The interface shape of one benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Benchmark name (e.g. `"s444"`).
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Flip-flops (scan length) — the paper's `scan#` column.
+    pub flip_flops: usize,
+    /// Combinational gates (published ISCAS89 counts).
+    pub gates: usize,
+    /// Seed for the deterministic stand-in generator.
+    pub seed: u64,
+    /// Logic-depth hint passed to the generator (`None` = derived).
+    pub depth: Option<usize>,
+}
+
+impl Profile {
+    /// Synthesizes the stand-in netlist at full published size.
+    pub fn build(&self) -> Netlist {
+        self.build_scaled(1.0)
+    }
+
+    /// Synthesizes the stand-in with the gate count scaled by `factor`
+    /// (interface counts are preserved; useful for quick CI benches on the
+    /// 20k-gate profiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn build_scaled(&self, factor: f64) -> Netlist {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        let gates = ((self.gates as f64 * factor).round() as usize).max(self.flip_flops + self.outputs);
+        synthesize(
+            self.name,
+            &SynthConfig {
+                inputs: self.inputs,
+                outputs: self.outputs,
+                flip_flops: self.flip_flops,
+                gates,
+                seed: self.seed,
+                depth_hint: self.depth,
+            },
+        )
+    }
+}
+
+/// All known profiles, keyed by the names the paper's tables use.
+const PROFILES: &[Profile] = &[
+    Profile { name: "s444", inputs: 3, outputs: 6, flip_flops: 21, gates: 181, seed: 0x444, depth: None },
+    Profile { name: "s526", inputs: 3, outputs: 6, flip_flops: 21, gates: 193, seed: 0x526, depth: None },
+    Profile { name: "s641", inputs: 35, outputs: 24, flip_flops: 19, gates: 379, seed: 0x641, depth: None },
+    Profile { name: "s953", inputs: 16, outputs: 23, flip_flops: 29, gates: 395, seed: 0x953, depth: None },
+    Profile { name: "s1196", inputs: 14, outputs: 14, flip_flops: 18, gates: 529, seed: 0x1196, depth: None },
+    Profile { name: "s1423", inputs: 17, outputs: 5, flip_flops: 74, gates: 657, seed: 0x1423, depth: None },
+    Profile { name: "s5378", inputs: 35, outputs: 49, flip_flops: 179, gates: 2779, seed: 0x5378, depth: None },
+    Profile { name: "s9234", inputs: 19, outputs: 22, flip_flops: 228, gates: 5597, seed: 0x9234, depth: None },
+    Profile { name: "s13207", inputs: 31, outputs: 121, flip_flops: 669, gates: 7951, seed: 0x13207, depth: None },
+    Profile { name: "s15850", inputs: 14, outputs: 87, flip_flops: 597, gates: 9772, seed: 0x15850, depth: None },
+    Profile { name: "s35932", inputs: 35, outputs: 320, flip_flops: 1728, gates: 16065, seed: 0x35932, depth: Some(8) },
+    Profile { name: "s38417", inputs: 28, outputs: 106, flip_flops: 1636, gates: 22179, seed: 0x38417, depth: None },
+    Profile { name: "s38584", inputs: 12, outputs: 278, flip_flops: 1452, gates: 19253, seed: 0x38584, depth: None },
+];
+
+/// Looks a profile up by benchmark name.
+///
+/// # Examples
+///
+/// ```
+/// let p = tvs_circuits::profile("s444").unwrap();
+/// assert_eq!(p.flip_flops, 21);
+/// assert!(tvs_circuits::profile("s9999").is_none());
+/// ```
+pub fn profile(name: &str) -> Option<Profile> {
+    PROFILES.iter().copied().find(|p| p.name == name)
+}
+
+/// The eight circuits of the paper's Tables 2–4, in table order.
+pub fn profiles_table2() -> Vec<Profile> {
+    ["s444", "s526", "s641", "s953", "s1196", "s1423", "s5378", "s9234"]
+        .iter()
+        .map(|n| profile(n).expect("table-2 profile exists"))
+        .collect()
+}
+
+/// The seven large circuits of the paper's Table 5, in table order.
+pub fn profiles_table5() -> Vec<Profile> {
+    ["s5378", "s9234", "s13207", "s15850", "s35932", "s38417", "s38584"]
+        .iter()
+        .map(|n| profile(n).expect("table-5 profile exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_paper_interface_columns() {
+        // Table 2's `shift x/L` column fixes the scan lengths.
+        for (name, scan) in [
+            ("s444", 21),
+            ("s526", 21),
+            ("s641", 19),
+            ("s953", 29),
+            ("s1196", 18),
+            ("s1423", 74),
+            ("s5378", 179),
+            ("s9234", 228),
+        ] {
+            assert_eq!(profile(name).unwrap().flip_flops, scan, "{name}");
+        }
+        // Table 5's I/O column.
+        for (name, i, o) in [
+            ("s5378", 35, 49),
+            ("s9234", 19, 22),
+            ("s13207", 31, 121),
+            ("s15850", 14, 87),
+            ("s35932", 35, 320),
+            ("s38417", 28, 106),
+            ("s38584", 12, 278),
+        ] {
+            let p = profile(name).unwrap();
+            assert_eq!((p.inputs, p.outputs), (i, o), "{name}");
+        }
+    }
+
+    #[test]
+    fn build_produces_requested_shape() {
+        let p = profile("s444").unwrap();
+        let n = p.build();
+        let s = n.stats();
+        assert_eq!((s.inputs, s.outputs, s.dffs), (3, 6, 21));
+        assert_eq!(s.combinational_gates, 181);
+    }
+
+    #[test]
+    fn scaled_build_shrinks_logic_only() {
+        let p = profile("s5378").unwrap();
+        let n = p.build_scaled(0.1);
+        let s = n.stats();
+        assert_eq!((s.inputs, s.outputs, s.dffs), (35, 49, 179));
+        assert!(s.combinational_gates < 500);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let p = profile("s526").unwrap();
+        let a = tvs_netlist::bench::to_string(&p.build());
+        let b = tvs_netlist::bench::to_string(&p.build());
+        assert_eq!(a, b);
+    }
+}

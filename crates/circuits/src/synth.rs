@@ -1,0 +1,337 @@
+//! Deterministic synthetic sequential circuit generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tvs_netlist::{GateKind, Netlist, NetlistBuilder};
+
+/// Shape of a synthetic circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Flip-flop count (scan length).
+    pub flip_flops: usize,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// RNG seed; equal seeds give bit-identical netlists.
+    pub seed: u64,
+    /// Logic-depth override; `None` derives depth from the gate count.
+    /// Real benchmarks vary here — s35932 is famously shallow (and thus
+    /// almost entirely easy-to-test, the property behind the paper's most
+    /// drastic compression row).
+    pub depth_hint: Option<usize>,
+}
+
+/// Synthesizes a random-but-reproducible sequential circuit.
+///
+/// The generator aims for ISCAS89-like structure rather than arbitrary
+/// random logic:
+///
+/// * gate kinds follow an ISCAS89-ish mix (NAND/NOR-heavy, occasional
+///   XOR/NOT/BUF), arities mostly 2 with a tail to 4;
+/// * each gate preferentially consumes signals that have no consumer yet,
+///   so logic cones stay connected and almost every signal is observable —
+///   dangling logic would distort fault statistics;
+/// * a locality window biases inputs toward recently created gates, giving
+///   realistic depth instead of a 2-level soup;
+/// * primary outputs and flip-flop data inputs are drawn from late,
+///   still-unconsumed gates.
+///
+/// # Panics
+///
+/// Panics if the shape is degenerate (no sources, no gates, or fewer gates
+/// than needed to drive every output and flip-flop).
+///
+/// # Examples
+///
+/// ```
+/// use tvs_circuits::{synthesize, SynthConfig};
+///
+/// let netlist = synthesize("demo", &SynthConfig {
+///     inputs: 4, outputs: 2, flip_flops: 8, gates: 60, seed: 7, depth_hint: None,
+/// });
+/// let stats = netlist.stats();
+/// assert_eq!(stats.dffs, 8);
+/// assert_eq!(stats.combinational_gates, 60);
+/// ```
+pub fn synthesize(name: &str, config: &SynthConfig) -> Netlist {
+    assert!(
+        config.inputs + config.flip_flops > 0,
+        "a circuit needs at least one source"
+    );
+    assert!(config.gates > 0, "a circuit needs at least one gate");
+    assert!(
+        config.gates >= config.outputs.max(1),
+        "not enough gates to drive every output"
+    );
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = NetlistBuilder::new(name);
+
+    // Structure plan. Real ISCAS89 circuits are modular: each flip-flop's
+    // next-state function depends on a handful of nearby flip-flops plus
+    // globally fanned-out control inputs, so combinational cones are narrow.
+    // We reproduce that with column-partitioned logic: flip-flops are dealt
+    // into columns of ~6 (in chain order), gates mostly stay within their
+    // column, PIs are shared control signals, and only a small fraction of
+    // pins cross columns.
+    let depth = config
+        .depth_hint
+        .unwrap_or_else(|| (((config.gates as f64).ln() * 2.2).round() as usize).clamp(4, 42));
+    let depth = depth.clamp(1, config.gates);
+    let columns = config.flip_flops.div_ceil(6).max(1);
+
+    // Signal pool.
+    let mut signals: Vec<String> = Vec::new();
+    let mut column_of: Vec<usize> = Vec::new();
+    let mut consumers: Vec<u32> = Vec::new();
+
+    for i in 0..config.inputs {
+        let nm = format!("pi{i}");
+        b.add_input(&nm).expect("fresh name");
+        signals.push(nm);
+        column_of.push(usize::MAX); // global control signal
+        consumers.push(0);
+    }
+    // Flip-flop outputs are level-0 sources of their column; the DFFs are
+    // declared at the end once their D-net drivers exist (the builder
+    // resolves names at build time).
+    for i in 0..config.flip_flops {
+        signals.push(format!("ff{i}"));
+        column_of.push(i * columns / config.flip_flops.max(1));
+        consumers.push(0);
+    }
+
+    // Gate kind mix, roughly ISCAS89: NAND/NOR heavy, almost no XOR.
+    const KINDS: &[(GateKind, u32)] = &[
+        (GateKind::And, 18),
+        (GateKind::Nand, 24),
+        (GateKind::Or, 14),
+        (GateKind::Nor, 20),
+        (GateKind::Not, 14),
+        (GateKind::Buf, 4),
+        (GateKind::Xor, 2),
+        (GateKind::Xnor, 1),
+    ];
+    let kind_total: u32 = KINDS.iter().map(|&(_, w)| w).sum();
+
+    // Per-column signal pools.
+    let mut by_column: Vec<Vec<usize>> = vec![Vec::new(); columns];
+    for (i, &c) in column_of.iter().enumerate() {
+        if c != usize::MAX {
+            by_column[c].push(i);
+        }
+    }
+
+    let mut gate_no = 0usize;
+    for lv in 1..=depth {
+        let quota = config.gates / depth + usize::from(lv <= config.gates % depth);
+        // Not-yet-consumed signals, per column; drained first so no logic
+        // dangles mid-cone.
+        let mut unconsumed: Vec<Vec<usize>> = vec![Vec::new(); columns];
+        for (c, pool) in by_column.iter().enumerate() {
+            for &i in pool {
+                if consumers[i] == 0 {
+                    unconsumed[c].push(i);
+                }
+            }
+        }
+
+        let mut new_signals: Vec<(usize, usize)> = Vec::new(); // (signal, column)
+        for gq in 0..quota {
+            let col = gq * columns / quota.max(1);
+            let mut roll = rng.gen_range(0..kind_total);
+            let mut kind = GateKind::Nand;
+            for &(k, w) in KINDS {
+                if roll < w {
+                    kind = k;
+                    break;
+                }
+                roll -= w;
+            }
+            let arity = match kind {
+                GateKind::Not | GateKind::Buf => 1,
+                _ => match rng.gen_range(0u32..10) {
+                    0..=6 => 2,
+                    7..=8 => 3,
+                    _ => 4,
+                },
+            };
+            let mut fanin: Vec<usize> = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let idx = if !unconsumed[col].is_empty() && rng.gen_bool(0.7) {
+                    let j = rng.gen_range(0..unconsumed[col].len());
+                    unconsumed[col].swap_remove(j)
+                } else if config.inputs > 0 && rng.gen_bool(0.25) {
+                    // Globally fanned-out control input.
+                    rng.gen_range(0..config.inputs)
+                } else {
+                    // Same column mostly; a small cross-column coupling.
+                    let c = if rng.gen_bool(0.85) || columns == 1 {
+                        col
+                    } else {
+                        (col + 1 + rng.gen_range(0..columns - 1)) % columns
+                    };
+                    if by_column[c].is_empty() {
+                        rng.gen_range(0..signals.len())
+                    } else {
+                        by_column[c][rng.gen_range(0..by_column[c].len())]
+                    }
+                };
+                // No duplicate fanins: AND(x, x)-style gates are trivially
+                // redundant logic.
+                if fanin.contains(&idx) {
+                    continue;
+                }
+                fanin.push(idx);
+                consumers[idx] += 1;
+            }
+            if fanin.is_empty() {
+                let idx = rng.gen_range(0..signals.len());
+                fanin.push(idx);
+                consumers[idx] += 1;
+            }
+            let kind = if fanin.len() == 1 && !matches!(kind, GateKind::Not | GateKind::Buf) {
+                GateKind::Not
+            } else {
+                kind
+            };
+            let nm = format!("g{gate_no}");
+            gate_no += 1;
+            let fanin_names: Vec<&str> = fanin.iter().map(|&i| signals[i].as_str()).collect();
+            b.add_gate(&nm, kind, &fanin_names).expect("fresh name");
+            signals.push(nm);
+            column_of.push(col);
+            consumers.push(0);
+            new_signals.push((signals.len() - 1, col));
+        }
+        for (i, c) in new_signals {
+            by_column[c].push(i);
+        }
+    }
+
+    // Sinks. Flip-flop D inputs come from their own column (keeping
+    // next-state cones local); primary outputs round-robin over columns.
+    // Unconsumed gates are drained first within each column.
+    let gate_base = config.inputs + config.flip_flops;
+    let mut col_unconsumed: Vec<Vec<usize>> = vec![Vec::new(); columns];
+    for i in gate_base..signals.len() {
+        if consumers[i] == 0 {
+            col_unconsumed[column_of[i]].push(i);
+        }
+    }
+    let mut pick_sink = |rng: &mut SmallRng, consumers: &mut Vec<u32>, col: usize| -> usize {
+        let idx = if let Some(i) = col_unconsumed[col].pop() {
+            i
+        } else {
+            // Any late gate of the column, else anywhere.
+            let gates_only: Vec<usize> = by_column[col]
+                .iter()
+                .copied()
+                .filter(|&i| i >= gate_base)
+                .collect();
+            if gates_only.is_empty() {
+                rng.gen_range(gate_base..signals.len())
+            } else {
+                let lo = gates_only.len() / 2;
+                gates_only[rng.gen_range(lo..gates_only.len())]
+            }
+        };
+        consumers[idx] += 1;
+        idx
+    };
+
+    for o in 0..config.outputs {
+        let idx = pick_sink(&mut rng, &mut consumers, o % columns);
+        b.mark_output(&signals[idx]).expect("declared signal");
+    }
+    for i in 0..config.flip_flops {
+        let col = i * columns / config.flip_flops.max(1);
+        let idx = pick_sink(&mut rng, &mut consumers, col);
+        let driver = signals[idx].clone();
+        b.add_dff(&format!("ff{i}"), &driver).expect("fresh name");
+    }
+
+    b.build().expect("generator only emits valid structure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_fault::FaultList;
+
+    fn small() -> SynthConfig {
+        SynthConfig { inputs: 5, outputs: 3, flip_flops: 10, gates: 80, seed: 42, depth_hint: None }
+    }
+
+    #[test]
+    fn produces_exact_interface_counts() {
+        let n = synthesize("t", &small());
+        let s = n.stats();
+        assert_eq!((s.inputs, s.outputs, s.dffs), (5, 3, 10));
+        assert_eq!(s.combinational_gates, 80);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = tvs_netlist::bench::to_string(&synthesize("t", &small()));
+        let b = tvs_netlist::bench::to_string(&synthesize("t", &small()));
+        assert_eq!(a, b);
+        let other = SynthConfig { seed: 43, ..small() };
+        let c = tvs_netlist::bench::to_string(&synthesize("t", &other));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_dangling_logic_beyond_tolerance() {
+        // Almost every gate should have a consumer, an output marker, or
+        // drive a flip-flop; heavy dangling logic would distort fault
+        // statistics.
+        let n = synthesize("t", &SynthConfig { inputs: 8, outputs: 6, flip_flops: 20, gates: 300, seed: 7, depth_hint: None });
+        let driven: std::collections::HashSet<_> = n
+            .outputs()
+            .iter()
+            .copied()
+            .collect();
+        let dangling = n
+            .gate_ids()
+            .filter(|&id| {
+                n.gate(id).kind().is_combinational()
+                    && n.fanout(id).is_empty()
+                    && !driven.contains(&id)
+            })
+            .count();
+        assert!(dangling * 20 < 300, "{dangling} dangling gates of 300");
+    }
+
+    #[test]
+    fn depth_is_nontrivial() {
+        let n = synthesize("t", &SynthConfig { inputs: 6, outputs: 4, flip_flops: 16, gates: 400, seed: 9, depth_hint: None });
+        let view = n.scan_view().unwrap();
+        assert!(view.depth() >= 5, "depth {}", view.depth());
+    }
+
+    #[test]
+    fn most_faults_are_testable() {
+        // A healthy generator yields mostly irredundant logic: random
+        // patterns alone should detect a decent majority of faults.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        use tvs_fault::FaultSim;
+        use tvs_logic::BitVec;
+
+        let n = synthesize("t", &small());
+        let view = n.scan_view().unwrap();
+        let faults = FaultList::collapsed(&n);
+        let mut sim = FaultSim::new(&n, &view);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let patterns: Vec<BitVec> = (0..256)
+            .map(|_| (0..view.input_count()).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let detected = sim.coverage(&patterns, faults.faults());
+        let frac = detected.iter().filter(|&&d| d).count() as f64 / faults.len() as f64;
+        assert!(frac > 0.7, "random coverage only {frac:.2}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Structural equivalence collapsing of stuck-at faults.
+//!
+//! Two faults are (structurally) equivalent when every test for one detects
+//! the other; collapsing keeps a single representative per class. Only the
+//! classic local rules are applied (gate-input/output equivalences and
+//! single-branch stems) — dominance collapsing is deliberately left out so
+//! coverage numbers remain comparable to equivalence-collapsed tools.
+
+use std::collections::HashMap;
+
+use tvs_netlist::{GateKind, Netlist};
+
+use crate::{Fault, FaultList, StuckAt};
+
+/// Dense index assignment for every fault in the universe.
+struct Indexer {
+    /// stem fault index = gate*2 + stuck
+    stem_base: usize,
+    /// per gate, offset of its pin-fault block
+    pin_offset: Vec<usize>,
+    total: usize,
+}
+
+impl Indexer {
+    fn new(netlist: &Netlist) -> Indexer {
+        let stems = netlist.gate_count() * 2;
+        let mut pin_offset = Vec::with_capacity(netlist.gate_count());
+        let mut next = stems;
+        for id in netlist.gate_ids() {
+            pin_offset.push(next);
+            next += netlist.gate(id).fanin().len() * 2;
+        }
+        Indexer {
+            stem_base: 0,
+            pin_offset,
+            total: next,
+        }
+    }
+
+    fn index(&self, fault: &Fault) -> usize {
+        let v = fault.stuck.as_bool() as usize;
+        match fault.site.pin {
+            None => self.stem_base + fault.site.gate.index() * 2 + v,
+            Some(pin) => self.pin_offset[fault.site.gate.index()] + pin as usize * 2 + v,
+        }
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller root so representatives prefer stems (which
+            // get the lower indices).
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo as u32;
+        }
+    }
+}
+
+/// Computes the equivalence-collapsed fault list (used by
+/// [`FaultList::collapsed`]).
+pub(crate) fn collapse(netlist: &Netlist) -> Vec<Fault> {
+    let universe = FaultList::full(netlist);
+    let indexer = Indexer::new(netlist);
+    let mut uf = UnionFind::new(indexer.total);
+
+    for id in netlist.gate_ids() {
+        let gate = netlist.gate(id);
+
+        // Rule 1: a branch into the only consumer pin of a signal is
+        // equivalent to the signal's stem fault.
+        for (pin, &driver) in gate.fanin().iter().enumerate() {
+            if netlist.fanout(driver).len() == 1 {
+                for stuck in StuckAt::BOTH {
+                    uf.union(
+                        indexer.index(&Fault::branch(id, pin as u32, stuck)),
+                        indexer.index(&Fault::stem(driver, stuck)),
+                    );
+                }
+            }
+        }
+
+        // Rule 2: gate input/output equivalences.
+        match gate.kind() {
+            GateKind::Buf | GateKind::Not => {
+                let inv = gate.kind() == GateKind::Not;
+                for stuck in StuckAt::BOTH {
+                    let out = StuckAt::from(stuck.as_bool() ^ inv);
+                    uf.union(
+                        indexer.index(&Fault::branch(id, 0, stuck)),
+                        indexer.index(&Fault::stem(id, out)),
+                    );
+                }
+            }
+            GateKind::And | GateKind::Nand => {
+                let out = StuckAt::from(gate.kind() == GateKind::Nand);
+                for pin in 0..gate.fanin().len() as u32 {
+                    uf.union(
+                        indexer.index(&Fault::branch(id, pin, StuckAt::Zero)),
+                        indexer.index(&Fault::stem(id, out)),
+                    );
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let out = StuckAt::from(gate.kind() == GateKind::Or);
+                for pin in 0..gate.fanin().len() as u32 {
+                    uf.union(
+                        indexer.index(&Fault::branch(id, pin, StuckAt::One)),
+                        indexer.index(&Fault::stem(id, out)),
+                    );
+                }
+            }
+            // XOR-class gates and flip-flop D pins have no local
+            // input/output equivalence.
+            GateKind::Xor | GateKind::Xnor | GateKind::Dff => {}
+            GateKind::Input => {}
+        }
+    }
+
+    // One representative per class. Stem faults are preferred as
+    // representatives (matching the naming convention of the paper's
+    // Table 1), so sweep all stems first, then fill in pin-only classes.
+    let mut rep: HashMap<usize, Fault> = HashMap::new();
+    let mut out = Vec::new();
+    let stems_first = universe
+        .faults()
+        .iter()
+        .filter(|f| f.site.pin.is_none())
+        .chain(universe.faults().iter().filter(|f| f.site.pin.is_some()));
+    for &fault in stems_first {
+        let root = uf.find(indexer.index(&fault));
+        if let std::collections::hash_map::Entry::Vacant(e) = rep.entry(root) {
+            e.insert(fault);
+            out.push(fault);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::FaultList;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn inverter_chain_collapses_to_two_classes_per_stage_boundary() {
+        // a -> NOT y -> NOT z, fanout-free everywhere. The entire chain's
+        // faults collapse to just 2 classes (one per polarity).
+        let mut b = NetlistBuilder::new("chain");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::Not, &["a"]).unwrap();
+        b.add_gate("z", GateKind::Not, &["y"]).unwrap();
+        b.mark_output("z").unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(FaultList::full(&n).len(), 10);
+        assert_eq!(FaultList::collapsed(&n).len(), 2);
+    }
+
+    #[test]
+    fn two_input_and_collapses_to_four() {
+        // Classic result: an isolated 2-input AND with fanout-free inputs
+        // has 4 equivalence classes (in-a/1, in-b/1, out/1, {out/0 ≡ a/0 ≡ b/0}).
+        let mut b = NetlistBuilder::new("and");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(FaultList::full(&n).len(), 10);
+        assert_eq!(FaultList::collapsed(&n).len(), 4);
+    }
+
+    #[test]
+    fn fanout_branches_stay_distinct() {
+        // a feeds two gates; its branch faults must NOT collapse with the
+        // stem or with each other.
+        let mut b = NetlistBuilder::new("fan");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::Not, &["a"]).unwrap();
+        b.add_gate("z", GateKind::Not, &["a"]).unwrap();
+        b.mark_output("y").unwrap();
+        b.mark_output("z").unwrap();
+        let n = b.build().unwrap();
+        let collapsed = FaultList::collapsed(&n);
+        // Classes: a/0, a/1 (stem), a-y/0 ≡ y/1, a-y/1 ≡ y/0,
+        //          a-z/0 ≡ z/1, a-z/1 ≡ z/0  → 6 classes.
+        assert_eq!(collapsed.len(), 6);
+    }
+
+    #[test]
+    fn xor_inputs_do_not_collapse() {
+        let mut b = NetlistBuilder::new("xor");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("y", GateKind::Xor, &["a", "b"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        // Only rule 1 applies (fanout-free inputs): a/v ≡ a-y/v, b/v ≡ b-y/v.
+        // Classes: a/0, a/1, b/0, b/1, y/0, y/1 → 6.
+        assert_eq!(FaultList::collapsed(&n).len(), 6);
+    }
+
+    #[test]
+    fn representatives_are_stems_where_possible() {
+        let mut b = NetlistBuilder::new("and");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        for f in FaultList::collapsed(&n).iter() {
+            // every class in this circuit contains a stem fault, so every
+            // representative should be a stem fault
+            assert!(f.site.pin.is_none(), "representative {} is a branch", f.display_in(&n));
+        }
+    }
+
+    #[test]
+    fn fig1_collapsed_size_is_close_to_papers_table1() {
+        // The paper's Table 1 tracks 18 collapsed faults for the Figure 1
+        // circuit. Collapsing choices differ slightly between tools; ours
+        // must land in the same neighbourhood.
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        let n = b.build().unwrap();
+        let collapsed = FaultList::collapsed(&n);
+        assert!(
+            (14..=22).contains(&collapsed.len()),
+            "collapsed size {} out of expected band",
+            collapsed.len()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Fault-model substrate for the TVS DFT toolkit.
+//!
+//! Everything the DATE 2003 stitching paper delegates to HOPE (the Virginia
+//! Tech fault simulator) is implemented here from scratch:
+//!
+//! * [`Fault`] / [`FaultSite`] — single stuck-at faults on gate outputs
+//!   (stems) and on individual gate input pins (fanout branches);
+//! * [`FaultList`] — the fault universe of a circuit, with structural
+//!   equivalence collapsing ([`collapse`](FaultList::collapsed));
+//! * [`FaultSim`] — a bit-parallel single-pattern multi-fault simulator in
+//!   the PROOFS/HOPE tradition: 64 faulty machines per sweep, each slot with
+//!   its *own* stimulus (required by the stitching engine, whose hidden
+//!   faults see mutated test vectors);
+//! * [`Scoap`] — SCOAP controllability/observability testability measures,
+//!   used for the paper's "Hardness" fault-ordering strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod list;
+mod model;
+mod scoap;
+mod sim;
+
+pub use list::FaultList;
+pub use model::{Fault, FaultSite, StuckAt};
+pub use scoap::Scoap;
+pub use sim::{FaultSim, SlotSpec};

@@ -1,0 +1,167 @@
+//! Fault universe construction and collapsed fault lists.
+
+use tvs_netlist::Netlist;
+
+use crate::collapse;
+use crate::{Fault, FaultSite, StuckAt};
+
+/// A list of single stuck-at faults over one netlist.
+///
+/// [`FaultList::full`] enumerates the complete universe: both polarities on
+/// every gate output stem and on every input pin of every combinational gate
+/// and flip-flop. [`FaultList::collapsed`] reduces it by structural
+/// equivalence (see [`collapse rules`](#collapsing)), which is what ATPG and
+/// the stitching engine operate on — one representative per equivalence
+/// class suffices for both detection and coverage accounting.
+///
+/// # Collapsing
+///
+/// * branch ≡ stem when the driving signal has exactly one consumer pin;
+/// * AND: every input s-a-0 ≡ output s-a-0 (NAND: ≡ output s-a-1);
+/// * OR: every input s-a-1 ≡ output s-a-1 (NOR: ≡ output s-a-0);
+/// * NOT/BUF: input s-a-v ≡ output s-a-v̄ / s-a-v.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_fault::FaultList;
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::And, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let n = b.build()?;
+/// let full = FaultList::full(&n);
+/// let collapsed = FaultList::collapsed(&n);
+/// assert!(collapsed.len() < full.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// Builds the complete fault universe of a netlist.
+    ///
+    /// Input pins are enumerated only where they are genuine fanout branches
+    /// or gate pins (combinational gates and flip-flop D pins); output stems
+    /// cover every signal, including primary inputs and scan-cell outputs.
+    pub fn full(netlist: &Netlist) -> FaultList {
+        let mut faults = Vec::new();
+        for id in netlist.gate_ids() {
+            for stuck in StuckAt::BOTH {
+                faults.push(Fault::new(FaultSite::stem(id), stuck));
+            }
+            let gate = netlist.gate(id);
+            if !gate.fanin().is_empty() {
+                for pin in 0..gate.fanin().len() as u32 {
+                    for stuck in StuckAt::BOTH {
+                        faults.push(Fault::new(FaultSite::branch(id, pin), stuck));
+                    }
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Builds the equivalence-collapsed fault list of a netlist.
+    pub fn collapsed(netlist: &Netlist) -> FaultList {
+        FaultList {
+            faults: collapse::collapse(netlist),
+        }
+    }
+
+    /// Creates a list from explicit faults (e.g. a filtered subset).
+    pub fn from_faults(faults: Vec<Fault>) -> FaultList {
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults as a slice.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Iterates over the faults.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fault> {
+        self.faults.iter()
+    }
+}
+
+impl IntoIterator for FaultList {
+    type Item = Fault;
+    type IntoIter = std::vec::IntoIter<Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultList {
+    type Item = &'a Fault;
+    type IntoIter = std::slice::Iter<'a, Fault>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.faults.iter()
+    }
+}
+
+impl FromIterator<Fault> for FaultList {
+    fn from_iter<I: IntoIterator<Item = Fault>>(iter: I) -> Self {
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn full_universe_counts() {
+        // inv: input a (stem 2) + gate y (stem 2 + pin 2) = 6 faults.
+        let mut b = NetlistBuilder::new("inv");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::Not, &["a"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        assert_eq!(FaultList::full(&n).len(), 6);
+    }
+
+    #[test]
+    fn dff_pins_included() {
+        let mut b = NetlistBuilder::new("ff");
+        b.add_dff("q", "d").unwrap();
+        b.add_gate("d", GateKind::Not, &["q"]).unwrap();
+        b.mark_output("q").unwrap();
+        let n = b.build().unwrap();
+        // q: stem 2 + pin 2; d: stem 2 + pin 2 = 8 faults.
+        assert_eq!(FaultList::full(&n).len(), 8);
+    }
+
+    #[test]
+    fn list_iteration_and_from_iter() {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.mark_output("a").unwrap();
+        let n = b.build().unwrap();
+        let list = FaultList::full(&n);
+        let round: FaultList = list.iter().copied().collect();
+        assert_eq!(round, list);
+        assert_eq!(list.into_iter().count(), 2);
+    }
+}

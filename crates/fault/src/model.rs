@@ -1,0 +1,179 @@
+//! The single stuck-at fault model.
+
+use std::fmt;
+
+use tvs_netlist::{GateId, Netlist};
+use tvs_sim::Injection;
+
+/// The stuck value of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StuckAt {
+    /// Stuck-at-0.
+    Zero,
+    /// Stuck-at-1.
+    One,
+}
+
+impl StuckAt {
+    /// Both polarities, for enumeration.
+    pub const BOTH: [StuckAt; 2] = [StuckAt::Zero, StuckAt::One];
+
+    /// The stuck value as a boolean.
+    #[inline]
+    pub const fn as_bool(self) -> bool {
+        matches!(self, StuckAt::One)
+    }
+}
+
+impl From<bool> for StuckAt {
+    fn from(b: bool) -> Self {
+        if b {
+            StuckAt::One
+        } else {
+            StuckAt::Zero
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.as_bool() { "1" } else { "0" })
+    }
+}
+
+/// Where a fault lives: a gate's output stem or one of its input pins
+/// (a fanout branch of the driving signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultSite {
+    /// The gate whose output or input pin is faulty.
+    pub gate: GateId,
+    /// `None` = output stem; `Some(p)` = input pin `p`.
+    pub pin: Option<u32>,
+}
+
+impl FaultSite {
+    /// A fault on the gate's output stem.
+    pub const fn stem(gate: GateId) -> Self {
+        FaultSite { gate, pin: None }
+    }
+
+    /// A fault on one of the gate's input pins.
+    pub const fn branch(gate: GateId, pin: u32) -> Self {
+        FaultSite { gate, pin: Some(pin) }
+    }
+}
+
+/// A single stuck-at fault.
+///
+/// Display follows the DATE 2003 paper's convention: `F/0` for a stem fault
+/// on signal `F`, `B-D/1` for the branch from `B` into gate `D` stuck at 1 —
+/// see [`Fault::display_in`] (names require the owning netlist).
+///
+/// # Examples
+///
+/// ```
+/// use tvs_fault::{Fault, FaultSite, StuckAt};
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.add_input("a")?;
+/// b.add_gate("y", GateKind::Not, &["a"])?;
+/// b.mark_output("y")?;
+/// let n = b.build()?;
+/// let f = Fault::new(FaultSite::stem(n.find("y").unwrap()), StuckAt::One);
+/// assert_eq!(f.display_in(&n), "y/1");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The fault site.
+    pub site: FaultSite,
+    /// The stuck value.
+    pub stuck: StuckAt,
+}
+
+impl Fault {
+    /// Creates a fault.
+    pub const fn new(site: FaultSite, stuck: StuckAt) -> Self {
+        Fault { site, stuck }
+    }
+
+    /// Shorthand for a stem fault.
+    pub const fn stem(gate: GateId, stuck: StuckAt) -> Self {
+        Fault::new(FaultSite::stem(gate), stuck)
+    }
+
+    /// Shorthand for a branch fault.
+    pub const fn branch(gate: GateId, pin: u32, stuck: StuckAt) -> Self {
+        Fault::new(FaultSite::branch(gate, pin), stuck)
+    }
+
+    /// The [`Injection`] realizing this fault in the given simulator slots.
+    pub const fn injection(&self, slots: u64) -> Injection {
+        Injection {
+            gate: self.site.gate,
+            pin: self.site.pin,
+            stuck: self.stuck.as_bool(),
+            slots,
+        }
+    }
+
+    /// Renders the fault with signal names from its owning netlist, in the
+    /// paper's `signal/value` and `driver-consumer/value` style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's ids did not come from `netlist`.
+    pub fn display_in(&self, netlist: &Netlist) -> String {
+        match self.site.pin {
+            None => format!("{}/{}", netlist.gate_name(self.site.gate), self.stuck),
+            Some(pin) => {
+                let driver = netlist.gate(self.site.gate).fanin()[pin as usize];
+                format!(
+                    "{}-{}/{}",
+                    netlist.gate_name(driver),
+                    netlist.gate_name(self.site.gate),
+                    self.stuck
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn stuck_at_conversions() {
+        assert!(StuckAt::One.as_bool());
+        assert!(!StuckAt::Zero.as_bool());
+        assert_eq!(StuckAt::from(true), StuckAt::One);
+        assert_eq!(StuckAt::Zero.to_string(), "0");
+    }
+
+    #[test]
+    fn branch_display_names_driver_and_consumer() {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("B").unwrap();
+        b.add_input("c").unwrap();
+        b.add_gate("D", GateKind::And, &["B", "c"]).unwrap();
+        b.mark_output("D").unwrap();
+        let n = b.build().unwrap();
+        let d = n.find("D").unwrap();
+        let f = Fault::branch(d, 0, StuckAt::One);
+        assert_eq!(f.display_in(&n), "B-D/1");
+    }
+
+    #[test]
+    fn injection_carries_fault_fields() {
+        let gate = GateId::from_index(3);
+        let f = Fault::branch(gate, 1, StuckAt::Zero);
+        let inj = f.injection(0b101);
+        assert_eq!(inj.gate, gate);
+        assert_eq!(inj.pin, Some(1));
+        assert!(!inj.stuck);
+        assert_eq!(inj.slots, 0b101);
+    }
+}

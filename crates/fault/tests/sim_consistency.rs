@@ -1,0 +1,98 @@
+//! Consistency checks of the fault simulator against first principles.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use tvs_circuits::{synthesize, SynthConfig};
+use tvs_fault::{Fault, FaultList, FaultSim, SlotSpec, StuckAt};
+use tvs_logic::BitVec;
+
+fn circuit(seed: u64) -> tvs_netlist::Netlist {
+    synthesize(
+        "fsim",
+        &SynthConfig { inputs: 4, outputs: 3, flip_flops: 8, gates: 60, seed, depth_hint: None },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn batched_detection_equals_one_fault_per_sweep(seed in 0u64..300, pat in 0u64..300) {
+        let netlist = circuit(seed);
+        let view = netlist.scan_view().expect("valid");
+        let faults = FaultList::collapsed(&netlist);
+        let mut sim = FaultSim::new(&netlist, &view);
+        let mut rng = SmallRng::seed_from_u64(pat);
+        let stimulus: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+
+        let batched = sim.detect(&stimulus, faults.faults());
+        let good = sim.good_outputs(&stimulus);
+        for (i, &fault) in faults.faults().iter().enumerate().step_by(11) {
+            let outs = sim.run_slots(&[SlotSpec { stimulus: &stimulus, fault: Some(fault) }]);
+            prop_assert_eq!(
+                batched[i],
+                outs[0] != good,
+                "fault {} batch/single disagree",
+                fault.display_in(&netlist)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_slot_is_unaffected_by_faulty_neighbours(seed in 0u64..300) {
+        let netlist = circuit(seed);
+        let view = netlist.scan_view().expect("valid");
+        let faults = FaultList::collapsed(&netlist);
+        let mut sim = FaultSim::new(&netlist, &view);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00);
+        let stimulus: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+
+        let clean = sim.good_outputs(&stimulus);
+        let some: Vec<Fault> = faults.faults().iter().copied().take(20).collect();
+        let mut slots = vec![SlotSpec { stimulus: &stimulus, fault: None }];
+        slots.extend(some.iter().map(|&f| SlotSpec { stimulus: &stimulus, fault: Some(f) }));
+        let outs = sim.run_slots(&slots);
+        prop_assert_eq!(&outs[0], &clean, "slot isolation violated");
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_the_pattern_set(seed in 0u64..200) {
+        let netlist = circuit(seed);
+        let view = netlist.scan_view().expect("valid");
+        let faults = FaultList::collapsed(&netlist);
+        let mut sim = FaultSim::new(&netlist, &view);
+        let mut rng = SmallRng::seed_from_u64(seed + 7);
+        let patterns: Vec<BitVec> = (0..12)
+            .map(|_| (0..view.input_count()).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let few = sim.coverage(&patterns[..6], faults.faults());
+        let all = sim.coverage(&patterns, faults.faults());
+        for (i, (&a, &b)) in few.iter().zip(&all).enumerate() {
+            prop_assert!(!a || b, "fault {i} lost coverage when patterns were added");
+        }
+    }
+}
+
+#[test]
+fn stem_fault_on_observed_signal_is_always_caught_when_excited() {
+    // A stuck-at on a primary output's driver must be detected by any
+    // pattern that sets the signal to the opposite value.
+    let netlist = circuit(99);
+    let view = netlist.scan_view().expect("valid");
+    let mut sim = FaultSim::new(&netlist, &view);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let po_driver = view.pos()[0];
+    for _ in 0..32 {
+        let stimulus: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+        let good = sim.good_outputs(&stimulus);
+        let value = good.get(0);
+        let fault = Fault::stem(po_driver, StuckAt::from(!value));
+        assert!(
+            sim.detect(&stimulus, &[fault])[0],
+            "stuck-at-{} on an observed {}-valued PO missed",
+            !value,
+            value
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Test cubes: vectors of three-valued logic with merge and fill operations.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use rand::Rng;
+
+use crate::{BitVec, Logic};
+
+/// A test cube: an owned vector of [`Logic`] values.
+///
+/// ATPG produces cubes whose `X` positions are unconstrained; the stitching
+/// algorithm pins some positions to previous-response bits and fills the rest.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_logic::{Cube, Logic};
+///
+/// let mut cube = Cube::unspecified(4);
+/// cube.set(1, Logic::One);
+/// assert_eq!(cube.specified_count(), 1);
+/// assert_eq!(cube.to_string(), "X1XX");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cube {
+    values: Vec<Logic>,
+}
+
+impl Cube {
+    /// Creates a cube of `len` unspecified (`X`) positions.
+    pub fn unspecified(len: usize) -> Self {
+        Cube {
+            values: vec![Logic::X; len],
+        }
+    }
+
+    /// Creates a cube from a vector of values.
+    pub fn from_values(values: Vec<Logic>) -> Self {
+        Cube { values }
+    }
+
+    /// Creates a fully specified cube from bits.
+    pub fn from_bits(bits: &BitVec) -> Self {
+        Cube {
+            values: bits.iter().map(Logic::from).collect(),
+        }
+    }
+
+    /// Number of positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the cube has no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Reads the value at `index`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Logic> {
+        self.values.get(index).copied()
+    }
+
+    /// Writes the value at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: Logic) {
+        self.values[index] = value;
+    }
+
+    /// Number of specified (non-`X`) positions.
+    pub fn specified_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_specified()).count()
+    }
+
+    /// Returns `true` if every position is specified.
+    pub fn is_fully_specified(&self) -> bool {
+        self.values.iter().all(|v| v.is_specified())
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Logic>> {
+        self.values.iter().copied()
+    }
+
+    /// View of the underlying values.
+    pub fn as_slice(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// Returns `true` if the two cubes have no conflicting specified
+    /// positions (same length required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_compatible(&self, other: &Cube) -> bool {
+        assert_eq!(self.len(), other.len(), "cube length mismatch");
+        self.iter()
+            .zip(other.iter())
+            .all(|(a, b)| a.is_compatible(b))
+    }
+
+    /// Merges two compatible cubes, taking the specified value at each
+    /// position. Returns `None` if the cubes conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merged(&self, other: &Cube) -> Option<Cube> {
+        assert_eq!(self.len(), other.len(), "cube length mismatch");
+        let mut out = Vec::with_capacity(self.len());
+        for (a, b) in self.iter().zip(other.iter()) {
+            match (a, b) {
+                (Logic::X, v) | (v, Logic::X) => out.push(v),
+                (a, b) if a == b => out.push(a),
+                _ => return None,
+            }
+        }
+        Some(Cube::from_values(out))
+    }
+
+    /// Fills every `X` position with a uniformly random bit drawn from `rng`,
+    /// returning the fully specified result as bits.
+    ///
+    /// Random fill is the standard way fortuitous (non-targeted) detections
+    /// are harvested after targeted test generation.
+    pub fn random_fill<R: Rng + ?Sized>(&self, rng: &mut R) -> BitVec {
+        self.values
+            .iter()
+            .map(|v| v.to_bool().unwrap_or_else(|| rng.gen::<bool>()))
+            .collect()
+    }
+
+    /// Fills every `X` position with `fill`, returning bits.
+    pub fn fill_with(&self, fill: bool) -> BitVec {
+        self.values.iter().map(|v| v.to_bool_or(fill)).collect()
+    }
+
+    /// Returns a sub-cube of the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Cube {
+        Cube::from_values(self.values[range].to_vec())
+    }
+}
+
+impl Index<usize> for Cube {
+    type Output = Logic;
+
+    fn index(&self, index: usize) -> &Logic {
+        &self.values[index]
+    }
+}
+
+impl FromIterator<Logic> for Cube {
+    fn from_iter<I: IntoIterator<Item = Logic>>(iter: I) -> Self {
+        Cube {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Logic> for Cube {
+    fn extend<I: IntoIterator<Item = Logic>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.values {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Cube {
+    type Err = ParseCubeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars()
+            .enumerate()
+            .map(|(i, c)| Logic::from_char(c).map_err(|_| ParseCubeError { position: i, found: c }))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Cube::from_values)
+    }
+}
+
+/// Error returned when parsing a [`Cube`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseCubeError {
+    position: usize,
+    found: char,
+}
+
+impl fmt::Display for ParseCubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid cube character {:?} at position {}",
+            self.found, self.position
+        )
+    }
+}
+
+impl Error for ParseCubeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let c: Cube = "1X0-x".parse().unwrap();
+        assert_eq!(c.to_string(), "1X0XX");
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.specified_count(), 2);
+        assert!("12".parse::<Cube>().is_err());
+    }
+
+    #[test]
+    fn merge_compatible() {
+        let a: Cube = "1XX0".parse().unwrap();
+        let b: Cube = "X1X0".parse().unwrap();
+        assert!(a.is_compatible(&b));
+        assert_eq!(a.merged(&b).unwrap().to_string(), "11X0");
+    }
+
+    #[test]
+    fn merge_conflict_returns_none() {
+        let a: Cube = "1X".parse().unwrap();
+        let b: Cube = "0X".parse().unwrap();
+        assert!(!a.is_compatible(&b));
+        assert!(a.merged(&b).is_none());
+    }
+
+    #[test]
+    fn fill_with_specifies_everything() {
+        let c: Cube = "1X0X".parse().unwrap();
+        assert_eq!(c.fill_with(true).to_string(), "1101");
+        assert_eq!(c.fill_with(false).to_string(), "1000");
+    }
+
+    #[test]
+    fn random_fill_respects_specified_bits() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c: Cube = "1XXXXXXX0".parse().unwrap();
+        for _ in 0..16 {
+            let bits = c.random_fill(&mut rng);
+            assert!(bits.get(0));
+            assert!(!bits.get(8));
+        }
+    }
+
+    #[test]
+    fn from_bits_is_fully_specified() {
+        let bits = BitVec::from_bools([true, false, true]);
+        let c = Cube::from_bits(&bits);
+        assert!(c.is_fully_specified());
+        assert_eq!(c.to_string(), "101");
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let c: Cube = "10X1".parse().unwrap();
+        assert_eq!(c.slice(1..3).to_string(), "0X");
+    }
+
+    fn arb_cube(max_len: usize) -> impl Strategy<Value = Cube> {
+        proptest::collection::vec(
+            prop_oneof![Just(Logic::Zero), Just(Logic::One), Just(Logic::X)],
+            0..max_len,
+        )
+        .prop_map(Cube::from_values)
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative(pair in (0usize..64).prop_flat_map(|n| {
+            let v = proptest::collection::vec(
+                prop_oneof![Just(Logic::Zero), Just(Logic::One), Just(Logic::X)], n..=n);
+            (v.clone().prop_map(Cube::from_values), v.prop_map(Cube::from_values))
+        })) {
+            let (a, b) = pair;
+            prop_assert_eq!(a.merged(&b), b.merged(&a));
+            prop_assert_eq!(a.is_compatible(&b), b.is_compatible(&a));
+        }
+
+        #[test]
+        fn merge_with_self_is_identity(c in arb_cube(64)) {
+            prop_assert_eq!(c.merged(&c), Some(c.clone()));
+        }
+
+        #[test]
+        fn merged_refines_both(pair in (1usize..48).prop_flat_map(|n| {
+            let v = proptest::collection::vec(
+                prop_oneof![Just(Logic::Zero), Just(Logic::One), Just(Logic::X)], n..=n);
+            (v.clone().prop_map(Cube::from_values), v.prop_map(Cube::from_values))
+        })) {
+            let (a, b) = pair;
+            if let Some(m) = a.merged(&b) {
+                // every specified bit of a and b survives in m
+                for i in 0..a.len() {
+                    if a[i].is_specified() { prop_assert_eq!(m[i], a[i]); }
+                    if b[i].is_specified() { prop_assert_eq!(m[i], b[i]); }
+                }
+                prop_assert!(m.specified_count() >= a.specified_count().max(b.specified_count()));
+            }
+        }
+
+        #[test]
+        fn round_trip_via_string(c in arb_cube(64)) {
+            let s = c.to_string();
+            let back: Cube = s.parse().unwrap();
+            prop_assert_eq!(back, c);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Three-valued (Kleene) logic values.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::str::FromStr;
+
+/// A three-valued logic value: `0`, `1` or `X` (unknown / unspecified).
+///
+/// The `X` value plays a double role throughout the toolkit:
+///
+/// * during simulation it is the *unknown* value of Kleene logic
+///   (`0 AND X = 0`, `1 AND X = X`, …);
+/// * in a test cube it is a *don't-care* position that a fill strategy or a
+///   later merge is free to specify.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_logic::Logic;
+///
+/// assert_eq!(Logic::Zero & Logic::X, Logic::Zero);
+/// assert_eq!(Logic::One & Logic::X, Logic::X);
+/// assert_eq!(!Logic::X, Logic::X);
+/// assert_eq!(Logic::One ^ Logic::Zero, Logic::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / don't-care.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// All three values, in a fixed order (useful for exhaustive tests).
+    pub const ALL: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    /// Returns `true` if the value is `0` or `1` (not `X`).
+    ///
+    /// ```
+    /// use tvs_logic::Logic;
+    /// assert!(Logic::Zero.is_specified());
+    /// assert!(!Logic::X.is_specified());
+    /// ```
+    #[inline]
+    pub const fn is_specified(self) -> bool {
+        !matches!(self, Logic::X)
+    }
+
+    /// Converts to `Some(bool)` if specified, `None` for `X`.
+    #[inline]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// Converts to `bool`, mapping `X` to the supplied default.
+    #[inline]
+    pub const fn to_bool_or(self, default: bool) -> bool {
+        match self {
+            Logic::Zero => false,
+            Logic::One => true,
+            Logic::X => default,
+        }
+    }
+
+    /// Returns `true` if `self` could take the value `other` — i.e. they are
+    /// equal or at least one of them is `X`.
+    ///
+    /// This is the cube-compatibility relation used during merging.
+    #[inline]
+    pub const fn is_compatible(self, other: Logic) -> bool {
+        matches!(
+            (self, other),
+            (Logic::X, _) | (_, Logic::X) | (Logic::Zero, Logic::Zero) | (Logic::One, Logic::One)
+        )
+    }
+
+    /// The character representation used by `.bench`-style vector dumps:
+    /// `'0'`, `'1'` or `'X'`.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'X',
+        }
+    }
+
+    /// Parses a single character (`0`, `1`, `x`, `X`, or `-` for don't-care).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogicError`] for any other character.
+    pub const fn from_char(c: char) -> Result<Logic, ParseLogicError> {
+        match c {
+            '0' => Ok(Logic::Zero),
+            '1' => Ok(Logic::One),
+            'x' | 'X' | '-' => Ok(Logic::X),
+            _ => Err(ParseLogicError { found: c }),
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "X",
+        })
+    }
+}
+
+impl FromStr for Logic {
+    type Err = ParseLogicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Logic::from_char(c),
+            _ => Err(ParseLogicError { found: '?' }),
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+
+    #[inline]
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+
+    #[inline]
+    fn bitand(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+
+    #[inline]
+    fn bitor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+
+    #[inline]
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self, rhs) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) if a == b => Logic::Zero,
+            _ => Logic::One,
+        }
+    }
+}
+
+/// Error returned when parsing a [`Logic`] value from a character fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLogicError {
+    found: char,
+}
+
+impl fmt::Display for ParseLogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid logic value character {:?}, expected one of 0, 1, X, x, -",
+            self.found
+        )
+    }
+}
+
+impl Error for ParseLogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero & Zero, Zero);
+        assert_eq!(Zero & One, Zero);
+        assert_eq!(One & One, One);
+        assert_eq!(X & Zero, Zero);
+        assert_eq!(X & One, X);
+        assert_eq!(X & X, X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero | Zero, Zero);
+        assert_eq!(Zero | One, One);
+        assert_eq!(One | One, One);
+        assert_eq!(X | One, One);
+        assert_eq!(X | Zero, X);
+        assert_eq!(X | X, X);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        use Logic::*;
+        assert_eq!(Zero ^ Zero, Zero);
+        assert_eq!(Zero ^ One, One);
+        assert_eq!(One ^ One, Zero);
+        assert_eq!(X ^ One, X);
+        assert_eq!(X ^ Zero, X);
+        assert_eq!(X ^ X, X);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(!Logic::Zero, Logic::One);
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::X, Logic::X);
+    }
+
+    #[test]
+    fn de_morgan_holds_for_specified_values() {
+        for a in [Logic::Zero, Logic::One] {
+            for b in [Logic::Zero, Logic::One] {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn kleene_ops_are_monotone_in_x() {
+        // Replacing X by any specified value must never change an already
+        // specified result (monotonicity of Kleene logic).
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                let and = a & b;
+                if and.is_specified() {
+                    for ra in refine(a) {
+                        for rb in refine(b) {
+                            assert_eq!(ra & rb, and, "{a}&{b} refined to {ra}&{rb}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn refine(v: Logic) -> Vec<Logic> {
+        match v {
+            Logic::X => vec![Logic::Zero, Logic::One],
+            v => vec![v],
+        }
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Ok(v));
+        }
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert!(Logic::X.to_bool_or(true));
+        assert!(!Logic::X.to_bool_or(false));
+    }
+
+    #[test]
+    fn from_char_rejects_garbage() {
+        assert!(Logic::from_char('2').is_err());
+        assert!("10".parse::<Logic>().is_err());
+        assert_eq!("x".parse::<Logic>(), Ok(Logic::X));
+        assert_eq!("-".parse::<Logic>(), Ok(Logic::X));
+    }
+
+    #[test]
+    fn compatibility_relation() {
+        assert!(Logic::X.is_compatible(Logic::One));
+        assert!(Logic::One.is_compatible(Logic::X));
+        assert!(Logic::One.is_compatible(Logic::One));
+        assert!(!Logic::One.is_compatible(Logic::Zero));
+    }
+
+    #[test]
+    fn display_matches_char() {
+        for v in Logic::ALL {
+            assert_eq!(v.to_string(), v.to_char().to_string());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! ISCAS89 `.bench` format reader and writer.
+//!
+//! The `.bench` format is the lingua franca of the ISCAS85/89 benchmark
+//! suites used by the paper:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G10 = NAND(G0, G5)
+//! G17 = NOT(G10)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+//! let netlist = tvs_netlist::bench::parse("inv", text)?;
+//! assert_eq!(netlist.gate_count(), 2);
+//! let round_trip = tvs_netlist::bench::to_string(&netlist);
+//! assert_eq!(tvs_netlist::bench::parse("inv", &round_trip)?.gate_count(), 2);
+//! # Ok::<(), tvs_netlist::NetlistError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
+
+/// Parses ISCAS89 `.bench` text into a [`Netlist`].
+///
+/// Blank lines and `#` comments are skipped. Keywords are case-insensitive.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and the usual
+/// builder errors (duplicate/undefined signals, cycles) for structurally
+/// invalid circuits.
+pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(&mut builder, lineno + 1, line)?;
+    }
+    builder.build()
+}
+
+fn parse_line(
+    builder: &mut NetlistBuilder,
+    lineno: usize,
+    line: &str,
+) -> Result<(), NetlistError> {
+    let err = |message: String| NetlistError::Parse {
+        line: lineno,
+        message,
+    };
+
+    if let Some(rest) = strip_call(line, "INPUT") {
+        builder.add_input(rest.trim())?;
+        return Ok(());
+    }
+    if let Some(rest) = strip_call(line, "OUTPUT") {
+        builder.mark_output(rest.trim())?;
+        return Ok(());
+    }
+
+    let (lhs, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| err(format!("expected `signal = GATE(...)`, found {line:?}")))?;
+    let signal = lhs.trim();
+    let rhs = rhs.trim();
+    let open = rhs
+        .find('(')
+        .ok_or_else(|| err(format!("missing `(` in gate expression {rhs:?}")))?;
+    if !rhs.ends_with(')') {
+        return Err(err(format!("missing `)` in gate expression {rhs:?}")));
+    }
+    let kw = rhs[..open].trim();
+    let kind = GateKind::from_keyword(kw)
+        .ok_or_else(|| err(format!("unknown gate keyword {kw:?}")))?;
+    let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    match kind {
+        GateKind::Dff => {
+            if args.len() != 1 {
+                return Err(err(format!("DFF takes exactly one argument, got {}", args.len())));
+            }
+            builder.add_dff(signal, args[0])?;
+        }
+        GateKind::Input => unreachable!("INPUT is not a gate keyword"),
+        kind => builder.add_gate(signal, kind, &args)?,
+    }
+    Ok(())
+}
+
+/// If `line` is `KW ( body )` for the (case-insensitive) keyword, returns the
+/// body.
+fn strip_call<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let head = line.get(..kw.len())?;
+    if !head.eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = line[kw.len()..].trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// Declarations come out in the canonical order (inputs, outputs, flip-flops,
+/// combinational gates), which reparses to an identical circuit.
+pub fn to_string(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    for &pi in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.gate_name(pi));
+    }
+    for &po in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.gate_name(po));
+    }
+    for id in netlist.gate_ids() {
+        let gate = netlist.gate(id);
+        if gate.kind() == GateKind::Input {
+            continue;
+        }
+        let fanin: Vec<&str> = gate
+            .fanin()
+            .iter()
+            .map(|&f| netlist.gate_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.gate_name(id),
+            gate.kind().keyword(),
+            fanin.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny sequential circuit
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G10 = NAND(G0, G5)   # feedback
+G17 = NOT(G10)
+";
+
+    #[test]
+    fn parses_sample() {
+        let n = parse("tiny", SAMPLE).unwrap();
+        assert_eq!(n.input_count(), 2);
+        assert_eq!(n.output_count(), 1);
+        assert_eq!(n.dff_count(), 1);
+        assert_eq!(n.gate_count(), 5);
+        let g10 = n.find("G10").unwrap();
+        assert_eq!(n.gate(g10).kind(), GateKind::Nand);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n = parse("tiny", SAMPLE).unwrap();
+        let text = to_string(&n);
+        let n2 = parse("tiny", &text).unwrap();
+        assert_eq!(n.gate_count(), n2.gate_count());
+        assert_eq!(n.input_count(), n2.input_count());
+        assert_eq!(n.dff_count(), n2.dff_count());
+        for id in n.gate_ids() {
+            let name = n.gate_name(id);
+            let id2 = n2.find(name).unwrap();
+            assert_eq!(n.gate(id).kind(), n2.gate(id2).kind(), "kind of {name}");
+            let f1: Vec<&str> = n.gate(id).fanin().iter().map(|&f| n.gate_name(f)).collect();
+            let f2: Vec<&str> = n2.gate(id2).fanin().iter().map(|&f| n2.gate_name(f)).collect();
+            assert_eq!(f1, f2, "fanin of {name}");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let n = parse("ci", "input(a)\noutput(y)\ny = nand(a, a)\n").unwrap();
+        assert_eq!(n.gate(n.find("y").unwrap()).kind(), GateKind::Nand);
+    }
+
+    #[test]
+    fn rejects_missing_equals() {
+        let e = parse("bad", "G1 NAND(a, b)\n").unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 1, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        let e = parse("bad", "INPUT(a)\ny = MAJ(a, a, a)\n").unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_dff_with_two_args() {
+        let e = parse("bad", "INPUT(a)\nq = DFF(a, a)\n").unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        let e = parse("bad", "INPUT(a)\ny = NOT(a\n").unwrap_err();
+        assert!(matches!(e, NetlistError::Parse { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn comment_only_and_blank_lines_ignored() {
+        let n = parse("c", "# hi\n\n   \nINPUT(a)\nOUTPUT(a)\n").unwrap();
+        assert_eq!(n.gate_count(), 1);
+        assert_eq!(n.output_count(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Gate kinds and identifiers.
+
+use std::fmt;
+
+use tvs_logic::Logic;
+
+/// Identifier of a gate (equivalently, of the signal the gate drives).
+///
+/// `GateId`s are dense indices into the owning [`Netlist`](crate::Netlist)'s
+/// gate table; they are only meaningful relative to that netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// The dense index of this gate within its netlist.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `GateId` from a dense index.
+    ///
+    /// Callers are responsible for only using indices obtained from the same
+    /// netlist; out-of-range ids cause panics on use, never unsoundness.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The kind of a gate.
+///
+/// `Input` and `Dff` are the *sources* of the combinational core; everything
+/// else is a Boolean function of its fanins. ISCAS89 `.bench` files use
+/// exactly this gate alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanin).
+    Input,
+    /// D flip-flop; fanin 0 is the D (next-state) net. In the full-scan view
+    /// the flip-flop output is a pseudo-primary input and its D net a
+    /// pseudo-primary output.
+    Dff,
+    /// Buffer (1 fanin).
+    Buf,
+    /// Inverter (1 fanin).
+    Not,
+    /// AND (≥ 1 fanin).
+    And,
+    /// NAND (≥ 1 fanin).
+    Nand,
+    /// OR (≥ 1 fanin).
+    Or,
+    /// NOR (≥ 1 fanin).
+    Nor,
+    /// XOR (≥ 1 fanin).
+    Xor,
+    /// XNOR (≥ 1 fanin).
+    Xnor,
+}
+
+impl GateKind {
+    /// The `.bench` keyword for this kind (`DFF`, `NAND`, …).
+    ///
+    /// `Input` has no keyword (`INPUT(x)` is a declaration, not a gate
+    /// equation) and returns `"INPUT"` for diagnostics only.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Dff => "DFF",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Parses a `.bench` gate keyword, case-insensitively.
+    /// `BUFF` is accepted as an alias for `BUF` (both appear in the wild).
+    pub fn from_keyword(kw: &str) -> Option<GateKind> {
+        Some(match kw.to_ascii_uppercase().as_str() {
+            "DFF" => GateKind::Dff,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            _ => return None,
+        })
+    }
+
+    /// Returns `true` for the two source kinds (`Input`, `Dff`) that begin
+    /// the combinational core.
+    #[inline]
+    pub const fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Dff)
+    }
+
+    /// Returns `true` if this kind computes a Boolean function of its fanins.
+    #[inline]
+    pub const fn is_combinational(self) -> bool {
+        !self.is_source()
+    }
+
+    /// Evaluates the gate function over three-valued inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a source kind or with an empty input slice.
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        assert!(
+            self.is_combinational(),
+            "cannot evaluate source gate kind {self:?}"
+        );
+        assert!(!inputs.is_empty(), "gate evaluation needs at least one input");
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().copied().fold(Logic::One, |a, b| a & b),
+            GateKind::Nand => !inputs.iter().copied().fold(Logic::One, |a, b| a & b),
+            GateKind::Or => inputs.iter().copied().fold(Logic::Zero, |a, b| a | b),
+            GateKind::Nor => !inputs.iter().copied().fold(Logic::Zero, |a, b| a | b),
+            GateKind::Xor => inputs.iter().copied().fold(Logic::Zero, |a, b| a ^ b),
+            GateKind::Xnor => !inputs.iter().copied().fold(Logic::Zero, |a, b| a ^ b),
+            GateKind::Input | GateKind::Dff => unreachable!(),
+        }
+    }
+
+    /// The *controlling value* of the gate, if it has one: the input value
+    /// that determines the output regardless of the other inputs
+    /// (0 for AND/NAND, 1 for OR/NOR). XOR-class and single-input gates have
+    /// none.
+    pub const fn controlling_value(self) -> Option<Logic> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(Logic::Zero),
+            GateKind::Or | GateKind::Nor => Some(Logic::One),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the gate inverts: the output for the all-
+    /// non-controlling input assignment is 0 for NAND/NOR/NOT/XNOR.
+    pub const fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A gate instance: its kind and fanin list.
+///
+/// The gate's output *is* the signal named by its [`GateId`]; fanins refer to
+/// other gates' outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) kind: GateKind,
+    pub(crate) fanin: Vec<GateId>,
+}
+
+impl Gate {
+    /// The gate's kind.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The gate's fanin signals, in pin order.
+    #[inline]
+    pub fn fanin(&self) -> &[GateId] {
+        &self.fanin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kind in [
+            GateKind::Dff,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            assert_eq!(GateKind::from_keyword(kind.keyword()), Some(kind));
+            assert_eq!(
+                GateKind::from_keyword(&kind.keyword().to_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(GateKind::from_keyword("BUFF"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_keyword("INV"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_keyword("MUX"), None);
+    }
+
+    #[test]
+    fn eval_two_input_gates() {
+        assert_eq!(GateKind::And.eval(&[One, One]), One);
+        assert_eq!(GateKind::And.eval(&[One, Zero]), Zero);
+        assert_eq!(GateKind::Nand.eval(&[One, One]), Zero);
+        assert_eq!(GateKind::Or.eval(&[Zero, Zero]), Zero);
+        assert_eq!(GateKind::Nor.eval(&[Zero, Zero]), One);
+        assert_eq!(GateKind::Xor.eval(&[One, One]), Zero);
+        assert_eq!(GateKind::Xnor.eval(&[One, Zero]), Zero);
+        assert_eq!(GateKind::Not.eval(&[One]), Zero);
+        assert_eq!(GateKind::Buf.eval(&[One]), One);
+    }
+
+    #[test]
+    fn eval_wide_gates() {
+        assert_eq!(GateKind::And.eval(&[One, One, One, Zero]), Zero);
+        assert_eq!(GateKind::Xor.eval(&[One, One, One]), One);
+        assert_eq!(GateKind::Nor.eval(&[Zero, Zero, One]), Zero);
+    }
+
+    #[test]
+    fn eval_x_propagation() {
+        assert_eq!(GateKind::And.eval(&[Zero, X]), Zero);
+        assert_eq!(GateKind::And.eval(&[One, X]), X);
+        assert_eq!(GateKind::Or.eval(&[One, X]), One);
+        assert_eq!(GateKind::Xor.eval(&[One, X]), X);
+    }
+
+    #[test]
+    #[should_panic(expected = "source gate kind")]
+    fn eval_source_panics() {
+        GateKind::Input.eval(&[One]);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(Zero));
+        assert_eq!(GateKind::Nand.controlling_value(), Some(Zero));
+        assert_eq!(GateKind::Or.controlling_value(), Some(One));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(One));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Not.controlling_value(), None);
+    }
+
+    #[test]
+    fn gate_id_index_round_trip() {
+        let id = GateId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "g42");
+    }
+}

@@ -1,0 +1,52 @@
+//! Gate-level netlist substrate for the TVS DFT toolkit.
+//!
+//! A [`Netlist`] is a named, gate-level sequential circuit in the ISCAS89
+//! style: primary inputs, primary outputs, D flip-flops and simple Boolean
+//! gates. Netlists are constructed through the [`NetlistBuilder`] (which
+//! resolves names and permits forward references, exactly like a `.bench`
+//! file) or parsed from ISCAS89 `.bench` text with [`bench::parse`].
+//!
+//! Full-scan test generation treats the circuit combinationally: the
+//! [`ScanView`] exposes the combinational core with flip-flop outputs as
+//! pseudo-primary inputs (PPIs) and flip-flop data inputs as pseudo-primary
+//! outputs (PPOs), in a fixed topological evaluation order shared by every
+//! simulator and the ATPG engine in the toolkit.
+//!
+//! # Examples
+//!
+//! Build the 3-gate circuit of the DATE 2003 paper's Figure 1 (three scan
+//! cells `a`, `b`, `c`; `D = AND(a, b)`, `E = OR(b, c)`, `F = AND(D, E)`;
+//! the cells capture `F`, `E` and `D` respectively):
+//!
+//! ```
+//! use tvs_netlist::{GateKind, NetlistBuilder};
+//!
+//! let mut b = NetlistBuilder::new("fig1");
+//! b.add_dff("a", "F")?;
+//! b.add_dff("b", "E")?;
+//! b.add_dff("c", "D")?;
+//! b.add_gate("D", GateKind::And, &["a", "b"])?;
+//! b.add_gate("E", GateKind::Or, &["b", "c"])?;
+//! b.add_gate("F", GateKind::And, &["D", "E"])?;
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.dff_count(), 3);
+//! let view = netlist.scan_view()?;
+//! assert_eq!(view.input_count(), 3); // 0 PIs + 3 PPIs
+//! # Ok::<(), tvs_netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod builder;
+mod gate;
+mod netlist;
+mod scanview;
+mod stats;
+
+pub use builder::NetlistBuilder;
+pub use gate::{Gate, GateId, GateKind};
+pub use netlist::{Netlist, NetlistError};
+pub use scanview::ScanView;
+pub use stats::NetlistStats;

@@ -1,0 +1,283 @@
+//! The full-scan combinational view of a sequential netlist.
+
+use crate::{GateId, Netlist, NetlistError};
+
+/// The full-scan combinational view: PI + PPI → PO + PPO.
+///
+/// Full scan makes every flip-flop directly controllable (its output becomes
+/// a pseudo-primary input, PPI) and observable (its data input becomes a
+/// pseudo-primary output, PPO), reducing sequential ATPG to combinational
+/// ATPG — the property the stitching paper builds on, since it removes any
+/// required order among test vectors.
+///
+/// The view fixes the index conventions used by every simulator and by ATPG:
+///
+/// * **combinational input `i`**: `i < pi_count()` is primary input `i`;
+///   otherwise PPI `i - pi_count()`, i.e. scan cell `i - pi_count()` (cell 0
+///   is the scan-in side).
+/// * **combinational output `o`**: `o < po_count()` is primary output `o`;
+///   otherwise PPO `o - po_count()`, i.e. the next-state value captured into
+///   scan cell `o - po_count()`.
+/// * **`order()`** is a topological order of the combinational gates; a
+///   single forward sweep evaluates the whole core.
+#[derive(Debug, Clone)]
+pub struct ScanView {
+    pis: Vec<GateId>,
+    ppis: Vec<GateId>,
+    pos: Vec<GateId>,
+    /// PPO sources: for each flip-flop (in scan order), the gate driving its
+    /// D input.
+    ppos: Vec<GateId>,
+    order: Vec<GateId>,
+    /// For each gate (dense index): its topological level; sources get 0.
+    level: Vec<u32>,
+}
+
+impl ScanView {
+    pub(crate) fn build(netlist: &Netlist) -> Result<ScanView, NetlistError> {
+        let n = netlist.gate_count();
+        // Kahn's algorithm over combinational gates only; Input/Dff gates are
+        // sources with level 0 and do not depend on anything (a DFF's fanin
+        // is a *sequential* edge, deliberately ignored here).
+        let mut indeg = vec![0u32; n];
+        for id in netlist.gate_ids() {
+            let gate = netlist.gate(id);
+            if gate.kind().is_combinational() {
+                indeg[id.index()] = gate.fanin().len() as u32;
+            }
+        }
+        let mut level = vec![0u32; n];
+        let mut ready: Vec<GateId> = netlist
+            .gate_ids()
+            .filter(|&id| netlist.gate(id).kind().is_source())
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = ready.len();
+        let mut head = 0;
+        while head < ready.len() {
+            let id = ready[head];
+            head += 1;
+            for &(consumer, _pin) in netlist.fanout(id) {
+                let ci = consumer.index();
+                if netlist.gate(consumer).kind().is_combinational() {
+                    level[ci] = level[ci].max(level[id.index()] + 1);
+                    indeg[ci] -= 1;
+                    if indeg[ci] == 0 {
+                        ready.push(consumer);
+                        order.push(consumer);
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        if seen != n {
+            // Some combinational gate never became ready → cycle.
+            let stuck = netlist
+                .gate_ids()
+                .find(|&id| {
+                    netlist.gate(id).kind().is_combinational() && indeg[id.index()] > 0
+                })
+                .expect("cycle implies a stuck gate");
+            return Err(NetlistError::CombinationalCycle(
+                netlist.gate_name(stuck).to_owned(),
+            ));
+        }
+
+        let ppos = netlist
+            .dffs
+            .iter()
+            .map(|&ff| netlist.gate(ff).fanin()[0])
+            .collect();
+
+        Ok(ScanView {
+            pis: netlist.inputs.clone(),
+            ppis: netlist.dffs.clone(),
+            pos: netlist.outputs.clone(),
+            ppos,
+            order,
+            level,
+        })
+    }
+
+    /// Number of primary inputs.
+    pub fn pi_count(&self) -> usize {
+        self.pis.len()
+    }
+
+    /// Number of pseudo-primary inputs (scan cells).
+    pub fn ppi_count(&self) -> usize {
+        self.ppis.len()
+    }
+
+    /// Total combinational inputs: `pi_count() + ppi_count()`.
+    pub fn input_count(&self) -> usize {
+        self.pis.len() + self.ppis.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn po_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of pseudo-primary outputs (scan-cell next-state nets).
+    pub fn ppo_count(&self) -> usize {
+        self.ppos.len()
+    }
+
+    /// Total combinational outputs: `po_count() + ppo_count()`.
+    pub fn output_count(&self) -> usize {
+        self.pos.len() + self.ppos.len()
+    }
+
+    /// The source gate for combinational input `i` (PI or scan-cell output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= input_count()`.
+    pub fn input_gate(&self, i: usize) -> GateId {
+        if i < self.pis.len() {
+            self.pis[i]
+        } else {
+            self.ppis[i - self.pis.len()]
+        }
+    }
+
+    /// The driving gate for combinational output `o` (PO signal or the gate
+    /// feeding a scan cell's D input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o >= output_count()`.
+    pub fn output_gate(&self, o: usize) -> GateId {
+        if o < self.pos.len() {
+            self.pos[o]
+        } else {
+            self.ppos[o - self.pos.len()]
+        }
+    }
+
+    /// Primary inputs in index order.
+    pub fn pis(&self) -> &[GateId] {
+        &self.pis
+    }
+
+    /// Scan cells (PPIs) in chain order.
+    pub fn ppis(&self) -> &[GateId] {
+        &self.ppis
+    }
+
+    /// Primary outputs in index order.
+    pub fn pos(&self) -> &[GateId] {
+        &self.pos
+    }
+
+    /// PPO driver gates in chain order.
+    pub fn ppos(&self) -> &[GateId] {
+        &self.ppos
+    }
+
+    /// Topological evaluation order of the combinational gates (sources
+    /// excluded); evaluating gates in this order with source values already
+    /// set yields every signal value in one sweep.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Topological level of a gate (0 for sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from the same netlist.
+    pub fn level(&self, id: GateId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// Maximum topological level (combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The combinational-input index of a gate if it is a PI or PPI.
+    pub fn input_index_of(&self, id: GateId) -> Option<usize> {
+        self.pis
+            .iter()
+            .position(|&g| g == id)
+            .or_else(|| self.ppis.iter().position(|&g| g == id).map(|p| p + self.pis.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, NetlistBuilder};
+
+    fn fig1() -> crate::Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_indexing() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        assert_eq!(v.pi_count(), 0);
+        assert_eq!(v.ppi_count(), 3);
+        assert_eq!(v.po_count(), 0);
+        assert_eq!(v.ppo_count(), 3);
+        assert_eq!(v.input_gate(0), n.find("a").unwrap());
+        assert_eq!(v.input_gate(2), n.find("c").unwrap());
+        // PPO order follows the scan order: D of a is F, of b is E, of c is D.
+        assert_eq!(v.output_gate(0), n.find("F").unwrap());
+        assert_eq!(v.output_gate(1), n.find("E").unwrap());
+        assert_eq!(v.output_gate(2), n.find("D").unwrap());
+    }
+
+    #[test]
+    fn order_is_topological() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        assert_eq!(v.order().len(), 3); // D, E, F in some valid order
+        let pos_of = |name: &str| {
+            v.order()
+                .iter()
+                .position(|&g| g == n.find(name).unwrap())
+                .unwrap()
+        };
+        assert!(pos_of("D") < pos_of("F"));
+        assert!(pos_of("E") < pos_of("F"));
+        assert_eq!(v.level(n.find("F").unwrap()), 2);
+        assert_eq!(v.depth(), 2);
+    }
+
+    #[test]
+    fn input_index_of_finds_sources() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        assert_eq!(v.input_index_of(n.find("b").unwrap()), Some(1));
+        assert_eq!(v.input_index_of(n.find("F").unwrap()), None);
+    }
+
+    #[test]
+    fn mixed_pi_ppi_indexing() {
+        let mut b = NetlistBuilder::new("mix");
+        b.add_input("i0").unwrap();
+        b.add_input("i1").unwrap();
+        b.add_dff("q", "d").unwrap();
+        b.add_gate("d", GateKind::And, &["i0", "q"]).unwrap();
+        b.add_gate("o", GateKind::Or, &["i1", "q"]).unwrap();
+        b.mark_output("o").unwrap();
+        let n = b.build().unwrap();
+        let v = n.scan_view().unwrap();
+        assert_eq!(v.input_count(), 3);
+        assert_eq!(v.output_count(), 2);
+        assert_eq!(v.input_gate(2), n.find("q").unwrap());
+        assert_eq!(v.output_gate(0), n.find("o").unwrap());
+        assert_eq!(v.output_gate(1), n.find("d").unwrap());
+        assert_eq!(v.input_index_of(n.find("q").unwrap()), Some(2));
+    }
+}

@@ -1,0 +1,107 @@
+//! Netlist summary statistics.
+
+use std::fmt;
+
+use crate::Netlist;
+
+/// Summary statistics of a [`Netlist`], as printed by benchmark tables.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.add_input("a")?;
+/// b.add_gate("y", GateKind::Not, &["a"])?;
+/// b.mark_output("y")?;
+/// let stats = b.build()?.stats();
+/// assert_eq!(stats.combinational_gates, 1);
+/// # Ok::<(), tvs_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Flip-flop count (scan length).
+    pub dffs: usize,
+    /// Combinational gate count (excludes inputs and flip-flops).
+    pub combinational_gates: usize,
+    /// Combinational depth (maximum topological level).
+    pub depth: u32,
+    /// Maximum fanout of any signal.
+    pub max_fanout: usize,
+    /// Maximum fanin of any gate.
+    pub max_fanin: usize,
+    /// Count of inverting gates (NOT/NAND/NOR/XNOR).
+    pub inverting_gates: usize,
+}
+
+impl NetlistStats {
+    pub(crate) fn compute(netlist: &Netlist) -> NetlistStats {
+        let mut stats = NetlistStats {
+            inputs: netlist.input_count(),
+            outputs: netlist.output_count(),
+            dffs: netlist.dff_count(),
+            ..NetlistStats::default()
+        };
+        for id in netlist.gate_ids() {
+            let gate = netlist.gate(id);
+            if gate.kind().is_combinational() {
+                stats.combinational_gates += 1;
+                stats.max_fanin = stats.max_fanin.max(gate.fanin().len());
+                if gate.kind().is_inverting() {
+                    stats.inverting_gates += 1;
+                }
+            }
+            stats.max_fanout = stats.max_fanout.max(netlist.fanout(id).len());
+        }
+        if let Ok(view) = netlist.scan_view() {
+            stats.depth = view.depth();
+        }
+        stats
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PI={} PO={} FF={} gates={} depth={} max_fanin={} max_fanout={}",
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.combinational_gates,
+            self.depth,
+            self.max_fanin,
+            self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn computes_counts_and_depth() {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("n1", GateKind::Nand, &["a", "b"]).unwrap();
+        b.add_gate("n2", GateKind::Not, &["n1"]).unwrap();
+        b.add_gate("n3", GateKind::Or, &["n2", "a"]).unwrap();
+        b.mark_output("n3").unwrap();
+        let s = b.build().unwrap().stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.combinational_gates, 3);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.inverting_gates, 2);
+        assert_eq!(s.max_fanin, 2);
+        assert_eq!(s.max_fanout, 2); // signal "a" feeds n1 and n3
+        assert!(s.to_string().contains("gates=3"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Partial-shift scan chain mechanics.
+
+use tvs_logic::BitVec;
+
+use crate::ObserveTransform;
+
+/// Result of a partial shift: what the tester observed and the chain's new
+/// contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftOutcome {
+    /// Bits seen at the scan-out pin, in the order they appeared
+    /// (`observed[0]` left the chain first).
+    pub observed: BitVec,
+    /// The chain image after the shift.
+    pub new_image: BitVec,
+}
+
+/// A scan chain of fixed length with partial-shift semantics.
+///
+/// Cell numbering follows the toolkit convention: position 0 is the scan-in
+/// side, position `len - 1` the scan-out side. One shift tick moves every
+/// cell one position toward the output, emits the cell at `len - 1` and
+/// loads the next incoming bit into cell 0. Shifting `k < len` bits is the
+/// paper's *stitching* move: the surviving `len - k` response bits end up in
+/// positions `k ..= len - 1` and become the pinned part of the next test
+/// vector.
+///
+/// # Examples
+///
+/// The paper's §3 walk-through (chain `a b c` holding the response `111`,
+/// shift 2 bits `00` in):
+///
+/// ```
+/// use tvs_logic::BitVec;
+/// use tvs_scan::{ObserveTransform, ScanChain};
+///
+/// let chain = ScanChain::new(3);
+/// let image = BitVec::from_bools([true, true, true]);
+/// let incoming = BitVec::from_bools([false, false]);
+/// let out = chain.shift(&image, &incoming, ObserveTransform::Direct);
+/// assert_eq!(out.new_image.to_string(), "001"); // next test vector
+/// assert_eq!(out.observed.to_string(), "11");   // c then b left the chain
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanChain {
+    length: usize,
+}
+
+impl ScanChain {
+    /// Creates a chain of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: usize) -> Self {
+        assert!(length > 0, "scan chain length must be positive");
+        ScanChain { length }
+    }
+
+    /// The chain length.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Shifts `incoming.len()` bits through the chain, observing through the
+    /// given transform. `incoming[0]` enters first (and therefore ends up
+    /// deepest, at position `incoming.len() - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len() != length` or `incoming.len() > length`.
+    pub fn shift(
+        &self,
+        image: &BitVec,
+        incoming: &BitVec,
+        observe: ObserveTransform,
+    ) -> ShiftOutcome {
+        assert_eq!(image.len(), self.length, "chain image length mismatch");
+        let k = incoming.len();
+        assert!(k <= self.length, "cannot shift more bits than the chain holds");
+
+        // Fast path for direct observation: the emitted stream is the last
+        // `k` cells (scan-out end first) and the new image is the retained
+        // prefix slid by `k` — no per-tick state walk needed.
+        if observe == ObserveTransform::Direct {
+            let observed: BitVec = (0..k).map(|t| image.get(self.length - 1 - t)).collect();
+            let mut new_image = BitVec::zeros(self.length);
+            for p in 0..self.length - k {
+                new_image.set(p + k, image.get(p));
+            }
+            for (t, bit) in incoming.iter().enumerate() {
+                new_image.set(k - 1 - t, bit);
+            }
+            return ShiftOutcome { observed, new_image };
+        }
+
+        let taps = observe.taps(self.length);
+        let mut cur = image.clone();
+        let mut observed = BitVec::new();
+        for t in 0..k {
+            // Observe before the tick (the scan-out pin sees the current
+            // state of the tapped cells).
+            let bit = taps
+                .iter()
+                .fold(false, |acc, &p| acc ^ cur.get(p));
+            observed.push(bit);
+            // Tick: everything moves one toward the output.
+            let mut next = BitVec::zeros(self.length);
+            for p in (1..self.length).rev() {
+                next.set(p, cur.get(p - 1));
+            }
+            next.set(0, incoming.get(t));
+            cur = next;
+        }
+        ShiftOutcome {
+            observed,
+            new_image: cur,
+        }
+    }
+
+    /// The positions whose contents would be observed by a `k`-bit shift
+    /// under direct observation: the `k` cells nearest the scan-out pin.
+    pub fn observed_range(&self, k: usize) -> std::ops::Range<usize> {
+        self.length - k..self.length
+    }
+
+    /// The positions that survive a `k`-bit shift (the pinned part of the
+    /// next vector): after the shift, old position `p` occupies `p + k`.
+    pub fn retained_range(&self, k: usize) -> std::ops::Range<usize> {
+        0..self.length - k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_shift_replaces_everything() {
+        let chain = ScanChain::new(4);
+        let image = BitVec::from_bools([true, false, true, false]);
+        let incoming = BitVec::from_bools([false, true, true, false]);
+        let out = chain.shift(&image, &incoming, ObserveTransform::Direct);
+        // observed: positions 3,2,1,0 of the old image
+        assert_eq!(out.observed.to_string(), "0101");
+        // incoming[0] entered first -> deepest (position 3)
+        assert_eq!(out.new_image.to_string(), "0110");
+    }
+
+    #[test]
+    fn paper_walkthrough_sequence() {
+        // §3: TV1 110 -> R 111; shift "00" -> TV2 001; R 010; shift "10" ->
+        // TV3 100; R 000; shift "01" -> TV4 010. The paper prints incoming
+        // bits in final-position order (cell a first); the API takes them in
+        // entry order (the bit that ends deepest enters first), hence the
+        // reversal in the `inc` column.
+        let chain = ScanChain::new(3);
+        let steps = [
+            ("111", "00", "001", "11"),
+            ("010", "01", "100", "01"),
+            ("000", "10", "010", "00"),
+        ];
+        for (resp, inc, next_tv, obs) in steps {
+            let image: BitVec = resp.chars().map(|c| c == '1').collect();
+            let incoming: BitVec = inc.chars().map(|c| c == '1').collect();
+            let out = chain.shift(&image, &incoming, ObserveTransform::Direct);
+            assert_eq!(out.new_image.to_string(), next_tv, "response {resp}");
+            assert_eq!(out.observed.to_string(), obs, "response {resp}");
+        }
+    }
+
+    #[test]
+    fn zero_bit_shift_is_identity() {
+        let chain = ScanChain::new(3);
+        let image = BitVec::from_bools([true, false, true]);
+        let out = chain.shift(&image, &BitVec::new(), ObserveTransform::Direct);
+        assert_eq!(out.new_image, image);
+        assert!(out.observed.is_empty());
+    }
+
+    #[test]
+    fn ranges_partition_the_chain() {
+        let chain = ScanChain::new(10);
+        assert_eq!(chain.observed_range(3), 7..10);
+        assert_eq!(chain.retained_range(3), 0..7);
+    }
+
+    #[test]
+    #[should_panic(expected = "more bits than the chain")]
+    fn over_shift_panics() {
+        let chain = ScanChain::new(2);
+        chain.shift(
+            &BitVec::zeros(2),
+            &BitVec::zeros(3),
+            ObserveTransform::Direct,
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn direct_observation_matches_observed_range(
+            (len, k, bits) in (1usize..24).prop_flat_map(|len| {
+                (Just(len), 0..=len, proptest::collection::vec(any::<bool>(), len))
+            })
+        ) {
+            let chain = ScanChain::new(len);
+            let image: BitVec = bits.iter().copied().collect();
+            let incoming = BitVec::zeros(k);
+            let out = chain.shift(&image, &incoming, ObserveTransform::Direct);
+            // Direct observation emits exactly the cells of observed_range,
+            // scan-out end first.
+            let expect: Vec<bool> = chain.observed_range(k).rev().map(|p| image.get(p)).collect();
+            prop_assert_eq!(out.observed.iter().collect::<Vec<_>>(), expect);
+            // Retained cells slide by k.
+            for p in chain.retained_range(k) {
+                prop_assert_eq!(out.new_image.get(p + k), image.get(p));
+            }
+        }
+
+        #[test]
+        fn two_partial_shifts_equal_one_combined_shift(
+            (len, k1, k2, bits, inc) in (2usize..20).prop_flat_map(|len| {
+                (0..=len).prop_flat_map(move |k1| {
+                    (Just(len), Just(k1), 0..=(len - k1),
+                     proptest::collection::vec(any::<bool>(), len),
+                     proptest::collection::vec(any::<bool>(), len))
+                })
+            })
+        ) {
+            let chain = ScanChain::new(len);
+            let image: BitVec = bits.iter().copied().collect();
+            let all_in: BitVec = inc.iter().copied().take(k1 + k2).collect();
+            let in1: BitVec = inc.iter().copied().take(k1).collect();
+            let in2: BitVec = inc.iter().copied().skip(k1).take(k2).collect();
+
+            let combined = chain.shift(&image, &all_in, ObserveTransform::Direct);
+            let step1 = chain.shift(&image, &in1, ObserveTransform::Direct);
+            let step2 = chain.shift(&step1.new_image, &in2, ObserveTransform::Direct);
+
+            prop_assert_eq!(step2.new_image, combined.new_image);
+            let mut obs = step1.observed.clone();
+            obs.extend(step2.observed.iter());
+            prop_assert_eq!(obs, combined.observed);
+        }
+    }
+}

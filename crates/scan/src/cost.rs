@@ -1,0 +1,221 @@
+//! Tester cost accounting: shift cycles and tester memory.
+//!
+//! Reproduces the accounting of the paper's §3 worked example (see DESIGN.md
+//! §4): for the Figure 1 circuit the conventional scheme costs 15 shift
+//! cycles / 24 memory bits, the stitched scheme 11 cycles / 17 bits.
+
+use std::fmt;
+
+/// Absolute costs of applying a test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TestCosts {
+    /// Total shift cycles (the paper's test-application-time measure `t`
+    /// before normalization).
+    pub shift_cycles: u64,
+    /// Total tester memory in bits: stimulus (PI + scan-in data) plus
+    /// expected responses (observed scan-out + PO data).
+    pub memory_bits: u64,
+}
+
+impl TestCosts {
+    /// `self` as a fraction of `baseline`, as the `(m, t)` pair reported in
+    /// the paper's tables: `(memory ratio, time ratio)`.
+    pub fn ratios_vs(&self, baseline: &TestCosts) -> (f64, f64) {
+        let m = self.memory_bits as f64 / baseline.memory_bits.max(1) as f64;
+        let t = self.shift_cycles as f64 / baseline.shift_cycles.max(1) as f64;
+        (m, t)
+    }
+}
+
+impl fmt::Display for TestCosts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shift cycles, {} memory bits",
+            self.shift_cycles, self.memory_bits
+        )
+    }
+}
+
+/// The cost model of one circuit's test interface.
+///
+/// # Examples
+///
+/// The paper's worked example (`L = 3`, no PIs/POs, 4 vectors):
+///
+/// ```
+/// use tvs_scan::CostModel;
+///
+/// let model = CostModel { scan_len: 3, pi_count: 0, po_count: 0 };
+/// let full = model.full_costs(4);
+/// assert_eq!(full.shift_cycles, 15);
+/// assert_eq!(full.memory_bits, 24);
+///
+/// // Stitched: full shift-in of 3, then three 2-bit stitches and a
+/// // closing 2-bit flush that observes the last response.
+/// let stitched = model.stitched_costs(&[3, 2, 2, 2], 2, 0);
+/// assert_eq!(stitched.shift_cycles, 11);
+/// assert_eq!(stitched.memory_bits, 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Scan chain length `L`.
+    pub scan_len: usize,
+    /// Primary input count `p` (applied in parallel, counted in memory only).
+    pub pi_count: usize,
+    /// Primary output count `q` (observed in parallel, counted in memory
+    /// only).
+    pub po_count: usize,
+}
+
+impl CostModel {
+    /// Costs of the conventional full-shift scheme for `n` vectors:
+    /// `time = L·(n+1)` (response shifts overlap the next stimulus, one
+    /// final flush), `memory = n·(p + 2L + q)`.
+    pub fn full_costs(&self, n: usize) -> TestCosts {
+        let l = self.scan_len as u64;
+        let n64 = n as u64;
+        TestCosts {
+            shift_cycles: l * (n64 + 1),
+            memory_bits: n64 * (self.pi_count as u64 + 2 * l + self.po_count as u64),
+        }
+    }
+
+    /// Costs of the stitched scheme.
+    ///
+    /// `shifts[i]` is the number of bits shifted in before applying vector
+    /// `i + 1`; `shifts[0]` must equal the scan length (the first vector is
+    /// a full shift-in). `final_flush` is the closing shift that observes
+    /// the last response / remaining hidden-fault effects (the paper's §3
+    /// example uses `k_N`; the engine computes the minimal sufficient
+    /// flush). `extra_full` counts the fallback conventional vectors
+    /// appended for the faults stitching could not cover.
+    ///
+    /// Accounting (paper §3; DESIGN.md §4): time is `Σ kᵢ` stimulus shifts,
+    /// the closing flush, plus a full `L` in and (for the last one) `L` out
+    /// per fallback vector. Memory counts stimulus bits, observed
+    /// expected-response bits, and PI/PO data per applied vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shifts` is empty, `shifts[0] != scan_len`, or any shift
+    /// or the flush exceeds the scan length.
+    pub fn stitched_costs(
+        &self,
+        shifts: &[usize],
+        final_flush: usize,
+        extra_full: usize,
+    ) -> TestCosts {
+        assert!(!shifts.is_empty(), "at least one vector is required");
+        assert_eq!(
+            shifts[0], self.scan_len,
+            "the first vector must be a full shift-in"
+        );
+        assert!(
+            shifts.iter().all(|&k| k <= self.scan_len) && final_flush <= self.scan_len,
+            "shift sizes cannot exceed the scan length"
+        );
+        let l = self.scan_len as u64;
+        let (p, q) = (self.pi_count as u64, self.po_count as u64);
+        let ex = extra_full as u64;
+        let n = shifts.len() as u64;
+
+        let stimulus: u64 = shifts.iter().map(|&k| k as u64).sum();
+        // Response i is observed while vector i+1 shifts in (k_{i+1} bits);
+        // the last stitched response is observed by the closing flush.
+        let observed: u64 =
+            shifts.iter().skip(1).map(|&k| k as u64).sum::<u64>() + final_flush as u64;
+
+        // Fallback vectors each cost a full L shift-in (which also observes
+        // the previous fallback response) plus one final L flush.
+        let fallback_cycles = if extra_full > 0 { (ex + 1) * l } else { 0 };
+        let shift_cycles = stimulus + final_flush as u64 + fallback_cycles;
+
+        let memory_bits = stimulus
+            + observed
+            + n * (p + q)
+            + ex * (p + 2 * l + q);
+
+        TestCosts {
+            shift_cycles,
+            memory_bits,
+        }
+    }
+
+    /// The paper's *info* ratio for a `k`-bit shift: the fraction of
+    /// per-cycle specified data relative to full shifting,
+    /// `(p + k) / (p + L)`.
+    pub fn info_ratio(&self, k: usize) -> f64 {
+        (self.pi_count + k) as f64 / (self.pi_count + self.scan_len) as f64
+    }
+
+    /// Solves the info ratio for `k`: the shift size whose info ratio is
+    /// closest to `target` from below, or `None` when even `k = 1` exceeds
+    /// the target (the paper's `/` entries in Table 2).
+    pub fn shift_for_info(&self, target: f64) -> Option<usize> {
+        let k = (target * (self.pi_count + self.scan_len) as f64 - self.pi_count as f64)
+            .floor() as i64;
+        if k < 1 {
+            None
+        } else {
+            Some((k as usize).min(self.scan_len))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: CostModel = CostModel { scan_len: 3, pi_count: 0, po_count: 0 };
+
+    #[test]
+    fn paper_worked_example() {
+        let full = FIG1.full_costs(4);
+        assert_eq!(full.shift_cycles, 15);
+        assert_eq!(full.memory_bits, 24);
+        let st = FIG1.stitched_costs(&[3, 2, 2, 2], 2, 0);
+        assert_eq!(st.shift_cycles, 11);
+        assert_eq!(st.memory_bits, 17);
+        let (m, t) = st.ratios_vs(&full);
+        assert!((t - 11.0 / 15.0).abs() < 1e-12);
+        assert!((m - 17.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_full_shifts_match_baseline_time() {
+        // Stitching with k = L everywhere degenerates to the conventional
+        // scheme's shift count.
+        let model = CostModel { scan_len: 5, pi_count: 2, po_count: 1 };
+        let st = model.stitched_costs(&[5, 5, 5], 5, 0);
+        let full = model.full_costs(3);
+        assert_eq!(st.shift_cycles, full.shift_cycles);
+    }
+
+    #[test]
+    fn fallback_vectors_cost_full_shifts() {
+        let model = CostModel { scan_len: 4, pi_count: 0, po_count: 0 };
+        let without = model.stitched_costs(&[4, 2], 2, 0);
+        let with = model.stitched_costs(&[4, 2], 2, 2);
+        // two fallback vectors: 2·L shift-ins plus the final L flush.
+        assert_eq!(with.shift_cycles - without.shift_cycles, 3 * 4);
+        assert!(with.memory_bits > without.memory_bits);
+    }
+
+    #[test]
+    fn info_ratio_and_inverse() {
+        let model = CostModel { scan_len: 21, pi_count: 3, po_count: 6 };
+        // 5/8 of 24 = 15 -> k = 12? (3+k)/24 = 0.625 -> k = 12.
+        assert_eq!(model.shift_for_info(0.625), Some(12));
+        assert!((model.info_ratio(12) - 0.625).abs() < 1e-12);
+        // PI-heavy profile cannot reach a tiny ratio.
+        let heavy = CostModel { scan_len: 19, pi_count: 35, po_count: 24 };
+        assert_eq!(heavy.shift_for_info(3.0 / 8.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "full shift-in")]
+    fn first_vector_must_be_full() {
+        FIG1.stitched_costs(&[2, 2], 2, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Scan-chain mechanics and tester cost accounting for the TVS DFT toolkit.
+//!
+//! * [`ScanChain`] — partial-shift semantics: shifting `k` bits observes the
+//!   `k` cells nearest the scan-out pin, slides the retained `L - k` cells
+//!   toward the output and fills the scan-in side with fresh bits;
+//! * [`CaptureTransform`] — what lands in the chain at capture: the raw
+//!   response (`Plain`) or response ⊕ previous-content (`VerticalXor`,
+//!   the paper's VXOR scheme, Fig. 3);
+//! * [`ObserveTransform`] — what the tester sees per shifted bit: the raw
+//!   cell (`Direct`) or the XOR of `g` equally spaced cells
+//!   (`HorizontalXor`, the paper's HXOR scheme, Fig. 4);
+//! * [`CostModel`] — shift-cycle and tester-memory accounting reproducing
+//!   the paper's §3 worked example (`t` and `m` ratios of Tables 2–5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod cost;
+mod xform;
+
+pub use chain::{ScanChain, ShiftOutcome};
+pub use cost::{CostModel, TestCosts};
+pub use xform::{CaptureTransform, ObserveTransform};

@@ -1,0 +1,186 @@
+//! Capture and observation transforms (the paper's VXOR and HXOR schemes).
+
+use tvs_logic::BitVec;
+
+/// What lands in the scan chain when the circuit captures its response.
+///
+/// * [`Plain`](CaptureTransform::Plain) — the raw response, as in
+///   conventional scan.
+/// * [`VerticalXor`](CaptureTransform::VerticalXor) — response ⊕ the test
+///   vector currently in the chain (paper §6.2, Fig. 3). A hidden fault's
+///   differentiating bits survive capture unless
+///   `R_f ⊕ T_f = R_good ⊕ T_good`, which preserves fault effects that the
+///   plain scheme would overwrite. Hardware cost: one XOR per scan cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CaptureTransform {
+    /// Conventional capture: the chain holds the raw response.
+    #[default]
+    Plain,
+    /// Vertical XOR: the chain holds `response ⊕ applied vector`.
+    VerticalXor,
+}
+
+impl CaptureTransform {
+    /// Computes the chain image after capture, given the vector that was in
+    /// the chain (`applied`) and the circuit's `response`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn capture(self, applied: &BitVec, response: &BitVec) -> BitVec {
+        match self {
+            CaptureTransform::Plain => response.clone(),
+            CaptureTransform::VerticalXor => {
+                let mut image = response.clone();
+                image.xor_with(applied);
+                image
+            }
+        }
+    }
+
+    /// Number of extra XOR gates this scheme costs for a chain of `len`
+    /// cells.
+    pub fn hardware_cost(self, len: usize) -> usize {
+        match self {
+            CaptureTransform::Plain => 0,
+            CaptureTransform::VerticalXor => len,
+        }
+    }
+}
+
+/// What the tester sees per shift tick at the scan-out pin.
+///
+/// * [`Direct`](ObserveTransform::Direct) — the last cell, as in
+///   conventional scan.
+/// * [`HorizontalXor`](ObserveTransform::HorizontalXor)`(g)` — the XOR of
+///   `g` equally spaced cells (paper §6.2, Fig. 4). Shifting `len / g` bits
+///   passes every cell through some tap, so most hidden faults become
+///   observable at a fraction of the shift cost. Hardware cost: `g - 1` XOR
+///   gates total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObserveTransform {
+    /// Conventional observation of the scan-out cell.
+    #[default]
+    Direct,
+    /// XOR of `g` equally spaced cells.
+    HorizontalXor(usize),
+}
+
+impl ObserveTransform {
+    /// The tapped cell positions for a chain of `len` cells, nearest the
+    /// scan-out pin first.
+    ///
+    /// For `HorizontalXor(g)` the taps are at `len-1, len-1-s, len-1-2s, …`
+    /// with spacing `s = ceil(len / g)`, matching the paper's Fig. 4 layout
+    /// (6 cells, 3 taps → cells *b*, *d*, *f*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`, or for `HorizontalXor(g)` with `g == 0`.
+    pub fn taps(self, len: usize) -> Vec<usize> {
+        assert!(len > 0, "chain length must be positive");
+        match self {
+            ObserveTransform::Direct => vec![len - 1],
+            ObserveTransform::HorizontalXor(g) => {
+                assert!(g > 0, "horizontal XOR needs at least one tap");
+                let spacing = len.div_ceil(g);
+                (0..g)
+                    .map_while(|t| (len - 1).checked_sub(t * spacing))
+                    .collect()
+            }
+        }
+    }
+
+    /// Number of extra XOR gates this scheme costs.
+    pub fn hardware_cost(self) -> usize {
+        match self {
+            ObserveTransform::Direct => 0,
+            ObserveTransform::HorizontalXor(g) => g.saturating_sub(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScanChain;
+
+    #[test]
+    fn plain_capture_is_response() {
+        let applied = BitVec::from_bools([true, false, true]);
+        let response = BitVec::from_bools([false, false, true]);
+        assert_eq!(CaptureTransform::Plain.capture(&applied, &response), response);
+    }
+
+    #[test]
+    fn vertical_xor_folds_in_applied_vector() {
+        // Fig. 3 semantics: image = R ⊕ T.
+        let applied = BitVec::from_bools([true, false, true, true]);
+        let response = BitVec::from_bools([true, true, false, true]);
+        let image = CaptureTransform::VerticalXor.capture(&applied, &response);
+        assert_eq!(image.to_string(), "0110");
+    }
+
+    #[test]
+    fn vertical_xor_preserves_effect_unless_aligned() {
+        // A hidden fault with R_f != R_good survives capture iff
+        // R_f ^ T_f != R_good ^ T_good — the paper's elimination condition.
+        let t_good = BitVec::from_bools([false, false]);
+        let r_good = BitVec::from_bools([true, false]);
+        // Case 1: differing response, same vector -> effect survives.
+        let r_f = BitVec::from_bools([true, true]);
+        assert_ne!(
+            CaptureTransform::VerticalXor.capture(&t_good, &r_f),
+            CaptureTransform::VerticalXor.capture(&t_good, &r_good),
+        );
+        // Case 2: response and vector differ in the same bit -> aligned,
+        // effect erased.
+        let t_f = BitVec::from_bools([false, true]);
+        assert_eq!(
+            CaptureTransform::VerticalXor.capture(&t_f, &r_f),
+            CaptureTransform::VerticalXor.capture(&t_good, &r_good),
+        );
+    }
+
+    #[test]
+    fn hxor_taps_match_fig4() {
+        // 6 cells a..f (a = position 0), 3 taps: f, d, b = 5, 3, 1.
+        assert_eq!(ObserveTransform::HorizontalXor(3).taps(6), vec![5, 3, 1]);
+        assert_eq!(ObserveTransform::Direct.taps(6), vec![5]);
+    }
+
+    #[test]
+    fn hxor_observed_stream_matches_fig4() {
+        // Fig. 4: data scanned out is (b^d^f) then (a^c^e).
+        let chain = ScanChain::new(6);
+        let a = false;
+        let b = true;
+        let c = false;
+        let d = false;
+        let e = true;
+        let f = true;
+        let image = BitVec::from_bools([a, b, c, d, e, f]);
+        let out = chain.shift(
+            &image,
+            &BitVec::zeros(2),
+            ObserveTransform::HorizontalXor(3),
+        );
+        assert_eq!(out.observed.get(0), b ^ d ^ f);
+        assert_eq!(out.observed.get(1), a ^ c ^ e);
+    }
+
+    #[test]
+    fn hxor_taps_never_underflow_on_short_chains() {
+        // More taps than cells: extra taps simply vanish.
+        let taps = ObserveTransform::HorizontalXor(5).taps(3);
+        assert_eq!(taps, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn hardware_costs() {
+        assert_eq!(CaptureTransform::Plain.hardware_cost(100), 0);
+        assert_eq!(CaptureTransform::VerticalXor.hardware_cost(100), 100);
+        assert_eq!(ObserveTransform::Direct.hardware_cost(), 0);
+        assert_eq!(ObserveTransform::HorizontalXor(3).hardware_cost(), 2);
+    }
+}

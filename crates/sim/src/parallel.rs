@@ -1,0 +1,381 @@
+//! 64-slot bit-parallel two-valued simulation with per-slot injections.
+
+use tvs_logic::BitVec;
+use tvs_netlist::{GateId, GateKind, Netlist, ScanView};
+
+/// Forces a signal to a constant in selected slots during one sweep.
+///
+/// * `pin: None` — the gate's *output* (stem) is forced; for source gates
+///   (PIs / scan cells) this overrides the stimulus.
+/// * `pin: Some(p)` — only the value seen by this gate's input pin `p`
+///   (a fanout branch) is forced; the driving signal itself is unaffected.
+///   For `Dff` gates, pin 0 is the value captured by the flip-flop
+///   (a pseudo-primary output of the scan view).
+///
+/// `slots` is a bit mask selecting which of the 64 machines the injection
+/// applies to — the mechanism by which 64 *different* faulty machines share
+/// one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// The gate whose output or input pin is forced.
+    pub gate: GateId,
+    /// `None` = output stem; `Some(p)` = input pin `p`.
+    pub pin: Option<u32>,
+    /// The forced value.
+    pub stuck: bool,
+    /// Mask of slots the injection applies to.
+    pub slots: u64,
+}
+
+/// 64-slot bit-parallel two-valued simulator.
+///
+/// Each bit position of every `u64` word is an independent machine with its
+/// own stimulus. One [`eval`](ParallelSim::eval) call performs a full
+/// levelized sweep; [`Injection`]s implement stuck-at faults.
+///
+/// # Examples
+///
+/// Simulate two patterns of an AND gate at once:
+///
+/// ```
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+/// use tvs_sim::ParallelSim;
+///
+/// let mut b = NetlistBuilder::new("and");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::And, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let netlist = b.build()?;
+/// let view = netlist.scan_view()?;
+/// let mut sim = ParallelSim::new(&netlist, &view);
+///
+/// // slot 0: a=1,b=1; slot 1: a=1,b=0
+/// sim.eval(&[0b11, 0b01], &[]);
+/// assert_eq!(sim.output_word(0) & 0b11, 0b01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelSim<'a> {
+    netlist: &'a Netlist,
+    view: &'a ScanView,
+    words: Vec<u64>,
+    outputs: Vec<u64>,
+    /// Dense flag per gate: index+1 into `inj_by_gate` when the gate carries
+    /// injections in the current sweep (0 = none). Rebuilt per eval call but
+    /// cleared lazily to stay O(#injections).
+    inj_flag: Vec<u32>,
+    inj_by_gate: Vec<Vec<Injection>>,
+    touched: Vec<GateId>,
+}
+
+impl<'a> ParallelSim<'a> {
+    /// Creates a simulator bound to a netlist and its scan view.
+    pub fn new(netlist: &'a Netlist, view: &'a ScanView) -> Self {
+        ParallelSim {
+            netlist,
+            view,
+            words: vec![0; netlist.gate_count()],
+            outputs: vec![0; view.output_count()],
+            inj_flag: vec![0; netlist.gate_count()],
+            inj_by_gate: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Runs one sweep.
+    ///
+    /// `input_words[i]` is the 64-slot stimulus of combinational input `i`
+    /// (the view's PI-then-PPI convention). Injections force values per the
+    /// [`Injection`] semantics. Results are read back with
+    /// [`word`](Self::word) / [`output_word`](Self::output_word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != view.input_count()`, or if an
+    /// injection names an out-of-range pin.
+    pub fn eval(&mut self, input_words: &[u64], injections: &[Injection]) {
+        assert_eq!(
+            input_words.len(),
+            self.view.input_count(),
+            "input word count must match the scan view"
+        );
+
+        // Index the injections by gate.
+        for &id in &self.touched {
+            self.inj_flag[id.index()] = 0;
+        }
+        self.touched.clear();
+        self.inj_by_gate.clear();
+        for &inj in injections {
+            let gi = inj.gate.index();
+            if self.inj_flag[gi] == 0 {
+                self.inj_by_gate.push(Vec::new());
+                self.inj_flag[gi] = self.inj_by_gate.len() as u32;
+                self.touched.push(inj.gate);
+            }
+            self.inj_by_gate[(self.inj_flag[gi] - 1) as usize].push(inj);
+        }
+
+        // Load sources, applying output-stem injections on PIs / scan cells.
+        for (i, &w) in input_words.iter().enumerate() {
+            let gate = self.view.input_gate(i);
+            let mut w = w;
+            if self.inj_flag[gate.index()] != 0 {
+                for inj in &self.inj_by_gate[(self.inj_flag[gate.index()] - 1) as usize] {
+                    if inj.pin.is_none() {
+                        w = apply(w, inj.stuck, inj.slots);
+                    }
+                }
+            }
+            self.words[gate.index()] = w;
+        }
+
+        // Levelized sweep.
+        for &id in self.view.order() {
+            let gate = self.netlist.gate(id);
+            let flag = self.inj_flag[id.index()];
+            let out = if flag == 0 {
+                eval_plain(gate.kind(), gate.fanin(), &self.words)
+            } else {
+                let injs = &self.inj_by_gate[(flag - 1) as usize];
+                let mut out = eval_injected(gate.kind(), gate.fanin(), &self.words, injs);
+                for inj in injs {
+                    if inj.pin.is_none() {
+                        out = apply(out, inj.stuck, inj.slots);
+                    }
+                }
+                out
+            };
+            self.words[id.index()] = out;
+        }
+
+        // Read outputs; DFF input-pin injections hit the captured PPO value.
+        for o in 0..self.view.output_count() {
+            let driver = self.view.output_gate(o);
+            let mut w = self.words[driver.index()];
+            if o >= self.view.po_count() {
+                let ff = self.view.ppis()[o - self.view.po_count()];
+                if self.inj_flag[ff.index()] != 0 {
+                    for inj in &self.inj_by_gate[(self.inj_flag[ff.index()] - 1) as usize] {
+                        if inj.pin == Some(0) {
+                            w = apply(w, inj.stuck, inj.slots);
+                        }
+                    }
+                }
+            }
+            self.outputs[o] = w;
+        }
+    }
+
+    /// The 64-slot value of any signal after the last sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from the same netlist.
+    pub fn word(&self, id: GateId) -> u64 {
+        self.words[id.index()]
+    }
+
+    /// The 64-slot value of combinational output `o` (POs then PPOs),
+    /// including any `Dff` input-pin injections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o >= view.output_count()`.
+    pub fn output_word(&self, o: usize) -> u64 {
+        self.outputs[o]
+    }
+
+    /// Extracts one slot of the outputs as a [`BitVec`] (POs then PPOs).
+    pub fn output_slot(&self, slot: u32) -> BitVec {
+        self.outputs.iter().map(|w| (w >> slot) & 1 == 1).collect()
+    }
+}
+
+#[inline]
+fn apply(word: u64, stuck: bool, slots: u64) -> u64 {
+    if stuck {
+        word | slots
+    } else {
+        word & !slots
+    }
+}
+
+#[inline]
+fn fanin_word(
+    words: &[u64],
+    fanin: &[GateId],
+    pin: usize,
+    injs: &[Injection],
+) -> u64 {
+    let mut w = words[fanin[pin].index()];
+    for inj in injs {
+        if inj.pin == Some(pin as u32) {
+            w = apply(w, inj.stuck, inj.slots);
+        }
+    }
+    w
+}
+
+fn eval_plain(kind: GateKind, fanin: &[GateId], words: &[u64]) -> u64 {
+    let f = |p: usize| words[fanin[p].index()];
+    eval_words(kind, fanin.len(), f)
+}
+
+fn eval_injected(kind: GateKind, fanin: &[GateId], words: &[u64], injs: &[Injection]) -> u64 {
+    let f = |p: usize| fanin_word(words, fanin, p, injs);
+    eval_words(kind, fanin.len(), f)
+}
+
+#[inline]
+fn eval_words(kind: GateKind, arity: usize, f: impl Fn(usize) -> u64) -> u64 {
+    match kind {
+        GateKind::Buf => f(0),
+        GateKind::Not => !f(0),
+        GateKind::And => (0..arity).fold(!0u64, |a, p| a & f(p)),
+        GateKind::Nand => !(0..arity).fold(!0u64, |a, p| a & f(p)),
+        GateKind::Or => (0..arity).fold(0u64, |a, p| a | f(p)),
+        GateKind::Nor => !(0..arity).fold(0u64, |a, p| a | f(p)),
+        GateKind::Xor => (0..arity).fold(0u64, |a, p| a ^ f(p)),
+        GateKind::Xnor => !(0..arity).fold(0u64, |a, p| a ^ f(p)),
+        GateKind::Input | GateKind::Dff => unreachable!("sources are not swept"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::NetlistBuilder;
+
+    fn fig1() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn four_paper_vectors_in_four_slots() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        // slots 0..3 carry TVs 110, 001, 100, 010 (inputs a, b, c).
+        let a = 0b0101u64; // slot0=1, slot1=0, slot2=1, slot3=0  -> LSB is slot 0
+        let b = 0b1001u64;
+        let c = 0b0010u64;
+        sim.eval(&[a, b, c], &[]);
+        // expected responses (F, E, D): 111, 010, 000, 010
+        let expect = ["111", "010", "000", "010"];
+        for slot in 0..4 {
+            assert_eq!(sim.output_slot(slot).to_string(), expect[slot as usize]);
+        }
+    }
+
+    #[test]
+    fn output_stem_injection_on_internal_gate() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        // TV 110 in both slots; slot 1 has F stuck-at-0 -> response 011.
+        let f = n.find("F").unwrap();
+        sim.eval(
+            &[0b11, 0b11, 0b00],
+            &[Injection { gate: f, pin: None, stuck: false, slots: 0b10 }],
+        );
+        assert_eq!(sim.output_slot(0).to_string(), "111");
+        assert_eq!(sim.output_slot(1).to_string(), "011");
+    }
+
+    #[test]
+    fn input_pin_injection_affects_only_that_branch() {
+        // y = AND(a, a) with pin-1 stuck-at-0: output is a & 0 = 0, but the
+        // signal a itself (observed directly) is unchanged.
+        let mut b = NetlistBuilder::new("branch");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::And, &["a", "a"]).unwrap();
+        b.mark_output("a").unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        let y = n.find("y").unwrap();
+        sim.eval(
+            &[!0u64],
+            &[Injection { gate: y, pin: Some(1), stuck: false, slots: 0b1 }],
+        );
+        assert_eq!(sim.output_word(0) & 1, 1, "signal a unaffected");
+        assert_eq!(sim.output_word(1) & 1, 0, "gate y sees stuck branch");
+        assert_eq!(sim.output_word(1) & 2, 2, "slot 1 fault-free");
+    }
+
+    #[test]
+    fn source_stem_injection_overrides_stimulus() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        let a = n.find("a").unwrap();
+        // stimulus a=0 but stuck-at-1 in slot 0.
+        sim.eval(
+            &[0, !0, 0],
+            &[Injection { gate: a, pin: None, stuck: true, slots: 0b1 }],
+        );
+        // D = AND(a, b): slot 0 sees a=1 -> D=1; slot 1 sees a=0 -> D=0.
+        assert_eq!(sim.word(n.find("D").unwrap()) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn dff_input_pin_injection_hits_captured_ppo() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        let ff_a = n.find("a").unwrap(); // captures F
+        sim.eval(
+            &[!0, !0, 0],
+            &[Injection { gate: ff_a, pin: Some(0), stuck: false, slots: 0b1 }],
+        );
+        // F itself is 1 (D=1 or E=1); PPO 0 (into cell a) forced 0 in slot 0.
+        assert_eq!(sim.word(n.find("F").unwrap()) & 1, 1);
+        assert_eq!(sim.output_word(0) & 1, 0);
+        assert_eq!(sim.output_word(0) & 2, 2);
+    }
+
+    #[test]
+    fn consecutive_evals_reset_injections() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        let f = n.find("F").unwrap();
+        sim.eval(
+            &[0b1, 0b1, 0b0],
+            &[Injection { gate: f, pin: None, stuck: false, slots: 0b1 }],
+        );
+        assert_eq!(sim.output_slot(0).to_string(), "011");
+        sim.eval(&[0b1, 0b1, 0b0], &[]);
+        assert_eq!(sim.output_slot(0).to_string(), "111");
+    }
+
+    #[test]
+    fn agrees_with_three_valued_sim_on_random_patterns() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        use tvs_logic::{Cube, Logic};
+
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut psim = ParallelSim::new(&n, &v);
+        let mut tsim = crate::ThreeValSim::new(&n, &v);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..32 {
+            let bits: Vec<bool> = (0..3).map(|_| rng.gen()).collect();
+            let words: Vec<u64> = bits.iter().map(|&b| if b { 1 } else { 0 }).collect();
+            psim.eval(&words, &[]);
+            let cube: Cube = bits.iter().map(|&b| Logic::from(b)).collect();
+            let expect = tsim.run(&cube);
+            assert_eq!(psim.output_slot(0).to_string(), expect.to_string());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Single-pattern fault-free evaluation convenience.
+
+use tvs_logic::BitVec;
+use tvs_netlist::{Netlist, ScanView};
+
+use crate::ParallelSim;
+
+/// Evaluates the combinational core on one fully specified input pattern.
+///
+/// `inputs` follows the view's PI-then-PPI convention; the result is the
+/// PO-then-PPO output bits. This is the reference semantics of conventional
+/// full-shift scan testing: shift `inputs[pi_count()..]` into the chain,
+/// apply `inputs[..pi_count()]` at the pins, pulse the clock, and the PPO
+/// part of the result is what lands back in the chain.
+///
+/// For repeated evaluation construct a [`ParallelSim`] once instead.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != view.input_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_logic::BitVec;
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("xor");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::Xor, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let netlist = b.build()?;
+/// let view = netlist.scan_view()?;
+/// let out = tvs_sim::eval_single(&netlist, &view, &BitVec::from_bools([true, false]));
+/// assert!(out.get(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn eval_single(netlist: &Netlist, view: &ScanView, inputs: &BitVec) -> BitVec {
+    assert_eq!(
+        inputs.len(),
+        view.input_count(),
+        "input bit count must match the scan view"
+    );
+    let words: Vec<u64> = inputs.iter().map(|b| if b { 1 } else { 0 }).collect();
+    let mut sim = ParallelSim::new(netlist, view);
+    sim.eval(&words, &[]);
+    sim.output_slot(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn matches_hand_computation() {
+        let mut b = NetlistBuilder::new("c");
+        b.add_input("a").unwrap();
+        b.add_dff("q", "d").unwrap();
+        b.add_gate("d", GateKind::Nand, &["a", "q"]).unwrap();
+        b.mark_output("d").unwrap();
+        let n = b.build().unwrap();
+        let v = n.scan_view().unwrap();
+        // inputs: [a, q]; outputs: [d (PO), d (PPO)]
+        let out = eval_single(&n, &v, &BitVec::from_bools([true, true]));
+        assert_eq!(out.to_string(), "00");
+        let out = eval_single(&n, &v, &BitVec::from_bools([true, false]));
+        assert_eq!(out.to_string(), "11");
+    }
+}

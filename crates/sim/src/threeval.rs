@@ -1,0 +1,147 @@
+//! Three-valued levelized simulation.
+
+use tvs_logic::{Cube, Logic};
+use tvs_netlist::{GateId, Netlist, ScanView};
+
+/// Three-valued (0/1/X) simulator over a full-scan combinational view.
+///
+/// Evaluates the whole core in one levelized sweep, preserving don't-cares.
+/// ATPG uses this for implication and cube validation; the stitching engine
+/// uses it to check that partially specified vectors already guarantee a
+/// detection.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_logic::{Cube, Logic};
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+/// use tvs_sim::ThreeValSim;
+///
+/// let mut b = NetlistBuilder::new("and");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::And, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let netlist = b.build()?;
+/// let view = netlist.scan_view()?;
+/// let mut sim = ThreeValSim::new(&netlist, &view);
+///
+/// let out = sim.run(&"0X".parse::<Cube>()?);
+/// assert_eq!(out[0], Logic::Zero); // 0 AND X = 0
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreeValSim<'a> {
+    netlist: &'a Netlist,
+    view: &'a ScanView,
+    values: Vec<Logic>,
+    scratch: Vec<Logic>,
+}
+
+impl<'a> ThreeValSim<'a> {
+    /// Creates a simulator bound to a netlist and its scan view.
+    pub fn new(netlist: &'a Netlist, view: &'a ScanView) -> Self {
+        ThreeValSim {
+            netlist,
+            view,
+            values: vec![Logic::X; netlist.gate_count()],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Runs one sweep: sets combinational inputs from `inputs` (indexed by
+    /// the view's input convention, PIs then PPIs) and returns the
+    /// combinational outputs (POs then PPOs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != view.input_count()`.
+    pub fn run(&mut self, inputs: &Cube) -> Cube {
+        assert_eq!(
+            inputs.len(),
+            self.view.input_count(),
+            "input cube length must match the scan view"
+        );
+        for (i, v) in inputs.iter().enumerate() {
+            self.values[self.view.input_gate(i).index()] = v;
+        }
+        for &id in self.view.order() {
+            let gate = self.netlist.gate(id);
+            self.scratch.clear();
+            self.scratch
+                .extend(gate.fanin().iter().map(|&f| self.values[f.index()]));
+            self.values[id.index()] = gate.kind().eval(&self.scratch);
+        }
+        (0..self.view.output_count())
+            .map(|o| self.values[self.view.output_gate(o).index()])
+            .collect()
+    }
+
+    /// The value of any signal after the last [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from the same netlist.
+    pub fn value(&self, id: GateId) -> Logic {
+        self.values[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    fn fig1() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_fault_free_responses_match_paper() {
+        // The paper's Figure 1 lists four test vectors (a, b, c) and their
+        // fault-free responses. PPO order is (F, E, D) = next (a, b, c).
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ThreeValSim::new(&n, &v);
+        let cases = [("110", "111"), ("001", "010"), ("100", "000"), ("010", "010")];
+        for (tv, resp) in cases {
+            let out = sim.run(&tv.parse().unwrap());
+            assert_eq!(out.to_string(), resp, "TV {tv}");
+        }
+    }
+
+    #[test]
+    fn x_propagates_conservatively() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ThreeValSim::new(&n, &v);
+        // a = X makes D = AND(a,b) = X; E = OR(1,0) = 1; F = AND(X,1) = X.
+        let out = sim.run(&"X10".parse().unwrap());
+        assert_eq!(out.to_string(), "X1X");
+    }
+
+    #[test]
+    fn value_exposes_internal_nets() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ThreeValSim::new(&n, &v);
+        sim.run(&"110".parse().unwrap());
+        assert_eq!(sim.value(n.find("D").unwrap()), Logic::One);
+        assert_eq!(sim.value(n.find("E").unwrap()), Logic::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_input_length_panics() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        ThreeValSim::new(&n, &v).run(&"11".parse().unwrap());
+    }
+}

@@ -1,0 +1,98 @@
+//! The two simulation engines must agree wherever their domains overlap:
+//! on fully specified inputs, 64-slot bit-parallel simulation and
+//! three-valued simulation compute identical outputs, on arbitrary
+//! generated circuits.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use tvs_circuits::{synthesize, SynthConfig};
+use tvs_logic::{BitVec, Cube, Logic};
+use tvs_sim::{eval_single, ParallelSim, ThreeValSim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_specified_inputs(seed in 0u64..500, pattern_seed in 0u64..500) {
+        let netlist = synthesize(
+            "agree",
+            &SynthConfig { inputs: 4, outputs: 3, flip_flops: 9, gates: 70, seed, depth_hint: None },
+        );
+        let view = netlist.scan_view().expect("valid");
+        let mut tsim = ThreeValSim::new(&netlist, &view);
+        let mut psim = ParallelSim::new(&netlist, &view);
+        let mut rng = SmallRng::seed_from_u64(pattern_seed);
+
+        // 64 random patterns at once in the parallel engine.
+        let patterns: Vec<BitVec> = (0..64)
+            .map(|_| (0..view.input_count()).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let mut words = vec![0u64; view.input_count()];
+        for (s, p) in patterns.iter().enumerate() {
+            for (i, bit) in p.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << s;
+                }
+            }
+        }
+        psim.eval(&words, &[]);
+
+        for (s, p) in patterns.iter().enumerate().step_by(7) {
+            let cube: Cube = p.iter().map(Logic::from).collect();
+            let expect = tsim.run(&cube);
+            let got = psim.output_slot(s as u32);
+            prop_assert_eq!(got.to_string(), expect.to_string(), "slot {}", s);
+        }
+    }
+
+    #[test]
+    fn three_valued_sim_is_monotone_under_refinement(seed in 0u64..300) {
+        // Replacing an X input by a constant must never change an output
+        // that was already specified (Kleene monotonicity, circuit level).
+        let netlist = synthesize(
+            "mono",
+            &SynthConfig { inputs: 3, outputs: 3, flip_flops: 6, gates: 40, seed, depth_hint: None },
+        );
+        let view = netlist.scan_view().expect("valid");
+        let mut sim = ThreeValSim::new(&netlist, &view);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x55);
+        let cube: Cube = (0..view.input_count())
+            .map(|_| match rng.gen_range(0..3) {
+                0 => Logic::Zero,
+                1 => Logic::One,
+                _ => Logic::X,
+            })
+            .collect();
+        let base = sim.run(&cube);
+        let mut refined = cube.clone();
+        for i in 0..refined.len() {
+            if refined[i] == Logic::X {
+                refined.set(i, Logic::from(rng.gen::<bool>()));
+            }
+        }
+        let out = sim.run(&refined);
+        for o in 0..base.len() {
+            if base[o].is_specified() {
+                prop_assert_eq!(out[o], base[o], "output {} changed under refinement", o);
+            }
+        }
+    }
+}
+
+#[test]
+fn eval_single_matches_slot_zero() {
+    let netlist = synthesize(
+        "single",
+        &SynthConfig { inputs: 5, outputs: 4, flip_flops: 8, gates: 60, seed: 42, depth_hint: None },
+    );
+    let view = netlist.scan_view().expect("valid");
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut psim = ParallelSim::new(&netlist, &view);
+    for _ in 0..10 {
+        let bits: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+        let words: Vec<u64> = bits.iter().map(u64::from).collect();
+        psim.eval(&words, &[]);
+        assert_eq!(eval_single(&netlist, &view, &bits), psim.output_slot(0));
+    }
+}

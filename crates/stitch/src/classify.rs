@@ -1,0 +1,108 @@
+//! The per-cycle fault classification rule (paper §5).
+
+use tvs_logic::BitVec;
+
+/// How a fault is classified after one applied vector.
+///
+/// The rule is *exact* (lazy): a fault counts as caught only when a
+/// difference was actually visible at the tester — at a primary output this
+/// cycle, or in the bits shifted out of the chain. A difference confined to
+/// the chain makes the fault hidden; no difference at all leaves/returns it
+/// uncaught. See DESIGN.md §7 for how this relates to the paper's eager
+/// phrasing (with a monotone shift policy and direct observation the two
+/// agree; under horizontal XOR only the lazy rule is sound, because two
+/// differing tapped cells can cancel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classification {
+    /// A difference reached the tester: move to `f_c`.
+    Caught,
+    /// The post-capture chain image differs: move to (or stay in) `f_h`.
+    Hidden,
+    /// Indistinguishable from the fault-free machine: move to (or stay in)
+    /// `f_u`.
+    Uncaught,
+}
+
+impl Classification {
+    /// Applies the §5 rule.
+    ///
+    /// * `observed_good` / `observed_faulty` — everything the tester saw
+    ///   this cycle: the shifted-out stream followed by the primary-output
+    ///   values.
+    /// * `image_good` / `image_faulty` — the chain contents after capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if paired lengths differ.
+    pub fn classify(
+        observed_good: &BitVec,
+        observed_faulty: &BitVec,
+        image_good: &BitVec,
+        image_faulty: &BitVec,
+    ) -> Classification {
+        assert_eq!(
+            observed_good.len(),
+            observed_faulty.len(),
+            "observed stream lengths must match"
+        );
+        assert_eq!(
+            image_good.len(),
+            image_faulty.len(),
+            "chain image lengths must match"
+        );
+        if observed_good != observed_faulty {
+            Classification::Caught
+        } else if image_good != image_faulty {
+            Classification::Hidden
+        } else {
+            Classification::Uncaught
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn observed_difference_catches() {
+        assert_eq!(
+            Classification::classify(&bv("10"), &bv("11"), &bv("000"), &bv("000")),
+            Classification::Caught
+        );
+    }
+
+    #[test]
+    fn observed_difference_wins_over_image_difference() {
+        assert_eq!(
+            Classification::classify(&bv("10"), &bv("00"), &bv("000"), &bv("111")),
+            Classification::Caught
+        );
+    }
+
+    #[test]
+    fn image_only_difference_hides() {
+        assert_eq!(
+            Classification::classify(&bv("10"), &bv("10"), &bv("001"), &bv("101")),
+            Classification::Hidden
+        );
+    }
+
+    #[test]
+    fn no_difference_stays_uncaught() {
+        assert_eq!(
+            Classification::classify(&bv(""), &bv(""), &bv("01"), &bv("01")),
+            Classification::Uncaught
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "observed stream lengths")]
+    fn mismatched_streams_panic() {
+        Classification::classify(&bv("1"), &bv("10"), &bv("0"), &bv("0"));
+    }
+}

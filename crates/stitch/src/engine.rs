@@ -1,0 +1,1243 @@
+//! The stitched test generation engine (the paper's Fig. 2 flow).
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use tvs_logic::{BitVec, Cube, Logic};
+use tvs_netlist::{Netlist, NetlistError, ScanView};
+
+use tvs_atpg::{generate_tests, AtpgConfig, Podem, PodemConfig, PodemResult};
+use tvs_fault::{Fault, FaultList, FaultSim, Scoap, SlotSpec};
+use tvs_scan::{CaptureTransform, CostModel, ObserveTransform, ScanChain};
+
+use crate::{
+    Classification, CompressionMetrics, CycleRecord, FaultSets, SelectionStrategy,
+    ShiftPolicy,
+};
+
+/// Configuration of a stitched test generation run.
+#[derive(Debug, Clone)]
+pub struct StitchConfig {
+    /// Shift-size policy (paper §6.1).
+    pub policy: ShiftPolicy,
+    /// Vector-selection strategy (paper §6.3).
+    pub selection: SelectionStrategy,
+    /// Capture transform (paper §6.2, VXOR).
+    pub capture: CaptureTransform,
+    /// Observation transform (paper §6.2, HXOR).
+    pub observe: ObserveTransform,
+    /// Seed for everything random (fill, random ordering).
+    pub seed: u64,
+    /// PODEM settings for constrained generation.
+    pub podem: PodemConfig,
+    /// Upper bound on constrained-ATPG attempts per cycle (failures are
+    /// cached per shift size, so the engine normally scans the whole of
+    /// `f_u` before declaring a shift size exhausted).
+    pub max_targets_per_cycle: usize,
+    /// How many candidate vectors the greedy strategies score per cycle.
+    pub candidates: usize,
+    /// Absolute cap on stitched cycles (safety valve).
+    pub max_cycles: usize,
+    /// Consecutive zero-catch cycles tolerated before the current shift
+    /// size is treated as exhausted.
+    pub stagnation_limit: usize,
+    /// Window (in cycles) for the marginal-efficiency check: when the
+    /// recent catches-per-memory-bit rate falls below the baseline flow's
+    /// overall rate times [`efficiency_margin`](Self::efficiency_margin),
+    /// the current shift size is treated as exhausted — the compacted
+    /// fallback is the cheaper tool past that point.
+    pub efficiency_window: usize,
+    /// Discount on the baseline rate used by the marginal-efficiency check;
+    /// below 1 because the fallback's *marginal* productivity on the
+    /// leftover hard faults is well below the baseline's average.
+    pub efficiency_margin: f64,
+    /// Baseline ATPG settings (the `aTV` reference run).
+    pub baseline: AtpgConfig,
+}
+
+impl Default for StitchConfig {
+    fn default() -> Self {
+        StitchConfig {
+            policy: ShiftPolicy::default(),
+            selection: SelectionStrategy::default(),
+            capture: CaptureTransform::default(),
+            observe: ObserveTransform::default(),
+            seed: 0x5717C4,
+            podem: PodemConfig::default(),
+            max_targets_per_cycle: 192,
+            candidates: 8,
+            max_cycles: 4096,
+            stagnation_limit: 6,
+            efficiency_window: 6,
+            efficiency_margin: 0.5,
+            baseline: AtpgConfig::default(),
+        }
+    }
+}
+
+/// Errors from the stitching engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StitchError {
+    /// The circuit has no flip-flops — nothing to stitch through.
+    NoScanChain,
+    /// The netlist could not be levelized.
+    Netlist(NetlistError),
+    /// A replayed vector's pinned bits disagree with the previous response.
+    ReplayMismatch {
+        /// 0-based cycle index of the offending vector.
+        cycle: usize,
+    },
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::NoScanChain => write!(f, "circuit has no scan chain"),
+            StitchError::Netlist(e) => write!(f, "netlist error: {e}"),
+            StitchError::ReplayMismatch { cycle } => write!(
+                f,
+                "replayed vector {cycle} conflicts with the retained response bits"
+            ),
+        }
+    }
+}
+
+impl Error for StitchError {}
+
+impl From<NetlistError> for StitchError {
+    fn from(e: NetlistError) -> Self {
+        StitchError::Netlist(e)
+    }
+}
+
+/// The full outcome of a stitched run.
+#[derive(Debug, Clone)]
+pub struct StitchReport {
+    /// Per-cycle records (first entry is the initial full shift-in).
+    pub cycles: Vec<CycleRecord>,
+    /// The shift sizes, `cycles[i].shift` collected for cost accounting.
+    pub shifts: Vec<usize>,
+    /// The closing flush length the engine decided on.
+    pub final_flush: usize,
+    /// Fallback full-shift vectors appended at the end.
+    pub extra_vectors: Vec<BitVec>,
+    /// Faults proven redundant (by unconstrained ATPG in the fallback).
+    pub redundant: Vec<Fault>,
+    /// Faults the fallback ATPG aborted on.
+    pub aborted: Vec<Fault>,
+    /// The headline `TV / ex / m / t` numbers.
+    pub metrics: CompressionMetrics,
+    /// Hidden-fault lifecycle counters `(entered, converted to caught,
+    /// erased back to uncaught)` — the dynamics of the paper's §6.2.
+    pub hidden_transitions: (usize, usize, usize),
+}
+
+/// One cycle of a [`replay`](StitchEngine::replay): the fault-free vector
+/// and response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayCycle {
+    /// The intended (fault-free) stimulus, PIs then chain cells.
+    pub vector: BitVec,
+    /// The fault-free outputs, POs then captured chain cells.
+    pub response: BitVec,
+}
+
+/// One fault's row in a [`ReplayTrace`] — the paper's Table 1 rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRow {
+    /// The fault.
+    pub fault: Fault,
+    /// Per cycle (until caught): the stimulus this faulty machine actually
+    /// received and the response it produced.
+    pub entries: Vec<ReplayCycle>,
+    /// The 0-based cycle at which the fault's effect reached the tester,
+    /// `None` if it never did (redundant or unlucky).
+    pub caught_at: Option<usize>,
+}
+
+/// The outcome of replaying a fixed vector schedule (reproduces Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayTrace {
+    /// Fault-free behaviour per cycle.
+    pub cycles: Vec<ReplayCycle>,
+    /// One row per tracked fault.
+    pub rows: Vec<ReplayRow>,
+}
+
+/// The stitched test generation engine.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+/// use tvs_stitch::{StitchConfig, StitchEngine};
+///
+/// // The paper's Figure 1 circuit.
+/// let mut b = NetlistBuilder::new("fig1");
+/// b.add_dff("a", "F")?;
+/// b.add_dff("b", "E")?;
+/// b.add_dff("c", "D")?;
+/// b.add_gate("D", GateKind::And, &["a", "b"])?;
+/// b.add_gate("E", GateKind::Or, &["b", "c"])?;
+/// b.add_gate("F", GateKind::And, &["D", "E"])?;
+/// let netlist = b.build()?;
+///
+/// let engine = StitchEngine::new(&netlist)?;
+/// let report = engine.run(&StitchConfig::default())?;
+/// assert!(report.metrics.fault_coverage >= 1.0 - 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct StitchEngine<'a> {
+    netlist: &'a Netlist,
+    view: ScanView,
+    chain: ScanChain,
+    faults: FaultList,
+}
+
+impl<'a> StitchEngine<'a> {
+    /// Prepares an engine for a netlist: builds the scan view and the
+    /// collapsed fault list.
+    ///
+    /// # Errors
+    ///
+    /// [`StitchError::NoScanChain`] for purely combinational circuits,
+    /// [`StitchError::Netlist`] if levelization fails.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, StitchError> {
+        if netlist.dff_count() == 0 {
+            return Err(StitchError::NoScanChain);
+        }
+        let view = netlist.scan_view()?;
+        Ok(StitchEngine {
+            netlist,
+            view,
+            chain: ScanChain::new(netlist.dff_count()),
+            faults: FaultList::collapsed(netlist),
+        })
+    }
+
+    /// The scan view the engine operates on.
+    pub fn view(&self) -> &ScanView {
+        &self.view
+    }
+
+    /// The collapsed fault list the engine tracks.
+    pub fn faults(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// Runs stitched test generation end to end and reports the paper's
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors from the baseline ATPG run.
+    pub fn run(&self, config: &StitchConfig) -> Result<StitchReport, StitchError> {
+        let mut run = RunState::new(self, config)?;
+        let l = self.chain.length();
+        let mut k = config.policy.initial(l);
+        let baseline_rate = run.baseline_rate();
+        let pq = run.p() + run.q();
+        let cycle_cost = move |k: usize| (2 * k + pq) as f64;
+        let mut window: std::collections::VecDeque<(usize, f64)> =
+            std::collections::VecDeque::new();
+
+        // Cycle 1: a conventional full shift-in, but chosen by the same
+        // selection machinery (constraint-free).
+        if run.sets.uncaught_count() > 0 {
+            if let Some(vector) = run.select_vector(l, true) {
+                run.apply_cycle(l, &vector, true);
+            }
+        }
+
+        let mut stagnant = 0usize;
+        while run.sets.uncaught_count() > 0 && run.cycles.len() < config.max_cycles {
+            let exhausted = match run.select_vector(k, false) {
+                Some(vector) => {
+                    run.apply_cycle(k, &vector, false);
+                    let caught = run
+                        .cycles
+                        .last()
+                        .map(|c| c.newly_caught)
+                        .unwrap_or(0);
+                    if caught == 0 {
+                        stagnant += 1;
+                    } else {
+                        stagnant = 0;
+                    }
+                    window.push_back((caught, cycle_cost(k)));
+                    if window.len() > config.efficiency_window {
+                        window.pop_front();
+                    }
+                    let below_baseline = window.len() >= config.efficiency_window && {
+                        let catches: usize = window.iter().map(|&(c, _)| c).sum();
+                        let cost: f64 = window.iter().map(|&(_, c)| c).sum();
+                        (catches as f64 / cost) < baseline_rate * config.efficiency_margin
+                    };
+                    stagnant >= config.stagnation_limit || below_baseline
+                }
+                None => true,
+            };
+            if exhausted {
+                if std::env::var_os("TVS_DEBUG").is_some() {
+                    eprintln!(
+                        "[tvs] escalate from k={k}: cycles={} caught={} hidden={} uncaught={}",
+                        run.cycles.len(),
+                        run.sets.caught_count(),
+                        run.sets.hidden_count(),
+                        run.sets.uncaught_count()
+                    );
+                }
+                match config.policy.escalate(l, k) {
+                    Some(next) => {
+                        k = next;
+                        stagnant = 0;
+                        window.clear();
+                        run.failed_targets.clear();
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        run.finish()
+    }
+
+    /// Replays a fixed schedule of vectors (reproducing the paper's
+    /// Table 1): every collapsed fault is tracked through each cycle until
+    /// its effect reaches the tester.
+    ///
+    /// `vectors[i]` is the full intended stimulus (PIs then chain cells) of
+    /// cycle `i`; `shifts[i]` the bits shifted before applying it
+    /// (`shifts[0]` must equal the scan length); `final_flush` the closing
+    /// observation shift.
+    ///
+    /// # Errors
+    ///
+    /// [`StitchError::ReplayMismatch`] if a vector's retained chain bits do
+    /// not equal the shifted previous response — such a schedule is
+    /// physically impossible to apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` and `shifts` have different lengths or a vector
+    /// has the wrong width.
+    pub fn replay(
+        &self,
+        vectors: &[BitVec],
+        shifts: &[usize],
+        final_flush: usize,
+        config: &StitchConfig,
+    ) -> Result<ReplayTrace, StitchError> {
+        assert_eq!(vectors.len(), shifts.len(), "one shift size per vector");
+        assert!(!vectors.is_empty(), "at least one vector");
+        assert_eq!(shifts[0], self.chain.length(), "first vector is a full shift");
+        let p = self.view.pi_count();
+        let l = self.chain.length();
+        let q = self.view.po_count();
+        for v in vectors {
+            assert_eq!(v.len(), p + l, "vector width must be PIs + scan cells");
+        }
+
+        let mut fsim = FaultSim::new(self.netlist, &self.view);
+        let n_faults = self.faults.len();
+
+        // Good machine first: validate the schedule and precompute images.
+        let mut good_cycles: Vec<ReplayCycle> = Vec::new();
+        let mut good_images: Vec<BitVec> = Vec::new();
+        let mut image = BitVec::zeros(l);
+        for (i, vector) in vectors.iter().enumerate() {
+            let chain_tv = slice_bits(vector, p..p + l);
+            if i > 0 {
+                // Pinned consistency: retained cells must match the shifted
+                // previous image.
+                let k = shifts[i];
+                let shifted = self
+                    .chain
+                    .shift(&image, &incoming_from_tv(&chain_tv, k), config.observe);
+                if slice_bits(&shifted.new_image, k..l) != slice_bits(&chain_tv, k..l) {
+                    return Err(StitchError::ReplayMismatch { cycle: i });
+                }
+            }
+            let out = fsim.good_outputs(vector);
+            let resp = slice_bits(&out, q..q + l);
+            image = config.capture.capture(&chain_tv, &resp);
+            good_cycles.push(ReplayCycle {
+                vector: vector.clone(),
+                response: out,
+            });
+            good_images.push(image.clone());
+        }
+
+        // Per-fault tracking with one chain image each.
+        let mut rows: Vec<ReplayRow> = self
+            .faults
+            .iter()
+            .map(|&fault| ReplayRow {
+                fault,
+                entries: Vec::new(),
+                caught_at: None,
+            })
+            .collect();
+        let mut images: Vec<BitVec> = vec![BitVec::zeros(l); n_faults];
+
+        for (i, vector) in vectors.iter().enumerate() {
+            let k = shifts[i];
+            let alive: Vec<usize> =
+                (0..n_faults).filter(|&f| rows[f].caught_at.is_none()).collect();
+            if alive.is_empty() {
+                break;
+            }
+            // Derive each alive fault's stimulus by shifting its own image.
+            let mut stimuli: Vec<BitVec> = Vec::with_capacity(alive.len());
+            let mut shift_caught: Vec<bool> = Vec::with_capacity(alive.len());
+            let good_chain_tv = slice_bits(vector, p..p + l);
+            let incoming = incoming_from_tv(&good_chain_tv, k);
+            for &f in &alive {
+                if i == 0 {
+                    stimuli.push(vector.clone());
+                    shift_caught.push(false);
+                } else {
+                    let good_prev = &good_images[i - 1];
+                    let sh_good = self.chain.shift(good_prev, &incoming, config.observe);
+                    let sh_f = self.chain.shift(&images[f], &incoming, config.observe);
+                    shift_caught.push(sh_f.observed != sh_good.observed);
+                    let mut stim = slice_bits(vector, 0..p);
+                    stim.extend(sh_f.new_image.iter());
+                    stimuli.push(stim);
+                }
+            }
+            // Simulate all alive faulty machines under their own stimuli.
+            let mut outs: Vec<BitVec> = Vec::with_capacity(alive.len());
+            for batch_start in (0..alive.len()).step_by(64) {
+                let end = (batch_start + 64).min(alive.len());
+                let slots: Vec<SlotSpec<'_>> = (batch_start..end)
+                    .map(|j| SlotSpec {
+                        stimulus: &stimuli[j],
+                        fault: Some(self.faults.faults()[alive[j]]),
+                    })
+                    .collect();
+                outs.extend(fsim.run_slots(&slots));
+            }
+            let good_out = &good_cycles[i].response;
+            for (j, &f) in alive.iter().enumerate() {
+                let out = &outs[j];
+                let chain_stim = slice_bits(&stimuli[j], p..p + l);
+                let resp = slice_bits(out, q..q + l);
+                images[f] = config.capture.capture(&chain_stim, &resp);
+                rows[f].entries.push(ReplayCycle {
+                    vector: stimuli[j].clone(),
+                    response: out.clone(),
+                });
+                // Caught this cycle if the shift revealed an older effect,
+                // the POs differ now, or the captured image difference will
+                // be shifted out next cycle (exact lookahead, including the
+                // closing flush).
+                let po_differs = slice_bits(out, 0..q) != slice_bits(good_out, 0..q);
+                let next_k = if i + 1 < shifts.len() { shifts[i + 1] } else { final_flush };
+                let next_incoming = if i + 1 < vectors.len() {
+                    incoming_from_tv(&slice_bits(&vectors[i + 1], p..p + l), next_k)
+                } else {
+                    BitVec::zeros(next_k)
+                };
+                let sh_good_next =
+                    self.chain
+                        .shift(&good_images[i], &next_incoming, config.observe);
+                let sh_f_next = self.chain.shift(&images[f], &next_incoming, config.observe);
+                let observed_next = sh_f_next.observed != sh_good_next.observed;
+                if shift_caught[j] || po_differs || observed_next {
+                    rows[f].caught_at = Some(i);
+                }
+            }
+        }
+
+        Ok(ReplayTrace {
+            cycles: good_cycles,
+            rows,
+        })
+    }
+}
+
+/// Mutable state of one `run` invocation.
+struct RunState<'r, 'a> {
+    eng: &'r StitchEngine<'a>,
+    cfg: &'r StitchConfig,
+    rng: SmallRng,
+    podem: Podem<'r>,
+    fsim: FaultSim<'r>,
+    scoap: Scoap,
+    sets: FaultSets,
+    good_image: BitVec,
+    cycles: Vec<CycleRecord>,
+    shifts: Vec<usize>,
+    /// Targets that failed constrained ATPG at the current shift size.
+    failed_targets: HashSet<usize>,
+    /// Faults prescreened as ATPG-hopeless: never chosen as targets (they
+    /// may still be caught fortuitously).
+    never_target: HashSet<usize>,
+    /// Faults proven redundant by the prescreen (excluded from tracking).
+    prescreen_redundant: Vec<Fault>,
+    /// Faults the prescreen PODEM aborted on.
+    prescreen_aborted: Vec<Fault>,
+    /// The baseline pattern set (run up front; needed for the ratios anyway
+    /// and for the marginal-efficiency stop rule).
+    baseline: tvs_atpg::PatternSet,
+}
+
+impl<'r, 'a> RunState<'r, 'a> {
+    fn new(eng: &'r StitchEngine<'a>, cfg: &'r StitchConfig) -> Result<Self, StitchError> {
+        let scoap = Scoap::compute(eng.netlist, &eng.view);
+        let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
+            tvs_atpg::AtpgOutcome::Netlist(err) => StitchError::Netlist(err),
+        })?;
+        let mut state = RunState {
+            eng,
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
+            fsim: FaultSim::new(eng.netlist, &eng.view),
+            scoap,
+            sets: FaultSets::new(Vec::new()),
+            good_image: BitVec::zeros(eng.chain.length()),
+            cycles: Vec::new(),
+            shifts: Vec::new(),
+            failed_targets: HashSet::new(),
+            never_target: HashSet::new(),
+            prescreen_redundant: Vec::new(),
+            prescreen_aborted: Vec::new(),
+            baseline,
+        };
+        state.prescreen();
+        Ok(state)
+    }
+
+    /// The baseline flow's lifetime catches-per-memory-bit rate.
+    fn baseline_rate(&self) -> f64 {
+        let model = CostModel {
+            scan_len: self.l(),
+            pi_count: self.p(),
+            po_count: self.q(),
+        };
+        let mem = model.full_costs(self.baseline.len().max(1)).memory_bits;
+        self.sets.len() as f64 / mem as f64
+    }
+
+    /// Splits the collapsed list into tracked faults vs. proven-redundant
+    /// ones (the paper starts `f_u` from "all the irredundant faults").
+    /// Cheap testability witnesses come from random simulation; only the
+    /// survivors get an unconstrained PODEM verdict. Aborted faults stay
+    /// tracked (they can be caught fortuitously) but are never chosen as
+    /// ATPG targets.
+    fn prescreen(&mut self) {
+        let faults = self.eng.faults.faults();
+        let mut testable = vec![false; faults.len()];
+        let mut alive: Vec<usize> = (0..faults.len()).collect();
+        for _ in 0..8 {
+            if alive.is_empty() {
+                break;
+            }
+            let pattern: BitVec = (0..self.eng.view.input_count())
+                .map(|_| self.rng.gen::<bool>())
+                .collect();
+            let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
+            let hits = self.fsim.detect(&pattern, &subset);
+            alive = alive
+                .into_iter()
+                .zip(hits)
+                .filter_map(|(i, h)| {
+                    if h {
+                        testable[i] = true;
+                        None
+                    } else {
+                        Some(i)
+                    }
+                })
+                .collect();
+        }
+        let free = Cube::unspecified(self.eng.view.input_count());
+        let mut tracked: Vec<Fault> = Vec::with_capacity(faults.len());
+        // Redundancy proofs are worth extra effort: an abort here silently
+        // costs coverage, so the prescreen gets a much deeper backtrack
+        // budget than per-cycle constrained generation.
+        let deep = PodemConfig {
+            backtrack_limit: self.cfg.podem.backtrack_limit.saturating_mul(8),
+            ..self.cfg.podem
+        };
+        let mut prover = Podem::with_config(self.eng.netlist, &self.eng.view, deep);
+        for (i, &fault) in faults.iter().enumerate() {
+            if testable[i] {
+                tracked.push(fault);
+                continue;
+            }
+            match prover.generate(fault, &free) {
+                PodemResult::Test(_) => tracked.push(fault),
+                PodemResult::Untestable => self.prescreen_redundant.push(fault),
+                PodemResult::Aborted => {
+                    self.prescreen_aborted.push(fault);
+                    self.never_target.insert(tracked.len());
+                    tracked.push(fault);
+                }
+            }
+        }
+        self.sets = FaultSets::new(tracked);
+    }
+
+    fn p(&self) -> usize {
+        self.eng.view.pi_count()
+    }
+
+    fn q(&self) -> usize {
+        self.eng.view.po_count()
+    }
+
+    fn l(&self) -> usize {
+        self.eng.chain.length()
+    }
+
+    /// Builds the constraint cube for a `k`-bit stitched cycle.
+    fn constraint(&self, k: usize, first: bool) -> Cube {
+        let (p, l) = (self.p(), self.l());
+        let mut cube = Cube::unspecified(p + l);
+        if !first {
+            for j in k..l {
+                cube.set(p + j, Logic::from(self.good_image.get(j - k)));
+            }
+        }
+        cube
+    }
+
+    /// Orders the current `f_u` according to the selection strategy.
+    fn ordered_targets(&mut self) -> Vec<usize> {
+        let mut targets = self.sets.uncaught_indices();
+        targets.retain(|i| !self.never_target.contains(i));
+        match self.cfg.selection {
+            SelectionStrategy::Random => targets.shuffle(&mut self.rng),
+            // Hardness/Weighted: hard faults get first claim on the still-
+            // loose constraint (the paper's §6.3 rationale).
+            SelectionStrategy::Hardness | SelectionStrategy::Weighted => {
+                targets.sort_by_key(|&i| {
+                    std::cmp::Reverse(
+                        self.scoap
+                            .fault_hardness(self.eng.netlist, &self.sets.fault(i)),
+                    )
+                });
+            }
+            // MostFaults: candidates come from easy targets first — they
+            // are the ones likely to admit tests under a tight constraint
+            // (the paper's §6.1: "easy-to-test faults dominate" the early,
+            // small-shift stage), and the greedy scoring then picks the
+            // best of the pool.
+            SelectionStrategy::MostFaults => {
+                targets.sort_by_key(|&i| {
+                    self.scoap
+                        .fault_hardness(self.eng.netlist, &self.sets.fault(i))
+                });
+            }
+        }
+        targets
+    }
+
+    /// Which combinational outputs a `k`-bit cycle makes observable: every
+    /// PO, plus the scan cells that the *next* shift will expose (sound for
+    /// monotone shift policies under direct observation; under horizontal
+    /// XOR it is a targeting heuristic — exact classification stays lazy).
+    fn observable_flags(&self, k: usize) -> Vec<bool> {
+        let (q, l) = (self.q(), self.l());
+        let mut flags = vec![false; q + l];
+        for f in flags.iter_mut().take(q) {
+            *f = true;
+        }
+        for j in l.saturating_sub(k)..l {
+            flags[q + j] = true;
+        }
+        flags
+    }
+
+    /// Tries to produce the next vector for a `k`-bit cycle; `None` when
+    /// the shift size is exhausted.
+    fn select_vector(&mut self, k: usize, first: bool) -> Option<BitVec> {
+        let constraint = self.constraint(k, first);
+        let observable = self.observable_flags(if first { self.l() } else { k });
+        let targets = self.ordered_targets();
+        let mut candidates: Vec<BitVec> = Vec::new();
+
+        // Phase A: demand propagation to an observable point (PO or a
+        // next-shift-exposed cell) — every such vector's target is
+        // guaranteed to reach f_c. Phase B (only if A yields nothing):
+        // accept any differentiation; the target becomes hidden and bets on
+        // the paper's mutated-stimulus mechanism. The stagnation guard in
+        // `run` escalates the shift size if those bets stop paying off.
+        let mut stats = [0usize; 4]; // [A-ok, A-fail, B-ok, B-fail]
+        for phase in 0..2 {
+            let mut attempts = 0usize;
+            for &idx in &targets {
+                if self.failed_targets.contains(&idx) {
+                    continue;
+                }
+                if attempts >= self.cfg.max_targets_per_cycle {
+                    break;
+                }
+                attempts += 1;
+                let fault = self.sets.fault(idx);
+                let outcome = if phase == 0 {
+                    self.podem
+                        .generate_observable(fault, &constraint, Some(&observable))
+                } else {
+                    self.podem.generate(fault, &constraint)
+                };
+                match outcome {
+                    PodemResult::Test(cube) => {
+                        stats[phase * 2] += 1;
+                        let bits = cube.random_fill(&mut self.rng);
+                        if !self.cfg.selection.is_greedy() {
+                            return Some(bits);
+                        }
+                        candidates.push(bits);
+                        if candidates.len() >= self.cfg.candidates {
+                            break;
+                        }
+                    }
+                    PodemResult::Untestable | PodemResult::Aborted => {
+                        stats[phase * 2 + 1] += 1;
+                        if phase == 1 {
+                            self.failed_targets.insert(idx);
+                        }
+                    }
+                }
+            }
+            if !candidates.is_empty() {
+                break;
+            }
+        }
+        if std::env::var_os("TVS_DEBUG").is_some() {
+            eprintln!(
+                "[tvs] select k={k} targets={} A:{}/{} B:{}/{}",
+                targets.len(), stats[0], stats[1], stats[2], stats[3]
+            );
+        }
+
+        // Phase C: context rotation. Constrained ATPG can be blocked not by
+        // the shift size but by the *particular* retained response pattern;
+        // applying a cheap filler vector changes that pattern and often
+        // unblocks targets at the same k. Accept a random completion of the
+        // constraint if it at least differentiates some uncaught fault (the
+        // stagnation guard in `run` still bounds fruitless rotation).
+        if candidates.is_empty() && !first {
+            let uncaught = self.sets.uncaught_indices();
+            let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
+            for _ in 0..4 {
+                let bits = constraint.random_fill(&mut self.rng);
+                if self.fsim.detect(&bits, &faults).iter().any(|&h| h) {
+                    return Some(bits);
+                }
+            }
+        }
+
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            return candidates.pop();
+        }
+
+        // Greedy scoring. Three kinds of value, in decreasing weight:
+        // catches of f_u faults (a difference at a PO or in the next-shift-
+        // observed cells), catches/preservation of the *hidden* pool (an
+        // erased hidden fault wastes its earlier differentiation — the
+        // paper's §6.2 concern), and plain differentiations as tiebreak.
+        let uncaught = self.sets.uncaught_indices();
+        let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
+        let weighted = self.cfg.selection == SelectionStrategy::Weighted;
+        let (p, q, l) = (self.p(), self.q(), self.l());
+        let watched: Vec<usize> = (0..q)
+            .chain(q + l.saturating_sub(k)..q + l)
+            .collect();
+        // Hidden machines: shifted image and fault, per hidden index. The
+        // shift-out stream is candidate-independent; only the post-capture
+        // fate varies, via the fresh incoming bits.
+        let hidden = self.sets.hidden_indices();
+        let mut best = 0usize;
+        let mut best_score = 0u64;
+        for (c, bits) in candidates.iter().enumerate() {
+            let good = self.fsim.good_outputs(bits);
+            let mut score = 0u64;
+            for chunk in faults.chunks(63) {
+                let slots: Vec<SlotSpec<'_>> = chunk
+                    .iter()
+                    .map(|&f| SlotSpec { stimulus: bits, fault: Some(f) })
+                    .collect();
+                let outs = self.fsim.run_slots(&slots);
+                for (f, out) in chunk.iter().zip(&outs) {
+                    let caught = watched.iter().any(|&o| out.get(o) != good.get(o));
+                    let differentiated = caught || out != &good;
+                    let unit = if weighted {
+                        self.scoap.fault_hardness(self.eng.netlist, f).max(1)
+                    } else {
+                        1
+                    };
+                    if caught {
+                        score += unit * 1000;
+                    } else if differentiated {
+                        score += unit;
+                    }
+                }
+            }
+            if !hidden.is_empty() {
+                let chain_tv = slice_bits(bits, p..p + l);
+                let incoming = incoming_from_tv(&chain_tv, k);
+                let mut stimuli: Vec<BitVec> = Vec::with_capacity(hidden.len());
+                for &idx in &hidden {
+                    let image = self.sets.image(idx).expect("hidden").clone();
+                    let sh = self.eng.chain.shift(&image, &incoming, self.cfg.observe);
+                    let mut stim = slice_bits(bits, 0..p);
+                    stim.extend(sh.new_image.iter());
+                    stimuli.push(stim);
+                }
+                for (chunk_i, chunk) in hidden.chunks(63).enumerate() {
+                    let slots: Vec<SlotSpec<'_>> = chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &idx)| SlotSpec {
+                            stimulus: &stimuli[chunk_i * 63 + j],
+                            fault: Some(self.sets.fault(idx)),
+                        })
+                        .collect();
+                    let outs = self.fsim.run_slots(&slots);
+                    for out in &outs {
+                        let caught = watched.iter().any(|&o| out.get(o) != good.get(o));
+                        let kept = out != &good;
+                        if caught {
+                            score += 1000;
+                        } else if kept {
+                            score += 30;
+                        }
+                    }
+                }
+            }
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        Some(candidates.swap_remove(best))
+    }
+
+    /// Applies one vector: shifts, simulates, classifies every live fault.
+    fn apply_cycle(&mut self, k: usize, vector: &BitVec, first: bool) {
+        let (p, q, l) = (self.p(), self.q(), self.l());
+        let chain_tv = slice_bits(vector, p..p + l);
+        let incoming = incoming_from_tv(&chain_tv, k);
+
+        // Fault-free machine.
+        let observed_good = if first {
+            BitVec::new() // power-up contents are not meaningful data
+        } else {
+            let sh = self.eng.chain.shift(&self.good_image, &incoming, self.cfg.observe);
+            debug_assert_eq!(sh.new_image, chain_tv, "stitched vector must be reachable");
+            sh.observed
+        };
+        let good_out = self.fsim.good_outputs(vector);
+        let good_po = slice_bits(&good_out, 0..q);
+        let good_resp = slice_bits(&good_out, q..q + l);
+        let new_good_image = self.cfg.capture.capture(&chain_tv, &good_resp);
+
+        let mut newly_caught = 0usize;
+
+        // Hidden faults: private shift, private stimulus.
+        let hidden = self.sets.hidden_indices();
+        let mut live_hidden: Vec<(usize, BitVec)> = Vec::new();
+        for idx in hidden {
+            if first {
+                unreachable!("no hidden faults before the first vector");
+            }
+            let image = self.sets.image(idx).expect("hidden fault has image").clone();
+            let sh = self.eng.chain.shift(&image, &incoming, self.cfg.observe);
+            if sh.observed != observed_good {
+                self.sets.set_caught(idx);
+                newly_caught += 1;
+            } else {
+                let mut stim = slice_bits(vector, 0..p);
+                stim.extend(sh.new_image.iter());
+                live_hidden.push((idx, stim));
+            }
+        }
+        for chunk in live_hidden.chunks(64) {
+            let slots: Vec<SlotSpec<'_>> = chunk
+                .iter()
+                .map(|(idx, stim)| SlotSpec {
+                    stimulus: stim,
+                    fault: Some(self.sets.fault(*idx)),
+                })
+                .collect();
+            let outs = self.fsim.run_slots(&slots);
+            for ((idx, stim), out) in chunk.iter().zip(&outs) {
+                let f_po = slice_bits(out, 0..q);
+                let f_resp = slice_bits(out, q..q + l);
+                let f_chain_tv = slice_bits(stim, p..p + l);
+                let image = self.cfg.capture.capture(&f_chain_tv, &f_resp);
+                match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
+                    Classification::Caught => {
+                        self.sets.set_caught(*idx);
+                        newly_caught += 1;
+                    }
+                    Classification::Hidden => self.sets.set_hidden(*idx, image),
+                    Classification::Uncaught => self.sets.set_uncaught(*idx),
+                }
+            }
+        }
+
+        // Uncaught faults: shared stimulus (their machines match the good
+        // one so far).
+        let uncaught = self.sets.uncaught_indices();
+        for chunk in uncaught.chunks(64) {
+            let slots: Vec<SlotSpec<'_>> = chunk
+                .iter()
+                .map(|&idx| SlotSpec {
+                    stimulus: vector,
+                    fault: Some(self.sets.fault(idx)),
+                })
+                .collect();
+            let outs = self.fsim.run_slots(&slots);
+            for (&idx, out) in chunk.iter().zip(&outs) {
+                let f_po = slice_bits(out, 0..q);
+                let f_resp = slice_bits(out, q..q + l);
+                let image = self.cfg.capture.capture(&chain_tv, &f_resp);
+                match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
+                    Classification::Caught => {
+                        self.sets.set_caught(idx);
+                        newly_caught += 1;
+                    }
+                    Classification::Hidden => self.sets.set_hidden(idx, image),
+                    Classification::Uncaught => {}
+                }
+            }
+        }
+
+        self.good_image = new_good_image;
+        self.shifts.push(k);
+        self.cycles.push(CycleRecord {
+            shift: k,
+            vector: vector.clone(),
+            observed: observed_good,
+            newly_caught,
+            hidden_after: self.sets.hidden_count(),
+            uncaught_after: self.sets.uncaught_count(),
+        });
+        // New catches mean previously failed targets may matter again only
+        // after an escalation; but a *changed* chain content re-opens
+        // constrained possibilities for previously failed targets.
+        self.failed_targets.clear();
+    }
+
+    /// Closing flush + conventional fallback, then metric assembly.
+    fn finish(mut self) -> Result<StitchReport, StitchError> {
+        let l = self.l();
+
+        // Closing flush: find, per hidden fault, the shortest flush prefix
+        // that reveals it; flush long enough for all of them (exact under
+        // any observation transform).
+        let mut final_flush = 0usize;
+        if !self.cycles.is_empty() {
+            let zeros = BitVec::zeros(l);
+            let sh_good = self.eng.chain.shift(&self.good_image, &zeros, self.cfg.observe);
+            for idx in self.sets.hidden_indices() {
+                let image = self.sets.image(idx).expect("hidden").clone();
+                let sh_f = self.eng.chain.shift(&image, &zeros, self.cfg.observe);
+                let first_diff = (0..l).find(|&t| sh_f.observed.get(t) != sh_good.observed.get(t));
+                match first_diff {
+                    Some(t) => {
+                        final_flush = final_flush.max(t + 1);
+                        self.sets.set_caught(idx);
+                    }
+                    None => self.sets.set_uncaught(idx),
+                }
+            }
+            // Even with no hidden faults the last response is conventionally
+            // checked with a closing shift of the last stitch size.
+            if final_flush == 0 {
+                final_flush = *self.shifts.last().expect("non-empty");
+            }
+        }
+
+        // Fallback: conventional vectors for whatever is left in f_u.
+        let mut extra_vectors: Vec<BitVec> = Vec::new();
+        let mut redundant: Vec<Fault> = std::mem::take(&mut self.prescreen_redundant);
+        let prescreen_redundant_count = redundant.len();
+        let mut aborted: Vec<Fault> = std::mem::take(&mut self.prescreen_aborted);
+        let free = Cube::unspecified(self.eng.view.input_count());
+        let mut remaining: Vec<usize> = self
+            .sets
+            .uncaught_indices()
+            .into_iter()
+            .filter(|i| !self.never_target.contains(i))
+            .collect();
+        let fallback_faults: Vec<Fault> =
+            remaining.iter().map(|&i| self.sets.fault(i)).collect();
+        while let Some(&idx) = remaining.first() {
+            match self.podem.generate(self.sets.fault(idx), &free) {
+                PodemResult::Test(cube) => {
+                    let bits = cube.random_fill(&mut self.rng);
+                    let faults: Vec<Fault> =
+                        remaining.iter().map(|&i| self.sets.fault(i)).collect();
+                    let hits = self.fsim.detect(&bits, &faults);
+                    let mut next = Vec::with_capacity(remaining.len());
+                    for (slot, &fi) in remaining.iter().enumerate() {
+                        if hits[slot] {
+                            self.sets.set_caught(fi);
+                        } else {
+                            next.push(fi);
+                        }
+                    }
+                    debug_assert!(next.len() < remaining.len(), "fallback vector must progress");
+                    if next.len() == remaining.len() {
+                        // Defensive: avoid livelock on a sim/ATPG disagreement.
+                        aborted.push(self.sets.fault(idx));
+                        next.retain(|&i| i != idx);
+                    }
+                    remaining = next;
+                    extra_vectors.push(bits);
+                }
+                PodemResult::Untestable => {
+                    redundant.push(self.sets.fault(idx));
+                    remaining.remove(0);
+                }
+                PodemResult::Aborted => {
+                    aborted.push(self.sets.fault(idx));
+                    remaining.remove(0);
+                }
+            }
+        }
+        // The fallback phase is conventional test application, so it gets
+        // conventional reverse-order compaction against the faults it was
+        // responsible for.
+        if extra_vectors.len() > 1 {
+            extra_vectors = tvs_atpg::compact_patterns(
+                self.eng.netlist,
+                &self.eng.view,
+                &fallback_faults,
+                &extra_vectors,
+            );
+        }
+
+        // Baseline for the ratios (generated up front in `new`).
+        let baseline = &self.baseline;
+
+        let model = CostModel {
+            scan_len: l,
+            pi_count: self.p(),
+            po_count: self.q(),
+        };
+        let stitched_costs = if self.shifts.is_empty() {
+            // Degenerate: everything handled by fallback vectors.
+            model.full_costs(extra_vectors.len())
+        } else {
+            model.stitched_costs(&self.shifts, final_flush, extra_vectors.len())
+        };
+        let baseline_costs = model.full_costs(baseline.len());
+
+        // Denominator: every tracked fault that is not proven redundant.
+        // Prescreen-redundant faults were never tracked, so only the
+        // fallback-found redundancies must be discounted here.
+        let fallback_redundant = redundant.len() - prescreen_redundant_count;
+        let testable = self.sets.len() - fallback_redundant;
+        let coverage = if testable == 0 {
+            1.0
+        } else {
+            self.sets.caught_count() as f64 / testable as f64
+        };
+
+        let metrics = CompressionMetrics::new(
+            self.cycles.len(),
+            extra_vectors.len(),
+            baseline.len(),
+            stitched_costs,
+            baseline_costs,
+            coverage,
+        );
+
+        let hidden_transitions = self.sets.transition_counts();
+        Ok(StitchReport {
+            cycles: self.cycles,
+            shifts: self.shifts,
+            final_flush,
+            extra_vectors,
+            redundant,
+            aborted,
+            metrics,
+            hidden_transitions,
+        })
+    }
+}
+
+/// Extracts `range` of a [`BitVec`] as a new vector.
+fn slice_bits(bits: &BitVec, range: std::ops::Range<usize>) -> BitVec {
+    range.map(|i| bits.get(i)).collect()
+}
+
+/// Converts the desired final content of the first `k` chain cells into
+/// scan-in entry order (the bit destined for cell `k-1` enters first).
+fn incoming_from_tv(chain_tv: &BitVec, k: usize) -> BitVec {
+    (0..k).map(|t| chain_tv.get(k - 1 - t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    fn fig1() -> Netlist {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn bv(s: &str) -> BitVec {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn no_scan_chain_is_rejected() {
+        let mut b = NetlistBuilder::new("comb");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::Not, &["a"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        assert!(matches!(StitchEngine::new(&n), Err(StitchError::NoScanChain)));
+    }
+
+    #[test]
+    fn fig1_run_reaches_full_coverage() {
+        let n = fig1();
+        let engine = StitchEngine::new(&n).unwrap();
+        let report = engine.run(&StitchConfig::default()).unwrap();
+        assert!(
+            report.metrics.fault_coverage >= 1.0 - 1e-9,
+            "coverage {}",
+            report.metrics.fault_coverage
+        );
+        assert_eq!(report.redundant.len(), 1, "the paper's E-F/1");
+        assert!(report.aborted.is_empty());
+    }
+
+    #[test]
+    fn fig1_compresses_versus_baseline() {
+        let n = fig1();
+        let engine = StitchEngine::new(&n).unwrap();
+        let cfg = StitchConfig {
+            policy: ShiftPolicy::Fixed(2),
+            ..StitchConfig::default()
+        };
+        let report = engine.run(&cfg).unwrap();
+        assert!(report.metrics.time_ratio > 0.0);
+        // With k = 2 of 3 the stitched stream must beat full shifting per
+        // vector unless many extra vectors were needed.
+        if report.extra_vectors.is_empty() {
+            assert!(
+                report.metrics.time_ratio <= 1.05,
+                "t = {}",
+                report.metrics.time_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let n = fig1();
+        let engine = StitchEngine::new(&n).unwrap();
+        let a = engine.run(&StitchConfig::default()).unwrap();
+        let b = engine.run(&StitchConfig::default()).unwrap();
+        assert_eq!(a.shifts, b.shifts);
+        assert_eq!(a.metrics.stitched_vectors, b.metrics.stitched_vectors);
+        assert_eq!(
+            a.cycles.iter().map(|c| c.vector.clone()).collect::<Vec<_>>(),
+            b.cycles.iter().map(|c| c.vector.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_table1_catches() {
+        // The paper's schedule: 110, then 2-bit stitches yielding 001, 100,
+        // 010, closing with a 2-bit flush.
+        let n = fig1();
+        let engine = StitchEngine::new(&n).unwrap();
+        let vectors = vec![bv("110"), bv("001"), bv("100"), bv("010")];
+        let trace = engine
+            .replay(&vectors, &[3, 2, 2, 2], 2, &StitchConfig::default())
+            .unwrap();
+
+        // Fault-free responses per the paper.
+        let resp: Vec<String> = trace.cycles.iter().map(|c| c.response.to_string()).collect();
+        assert_eq!(resp, vec!["111", "010", "000", "010"]);
+
+        // Every fault except the redundant E-F/1 is caught.
+        let uncaught: Vec<String> = trace
+            .rows
+            .iter()
+            .filter(|r| r.caught_at.is_none())
+            .map(|r| r.fault.display_in(&n))
+            .collect();
+        assert_eq!(uncaught, vec!["E-F/1".to_string()]);
+
+        // Spot-check the paper's hidden-fault story: F/0 is NOT caught in
+        // cycle 0 (its effect hides in cell a) but in cycle 1.
+        let f0 = trace
+            .rows
+            .iter()
+            .find(|r| r.fault.display_in(&n) == "F/0")
+            .expect("F/0 tracked");
+        assert_eq!(f0.caught_at, Some(1));
+        assert_eq!(f0.entries[0].response.to_string(), "011");
+        // Its mutated second vector is 000 (not the intended 001).
+        assert_eq!(f0.entries[1].vector.to_string(), "000");
+        assert_eq!(f0.entries[1].response.to_string(), "000");
+    }
+
+    #[test]
+    fn replay_rejects_impossible_schedules() {
+        let n = fig1();
+        let engine = StitchEngine::new(&n).unwrap();
+        // Second vector 101: cell c would need to hold 1, but the shifted
+        // response leaves a 1 only via cell a of response 111 -> c = 1 works;
+        // pick something genuinely inconsistent: 011 needs c = 1 as well...
+        // response 111 shifted by 2 gives c = 1, cells a,b free. So any
+        // second vector with c = 0 is impossible.
+        let vectors = vec![bv("110"), bv("010")];
+        let err = engine
+            .replay(&vectors, &[3, 2], 2, &StitchConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, StitchError::ReplayMismatch { cycle: 1 }));
+    }
+
+    #[test]
+    fn hidden_faults_appear_during_fig1_replay() {
+        let n = fig1();
+        let engine = StitchEngine::new(&n).unwrap();
+        let vectors = vec![bv("110"), bv("001"), bv("100"), bv("010")];
+        let trace = engine
+            .replay(&vectors, &[3, 2, 2, 2], 2, &StitchConfig::default())
+            .unwrap();
+        // F/1 and D-F/1 mutate the third vector to 101 per the paper.
+        for name in ["F/1", "D-F/1"] {
+            let row = trace
+                .rows
+                .iter()
+                .find(|r| r.fault.display_in(&n) == name);
+            if let Some(row) = row {
+                // (collapsing may merge D-F/1 into another representative)
+                assert_eq!(row.caught_at, Some(2), "{name}");
+                assert_eq!(row.entries[2].vector.to_string(), "101", "{name}");
+            }
+        }
+    }
+}

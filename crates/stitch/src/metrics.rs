@@ -1,0 +1,103 @@
+//! Per-cycle records and the compression metrics of the paper's tables.
+
+use std::fmt;
+
+use tvs_logic::BitVec;
+use tvs_scan::TestCosts;
+
+/// What happened in one stitched test cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleRecord {
+    /// Bits shifted in this cycle (`scan_len` for the first vector).
+    pub shift: usize,
+    /// The full test vector applied (PIs then chain contents, chain cell 0
+    /// first).
+    pub vector: BitVec,
+    /// What the tester observed during this cycle's shift (expected,
+    /// fault-free values).
+    pub observed: BitVec,
+    /// Faults newly moved to `f_c` this cycle.
+    pub newly_caught: usize,
+    /// `|f_h|` after the cycle.
+    pub hidden_after: usize,
+    /// `|f_u|` after the cycle.
+    pub uncaught_after: usize,
+}
+
+/// The headline numbers of the paper's Tables 2–5 for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionMetrics {
+    /// Stitched vectors applied — the paper's `TV` column.
+    pub stitched_vectors: usize,
+    /// Fallback full-shift vectors — the paper's `ex` column.
+    pub extra_vectors: usize,
+    /// Baseline full-shift vector count — the paper's `aTV` column.
+    pub baseline_vectors: usize,
+    /// Absolute costs of the stitched scheme.
+    pub stitched_costs: TestCosts,
+    /// Absolute costs of the baseline scheme.
+    pub baseline_costs: TestCosts,
+    /// Tester-memory ratio — the paper's `m` column.
+    pub memory_ratio: f64,
+    /// Test-application-time ratio — the paper's `t` column.
+    pub time_ratio: f64,
+    /// Attainable fault coverage achieved (1.0 = every irredundant,
+    /// non-aborted fault caught).
+    pub fault_coverage: f64,
+}
+
+impl CompressionMetrics {
+    /// Builds the metrics from raw counts and costs.
+    pub fn new(
+        stitched_vectors: usize,
+        extra_vectors: usize,
+        baseline_vectors: usize,
+        stitched_costs: TestCosts,
+        baseline_costs: TestCosts,
+        fault_coverage: f64,
+    ) -> Self {
+        let (memory_ratio, time_ratio) = stitched_costs.ratios_vs(&baseline_costs);
+        CompressionMetrics {
+            stitched_vectors,
+            extra_vectors,
+            baseline_vectors,
+            stitched_costs,
+            baseline_costs,
+            memory_ratio,
+            time_ratio,
+            fault_coverage,
+        }
+    }
+}
+
+impl fmt::Display for CompressionMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TV={} ex={} aTV={} m={:.2} t={:.2} coverage={:.4}",
+            self.stitched_vectors,
+            self.extra_vectors,
+            self.baseline_vectors,
+            self.memory_ratio,
+            self.time_ratio,
+            self.fault_coverage
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_follow_costs() {
+        let st = TestCosts { shift_cycles: 11, memory_bits: 17 };
+        let base = TestCosts { shift_cycles: 15, memory_bits: 24 };
+        let m = CompressionMetrics::new(4, 0, 4, st, base, 1.0);
+        assert!((m.time_ratio - 11.0 / 15.0).abs() < 1e-12);
+        assert!((m.memory_ratio - 17.0 / 24.0).abs() < 1e-12);
+        let text = m.to_string();
+        assert!(text.contains("TV=4"), "{text}");
+        assert!(text.contains("m=0.71"), "{text}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Shift-size policies (paper §6.1).
+
+/// How many bits are shifted per stitched cycle.
+///
+/// * [`Fixed`](ShiftPolicy::Fixed) — a constant `k`, as in the three `info`
+///   columns of the paper's Table 2.
+/// * [`Variable`](ShiftPolicy::Variable) — start small and grow whenever
+///   constrained ATPG dries up, the paper's winning strategy. The schedule
+///   (start at `L/8`, double on exhaustion, cap at `L/2`) is our choice —
+///   the paper does not specify one; see DESIGN.md §7. Growth is
+///   **monotone**, which is also what makes eager caught-classification
+///   sound under direct observation.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_stitch::ShiftPolicy;
+///
+/// let policy = ShiftPolicy::default();
+/// let k0 = policy.initial(64);
+/// assert_eq!(k0, 8); // 64 / 8
+/// assert_eq!(policy.escalate(64, k0), Some(16));
+/// assert_eq!(policy.escalate(64, 64), None); // nowhere left to grow
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShiftPolicy {
+    /// Shift exactly `k` bits every cycle.
+    Fixed(usize),
+    /// Start at `max(1, ⌈L · start_fraction⌉)` and multiply by `growth`
+    /// (at least +1) whenever no new fault can be caught, up to
+    /// `⌈L · max_fraction⌉`. Beyond the cap a stitched cycle retains so
+    /// little of the previous response that a conventional (compactable)
+    /// fallback vector strictly dominates it, so exhaustion at the cap
+    /// hands the remaining faults to the fallback phase.
+    Variable {
+        /// Initial shift size as a fraction of the scan length.
+        start_fraction: f64,
+        /// Multiplicative growth factor applied on exhaustion.
+        growth: f64,
+        /// Largest shift size as a fraction of the scan length.
+        max_fraction: f64,
+    },
+}
+
+impl Default for ShiftPolicy {
+    /// The paper's preferred scheme: variable shift, here starting at
+    /// `L/8` and doubling on exhaustion up to `L/2` (the tuned schedule —
+    /// the paper does not specify one; see DESIGN.md §7).
+    fn default() -> Self {
+        ShiftPolicy::Variable {
+            start_fraction: 1.0 / 8.0,
+            growth: 2.0,
+            max_fraction: 0.5,
+        }
+    }
+}
+
+impl ShiftPolicy {
+    /// The shift size for the first stitched cycle (the initial full
+    /// shift-in is always `scan_len` and not governed by the policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Fixed` size is zero or exceeds the scan length, or if a
+    /// `Variable` configuration is out of range.
+    pub fn initial(&self, scan_len: usize) -> usize {
+        match *self {
+            ShiftPolicy::Fixed(k) => {
+                assert!(k >= 1 && k <= scan_len, "fixed shift {k} out of range 1..={scan_len}");
+                k
+            }
+            ShiftPolicy::Variable { start_fraction, growth, max_fraction } => {
+                assert!(
+                    start_fraction > 0.0 && start_fraction <= 1.0,
+                    "start fraction must be in (0, 1]"
+                );
+                assert!(growth > 1.0, "growth factor must exceed 1");
+                assert!(
+                    max_fraction >= start_fraction && max_fraction <= 1.0,
+                    "max fraction must be in [start_fraction, 1]"
+                );
+                ((scan_len as f64 * start_fraction).ceil() as usize)
+                    .clamp(1, scan_len)
+            }
+        }
+    }
+
+    /// The next (strictly larger) shift size after exhaustion, or `None`
+    /// when no escalation is possible (fixed policies never escalate; a
+    /// variable policy caps at `⌈L · max_fraction⌉`).
+    pub fn escalate(&self, scan_len: usize, current: usize) -> Option<usize> {
+        match *self {
+            ShiftPolicy::Fixed(_) => None,
+            ShiftPolicy::Variable { growth, max_fraction, .. } => {
+                let cap = ((scan_len as f64 * max_fraction).ceil() as usize).clamp(1, scan_len);
+                if current >= cap {
+                    None
+                } else {
+                    let grown = ((current as f64 * growth).ceil() as usize).max(current + 1);
+                    Some(grown.min(cap))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let p = ShiftPolicy::Fixed(5);
+        assert_eq!(p.initial(20), 5);
+        assert_eq!(p.escalate(20, 5), None);
+    }
+
+    #[test]
+    fn variable_policy_grows_monotonically_to_cap() {
+        let p = ShiftPolicy::default();
+        let l = 100;
+        let mut k = p.initial(l);
+        assert_eq!(k, 13); // ceil(100/8)
+        let mut seen = vec![k];
+        while let Some(next) = p.escalate(l, k) {
+            assert!(next > k, "monotone growth");
+            k = next;
+            seen.push(k);
+        }
+        assert_eq!(k, 50, "caps at L * max_fraction");
+        assert!(seen.len() >= 3, "several escalation steps: {seen:?}");
+    }
+
+    #[test]
+    fn tiny_chains_stay_in_range() {
+        let p = ShiftPolicy::default();
+        assert_eq!(p.initial(1), 1);
+        assert_eq!(p.escalate(1, 1), None);
+        assert_eq!(p.initial(3), 1);
+        assert_eq!(p.escalate(3, 1), Some(2));
+        assert_eq!(p.escalate(3, 2), None, "cap = ceil(3 * 0.5) = 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_fixed_shift_panics() {
+        ShiftPolicy::Fixed(10).initial(5);
+    }
+}

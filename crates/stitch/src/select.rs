@@ -1,0 +1,57 @@
+//! Vector-selection strategies (paper §6.3).
+
+/// How the engine chooses which test vector to apply next.
+///
+/// All strategies generate candidate vectors by running constrained ATPG for
+/// target faults from `f_u`; they differ in how targets are ordered and
+/// whether candidates are scored:
+///
+/// * [`Random`](SelectionStrategy::Random) — targets in random order, first
+///   successful candidate wins (the paper's baseline column).
+/// * [`Hardness`](SelectionStrategy::Hardness) — targets ordered
+///   hardest-first by SCOAP testability, first success wins; gives
+///   hard-to-test faults first claim on the still-loose constraint.
+/// * [`MostFaults`](SelectionStrategy::MostFaults) — generate several
+///   candidates, fault-simulate each against `f_u` and pick the one
+///   differentiating the most faults (the paper's winning greedy scheme).
+/// * [`Weighted`](SelectionStrategy::Weighted) — like `MostFaults` but each
+///   differentiated fault counts its SCOAP hardness, the paper's suggested
+///   combination of the two schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionStrategy {
+    /// Randomly ordered fault list; first generated vector wins.
+    Random,
+    /// Hardest-to-test faults first; first generated vector wins.
+    Hardness,
+    /// Greedy: the candidate catching the most `f_u` faults wins.
+    #[default]
+    MostFaults,
+    /// Greedy with hardness weights.
+    Weighted,
+}
+
+impl SelectionStrategy {
+    /// Whether this strategy scores multiple candidates per cycle (the
+    /// greedy schemes) or takes the first success.
+    pub fn is_greedy(self) -> bool {
+        matches!(self, SelectionStrategy::MostFaults | SelectionStrategy::Weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greediness() {
+        assert!(!SelectionStrategy::Random.is_greedy());
+        assert!(!SelectionStrategy::Hardness.is_greedy());
+        assert!(SelectionStrategy::MostFaults.is_greedy());
+        assert!(SelectionStrategy::Weighted.is_greedy());
+    }
+
+    #[test]
+    fn default_is_the_papers_winner() {
+        assert_eq!(SelectionStrategy::default(), SelectionStrategy::MostFaults);
+    }
+}

@@ -1,0 +1,306 @@
+//! The three disjoint fault sets of the paper's §4: `f_c`, `f_h`, `f_u`.
+
+use tvs_logic::BitVec;
+
+use tvs_fault::Fault;
+
+/// Which of the three sets a fault currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultState {
+    /// `f_u` — not yet differentiated by any applied vector.
+    Uncaught,
+    /// `f_h` — differentiated, but every differentiating bit is still inside
+    /// the scan chain; carries a faulty chain image.
+    Hidden,
+    /// `f_c` — observed at the tester; final.
+    Caught,
+}
+
+/// A hidden fault together with its private chain image.
+///
+/// The image is what the *faulty* machine's scan chain holds; its retained
+/// part becomes the faulty machine's next stimulus `T_f`, which generally
+/// differs from the intended `T_correct` — the mechanism by which hidden
+/// faults surface in later cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HiddenFault {
+    /// The fault.
+    pub fault: Fault,
+    /// The faulty machine's current chain contents.
+    pub image: BitVec,
+}
+
+/// Bookkeeping for every fault's state across stitched test application.
+///
+/// Enforces the state machine of the paper's §5: faults move freely between
+/// `f_u` and `f_h`, while `f_c` is absorbing (`f_c` "will consistently
+/// increase in size").
+///
+/// # Examples
+///
+/// ```
+/// use tvs_fault::{Fault, FaultSite, StuckAt};
+/// use tvs_logic::BitVec;
+/// use tvs_netlist::GateId;
+/// use tvs_stitch::{FaultSets, FaultState};
+///
+/// let f = Fault::stem(GateId::from_index(0), StuckAt::Zero);
+/// let mut sets = FaultSets::new(vec![f]);
+/// assert_eq!(sets.state(0), FaultState::Uncaught);
+/// sets.set_hidden(0, BitVec::from_bools([true]));
+/// sets.set_caught(0);
+/// assert_eq!(sets.caught_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSets {
+    faults: Vec<Fault>,
+    state: Vec<FaultState>,
+    images: Vec<Option<BitVec>>,
+    caught: usize,
+    hidden: usize,
+    /// Lifetime transition counters: (uncaught→hidden, hidden→caught,
+    /// hidden→uncaught erasures).
+    transitions: (usize, usize, usize),
+}
+
+impl FaultSets {
+    /// Creates the bookkeeping with every fault in `f_u`.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        let n = faults.len();
+        FaultSets {
+            faults,
+            state: vec![FaultState::Uncaught; n],
+            images: vec![None; n],
+            caught: 0,
+            hidden: 0,
+            transitions: (0, 0, 0),
+        }
+    }
+
+    /// Lifetime transition counters `(uncaught→hidden, hidden→caught,
+    /// hidden→uncaught)`; the second/first ratio is the hidden-fault
+    /// conversion rate the paper's observability analysis (§6.2) is about.
+    pub fn transition_counts(&self) -> (usize, usize, usize) {
+        self.transitions
+    }
+
+    /// Total number of faults tracked.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if no faults are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fault(&self, index: usize) -> Fault {
+        self.faults[index]
+    }
+
+    /// The state of the fault with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn state(&self, index: usize) -> FaultState {
+        self.state[index]
+    }
+
+    /// The chain image of a hidden fault, `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn image(&self, index: usize) -> Option<&BitVec> {
+        self.images[index].as_ref()
+    }
+
+    /// Size of `f_c`.
+    pub fn caught_count(&self) -> usize {
+        self.caught
+    }
+
+    /// Size of `f_h`.
+    pub fn hidden_count(&self) -> usize {
+        self.hidden
+    }
+
+    /// Size of `f_u`.
+    pub fn uncaught_count(&self) -> usize {
+        self.len() - self.caught - self.hidden
+    }
+
+    /// Indices currently in `f_u`, in list order.
+    pub fn uncaught_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.state[i] == FaultState::Uncaught)
+            .collect()
+    }
+
+    /// Indices currently in `f_h`, in list order.
+    pub fn hidden_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.state[i] == FaultState::Hidden)
+            .collect()
+    }
+
+    /// The hidden faults with their images.
+    pub fn hidden_faults(&self) -> Vec<HiddenFault> {
+        self.hidden_indices()
+            .into_iter()
+            .map(|i| HiddenFault {
+                fault: self.faults[i],
+                image: self.images[i].clone().expect("hidden fault has an image"),
+            })
+            .collect()
+    }
+
+    /// Moves a fault to `f_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range. Idempotent on already-caught
+    /// faults.
+    pub fn set_caught(&mut self, index: usize) {
+        match self.state[index] {
+            FaultState::Caught => {}
+            FaultState::Hidden => {
+                self.hidden -= 1;
+                self.images[index] = None;
+                self.state[index] = FaultState::Caught;
+                self.caught += 1;
+                self.transitions.1 += 1;
+            }
+            FaultState::Uncaught => {
+                self.state[index] = FaultState::Caught;
+                self.caught += 1;
+            }
+        }
+    }
+
+    /// Moves a fault to `f_h` with the given chain image (also used to
+    /// refresh the image of an already-hidden fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the fault is already caught
+    /// (`f_c` is absorbing).
+    pub fn set_hidden(&mut self, index: usize, image: BitVec) {
+        match self.state[index] {
+            FaultState::Caught => panic!("caught faults cannot become hidden"),
+            FaultState::Hidden => {
+                self.images[index] = Some(image);
+            }
+            FaultState::Uncaught => {
+                self.state[index] = FaultState::Hidden;
+                self.images[index] = Some(image);
+                self.hidden += 1;
+                self.transitions.0 += 1;
+            }
+        }
+    }
+
+    /// Moves a fault back to `f_u` (a hidden fault whose effect was erased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the fault is already caught.
+    pub fn set_uncaught(&mut self, index: usize) {
+        match self.state[index] {
+            FaultState::Caught => panic!("caught faults cannot become uncaught"),
+            FaultState::Hidden => {
+                self.hidden -= 1;
+                self.images[index] = None;
+                self.state[index] = FaultState::Uncaught;
+                self.transitions.2 += 1;
+            }
+            FaultState::Uncaught => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::GateId;
+    use tvs_fault::StuckAt;
+
+    fn three() -> FaultSets {
+        let faults = (0..3)
+            .map(|i| Fault::stem(GateId::from_index(i), StuckAt::Zero))
+            .collect();
+        FaultSets::new(faults)
+    }
+
+    #[test]
+    fn starts_all_uncaught() {
+        let s = three();
+        assert_eq!(s.uncaught_count(), 3);
+        assert_eq!(s.caught_count(), 0);
+        assert_eq!(s.hidden_count(), 0);
+        assert_eq!(s.uncaught_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn counts_track_transitions() {
+        let mut s = three();
+        s.set_hidden(1, BitVec::from_bools([true]));
+        assert_eq!((s.uncaught_count(), s.hidden_count(), s.caught_count()), (2, 1, 0));
+        s.set_caught(1);
+        assert_eq!((s.uncaught_count(), s.hidden_count(), s.caught_count()), (2, 0, 1));
+        s.set_caught(0);
+        assert_eq!((s.uncaught_count(), s.hidden_count(), s.caught_count()), (1, 0, 2));
+        assert_eq!(s.uncaught_indices(), vec![2]);
+    }
+
+    #[test]
+    fn hidden_image_is_accessible_and_cleared() {
+        let mut s = three();
+        let img = BitVec::from_bools([true, false]);
+        s.set_hidden(0, img.clone());
+        assert_eq!(s.image(0), Some(&img));
+        assert_eq!(s.hidden_faults().len(), 1);
+        s.set_uncaught(0);
+        assert_eq!(s.image(0), None);
+        assert_eq!(s.uncaught_count(), 3);
+    }
+
+    #[test]
+    fn hidden_image_can_be_refreshed() {
+        let mut s = three();
+        s.set_hidden(0, BitVec::from_bools([true]));
+        s.set_hidden(0, BitVec::from_bools([false]));
+        assert_eq!(s.hidden_count(), 1);
+        assert_eq!(s.image(0), Some(&BitVec::from_bools([false])));
+    }
+
+    #[test]
+    #[should_panic(expected = "caught faults cannot become hidden")]
+    fn caught_is_absorbing_vs_hidden() {
+        let mut s = three();
+        s.set_caught(0);
+        s.set_hidden(0, BitVec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "caught faults cannot become uncaught")]
+    fn caught_is_absorbing_vs_uncaught() {
+        let mut s = three();
+        s.set_caught(0);
+        s.set_uncaught(0);
+    }
+
+    #[test]
+    fn set_caught_is_idempotent() {
+        let mut s = three();
+        s.set_caught(2);
+        s.set_caught(2);
+        assert_eq!(s.caught_count(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Invariant tests of the stitching engine on generated circuits.
+
+use proptest::prelude::*;
+
+use tvs_circuits::{synthesize, SynthConfig};
+use tvs_scan::CaptureTransform;
+use tvs_stitch::{ShiftPolicy, StitchConfig, StitchEngine};
+
+fn circuit(seed: u64) -> tvs_netlist::Netlist {
+    synthesize(
+        "inv",
+        &SynthConfig { inputs: 4, outputs: 3, flip_flops: 10, gates: 70, seed, depth_hint: None },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn shifts_are_monotone_and_schedules_replayable(seed in 0u64..200) {
+        let netlist = circuit(seed);
+        let engine = StitchEngine::new(&netlist).expect("sequential");
+        let cfg = StitchConfig::default();
+        let report = engine.run(&cfg).expect("run");
+
+        // Variable policy growth is monotone after the initial full shift.
+        let stitched = &report.shifts[1..];
+        for w in stitched.windows(2) {
+            prop_assert!(w[0] <= w[1], "shift schedule decreased: {:?}", report.shifts);
+        }
+
+        // Every generated schedule must be physically applicable.
+        let vectors: Vec<_> = report.cycles.iter().map(|c| c.vector.clone()).collect();
+        let replayed = engine.replay(&vectors, &report.shifts, report.final_flush, &cfg);
+        prop_assert!(replayed.is_ok(), "unreplayable schedule");
+    }
+
+    #[test]
+    fn set_sizes_are_conserved_per_cycle(seed in 0u64..200) {
+        let netlist = circuit(seed);
+        let engine = StitchEngine::new(&netlist).expect("sequential");
+        let report = engine.run(&StitchConfig::default()).expect("run");
+        let mut caught_so_far = 0usize;
+        for (i, cycle) in report.cycles.iter().enumerate() {
+            caught_so_far += cycle.newly_caught;
+            // f_c grows monotonically; hidden+uncaught+caught = tracked.
+            let tracked = cycle.hidden_after + cycle.uncaught_after + caught_so_far;
+            prop_assert!(
+                tracked > 0 && cycle.shift >= 1,
+                "cycle {i} inconsistent: {cycle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vertical_xor_never_reduces_coverage(seed in 0u64..100) {
+        let netlist = circuit(seed);
+        let engine = StitchEngine::new(&netlist).expect("sequential");
+        let plain = engine.run(&StitchConfig::default()).expect("run");
+        let vxor = engine
+            .run(&StitchConfig {
+                capture: CaptureTransform::VerticalXor,
+                ..StitchConfig::default()
+            })
+            .expect("run");
+        prop_assert!(
+            vxor.metrics.fault_coverage >= plain.metrics.fault_coverage - 0.05,
+            "VXOR coverage {} far below plain {}",
+            vxor.metrics.fault_coverage,
+            plain.metrics.fault_coverage
+        );
+    }
+}
+
+#[test]
+fn fixed_policy_uses_one_shift_size() {
+    let netlist = circuit(3);
+    let engine = StitchEngine::new(&netlist).expect("sequential");
+    let cfg = StitchConfig { policy: ShiftPolicy::Fixed(4), ..StitchConfig::default() };
+    let report = engine.run(&cfg).expect("run");
+    assert!(report.shifts[0] == netlist.dff_count());
+    for &k in &report.shifts[1..] {
+        assert_eq!(k, 4);
+    }
+}
+
+#[test]
+fn degenerate_one_cell_chain_works() {
+    let netlist = synthesize(
+        "one-cell",
+        &SynthConfig { inputs: 3, outputs: 2, flip_flops: 1, gates: 20, seed: 1, depth_hint: None },
+    );
+    let engine = StitchEngine::new(&netlist).expect("sequential");
+    let report = engine.run(&StitchConfig::default()).expect("run");
+    assert!(report.metrics.fault_coverage > 0.9);
+}
+
+#[test]
+fn report_costs_match_the_cost_model() {
+    use tvs_scan::CostModel;
+    let netlist = circuit(17);
+    let engine = StitchEngine::new(&netlist).expect("sequential");
+    let report = engine.run(&StitchConfig::default()).expect("run");
+    let view = netlist.scan_view().expect("valid");
+    let model = CostModel {
+        scan_len: netlist.dff_count(),
+        pi_count: view.pi_count(),
+        po_count: view.po_count(),
+    };
+    let expect = if report.shifts.is_empty() {
+        model.full_costs(report.extra_vectors.len())
+    } else {
+        model.stitched_costs(&report.shifts, report.final_flush, report.extra_vectors.len())
+    };
+    assert_eq!(report.metrics.stitched_costs, expect);
+    assert_eq!(
+        report.metrics.baseline_costs,
+        model.full_costs(report.metrics.baseline_vectors)
+    );
+}

@@ -1,0 +1,31 @@
+//! Quickstart: compress the test set of a small sequential circuit.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tvs::circuits;
+use tvs::stitch::{StitchConfig, StitchEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An s27-class circuit: 4 PIs, 1 PO, 3 scan cells.
+    let netlist = circuits::s27();
+    println!("circuit: {netlist}");
+
+    let engine = StitchEngine::new(&netlist)?;
+    let report = engine.run(&StitchConfig::default())?;
+
+    println!("stitched vectors (TV): {}", report.metrics.stitched_vectors);
+    println!("fallback vectors (ex): {}", report.metrics.extra_vectors);
+    println!("baseline vectors (aTV): {}", report.metrics.baseline_vectors);
+    println!(
+        "tester memory ratio m = {:.2}, test time ratio t = {:.2}",
+        report.metrics.memory_ratio, report.metrics.time_ratio
+    );
+    println!("fault coverage: {:.4}", report.metrics.fault_coverage);
+    println!(
+        "stitched costs: {}  (baseline: {})",
+        report.metrics.stitched_costs, report.metrics.baseline_costs
+    );
+    Ok(())
+}

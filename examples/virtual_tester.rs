@@ -1,0 +1,55 @@
+//! From compressed schedule to defect screening: generate a stitched test
+//! program, export it in `.tvp` form, execute it on the virtual ATE against
+//! good and defective parts, and diagnose a failing part from its syndrome.
+//!
+//! ```sh
+//! cargo run --release --example virtual_tester
+//! ```
+
+use tvs::ate::{diagnose, Dut, TestProgram, VirtualAte};
+use tvs::fault::{Fault, FaultList, StuckAt};
+use tvs::stitch::{StitchConfig, StitchEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = tvs::circuits::s27();
+    let config = StitchConfig::default();
+    let engine = StitchEngine::new(&netlist)?;
+    let report = engine.run(&config)?;
+    let program = TestProgram::from_report(&netlist, &report, &config);
+
+    println!("circuit: {netlist}");
+    println!(
+        "program: {} cycles, {} shift clocks (conventional would need {})",
+        program.cycles.len(),
+        program.shift_cycles(),
+        report.metrics.baseline_costs.shift_cycles,
+    );
+    println!("\nfirst lines of the .tvp export:");
+    for line in program.to_text().lines().take(8) {
+        println!("  {line}");
+    }
+
+    let view = netlist.scan_view()?;
+    let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+    println!(
+        "\ngood part: {:?}",
+        VirtualAte::execute(&program, &mut dut)
+    );
+
+    // Manufacture a defective part.
+    let defect = Fault::stem(netlist.find("G11").expect("known net"), StuckAt::One);
+    dut.inject(defect);
+    let outcome = VirtualAte::execute(&program, &mut dut);
+    println!("defective part ({}): {outcome:?}", defect.display_in(&netlist));
+
+    // Diagnose it from the full failure syndrome.
+    let observed = VirtualAte::failure_log(&program, &mut dut);
+    println!("syndrome: {} failing observations", observed.len());
+    let candidates = FaultList::collapsed(&netlist);
+    let ranked = diagnose(&netlist, &program, &observed, candidates.faults());
+    println!("top diagnosis candidates:");
+    for d in ranked.iter().take(3) {
+        println!("  {:8} score {:.2}", d.fault.display_in(&netlist), d.score);
+    }
+    Ok(())
+}

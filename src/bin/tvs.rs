@@ -1,0 +1,223 @@
+//! `tvs` — command-line front end for the test vector stitching toolkit.
+//!
+//! ```text
+//! tvs stats   <circuit.bench>                circuit statistics
+//! tvs faults  <circuit.bench>                collapsed fault list summary
+//! tvs atpg    <circuit.bench>                conventional full-shift ATPG
+//! tvs stitch  <circuit.bench> [options]      stitched test generation
+//! tvs program <circuit.bench> <out.tvp>      stitch and export a tester program
+//! tvs verify  <circuit.bench> <prog.tvp>     execute a program on the virtual ATE
+//! tvs gen     <name|profile> <out.bench>     synthesize a calibrated benchmark
+//! ```
+//!
+//! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
+//! `--select random|hardness|most|weighted`, `--seed <n>`.
+
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use tvs::ate::{Dut, TestProgram, VirtualAte};
+use tvs::atpg::{generate_tests, AtpgConfig};
+use tvs::fault::FaultList;
+use tvs::netlist::{bench, Netlist};
+use tvs::scan::{CaptureTransform, ObserveTransform};
+use tvs::stitch::{SelectionStrategy, ShiftPolicy, StitchConfig, StitchEngine};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "stats" => stats(&args[1..]),
+        "faults" => faults(&args[1..]),
+        "atpg" => atpg(&args[1..]),
+        "stitch" => stitch(&args[1..]),
+        "program" => program(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "gen" => gen(&args[1..]),
+        _ => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+    }
+}
+
+const USAGE: &str = "\
+tvs — test vector stitching toolkit (DATE 2003 reproduction)
+
+  tvs stats   <circuit.bench>              circuit statistics
+  tvs faults  <circuit.bench>              collapsed fault list summary
+  tvs atpg    <circuit.bench>              conventional full-shift ATPG
+  tvs stitch  <circuit.bench> [options]    stitched test generation
+  tvs program <circuit.bench> <out.tvp>    stitch and export a tester program
+  tvs verify  <circuit.bench> <prog.tvp>   run a program on the virtual ATE
+  tvs gen     <profile> <out.bench>        synthesize a calibrated benchmark
+
+stitch options:
+  --vxor            vertical-XOR capture (paper Fig. 3)
+  --hxor <g>        horizontal-XOR observation with g taps (paper Fig. 4)
+  --fixed <k>       fixed shift size instead of the variable policy
+  --select <s>      random | hardness | most | weighted   (default: most)
+  --seed <n>        RNG seed
+";
+
+fn load(path: &str) -> Result<Netlist, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    Ok(bench::parse(name, &text)?)
+}
+
+fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, Box<dyn Error>> {
+    args.get(i).map(String::as_str).ok_or_else(|| format!("missing {what}").into())
+}
+
+fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    println!("{netlist}");
+    println!("{}", netlist.stats());
+    let view = netlist.scan_view()?;
+    println!(
+        "full-scan view: {} inputs -> {} outputs, depth {}",
+        view.input_count(),
+        view.output_count(),
+        view.depth()
+    );
+    Ok(())
+}
+
+fn faults(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    let full = FaultList::full(&netlist);
+    let collapsed = FaultList::collapsed(&netlist);
+    println!(
+        "{}: {} faults in the universe, {} after equivalence collapsing ({:.1}%)",
+        netlist.name(),
+        full.len(),
+        collapsed.len(),
+        100.0 * collapsed.len() as f64 / full.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn atpg(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    let set = generate_tests(&netlist, &AtpgConfig::default())?;
+    println!(
+        "{}: {} vectors, coverage {:.4}, {} redundant, {} aborted",
+        netlist.name(),
+        set.len(),
+        set.fault_coverage,
+        set.redundant.len(),
+        set.aborted.len()
+    );
+    Ok(())
+}
+
+fn stitch_config(args: &[String]) -> Result<StitchConfig, Box<dyn Error>> {
+    let mut config = StitchConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--vxor" => config.capture = CaptureTransform::VerticalXor,
+            "--hxor" => {
+                config.observe =
+                    ObserveTransform::HorizontalXor(need(args, i + 1, "tap count")?.parse()?);
+                i += 1;
+            }
+            "--fixed" => {
+                config.policy = ShiftPolicy::Fixed(need(args, i + 1, "shift size")?.parse()?);
+                i += 1;
+            }
+            "--select" => {
+                config.selection = match need(args, i + 1, "strategy")? {
+                    "random" => SelectionStrategy::Random,
+                    "hardness" => SelectionStrategy::Hardness,
+                    "most" => SelectionStrategy::MostFaults,
+                    "weighted" => SelectionStrategy::Weighted,
+                    other => return Err(format!("unknown strategy {other:?}").into()),
+                };
+                i += 1;
+            }
+            "--seed" => {
+                config.seed = need(args, i + 1, "seed")?.parse()?;
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}").into())
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(config)
+}
+
+fn stitch(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    let config = stitch_config(&args[1..])?;
+    let engine = StitchEngine::new(&netlist)?;
+    let report = engine.run(&config)?;
+    println!("{}: {}", netlist.name(), report.metrics);
+    println!(
+        "shift schedule: initial {} then {:?}… closing flush {}",
+        report.shifts.first().copied().unwrap_or(0),
+        &report.shifts[1..report.shifts.len().min(9)],
+        report.final_flush
+    );
+    let (entered, converted, erased) = report.hidden_transitions;
+    println!("hidden faults: {entered} entered, {converted} caught, {erased} erased");
+    Ok(())
+}
+
+fn program(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    let out = need(args, 1, "output path")?;
+    let config = stitch_config(&args[2..])?;
+    let engine = StitchEngine::new(&netlist)?;
+    let report = engine.run(&config)?;
+    let program = TestProgram::from_report(&netlist, &report, &config);
+    fs::write(out, program.to_text())?;
+    println!(
+        "wrote {} ({} cycles, {} shift clocks; {})",
+        out,
+        program.cycles.len(),
+        program.shift_cycles(),
+        report.metrics
+    );
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    let text = fs::read_to_string(need(args, 1, "program path")?)?;
+    let program = TestProgram::parse(&text)?;
+    let view = netlist.scan_view()?;
+    let mut dut = Dut::new(&netlist, &view, program.capture, program.observe);
+    let outcome = VirtualAte::execute(&program, &mut dut);
+    println!("{outcome:?}");
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let name = need(args, 0, "profile name")?;
+    let out = need(args, 1, "output path")?;
+    let profile = tvs::circuits::profile(name)
+        .ok_or_else(|| format!("unknown profile {name:?} (try s444, s1423, s5378, …)"))?;
+    let netlist = profile.build();
+    fs::write(out, bench::to_string(&netlist))?;
+    println!("wrote {out}: {netlist}");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # tvs — Test Vector Stitching
+//!
+//! Facade crate for the TVS toolkit, a from-scratch Rust reproduction of
+//! W. Rao & A. Orailoglu, *"Virtual Compression through Test Vector Stitching
+//! for Scan Based Designs"*, DATE 2003.
+//!
+//! The toolkit is a layered DFT (design-for-test) stack:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | logic values | [`logic`] | three-valued logic, test cubes, bit vectors |
+//! | circuits | [`netlist`] | gate-level netlists, `.bench` I/O, scan views |
+//! | simulation | [`sim`] | 3-valued + 64-slot bit-parallel simulation |
+//! | faults | [`fault`] | stuck-at model, collapsing, fault simulation, SCOAP |
+//! | test generation | [`atpg`] | PODEM with pinned scan bits, compaction |
+//! | scan mechanics | [`scan`] | partial shift, VXOR/HXOR, cost accounting |
+//! | **stitching** | [`stitch`] | the paper's compression algorithm |
+//! | benchmarks | [`circuits`] | paper example + ISCAS89-calibrated profiles |
+//! | virtual tester | [`ate`] | pin-accurate program execution, screening, diagnosis |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tvs::circuits;
+//! use tvs::stitch::{StitchConfig, StitchEngine};
+//!
+//! // The paper's Figure 1 circuit: 3 scan cells, 3 gates, no PIs/POs.
+//! let netlist = circuits::fig1();
+//! let report = StitchEngine::new(&netlist)?
+//!     .run(&StitchConfig::default())?;
+//! assert!(report.metrics.fault_coverage >= 1.0 - 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tvs_ate as ate;
+pub use tvs_atpg as atpg;
+pub use tvs_circuits as circuits;
+pub use tvs_fault as fault;
+pub use tvs_logic as logic;
+pub use tvs_netlist as netlist;
+pub use tvs_scan as scan;
+pub use tvs_sim as sim;
+pub use tvs_stitch as stitch;

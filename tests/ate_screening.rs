@@ -1,0 +1,131 @@
+//! The strongest end-to-end validation in the repository: generated
+//! stitched schedules, exported as pin-level test programs and executed on
+//! a cycle-accurate virtual tester, must FAIL for exactly the faults the
+//! engine claims to catch.
+
+use tvs::ate::{Dut, TestProgram, VirtualAte};
+use tvs::circuits::{fig1, synthesize, SynthConfig};
+use tvs::fault::FaultList;
+use tvs::stitch::{StitchConfig, StitchEngine};
+
+fn screen(netlist: &tvs::netlist::Netlist, config: &StitchConfig) {
+    let engine = StitchEngine::new(netlist).expect("sequential circuit");
+    let report = engine.run(config).expect("run");
+    let program = TestProgram::from_report(netlist, &report, config);
+    let view = netlist.scan_view().expect("valid");
+    let mut dut = Dut::new(netlist, &view, config.capture, config.observe);
+
+    // The good part passes.
+    assert!(
+        VirtualAte::execute(&program, &mut dut).passed(),
+        "fault-free part must pass its own program"
+    );
+
+    // Defective parts are screened: the engine's claimed coverage must be
+    // real at the pin level.
+    let faults = FaultList::collapsed(netlist);
+    let mut screened = 0usize;
+    let mut escaped = Vec::new();
+    for &fault in faults.faults() {
+        dut.inject(fault);
+        if VirtualAte::execute(&program, &mut dut).passed() {
+            escaped.push(fault.display_in(netlist));
+        } else {
+            screened += 1;
+        }
+    }
+    let claimed = (report.metrics.fault_coverage
+        * (faults.len() - report.redundant.len()) as f64)
+        .round() as usize;
+    assert!(
+        screened >= claimed,
+        "engine claims {claimed} caught but the tester screens only {screened} \
+         (escapes: {escaped:?})"
+    );
+    // Redundant faults cannot be screened by any program.
+    assert!(
+        escaped.len() <= faults.len() - claimed,
+        "too many escapes: {escaped:?}"
+    );
+}
+
+#[test]
+fn fig1_program_screens_all_irredundant_faults() {
+    let netlist = fig1();
+    screen(&netlist, &StitchConfig::default());
+}
+
+#[test]
+fn synthetic_program_screens_its_claimed_coverage() {
+    let netlist = synthesize(
+        "screen",
+        &SynthConfig {
+            inputs: 5,
+            outputs: 4,
+            flip_flops: 14,
+            gates: 110,
+            seed: 77,
+            depth_hint: None,
+        },
+    );
+    screen(&netlist, &StitchConfig::default());
+}
+
+#[test]
+fn vxor_program_screens_too() {
+    use tvs::scan::CaptureTransform;
+    let netlist = synthesize(
+        "screen-vxor",
+        &SynthConfig {
+            inputs: 4,
+            outputs: 3,
+            flip_flops: 12,
+            gates: 90,
+            seed: 5,
+            depth_hint: None,
+        },
+    );
+    let config = StitchConfig {
+        capture: CaptureTransform::VerticalXor,
+        ..StitchConfig::default()
+    };
+    screen(&netlist, &config);
+}
+
+#[test]
+fn programs_round_trip_through_tvp_text() {
+    let netlist = fig1();
+    let config = StitchConfig::default();
+    let engine = StitchEngine::new(&netlist).expect("sequential");
+    let report = engine.run(&config).expect("run");
+    let program = TestProgram::from_report(&netlist, &report, &config);
+    let text = program.to_text();
+    let back = TestProgram::parse(&text).expect("reparse");
+    assert_eq!(back, program);
+
+    // The reparsed program screens identically.
+    let view = netlist.scan_view().expect("valid");
+    let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
+    assert!(VirtualAte::execute(&back, &mut dut).passed());
+}
+
+#[test]
+fn conventional_program_from_patterns_screens_baseline_coverage() {
+    use tvs::atpg::{generate_tests, AtpgConfig};
+    let netlist = fig1();
+    let set = generate_tests(&netlist, &AtpgConfig::default()).expect("baseline");
+    let program = TestProgram::from_patterns(&netlist, &set.patterns);
+    let view = netlist.scan_view().expect("valid");
+    let mut dut = Dut::new(&netlist, &view, program.capture, program.observe);
+    assert!(VirtualAte::execute(&program, &mut dut).passed());
+
+    let faults = FaultList::collapsed(&netlist);
+    let mut escapes = Vec::new();
+    for &fault in faults.faults() {
+        dut.inject(fault);
+        if VirtualAte::execute(&program, &mut dut).passed() {
+            escapes.push(fault.display_in(&netlist));
+        }
+    }
+    assert_eq!(escapes, vec!["E-F/1".to_string()], "only the redundant fault escapes");
+}

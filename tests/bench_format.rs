@@ -1,0 +1,70 @@
+//! `.bench` round-trip tests across the circuit catalogue.
+
+use tvs::circuits::{fig1, profile, s27};
+use tvs::netlist::bench;
+
+fn assert_round_trip(netlist: &tvs::netlist::Netlist) {
+    let text = bench::to_string(netlist);
+    let back = bench::parse(netlist.name(), &text).expect("reparse");
+    assert_eq!(back.gate_count(), netlist.gate_count());
+    assert_eq!(back.input_count(), netlist.input_count());
+    assert_eq!(back.output_count(), netlist.output_count());
+    assert_eq!(back.dff_count(), netlist.dff_count());
+    for id in netlist.gate_ids() {
+        let name = netlist.gate_name(id);
+        let other = back.find(name).expect("same signals");
+        assert_eq!(netlist.gate(id).kind(), back.gate(other).kind(), "{name}");
+        let fanin_a: Vec<&str> = netlist
+            .gate(id)
+            .fanin()
+            .iter()
+            .map(|&f| netlist.gate_name(f))
+            .collect();
+        let fanin_b: Vec<&str> = back
+            .gate(other)
+            .fanin()
+            .iter()
+            .map(|&f| back.gate_name(f))
+            .collect();
+        assert_eq!(fanin_a, fanin_b, "{name}");
+    }
+    // Second serialization is bit-identical (canonical form).
+    assert_eq!(text, bench::to_string(&back));
+}
+
+#[test]
+fn hand_written_circuits_round_trip() {
+    assert_round_trip(&fig1());
+    assert_round_trip(&s27());
+}
+
+#[test]
+fn synthetic_profiles_round_trip() {
+    for name in ["s444", "s641", "s1423"] {
+        let netlist = profile(name).expect("known").build_scaled(0.5);
+        assert_round_trip(&netlist);
+    }
+}
+
+#[test]
+fn scan_views_agree_after_round_trip() {
+    let netlist = profile("s526").expect("known").build_scaled(0.5);
+    let text = bench::to_string(&netlist);
+    let back = bench::parse("s526", &text).expect("reparse");
+    let va = netlist.scan_view().expect("valid");
+    let vb = back.scan_view().expect("valid");
+    assert_eq!(va.input_count(), vb.input_count());
+    assert_eq!(va.output_count(), vb.output_count());
+    assert_eq!(va.depth(), vb.depth());
+    // Identical simulation semantics.
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(9);
+    for _ in 0..16 {
+        let bits: tvs::logic::BitVec =
+            (0..va.input_count()).map(|_| rng.gen::<bool>()).collect();
+        assert_eq!(
+            tvs::sim::eval_single(&netlist, &va, &bits),
+            tvs::sim::eval_single(&back, &vb, &bits)
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end reproduction of the paper's Table 1 through the public API.
+
+use tvs::circuits::{fig1, fig1_vectors};
+use tvs::stitch::{StitchConfig, StitchEngine};
+
+fn trace() -> (tvs::netlist::Netlist, tvs::stitch::ReplayTrace) {
+    let netlist = fig1();
+    let engine = StitchEngine::new(&netlist).expect("fig1 has a scan chain");
+    let trace = engine
+        .replay(&fig1_vectors(), &[3, 2, 2, 2], 2, &StitchConfig::default())
+        .expect("the paper's schedule is consistent");
+    (netlist, trace)
+}
+
+#[test]
+fn fault_free_row_matches_paper() {
+    let (_, trace) = trace();
+    let tvs: Vec<String> = trace.cycles.iter().map(|c| c.vector.to_string()).collect();
+    let rps: Vec<String> = trace.cycles.iter().map(|c| c.response.to_string()).collect();
+    assert_eq!(tvs, ["110", "001", "100", "010"]);
+    assert_eq!(rps, ["111", "010", "000", "010"]);
+}
+
+#[test]
+fn only_the_redundant_fault_survives() {
+    let (netlist, trace) = trace();
+    let uncaught: Vec<String> = trace
+        .rows
+        .iter()
+        .filter(|r| r.caught_at.is_none())
+        .map(|r| r.fault.display_in(&netlist))
+        .collect();
+    assert_eq!(uncaught, ["E-F/1"]);
+}
+
+#[test]
+fn f0_hides_then_surfaces_via_mutated_vector() {
+    let (netlist, trace) = trace();
+    let row = trace
+        .rows
+        .iter()
+        .find(|r| r.fault.display_in(&netlist) == "F/0")
+        .expect("F/0 tracked");
+    // Cycle 1: response 011 vs 111 — differs only in cell a (retained).
+    assert_eq!(row.entries[0].response.to_string(), "011");
+    // Cycle 2: the mutated vector 000 (intended 001) produces 000 vs 010.
+    assert_eq!(row.entries[1].vector.to_string(), "000");
+    assert_eq!(row.entries[1].response.to_string(), "000");
+    assert_eq!(row.caught_at, Some(1));
+}
+
+#[test]
+fn f1_class_faults_mutate_the_third_vector() {
+    // Paper: F/1 and D-F/1 become hidden in cycle 2 and mutate the third
+    // test vector to 101, whose faulty response 110 differs from 000.
+    let (netlist, trace) = trace();
+    let row = trace
+        .rows
+        .iter()
+        .find(|r| r.fault.display_in(&netlist) == "F/1")
+        .expect("F/1 tracked");
+    assert_eq!(row.entries[2].vector.to_string(), "101");
+    assert_eq!(row.entries[2].response.to_string(), "110");
+    assert_eq!(row.caught_at, Some(2));
+}
+
+#[test]
+fn a_stuck_at_one_is_caught_by_the_final_flush() {
+    // Paper: A/1 is only excited by the fourth vector 010; its faulty
+    // response 111 differs from 010 in cells the closing flush exposes.
+    let (netlist, trace) = trace();
+    let row = trace
+        .rows
+        .iter()
+        .find(|r| r.fault.display_in(&netlist) == "a/1")
+        .expect("a/1 tracked");
+    assert_eq!(row.entries.len(), 4, "tracked through all four cycles");
+    assert_eq!(row.entries[3].response.to_string(), "111");
+    assert_eq!(row.caught_at, Some(3));
+}
+
+#[test]
+fn generated_run_also_reaches_full_coverage() {
+    let netlist = fig1();
+    let engine = StitchEngine::new(&netlist).expect("fig1 has a scan chain");
+    let report = engine.run(&StitchConfig::default()).expect("run succeeds");
+    assert!(report.metrics.fault_coverage >= 1.0 - 1e-9);
+    assert_eq!(report.redundant.len(), 1);
+}

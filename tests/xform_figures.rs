@@ -1,0 +1,88 @@
+//! The paper's Figure 3 (vertical XOR) and Figure 4 (horizontal XOR)
+//! mechanics through the public API.
+
+use tvs::logic::BitVec;
+use tvs::scan::{CaptureTransform, ObserveTransform, ScanChain};
+
+fn bv(s: &str) -> BitVec {
+    s.chars().map(|c| c == '1').collect()
+}
+
+#[test]
+fn figure3_vertical_xor_preserves_hidden_effects() {
+    // Fig. 3's point: with plain capture, a hidden fault whose next
+    // response equals the fault-free one is erased; with VXOR the chain
+    // keeps R ⊕ T, so the differing stimulus T_f keeps the effect alive.
+    let t_good = bv("0110");
+    let t_fault = bv("0010"); // mutated by a retained faulty bit
+    let r_same = bv("1011"); // circuit output happens to match
+
+    let plain_good = CaptureTransform::Plain.capture(&t_good, &r_same);
+    let plain_fault = CaptureTransform::Plain.capture(&t_fault, &r_same);
+    assert_eq!(plain_good, plain_fault, "plain capture erases the effect");
+
+    let vx_good = CaptureTransform::VerticalXor.capture(&t_good, &r_same);
+    let vx_fault = CaptureTransform::VerticalXor.capture(&t_fault, &r_same);
+    assert_ne!(vx_good, vx_fault, "VXOR preserves the effect");
+}
+
+#[test]
+fn figure3_elimination_condition() {
+    // VXOR erases a hidden fault iff R_f ⊕ T_f == R_good ⊕ T_good — i.e.
+    // the response difference aligns bit-for-bit with the vector
+    // difference.
+    let t_good = bv("0000");
+    let r_good = bv("1100");
+    let t_fault = bv("0100");
+    let r_fault = bv("1000"); // differs exactly where T differs
+    assert_eq!(
+        CaptureTransform::VerticalXor.capture(&t_fault, &r_fault),
+        CaptureTransform::VerticalXor.capture(&t_good, &r_good),
+    );
+}
+
+#[test]
+fn figure4_horizontal_xor_stream() {
+    // Fig. 4: six cells a..f, three taps; the scanned-out data is
+    // (b ⊕ d ⊕ f) then (a ⊕ c ⊕ e).
+    let chain = ScanChain::new(6);
+    let cells = [true, false, false, true, true, false]; // a..f
+    let image: BitVec = cells.iter().copied().collect();
+    let out = chain.shift(&image, &BitVec::zeros(2), ObserveTransform::HorizontalXor(3));
+    let (a, b, c, d, e, f) = (cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]);
+    assert_eq!(out.observed.get(0), b ^ d ^ f);
+    assert_eq!(out.observed.get(1), a ^ c ^ e);
+}
+
+#[test]
+fn figure4_one_third_shift_passes_every_cell_through_a_tap() {
+    // The paper: "shifting out one third of a scan chain will make most of
+    // the hidden faults observable". With L/g ticks, every cell crosses a
+    // tap, so any single-bit image difference shows in the stream.
+    let l = 9;
+    let chain = ScanChain::new(l);
+    let base = BitVec::zeros(l);
+    for p in 0..l {
+        let mut flipped = base.clone();
+        flipped.set(p, true);
+        let k = l / 3;
+        let a = chain.shift(&base, &BitVec::zeros(k), ObserveTransform::HorizontalXor(3));
+        let b = chain.shift(&flipped, &BitVec::zeros(k), ObserveTransform::HorizontalXor(3));
+        assert_ne!(a.observed, b.observed, "flip at cell {p} unseen");
+    }
+}
+
+#[test]
+fn direct_observation_misses_retained_cells() {
+    // The contrast that motivates HXOR: with direct observation a k-bit
+    // shift only exposes the last k cells.
+    let l = 9;
+    let chain = ScanChain::new(l);
+    let base = BitVec::zeros(l);
+    let mut flipped = base.clone();
+    flipped.set(0, true); // scan-in side
+    let a = chain.shift(&base, &BitVec::zeros(3), ObserveTransform::Direct);
+    let b = chain.shift(&flipped, &BitVec::zeros(3), ObserveTransform::Direct);
+    assert_eq!(a.observed, b.observed, "retained-cell flip is invisible");
+    assert_ne!(a.new_image, b.new_image, "but stays in the chain");
+}
