@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Offline CI gate for the TVS workspace. The environment has no network
+# access, so every cargo invocation runs with --offline; the workspace has
+# no external dependencies, making that a no-op resolver-wise.
+set -euxo pipefail
+
+cd "$(dirname "$0")"
+
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo fmt --check

@@ -134,9 +134,14 @@ mod tests {
                 top.contains(&truth),
                 "{} not among top candidates {:?}",
                 truth.display_in(&netlist),
-                top.iter().map(|f| f.display_in(&netlist)).collect::<Vec<_>>()
+                top.iter()
+                    .map(|f| f.display_in(&netlist))
+                    .collect::<Vec<_>>()
             );
-            assert!((ranked[0].score - 1.0).abs() < 1e-12, "self-syndrome must match fully");
+            assert!(
+                (ranked[0].score - 1.0).abs() < 1e-12,
+                "self-syndrome must match fully"
+            );
         }
     }
 
@@ -176,6 +181,9 @@ mod tests {
         let sa = VirtualAte::failure_log(&program, &mut dut);
         dut.inject(b);
         let sb = VirtualAte::failure_log(&program, &mut dut);
-        assert_ne!(sa, sb, "distinguishable faults must have distinct syndromes");
+        assert_ne!(
+            sa, sb,
+            "distinguishable faults must have distinct syndromes"
+        );
     }
 }

@@ -105,8 +105,7 @@ impl<'a> Dut<'a> {
         let mut words: Vec<u64> = Vec::with_capacity(self.view.input_count());
         words.extend(pi.iter().map(u64::from));
         words.extend(shifted.new_image.iter().map(u64::from));
-        let injections: Vec<Injection> =
-            self.fault.iter().map(|f| f.injection(1)).collect();
+        let injections: Vec<Injection> = self.fault.iter().map(|f| f.injection(1)).collect();
         self.sim.eval(&words, &injections);
         let out = self.sim.output_slot(0);
 
@@ -121,7 +120,9 @@ impl<'a> Dut<'a> {
     /// Shifts out `len` bits with zero fill and no capture (the closing
     /// flush).
     pub fn flush(&mut self, len: usize) -> BitVec {
-        let shifted = self.chain.shift(&self.image, &BitVec::zeros(len), self.observe);
+        let shifted = self
+            .chain
+            .shift(&self.image, &BitVec::zeros(len), self.observe);
         self.image = shifted.new_image;
         shifted.observed
     }

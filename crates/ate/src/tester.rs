@@ -64,10 +64,18 @@ impl VirtualAte {
         for (i, cycle) in program.cycles.iter().enumerate() {
             let (observed, po) = dut.clock_cycle(&cycle.pi, &cycle.scan_in);
             if let Some(bit) = first_diff(&observed, &cycle.expected_observed) {
-                return TestOutcome::Fail { cycle: i, kind: FailKind::ShiftStream, bit };
+                return TestOutcome::Fail {
+                    cycle: i,
+                    kind: FailKind::ShiftStream,
+                    bit,
+                };
             }
             if let Some(bit) = first_diff(&po, &cycle.expected_po) {
-                return TestOutcome::Fail { cycle: i, kind: FailKind::PrimaryOutput, bit };
+                return TestOutcome::Fail {
+                    cycle: i,
+                    kind: FailKind::PrimaryOutput,
+                    bit,
+                };
             }
         }
         let flush = dut.flush(program.expected_flush.len());
@@ -120,7 +128,6 @@ mod tests {
     use super::*;
     use tvs_fault::{Fault, StuckAt};
     use tvs_netlist::{GateKind, NetlistBuilder};
-    use tvs_scan::{CaptureTransform, ObserveTransform};
 
     fn fig1() -> tvs_netlist::Netlist {
         let mut b = NetlistBuilder::new("fig1");

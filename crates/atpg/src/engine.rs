@@ -1,9 +1,6 @@
 //! The full-shift baseline ATPG flow (the paper's "ATALANTA" column).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-use tvs_logic::{BitVec, Cube};
+use tvs_logic::{BitVec, Cube, Prng};
 use tvs_netlist::{Netlist, NetlistError, ScanView};
 
 use tvs_fault::{Fault, FaultList, FaultSim};
@@ -120,7 +117,7 @@ impl From<NetlistError> for AtpgOutcome {
 pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternSet, AtpgOutcome> {
     let view = netlist.scan_view()?;
     let faults = FaultList::collapsed(netlist);
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
 
     // Phase 1: random patterns with fault dropping.
     let (mut patterns, mut detected) = random_phase(
@@ -264,7 +261,10 @@ mod tests {
         let n = fig1();
         let view = n.scan_view().unwrap();
         let faults = FaultList::collapsed(&n);
-        let cfg_nc = AtpgConfig { compact: false, ..AtpgConfig::default() };
+        let cfg_nc = AtpgConfig {
+            compact: false,
+            ..AtpgConfig::default()
+        };
         let uncompacted = generate_tests(&n, &cfg_nc).unwrap();
         let compacted = generate_tests(&n, &AtpgConfig::default()).unwrap();
         assert!(compacted.len() <= uncompacted.len());

@@ -1,8 +1,6 @@
 //! Don't-care fill strategies.
 
-use rand::Rng;
-
-use tvs_logic::{BitVec, Cube};
+use tvs_logic::{BitVec, Cube, Prng};
 
 /// How the unspecified (`X`) positions of a generated test cube are
 /// completed into a fully specified vector.
@@ -26,7 +24,7 @@ impl FillStrategy {
     /// Completes a cube into a fully specified bit vector.
     ///
     /// The `rng` is only consulted by [`FillStrategy::Random`].
-    pub fn apply<R: Rng + ?Sized>(self, cube: &Cube, rng: &mut R) -> BitVec {
+    pub fn apply(self, cube: &Cube, rng: &mut Prng) -> BitVec {
         match self {
             FillStrategy::Random => cube.random_fill(rng),
             FillStrategy::Zero => cube.fill_with(false),
@@ -38,21 +36,22 @@ impl FillStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn constant_fills() {
         let cube: Cube = "1XX0".parse().unwrap();
-        let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(FillStrategy::Zero.apply(&cube, &mut rng).to_string(), "1000");
+        let mut rng = Prng::seed_from_u64(1);
+        assert_eq!(
+            FillStrategy::Zero.apply(&cube, &mut rng).to_string(),
+            "1000"
+        );
         assert_eq!(FillStrategy::One.apply(&cube, &mut rng).to_string(), "1110");
     }
 
     #[test]
     fn random_fill_keeps_specified_bits() {
         let cube: Cube = "1XXXXXX0".parse().unwrap();
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Prng::seed_from_u64(2);
         for _ in 0..8 {
             let bits = FillStrategy::Random.apply(&cube, &mut rng);
             assert!(bits.get(0));

@@ -127,6 +127,7 @@ pub struct Podem<'a> {
     queued: Vec<bool>,
     fault: Option<Fault>,
     scratch: Vec<Logic>,
+    backtrack_counter: tvs_exec::Counter,
 }
 
 impl<'a> Podem<'a> {
@@ -151,6 +152,7 @@ impl<'a> Podem<'a> {
             queued: vec![false; n],
             fault: None,
             scratch: Vec::new(),
+            backtrack_counter: tvs_exec::counter("atpg.backtracks"),
         }
     }
 
@@ -222,13 +224,18 @@ impl<'a> Podem<'a> {
             };
             match next {
                 Some((input, value)) => {
-                    stack.push(Decision { input, value, flipped: false });
+                    stack.push(Decision {
+                        input,
+                        value,
+                        flipped: false,
+                    });
                     self.assign(input, Logic::from(value));
                 }
                 None => {
                     // Dead end: undo flipped decisions, flip the newest
                     // unflipped one.
                     backtracks += 1;
+                    self.backtrack_counter.incr();
                     if backtracks > self.config.backtrack_limit {
                         return PodemResult::Aborted;
                     }
@@ -307,12 +314,11 @@ impl<'a> Podem<'a> {
         let gate = self.view.input_gate(input);
         let fault = self.fault.expect("assign only runs inside generate");
         self.good[gate.index()] = value;
-        self.faulty[gate.index()] =
-            if fault.site.pin.is_none() && fault.site.gate == gate {
-                stuck_logic(fault)
-            } else {
-                value
-            };
+        self.faulty[gate.index()] = if fault.site.pin.is_none() && fault.site.gate == gate {
+            stuck_logic(fault)
+        } else {
+            value
+        };
         self.propagate_from(gate);
     }
 
@@ -669,7 +675,11 @@ mod tests {
                 PodemResult::Aborted => panic!("aborted on tiny circuit"),
             }
         }
-        assert_eq!(untestable, vec!["E-F/1".to_string()], "only the paper's redundant fault");
+        assert_eq!(
+            untestable,
+            vec!["E-F/1".to_string()],
+            "only the paper's redundant fault"
+        );
     }
 
     #[test]
@@ -761,8 +771,7 @@ mod tests {
                 PodemResult::Untestable => {
                     // verify exhaustively: no pattern detects it
                     for bits in 0..4u32 {
-                        let tv: tvs_logic::BitVec =
-                            (0..2).map(|i| (bits >> i) & 1 == 1).collect();
+                        let tv: tvs_logic::BitVec = (0..2).map(|i| (bits >> i) & 1 == 1).collect();
                         assert!(
                             !fsim.detect(&tv, &[fault])[0],
                             "{} claimed untestable but pattern {bits:02b} detects it",

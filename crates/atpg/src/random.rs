@@ -1,8 +1,6 @@
 //! Random-pattern phase of the baseline ATPG flow.
 
-use rand::Rng;
-
-use tvs_logic::BitVec;
+use tvs_logic::{BitVec, Prng};
 use tvs_netlist::{Netlist, ScanView};
 
 use tvs_fault::{Fault, FaultSim};
@@ -19,9 +17,9 @@ use tvs_fault::{Fault, FaultSim};
 /// # Examples
 ///
 /// ```
-/// use rand::{rngs::SmallRng, SeedableRng};
 /// use tvs_atpg::random_phase;
 /// use tvs_fault::FaultList;
+/// use tvs_logic::Prng;
 /// use tvs_netlist::{GateKind, NetlistBuilder};
 ///
 /// let mut b = NetlistBuilder::new("t");
@@ -32,17 +30,17 @@ use tvs_fault::{Fault, FaultSim};
 /// let n = b.build()?;
 /// let view = n.scan_view()?;
 /// let faults = FaultList::collapsed(&n);
-/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut rng = Prng::seed_from_u64(1);
 /// let (patterns, detected) = random_phase(&n, &view, faults.faults(), &mut rng, 256, 32);
 /// assert!(detected.iter().all(|&d| d), "XOR faults are all easy");
 /// assert!(!patterns.is_empty());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn random_phase<R: Rng + ?Sized>(
+pub fn random_phase(
     netlist: &Netlist,
     view: &ScanView,
     faults: &[Fault],
-    rng: &mut R,
+    rng: &mut Prng,
     max_patterns: usize,
     max_useless: usize,
 ) -> (Vec<BitVec>, Vec<bool>) {
@@ -56,7 +54,7 @@ pub fn random_phase<R: Rng + ?Sized>(
         if alive.is_empty() || useless >= max_useless {
             break;
         }
-        let pattern: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+        let pattern: BitVec = (0..view.input_count()).map(|_| rng.next_bool()).collect();
         let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
         let hits = sim.detect(&pattern, &subset);
         if hits.iter().any(|&h| h) {
@@ -81,8 +79,6 @@ pub fn random_phase<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use tvs_fault::FaultList;
     use tvs_netlist::{GateKind, NetlistBuilder};
 
@@ -96,9 +92,8 @@ mod tests {
         let n = b.build().unwrap();
         let view = n.scan_view().unwrap();
         let faults = FaultList::collapsed(&n);
-        let mut rng = SmallRng::seed_from_u64(3);
-        let (patterns, detected) =
-            random_phase(&n, &view, faults.faults(), &mut rng, 512, 64);
+        let mut rng = Prng::seed_from_u64(3);
+        let (patterns, detected) = random_phase(&n, &view, faults.faults(), &mut rng, 512, 64);
         assert!(detected.iter().all(|&d| d));
         // Dropping means few patterns are kept for a 2-input gate.
         assert!(patterns.len() <= 4, "{} patterns kept", patterns.len());
@@ -118,7 +113,7 @@ mod tests {
         let n = b.build().unwrap();
         let view = n.scan_view().unwrap();
         let faults = FaultList::collapsed(&n);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Prng::seed_from_u64(5);
         let (_, detected) = random_phase(&n, &view, faults.faults(), &mut rng, 200, 16);
         assert!(
             detected.iter().any(|&d| !d),

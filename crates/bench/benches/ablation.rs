@@ -3,96 +3,93 @@
 //! greedy candidate-pool size. EXPERIMENTS.md records the metric outcomes;
 //! these benches track the runtime cost of each choice.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use tvs_atpg::{AtpgConfig, FillStrategy, PodemConfig};
+use tvs_bench::microbench::BenchGroup;
 use tvs_bench::runner::{run_profile, Scaling};
 use tvs_scan::ObserveTransform;
 use tvs_stitch::StitchConfig;
 
 fn scaling() -> Scaling {
-    Scaling { factor: 0.4, full: false }
+    Scaling {
+        factor: 0.4,
+        full: false,
+    }
 }
 
-fn bench_fill_strategy(c: &mut Criterion) {
+fn bench_fill_strategy() {
     let profile = tvs_circuits::profile("s444").expect("profile exists");
-    let mut group = c.benchmark_group("ablation_fill");
-    group.sample_size(10);
-    for (label, fill) in [("random_fill", FillStrategy::Random), ("zero_fill", FillStrategy::Zero)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let cfg = StitchConfig {
-                    baseline: AtpgConfig { fill, ..AtpgConfig::default() },
-                    ..StitchConfig::default()
-                };
-                let row = run_profile(&profile, &scaling(), &cfg);
-                black_box(row.report.metrics.memory_ratio)
-            })
+    let group = BenchGroup::new("ablation_fill", 10);
+    for (label, fill) in [
+        ("random_fill", FillStrategy::Random),
+        ("zero_fill", FillStrategy::Zero),
+    ] {
+        group.bench(label, || {
+            let cfg = StitchConfig {
+                baseline: AtpgConfig {
+                    fill,
+                    ..AtpgConfig::default()
+                },
+                ..StitchConfig::default()
+            };
+            let row = run_profile(&profile, &scaling(), &cfg);
+            black_box(row.report.metrics.memory_ratio)
         });
     }
-    group.finish();
 }
 
-fn bench_hxor_taps(c: &mut Criterion) {
+fn bench_hxor_taps() {
     let profile = tvs_circuits::profile("s444").expect("profile exists");
-    let mut group = c.benchmark_group("ablation_hxor_taps");
-    group.sample_size(10);
+    let group = BenchGroup::new("ablation_hxor_taps", 10);
     for taps in [2usize, 3, 5] {
-        group.bench_function(format!("taps_{taps}"), |b| {
-            b.iter(|| {
-                let cfg = StitchConfig {
-                    observe: ObserveTransform::HorizontalXor(taps),
-                    ..StitchConfig::default()
-                };
-                let row = run_profile(&profile, &scaling(), &cfg);
-                black_box(row.report.metrics.memory_ratio)
-            })
+        group.bench(&format!("taps_{taps}"), || {
+            let cfg = StitchConfig {
+                observe: ObserveTransform::HorizontalXor(taps),
+                ..StitchConfig::default()
+            };
+            let row = run_profile(&profile, &scaling(), &cfg);
+            black_box(row.report.metrics.memory_ratio)
         });
     }
-    group.finish();
 }
 
-fn bench_backtrack_budget(c: &mut Criterion) {
+fn bench_backtrack_budget() {
     let profile = tvs_circuits::profile("s444").expect("profile exists");
-    let mut group = c.benchmark_group("ablation_backtracks");
-    group.sample_size(10);
+    let group = BenchGroup::new("ablation_backtracks", 10);
     for limit in [16u32, 256, 2048] {
-        group.bench_function(format!("limit_{limit}"), |b| {
-            b.iter(|| {
-                let cfg = StitchConfig {
-                    podem: PodemConfig { backtrack_limit: limit, ..PodemConfig::default() },
-                    ..StitchConfig::default()
-                };
-                let row = run_profile(&profile, &scaling(), &cfg);
-                black_box(row.report.metrics.fault_coverage)
-            })
+        group.bench(&format!("limit_{limit}"), || {
+            let cfg = StitchConfig {
+                podem: PodemConfig {
+                    backtrack_limit: limit,
+                    ..PodemConfig::default()
+                },
+                ..StitchConfig::default()
+            };
+            let row = run_profile(&profile, &scaling(), &cfg);
+            black_box(row.report.metrics.fault_coverage)
         });
     }
-    group.finish();
 }
 
-fn bench_candidate_pool(c: &mut Criterion) {
+fn bench_candidate_pool() {
     let profile = tvs_circuits::profile("s444").expect("profile exists");
-    let mut group = c.benchmark_group("ablation_candidates");
-    group.sample_size(10);
+    let group = BenchGroup::new("ablation_candidates", 10);
     for pool in [2usize, 8, 16] {
-        group.bench_function(format!("pool_{pool}"), |b| {
-            b.iter(|| {
-                let cfg = StitchConfig { candidates: pool, ..StitchConfig::default() };
-                let row = run_profile(&profile, &scaling(), &cfg);
-                black_box(row.report.metrics.memory_ratio)
-            })
+        group.bench(&format!("pool_{pool}"), || {
+            let cfg = StitchConfig {
+                candidates: pool,
+                ..StitchConfig::default()
+            };
+            let row = run_profile(&profile, &scaling(), &cfg);
+            black_box(row.report.metrics.memory_ratio)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    ablation,
-    bench_fill_strategy,
-    bench_hxor_taps,
-    bench_backtrack_budget,
-    bench_candidate_pool
-);
-criterion_main!(ablation);
+fn main() {
+    bench_fill_strategy();
+    bench_hxor_taps();
+    bench_backtrack_budget();
+    bench_candidate_pool();
+}

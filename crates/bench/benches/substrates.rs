@@ -1,91 +1,92 @@
 //! Microbenchmarks of the substrate layers: bit-parallel simulation, fault
 //! simulation, SCOAP, PODEM and scan-chain mechanics.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::hint::black_box;
 
 use tvs_atpg::{Podem, PodemResult};
+use tvs_bench::microbench::BenchGroup;
 use tvs_fault::{FaultList, FaultSim, Scoap};
-use tvs_logic::{BitVec, Cube};
+use tvs_logic::{BitVec, Cube, Prng};
 use tvs_scan::{ObserveTransform, ScanChain};
 use tvs_sim::ParallelSim;
 
-fn bench_parallel_sim(c: &mut Criterion) {
+fn bench_parallel_sim(group: &BenchGroup) {
     let profile = tvs_circuits::profile("s953").expect("profile exists");
     let netlist = profile.build();
     let view = netlist.scan_view().expect("valid view");
     let mut sim = ParallelSim::new(&netlist, &view);
-    let mut rng = SmallRng::seed_from_u64(1);
-    let words: Vec<u64> = (0..view.input_count()).map(|_| rng.gen()).collect();
-    c.bench_function("parallel_sim_64_patterns_s953", |b| {
-        b.iter(|| {
-            sim.eval(black_box(&words), &[]);
-            black_box(sim.output_word(0))
-        })
+    let mut rng = Prng::seed_from_u64(1);
+    let words: Vec<u64> = (0..view.input_count()).map(|_| rng.next_u64()).collect();
+    group.bench("parallel_sim_64_patterns_s953", || {
+        sim.eval(black_box(&words), &[]);
+        black_box(sim.output_word(0))
     });
 }
 
-fn bench_fault_sim(c: &mut Criterion) {
+fn bench_fault_sim(group: &BenchGroup) {
     let profile = tvs_circuits::profile("s953").expect("profile exists");
     let netlist = profile.build();
     let view = netlist.scan_view().expect("valid view");
     let faults = FaultList::collapsed(&netlist);
     let mut sim = FaultSim::new(&netlist, &view);
-    let mut rng = SmallRng::seed_from_u64(2);
-    let pattern: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+    let mut rng = Prng::seed_from_u64(2);
+    let pattern: BitVec = (0..view.input_count()).map(|_| rng.next_bool()).collect();
     let subset: Vec<_> = faults.faults().iter().copied().take(63).collect();
-    c.bench_function("fault_sim_63_faults_s953", |b| {
-        b.iter(|| black_box(sim.detect(black_box(&pattern), &subset)))
+    group.bench("fault_sim_63_faults_s953", || {
+        black_box(sim.detect(black_box(&pattern), &subset))
     });
 }
 
-fn bench_scoap(c: &mut Criterion) {
+fn bench_scoap(group: &BenchGroup) {
     let profile = tvs_circuits::profile("s1423").expect("profile exists");
     let netlist = profile.build();
     let view = netlist.scan_view().expect("valid view");
-    c.bench_function("scoap_s1423", |b| {
-        b.iter(|| black_box(Scoap::compute(&netlist, &view)))
-    });
+    group.bench("scoap_s1423", || black_box(Scoap::compute(&netlist, &view)));
 }
 
-fn bench_podem(c: &mut Criterion) {
+fn bench_podem(group: &BenchGroup) {
     let profile = tvs_circuits::profile("s953").expect("profile exists");
     let netlist = profile.build();
     let view = netlist.scan_view().expect("valid view");
     let faults = FaultList::collapsed(&netlist);
     let mut podem = Podem::new(&netlist, &view);
     let free = Cube::unspecified(view.input_count());
-    let sample: Vec<_> = faults.faults().iter().copied().step_by(29).take(16).collect();
-    c.bench_function("podem_16_faults_s953", |b| {
-        b.iter(|| {
-            let mut tests = 0;
-            for &f in &sample {
-                if matches!(podem.generate(f, &free), PodemResult::Test(_)) {
-                    tests += 1;
-                }
+    let sample: Vec<_> = faults
+        .faults()
+        .iter()
+        .copied()
+        .step_by(29)
+        .take(16)
+        .collect();
+    group.bench("podem_16_faults_s953", || {
+        let mut tests = 0;
+        for &f in &sample {
+            if matches!(podem.generate(f, &free), PodemResult::Test(_)) {
+                tests += 1;
             }
-            black_box(tests)
-        })
+        }
+        black_box(tests)
     });
 }
 
-fn bench_chain_shift(c: &mut Criterion) {
+fn bench_chain_shift(group: &BenchGroup) {
     let chain = ScanChain::new(1728); // s35932-sized
-    let mut rng = SmallRng::seed_from_u64(3);
-    let image: BitVec = (0..1728).map(|_| rng.gen::<bool>()).collect();
-    let incoming: BitVec = (0..108).map(|_| rng.gen::<bool>()).collect();
-    c.bench_function("chain_shift_108_of_1728_direct", |b| {
-        b.iter(|| black_box(chain.shift(&image, &incoming, ObserveTransform::Direct)))
+    let mut rng = Prng::seed_from_u64(3);
+    let image: BitVec = (0..1728).map(|_| rng.next_bool()).collect();
+    let incoming: BitVec = (0..108).map(|_| rng.next_bool()).collect();
+    group.bench("chain_shift_108_of_1728_direct", || {
+        black_box(chain.shift(&image, &incoming, ObserveTransform::Direct))
     });
-    c.bench_function("chain_shift_108_of_1728_hxor3", |b| {
-        b.iter(|| black_box(chain.shift(&image, &incoming, ObserveTransform::HorizontalXor(3))))
+    group.bench("chain_shift_108_of_1728_hxor3", || {
+        black_box(chain.shift(&image, &incoming, ObserveTransform::HorizontalXor(3)))
     });
 }
 
-criterion_group! {
-    name = substrates;
-    config = Criterion::default().sample_size(20);
-    targets = bench_parallel_sim, bench_fault_sim, bench_scoap, bench_podem, bench_chain_shift
+fn main() {
+    let group = BenchGroup::new("substrates", 20);
+    bench_parallel_sim(&group);
+    bench_fault_sim(&group);
+    bench_scoap(&group);
+    bench_podem(&group);
+    bench_chain_shift(&group);
 }
-criterion_main!(substrates);

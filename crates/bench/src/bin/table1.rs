@@ -53,6 +53,9 @@ fn main() {
         .filter(|r| r.caught_at.is_none())
         .map(|r| r.fault.display_in(&netlist))
         .collect();
-    println!("caught {caught}/{} tracked faults; never caught: {uncaught:?}", trace.rows.len());
+    println!(
+        "caught {caught}/{} tracked faults; never caught: {uncaught:?}",
+        trace.rows.len()
+    );
     println!("(the paper's only uncaught fault is the redundant E-F/1)");
 }

@@ -7,15 +7,19 @@
 //! (time ratio). Profiles where an info ratio is unattainable because the
 //! primary inputs alone exceed it are marked `/`, as in the paper.
 //!
-//! Usage: `table2 [--scale <f>] [--full]` (see `tvs_bench::runner`).
+//! Usage: `table2 [--scale <f>] [--full] [--threads <n>]` (see
+//! `tvs_bench::runner`). With `--threads <n>` (or `TVS_THREADS`) profiles
+//! run on a worker pool, one profile per worker; the printed table is
+//! byte-identical at any thread count.
 
-use tvs_bench::runner::{run_profile, Scaling};
+use tvs_bench::runner::{map_profiles, run_profile, threads_from_args, Scaling};
 use tvs_bench::tables::{ratio, TextTable};
 use tvs_scan::CostModel;
 use tvs_stitch::{ShiftPolicy, StitchConfig};
 
 fn main() {
     let scaling = Scaling::from_args();
+    let threads = threads_from_args();
     let infos = [(3.0 / 8.0, "3/8"), (5.0 / 8.0, "5/8"), (7.0 / 8.0, "7/8")];
 
     let mut table = TextTable::new(vec![
@@ -28,7 +32,8 @@ fn main() {
     println!("Table 2: varying the size and type of shifting");
     println!("(columns: three fixed-shift info points 3/8, 5/8, 7/8, then variable shift)\n");
 
-    for profile in tvs_circuits::profiles_table2() {
+    let profiles = tvs_circuits::profiles_table2();
+    let all_cells = map_profiles(&profiles, threads, |profile| {
         let mut cells = vec![profile.name.to_owned()];
         let mut first = true;
         for (target, _label) in infos {
@@ -43,7 +48,7 @@ fn main() {
                         policy: ShiftPolicy::Fixed(k),
                         ..StitchConfig::default()
                     };
-                    let row = run_profile(&profile, &scaling, &cfg);
+                    let row = run_profile(profile, &scaling, &cfg);
                     if first {
                         cells.push(row.gates.to_string());
                         cells.push(row.report.metrics.baseline_vectors.to_string());
@@ -71,7 +76,7 @@ fn main() {
             }
         }
         // Variable shift.
-        let row = run_profile(&profile, &scaling, &StitchConfig::default());
+        let row = run_profile(profile, &scaling, &StitchConfig::default());
         let m = &row.report.metrics;
         if cells[1].is_empty() {
             cells[1] = row.gates.to_string();
@@ -81,8 +86,12 @@ fn main() {
         cells.push(m.extra_vectors.to_string());
         cells.push(ratio(m.memory_ratio));
         cells.push(ratio(m.time_ratio));
-        table.row(cells);
         eprintln!("  [{}] done", profile.name);
+        cells
+    });
+
+    for cells in all_cells {
+        table.row(cells);
     }
     println!("{table}");
     println!("(paper, averages: 3/8 m=0.88 t=0.84; 5/8 m=0.73 t=0.59; 7/8 m=0.78 t=0.73; variable m=0.63 t=0.38)");

@@ -2,19 +2,30 @@
 //! schemes — plain (NXOR), vertical XOR (VXOR) and horizontal XOR (HXOR) —
 //! on the eight Table-2 circuits, reporting `m` and `t` per scheme.
 //!
-//! Usage: `table3 [--scale <f>] [--full]`.
+//! Usage: `table3 [--scale <f>] [--full] [--threads <n>]`. With
+//! `--threads <n>` (or `TVS_THREADS`) profiles run on a worker pool; the
+//! printed table is byte-identical at any thread count.
 
-use tvs_bench::runner::{run_profile, Scaling};
+use tvs_bench::runner::{map_profiles, run_profile, threads_from_args, Scaling};
 use tvs_bench::tables::{mean, ratio, TextTable};
 use tvs_scan::{CaptureTransform, ObserveTransform};
 use tvs_stitch::StitchConfig;
 
 fn main() {
     let scaling = Scaling::from_args();
+    let threads = threads_from_args();
     let schemes: [(&str, CaptureTransform, ObserveTransform); 3] = [
         ("NXOR", CaptureTransform::Plain, ObserveTransform::Direct),
-        ("VXOR", CaptureTransform::VerticalXor, ObserveTransform::Direct),
-        ("HXOR", CaptureTransform::Plain, ObserveTransform::HorizontalXor(3)),
+        (
+            "VXOR",
+            CaptureTransform::VerticalXor,
+            ObserveTransform::Direct,
+        ),
+        (
+            "HXOR",
+            CaptureTransform::Plain,
+            ObserveTransform::HorizontalXor(3),
+        ),
     ];
 
     println!("Table 3: hidden fault observability (m, t per scheme)\n");
@@ -23,25 +34,34 @@ fn main() {
     ]);
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 6];
 
-    for profile in tvs_circuits::profiles_table2() {
+    let profiles = tvs_circuits::profiles_table2();
+    let results = map_profiles(&profiles, threads, |profile| {
         let mut cells = vec![profile.name.to_owned(), String::new()];
-        for (i, (_, capture, observe)) in schemes.iter().enumerate() {
+        let mut ratios = Vec::with_capacity(6);
+        for (_, capture, observe) in schemes.iter() {
             let cfg = StitchConfig {
                 capture: *capture,
                 observe: *observe,
                 ..StitchConfig::default()
             };
-            let row = run_profile(&profile, &scaling, &cfg);
+            let row = run_profile(profile, &scaling, &cfg);
             cells[1] = row.gates.to_string();
             let m = row.report.metrics.memory_ratio;
             let t = row.report.metrics.time_ratio;
             cells.push(ratio(m));
             cells.push(ratio(t));
-            sums[2 * i].push(m);
-            sums[2 * i + 1].push(t);
+            ratios.push(m);
+            ratios.push(t);
+        }
+        eprintln!("  [{}] done", profile.name);
+        (cells, ratios)
+    });
+
+    for (cells, ratios) in results {
+        for (sum, value) in sums.iter_mut().zip(ratios) {
+            sum.push(value);
         }
         table.row(cells);
-        eprintln!("  [{}] done", profile.name);
     }
     let mut avg = vec!["Ave".to_owned(), String::new()];
     for s in &sums {

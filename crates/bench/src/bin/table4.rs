@@ -2,14 +2,17 @@
 //! strategies — Random, Hardness (hardest-first by SCOAP) and the greedy
 //! Most-faults — on the eight Table-2 circuits, reporting `m` and `t`.
 //!
-//! Usage: `table4 [--scale <f>] [--full]`.
+//! Usage: `table4 [--scale <f>] [--full] [--threads <n>]`. With
+//! `--threads <n>` (or `TVS_THREADS`) profiles run on a worker pool; the
+//! printed table is byte-identical at any thread count.
 
-use tvs_bench::runner::{run_profile, Scaling};
+use tvs_bench::runner::{map_profiles, run_profile, threads_from_args, Scaling};
 use tvs_bench::tables::{mean, ratio, TextTable};
 use tvs_stitch::{SelectionStrategy, StitchConfig};
 
 fn main() {
     let scaling = Scaling::from_args();
+    let threads = threads_from_args();
     let strategies = [
         ("Random", SelectionStrategy::Random),
         ("Hardness", SelectionStrategy::Hardness),
@@ -22,24 +25,33 @@ fn main() {
     ]);
     let mut sums: Vec<Vec<f64>> = vec![Vec::new(); 6];
 
-    for profile in tvs_circuits::profiles_table2() {
+    let profiles = tvs_circuits::profiles_table2();
+    let results = map_profiles(&profiles, threads, |profile| {
         let mut cells = vec![profile.name.to_owned(), String::new()];
-        for (i, (_, strategy)) in strategies.iter().enumerate() {
+        let mut ratios = Vec::with_capacity(6);
+        for (_, strategy) in strategies.iter() {
             let cfg = StitchConfig {
                 selection: *strategy,
                 ..StitchConfig::default()
             };
-            let row = run_profile(&profile, &scaling, &cfg);
+            let row = run_profile(profile, &scaling, &cfg);
             cells[1] = row.gates.to_string();
             let m = row.report.metrics.memory_ratio;
             let t = row.report.metrics.time_ratio;
             cells.push(ratio(m));
             cells.push(ratio(t));
-            sums[2 * i].push(m);
-            sums[2 * i + 1].push(t);
+            ratios.push(m);
+            ratios.push(t);
+        }
+        eprintln!("  [{}] done", profile.name);
+        (cells, ratios)
+    });
+
+    for (cells, ratios) in results {
+        for (sum, value) in sums.iter_mut().zip(ratios) {
+            sum.push(value);
         }
         table.row(cells);
-        eprintln!("  [{}] done", profile.name);
     }
     let mut avg = vec!["Ave".to_owned(), String::new()];
     for s in &sums {

@@ -2,16 +2,20 @@
 //! (variable shift + Most-faults greedy + no XOR hardware) on the seven
 //! largest circuits, reporting I/O, scan length, `m` and `t`.
 //!
-//! Usage: `table5 [--scale <f>] [--full]`. The default scaling caps the
-//! stand-in logic volume (see `tvs_bench::runner`); interface counts — the
-//! I/O and scan# columns the paper prints — are always exact.
+//! Usage: `table5 [--scale <f>] [--full] [--threads <n>]`. The default
+//! scaling caps the stand-in logic volume (see `tvs_bench::runner`);
+//! interface counts — the I/O and scan# columns the paper prints — are
+//! always exact. With `--threads <n>` (or `TVS_THREADS`) the circuit
+//! profiles run on a worker pool, one profile per worker; the printed table
+//! is byte-identical at any thread count.
 
-use tvs_bench::runner::{run_profile, Scaling};
+use tvs_bench::runner::{map_profiles, run_profile, threads_from_args, Scaling};
 use tvs_bench::tables::{mean, ratio, TextTable};
 use tvs_stitch::StitchConfig;
 
 fn main() {
     let scaling = Scaling::from_args();
+    let threads = threads_from_args();
     println!("Table 5: experimental results for large circuits");
     println!("(variable shift + Most-faults selection + no XOR hardware)\n");
     let mut table = TextTable::new(vec![
@@ -20,8 +24,18 @@ fn main() {
     let mut ms = Vec::new();
     let mut ts = Vec::new();
 
-    for profile in tvs_circuits::profiles_table5() {
-        let row = run_profile(&profile, &scaling, &StitchConfig::default());
+    let profiles = tvs_circuits::profiles_table5();
+    let rows = map_profiles(&profiles, threads, |profile| {
+        let row = run_profile(profile, &scaling, &StitchConfig::default());
+        let m = &row.report.metrics;
+        eprintln!(
+            "  [{}] done (m={:.2} t={:.2})",
+            profile.name, m.memory_ratio, m.time_ratio
+        );
+        row
+    });
+
+    for (profile, row) in profiles.iter().zip(&rows) {
         let m = &row.report.metrics;
         table.row(vec![
             profile.name.to_owned(),
@@ -36,7 +50,6 @@ fn main() {
         ]);
         ms.push(m.memory_ratio);
         ts.push(m.time_ratio);
-        eprintln!("  [{}] done (m={:.2} t={:.2})", profile.name, m.memory_ratio, m.time_ratio);
     }
     table.row(vec![
         "Ave".to_owned(),

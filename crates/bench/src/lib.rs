@@ -1,12 +1,13 @@
 //! Reproduction harness support for the TVS toolkit.
 //!
-//! The table binaries (`table1` … `table5`) and Criterion benches share the
-//! helpers in this crate: profile setup, table formatting and the standard
-//! experiment runner configurations matching each table of the DATE 2003
-//! paper.
+//! The table binaries (`table1` … `table5`) and the std-only bench targets
+//! share the helpers in this crate: profile setup, table formatting, the
+//! [`microbench`] timing harness and the standard experiment runner
+//! configurations matching each table of the DATE 2003 paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod runner;
 pub mod tables;

@@ -1,0 +1,90 @@
+//! Minimal std-only timing harness for the `cargo bench` targets.
+//!
+//! The workspace builds with no external dependencies (the reproduction
+//! environment is offline), so the `harness = false` bench targets use this
+//! deliberately small substitute instead of Criterion: a fixed warm-up, a
+//! fixed sample count and a min/median/mean line per benchmark. It is meant
+//! for relative A/B comparison within one run on one machine, not for
+//! cross-machine statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of timed functions sharing a sample count.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group running `samples` timed iterations per benchmark
+    /// (clamped to at least 1), after one untimed warm-up call.
+    pub fn new(name: impl Into<String>, samples: usize) -> Self {
+        BenchGroup {
+            name: name.into(),
+            samples: samples.max(1),
+        }
+    }
+
+    /// Times `f` for the group's sample count and prints one result line
+    /// (`group/label: min … median … mean`).
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{}: min {}  median {}  mean {}  ({} samples)",
+            self.name,
+            label,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.samples
+        );
+    }
+}
+
+/// Renders a duration with a unit suited to its magnitude.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let group = BenchGroup::new("test", 3);
+        let mut calls = 0;
+        group.bench("count", || calls += 1);
+        // One warm-up plus three samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn durations_format_with_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Shared experiment plumbing for the table binaries and benches.
 
 use tvs_circuits::Profile;
+use tvs_exec::ThreadPool;
 use tvs_netlist::Netlist;
 use tvs_stitch::{StitchConfig, StitchEngine, StitchReport};
 
@@ -22,7 +23,10 @@ pub struct Scaling {
 
 impl Default for Scaling {
     fn default() -> Self {
-        Scaling { factor: 1.0, full: false }
+        Scaling {
+            factor: 1.0,
+            full: false,
+        }
     }
 }
 
@@ -61,6 +65,36 @@ impl Scaling {
     pub fn build(&self, profile: &Profile) -> Netlist {
         profile.build_scaled(self.effective(profile))
     }
+}
+
+/// Parses `--threads <n>` from the command line. Falls back to the
+/// `TVS_THREADS` environment variable and then the machine's available
+/// parallelism (see [`tvs_exec::default_threads`]).
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+        i += 1;
+    }
+    tvs_exec::default_threads()
+}
+
+/// Fans `f` out over the profiles — one worker per circuit profile — and
+/// returns the results **in profile order**, so table output is byte-identical
+/// at any thread count. At `threads == 1` this degenerates to a plain
+/// sequential loop on the calling thread.
+pub fn map_profiles<R, F>(profiles: &[Profile], threads: usize, f: F) -> Vec<R>
+where
+    F: Fn(&Profile) -> R + Sync,
+    R: Send,
+{
+    let pool = ThreadPool::new(threads);
+    pool.map(profiles, |_, p| f(p))
 }
 
 /// One experiment outcome row.
@@ -103,14 +137,24 @@ mod tests {
         let s = Scaling::default();
         assert!(s.effective(&big) < 0.1);
         assert_eq!(s.effective(&small), 1.0);
-        let full = Scaling { full: true, ..Scaling::default() };
+        let full = Scaling {
+            full: true,
+            ..Scaling::default()
+        };
         assert_eq!(full.effective(&big), 1.0);
     }
 
     #[test]
     fn run_profile_produces_coverage() {
         let p = tvs_circuits::profile("s444").unwrap();
-        let row = run_profile(&p, &Scaling { factor: 0.3, full: false }, &Default::default());
+        let row = run_profile(
+            &p,
+            &Scaling {
+                factor: 0.3,
+                full: false,
+            },
+            &Default::default(),
+        );
         assert!(row.report.metrics.fault_coverage > 0.9);
         assert!(row.gates > 0);
     }

@@ -1,0 +1,22 @@
+//! The table binaries must print byte-identical stdout at every thread
+//! count: profiles fan out one-per-worker but rows are reduced in profile
+//! order (DESIGN.md §6.4).
+
+use std::process::Command;
+
+fn table2_stdout(threads: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_table2"))
+        .args(["--scale", "0.02", "--threads", threads])
+        .output()
+        .expect("run table2");
+    assert!(out.status.success(), "table2 --threads {threads} failed");
+    String::from_utf8(out.stdout).expect("utf-8 table")
+}
+
+#[test]
+fn table2_output_is_byte_identical_at_1_and_8_threads() {
+    let seq = table2_stdout("1");
+    let par = table2_stdout("8");
+    assert!(seq.contains("Table 2"), "unexpected output: {seq}");
+    assert_eq!(seq, par, "table2 stdout diverged between 1 and 8 threads");
+}

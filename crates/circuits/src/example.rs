@@ -25,9 +25,12 @@ pub fn fig1() -> Netlist {
     b.add_dff("a", "F").expect("fresh name");
     b.add_dff("b", "E").expect("fresh name");
     b.add_dff("c", "D").expect("fresh name");
-    b.add_gate("D", GateKind::And, &["a", "b"]).expect("fresh name");
-    b.add_gate("E", GateKind::Or, &["b", "c"]).expect("fresh name");
-    b.add_gate("F", GateKind::And, &["D", "E"]).expect("fresh name");
+    b.add_gate("D", GateKind::And, &["a", "b"])
+        .expect("fresh name");
+    b.add_gate("E", GateKind::Or, &["b", "c"])
+        .expect("fresh name");
+    b.add_gate("F", GateKind::And, &["D", "E"])
+        .expect("fresh name");
     b.build().expect("fig1 is structurally valid")
 }
 
@@ -67,16 +70,26 @@ pub fn s27() -> Netlist {
     b.add_dff("G5", "G10").expect("fresh name");
     b.add_dff("G6", "G11").expect("fresh name");
     b.add_dff("G7", "G13").expect("fresh name");
-    b.add_gate("G14", GateKind::Not, &["G0"]).expect("fresh name");
-    b.add_gate("G17", GateKind::Not, &["G11"]).expect("fresh name");
-    b.add_gate("G8", GateKind::And, &["G14", "G6"]).expect("fresh name");
-    b.add_gate("G15", GateKind::Or, &["G12", "G8"]).expect("fresh name");
-    b.add_gate("G16", GateKind::Or, &["G3", "G8"]).expect("fresh name");
-    b.add_gate("G9", GateKind::Nand, &["G16", "G15"]).expect("fresh name");
-    b.add_gate("G10", GateKind::Nor, &["G14", "G11"]).expect("fresh name");
-    b.add_gate("G11", GateKind::Nor, &["G5", "G9"]).expect("fresh name");
-    b.add_gate("G12", GateKind::Nor, &["G1", "G7"]).expect("fresh name");
-    b.add_gate("G13", GateKind::Nor, &["G2", "G12"]).expect("fresh name");
+    b.add_gate("G14", GateKind::Not, &["G0"])
+        .expect("fresh name");
+    b.add_gate("G17", GateKind::Not, &["G11"])
+        .expect("fresh name");
+    b.add_gate("G8", GateKind::And, &["G14", "G6"])
+        .expect("fresh name");
+    b.add_gate("G15", GateKind::Or, &["G12", "G8"])
+        .expect("fresh name");
+    b.add_gate("G16", GateKind::Or, &["G3", "G8"])
+        .expect("fresh name");
+    b.add_gate("G9", GateKind::Nand, &["G16", "G15"])
+        .expect("fresh name");
+    b.add_gate("G10", GateKind::Nor, &["G14", "G11"])
+        .expect("fresh name");
+    b.add_gate("G11", GateKind::Nor, &["G5", "G9"])
+        .expect("fresh name");
+    b.add_gate("G12", GateKind::Nor, &["G1", "G7"])
+        .expect("fresh name");
+    b.add_gate("G13", GateKind::Nor, &["G2", "G12"])
+        .expect("fresh name");
     b.build().expect("s27 is structurally valid")
 }
 

@@ -45,8 +45,12 @@ impl Profile {
     ///
     /// Panics if `factor` is not in `(0, 1]`.
     pub fn build_scaled(&self, factor: f64) -> Netlist {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
-        let gates = ((self.gates as f64 * factor).round() as usize).max(self.flip_flops + self.outputs);
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
+        let gates =
+            ((self.gates as f64 * factor).round() as usize).max(self.flip_flops + self.outputs);
         synthesize(
             self.name,
             &SynthConfig {
@@ -63,19 +67,123 @@ impl Profile {
 
 /// All known profiles, keyed by the names the paper's tables use.
 const PROFILES: &[Profile] = &[
-    Profile { name: "s444", inputs: 3, outputs: 6, flip_flops: 21, gates: 181, seed: 0x444, depth: None },
-    Profile { name: "s526", inputs: 3, outputs: 6, flip_flops: 21, gates: 193, seed: 0x526, depth: None },
-    Profile { name: "s641", inputs: 35, outputs: 24, flip_flops: 19, gates: 379, seed: 0x641, depth: None },
-    Profile { name: "s953", inputs: 16, outputs: 23, flip_flops: 29, gates: 395, seed: 0x953, depth: None },
-    Profile { name: "s1196", inputs: 14, outputs: 14, flip_flops: 18, gates: 529, seed: 0x1196, depth: None },
-    Profile { name: "s1423", inputs: 17, outputs: 5, flip_flops: 74, gates: 657, seed: 0x1423, depth: None },
-    Profile { name: "s5378", inputs: 35, outputs: 49, flip_flops: 179, gates: 2779, seed: 0x5378, depth: None },
-    Profile { name: "s9234", inputs: 19, outputs: 22, flip_flops: 228, gates: 5597, seed: 0x9234, depth: None },
-    Profile { name: "s13207", inputs: 31, outputs: 121, flip_flops: 669, gates: 7951, seed: 0x13207, depth: None },
-    Profile { name: "s15850", inputs: 14, outputs: 87, flip_flops: 597, gates: 9772, seed: 0x15850, depth: None },
-    Profile { name: "s35932", inputs: 35, outputs: 320, flip_flops: 1728, gates: 16065, seed: 0x35932, depth: Some(8) },
-    Profile { name: "s38417", inputs: 28, outputs: 106, flip_flops: 1636, gates: 22179, seed: 0x38417, depth: None },
-    Profile { name: "s38584", inputs: 12, outputs: 278, flip_flops: 1452, gates: 19253, seed: 0x38584, depth: None },
+    Profile {
+        name: "s444",
+        inputs: 3,
+        outputs: 6,
+        flip_flops: 21,
+        gates: 181,
+        seed: 0x444,
+        depth: None,
+    },
+    Profile {
+        name: "s526",
+        inputs: 3,
+        outputs: 6,
+        flip_flops: 21,
+        gates: 193,
+        seed: 0x526,
+        depth: None,
+    },
+    Profile {
+        name: "s641",
+        inputs: 35,
+        outputs: 24,
+        flip_flops: 19,
+        gates: 379,
+        seed: 0x641,
+        depth: None,
+    },
+    Profile {
+        name: "s953",
+        inputs: 16,
+        outputs: 23,
+        flip_flops: 29,
+        gates: 395,
+        seed: 0x953,
+        depth: None,
+    },
+    Profile {
+        name: "s1196",
+        inputs: 14,
+        outputs: 14,
+        flip_flops: 18,
+        gates: 529,
+        seed: 0x1196,
+        depth: None,
+    },
+    Profile {
+        name: "s1423",
+        inputs: 17,
+        outputs: 5,
+        flip_flops: 74,
+        gates: 657,
+        seed: 0x1423,
+        depth: None,
+    },
+    Profile {
+        name: "s5378",
+        inputs: 35,
+        outputs: 49,
+        flip_flops: 179,
+        gates: 2779,
+        seed: 0x5378,
+        depth: None,
+    },
+    Profile {
+        name: "s9234",
+        inputs: 19,
+        outputs: 22,
+        flip_flops: 228,
+        gates: 5597,
+        seed: 0x9234,
+        depth: None,
+    },
+    Profile {
+        name: "s13207",
+        inputs: 31,
+        outputs: 121,
+        flip_flops: 669,
+        gates: 7951,
+        seed: 0x13207,
+        depth: None,
+    },
+    Profile {
+        name: "s15850",
+        inputs: 14,
+        outputs: 87,
+        flip_flops: 597,
+        gates: 9772,
+        seed: 0x15850,
+        depth: None,
+    },
+    Profile {
+        name: "s35932",
+        inputs: 35,
+        outputs: 320,
+        flip_flops: 1728,
+        gates: 16065,
+        seed: 0x35932,
+        depth: Some(8),
+    },
+    Profile {
+        name: "s38417",
+        inputs: 28,
+        outputs: 106,
+        flip_flops: 1636,
+        gates: 22179,
+        seed: 0x38417,
+        depth: None,
+    },
+    Profile {
+        name: "s38584",
+        inputs: 12,
+        outputs: 278,
+        flip_flops: 1452,
+        gates: 19253,
+        seed: 0x38584,
+        depth: None,
+    },
 ];
 
 /// Looks a profile up by benchmark name.
@@ -93,18 +201,22 @@ pub fn profile(name: &str) -> Option<Profile> {
 
 /// The eight circuits of the paper's Tables 2–4, in table order.
 pub fn profiles_table2() -> Vec<Profile> {
-    ["s444", "s526", "s641", "s953", "s1196", "s1423", "s5378", "s9234"]
-        .iter()
-        .map(|n| profile(n).expect("table-2 profile exists"))
-        .collect()
+    [
+        "s444", "s526", "s641", "s953", "s1196", "s1423", "s5378", "s9234",
+    ]
+    .iter()
+    .map(|n| profile(n).expect("table-2 profile exists"))
+    .collect()
 }
 
 /// The seven large circuits of the paper's Table 5, in table order.
 pub fn profiles_table5() -> Vec<Profile> {
-    ["s5378", "s9234", "s13207", "s15850", "s35932", "s38417", "s38584"]
-        .iter()
-        .map(|n| profile(n).expect("table-5 profile exists"))
-        .collect()
+    [
+        "s5378", "s9234", "s13207", "s15850", "s35932", "s38417", "s38584",
+    ]
+    .iter()
+    .map(|n| profile(n).expect("table-5 profile exists"))
+    .collect()
 }
 
 #[cfg(test)]

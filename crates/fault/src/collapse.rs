@@ -231,7 +231,11 @@ mod tests {
         for f in FaultList::collapsed(&n).iter() {
             // every class in this circuit contains a stem fault, so every
             // representative should be a stem fault
-            assert!(f.site.pin.is_none(), "representative {} is a branch", f.display_in(&n));
+            assert!(
+                f.site.pin.is_none(),
+                "representative {} is a branch",
+                f.display_in(&n)
+            );
         }
     }
 

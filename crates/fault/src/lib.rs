@@ -26,4 +26,4 @@ mod sim;
 pub use list::FaultList;
 pub use model::{Fault, FaultSite, StuckAt};
 pub use scoap::Scoap;
-pub use sim::{FaultSim, SlotSpec};
+pub use sim::{detect_parallel, FaultSim, SlotSpec};

@@ -59,7 +59,10 @@ impl FaultSite {
 
     /// A fault on one of the gate's input pins.
     pub const fn branch(gate: GateId, pin: u32) -> Self {
-        FaultSite { gate, pin: Some(pin) }
+        FaultSite {
+            gate,
+            pin: Some(pin),
+        }
     }
 }
 

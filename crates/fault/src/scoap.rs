@@ -66,7 +66,9 @@ impl Scoap {
             let gate = netlist.gate(id);
             let (c0, c1) = gate_controllability(
                 gate.kind(),
-                gate.fanin().iter().map(|f| (cc0[f.index()], cc1[f.index()])),
+                gate.fanin()
+                    .iter()
+                    .map(|f| (cc0[f.index()], cc1[f.index()])),
             );
             cc0[id.index()] = c0;
             cc1[id.index()] = c1;
@@ -122,7 +124,12 @@ impl Scoap {
             co[id.index()] = stem;
         }
 
-        Scoap { cc0, cc1, co, co_pin }
+        Scoap {
+            cc0,
+            cc1,
+            co,
+            co_pin,
+        }
     }
 
     /// 0-controllability of a signal (cost of setting it to 0).
@@ -148,7 +155,11 @@ impl Scoap {
         let (ctrl, obs) = match fault.site.pin {
             None => {
                 let g = fault.site.gate.index();
-                let ctrl = if fault.stuck.as_bool() { self.cc0[g] } else { self.cc1[g] };
+                let ctrl = if fault.stuck.as_bool() {
+                    self.cc0[g]
+                } else {
+                    self.cc1[g]
+                };
                 (ctrl, self.co[g])
             }
             Some(pin) => {
@@ -175,10 +186,7 @@ fn best_branch_co(netlist: &Netlist, id: tvs_netlist::GateId, co_pin: &[Vec<u32>
         .unwrap_or(UNREACHED)
 }
 
-fn gate_controllability(
-    kind: GateKind,
-    fanin: impl Iterator<Item = (u32, u32)>,
-) -> (u32, u32) {
+fn gate_controllability(kind: GateKind, fanin: impl Iterator<Item = (u32, u32)>) -> (u32, u32) {
     let ins: Vec<(u32, u32)> = fanin.collect();
     let add = |a: u32, b: u32| a.saturating_add(b);
     match kind {
@@ -188,13 +196,21 @@ fn gate_controllability(
             let all1 = ins.iter().fold(0u32, |a, &(_, c1)| add(a, c1));
             let any0 = ins.iter().map(|&(c0, _)| c0).min().unwrap_or(UNREACHED);
             let (c0, c1) = (add(any0, 1), add(all1, 1));
-            if kind == GateKind::Nand { (c1, c0) } else { (c0, c1) }
+            if kind == GateKind::Nand {
+                (c1, c0)
+            } else {
+                (c0, c1)
+            }
         }
         GateKind::Or | GateKind::Nor => {
             let all0 = ins.iter().fold(0u32, |a, &(c0, _)| add(a, c0));
             let any1 = ins.iter().map(|&(_, c1)| c1).min().unwrap_or(UNREACHED);
             let (c0, c1) = (add(all0, 1), add(any1, 1));
-            if kind == GateKind::Nor { (c1, c0) } else { (c0, c1) }
+            if kind == GateKind::Nor {
+                (c1, c0)
+            } else {
+                (c0, c1)
+            }
         }
         GateKind::Xor | GateKind::Xnor => {
             // Fold pairwise: cost of making the running parity 0 or 1.
@@ -206,7 +222,11 @@ fn gate_controllability(
                 p1 = n1;
             }
             let (c0, c1) = (add(p0, 1), add(p1, 1));
-            if kind == GateKind::Xnor { (c1, c0) } else { (c0, c1) }
+            if kind == GateKind::Xnor {
+                (c1, c0)
+            } else {
+                (c0, c1)
+            }
         }
         GateKind::Input | GateKind::Dff => unreachable!("sources are not swept"),
     }
@@ -307,6 +327,9 @@ mod tests {
         // through y: side cost cc1(b)=1, +1 => 2; through z: +1 => 1.
         let via_y = Fault::branch(y, 0, StuckAt::Zero);
         let via_z = Fault::branch(z, 0, StuckAt::Zero);
-        assert_eq!(s.fault_hardness(&n, &via_y) - s.fault_hardness(&n, &via_z), 1);
+        assert_eq!(
+            s.fault_hardness(&n, &via_y) - s.fault_hardness(&n, &via_z),
+            1
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Bit-parallel single-pattern multi-fault simulation (PROOFS/HOPE style).
 
+use tvs_exec::{Counter, ThreadPool};
 use tvs_logic::BitVec;
 use tvs_netlist::{Netlist, ScanView};
 use tvs_sim::{Injection, ParallelSim};
@@ -50,6 +51,8 @@ pub struct FaultSim<'a> {
     psim: ParallelSim<'a>,
     words: Vec<u64>,
     injections: Vec<Injection>,
+    slot_counter: Counter,
+    sweep_counter: Counter,
 }
 
 impl<'a> FaultSim<'a> {
@@ -60,6 +63,8 @@ impl<'a> FaultSim<'a> {
             psim: ParallelSim::new(netlist, view),
             words: vec![0; view.input_count()],
             injections: Vec::new(),
+            slot_counter: tvs_exec::counter("fault.slots_simulated"),
+            sweep_counter: tvs_exec::counter("fault.sweeps"),
         }
     }
 
@@ -92,6 +97,8 @@ impl<'a> FaultSim<'a> {
             }
         }
         self.psim.eval(&self.words, &self.injections);
+        self.slot_counter.add(slots.len() as u64);
+        self.sweep_counter.incr();
         (0..slots.len() as u32)
             .map(|s| self.psim.output_slot(s))
             .collect()
@@ -99,7 +106,10 @@ impl<'a> FaultSim<'a> {
 
     /// Evaluates the fault-free outputs for one stimulus.
     pub fn good_outputs(&mut self, stimulus: &BitVec) -> BitVec {
-        let mut out = self.run_slots(&[SlotSpec { stimulus, fault: None }]);
+        let mut out = self.run_slots(&[SlotSpec {
+            stimulus,
+            fault: None,
+        }]);
         out.pop().expect("one slot yields one output")
     }
 
@@ -110,8 +120,14 @@ impl<'a> FaultSim<'a> {
         let mut detected = Vec::with_capacity(faults.len());
         for chunk in faults.chunks(63) {
             let mut slots = Vec::with_capacity(chunk.len() + 1);
-            slots.push(SlotSpec { stimulus, fault: None });
-            slots.extend(chunk.iter().map(|&f| SlotSpec { stimulus, fault: Some(f) }));
+            slots.push(SlotSpec {
+                stimulus,
+                fault: None,
+            });
+            slots.extend(chunk.iter().map(|&f| SlotSpec {
+                stimulus,
+                fault: Some(f),
+            }));
             let outs = self.run_slots(&slots);
             let good = &outs[0];
             for faulty in &outs[1..] {
@@ -149,6 +165,58 @@ impl<'a> FaultSim<'a> {
     }
 }
 
+/// Parallel [`FaultSim::detect`]: shards `faults` into 63-fault words (the
+/// same batching the sequential path uses, one good slot per sweep), fans
+/// the shards out over `pool`, and concatenates the per-shard detection
+/// flags in fault-index order.
+///
+/// The result is **bit-identical** to `FaultSim::detect` at any thread
+/// count: each shard is a pure function of the stimulus and its faults, and
+/// the order-preserving reduction never depends on completion order.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_exec::ThreadPool;
+/// use tvs_fault::{detect_parallel, Fault, FaultList, FaultSim};
+/// use tvs_logic::BitVec;
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("and");
+/// b.add_input("a")?;
+/// b.add_input("b")?;
+/// b.add_gate("y", GateKind::And, &["a", "b"])?;
+/// b.mark_output("y")?;
+/// let n = b.build()?;
+/// let view = n.scan_view()?;
+/// let faults = FaultList::collapsed(&n);
+/// let tv = BitVec::from_bools([true, true]);
+///
+/// let pool = ThreadPool::new(4);
+/// let par = detect_parallel(&n, &view, &pool, &tv, faults.faults());
+/// let seq = FaultSim::new(&n, &view).detect(&tv, faults.faults());
+/// assert_eq!(par, seq);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn detect_parallel(
+    netlist: &Netlist,
+    view: &ScanView,
+    pool: &ThreadPool,
+    stimulus: &BitVec,
+    faults: &[Fault],
+) -> Vec<bool> {
+    if pool.threads() <= 1 || faults.len() <= 63 {
+        return FaultSim::new(netlist, view).detect(stimulus, faults);
+    }
+    let shards: Vec<&[Fault]> = faults.chunks(63).collect();
+    pool.map(&shards, |_, shard| {
+        FaultSim::new(netlist, view).detect(stimulus, shard)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,12 +244,12 @@ mod tests {
         let tv = BitVec::from_bools([true, true, false]);
 
         let cases = [
-            ("F", StuckAt::Zero, true),  // F/0 -> 011
-            ("F", StuckAt::One, false),  // F is already 1
-            ("D", StuckAt::Zero, true),  // D/0 -> 010
-            ("b", StuckAt::Zero, true),  // B/0 -> 000
-            ("E", StuckAt::Zero, true),  // E/0 -> 001
-            ("a", StuckAt::One, false),  // a is already 1
+            ("F", StuckAt::Zero, true), // F/0 -> 011
+            ("F", StuckAt::One, false), // F is already 1
+            ("D", StuckAt::Zero, true), // D/0 -> 010
+            ("b", StuckAt::Zero, true), // B/0 -> 000
+            ("E", StuckAt::Zero, true), // E/0 -> 001
+            ("a", StuckAt::One, false), // a is already 1
         ];
         for (name, stuck, expect) in cases {
             let f = Fault::stem(n.find(name).unwrap(), stuck);
@@ -198,8 +266,14 @@ mod tests {
         let s1 = BitVec::from_bools([true, true, false]);
         let s2 = BitVec::from_bools([false, false, true]);
         let outs = sim.run_slots(&[
-            SlotSpec { stimulus: &s1, fault: None },
-            SlotSpec { stimulus: &s2, fault: None },
+            SlotSpec {
+                stimulus: &s1,
+                fault: None,
+            },
+            SlotSpec {
+                stimulus: &s2,
+                fault: None,
+            },
         ]);
         assert_eq!(outs[0].to_string(), "111");
         assert_eq!(outs[1].to_string(), "010");

@@ -67,7 +67,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -78,7 +82,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if value {
             self.words[index / 64] |= mask;
@@ -195,7 +203,7 @@ impl ExactSizeIterator for Iter<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Prng;
 
     #[test]
     fn zeros_and_set_get() {
@@ -236,10 +244,7 @@ mod tests {
         let b = BitVec::from_bools([true, true, false, false]);
         let mut c = a.clone();
         c.xor_with(&b);
-        assert_eq!(
-            c.iter().collect::<Vec<_>>(),
-            vec![false, true, true, false]
-        );
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![false, true, true, false]);
     }
 
     #[test]
@@ -259,24 +264,34 @@ mod tests {
         assert_eq!(format!("{a:?}"), "BitVec[101]");
     }
 
-    proptest! {
-        #[test]
-        fn from_bools_round_trips(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+    #[test]
+    fn from_bools_round_trips() {
+        let mut rng = Prng::seed_from_u64(0xB175);
+        for _ in 0..128 {
+            let bits: Vec<bool> = (0..rng.gen_range(0..300))
+                .map(|_| rng.next_bool())
+                .collect();
             let bv: BitVec = bits.iter().copied().collect();
-            prop_assert_eq!(bv.len(), bits.len());
+            assert_eq!(bv.len(), bits.len());
             let back: Vec<bool> = bv.iter().collect();
-            prop_assert_eq!(back, bits.clone());
-            prop_assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count());
+            assert_eq!(back, bits);
+            assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count());
         }
+    }
 
-        #[test]
-        fn xor_is_involutive(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+    #[test]
+    fn xor_is_involutive() {
+        let mut rng = Prng::seed_from_u64(0xB176);
+        for _ in 0..128 {
+            let bits: Vec<bool> = (0..rng.gen_range(1..200))
+                .map(|_| rng.next_bool())
+                .collect();
             let a: BitVec = bits.iter().copied().collect();
             let b: BitVec = bits.iter().map(|b| !b).collect();
             let mut c = a.clone();
             c.xor_with(&b);
             c.xor_with(&b);
-            prop_assert_eq!(c, a);
+            assert_eq!(c, a);
         }
     }
 }

@@ -29,8 +29,10 @@
 
 mod bits;
 mod cube;
+mod rng;
 mod value;
 
 pub use bits::BitVec;
 pub use cube::{Cube, ParseCubeError};
+pub use rng::{Prng, SplitMix64};
 pub use value::{Logic, ParseLogicError};

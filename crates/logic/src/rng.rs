@@ -1,0 +1,210 @@
+//! Seeded pseudo-random number generation, std-only.
+//!
+//! Determinism is a design invariant of this workspace (DESIGN.md §6.4):
+//! every stochastic choice — synthetic circuits, random fill, random fault
+//! ordering — flows from an explicit `u64` seed, and equal seeds must give
+//! bit-identical streams on every platform and at every thread count. A
+//! small self-contained generator keeps that guarantee independent of any
+//! external crate's version bumps (and keeps the workspace building with no
+//! network access).
+//!
+//! The implementation is the classic **SplitMix64** seeder feeding a
+//! **xoshiro256\*\*** state, both public-domain algorithms by Blackman &
+//! Vigna. SplitMix64 guarantees a well-mixed 256-bit state even from
+//! low-entropy seeds like `0` or `1`.
+
+/// SplitMix64: a tiny, fast, well-mixed 64-bit generator.
+///
+/// Used standalone for cheap one-shot derivations (e.g. splitting one seed
+/// into per-stage sub-seeds) and as the seeder for [`Prng`].
+///
+/// # Examples
+///
+/// ```
+/// use tvs_logic::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's seeded pseudo-random number generator (xoshiro256\*\*).
+///
+/// Replaces the previous external `rand::SmallRng` dependency with an
+/// equivalent-quality, fully deterministic, platform-independent stream.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_logic::Prng;
+///
+/// let mut rng = Prng::seed_from_u64(7);
+/// let x = rng.gen_range(0..10);
+/// assert!(x < 10);
+/// let mut again = Prng::seed_from_u64(7);
+/// assert_eq!(again.gen_range(0..10), x);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator whose 256-bit state is expanded from `seed` via
+    /// [`SplitMix64`], per the xoshiro authors' recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        Prng {
+            s: [
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+                mix.next_u64(),
+            ],
+        }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a fair random boolean.
+    pub fn next_bool(&mut self) -> bool {
+        // Use the high bit: xoshiro's low bits are its weakest.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Returns a uniform value in `range` (debiased by rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = (range.end - range.start) as u64;
+        // Rejection sampling over the largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone || zone == u64::MAX {
+                return range.start + (v % span) as usize;
+            }
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference stream for seed 0 (from the public-domain C source).
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let a: Vec<u64> = {
+            let mut r = Prng::seed_from_u64(1);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Prng::seed_from_u64(1);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Prng::seed_from_u64(2);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = Prng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[r.gen_range(2..9) - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 2..9 reachable");
+    }
+
+    #[test]
+    fn bool_streams_are_roughly_fair() {
+        let mut r = Prng::seed_from_u64(4);
+        let ones = (0..4096).filter(|_| r.next_bool()).count();
+        assert!((1700..2400).contains(&ones), "{ones} of 4096");
+        let biased = (0..4096).filter(|_| r.gen_bool(0.25)).count();
+        assert!((800..1250).contains(&biased), "{biased} of 4096");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Prng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements never shuffle to identity"
+        );
+    }
+}

@@ -52,11 +52,7 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     builder.build()
 }
 
-fn parse_line(
-    builder: &mut NetlistBuilder,
-    lineno: usize,
-    line: &str,
-) -> Result<(), NetlistError> {
+fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result<(), NetlistError> {
     let err = |message: String| NetlistError::Parse {
         line: lineno,
         message,
@@ -83,8 +79,8 @@ fn parse_line(
         return Err(err(format!("missing `)` in gate expression {rhs:?}")));
     }
     let kw = rhs[..open].trim();
-    let kind = GateKind::from_keyword(kw)
-        .ok_or_else(|| err(format!("unknown gate keyword {kw:?}")))?;
+    let kind =
+        GateKind::from_keyword(kw).ok_or_else(|| err(format!("unknown gate keyword {kw:?}")))?;
     let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
         .split(',')
         .map(str::trim)
@@ -93,7 +89,10 @@ fn parse_line(
     match kind {
         GateKind::Dff => {
             if args.len() != 1 {
-                return Err(err(format!("DFF takes exactly one argument, got {}", args.len())));
+                return Err(err(format!(
+                    "DFF takes exactly one argument, got {}",
+                    args.len()
+                )));
             }
             builder.add_dff(signal, args[0])?;
         }
@@ -133,11 +132,7 @@ pub fn to_string(netlist: &Netlist) -> String {
         if gate.kind() == GateKind::Input {
             continue;
         }
-        let fanin: Vec<&str> = gate
-            .fanin()
-            .iter()
-            .map(|&f| netlist.gate_name(f))
-            .collect();
+        let fanin: Vec<&str> = gate.fanin().iter().map(|&f| netlist.gate_name(f)).collect();
         let _ = writeln!(
             out,
             "{} = {}({})",
@@ -188,7 +183,12 @@ G17 = NOT(G10)
             let id2 = n2.find(name).unwrap();
             assert_eq!(n.gate(id).kind(), n2.gate(id2).kind(), "kind of {name}");
             let f1: Vec<&str> = n.gate(id).fanin().iter().map(|&f| n.gate_name(f)).collect();
-            let f2: Vec<&str> = n2.gate(id2).fanin().iter().map(|&f| n2.gate_name(f)).collect();
+            let f2: Vec<&str> = n2
+                .gate(id2)
+                .fanin()
+                .iter()
+                .map(|&f| n2.gate_name(f))
+                .collect();
             assert_eq!(f1, f2, "fanin of {name}");
         }
     }

@@ -202,7 +202,10 @@ mod tests {
         b.add_input("x").unwrap();
         b.mark_output("y").unwrap();
         let n = b.build().unwrap();
-        assert_eq!(n.gate(n.find("y").unwrap()).fanin(), &[n.find("x").unwrap()]);
+        assert_eq!(
+            n.gate(n.find("y").unwrap()).fanin(),
+            &[n.find("x").unwrap()]
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl GateKind {
             self.is_combinational(),
             "cannot evaluate source gate kind {self:?}"
         );
-        assert!(!inputs.is_empty(), "gate evaluation needs at least one input");
+        assert!(
+            !inputs.is_empty(),
+            "gate evaluation needs at least one input"
+        );
         match self {
             GateKind::Buf => inputs[0],
             GateKind::Not => !inputs[0],

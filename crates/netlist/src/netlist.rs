@@ -177,7 +177,11 @@ impl fmt::Display for NetlistError {
         match self {
             NetlistError::DuplicateSignal(s) => write!(f, "signal {s:?} defined more than once"),
             NetlistError::UndefinedSignal(s) => write!(f, "signal {s:?} used but never defined"),
-            NetlistError::BadArity { signal, kind, found } => write!(
+            NetlistError::BadArity {
+                signal,
+                kind,
+                found,
+            } => write!(
                 f,
                 "gate {signal:?} of kind {kind} has invalid fanin count {found}"
             ),

@@ -74,9 +74,7 @@ impl ScanView {
             // Some combinational gate never became ready → cycle.
             let stuck = netlist
                 .gate_ids()
-                .find(|&id| {
-                    netlist.gate(id).kind().is_combinational() && indeg[id.index()] > 0
-                })
+                .find(|&id| netlist.gate(id).kind().is_combinational() && indeg[id.index()] > 0)
                 .expect("cycle implies a stuck gate");
             return Err(NetlistError::CombinationalCycle(
                 netlist.gate_name(stuck).to_owned(),
@@ -199,10 +197,12 @@ impl ScanView {
 
     /// The combinational-input index of a gate if it is a PI or PPI.
     pub fn input_index_of(&self, id: GateId) -> Option<usize> {
-        self.pis
-            .iter()
-            .position(|&g| g == id)
-            .or_else(|| self.ppis.iter().position(|&g| g == id).map(|p| p + self.pis.len()))
+        self.pis.iter().position(|&g| g == id).or_else(|| {
+            self.ppis
+                .iter()
+                .position(|&g| g == id)
+                .map(|p| p + self.pis.len())
+        })
     }
 }
 

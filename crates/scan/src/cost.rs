@@ -131,10 +131,7 @@ impl CostModel {
         let fallback_cycles = if extra_full > 0 { (ex + 1) * l } else { 0 };
         let shift_cycles = stimulus + final_flush as u64 + fallback_cycles;
 
-        let memory_bits = stimulus
-            + observed
-            + n * (p + q)
-            + ex * (p + 2 * l + q);
+        let memory_bits = stimulus + observed + n * (p + q) + ex * (p + 2 * l + q);
 
         TestCosts {
             shift_cycles,
@@ -153,8 +150,8 @@ impl CostModel {
     /// closest to `target` from below, or `None` when even `k = 1` exceeds
     /// the target (the paper's `/` entries in Table 2).
     pub fn shift_for_info(&self, target: f64) -> Option<usize> {
-        let k = (target * (self.pi_count + self.scan_len) as f64 - self.pi_count as f64)
-            .floor() as i64;
+        let k =
+            (target * (self.pi_count + self.scan_len) as f64 - self.pi_count as f64).floor() as i64;
         if k < 1 {
             None
         } else {
@@ -167,7 +164,11 @@ impl CostModel {
 mod tests {
     use super::*;
 
-    const FIG1: CostModel = CostModel { scan_len: 3, pi_count: 0, po_count: 0 };
+    const FIG1: CostModel = CostModel {
+        scan_len: 3,
+        pi_count: 0,
+        po_count: 0,
+    };
 
     #[test]
     fn paper_worked_example() {
@@ -186,7 +187,11 @@ mod tests {
     fn all_full_shifts_match_baseline_time() {
         // Stitching with k = L everywhere degenerates to the conventional
         // scheme's shift count.
-        let model = CostModel { scan_len: 5, pi_count: 2, po_count: 1 };
+        let model = CostModel {
+            scan_len: 5,
+            pi_count: 2,
+            po_count: 1,
+        };
         let st = model.stitched_costs(&[5, 5, 5], 5, 0);
         let full = model.full_costs(3);
         assert_eq!(st.shift_cycles, full.shift_cycles);
@@ -194,7 +199,11 @@ mod tests {
 
     #[test]
     fn fallback_vectors_cost_full_shifts() {
-        let model = CostModel { scan_len: 4, pi_count: 0, po_count: 0 };
+        let model = CostModel {
+            scan_len: 4,
+            pi_count: 0,
+            po_count: 0,
+        };
         let without = model.stitched_costs(&[4, 2], 2, 0);
         let with = model.stitched_costs(&[4, 2], 2, 2);
         // two fallback vectors: 2·L shift-ins plus the final L flush.
@@ -204,12 +213,20 @@ mod tests {
 
     #[test]
     fn info_ratio_and_inverse() {
-        let model = CostModel { scan_len: 21, pi_count: 3, po_count: 6 };
+        let model = CostModel {
+            scan_len: 21,
+            pi_count: 3,
+            po_count: 6,
+        };
         // 5/8 of 24 = 15 -> k = 12? (3+k)/24 = 0.625 -> k = 12.
         assert_eq!(model.shift_for_info(0.625), Some(12));
         assert!((model.info_ratio(12) - 0.625).abs() < 1e-12);
         // PI-heavy profile cannot reach a tiny ratio.
-        let heavy = CostModel { scan_len: 19, pi_count: 35, po_count: 24 };
+        let heavy = CostModel {
+            scan_len: 19,
+            pi_count: 35,
+            po_count: 24,
+        };
         assert_eq!(heavy.shift_for_info(3.0 / 8.0), None);
     }
 

@@ -109,7 +109,10 @@ mod tests {
     fn plain_capture_is_response() {
         let applied = BitVec::from_bools([true, false, true]);
         let response = BitVec::from_bools([false, false, true]);
-        assert_eq!(CaptureTransform::Plain.capture(&applied, &response), response);
+        assert_eq!(
+            CaptureTransform::Plain.capture(&applied, &response),
+            response
+        );
     }
 
     #[test]

@@ -203,12 +203,7 @@ fn apply(word: u64, stuck: bool, slots: u64) -> u64 {
 }
 
 #[inline]
-fn fanin_word(
-    words: &[u64],
-    fanin: &[GateId],
-    pin: usize,
-    injs: &[Injection],
-) -> u64 {
+fn fanin_word(words: &[u64], fanin: &[GateId], pin: usize, injs: &[Injection]) -> u64 {
     let mut w = words[fanin[pin].index()];
     for inj in injs {
         if inj.pin == Some(pin as u32) {
@@ -285,7 +280,12 @@ mod tests {
         let f = n.find("F").unwrap();
         sim.eval(
             &[0b11, 0b11, 0b00],
-            &[Injection { gate: f, pin: None, stuck: false, slots: 0b10 }],
+            &[Injection {
+                gate: f,
+                pin: None,
+                stuck: false,
+                slots: 0b10,
+            }],
         );
         assert_eq!(sim.output_slot(0).to_string(), "111");
         assert_eq!(sim.output_slot(1).to_string(), "011");
@@ -306,7 +306,12 @@ mod tests {
         let y = n.find("y").unwrap();
         sim.eval(
             &[!0u64],
-            &[Injection { gate: y, pin: Some(1), stuck: false, slots: 0b1 }],
+            &[Injection {
+                gate: y,
+                pin: Some(1),
+                stuck: false,
+                slots: 0b1,
+            }],
         );
         assert_eq!(sim.output_word(0) & 1, 1, "signal a unaffected");
         assert_eq!(sim.output_word(1) & 1, 0, "gate y sees stuck branch");
@@ -322,7 +327,12 @@ mod tests {
         // stimulus a=0 but stuck-at-1 in slot 0.
         sim.eval(
             &[0, !0, 0],
-            &[Injection { gate: a, pin: None, stuck: true, slots: 0b1 }],
+            &[Injection {
+                gate: a,
+                pin: None,
+                stuck: true,
+                slots: 0b1,
+            }],
         );
         // D = AND(a, b): slot 0 sees a=1 -> D=1; slot 1 sees a=0 -> D=0.
         assert_eq!(sim.word(n.find("D").unwrap()) & 0b11, 0b01);
@@ -336,7 +346,12 @@ mod tests {
         let ff_a = n.find("a").unwrap(); // captures F
         sim.eval(
             &[!0, !0, 0],
-            &[Injection { gate: ff_a, pin: Some(0), stuck: false, slots: 0b1 }],
+            &[Injection {
+                gate: ff_a,
+                pin: Some(0),
+                stuck: false,
+                slots: 0b1,
+            }],
         );
         // F itself is 1 (D=1 or E=1); PPO 0 (into cell a) forced 0 in slot 0.
         assert_eq!(sim.word(n.find("F").unwrap()) & 1, 1);
@@ -352,7 +367,12 @@ mod tests {
         let f = n.find("F").unwrap();
         sim.eval(
             &[0b1, 0b1, 0b0],
-            &[Injection { gate: f, pin: None, stuck: false, slots: 0b1 }],
+            &[Injection {
+                gate: f,
+                pin: None,
+                stuck: false,
+                slots: 0b1,
+            }],
         );
         assert_eq!(sim.output_slot(0).to_string(), "011");
         sim.eval(&[0b1, 0b1, 0b0], &[]);
@@ -361,16 +381,15 @@ mod tests {
 
     #[test]
     fn agrees_with_three_valued_sim_on_random_patterns() {
-        use rand::{rngs::SmallRng, Rng, SeedableRng};
-        use tvs_logic::{Cube, Logic};
+        use tvs_logic::{Cube, Logic, Prng};
 
         let n = fig1();
         let v = n.scan_view().unwrap();
         let mut psim = ParallelSim::new(&n, &v);
         let mut tsim = crate::ThreeValSim::new(&n, &v);
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = Prng::seed_from_u64(11);
         for _ in 0..32 {
-            let bits: Vec<bool> = (0..3).map(|_| rng.gen()).collect();
+            let bits: Vec<bool> = (0..3).map(|_| rng.next_bool()).collect();
             let words: Vec<u64> = bits.iter().map(|&b| if b { 1 } else { 0 }).collect();
             psim.eval(&words, &[]);
             let cube: Cube = bits.iter().map(|&b| Logic::from(b)).collect();

@@ -110,7 +110,12 @@ mod tests {
         let n = fig1();
         let v = n.scan_view().unwrap();
         let mut sim = ThreeValSim::new(&n, &v);
-        let cases = [("110", "111"), ("001", "010"), ("100", "000"), ("010", "010")];
+        let cases = [
+            ("110", "111"),
+            ("001", "010"),
+            ("100", "000"),
+            ("010", "010"),
+        ];
         for (tv, resp) in cases {
             let out = sim.run(&tv.parse().unwrap());
             assert_eq!(out.to_string(), resp, "TV {tv}");

@@ -4,20 +4,16 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
-use tvs_logic::{BitVec, Cube, Logic};
+use tvs_exec::ThreadPool;
+use tvs_logic::{BitVec, Cube, Logic, Prng};
 use tvs_netlist::{Netlist, NetlistError, ScanView};
 
 use tvs_atpg::{generate_tests, AtpgConfig, Podem, PodemConfig, PodemResult};
-use tvs_fault::{Fault, FaultList, FaultSim, Scoap, SlotSpec};
+use tvs_fault::{detect_parallel, Fault, FaultList, FaultSim, Scoap, SlotSpec};
 use tvs_scan::{CaptureTransform, CostModel, ObserveTransform, ScanChain};
 
 use crate::{
-    Classification, CompressionMetrics, CycleRecord, FaultSets, SelectionStrategy,
-    ShiftPolicy,
+    Classification, CompressionMetrics, CycleRecord, FaultSets, SelectionStrategy, ShiftPolicy,
 };
 
 /// Configuration of a stitched test generation run.
@@ -58,6 +54,11 @@ pub struct StitchConfig {
     pub efficiency_margin: f64,
     /// Baseline ATPG settings (the `aTV` reference run).
     pub baseline: AtpgConfig,
+    /// Worker threads for the parallelizable stages (prescreen verdicts,
+    /// candidate scoring, classification sweeps). `1` (the default) runs
+    /// everything on the calling thread; any value produces bit-identical
+    /// results — parallel stages reduce in input order (DESIGN.md §6.4).
+    pub threads: usize,
 }
 
 impl Default for StitchConfig {
@@ -76,6 +77,7 @@ impl Default for StitchConfig {
             efficiency_window: 6,
             efficiency_margin: 0.5,
             baseline: AtpgConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -239,6 +241,7 @@ impl<'a> StitchEngine<'a> {
     ///
     /// Propagates netlist errors from the baseline ATPG run.
     pub fn run(&self, config: &StitchConfig) -> Result<StitchReport, StitchError> {
+        let _timer = tvs_exec::span("stitch.run");
         let mut run = RunState::new(self, config)?;
         let l = self.chain.length();
         let mut k = config.policy.initial(l);
@@ -261,11 +264,7 @@ impl<'a> StitchEngine<'a> {
             let exhausted = match run.select_vector(k, false) {
                 Some(vector) => {
                     run.apply_cycle(k, &vector, false);
-                    let caught = run
-                        .cycles
-                        .last()
-                        .map(|c| c.newly_caught)
-                        .unwrap_or(0);
+                    let caught = run.cycles.last().map(|c| c.newly_caught).unwrap_or(0);
                     if caught == 0 {
                         stagnant += 1;
                     } else {
@@ -337,7 +336,11 @@ impl<'a> StitchEngine<'a> {
     ) -> Result<ReplayTrace, StitchError> {
         assert_eq!(vectors.len(), shifts.len(), "one shift size per vector");
         assert!(!vectors.is_empty(), "at least one vector");
-        assert_eq!(shifts[0], self.chain.length(), "first vector is a full shift");
+        assert_eq!(
+            shifts[0],
+            self.chain.length(),
+            "first vector is a full shift"
+        );
         let p = self.view.pi_count();
         let l = self.chain.length();
         let q = self.view.po_count();
@@ -358,9 +361,9 @@ impl<'a> StitchEngine<'a> {
                 // Pinned consistency: retained cells must match the shifted
                 // previous image.
                 let k = shifts[i];
-                let shifted = self
-                    .chain
-                    .shift(&image, &incoming_from_tv(&chain_tv, k), config.observe);
+                let shifted =
+                    self.chain
+                        .shift(&image, &incoming_from_tv(&chain_tv, k), config.observe);
                 if slice_bits(&shifted.new_image, k..l) != slice_bits(&chain_tv, k..l) {
                     return Err(StitchError::ReplayMismatch { cycle: i });
                 }
@@ -389,8 +392,9 @@ impl<'a> StitchEngine<'a> {
 
         for (i, vector) in vectors.iter().enumerate() {
             let k = shifts[i];
-            let alive: Vec<usize> =
-                (0..n_faults).filter(|&f| rows[f].caught_at.is_none()).collect();
+            let alive: Vec<usize> = (0..n_faults)
+                .filter(|&f| rows[f].caught_at.is_none())
+                .collect();
             if alive.is_empty() {
                 break;
             }
@@ -440,7 +444,11 @@ impl<'a> StitchEngine<'a> {
                 // be shifted out next cycle (exact lookahead, including the
                 // closing flush).
                 let po_differs = slice_bits(out, 0..q) != slice_bits(good_out, 0..q);
-                let next_k = if i + 1 < shifts.len() { shifts[i + 1] } else { final_flush };
+                let next_k = if i + 1 < shifts.len() {
+                    shifts[i + 1]
+                } else {
+                    final_flush
+                };
                 let next_incoming = if i + 1 < vectors.len() {
                     incoming_from_tv(&slice_bits(&vectors[i + 1], p..p + l), next_k)
                 } else {
@@ -468,7 +476,8 @@ impl<'a> StitchEngine<'a> {
 struct RunState<'r, 'a> {
     eng: &'r StitchEngine<'a>,
     cfg: &'r StitchConfig,
-    rng: SmallRng,
+    pool: ThreadPool,
+    rng: Prng,
     podem: Podem<'r>,
     fsim: FaultSim<'r>,
     scoap: Scoap,
@@ -499,7 +508,8 @@ impl<'r, 'a> RunState<'r, 'a> {
         let mut state = RunState {
             eng,
             cfg,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            pool: ThreadPool::new(cfg.threads),
+            rng: Prng::seed_from_u64(cfg.seed),
             podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
             fsim: FaultSim::new(eng.netlist, &eng.view),
             scoap,
@@ -543,10 +553,16 @@ impl<'r, 'a> RunState<'r, 'a> {
                 break;
             }
             let pattern: BitVec = (0..self.eng.view.input_count())
-                .map(|_| self.rng.gen::<bool>())
+                .map(|_| self.rng.next_bool())
                 .collect();
             let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
-            let hits = self.fsim.detect(&pattern, &subset);
+            let hits = detect_parallel(
+                self.eng.netlist,
+                &self.eng.view,
+                &self.pool,
+                &pattern,
+                &subset,
+            );
             alive = alive
                 .into_iter()
                 .zip(hits)
@@ -569,13 +585,37 @@ impl<'r, 'a> RunState<'r, 'a> {
             backtrack_limit: self.cfg.podem.backtrack_limit.saturating_mul(8),
             ..self.cfg.podem
         };
-        let mut prover = Podem::with_config(self.eng.netlist, &self.eng.view, deep);
+        // Verdicts are independent per fault, so the deep PODEM runs fan out
+        // over the pool in fixed 32-fault chunks (one prover per chunk) and
+        // merge back in fault-index order — bit-identical at any thread
+        // count.
+        let needs: Vec<Fault> = faults
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !testable[i])
+            .map(|(_, &f)| f)
+            .collect();
+        let chunks: Vec<&[Fault]> = needs.chunks(32).collect();
+        let (netlist, view) = (self.eng.netlist, &self.eng.view);
+        let verdicts: Vec<PodemResult> = self
+            .pool
+            .map(&chunks, |_, chunk| {
+                let mut prover = Podem::with_config(netlist, view, deep);
+                chunk
+                    .iter()
+                    .map(|&fault| prover.generate(fault, &free))
+                    .collect::<Vec<PodemResult>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut verdicts = verdicts.into_iter();
         for (i, &fault) in faults.iter().enumerate() {
             if testable[i] {
                 tracked.push(fault);
                 continue;
             }
-            match prover.generate(fault, &free) {
+            match verdicts.next().expect("one verdict per screened fault") {
                 PodemResult::Test(_) => tracked.push(fault),
                 PodemResult::Untestable => self.prescreen_redundant.push(fault),
                 PodemResult::Aborted => {
@@ -617,7 +657,7 @@ impl<'r, 'a> RunState<'r, 'a> {
         let mut targets = self.sets.uncaught_indices();
         targets.retain(|i| !self.never_target.contains(i));
         match self.cfg.selection {
-            SelectionStrategy::Random => targets.shuffle(&mut self.rng),
+            SelectionStrategy::Random => self.rng.shuffle(&mut targets),
             // Hardness/Weighted: hard faults get first claim on the still-
             // loose constraint (the paper's §6.3 rationale).
             SelectionStrategy::Hardness | SelectionStrategy::Weighted => {
@@ -718,7 +758,11 @@ impl<'r, 'a> RunState<'r, 'a> {
         if std::env::var_os("TVS_DEBUG").is_some() {
             eprintln!(
                 "[tvs] select k={k} targets={} A:{}/{} B:{}/{}",
-                targets.len(), stats[0], stats[1], stats[2], stats[3]
+                targets.len(),
+                stats[0],
+                stats[1],
+                stats[2],
+                stats[3]
             );
         }
 
@@ -751,81 +795,77 @@ impl<'r, 'a> RunState<'r, 'a> {
         // observed cells), catches/preservation of the *hidden* pool (an
         // erased hidden fault wastes its earlier differentiation — the
         // paper's §6.2 concern), and plain differentiations as tiebreak.
+        //
+        // Each candidate's score is a pure function of the candidate bits
+        // and the (frozen) fault/hidden state, so the candidates fan out
+        // over the pool; the strict first-best argmax below runs over the
+        // input-ordered score vector, keeping the pick bit-identical at any
+        // thread count.
         let uncaught = self.sets.uncaught_indices();
         let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
         let weighted = self.cfg.selection == SelectionStrategy::Weighted;
         let (p, q, l) = (self.p(), self.q(), self.l());
-        let watched: Vec<usize> = (0..q)
-            .chain(q + l.saturating_sub(k)..q + l)
+        let watched: Vec<usize> = (0..q).chain(q + l.saturating_sub(k)..q + l).collect();
+        // Hidden machines: image and fault per hidden index. The shift-out
+        // stream is candidate-independent; only the post-capture fate
+        // varies, via the fresh incoming bits.
+        let hidden: Vec<(Fault, BitVec)> = self
+            .sets
+            .hidden_indices()
+            .into_iter()
+            .map(|idx| {
+                (
+                    self.sets.fault(idx),
+                    self.sets.image(idx).expect("hidden").clone(),
+                )
+            })
             .collect();
-        // Hidden machines: shifted image and fault, per hidden index. The
-        // shift-out stream is candidate-independent; only the post-capture
-        // fate varies, via the fresh incoming bits.
-        let hidden = self.sets.hidden_indices();
+        let ctx = ScoreCtx {
+            netlist: self.eng.netlist,
+            view: &self.eng.view,
+            chain: &self.eng.chain,
+            scoap: &self.scoap,
+            observe: self.cfg.observe,
+            faults: &faults,
+            hidden: &hidden,
+            watched: &watched,
+            weighted,
+            p,
+            l,
+            k,
+        };
+        let scores = self.pool.map(&candidates, |_, bits| ctx.score(bits));
         let mut best = 0usize;
         let mut best_score = 0u64;
-        for (c, bits) in candidates.iter().enumerate() {
-            let good = self.fsim.good_outputs(bits);
-            let mut score = 0u64;
-            for chunk in faults.chunks(63) {
-                let slots: Vec<SlotSpec<'_>> = chunk
-                    .iter()
-                    .map(|&f| SlotSpec { stimulus: bits, fault: Some(f) })
-                    .collect();
-                let outs = self.fsim.run_slots(&slots);
-                for (f, out) in chunk.iter().zip(&outs) {
-                    let caught = watched.iter().any(|&o| out.get(o) != good.get(o));
-                    let differentiated = caught || out != &good;
-                    let unit = if weighted {
-                        self.scoap.fault_hardness(self.eng.netlist, f).max(1)
-                    } else {
-                        1
-                    };
-                    if caught {
-                        score += unit * 1000;
-                    } else if differentiated {
-                        score += unit;
-                    }
-                }
-            }
-            if !hidden.is_empty() {
-                let chain_tv = slice_bits(bits, p..p + l);
-                let incoming = incoming_from_tv(&chain_tv, k);
-                let mut stimuli: Vec<BitVec> = Vec::with_capacity(hidden.len());
-                for &idx in &hidden {
-                    let image = self.sets.image(idx).expect("hidden").clone();
-                    let sh = self.eng.chain.shift(&image, &incoming, self.cfg.observe);
-                    let mut stim = slice_bits(bits, 0..p);
-                    stim.extend(sh.new_image.iter());
-                    stimuli.push(stim);
-                }
-                for (chunk_i, chunk) in hidden.chunks(63).enumerate() {
-                    let slots: Vec<SlotSpec<'_>> = chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &idx)| SlotSpec {
-                            stimulus: &stimuli[chunk_i * 63 + j],
-                            fault: Some(self.sets.fault(idx)),
-                        })
-                        .collect();
-                    let outs = self.fsim.run_slots(&slots);
-                    for out in &outs {
-                        let caught = watched.iter().any(|&o| out.get(o) != good.get(o));
-                        let kept = out != &good;
-                        if caught {
-                            score += 1000;
-                        } else if kept {
-                            score += 30;
-                        }
-                    }
-                }
-            }
+        for (c, &score) in scores.iter().enumerate() {
             if score > best_score {
                 best_score = score;
                 best = c;
             }
         }
         Some(candidates.swap_remove(best))
+    }
+
+    /// Simulates `(stimulus, fault)` jobs, outputs in job order: the cached
+    /// sequential simulator at `threads <= 1`, the pooled fan-out otherwise.
+    /// Both paths compute the same pure function of the jobs.
+    fn batch(&mut self, jobs: &[(&BitVec, Fault)]) -> Vec<BitVec> {
+        if self.pool.threads() <= 1 {
+            let mut outs = Vec::with_capacity(jobs.len());
+            for chunk in jobs.chunks(64) {
+                let slots: Vec<SlotSpec<'_>> = chunk
+                    .iter()
+                    .map(|&(stim, f)| SlotSpec {
+                        stimulus: stim,
+                        fault: Some(f),
+                    })
+                    .collect();
+                outs.extend(self.fsim.run_slots(&slots));
+            }
+            outs
+        } else {
+            batch_outputs(&self.pool, self.eng.netlist, &self.eng.view, jobs)
+        }
     }
 
     /// Applies one vector: shifts, simulates, classifies every live fault.
@@ -838,7 +878,10 @@ impl<'r, 'a> RunState<'r, 'a> {
         let observed_good = if first {
             BitVec::new() // power-up contents are not meaningful data
         } else {
-            let sh = self.eng.chain.shift(&self.good_image, &incoming, self.cfg.observe);
+            let sh = self
+                .eng
+                .chain
+                .shift(&self.good_image, &incoming, self.cfg.observe);
             debug_assert_eq!(sh.new_image, chain_tv, "stitched vector must be reachable");
             sh.observed
         };
@@ -856,7 +899,11 @@ impl<'r, 'a> RunState<'r, 'a> {
             if first {
                 unreachable!("no hidden faults before the first vector");
             }
-            let image = self.sets.image(idx).expect("hidden fault has image").clone();
+            let image = self
+                .sets
+                .image(idx)
+                .expect("hidden fault has image")
+                .clone();
             let sh = self.eng.chain.shift(&image, &incoming, self.cfg.observe);
             if sh.observed != observed_good {
                 self.sets.set_caught(idx);
@@ -867,60 +914,51 @@ impl<'r, 'a> RunState<'r, 'a> {
                 live_hidden.push((idx, stim));
             }
         }
-        for chunk in live_hidden.chunks(64) {
-            let slots: Vec<SlotSpec<'_>> = chunk
-                .iter()
-                .map(|(idx, stim)| SlotSpec {
-                    stimulus: stim,
-                    fault: Some(self.sets.fault(*idx)),
-                })
-                .collect();
-            let outs = self.fsim.run_slots(&slots);
-            for ((idx, stim), out) in chunk.iter().zip(&outs) {
-                let f_po = slice_bits(out, 0..q);
-                let f_resp = slice_bits(out, q..q + l);
-                let f_chain_tv = slice_bits(stim, p..p + l);
-                let image = self.cfg.capture.capture(&f_chain_tv, &f_resp);
-                match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
-                    Classification::Caught => {
-                        self.sets.set_caught(*idx);
-                        newly_caught += 1;
-                    }
-                    Classification::Hidden => self.sets.set_hidden(*idx, image),
-                    Classification::Uncaught => self.sets.set_uncaught(*idx),
+        let hidden_jobs: Vec<(&BitVec, Fault)> = live_hidden
+            .iter()
+            .map(|(idx, stim)| (stim, self.sets.fault(*idx)))
+            .collect();
+        let outs = self.batch(&hidden_jobs);
+        for ((idx, stim), out) in live_hidden.iter().zip(&outs) {
+            let f_po = slice_bits(out, 0..q);
+            let f_resp = slice_bits(out, q..q + l);
+            let f_chain_tv = slice_bits(stim, p..p + l);
+            let image = self.cfg.capture.capture(&f_chain_tv, &f_resp);
+            match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
+                Classification::Caught => {
+                    self.sets.set_caught(*idx);
+                    newly_caught += 1;
                 }
+                Classification::Hidden => self.sets.set_hidden(*idx, image),
+                Classification::Uncaught => self.sets.set_uncaught(*idx),
             }
         }
 
         // Uncaught faults: shared stimulus (their machines match the good
         // one so far).
         let uncaught = self.sets.uncaught_indices();
-        for chunk in uncaught.chunks(64) {
-            let slots: Vec<SlotSpec<'_>> = chunk
-                .iter()
-                .map(|&idx| SlotSpec {
-                    stimulus: vector,
-                    fault: Some(self.sets.fault(idx)),
-                })
-                .collect();
-            let outs = self.fsim.run_slots(&slots);
-            for (&idx, out) in chunk.iter().zip(&outs) {
-                let f_po = slice_bits(out, 0..q);
-                let f_resp = slice_bits(out, q..q + l);
-                let image = self.cfg.capture.capture(&chain_tv, &f_resp);
-                match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
-                    Classification::Caught => {
-                        self.sets.set_caught(idx);
-                        newly_caught += 1;
-                    }
-                    Classification::Hidden => self.sets.set_hidden(idx, image),
-                    Classification::Uncaught => {}
+        let uncaught_jobs: Vec<(&BitVec, Fault)> = uncaught
+            .iter()
+            .map(|&idx| (vector, self.sets.fault(idx)))
+            .collect();
+        let outs = self.batch(&uncaught_jobs);
+        for (&idx, out) in uncaught.iter().zip(&outs) {
+            let f_po = slice_bits(out, 0..q);
+            let f_resp = slice_bits(out, q..q + l);
+            let image = self.cfg.capture.capture(&chain_tv, &f_resp);
+            match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
+                Classification::Caught => {
+                    self.sets.set_caught(idx);
+                    newly_caught += 1;
                 }
+                Classification::Hidden => self.sets.set_hidden(idx, image),
+                Classification::Uncaught => {}
             }
         }
 
         self.good_image = new_good_image;
         self.shifts.push(k);
+        tvs_exec::counter("stitch.vectors_stitched").incr();
         self.cycles.push(CycleRecord {
             shift: k,
             vector: vector.clone(),
@@ -945,7 +983,10 @@ impl<'r, 'a> RunState<'r, 'a> {
         let mut final_flush = 0usize;
         if !self.cycles.is_empty() {
             let zeros = BitVec::zeros(l);
-            let sh_good = self.eng.chain.shift(&self.good_image, &zeros, self.cfg.observe);
+            let sh_good = self
+                .eng
+                .chain
+                .shift(&self.good_image, &zeros, self.cfg.observe);
             for idx in self.sets.hidden_indices() {
                 let image = self.sets.image(idx).expect("hidden").clone();
                 let sh_f = self.eng.chain.shift(&image, &zeros, self.cfg.observe);
@@ -977,8 +1018,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             .into_iter()
             .filter(|i| !self.never_target.contains(i))
             .collect();
-        let fallback_faults: Vec<Fault> =
-            remaining.iter().map(|&i| self.sets.fault(i)).collect();
+        let fallback_faults: Vec<Fault> = remaining.iter().map(|&i| self.sets.fault(i)).collect();
         while let Some(&idx) = remaining.first() {
             match self.podem.generate(self.sets.fault(idx), &free) {
                 PodemResult::Test(cube) => {
@@ -994,7 +1034,10 @@ impl<'r, 'a> RunState<'r, 'a> {
                             next.push(fi);
                         }
                     }
-                    debug_assert!(next.len() < remaining.len(), "fallback vector must progress");
+                    debug_assert!(
+                        next.len() < remaining.len(),
+                        "fallback vector must progress"
+                    );
                     if next.len() == remaining.len() {
                         // Defensive: avoid livelock on a sim/ATPG disagreement.
                         aborted.push(self.sets.fault(idx));
@@ -1061,6 +1104,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             coverage,
         );
 
+        tvs_exec::counter("stitch.extra_vectors").add(extra_vectors.len() as u64);
         let hidden_transitions = self.sets.transition_counts();
         Ok(StitchReport {
             cycles: self.cycles,
@@ -1072,6 +1116,116 @@ impl<'r, 'a> RunState<'r, 'a> {
             metrics,
             hidden_transitions,
         })
+    }
+}
+
+/// Simulates `(stimulus, fault)` jobs in 64-slot batches fanned out over
+/// the pool, returning the faulty outputs in job order. Every batch builds
+/// its own simulator, so outputs are independent of batching and thread
+/// count.
+fn batch_outputs(
+    pool: &ThreadPool,
+    netlist: &Netlist,
+    view: &ScanView,
+    jobs: &[(&BitVec, Fault)],
+) -> Vec<BitVec> {
+    let chunks: Vec<&[(&BitVec, Fault)]> = jobs.chunks(64).collect();
+    pool.map(&chunks, |_, chunk| {
+        let mut fsim = FaultSim::new(netlist, view);
+        let slots: Vec<SlotSpec<'_>> = chunk
+            .iter()
+            .map(|&(stim, f)| SlotSpec {
+                stimulus: stim,
+                fault: Some(f),
+            })
+            .collect();
+        fsim.run_slots(&slots)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Frozen inputs of one candidate-scoring round. [`ScoreCtx::score`] is a
+/// pure function of this context plus the candidate bits (each invocation
+/// builds its own simulator), which is what lets `select_vector` fan the
+/// candidates out over the thread pool.
+struct ScoreCtx<'c> {
+    netlist: &'c Netlist,
+    view: &'c ScanView,
+    chain: &'c ScanChain,
+    scoap: &'c Scoap,
+    observe: ObserveTransform,
+    faults: &'c [Fault],
+    hidden: &'c [(Fault, BitVec)],
+    watched: &'c [usize],
+    weighted: bool,
+    p: usize,
+    l: usize,
+    k: usize,
+}
+
+impl ScoreCtx<'_> {
+    fn score(&self, bits: &BitVec) -> u64 {
+        let mut fsim = FaultSim::new(self.netlist, self.view);
+        let good = fsim.good_outputs(bits);
+        let mut score = 0u64;
+        for chunk in self.faults.chunks(63) {
+            let slots: Vec<SlotSpec<'_>> = chunk
+                .iter()
+                .map(|&f| SlotSpec {
+                    stimulus: bits,
+                    fault: Some(f),
+                })
+                .collect();
+            let outs = fsim.run_slots(&slots);
+            for (f, out) in chunk.iter().zip(&outs) {
+                let caught = self.watched.iter().any(|&o| out.get(o) != good.get(o));
+                let differentiated = caught || out != &good;
+                let unit = if self.weighted {
+                    self.scoap.fault_hardness(self.netlist, f).max(1)
+                } else {
+                    1
+                };
+                if caught {
+                    score += unit * 1000;
+                } else if differentiated {
+                    score += unit;
+                }
+            }
+        }
+        if !self.hidden.is_empty() {
+            let chain_tv = slice_bits(bits, self.p..self.p + self.l);
+            let incoming = incoming_from_tv(&chain_tv, self.k);
+            let mut stimuli: Vec<BitVec> = Vec::with_capacity(self.hidden.len());
+            for (_, image) in self.hidden {
+                let sh = self.chain.shift(image, &incoming, self.observe);
+                let mut stim = slice_bits(bits, 0..self.p);
+                stim.extend(sh.new_image.iter());
+                stimuli.push(stim);
+            }
+            for (chunk_i, chunk) in self.hidden.chunks(63).enumerate() {
+                let slots: Vec<SlotSpec<'_>> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(fault, _))| SlotSpec {
+                        stimulus: &stimuli[chunk_i * 63 + j],
+                        fault: Some(fault),
+                    })
+                    .collect();
+                let outs = fsim.run_slots(&slots);
+                for out in &outs {
+                    let caught = self.watched.iter().any(|&o| out.get(o) != good.get(o));
+                    let kept = out != &good;
+                    if caught {
+                        score += 1000;
+                    } else if kept {
+                        score += 30;
+                    }
+                }
+            }
+        }
+        score
     }
 }
 
@@ -1113,7 +1267,10 @@ mod tests {
         b.add_gate("y", GateKind::Not, &["a"]).unwrap();
         b.mark_output("y").unwrap();
         let n = b.build().unwrap();
-        assert!(matches!(StitchEngine::new(&n), Err(StitchError::NoScanChain)));
+        assert!(matches!(
+            StitchEngine::new(&n),
+            Err(StitchError::NoScanChain)
+        ));
     }
 
     #[test]
@@ -1160,8 +1317,14 @@ mod tests {
         assert_eq!(a.shifts, b.shifts);
         assert_eq!(a.metrics.stitched_vectors, b.metrics.stitched_vectors);
         assert_eq!(
-            a.cycles.iter().map(|c| c.vector.clone()).collect::<Vec<_>>(),
-            b.cycles.iter().map(|c| c.vector.clone()).collect::<Vec<_>>()
+            a.cycles
+                .iter()
+                .map(|c| c.vector.clone())
+                .collect::<Vec<_>>(),
+            b.cycles
+                .iter()
+                .map(|c| c.vector.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -1177,7 +1340,11 @@ mod tests {
             .unwrap();
 
         // Fault-free responses per the paper.
-        let resp: Vec<String> = trace.cycles.iter().map(|c| c.response.to_string()).collect();
+        let resp: Vec<String> = trace
+            .cycles
+            .iter()
+            .map(|c| c.response.to_string())
+            .collect();
         assert_eq!(resp, vec!["111", "010", "000", "010"]);
 
         // Every fault except the redundant E-F/1 is caught.
@@ -1229,10 +1396,7 @@ mod tests {
             .unwrap();
         // F/1 and D-F/1 mutate the third vector to 101 per the paper.
         for name in ["F/1", "D-F/1"] {
-            let row = trace
-                .rows
-                .iter()
-                .find(|r| r.fault.display_in(&n) == name);
+            let row = trace.rows.iter().find(|r| r.fault.display_in(&n) == name);
             if let Some(row) = row {
                 // (collapsing may merge D-F/1 into another representative)
                 assert_eq!(row.caught_at, Some(2), "{name}");

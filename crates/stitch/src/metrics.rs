@@ -91,8 +91,14 @@ mod tests {
 
     #[test]
     fn ratios_follow_costs() {
-        let st = TestCosts { shift_cycles: 11, memory_bits: 17 };
-        let base = TestCosts { shift_cycles: 15, memory_bits: 24 };
+        let st = TestCosts {
+            shift_cycles: 11,
+            memory_bits: 17,
+        };
+        let base = TestCosts {
+            shift_cycles: 15,
+            memory_bits: 24,
+        };
         let m = CompressionMetrics::new(4, 0, 4, st, base, 1.0);
         assert!((m.time_ratio - 11.0 / 15.0).abs() < 1e-12);
         assert!((m.memory_ratio - 17.0 / 24.0).abs() < 1e-12);

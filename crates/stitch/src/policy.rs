@@ -66,10 +66,17 @@ impl ShiftPolicy {
     pub fn initial(&self, scan_len: usize) -> usize {
         match *self {
             ShiftPolicy::Fixed(k) => {
-                assert!(k >= 1 && k <= scan_len, "fixed shift {k} out of range 1..={scan_len}");
+                assert!(
+                    k >= 1 && k <= scan_len,
+                    "fixed shift {k} out of range 1..={scan_len}"
+                );
                 k
             }
-            ShiftPolicy::Variable { start_fraction, growth, max_fraction } => {
+            ShiftPolicy::Variable {
+                start_fraction,
+                growth,
+                max_fraction,
+            } => {
                 assert!(
                     start_fraction > 0.0 && start_fraction <= 1.0,
                     "start fraction must be in (0, 1]"
@@ -79,8 +86,7 @@ impl ShiftPolicy {
                     max_fraction >= start_fraction && max_fraction <= 1.0,
                     "max fraction must be in [start_fraction, 1]"
                 );
-                ((scan_len as f64 * start_fraction).ceil() as usize)
-                    .clamp(1, scan_len)
+                ((scan_len as f64 * start_fraction).ceil() as usize).clamp(1, scan_len)
             }
         }
     }
@@ -91,7 +97,11 @@ impl ShiftPolicy {
     pub fn escalate(&self, scan_len: usize, current: usize) -> Option<usize> {
         match *self {
             ShiftPolicy::Fixed(_) => None,
-            ShiftPolicy::Variable { growth, max_fraction, .. } => {
+            ShiftPolicy::Variable {
+                growth,
+                max_fraction,
+                ..
+            } => {
                 let cap = ((scan_len as f64 * max_fraction).ceil() as usize).clamp(1, scan_len);
                 if current >= cap {
                     None

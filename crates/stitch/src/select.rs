@@ -34,7 +34,10 @@ impl SelectionStrategy {
     /// Whether this strategy scores multiple candidates per cycle (the
     /// greedy schemes) or takes the first success.
     pub fn is_greedy(self) -> bool {
-        matches!(self, SelectionStrategy::MostFaults | SelectionStrategy::Weighted)
+        matches!(
+            self,
+            SelectionStrategy::MostFaults | SelectionStrategy::Weighted
+        )
     }
 }
 

@@ -228,8 +228,8 @@ impl FaultSets {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvs_netlist::GateId;
     use tvs_fault::StuckAt;
+    use tvs_netlist::GateId;
 
     fn three() -> FaultSets {
         let faults = (0..3)
@@ -251,11 +251,20 @@ mod tests {
     fn counts_track_transitions() {
         let mut s = three();
         s.set_hidden(1, BitVec::from_bools([true]));
-        assert_eq!((s.uncaught_count(), s.hidden_count(), s.caught_count()), (2, 1, 0));
+        assert_eq!(
+            (s.uncaught_count(), s.hidden_count(), s.caught_count()),
+            (2, 1, 0)
+        );
         s.set_caught(1);
-        assert_eq!((s.uncaught_count(), s.hidden_count(), s.caught_count()), (2, 0, 1));
+        assert_eq!(
+            (s.uncaught_count(), s.hidden_count(), s.caught_count()),
+            (2, 0, 1)
+        );
         s.set_caught(0);
-        assert_eq!((s.uncaught_count(), s.hidden_count(), s.caught_count()), (1, 0, 2));
+        assert_eq!(
+            (s.uncaught_count(), s.hidden_count(), s.caught_count()),
+            (1, 0, 2)
+        );
         assert_eq!(s.uncaught_indices(), vec![2]);
     }
 

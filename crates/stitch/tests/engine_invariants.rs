@@ -1,23 +1,32 @@
 //! Invariant tests of the stitching engine on generated circuits.
-
-use proptest::prelude::*;
+//!
+//! Seeded randomized invariants (formerly proptest-based; rewritten as
+//! deterministic loops so the workspace has no external test deps).
 
 use tvs_circuits::{synthesize, SynthConfig};
+use tvs_logic::Prng;
 use tvs_scan::CaptureTransform;
 use tvs_stitch::{ShiftPolicy, StitchConfig, StitchEngine};
 
 fn circuit(seed: u64) -> tvs_netlist::Netlist {
     synthesize(
         "inv",
-        &SynthConfig { inputs: 4, outputs: 3, flip_flops: 10, gates: 70, seed, depth_hint: None },
+        &SynthConfig {
+            inputs: 4,
+            outputs: 3,
+            flip_flops: 10,
+            gates: 70,
+            seed,
+            depth_hint: None,
+        },
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn shifts_are_monotone_and_schedules_replayable(seed in 0u64..200) {
+#[test]
+fn shifts_are_monotone_and_schedules_replayable() {
+    let mut meta = Prng::seed_from_u64(0x571A);
+    for _ in 0..8 {
+        let seed = meta.next_u64() % 200;
         let netlist = circuit(seed);
         let engine = StitchEngine::new(&netlist).expect("sequential");
         let cfg = StitchConfig::default();
@@ -26,17 +35,25 @@ proptest! {
         // Variable policy growth is monotone after the initial full shift.
         let stitched = &report.shifts[1..];
         for w in stitched.windows(2) {
-            prop_assert!(w[0] <= w[1], "shift schedule decreased: {:?}", report.shifts);
+            assert!(
+                w[0] <= w[1],
+                "shift schedule decreased: {:?}",
+                report.shifts
+            );
         }
 
         // Every generated schedule must be physically applicable.
         let vectors: Vec<_> = report.cycles.iter().map(|c| c.vector.clone()).collect();
         let replayed = engine.replay(&vectors, &report.shifts, report.final_flush, &cfg);
-        prop_assert!(replayed.is_ok(), "unreplayable schedule");
+        assert!(replayed.is_ok(), "unreplayable schedule");
     }
+}
 
-    #[test]
-    fn set_sizes_are_conserved_per_cycle(seed in 0u64..200) {
+#[test]
+fn set_sizes_are_conserved_per_cycle() {
+    let mut meta = Prng::seed_from_u64(0x571B);
+    for _ in 0..8 {
+        let seed = meta.next_u64() % 200;
         let netlist = circuit(seed);
         let engine = StitchEngine::new(&netlist).expect("sequential");
         let report = engine.run(&StitchConfig::default()).expect("run");
@@ -45,15 +62,19 @@ proptest! {
             caught_so_far += cycle.newly_caught;
             // f_c grows monotonically; hidden+uncaught+caught = tracked.
             let tracked = cycle.hidden_after + cycle.uncaught_after + caught_so_far;
-            prop_assert!(
+            assert!(
                 tracked > 0 && cycle.shift >= 1,
                 "cycle {i} inconsistent: {cycle:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn vertical_xor_never_reduces_coverage(seed in 0u64..100) {
+#[test]
+fn vertical_xor_never_reduces_coverage() {
+    let mut meta = Prng::seed_from_u64(0x571C);
+    for _ in 0..8 {
+        let seed = meta.next_u64() % 100;
         let netlist = circuit(seed);
         let engine = StitchEngine::new(&netlist).expect("sequential");
         let plain = engine.run(&StitchConfig::default()).expect("run");
@@ -63,7 +84,7 @@ proptest! {
                 ..StitchConfig::default()
             })
             .expect("run");
-        prop_assert!(
+        assert!(
             vxor.metrics.fault_coverage >= plain.metrics.fault_coverage - 0.05,
             "VXOR coverage {} far below plain {}",
             vxor.metrics.fault_coverage,
@@ -76,7 +97,10 @@ proptest! {
 fn fixed_policy_uses_one_shift_size() {
     let netlist = circuit(3);
     let engine = StitchEngine::new(&netlist).expect("sequential");
-    let cfg = StitchConfig { policy: ShiftPolicy::Fixed(4), ..StitchConfig::default() };
+    let cfg = StitchConfig {
+        policy: ShiftPolicy::Fixed(4),
+        ..StitchConfig::default()
+    };
     let report = engine.run(&cfg).expect("run");
     assert!(report.shifts[0] == netlist.dff_count());
     for &k in &report.shifts[1..] {
@@ -88,7 +112,14 @@ fn fixed_policy_uses_one_shift_size() {
 fn degenerate_one_cell_chain_works() {
     let netlist = synthesize(
         "one-cell",
-        &SynthConfig { inputs: 3, outputs: 2, flip_flops: 1, gates: 20, seed: 1, depth_hint: None },
+        &SynthConfig {
+            inputs: 3,
+            outputs: 2,
+            flip_flops: 1,
+            gates: 20,
+            seed: 1,
+            depth_hint: None,
+        },
     );
     let engine = StitchEngine::new(&netlist).expect("sequential");
     let report = engine.run(&StitchConfig::default()).expect("run");
@@ -110,7 +141,11 @@ fn report_costs_match_the_cost_model() {
     let expect = if report.shifts.is_empty() {
         model.full_costs(report.extra_vectors.len())
     } else {
-        model.stitched_costs(&report.shifts, report.final_flush, report.extra_vectors.len())
+        model.stitched_costs(
+            &report.shifts,
+            report.final_flush,
+            report.extra_vectors.len(),
+        )
     };
     assert_eq!(report.metrics.stitched_costs, expect);
     assert_eq!(

@@ -1,0 +1,85 @@
+//! The stitching engine must produce bit-identical reports at every thread
+//! count (DESIGN.md §6.4): parallel stages — prescreen fault simulation,
+//! deep PODEM verdicts, candidate scoring, hidden/uncaught classification —
+//! compute pure functions and reduce in input order.
+
+use tvs_stitch::{SelectionStrategy, StitchConfig, StitchEngine};
+
+fn report_with_threads(netlist: &tvs_netlist::Netlist, threads: usize) -> String {
+    let engine = StitchEngine::new(netlist).expect("sequential circuit");
+    let cfg = StitchConfig {
+        threads,
+        ..StitchConfig::default()
+    };
+    let report = engine.run(&cfg).expect("run");
+    format!("{report:?}")
+}
+
+#[test]
+fn fig1_report_is_thread_count_invariant() {
+    let netlist = tvs_circuits::fig1();
+    let seq = report_with_threads(&netlist, 1);
+    assert_eq!(
+        seq,
+        report_with_threads(&netlist, 8),
+        "fig1: 1 vs 8 threads"
+    );
+    assert_eq!(
+        seq,
+        report_with_threads(&netlist, 3),
+        "fig1: 1 vs 3 threads"
+    );
+}
+
+#[test]
+fn synthetic_profile_report_is_thread_count_invariant() {
+    let netlist = tvs_circuits::synthesize(
+        "det",
+        &tvs_circuits::SynthConfig {
+            inputs: 5,
+            outputs: 4,
+            flip_flops: 14,
+            gates: 120,
+            seed: 7,
+            depth_hint: None,
+        },
+    );
+    let seq = report_with_threads(&netlist, 1);
+    assert_eq!(
+        seq,
+        report_with_threads(&netlist, 8),
+        "synthetic: 1 vs 8 threads"
+    );
+}
+
+#[test]
+fn every_selection_strategy_is_thread_count_invariant() {
+    let netlist = tvs_circuits::synthesize(
+        "det-sel",
+        &tvs_circuits::SynthConfig {
+            inputs: 4,
+            outputs: 3,
+            flip_flops: 10,
+            gates: 80,
+            seed: 21,
+            depth_hint: None,
+        },
+    );
+    let engine = StitchEngine::new(&netlist).expect("sequential circuit");
+    for strategy in [
+        SelectionStrategy::Random,
+        SelectionStrategy::Hardness,
+        SelectionStrategy::MostFaults,
+        SelectionStrategy::Weighted,
+    ] {
+        let run = |threads| {
+            let cfg = StitchConfig {
+                threads,
+                selection: strategy,
+                ..StitchConfig::default()
+            };
+            format!("{:?}", engine.run(&cfg).expect("run"))
+        };
+        assert_eq!(run(1), run(8), "{strategy:?}: 1 vs 8 threads");
+    }
+}

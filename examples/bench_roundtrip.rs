@@ -35,7 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Generate a calibrated benchmark and export it.
     let synth = synthesize(
         "demo600",
-        &SynthConfig { inputs: 8, outputs: 6, flip_flops: 32, gates: 600, seed: 2003, depth_hint: None },
+        &SynthConfig {
+            inputs: 8,
+            outputs: 6,
+            flip_flops: 32,
+            gates: 600,
+            seed: 2003,
+            depth_hint: None,
+        },
     );
     let text = bench::to_string(&synth);
     println!(

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  cycle 2: its mutated vector {} (intended {}) produces {} vs {} — CAUGHT",
-        f0.entries[1].vector, trace.cycles[1].vector, f0.entries[1].response, trace.cycles[1].response
+        f0.entries[1].vector,
+        trace.cycles[1].vector,
+        f0.entries[1].response,
+        trace.cycles[1].response
     );
     assert_eq!(f0.caught_at, Some(1));
 
@@ -54,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The paper's cost arithmetic.
-    let model = CostModel { scan_len: 3, pi_count: 0, po_count: 0 };
+    let model = CostModel {
+        scan_len: 3,
+        pi_count: 0,
+        po_count: 0,
+    };
     let full = model.full_costs(4);
     let stitched = model.stitched_costs(&[3, 2, 2, 2], 2, 0);
     println!("\nCosts: conventional {full}; stitched {stitched}.");

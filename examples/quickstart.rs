@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("stitched vectors (TV): {}", report.metrics.stitched_vectors);
     println!("fallback vectors (ex): {}", report.metrics.extra_vectors);
-    println!("baseline vectors (aTV): {}", report.metrics.baseline_vectors);
+    println!(
+        "baseline vectors (aTV): {}",
+        report.metrics.baseline_vectors
+    );
     println!(
         "tester memory ratio m = {:.2}, test time ratio t = {:.2}",
         report.metrics.memory_ratio, report.metrics.time_ratio

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("fixed k=13 (5/8 info)", ShiftPolicy::Fixed(13)),
         ("variable (default)", ShiftPolicy::default()),
     ] {
-        let report = engine.run(&StitchConfig { policy, ..StitchConfig::default() })?;
+        let report = engine.run(&StitchConfig {
+            policy,
+            ..StitchConfig::default()
+        })?;
         println!("  {label:24} {}", report.metrics);
     }
 
@@ -34,18 +37,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("most-faults", SelectionStrategy::MostFaults),
         ("weighted", SelectionStrategy::Weighted),
     ] {
-        let report = engine.run(&StitchConfig { selection, ..StitchConfig::default() })?;
+        let report = engine.run(&StitchConfig {
+            selection,
+            ..StitchConfig::default()
+        })?;
         println!("  {label:24} {}", report.metrics);
     }
 
     println!("\n-- hidden-fault observability (paper §6.2) --");
     let schemes: [(&str, CaptureTransform, ObserveTransform); 3] = [
-        ("plain (NXOR)", CaptureTransform::Plain, ObserveTransform::Direct),
-        ("vertical XOR", CaptureTransform::VerticalXor, ObserveTransform::Direct),
-        ("horizontal XOR (3)", CaptureTransform::Plain, ObserveTransform::HorizontalXor(3)),
+        (
+            "plain (NXOR)",
+            CaptureTransform::Plain,
+            ObserveTransform::Direct,
+        ),
+        (
+            "vertical XOR",
+            CaptureTransform::VerticalXor,
+            ObserveTransform::Direct,
+        ),
+        (
+            "horizontal XOR (3)",
+            CaptureTransform::Plain,
+            ObserveTransform::HorizontalXor(3),
+        ),
     ];
     for (label, capture, observe) in schemes {
-        let report = engine.run(&StitchConfig { capture, observe, ..StitchConfig::default() })?;
+        let report = engine.run(&StitchConfig {
+            capture,
+            observe,
+            ..StitchConfig::default()
+        })?;
         let (entered, converted, erased) = report.hidden_transitions;
         println!(
             "  {label:24} {}  hidden: {entered} in / {converted} caught / {erased} erased",

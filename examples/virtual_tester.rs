@@ -31,16 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let view = netlist.scan_view()?;
     let mut dut = Dut::new(&netlist, &view, config.capture, config.observe);
-    println!(
-        "\ngood part: {:?}",
-        VirtualAte::execute(&program, &mut dut)
-    );
+    println!("\ngood part: {:?}", VirtualAte::execute(&program, &mut dut));
 
     // Manufacture a defective part.
     let defect = Fault::stem(netlist.find("G11").expect("known net"), StuckAt::One);
     dut.inject(defect);
     let outcome = VirtualAte::execute(&program, &mut dut);
-    println!("defective part ({}): {outcome:?}", defect.display_in(&netlist));
+    println!(
+        "defective part ({}): {outcome:?}",
+        defect.display_in(&netlist)
+    );
 
     // Diagnose it from the full failure syndrome.
     let observed = VirtualAte::failure_log(&program, &mut dut);

@@ -11,7 +11,8 @@
 //! ```
 //!
 //! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
-//! `--select random|hardness|most|weighted`, `--seed <n>`.
+//! `--select random|hardness|most|weighted`, `--seed <n>`, `--threads <n>`
+//! (also the `TVS_THREADS` environment variable), `--stats`.
 
 use std::error::Error;
 use std::fs;
@@ -69,6 +70,9 @@ stitch options:
   --fixed <k>       fixed shift size instead of the variable policy
   --select <s>      random | hardness | most | weighted   (default: most)
   --seed <n>        RNG seed
+  --threads <n>     worker threads (default: TVS_THREADS env, then all cores;
+                    results are bit-identical at any thread count)
+  --stats           print instrumentation counters and span timers after the run
 ";
 
 fn load(path: &str) -> Result<Netlist, Box<dyn Error>> {
@@ -81,7 +85,9 @@ fn load(path: &str) -> Result<Netlist, Box<dyn Error>> {
 }
 
 fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, Box<dyn Error>> {
-    args.get(i).map(String::as_str).ok_or_else(|| format!("missing {what}").into())
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing {what}").into())
 }
 
 fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
@@ -126,8 +132,19 @@ fn atpg(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn stitch_config(args: &[String]) -> Result<StitchConfig, Box<dyn Error>> {
-    let mut config = StitchConfig::default();
+/// Parsed stitch-family options: the engine configuration plus whether the
+/// `--stats` instrumentation report was requested.
+struct StitchOpts {
+    config: StitchConfig,
+    stats: bool,
+}
+
+fn stitch_config(args: &[String]) -> Result<StitchOpts, Box<dyn Error>> {
+    let mut config = StitchConfig {
+        threads: tvs::exec::default_threads(),
+        ..StitchConfig::default()
+    };
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -155,6 +172,11 @@ fn stitch_config(args: &[String]) -> Result<StitchConfig, Box<dyn Error>> {
                 config.seed = need(args, i + 1, "seed")?.parse()?;
                 i += 1;
             }
+            "--threads" => {
+                config.threads = need(args, i + 1, "thread count")?.parse::<usize>()?.max(1);
+                i += 1;
+            }
+            "--stats" => stats = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}").into())
             }
@@ -162,14 +184,14 @@ fn stitch_config(args: &[String]) -> Result<StitchConfig, Box<dyn Error>> {
         }
         i += 1;
     }
-    Ok(config)
+    Ok(StitchOpts { config, stats })
 }
 
 fn stitch(args: &[String]) -> Result<(), Box<dyn Error>> {
     let netlist = load(need(args, 0, "circuit path")?)?;
-    let config = stitch_config(&args[1..])?;
+    let opts = stitch_config(&args[1..])?;
     let engine = StitchEngine::new(&netlist)?;
-    let report = engine.run(&config)?;
+    let report = engine.run(&opts.config)?;
     println!("{}: {}", netlist.name(), report.metrics);
     println!(
         "shift schedule: initial {} then {:?}… closing flush {}",
@@ -179,16 +201,19 @@ fn stitch(args: &[String]) -> Result<(), Box<dyn Error>> {
     );
     let (entered, converted, erased) = report.hidden_transitions;
     println!("hidden faults: {entered} entered, {converted} caught, {erased} erased");
+    if opts.stats {
+        print!("{}", tvs::exec::report());
+    }
     Ok(())
 }
 
 fn program(args: &[String]) -> Result<(), Box<dyn Error>> {
     let netlist = load(need(args, 0, "circuit path")?)?;
     let out = need(args, 1, "output path")?;
-    let config = stitch_config(&args[2..])?;
+    let opts = stitch_config(&args[2..])?;
     let engine = StitchEngine::new(&netlist)?;
-    let report = engine.run(&config)?;
-    let program = TestProgram::from_report(&netlist, &report, &config);
+    let report = engine.run(&opts.config)?;
+    let program = TestProgram::from_report(&netlist, &report, &opts.config);
     fs::write(out, program.to_text())?;
     println!(
         "wrote {} ({} cycles, {} shift clocks; {})",
@@ -197,6 +222,9 @@ fn program(args: &[String]) -> Result<(), Box<dyn Error>> {
         program.shift_cycles(),
         report.metrics
     );
+    if opts.stats {
+        print!("{}", tvs::exec::report());
+    }
     Ok(())
 }
 

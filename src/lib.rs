@@ -17,6 +17,7 @@
 //! | **stitching** | [`stitch`] | the paper's compression algorithm |
 //! | benchmarks | [`circuits`] | paper example + ISCAS89-calibrated profiles |
 //! | virtual tester | [`ate`] | pin-accurate program execution, screening, diagnosis |
+//! | execution | [`exec`] | deterministic work-stealing pool, counters, span timers |
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@
 pub use tvs_ate as ate;
 pub use tvs_atpg as atpg;
 pub use tvs_circuits as circuits;
+pub use tvs_exec as exec;
 pub use tvs_fault as fault;
 pub use tvs_logic as logic;
 pub use tvs_netlist as netlist;

@@ -34,8 +34,7 @@ fn screen(netlist: &tvs::netlist::Netlist, config: &StitchConfig) {
             screened += 1;
         }
     }
-    let claimed = (report.metrics.fault_coverage
-        * (faults.len() - report.redundant.len()) as f64)
+    let claimed = (report.metrics.fault_coverage * (faults.len() - report.redundant.len()) as f64)
         .round() as usize;
     assert!(
         screened >= claimed,
@@ -127,5 +126,9 @@ fn conventional_program_from_patterns_screens_baseline_coverage() {
             escapes.push(fault.display_in(&netlist));
         }
     }
-    assert_eq!(escapes, vec!["E-F/1".to_string()], "only the redundant fault escapes");
+    assert_eq!(
+        escapes,
+        vec!["E-F/1".to_string()],
+        "only the redundant fault escapes"
+    );
 }

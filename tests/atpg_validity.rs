@@ -2,24 +2,30 @@
 //! emits must detect its target under fault simulation, for any completion
 //! of the don't-cares; `Untestable` verdicts must survive random search.
 
-use rand::{rngs::SmallRng, Rng, SeedableRng};
 use tvs::atpg::{Podem, PodemConfig, PodemResult};
 use tvs::circuits::{synthesize, SynthConfig};
 use tvs::fault::{FaultList, FaultSim};
-use tvs::logic::{BitVec, Cube, Logic};
+use tvs::logic::{BitVec, Cube, Logic, Prng};
 
 #[test]
 fn podem_cubes_detect_their_targets_for_any_fill() {
     for seed in 0..6u64 {
         let netlist = synthesize(
             "validity",
-            &SynthConfig { inputs: 5, outputs: 3, flip_flops: 12, gates: 90, seed, depth_hint: None },
+            &SynthConfig {
+                inputs: 5,
+                outputs: 3,
+                flip_flops: 12,
+                gates: 90,
+                seed,
+                depth_hint: None,
+            },
         );
         let view = netlist.scan_view().expect("valid");
         let faults = FaultList::collapsed(&netlist);
         let mut podem = Podem::new(&netlist, &view);
         let mut fsim = FaultSim::new(&netlist, &view);
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let mut rng = Prng::seed_from_u64(seed ^ 0xABCD);
         let free = Cube::unspecified(view.input_count());
         for &fault in faults.faults() {
             if let PodemResult::Test(cube) = podem.generate(fault, &free) {
@@ -40,14 +46,24 @@ fn podem_cubes_detect_their_targets_for_any_fill() {
 fn untestable_verdicts_survive_random_search() {
     let netlist = synthesize(
         "redundancy",
-        &SynthConfig { inputs: 4, outputs: 3, flip_flops: 10, gates: 80, seed: 7, depth_hint: None },
+        &SynthConfig {
+            inputs: 4,
+            outputs: 3,
+            flip_flops: 10,
+            gates: 80,
+            seed: 7,
+            depth_hint: None,
+        },
     );
     let view = netlist.scan_view().expect("valid");
     let faults = FaultList::collapsed(&netlist);
     let mut podem = Podem::with_config(
         &netlist,
         &view,
-        PodemConfig { backtrack_limit: 10_000, ..PodemConfig::default() },
+        PodemConfig {
+            backtrack_limit: 10_000,
+            ..PodemConfig::default()
+        },
     );
     let mut fsim = FaultSim::new(&netlist, &view);
     let free = Cube::unspecified(view.input_count());
@@ -57,15 +73,18 @@ fn untestable_verdicts_survive_random_search() {
         .copied()
         .filter(|&f| podem.generate(f, &free) == PodemResult::Untestable)
         .collect();
-    assert!(!claimed.is_empty(), "random logic always has some redundancy");
+    assert!(
+        !claimed.is_empty(),
+        "random logic always has some redundancy"
+    );
 
-    let mut rng = SmallRng::seed_from_u64(11);
+    let mut rng = Prng::seed_from_u64(11);
     let mut alive = claimed;
     for _ in 0..3000 {
         if alive.is_empty() {
             break;
         }
-        let tv: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+        let tv: BitVec = (0..view.input_count()).map(|_| rng.next_bool()).collect();
         let hits = fsim.detect(&tv, &alive);
         let before = alive.len();
         alive = alive
@@ -74,7 +93,11 @@ fn untestable_verdicts_survive_random_search() {
             .filter(|(_, &h)| !h)
             .map(|(f, _)| *f)
             .collect();
-        assert_eq!(alive.len(), before, "a claimed-redundant fault was detected");
+        assert_eq!(
+            alive.len(),
+            before,
+            "a claimed-redundant fault was detected"
+        );
     }
 }
 
@@ -82,16 +105,23 @@ fn untestable_verdicts_survive_random_search() {
 fn constrained_cubes_honor_their_pins() {
     let netlist = synthesize(
         "pins",
-        &SynthConfig { inputs: 4, outputs: 3, flip_flops: 12, gates: 90, seed: 3, depth_hint: None },
+        &SynthConfig {
+            inputs: 4,
+            outputs: 3,
+            flip_flops: 12,
+            gates: 90,
+            seed: 3,
+            depth_hint: None,
+        },
     );
     let view = netlist.scan_view().expect("valid");
     let faults = FaultList::collapsed(&netlist);
     let mut podem = Podem::new(&netlist, &view);
     let mut fsim = FaultSim::new(&netlist, &view);
-    let mut rng = SmallRng::seed_from_u64(5);
+    let mut rng = Prng::seed_from_u64(5);
 
     // Pin the last half of the scan cells to a random previous response.
-    let v0: BitVec = (0..view.input_count()).map(|_| rng.gen::<bool>()).collect();
+    let v0: BitVec = (0..view.input_count()).map(|_| rng.next_bool()).collect();
     let out = fsim.good_outputs(&v0);
     let (p, q, l) = (view.pi_count(), view.po_count(), view.ppi_count());
     let k = l / 2;

@@ -57,11 +57,10 @@ fn scan_views_agree_after_round_trip() {
     assert_eq!(va.output_count(), vb.output_count());
     assert_eq!(va.depth(), vb.depth());
     // Identical simulation semantics.
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(9);
+    use tvs::logic::Prng;
+    let mut rng = Prng::seed_from_u64(9);
     for _ in 0..16 {
-        let bits: tvs::logic::BitVec =
-            (0..va.input_count()).map(|_| rng.gen::<bool>()).collect();
+        let bits: tvs::logic::BitVec = (0..va.input_count()).map(|_| rng.next_bool()).collect();
         assert_eq!(
             tvs::sim::eval_single(&netlist, &va, &bits),
             tvs::sim::eval_single(&back, &vb, &bits)

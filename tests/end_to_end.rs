@@ -10,7 +10,14 @@ use tvs::stitch::{SelectionStrategy, ShiftPolicy, StitchConfig, StitchEngine};
 fn small_synth() -> tvs::netlist::Netlist {
     synthesize(
         "e2e",
-        &SynthConfig { inputs: 6, outputs: 4, flip_flops: 16, gates: 140, seed: 20_03, depth_hint: None },
+        &SynthConfig {
+            inputs: 6,
+            outputs: 4,
+            flip_flops: 16,
+            gates: 140,
+            seed: 20_03,
+            depth_hint: None,
+        },
     )
 }
 
@@ -51,14 +58,22 @@ fn stitched_run_on_s27_reaches_attainable_coverage() {
 fn every_policy_and_strategy_combination_runs() {
     let netlist = small_synth();
     let engine = StitchEngine::new(&netlist).expect("sequential circuit");
-    for policy in [ShiftPolicy::Fixed(4), ShiftPolicy::Fixed(16), ShiftPolicy::default()] {
+    for policy in [
+        ShiftPolicy::Fixed(4),
+        ShiftPolicy::Fixed(16),
+        ShiftPolicy::default(),
+    ] {
         for selection in [
             SelectionStrategy::Random,
             SelectionStrategy::Hardness,
             SelectionStrategy::MostFaults,
             SelectionStrategy::Weighted,
         ] {
-            let cfg = StitchConfig { policy, selection, ..StitchConfig::default() };
+            let cfg = StitchConfig {
+                policy,
+                selection,
+                ..StitchConfig::default()
+            };
             let report = engine.run(&cfg).expect("run");
             assert!(
                 report.metrics.fault_coverage > 0.9,
@@ -80,7 +95,11 @@ fn xor_schemes_run_and_vertical_xor_converts_hidden_faults_best() {
         (CaptureTransform::Plain, ObserveTransform::HorizontalXor(3)),
     ];
     for (capture, observe) in schemes {
-        let cfg = StitchConfig { capture, observe, ..StitchConfig::default() };
+        let cfg = StitchConfig {
+            capture,
+            observe,
+            ..StitchConfig::default()
+        };
         let report = engine.run(&cfg).expect("run");
         let (entered, converted, _) = report.hidden_transitions;
         conversion.push(converted as f64 / entered.max(1) as f64);
@@ -105,7 +124,10 @@ fn runs_are_deterministic_and_seed_sensitive() {
     assert_eq!(a.metrics.stitched_vectors, b.metrics.stitched_vectors);
     assert_eq!(a.extra_vectors, b.extra_vectors);
 
-    let seeded = StitchConfig { seed: 99, ..StitchConfig::default() };
+    let seeded = StitchConfig {
+        seed: 99,
+        ..StitchConfig::default()
+    };
     let c = engine.run(&seeded).expect("run");
     // Seeds flow through fill and ordering; schedules almost surely differ.
     assert!(

@@ -16,7 +16,11 @@ fn trace() -> (tvs::netlist::Netlist, tvs::stitch::ReplayTrace) {
 fn fault_free_row_matches_paper() {
     let (_, trace) = trace();
     let tvs: Vec<String> = trace.cycles.iter().map(|c| c.vector.to_string()).collect();
-    let rps: Vec<String> = trace.cycles.iter().map(|c| c.response.to_string()).collect();
+    let rps: Vec<String> = trace
+        .cycles
+        .iter()
+        .map(|c| c.response.to_string())
+        .collect();
     assert_eq!(tvs, ["110", "001", "100", "010"]);
     assert_eq!(rps, ["111", "010", "000", "010"]);
 }

@@ -48,7 +48,11 @@ fn figure4_horizontal_xor_stream() {
     let chain = ScanChain::new(6);
     let cells = [true, false, false, true, true, false]; // a..f
     let image: BitVec = cells.iter().copied().collect();
-    let out = chain.shift(&image, &BitVec::zeros(2), ObserveTransform::HorizontalXor(3));
+    let out = chain.shift(
+        &image,
+        &BitVec::zeros(2),
+        ObserveTransform::HorizontalXor(3),
+    );
     let (a, b, c, d, e, f) = (cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]);
     assert_eq!(out.observed.get(0), b ^ d ^ f);
     assert_eq!(out.observed.get(1), a ^ c ^ e);
@@ -67,7 +71,11 @@ fn figure4_one_third_shift_passes_every_cell_through_a_tap() {
         flipped.set(p, true);
         let k = l / 3;
         let a = chain.shift(&base, &BitVec::zeros(k), ObserveTransform::HorizontalXor(3));
-        let b = chain.shift(&flipped, &BitVec::zeros(k), ObserveTransform::HorizontalXor(3));
+        let b = chain.shift(
+            &flipped,
+            &BitVec::zeros(k),
+            ObserveTransform::HorizontalXor(3),
+        );
         assert_ne!(a.observed, b.observed, "flip at cell {p} unseen");
     }
 }
