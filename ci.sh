@@ -9,4 +9,11 @@ cd "$(dirname "$0")"
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Static analysis (tvs-lint): fails on any deny-level diagnostic.
+# Engine 2 (source determinism lint) over the workspace tree:
+cargo run -q -p tvs-lint --release --offline --bin tvs-lint -- --workspace --format json
+# Engine 1 (IR design rules) over every built-in circuit profile:
+cargo run -q --release --offline --bin tvs -- lint --profiles > /dev/null
+
 cargo fmt --check

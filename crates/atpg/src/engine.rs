@@ -115,6 +115,7 @@ impl From<NetlistError> for AtpgOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternSet, AtpgOutcome> {
+    tvs_lint::debug_assert_netlist_clean(netlist, "atpg::generate_tests");
     let view = netlist.scan_view()?;
     let faults = FaultList::collapsed(netlist);
     let mut rng = Prng::seed_from_u64(config.seed);

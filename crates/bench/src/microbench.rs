@@ -8,6 +8,8 @@
 //! cross-machine statistics.
 
 use std::hint::black_box;
+// Timing is this module's whole purpose; bench output is not part of the
+// deterministic result surface. lint:allow(SRC002)
 use std::time::{Duration, Instant};
 
 /// A named group of timed functions sharing a sample count.
@@ -32,7 +34,7 @@ impl BenchGroup {
         black_box(f());
         let mut times: Vec<Duration> = (0..self.samples)
             .map(|_| {
-                let start = Instant::now();
+                let start = Instant::now(); // lint:allow(SRC002)
                 black_box(f());
                 start.elapsed()
             })

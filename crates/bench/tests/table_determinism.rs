@@ -4,19 +4,30 @@
 
 use std::process::Command;
 
-fn table2_stdout(threads: &str) -> String {
-    let out = Command::new(env!("CARGO_BIN_EXE_table2"))
+fn table_stdout(bin: &str, threads: &str) -> String {
+    let out = Command::new(bin)
         .args(["--scale", "0.02", "--threads", threads])
         .output()
-        .expect("run table2");
-    assert!(out.status.success(), "table2 --threads {threads} failed");
+        .expect("run table binary");
+    assert!(out.status.success(), "{bin} --threads {threads} failed");
     String::from_utf8(out.stdout).expect("utf-8 table")
+}
+
+fn assert_thread_count_invariant(bin: &str, marker: &str) {
+    let seq = table_stdout(bin, "1");
+    let par = table_stdout(bin, "8");
+    assert!(seq.contains(marker), "unexpected output: {seq}");
+    assert_eq!(seq, par, "{bin} stdout diverged between 1 and 8 threads");
 }
 
 #[test]
 fn table2_output_is_byte_identical_at_1_and_8_threads() {
-    let seq = table2_stdout("1");
-    let par = table2_stdout("8");
-    assert!(seq.contains("Table 2"), "unexpected output: {seq}");
-    assert_eq!(seq, par, "table2 stdout diverged between 1 and 8 threads");
+    assert_thread_count_invariant(env!("CARGO_BIN_EXE_table2"), "Table 2");
+}
+
+#[test]
+fn table3_output_is_byte_identical_at_1_and_8_threads() {
+    // Table 3 additionally exercises the VXOR/HXOR transform paths and the
+    // BTreeSet-based target bookkeeping in the stitch engine.
+    assert_thread_count_invariant(env!("CARGO_BIN_EXE_table3"), "Table 3");
 }

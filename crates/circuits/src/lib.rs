@@ -22,5 +22,5 @@ mod profiles;
 mod synth;
 
 pub use example::{fig1, fig1_vectors, s27};
-pub use profiles::{profile, profiles_table2, profiles_table5, Profile};
+pub use profiles::{all_profiles, profile, profiles_table2, profiles_table5, Profile};
 pub use synth::{synthesize, SynthConfig};

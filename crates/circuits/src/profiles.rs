@@ -199,6 +199,17 @@ pub fn profile(name: &str) -> Option<Profile> {
     PROFILES.iter().copied().find(|p| p.name == name)
 }
 
+/// Every built-in profile, in catalog order.
+///
+/// # Examples
+///
+/// ```
+/// assert!(tvs_circuits::all_profiles().len() >= 13);
+/// ```
+pub fn all_profiles() -> Vec<Profile> {
+    PROFILES.to_vec()
+}
+
 /// The eight circuits of the paper's Tables 2–4, in table order.
 pub fn profiles_table2() -> Vec<Profile> {
     [

@@ -253,7 +253,9 @@ pub fn synthesize(name: &str, config: &SynthConfig) -> Netlist {
         b.add_dff(&format!("ff{i}"), &driver).expect("fresh name");
     }
 
-    b.build().expect("generator only emits valid structure")
+    let netlist = b.build().expect("generator only emits valid structure");
+    tvs_lint::debug_assert_netlist_clean(&netlist, "circuits::synthesize");
+    netlist
 }
 
 #[cfg(test)]

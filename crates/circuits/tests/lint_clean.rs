@@ -1,0 +1,41 @@
+//! Every built-in circuit must pass the IR analyzer's deny-level rules.
+//!
+//! The synthetic generator is allowed a small amount of dead logic (warn
+//! IR006 — see `synth.rs`'s dangling-tolerance test), but structural
+//! violations (undriven/double-driven nets, cycles, chain breaks) would
+//! silently corrupt fault statistics, so they are locked out here.
+
+use tvs_lint::{analyze_netlist, Severity};
+
+#[test]
+fn handwritten_examples_are_deny_clean() {
+    for netlist in [tvs_circuits::fig1(), tvs_circuits::s27()] {
+        let denies: Vec<_> = analyze_netlist(&netlist)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .collect();
+        assert!(denies.is_empty(), "{}: {denies:?}", netlist.name());
+    }
+}
+
+#[test]
+fn all_profiles_are_deny_clean_with_bounded_dead_logic() {
+    for profile in tvs_circuits::all_profiles() {
+        // Scaled-down builds keep the debug-mode test fast while still
+        // exercising every profile's generator parameters.
+        let netlist = profile.build_scaled(0.2);
+        let diags = analyze_netlist(&netlist);
+        let denies: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .collect();
+        assert!(denies.is_empty(), "{}: {denies:?}", profile.name);
+        let dead = diags.iter().filter(|d| d.code == "IR006").count();
+        assert!(
+            dead * 20 < netlist.gate_count().max(1),
+            "{}: {dead} dead gates out of {} is beyond tolerance",
+            profile.name,
+            netlist.gate_count()
+        );
+    }
+}

@@ -6,8 +6,6 @@
 //! single-branch stems) — dominance collapsing is deliberately left out so
 //! coverage numbers remain comparable to equivalence-collapsed tools.
 
-use std::collections::HashMap;
-
 use tvs_netlist::{GateKind, Netlist};
 
 use crate::{Fault, FaultList, StuckAt};
@@ -140,7 +138,7 @@ pub(crate) fn collapse(netlist: &Netlist) -> Vec<Fault> {
     // One representative per class. Stem faults are preferred as
     // representatives (matching the naming convention of the paper's
     // Table 1), so sweep all stems first, then fill in pin-only classes.
-    let mut rep: HashMap<usize, Fault> = HashMap::new();
+    let mut seen = vec![false; indexer.total];
     let mut out = Vec::new();
     let stems_first = universe
         .faults()
@@ -149,8 +147,8 @@ pub(crate) fn collapse(netlist: &Netlist) -> Vec<Fault> {
         .chain(universe.faults().iter().filter(|f| f.site.pin.is_some()));
     for &fault in stems_first {
         let root = uf.find(indexer.index(&fault));
-        if let std::collections::hash_map::Entry::Vacant(e) = rep.entry(root) {
-            e.insert(fault);
+        if !seen[root] {
+            seen[root] = true;
             out.push(fault);
         }
     }

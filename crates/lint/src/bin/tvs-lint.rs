@@ -1,0 +1,126 @@
+//! Standalone lint driver.
+//!
+//! ```text
+//! tvs-lint [--workspace] [--root DIR] [--format text|json] [FILE.bench ...]
+//! ```
+//!
+//! Runs the source determinism lint over the workspace rooted at `--root`
+//! (default `.`) when `--workspace` is given, and the IR analyzer over each
+//! `.bench` netlist named on the command line. Exits 1 if any deny-level
+//! diagnostic is found, 2 on usage or I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tvs_lint::{analyze_netlist, has_deny, render_json, render_text, Diagnostic, Severity, Site};
+
+const USAGE: &str =
+    "usage: tvs-lint [--workspace] [--root DIR] [--format text|json] [FILE.bench ...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("text") => json = false,
+                    Some("json") => json = true,
+                    _ => {
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    if !workspace && files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        diags.extend(lint_bench_file(file));
+    }
+    if workspace {
+        match tvs_lint::lint_workspace(&root) {
+            Ok(d) => diags.extend(d),
+            Err(e) => {
+                eprintln!("tvs-lint: cannot scan workspace at {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let rendered = if json {
+        render_json(&diags)
+    } else {
+        render_text(&diags)
+    };
+    print!("{rendered}");
+    if has_deny(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses and analyzes one `.bench` netlist; parse failures surface as a
+/// deny-level `IR000` diagnostic rather than aborting the whole run.
+fn lint_bench_file(path: &Path) -> Vec<Diagnostic> {
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                "IR000",
+                Severity::Deny,
+                Site::Source {
+                    file: path.display().to_string(),
+                    line: 0,
+                },
+                format!("cannot read file: {e}"),
+            )]
+        }
+    };
+    match tvs_netlist::bench::parse(&name, &text) {
+        Ok(netlist) => analyze_netlist(&netlist),
+        Err(e) => vec![Diagnostic::new(
+            "IR000",
+            Severity::Deny,
+            Site::Source {
+                file: path.display().to_string(),
+                line: 0,
+            },
+            format!("parse error: {e}"),
+        )],
+    }
+}

@@ -1,0 +1,165 @@
+//! The analyzer-facing IR: a net/driver graph plus program shape.
+//!
+//! [`IrGraph`] is deliberately lower-level than [`tvs_netlist::Netlist`]:
+//! it separates *nets* from the *nodes* driving them, so malformed
+//! structures that the netlist builder rejects by construction (undriven or
+//! multiply-driven nets, dangling fanin references, broken chains) are
+//! representable and testable. `analyze_netlist` goes through the lossless
+//! [`From<&Netlist>`] conversion, under which every gate drives the
+//! same-indexed net.
+
+use tvs_netlist::Netlist;
+
+/// What a node is, as far as the structural rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrKind {
+    /// Primary input: a source, no fanin.
+    Input,
+    /// Flip-flop: a source of the combinational core; exactly one (sequential)
+    /// fanin, its D net.
+    Flop,
+    /// Combinational gate: at least one fanin.
+    Comb,
+}
+
+/// One driving element: a gate, input or flop, and the net it drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrNode {
+    /// Node kind.
+    pub kind: IrKind,
+    /// The net this node drives.
+    pub drives: usize,
+    /// Input nets, in pin order (sequential for `Flop`).
+    pub fanin: Vec<usize>,
+}
+
+/// A netlist-shaped graph for structural analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrGraph {
+    /// Artifact name (circuit name), used in messages only.
+    pub name: String,
+    /// Number of nets; fanin/drives/output indices must be `< net_count`.
+    pub net_count: usize,
+    /// Net names for diagnostics; missing entries fall back to `net#<i>`.
+    pub net_names: Vec<String>,
+    /// The driving elements.
+    pub nodes: Vec<IrNode>,
+    /// Primary-output nets.
+    pub outputs: Vec<usize>,
+    /// Scan chain: node indices of the flops in chain order
+    /// (position 0 = scan-in side).
+    pub chain: Vec<usize>,
+    /// The scan length the rest of the system assumes (`L`), if declared;
+    /// checked against `chain.len()`.
+    pub declared_scan_len: Option<usize>,
+}
+
+impl IrGraph {
+    /// The display name of a net.
+    pub fn net_name(&self, net: usize) -> String {
+        self.net_names
+            .get(net)
+            .cloned()
+            .unwrap_or_else(|| format!("net#{net}"))
+    }
+}
+
+impl From<&Netlist> for IrGraph {
+    fn from(netlist: &Netlist) -> IrGraph {
+        use tvs_netlist::GateKind;
+        let nodes = netlist
+            .gate_ids()
+            .map(|id| {
+                let gate = netlist.gate(id);
+                IrNode {
+                    kind: match gate.kind() {
+                        GateKind::Input => IrKind::Input,
+                        GateKind::Dff => IrKind::Flop,
+                        _ => IrKind::Comb,
+                    },
+                    drives: id.index(),
+                    fanin: gate.fanin().iter().map(|f| f.index()).collect(),
+                }
+            })
+            .collect();
+        IrGraph {
+            name: netlist.name().to_owned(),
+            net_count: netlist.gate_count(),
+            net_names: netlist
+                .gate_ids()
+                .map(|id| netlist.gate_name(id).to_owned())
+                .collect(),
+            nodes,
+            outputs: netlist.outputs().iter().map(|o| o.index()).collect(),
+            chain: netlist.dffs().iter().map(|d| d.index()).collect(),
+            declared_scan_len: Some(netlist.dff_count()),
+        }
+    }
+}
+
+/// The shape of a stitch program, as far as the consistency rules care.
+///
+/// Build one from a `StitchReport` (the stitch engine does this in its
+/// `debug_assert`-gated exit check) or by hand in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Scan-chain length `L`.
+    pub scan_len: usize,
+    /// Fresh bits shifted per stitched cycle, in application order
+    /// (`shifts[0]` is the initial full shift-in).
+    pub shifts: Vec<usize>,
+    /// Closing observation shift length.
+    pub final_flush: usize,
+    /// Conventional full-shift fallback vectors appended at the end — the
+    /// paper's `ex` column.
+    pub extra_vectors: usize,
+    /// Faults still uncaught when the stitched phase stopped; `ex` vectors
+    /// are only legitimate once constrained ATPG was exhausted on a
+    /// non-empty remainder.
+    pub uncaught_at_fallback: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn netlist_conversion_is_lossless_on_fig1() {
+        let mut b = NetlistBuilder::new("fig1");
+        b.add_dff("a", "F").unwrap();
+        b.add_dff("b", "E").unwrap();
+        b.add_dff("c", "D").unwrap();
+        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+        let n = b.build().unwrap();
+        let g = IrGraph::from(&n);
+        assert_eq!(g.net_count, 6);
+        assert_eq!(g.nodes.len(), 6);
+        assert_eq!(g.chain.len(), 3);
+        assert_eq!(g.declared_scan_len, Some(3));
+        assert_eq!(g.net_name(0), "a");
+        assert_eq!(g.nodes[0].kind, IrKind::Flop);
+        assert_eq!(g.nodes[3].kind, IrKind::Comb);
+        // Every node drives its own index.
+        for (i, node) in g.nodes.iter().enumerate() {
+            assert_eq!(node.drives, i);
+        }
+    }
+
+    #[test]
+    fn net_name_falls_back_for_unnamed_nets() {
+        let g = IrGraph {
+            name: "t".into(),
+            net_count: 2,
+            net_names: vec!["a".into()],
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            chain: Vec::new(),
+            declared_scan_len: None,
+        };
+        assert_eq!(g.net_name(0), "a");
+        assert_eq!(g.net_name(1), "net#1");
+    }
+}

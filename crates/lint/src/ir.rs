@@ -1,0 +1,609 @@
+//! Engine 1: design-rule checks over IR graphs and stitch-program shapes.
+//!
+//! Diagnostic codes:
+//!
+//! | code  | severity | meaning                                              |
+//! |-------|----------|------------------------------------------------------|
+//! | IR001 | deny     | undriven net                                         |
+//! | IR002 | deny     | multiply-driven net                                  |
+//! | IR003 | deny     | dangling net reference (index out of range)          |
+//! | IR004 | deny     | combinational cycle                                  |
+//! | IR005 | deny     | bad arity for node kind                              |
+//! | IR006 | warn     | dead combinational gate (no consumers, not a PO)     |
+//! | IR007 | info     | structure statistics                                 |
+//! | IR008 | warn     | net marked as primary output more than once          |
+//! | CH001 | deny     | flop missing from the scan chain                     |
+//! | CH002 | deny     | flop chained more than once                          |
+//! | CH003 | deny     | chain length differs from the declared scan length   |
+//! | CH004 | deny     | chain entry is not a flop                            |
+//! | SP001 | deny     | empty stitch program                                 |
+//! | SP002 | deny     | first cycle is not a full shift-in                   |
+//! | SP003 | deny     | shift count out of the `0 < k <= L` window           |
+//! | SP004 | deny     | final flush longer than the chain                    |
+//! | SP005 | deny     | ex-vectors emitted before constrained-ATPG exhaustion|
+
+use crate::diag::{has_deny, render_text, Diagnostic, Severity, Site};
+use crate::graph::{IrGraph, IrKind, ProgramSpec};
+use tvs_netlist::Netlist;
+
+/// Runs every structural and scan-chain rule over an [`IrGraph`].
+///
+/// Diagnostics come out in deterministic order: node/net rules in index
+/// order, then cycle findings, then chain rules, then statistics.
+pub fn analyze_graph(graph: &IrGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n_nets = graph.net_count;
+
+    // Driver census per net; out-of-range references are IR003.
+    let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); n_nets];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.drives >= n_nets {
+            diags.push(Diagnostic::new(
+                "IR003",
+                Severity::Deny,
+                Site::Global,
+                format!("node {i} drives out-of-range net index {}", node.drives),
+            ));
+        } else {
+            drivers[node.drives].push(i);
+        }
+        for &f in &node.fanin {
+            if f >= n_nets {
+                diags.push(Diagnostic::new(
+                    "IR003",
+                    Severity::Deny,
+                    Site::Net(graph.net_name(node.drives.min(n_nets.saturating_sub(1)))),
+                    format!("node {i} reads out-of-range net index {f}"),
+                ));
+            }
+        }
+    }
+    for &o in &graph.outputs {
+        if o >= n_nets {
+            diags.push(Diagnostic::new(
+                "IR003",
+                Severity::Deny,
+                Site::Global,
+                format!("primary output references out-of-range net index {o}"),
+            ));
+        }
+    }
+
+    // IR001 / IR002: every net driven exactly once.
+    for (net, drv) in drivers.iter().enumerate() {
+        match drv.len() {
+            0 => diags.push(Diagnostic::new(
+                "IR001",
+                Severity::Deny,
+                Site::Net(graph.net_name(net)),
+                "net has no driver",
+            )),
+            1 => {}
+            n => diags.push(Diagnostic::new(
+                "IR002",
+                Severity::Deny,
+                Site::Net(graph.net_name(net)),
+                format!("net has {n} drivers"),
+            )),
+        }
+    }
+
+    // IR005: arity per node kind.
+    for node in &graph.nodes {
+        let site = || Site::Net(graph.net_name(node.drives.min(n_nets.saturating_sub(1))));
+        match node.kind {
+            IrKind::Input if !node.fanin.is_empty() => diags.push(Diagnostic::new(
+                "IR005",
+                Severity::Deny,
+                site(),
+                format!(
+                    "primary input has {} fanin nets, expected 0",
+                    node.fanin.len()
+                ),
+            )),
+            IrKind::Flop if node.fanin.len() != 1 => diags.push(Diagnostic::new(
+                "IR005",
+                Severity::Deny,
+                site(),
+                format!(
+                    "flop has {} fanin nets, expected exactly 1 (its D net)",
+                    node.fanin.len()
+                ),
+            )),
+            IrKind::Comb if node.fanin.is_empty() => diags.push(Diagnostic::new(
+                "IR005",
+                Severity::Deny,
+                site(),
+                "combinational gate has no fanin (floating inputs)",
+            )),
+            _ => {}
+        }
+    }
+
+    // Consumer census (fanin references only; scan/output observation is
+    // tracked separately).
+    let mut consumers = vec![0usize; n_nets];
+    for node in &graph.nodes {
+        for &f in &node.fanin {
+            if f < n_nets {
+                consumers[f] += 1;
+            }
+        }
+    }
+
+    // IR008: duplicate primary-output markers.
+    let mut output_marks = vec![0usize; n_nets];
+    for &o in &graph.outputs {
+        if o < n_nets {
+            output_marks[o] += 1;
+        }
+    }
+    for (net, &marks) in output_marks.iter().enumerate() {
+        if marks > 1 {
+            diags.push(Diagnostic::new(
+                "IR008",
+                Severity::Warn,
+                Site::Net(graph.net_name(net)),
+                format!("net is marked as a primary output {marks} times"),
+            ));
+        }
+    }
+
+    // IR006: dead combinational gates — drive a net nobody reads or observes.
+    for node in &graph.nodes {
+        if node.kind == IrKind::Comb
+            && node.drives < n_nets
+            && consumers[node.drives] == 0
+            && output_marks[node.drives] == 0
+        {
+            diags.push(Diagnostic::new(
+                "IR006",
+                Severity::Warn,
+                Site::Net(graph.net_name(node.drives)),
+                "combinational gate output is never read or observed",
+            ));
+        }
+    }
+
+    // IR004: combinational cycles via iterative Tarjan SCC. Edges run
+    // driver -> reader between combinational nodes; inputs and flops break
+    // the graph into the acyclic core the simulator levelizes.
+    let driver_of: Vec<Option<usize>> = drivers.iter().map(|d| d.first().copied()).collect();
+    let cyclic = comb_cycles(graph, &driver_of);
+    let has_cycles = !cyclic.is_empty();
+    for scc in &cyclic {
+        let names: Vec<String> = scc
+            .iter()
+            .take(8)
+            .map(|&n| graph.net_name(graph.nodes[n].drives))
+            .collect();
+        let suffix = if scc.len() > 8 { ", ..." } else { "" };
+        diags.push(Diagnostic::new(
+            "IR004",
+            Severity::Deny,
+            Site::Net(graph.net_name(graph.nodes[scc[0]].drives)),
+            format!(
+                "combinational cycle through {} gate(s): {}{suffix}",
+                scc.len(),
+                names.join(", ")
+            ),
+        ));
+    }
+
+    // Chain rules.
+    let mut chained = vec![0usize; graph.nodes.len()];
+    for (pos, &node) in graph.chain.iter().enumerate() {
+        match graph.nodes.get(node) {
+            None => diags.push(Diagnostic::new(
+                "CH004",
+                Severity::Deny,
+                Site::Chain(pos),
+                format!("chain entry references out-of-range node index {node}"),
+            )),
+            Some(n) if n.kind != IrKind::Flop => diags.push(Diagnostic::new(
+                "CH004",
+                Severity::Deny,
+                Site::Chain(pos),
+                format!("chain entry {} is not a flop", graph.net_name(n.drives)),
+            )),
+            Some(_) => {
+                chained[node] += 1;
+                if chained[node] > 1 {
+                    diags.push(Diagnostic::new(
+                        "CH002",
+                        Severity::Deny,
+                        Site::Chain(pos),
+                        format!(
+                            "flop {} appears in the chain more than once",
+                            graph.net_name(graph.nodes[node].drives)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.kind == IrKind::Flop && chained[i] == 0 {
+            diags.push(Diagnostic::new(
+                "CH001",
+                Severity::Deny,
+                Site::Net(graph.net_name(node.drives)),
+                "flop is not part of the scan chain",
+            ));
+        }
+    }
+    if let Some(l) = graph.declared_scan_len {
+        if l != graph.chain.len() {
+            diags.push(Diagnostic::new(
+                "CH003",
+                Severity::Deny,
+                Site::Global,
+                format!(
+                    "chain has {} flops but the declared scan length is {l}",
+                    graph.chain.len()
+                ),
+            ));
+        }
+    }
+
+    // IR007: structure statistics (depth only defined on an acyclic core).
+    let max_fanout = consumers.iter().copied().max().unwrap_or(0);
+    let stats = if has_cycles {
+        format!(
+            "{} nodes, {} nets, {} flops, max fanout {max_fanout}, depth undefined (cyclic)",
+            graph.nodes.len(),
+            n_nets,
+            graph.chain.len(),
+        )
+    } else {
+        format!(
+            "{} nodes, {} nets, {} flops, max fanout {max_fanout}, comb depth {}",
+            graph.nodes.len(),
+            n_nets,
+            graph.chain.len(),
+            comb_depth(graph, &driver_of),
+        )
+    };
+    diags.push(Diagnostic::new(
+        "IR007",
+        Severity::Info,
+        Site::Global,
+        stats,
+    ));
+
+    diags
+}
+
+/// Strongly connected components of the combinational subgraph with more
+/// than one node, plus single nodes with a self-loop — i.e. the
+/// combinational cycles. Iterative Tarjan; safe on deep graphs.
+fn comb_cycles(graph: &IrGraph, driver_of: &[Option<usize>]) -> Vec<Vec<usize>> {
+    let n = graph.nodes.len();
+    // Successors: driver -> reader edges between combinational nodes.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.kind != IrKind::Comb {
+            continue;
+        }
+        for &f in &node.fanin {
+            let Some(&Some(d)) = driver_of.get(f) else {
+                continue;
+            };
+            if graph.nodes[d].kind == IrKind::Comb {
+                if d == i {
+                    self_loop[i] = true;
+                } else {
+                    succ[d].push(i);
+                }
+            }
+        }
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if graph.nodes[root].kind != IrKind::Comb || index[root] != UNVISITED {
+            continue;
+        }
+        // Work item: (node, next successor position to visit).
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            if *pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succ[v].get(*pos) {
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    if scc.len() > 1 || self_loop[scc[0]] {
+                        out.push(scc);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Longest combinational path length; assumes the comb subgraph is acyclic.
+fn comb_depth(graph: &IrGraph, driver_of: &[Option<usize>]) -> usize {
+    let n = graph.nodes.len();
+    let mut level = vec![0usize; n];
+    let mut indeg = vec![0usize; n];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.kind != IrKind::Comb {
+            continue;
+        }
+        for &f in &node.fanin {
+            if let Some(&Some(d)) = driver_of.get(f) {
+                if graph.nodes[d].kind == IrKind::Comb && d != i {
+                    succ[d].push(i);
+                    indeg[i] += 1;
+                }
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n)
+        .filter(|&i| graph.nodes[i].kind == IrKind::Comb && indeg[i] == 0)
+        .collect();
+    let mut depth = 0;
+    while let Some(v) = ready.pop() {
+        level[v] += 1;
+        depth = depth.max(level[v]);
+        for &w in &succ[v] {
+            level[w] = level[w].max(level[v]);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    depth
+}
+
+/// Converts a built [`Netlist`] and runs [`analyze_graph`] on it.
+pub fn analyze_netlist(netlist: &Netlist) -> Vec<Diagnostic> {
+    analyze_graph(&IrGraph::from(netlist))
+}
+
+/// Runs the stitch-program consistency rules over a [`ProgramSpec`].
+pub fn analyze_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let l = spec.scan_len;
+    if spec.shifts.is_empty() {
+        diags.push(Diagnostic::new(
+            "SP001",
+            Severity::Deny,
+            Site::Global,
+            "stitch program has no cycles",
+        ));
+    } else if spec.shifts[0] != l {
+        diags.push(Diagnostic::new(
+            "SP002",
+            Severity::Deny,
+            Site::Cycle(0),
+            format!(
+                "first cycle shifts {} bits; the initial load must be a full {l}-bit shift",
+                spec.shifts[0]
+            ),
+        ));
+    }
+    for (i, &k) in spec.shifts.iter().enumerate() {
+        if k == 0 || k > l {
+            diags.push(Diagnostic::new(
+                "SP003",
+                Severity::Deny,
+                Site::Cycle(i),
+                format!("shift count k={k} outside the valid window 0 < k <= L={l}"),
+            ));
+        }
+    }
+    if spec.final_flush > l {
+        diags.push(Diagnostic::new(
+            "SP004",
+            Severity::Deny,
+            Site::Global,
+            format!(
+                "final flush of {} bits exceeds the chain length L={l}",
+                spec.final_flush
+            ),
+        ));
+    }
+    if spec.extra_vectors > 0 && spec.uncaught_at_fallback == 0 {
+        diags.push(Diagnostic::new(
+            "SP005",
+            Severity::Deny,
+            Site::Global,
+            format!(
+                "{} ex-vectors emitted although constrained ATPG left no uncaught faults",
+                spec.extra_vectors
+            ),
+        ));
+    }
+    diags
+}
+
+/// Debug-build guard: panics with the rendered deny-level findings if the
+/// netlist violates a structural rule. Compiles to nothing in release.
+pub fn debug_assert_netlist_clean(netlist: &Netlist, context: &str) {
+    if cfg!(debug_assertions) {
+        let diags = analyze_netlist(netlist);
+        if has_deny(&diags) {
+            let denies: Vec<_> = diags
+                .into_iter()
+                .filter(|d| d.severity == Severity::Deny)
+                .collect();
+            panic!(
+                "tvs-lint: netlist {:?} failed IR checks at {context}:\n{}",
+                netlist.name(),
+                render_text(&denies)
+            );
+        }
+    }
+}
+
+/// Debug-build guard for stitch-program shapes; see
+/// [`debug_assert_netlist_clean`].
+pub fn debug_assert_program_clean(spec: &ProgramSpec, context: &str) {
+    if cfg!(debug_assertions) {
+        let diags = analyze_program(spec);
+        if has_deny(&diags) {
+            panic!(
+                "tvs-lint: stitch program failed consistency checks at {context}:\n{}",
+                render_text(&diags)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{IrKind, IrNode};
+
+    fn graph(nodes: Vec<IrNode>, outputs: Vec<usize>, chain: Vec<usize>) -> IrGraph {
+        let net_count = nodes.len();
+        IrGraph {
+            name: "t".into(),
+            net_count,
+            net_names: (0..net_count).map(|i| format!("n{i}")).collect(),
+            nodes,
+            outputs,
+            chain,
+            declared_scan_len: None,
+        }
+    }
+
+    fn comb(drives: usize, fanin: &[usize]) -> IrNode {
+        IrNode {
+            kind: IrKind::Comb,
+            drives,
+            fanin: fanin.to_vec(),
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_dag_yields_only_stats() {
+        let g = graph(
+            vec![
+                IrNode {
+                    kind: IrKind::Input,
+                    drives: 0,
+                    fanin: vec![],
+                },
+                IrNode {
+                    kind: IrKind::Input,
+                    drives: 1,
+                    fanin: vec![],
+                },
+                comb(2, &[0, 1]),
+            ],
+            vec![2],
+            vec![],
+        );
+        let d = analyze_graph(&g);
+        assert_eq!(codes(&d), vec!["IR007"]);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(
+            vec![
+                IrNode {
+                    kind: IrKind::Input,
+                    drives: 0,
+                    fanin: vec![],
+                },
+                comb(1, &[0, 1]),
+            ],
+            vec![1],
+            vec![],
+        );
+        let d = analyze_graph(&g);
+        assert!(codes(&d).contains(&"IR004"), "{d:?}");
+    }
+
+    #[test]
+    fn depth_counts_longest_path() {
+        // input -> a -> b -> c, plus a shortcut input -> c.
+        let g = graph(
+            vec![
+                IrNode {
+                    kind: IrKind::Input,
+                    drives: 0,
+                    fanin: vec![],
+                },
+                comb(1, &[0]),
+                comb(2, &[1]),
+                comb(3, &[2, 0]),
+            ],
+            vec![3],
+            vec![],
+        );
+        let d = analyze_graph(&g);
+        let stats = d.iter().find(|d| d.code == "IR007").unwrap();
+        assert!(stats.message.contains("comb depth 3"), "{}", stats.message);
+    }
+
+    #[test]
+    fn program_rules_fire() {
+        let bad = ProgramSpec {
+            scan_len: 4,
+            shifts: vec![4, 0, 9],
+            final_flush: 9,
+            extra_vectors: 2,
+            uncaught_at_fallback: 0,
+        };
+        let d = analyze_program(&bad);
+        let c = codes(&d);
+        assert!(c.contains(&"SP003"));
+        assert!(c.contains(&"SP004"));
+        assert!(c.contains(&"SP005"));
+        assert!(!c.contains(&"SP002"));
+
+        let good = ProgramSpec {
+            scan_len: 4,
+            shifts: vec![4, 2, 2],
+            final_flush: 4,
+            extra_vectors: 1,
+            uncaught_at_fallback: 3,
+        };
+        assert!(analyze_program(&good).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Static analysis for the TVS toolkit: IR design-rule checks and a
+//! source-level determinism lint.
+//!
+//! Two engines share one diagnostic model ([`Diagnostic`], rendered as text
+//! or JSON):
+//!
+//! * **IR analyzer** ([`analyze_graph`] / [`analyze_netlist`] /
+//!   [`analyze_program`]) — structural design rules over netlists and
+//!   stitch-program shapes: every net driven exactly once, no combinational
+//!   cycles (iterative Tarjan SCC), sane arities, no dead logic, scan-chain
+//!   integrity (each flop chained exactly once, chain length = `L`), and
+//!   program consistency (`0 < k <= L` shift windows, full initial load,
+//!   `ex` fallback vectors only after constrained-ATPG exhaustion). The
+//!   `debug_assert_*` wrappers let producing code assert cleanliness in
+//!   debug builds for free in release.
+//! * **Source determinism lint** ([`lint_source`] / [`lint_workspace`]) — a
+//!   token-level scanner over the workspace's `.rs` files denying
+//!   nondeterminism primitives (hash collections, clock reads, raw thread
+//!   spawns, `unwrap` in library code) outside allowlisted sites, with
+//!   `// lint:allow(CODE)` escapes. It protects the bit-identical-at-any-
+//!   thread-count guarantee from regressing through an accidental
+//!   hash-order iteration or wall-clock dependence.
+//!
+//! Run both from the CLI via `tvs lint` or the standalone `tvs-lint` binary;
+//! CI fails on any deny-level finding.
+//!
+//! # Examples
+//!
+//! ```
+//! use tvs_lint::{analyze_program, has_deny, ProgramSpec};
+//!
+//! let spec = ProgramSpec {
+//!     scan_len: 8,
+//!     shifts: vec![8, 3, 3],
+//!     final_flush: 8,
+//!     extra_vectors: 0,
+//!     uncaught_at_fallback: 0,
+//! };
+//! assert!(!has_deny(&analyze_program(&spec)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod graph;
+mod ir;
+mod source;
+
+pub use diag::{counts, has_deny, render_json, render_text, Diagnostic, Severity, Site};
+pub use graph::{IrGraph, IrKind, IrNode, ProgramSpec};
+pub use ir::{
+    analyze_graph, analyze_netlist, analyze_program, debug_assert_netlist_clean,
+    debug_assert_program_clean,
+};
+pub use source::{lint_source, lint_workspace};

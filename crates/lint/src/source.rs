@@ -1,0 +1,534 @@
+//! Engine 2: token-level determinism lint over the workspace's Rust sources.
+//!
+//! The scanner strips comments and string literals, masks `#[cfg(test)]` /
+//! `#[test]` item bodies, then denies identifiers whose behaviour can vary
+//! run-to-run or machine-to-machine:
+//!
+//! | code   | pattern                              | allowed at                    |
+//! |--------|--------------------------------------|-------------------------------|
+//! | SRC001 | hash-map / hash-set types            | `crates/exec/src/stats.rs`    |
+//! | SRC002 | monotonic / wall-clock reads         | `crates/exec/src/stats.rs`    |
+//! | SRC003 | raw thread spawning                  | anywhere under `crates/exec/` |
+//! | SRC004 | `.unwrap()` in library code          | nowhere                       |
+//!
+//! Individual sites can opt out with a `// lint:allow(CODE)` comment on the
+//! same line or the line directly above.
+
+use crate::diag::{Diagnostic, Severity, Site};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One deny rule of the determinism lint.
+struct Rule {
+    code: &'static str,
+    /// Needles searched in cleaned source; identifier-like needles are
+    /// matched with word boundaries, path-like ones as plain substrings.
+    needles: &'static [&'static str],
+    what: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        code: "SRC001",
+        needles: &["HashMap", "HashSet"],
+        what: "iteration order depends on the hasher seed; use BTreeMap/BTreeSet or sorted vectors",
+    },
+    Rule {
+        code: "SRC002",
+        needles: &["Instant", "SystemTime"],
+        what: "clock reads are nondeterministic; route timing through tvs-exec's stats layer",
+    },
+    Rule {
+        code: "SRC003",
+        needles: &["thread::spawn", "thread::Builder"],
+        what: "raw threads escape the deterministic pool; use tvs-exec",
+    },
+    Rule {
+        code: "SRC004",
+        needles: &[".unwrap("],
+        what: "library code must surface errors, not panic; use expect with an invariant message or propagate",
+    },
+];
+
+/// Per-file allowlist for a rule code; `file` is a `/`-separated
+/// workspace-relative path.
+fn file_allows(file: &str, code: &str) -> bool {
+    match code {
+        "SRC001" | "SRC002" => file == "crates/exec/src/stats.rs",
+        "SRC003" => file.starts_with("crates/exec/"),
+        _ => false,
+    }
+}
+
+/// The comment/string stripper's output: source with the same line structure
+/// but literal and comment bytes blanked, plus `lint:allow` codes per line.
+struct Cleaned {
+    text: String,
+    /// `allow[i]` holds the codes allowed on 1-based line `i + 1`.
+    allow: Vec<Vec<String>>,
+}
+
+/// Strips comments (line, nested block), string literals (plain, raw, byte)
+/// and char literals, preserving newlines so line numbers survive. Comment
+/// text is searched for `lint:allow(CODE, ...)` markers.
+fn clean(text: &str) -> Cleaned {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        CharLit,
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut allow: Vec<Vec<String>> = vec![Vec::new()];
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    let flush_comment = |comment: &mut String, allow: &mut Vec<Vec<String>>, line: usize| {
+        for codes in parse_allows(comment) {
+            allow[line].push(codes);
+        }
+        comment.clear();
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::Line | Mode::Block(_)) {
+                flush_comment(&mut comment, &mut allow, line);
+            }
+            if mode == Mode::Line {
+                mode = Mode::Code;
+            }
+            out.push('\n');
+            allow.push(Vec::new());
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                let prev_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                if c == '/' && next == '/' {
+                    mode = Mode::Line;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    mode = Mode::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Raw / byte string openers: r", r#", br", b"...
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (hashes > 0 || j > i + (c == 'b') as usize) {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        out.push_str("  ");
+                        mode = Mode::Str;
+                        i += 2;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' && !prev_ident {
+                    // Lifetime ('a not followed by a closing quote) vs char
+                    // literal ('x' or '\n').
+                    let n1 = chars.get(i + 1).copied().unwrap_or('\0');
+                    let n2 = chars.get(i + 2).copied().unwrap_or('\0');
+                    if (n1.is_alphabetic() || n1 == '_') && n2 != '\'' {
+                        out.push(c);
+                        i += 1;
+                    } else {
+                        mode = Mode::CharLit;
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Line => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::Block(depth) => {
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                if c == '*' && next == '/' {
+                    if depth == 1 {
+                        flush_comment(&mut comment, &mut allow, line);
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::Block(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Consume the escaped char unless it is a newline, which
+                    // the top of the loop must see to keep line numbers true.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        mode = Mode::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if matches!(mode, Mode::Line | Mode::Block(_)) {
+        flush_comment(&mut comment, &mut allow, line);
+    }
+    Cleaned { text: out, allow }
+}
+
+/// Pulls `CODE` names out of every `lint:allow(A, B)` marker in a comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut codes = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(end) = rest.find(')') else {
+            break;
+        };
+        for code in rest[..end].split(',') {
+            let code = code.trim();
+            if !code.is_empty() {
+                codes.push(code.to_owned());
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    codes
+}
+
+/// Blanks the bodies of `#[cfg(test)]` / `#[test]` items so test-only code
+/// is exempt from the rules. Tracks brace depth; an attribute arms the mask,
+/// the next top-level-of-item `{` opens it, a `;` first disarms it (e.g.
+/// `#[cfg(test)] use x;`).
+fn mask_tests(cleaned: &str) -> String {
+    let chars: Vec<char> = cleaned.chars().collect();
+    let mut out = String::with_capacity(cleaned.len());
+    let mut depth = 0i32;
+    let mut armed = false;
+    let mut mask_floor: Option<i32> = None;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '#' && chars.get(i + 1) == Some(&'[') && mask_floor.is_none() {
+            // Capture the attribute to see if it is test-related.
+            let mut j = i + 2;
+            let mut brackets = 1;
+            let mut attr = String::new();
+            while j < chars.len() && brackets > 0 {
+                match chars[j] {
+                    '[' => brackets += 1,
+                    ']' => brackets -= 1,
+                    c => attr.push(c),
+                }
+                j += 1;
+            }
+            let attr: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+            if attr == "test" || attr.starts_with("cfg(test") {
+                armed = true;
+            }
+            for &a in &chars[i..j] {
+                out.push(a);
+            }
+            i = j;
+            continue;
+        }
+        match c {
+            '{' => {
+                depth += 1;
+                if armed {
+                    armed = false;
+                    mask_floor = Some(depth);
+                }
+            }
+            '}' => {
+                if mask_floor == Some(depth) {
+                    mask_floor = None;
+                }
+                depth -= 1;
+            }
+            ';' if armed && mask_floor.is_none() => armed = false,
+            _ => {}
+        }
+        let masked = mask_floor.is_some() && c != '\n';
+        out.push(if masked { ' ' } else { c });
+        i += 1;
+    }
+    out
+}
+
+/// True if `needle` occurs in `line` bounded by non-identifier characters
+/// (needles that already contain punctuation match as substrings at their
+/// punctuation edges).
+fn matches_needle(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !needle.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= line.len()
+            || !needle.ends_with(|c: char| c.is_alphanumeric() || c == '_')
+            || !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+/// Lints one source file. `file` is the `/`-separated workspace-relative
+/// path used for allowlisting and diagnostic sites.
+pub fn lint_source(file: &str, text: &str) -> Vec<Diagnostic> {
+    let cleaned = clean(text);
+    let masked = mask_tests(&cleaned.text);
+    let mut diags = Vec::new();
+    for (idx, line) in masked.lines().enumerate() {
+        for rule in RULES {
+            if file_allows(file, rule.code) {
+                continue;
+            }
+            let hit = rule.needles.iter().find(|n| matches_needle(line, n));
+            let Some(needle) = hit else {
+                continue;
+            };
+            let allowed = cleaned
+                .allow
+                .get(idx)
+                .is_some_and(|a| a.iter().any(|c| c == rule.code))
+                || (idx > 0
+                    && cleaned
+                        .allow
+                        .get(idx - 1)
+                        .is_some_and(|a| a.iter().any(|c| c == rule.code)));
+            if !allowed {
+                diags.push(Diagnostic::new(
+                    rule.code,
+                    Severity::Deny,
+                    Site::Source {
+                        file: file.to_owned(),
+                        line: idx + 1,
+                    },
+                    format!("{needle:?} here: {}", rule.what),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Lints every library source file of the workspace rooted at `root`:
+/// `src/` plus each `crates/*/src/`, recursively, skipping `bin/`
+/// directories (binaries may panic and time freely). Files are visited in
+/// sorted path order so output is deterministic.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    let top = root.join("src");
+    if top.is_dir() {
+        collect_rs(&top, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        let rel: String = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        diags.extend(lint_source(&rel, &text));
+    }
+    Ok(diags)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_at(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+        diags
+            .iter()
+            .map(|d| match &d.site {
+                Site::Source { line, .. } => (d.code, *line),
+                _ => (d.code, 0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flags_hash_collections_and_clocks() {
+        let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+        let d = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(codes_at(&d), vec![("SRC001", 1), ("SRC002", 2)]);
+    }
+
+    #[test]
+    fn respects_file_allowlists() {
+        let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+        assert!(lint_source("crates/exec/src/stats.rs", src).is_empty());
+        let spawn = "std::thread::spawn(|| {});\n";
+        assert!(lint_source("crates/exec/src/pool.rs", spawn).is_empty());
+        assert_eq!(lint_source("crates/sim/src/lib.rs", spawn).len(), 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let same = "let m = HashMap::new(); // lint:allow(SRC001)\n";
+        assert!(lint_source("crates/x/src/a.rs", same).is_empty());
+        let above = "// lint:allow(SRC001)\nlet m = HashMap::new();\n";
+        assert!(lint_source("crates/x/src/a.rs", above).is_empty());
+        let wrong_code = "// lint:allow(SRC002)\nlet m = HashMap::new();\n";
+        assert_eq!(lint_source("crates/x/src/a.rs", wrong_code).len(), 1);
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_test_items() {
+        let src = concat!(
+            "// a HashMap in a comment\n",
+            "let s = \"HashMap\";\n",
+            "let r = r#\"Instant::now()\"#;\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::collections::HashMap;\n",
+            "    fn f() { x.unwrap(); }\n",
+            "}\n",
+        );
+        assert!(lint_source("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_mask_rest_of_file() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "use std::fmt;\n",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() + 1 }\n",
+        );
+        let d = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes_at(&d), vec![("SRC004", 3)]);
+    }
+
+    #[test]
+    fn unwrap_matches_call_not_unwrap_or() {
+        let src = "let a = x.unwrap_or(0);\nlet b = y.unwrap();\n";
+        let d = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes_at(&d), vec![("SRC004", 2)]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_char_scanner() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet m = HashMap::new();\n";
+        let d = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes_at(&d), vec![("SRC001", 2)]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Golden-diagnostic tests: each handcrafted bad input must produce exactly
+//! the expected diagnostic code.
+
+use tvs_lint::{
+    analyze_graph, analyze_program, lint_source, Diagnostic, IrGraph, IrKind, IrNode, ProgramSpec,
+    Severity,
+};
+
+fn graph(nodes: Vec<IrNode>, outputs: Vec<usize>, chain: Vec<usize>) -> IrGraph {
+    let net_count = nodes.len();
+    IrGraph {
+        name: "bad".into(),
+        net_count,
+        net_names: (0..net_count).map(|i| format!("n{i}")).collect(),
+        nodes,
+        outputs,
+        chain,
+        declared_scan_len: None,
+    }
+}
+
+fn node(kind: IrKind, drives: usize, fanin: &[usize]) -> IrNode {
+    IrNode {
+        kind,
+        drives,
+        fanin: fanin.to_vec(),
+    }
+}
+
+fn deny_codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .map(|d| d.code)
+        .collect();
+    codes.dedup();
+    codes
+}
+
+#[test]
+fn combinational_cycle_is_ir004() {
+    // in -> a -> b -> a: a 2-gate loop behind an input.
+    let g = graph(
+        vec![
+            node(IrKind::Input, 0, &[]),
+            node(IrKind::Comb, 1, &[0, 2]),
+            node(IrKind::Comb, 2, &[1]),
+        ],
+        vec![2],
+        vec![],
+    );
+    assert_eq!(deny_codes(&analyze_graph(&g)), vec!["IR004"]);
+}
+
+#[test]
+fn long_cycle_is_found_iteratively() {
+    // A 2000-gate ring: recursion-based SCC would overflow the stack here.
+    let n = 2000;
+    let mut nodes = vec![node(IrKind::Input, 0, &[])];
+    for i in 1..=n {
+        let prev = if i == 1 { n } else { i - 1 };
+        nodes.push(node(IrKind::Comb, i, &[prev]));
+    }
+    let g = graph(nodes, vec![n], vec![]);
+    assert_eq!(deny_codes(&analyze_graph(&g)), vec!["IR004"]);
+}
+
+#[test]
+fn undriven_net_is_ir001() {
+    // Gate reads net 2, which nothing drives.
+    let mut g = graph(
+        vec![node(IrKind::Input, 0, &[]), node(IrKind::Comb, 1, &[0, 2])],
+        vec![1],
+        vec![],
+    );
+    g.net_count = 3;
+    g.net_names.push("floating".into());
+    assert_eq!(deny_codes(&analyze_graph(&g)), vec!["IR001"]);
+}
+
+#[test]
+fn double_driven_net_is_ir002() {
+    // Two gates both drive net 2.
+    let g = graph(
+        vec![
+            node(IrKind::Input, 0, &[]),
+            node(IrKind::Input, 1, &[]),
+            node(IrKind::Comb, 2, &[0]),
+        ],
+        vec![2],
+        vec![],
+    );
+    let mut g = g;
+    g.nodes.push(node(IrKind::Comb, 2, &[1]));
+    let d = analyze_graph(&g);
+    assert_eq!(deny_codes(&d), vec!["IR002"], "{d:?}");
+}
+
+#[test]
+fn broken_chain_is_ch001_and_ch002() {
+    // Two flops; the chain lists flop 0 twice and flop 1 never.
+    let g = graph(
+        vec![
+            node(IrKind::Flop, 0, &[2]),
+            node(IrKind::Flop, 1, &[2]),
+            node(IrKind::Comb, 2, &[0, 1]),
+        ],
+        vec![2],
+        vec![0, 0],
+    );
+    let codes = deny_codes(&analyze_graph(&g));
+    assert!(codes.contains(&"CH002"), "{codes:?}");
+    assert!(codes.contains(&"CH001"), "{codes:?}");
+}
+
+#[test]
+fn chain_length_mismatch_is_ch003() {
+    let mut g = graph(
+        vec![node(IrKind::Flop, 0, &[1]), node(IrKind::Comb, 1, &[0])],
+        vec![1],
+        vec![0],
+    );
+    g.declared_scan_len = Some(4);
+    assert_eq!(deny_codes(&analyze_graph(&g)), vec!["CH003"]);
+}
+
+#[test]
+fn non_flop_in_chain_is_ch004() {
+    let g = graph(
+        vec![node(IrKind::Flop, 0, &[1]), node(IrKind::Comb, 1, &[0])],
+        vec![1],
+        vec![0, 1],
+    );
+    assert_eq!(deny_codes(&analyze_graph(&g)), vec!["CH004"]);
+}
+
+#[test]
+fn oversized_shift_is_sp003() {
+    // k > L in the middle of the program.
+    let spec = ProgramSpec {
+        scan_len: 8,
+        shifts: vec![8, 9, 3],
+        final_flush: 8,
+        extra_vectors: 0,
+        uncaught_at_fallback: 0,
+    };
+    assert_eq!(deny_codes(&analyze_program(&spec)), vec!["SP003"]);
+}
+
+#[test]
+fn ex_vectors_before_exhaustion_is_sp005() {
+    let spec = ProgramSpec {
+        scan_len: 8,
+        shifts: vec![8, 3],
+        final_flush: 8,
+        extra_vectors: 4,
+        uncaught_at_fallback: 0,
+    };
+    assert_eq!(deny_codes(&analyze_program(&spec)), vec!["SP005"]);
+}
+
+#[test]
+fn partial_first_shift_is_sp002() {
+    let spec = ProgramSpec {
+        scan_len: 8,
+        shifts: vec![3, 3],
+        final_flush: 8,
+        extra_vectors: 0,
+        uncaught_at_fallback: 0,
+    };
+    assert_eq!(deny_codes(&analyze_program(&spec)), vec!["SP002"]);
+}
+
+#[test]
+fn source_lint_flags_and_allows() {
+    let bad = "use std::collections::HashMap;\n";
+    let d = lint_source("crates/sim/src/lib.rs", bad);
+    assert_eq!(deny_codes(&d), vec!["SRC001"]);
+
+    let allowed = "use std::collections::HashMap; // lint:allow(SRC001)\n";
+    assert!(lint_source("crates/sim/src/lib.rs", allowed).is_empty());
+}

@@ -1,6 +1,6 @@
 //! Incremental netlist construction with forward references.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{Gate, GateId, GateKind, Netlist, NetlistError};
 
@@ -32,7 +32,7 @@ pub struct NetlistBuilder {
     name: String,
     /// (signal name, kind, fanin names); fanins resolved in `build`.
     defs: Vec<(String, GateKind, Vec<String>)>,
-    by_name: HashMap<String, usize>,
+    by_name: BTreeMap<String, usize>,
     inputs: Vec<usize>,
     output_names: Vec<String>,
     dffs: Vec<usize>,
@@ -44,7 +44,7 @@ impl NetlistBuilder {
         NetlistBuilder {
             name: name.into(),
             defs: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             inputs: Vec::new(),
             output_names: Vec::new(),
             dffs: Vec::new(),

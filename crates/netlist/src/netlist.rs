@@ -1,6 +1,6 @@
 //! The netlist container: gates, names, fanout and validation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -24,7 +24,7 @@ pub struct Netlist {
     pub(crate) name: String,
     pub(crate) gates: Vec<Gate>,
     pub(crate) names: Vec<String>,
-    pub(crate) by_name: HashMap<String, GateId>,
+    pub(crate) by_name: BTreeMap<String, GateId>,
     pub(crate) inputs: Vec<GateId>,
     pub(crate) outputs: Vec<GateId>,
     pub(crate) dffs: Vec<GateId>,

@@ -1,6 +1,6 @@
 //! The stitched test generation engine (the paper's Fig. 2 flow).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
@@ -212,6 +212,7 @@ impl<'a> StitchEngine<'a> {
     /// [`StitchError::NoScanChain`] for purely combinational circuits,
     /// [`StitchError::Netlist`] if levelization fails.
     pub fn new(netlist: &'a Netlist) -> Result<Self, StitchError> {
+        tvs_lint::debug_assert_netlist_clean(netlist, "stitch::StitchEngine::new");
         if netlist.dff_count() == 0 {
             return Err(StitchError::NoScanChain);
         }
@@ -486,10 +487,10 @@ struct RunState<'r, 'a> {
     cycles: Vec<CycleRecord>,
     shifts: Vec<usize>,
     /// Targets that failed constrained ATPG at the current shift size.
-    failed_targets: HashSet<usize>,
+    failed_targets: BTreeSet<usize>,
     /// Faults prescreened as ATPG-hopeless: never chosen as targets (they
     /// may still be caught fortuitously).
-    never_target: HashSet<usize>,
+    never_target: BTreeSet<usize>,
     /// Faults proven redundant by the prescreen (excluded from tracking).
     prescreen_redundant: Vec<Fault>,
     /// Faults the prescreen PODEM aborted on.
@@ -517,8 +518,8 @@ impl<'r, 'a> RunState<'r, 'a> {
             good_image: BitVec::zeros(eng.chain.length()),
             cycles: Vec::new(),
             shifts: Vec::new(),
-            failed_targets: HashSet::new(),
-            never_target: HashSet::new(),
+            failed_targets: BTreeSet::new(),
+            never_target: BTreeSet::new(),
             prescreen_redundant: Vec::new(),
             prescreen_aborted: Vec::new(),
             baseline,
@@ -1105,6 +1106,20 @@ impl<'r, 'a> RunState<'r, 'a> {
         );
 
         tvs_exec::counter("stitch.extra_vectors").add(extra_vectors.len() as u64);
+        // Degenerate runs (no stitched cycles, everything on fallback
+        // vectors) have no program shape to check.
+        if !self.shifts.is_empty() {
+            tvs_lint::debug_assert_program_clean(
+                &tvs_lint::ProgramSpec {
+                    scan_len: l,
+                    shifts: self.shifts.clone(),
+                    final_flush,
+                    extra_vectors: extra_vectors.len(),
+                    uncaught_at_fallback: fallback_faults.len(),
+                },
+                "stitch::finish",
+            );
+        }
         let hidden_transitions = self.sets.transition_counts();
         Ok(StitchReport {
             cycles: self.cycles,

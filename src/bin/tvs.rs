@@ -8,6 +8,7 @@
 //! tvs program <circuit.bench> <out.tvp>      stitch and export a tester program
 //! tvs verify  <circuit.bench> <prog.tvp>     execute a program on the virtual ATE
 //! tvs gen     <name|profile> <out.bench>     synthesize a calibrated benchmark
+//! tvs lint    [options] [circuit.bench ...]  static analysis (IR + determinism)
 //! ```
 //!
 //! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
@@ -46,6 +47,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         "program" => program(&args[1..]),
         "verify" => verify(&args[1..]),
         "gen" => gen(&args[1..]),
+        "lint" => lint(&args[1..]),
         _ => {
             print!("{}", USAGE);
             Ok(())
@@ -63,6 +65,14 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
   tvs program <circuit.bench> <out.tvp>    stitch and export a tester program
   tvs verify  <circuit.bench> <prog.tvp>   run a program on the virtual ATE
   tvs gen     <profile> <out.bench>        synthesize a calibrated benchmark
+  tvs lint    [options] [circuit.bench …]  static analysis (IR + determinism)
+
+lint options:
+  --profiles        analyze every built-in circuit profile
+  --workspace       run the source determinism lint over the source tree
+  --root <dir>      workspace root for --workspace (default: .)
+  --format <f>      text | json   (default: text)
+  (no arguments at all: --profiles --workspace)
 
 stitch options:
   --vxor            vertical-XOR capture (paper Fig. 3)
@@ -236,6 +246,68 @@ fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut dut = Dut::new(&netlist, &view, program.capture, program.observe);
     let outcome = VirtualAte::execute(&program, &mut dut);
     println!("{outcome:?}");
+    Ok(())
+}
+
+fn lint(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use tvs::lint::{analyze_netlist, has_deny, render_json, render_text, Diagnostic};
+
+    let mut profiles = false;
+    let mut workspace = false;
+    let mut root = String::from(".");
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profiles" => profiles = true,
+            "--workspace" => workspace = true,
+            "--root" => {
+                root = need(args, i + 1, "workspace root")?.to_owned();
+                i += 1;
+            }
+            "--format" => {
+                json = match need(args, i + 1, "format")? {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format {other:?}").into()),
+                };
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}").into())
+            }
+            file => files.push(file.to_owned()),
+        }
+        i += 1;
+    }
+    // Bare `tvs lint` checks everything checkable without arguments.
+    if !profiles && !workspace && files.is_empty() {
+        profiles = true;
+        workspace = true;
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        diags.extend(analyze_netlist(&load(file)?));
+    }
+    if profiles {
+        for profile in tvs::circuits::all_profiles() {
+            diags.extend(analyze_netlist(&profile.build()));
+        }
+    }
+    if workspace {
+        diags.extend(tvs::lint::lint_workspace(std::path::Path::new(&root))?);
+    }
+
+    if json {
+        print!("{}", render_json(&diags));
+    } else {
+        print!("{}", render_text(&diags));
+    }
+    if has_deny(&diags) {
+        return Err("deny-level diagnostics found".into());
+    }
     Ok(())
 }
 

@@ -18,6 +18,7 @@
 //! | benchmarks | [`circuits`] | paper example + ISCAS89-calibrated profiles |
 //! | virtual tester | [`ate`] | pin-accurate program execution, screening, diagnosis |
 //! | execution | [`exec`] | deterministic work-stealing pool, counters, span timers |
+//! | static analysis | [`lint`] | IR design-rule checks + source determinism lint |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use tvs_atpg as atpg;
 pub use tvs_circuits as circuits;
 pub use tvs_exec as exec;
 pub use tvs_fault as fault;
+pub use tvs_lint as lint;
 pub use tvs_logic as logic;
 pub use tvs_netlist as netlist;
 pub use tvs_scan as scan;
