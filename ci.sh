@@ -16,4 +16,11 @@ cargo run -q -p tvs-lint --release --offline --bin tvs-lint -- --workspace --for
 # Engine 1 (IR design rules) over every built-in circuit profile:
 cargo run -q --release --offline --bin tvs -- lint --profiles > /dev/null
 
+# Chaos suite: deterministic fault injection (worker panics, PODEM abort
+# storms, corrupted hidden-chain images, truncated inputs). The injection
+# sites only exist in debug builds, so this stage runs unoptimized on
+# purpose; release builds compile them out entirely.
+cargo test -q --offline --test chaos
+cargo test -q --offline --test checkpoint_resume
+
 cargo fmt --check

@@ -64,6 +64,8 @@ pub fn diagnose(
     observed: &[(usize, FailKind, usize)],
     candidates: &[Fault],
 ) -> Vec<Diagnosis> {
+    // Documented precondition: the netlist is the one the program targets,
+    // whose scan view was already built once. lint:allow(SRC005)
     let view = netlist.scan_view().expect("diagnosable circuits are valid");
     let mut dut = Dut::new(netlist, &view, program.capture, program.observe);
     let observed_set: std::collections::BTreeSet<_> = observed.iter().copied().collect();
@@ -85,7 +87,7 @@ pub fn diagnose(
         })
         .collect();
     dut.heal();
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
     ranked
 }
 

@@ -158,6 +158,9 @@ impl TestProgram {
     /// (Re)records all expected observations by executing the stimuli
     /// against a fault-free DUT.
     pub fn record_expectations(&mut self, netlist: &Netlist) {
+        // Documented precondition: `netlist` is the circuit this program
+        // was generated from, whose scan view was already built once.
+        // lint:allow(SRC005)
         let view = netlist.scan_view().expect("program circuits are valid");
         let mut dut = Dut::new(netlist, &view, self.capture, self.observe);
         for cycle in &mut self.cycles {

@@ -1,5 +1,6 @@
 //! The full-shift baseline ATPG flow (the paper's "ATALANTA" column).
 
+use tvs_exec::Budget;
 use tvs_logic::{BitVec, Cube, Prng};
 use tvs_netlist::{Netlist, NetlistError, ScanView};
 
@@ -22,6 +23,12 @@ pub struct AtpgConfig {
     pub fill: FillStrategy,
     /// Apply reverse-order static compaction to the final pattern set.
     pub compact: bool,
+    /// Optional work budget in deterministic work units (PODEM backtracks +
+    /// fault-simulation slots); `None` runs unbounded. Checked at stage
+    /// boundaries: an exhausted budget ends the deterministic phase early
+    /// with a [`AtpgTermination::BudgetExhausted`] outcome carrying the
+    /// partial pattern set and the residual untargeted faults.
+    pub budget: Option<u64>,
 }
 
 impl Default for AtpgConfig {
@@ -33,6 +40,7 @@ impl Default for AtpgConfig {
             podem: PodemConfig::default(),
             fill: FillStrategy::Random,
             compact: true,
+            budget: None,
         }
     }
 }
@@ -50,6 +58,22 @@ pub struct PatternSet {
     /// Fault coverage over the collapsed list, counting redundant faults out
     /// of the denominator (i.e. *attainable* coverage).
     pub fault_coverage: f64,
+    /// How the flow ended: complete, or out of budget with salvage.
+    pub termination: AtpgTermination,
+}
+
+/// How a [`generate_tests`] run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtpgTermination {
+    /// Every fault was targeted (detected, proven redundant, or aborted).
+    Complete,
+    /// The work budget ran out; the pattern set is a valid partial result.
+    BudgetExhausted {
+        /// Faults never targeted because the budget ended the run.
+        residual: Vec<Fault>,
+        /// Work units spent when the boundary check tripped.
+        spent: u64,
+    },
 }
 
 impl PatternSet {
@@ -130,15 +154,27 @@ pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternS
         config.random_useless,
     );
 
-    // Phase 2: deterministic PODEM on the survivors.
+    // Phase 2: deterministic PODEM on the survivors, under the work budget.
+    // All charges are computed from sequentially observed values (backtrack
+    // counts, slot counts), so the bookkeeping is identical at any thread
+    // count — the budget is about work, never wall clock.
+    let mut budget = Budget::from_limit(config.budget);
+    budget.charge((patterns.len() * faults.len()) as u64);
     let mut podem = Podem::with_config(netlist, &view, config.podem);
     let mut fsim = FaultSim::new(netlist, &view);
     let free = Cube::unspecified(view.input_count());
     let mut redundant = Vec::new();
     let mut aborted = Vec::new();
+    let mut residual: Vec<Fault> = Vec::new();
 
     for target in 0..faults.len() {
         if detected[target] {
+            continue;
+        }
+        if budget.exhausted() {
+            // Stage boundary: salvage by listing every remaining untargeted
+            // fault instead of starting another PODEM run.
+            residual.push(faults.faults()[target]);
             continue;
         }
         match podem.generate(faults.faults()[target], &free) {
@@ -147,6 +183,7 @@ pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternS
                 // Drop everything the filled vector detects.
                 let alive: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
                 let subset: Vec<Fault> = alive.iter().map(|&i| faults.faults()[i]).collect();
+                budget.charge(1 + u64::from(podem.last_backtracks()) + subset.len() as u64);
                 let hits = fsim.detect(&bits, &subset);
                 let mut useful = false;
                 for (slot, &fi) in alive.iter().enumerate() {
@@ -160,8 +197,14 @@ pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternS
                     patterns.push(bits);
                 }
             }
-            PodemResult::Untestable => redundant.push(faults.faults()[target]),
-            PodemResult::Aborted => aborted.push(faults.faults()[target]),
+            PodemResult::Untestable => {
+                budget.charge(1 + u64::from(podem.last_backtracks()));
+                redundant.push(faults.faults()[target]);
+            }
+            PodemResult::Aborted => {
+                budget.charge(1 + u64::from(podem.last_backtracks()));
+                aborted.push(faults.faults()[target]);
+            }
         }
     }
 
@@ -178,11 +221,21 @@ pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternS
         covered as f64 / testable as f64
     };
 
+    let termination = if residual.is_empty() {
+        AtpgTermination::Complete
+    } else {
+        AtpgTermination::BudgetExhausted {
+            residual,
+            spent: budget.spent(),
+        }
+    };
+
     Ok(PatternSet {
         patterns,
         redundant,
         aborted,
         fault_coverage,
+        termination,
     })
 }
 
@@ -274,6 +327,34 @@ mod tests {
         let det = fsim.coverage(&compacted.patterns, faults.faults());
         let covered = det.iter().filter(|&&d| d).count();
         assert_eq!(covered, faults.len() - 1); // all but the redundant one
+    }
+
+    #[test]
+    fn budget_exhaustion_salvages_a_partial_set() {
+        let n = fig1();
+        // Starve the deterministic phase: the random phase alone overruns a
+        // tiny budget, so every surviving fault lands in the residual.
+        let cfg = AtpgConfig {
+            budget: Some(1),
+            random_patterns: 0,
+            random_useless: 0,
+            ..AtpgConfig::default()
+        };
+        let set = generate_tests(&n, &cfg).unwrap();
+        match &set.termination {
+            AtpgTermination::BudgetExhausted { residual, .. } => {
+                assert!(!residual.is_empty());
+                assert!(set.patterns.len() <= 1, "at most the boundary overshoot");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // An unbudgeted run is untouched.
+        let full = generate_tests(&n, &AtpgConfig::default()).unwrap();
+        assert_eq!(full.termination, AtpgTermination::Complete);
+        // Budgeted runs are deterministic too.
+        let again = generate_tests(&n, &cfg).unwrap();
+        assert_eq!(set.patterns, again.patterns);
+        assert_eq!(set.termination, again.termination);
     }
 
     #[test]

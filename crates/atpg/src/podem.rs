@@ -128,6 +128,7 @@ pub struct Podem<'a> {
     fault: Option<Fault>,
     scratch: Vec<Logic>,
     backtrack_counter: tvs_exec::Counter,
+    last_backtracks: u32,
 }
 
 impl<'a> Podem<'a> {
@@ -153,7 +154,15 @@ impl<'a> Podem<'a> {
             fault: None,
             scratch: Vec::new(),
             backtrack_counter: tvs_exec::counter("atpg.backtracks"),
+            last_backtracks: 0,
         }
+    }
+
+    /// Backtracks consumed by the most recent `generate*` call. Callers use
+    /// this as the deterministic work-unit charge for [`tvs_exec::Budget`]
+    /// bookkeeping (observed sequentially, so thread count cannot skew it).
+    pub fn last_backtracks(&self) -> u32 {
+        self.last_backtracks
     }
 
     /// Attempts to generate a test for `fault` under `constraint`.
@@ -200,6 +209,12 @@ impl<'a> Podem<'a> {
                 "observable flag count must match the scan view"
             );
         }
+        // Chaos site: an armed "atpg.podem.abort" storm makes every call
+        // give up immediately, modeling pathological backtrack exhaustion.
+        if tvs_exec::inject::fire("atpg.podem.abort") {
+            self.last_backtracks = 0;
+            return PodemResult::Aborted;
+        }
         self.reset(fault, observable);
 
         // Pre-assign pinned bits.
@@ -212,9 +227,9 @@ impl<'a> Podem<'a> {
         let mut stack: Vec<Decision> = Vec::new();
         let mut backtracks = 0u32;
 
-        loop {
+        let result = 'solve: loop {
             if self.detected() {
-                return PodemResult::Test(self.extract_cube());
+                break 'solve PodemResult::Test(self.extract_cube());
             }
             let next = if self.conflict() {
                 None
@@ -237,11 +252,11 @@ impl<'a> Podem<'a> {
                     backtracks += 1;
                     self.backtrack_counter.incr();
                     if backtracks > self.config.backtrack_limit {
-                        return PodemResult::Aborted;
+                        break 'solve PodemResult::Aborted;
                     }
                     loop {
                         match stack.pop() {
-                            None => return PodemResult::Untestable,
+                            None => break 'solve PodemResult::Untestable,
                             Some(d) if d.flipped => {
                                 self.assign(d.input, Logic::X);
                             }
@@ -258,7 +273,16 @@ impl<'a> Podem<'a> {
                     }
                 }
             }
-        }
+        };
+        self.last_backtracks = backtracks;
+        result
+    }
+
+    /// The fault installed by `reset` for the `generate` call in progress.
+    fn active_fault(&self) -> Fault {
+        // Structurally unreachable outside a generate call: `reset` installs
+        // the fault before any solver step can run. lint:allow(SRC005)
+        self.fault.expect("a generate call is active")
     }
 
     fn reset(&mut self, fault: Fault, observable: Option<&[bool]>) {
@@ -312,7 +336,7 @@ impl<'a> Podem<'a> {
     /// propagates events forward.
     fn assign(&mut self, input: usize, value: Logic) {
         let gate = self.view.input_gate(input);
-        let fault = self.fault.expect("assign only runs inside generate");
+        let fault = self.active_fault();
         self.good[gate.index()] = value;
         self.faulty[gate.index()] = if fault.site.pin.is_none() && fault.site.gate == gate {
             stuck_logic(fault)
@@ -350,7 +374,7 @@ impl<'a> Podem<'a> {
 
     fn eval_gate(&mut self, g: GateId) -> (Logic, Logic) {
         let gate = self.netlist.gate(g);
-        let fault = self.fault.expect("eval only runs inside generate");
+        let fault = self.active_fault();
         self.scratch.clear();
         self.scratch
             .extend(gate.fanin().iter().map(|&f| self.good[f.index()]));
@@ -375,7 +399,7 @@ impl<'a> Podem<'a> {
     fn output_pair(&self, o: usize) -> (Logic, Logic) {
         let driver = self.view.output_gate(o);
         let mut pair = (self.good[driver.index()], self.faulty[driver.index()]);
-        let fault = self.fault.expect("output_pair only runs inside generate");
+        let fault = self.active_fault();
         if o >= self.view.po_count() {
             let ff = self.view.ppis()[o - self.view.po_count()];
             if fault.site.pin == Some(0) && fault.site.gate == ff {
@@ -395,7 +419,7 @@ impl<'a> Podem<'a> {
     /// The good value at the fault site's *reference* net (the driver for a
     /// branch fault, the gate itself for a stem fault).
     fn site_value(&self) -> Logic {
-        let fault = self.fault.expect("site_value only runs inside generate");
+        let fault = self.active_fault();
         match fault.site.pin {
             None => self.good[fault.site.gate.index()],
             Some(pin) => {
@@ -407,7 +431,7 @@ impl<'a> Podem<'a> {
 
     /// True when the current assignments can no longer lead to a detection.
     fn conflict(&self) -> bool {
-        let fault = self.fault.expect("conflict only runs inside generate");
+        let fault = self.active_fault();
         let site = self.site_value();
         let stuck = stuck_logic(fault);
         if site.is_specified() {
@@ -426,7 +450,7 @@ impl<'a> Podem<'a> {
     }
 
     fn has_d_input(&self, g: GateId) -> bool {
-        let fault = self.fault.expect("inside generate");
+        let fault = self.active_fault();
         self.netlist
             .gate(g)
             .fanin()
@@ -515,7 +539,7 @@ impl<'a> Podem<'a> {
     /// plane), or advance the D-frontier (faulty plane first — see
     /// [`Plane`]).
     fn objective(&self) -> Option<(Plane, GateId, bool)> {
-        let fault = self.fault.expect("inside generate");
+        let fault = self.active_fault();
         let site = self.site_value();
         if !site.is_specified() {
             let target = match fault.site.pin {

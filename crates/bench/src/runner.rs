@@ -117,8 +117,10 @@ pub struct RunRow {
 pub fn run_profile(profile: &Profile, scaling: &Scaling, config: &StitchConfig) -> RunRow {
     let netlist = scaling.build(profile);
     let gates = netlist.stats().combinational_gates;
+    // The "# Panics" contract above: generated profiles are valid by
+    // construction, so failure here is an internal bug. lint:allow(SRC005)
     let engine = StitchEngine::new(&netlist).expect("profiles are sequential circuits");
-    let report = engine.run(config).expect("engine run");
+    let report = engine.run(config).expect("engine run"); // lint:allow(SRC005)
     RunRow {
         name: profile.name.to_owned(),
         gates,

@@ -1,0 +1,143 @@
+//! Deterministic work budgets.
+//!
+//! A [`Budget`] bounds how much *work* a pipeline stage may perform, measured
+//! in abstract work units — PODEM backtracks, fault-simulation slots, stitch
+//! cycles — never wall-clock time (clock reads are deny-linted by SRC002 and
+//! would break bit-identical reproducibility). Charges are computed on the
+//! caller side at stage barriers from input sizes and sequentially observed
+//! counters, so the amount charged is identical at any worker-thread count.
+//!
+//! Budgets are checked at stage boundaries: the stage that crosses the limit
+//! is allowed to complete, and the *next* boundary observes exhaustion. An
+//! exhausted budget never aborts the process — callers surface a typed
+//! `Exhausted` outcome carrying whatever partial results were salvaged.
+
+/// A deterministic work budget measured in work units.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_exec::Budget;
+///
+/// let mut budget = Budget::limited(10);
+/// budget.charge(4);
+/// assert!(!budget.exhausted());
+/// budget.charge(7);
+/// assert!(budget.exhausted());
+/// assert_eq!(budget.spent(), 11);
+/// assert_eq!(budget.remaining(), 0);
+///
+/// let mut open = Budget::unlimited();
+/// open.charge(u64::MAX);
+/// assert!(!open.exhausted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    limit: Option<u64>,
+    spent: u64,
+}
+
+impl Budget {
+    /// A budget that never exhausts.
+    pub fn unlimited() -> Self {
+        Budget {
+            limit: None,
+            spent: 0,
+        }
+    }
+
+    /// A budget of `limit` work units.
+    pub fn limited(limit: u64) -> Self {
+        Budget {
+            limit: Some(limit),
+            spent: 0,
+        }
+    }
+
+    /// A budget from an optional limit (`None` = unlimited) — the shape
+    /// configuration structs carry.
+    pub fn from_limit(limit: Option<u64>) -> Self {
+        Budget { limit, spent: 0 }
+    }
+
+    /// Rebuilds a budget that has already spent `spent` units — used when
+    /// resuming from a checkpoint so the resumed run charges from the same
+    /// baseline as the uninterrupted one.
+    pub fn with_spent(limit: Option<u64>, spent: u64) -> Self {
+        Budget { limit, spent }
+    }
+
+    /// Records `units` of completed work. Saturates instead of wrapping.
+    pub fn charge(&mut self, units: u64) {
+        self.spent = self.spent.saturating_add(units);
+    }
+
+    /// True once the spent units meet or exceed the limit.
+    pub fn exhausted(&self) -> bool {
+        match self.limit {
+            Some(limit) => self.spent >= limit,
+            None => false,
+        }
+    }
+
+    /// Work units charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Units left before exhaustion (`u64::MAX` when unlimited).
+    pub fn remaining(&self) -> u64 {
+        match self.limit {
+            Some(limit) => limit.saturating_sub(self.spent),
+            None => u64::MAX,
+        }
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut b = Budget::unlimited();
+        b.charge(u64::MAX);
+        b.charge(u64::MAX);
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining(), u64::MAX);
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn limited_exhausts_at_the_boundary() {
+        let mut b = Budget::limited(5);
+        b.charge(4);
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining(), 1);
+        b.charge(1);
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn charge_saturates() {
+        let mut b = Budget::limited(10);
+        b.charge(u64::MAX);
+        b.charge(u64::MAX);
+        assert_eq!(b.spent(), u64::MAX);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn with_spent_restores_progress() {
+        let b = Budget::with_spent(Some(100), 42);
+        assert_eq!(b.spent(), 42);
+        assert_eq!(b.remaining(), 58);
+        assert!(!b.exhausted());
+    }
+}

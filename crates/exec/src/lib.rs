@@ -16,6 +16,10 @@
 //! * Instrumentation — process-wide named atomic [`counter`]s, wall-clock
 //!   [`span`] timers and a [`report`] snapshot the CLI renders as a
 //!   `--stats` table.
+//! * Robustness substrate — deterministic work [`Budget`]s (work units, never
+//!   wall clock), panic-capturing [`try_map`](ThreadPool::try_map) with a
+//!   deterministic [`TaskPanic`] outcome, and the [`inject`] chaos-testing
+//!   registry (compiled out in release builds).
 //!
 //! # Determinism contract
 //!
@@ -37,8 +41,11 @@
 
 #![warn(missing_docs)]
 
+mod budget;
+pub mod inject;
 mod pool;
 mod stats;
 
-pub use pool::{default_threads, Scope, ThreadPool};
+pub use budget::Budget;
+pub use pool::{default_threads, Scope, TaskPanic, ThreadPool};
 pub use stats::{counter, report, reset_stats, span, Counter, Report, SpanGuard};

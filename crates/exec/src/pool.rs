@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::stats;
+use crate::stats::{self, lock_unpoisoned};
 
 /// A type-erased unit of work. Tasks are created by [`Scope::spawn`], which
 /// guarantees (by blocking in [`ThreadPool::scope`] until every task has
@@ -39,13 +39,13 @@ impl Shared {
             return None;
         }
         let own = home % n;
-        if let Some(task) = self.queues[own].lock().expect("queue lock").pop_back() {
+        if let Some(task) = lock_unpoisoned(&self.queues[own]).pop_back() {
             self.pending.fetch_sub(1, Ordering::AcqRel);
             return Some(task);
         }
         for off in 1..n {
             let victim = (own + off) % n;
-            if let Some(task) = self.queues[victim].lock().expect("queue lock").pop_front() {
+            if let Some(task) = lock_unpoisoned(&self.queues[victim]).pop_front() {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
                 stats::counter("exec.steals").incr();
                 return Some(task);
@@ -57,15 +57,12 @@ impl Shared {
     fn push(&self, slot: usize, task: Task) {
         let n = self.queues.len();
         debug_assert!(n > 0, "push on a pool without queues");
-        self.queues[slot % n]
-            .lock()
-            .expect("queue lock")
-            .push_back(task);
+        lock_unpoisoned(&self.queues[slot % n]).push_back(task);
         self.pending.fetch_add(1, Ordering::AcqRel);
         // Notify under the sleep lock: a worker that just observed
         // `pending == 0` is either still holding the lock (will re-check) or
         // already parked (will get this notification) — no missed wakeups.
-        let _guard = self.sleep.lock().expect("sleep lock");
+        let _guard = lock_unpoisoned(&self.sleep);
         self.wake.notify_one();
     }
 }
@@ -142,13 +139,16 @@ impl ThreadPool {
             sleep: Mutex::new(SleepState { shutdown: false }),
             wake: Condvar::new(),
         });
+        // If the OS refuses a thread, degrade to fewer workers instead of
+        // aborting: the scoping caller always participates, so the pool stays
+        // functional (merely narrower) with zero background workers.
         let workers = (0..background)
-            .map(|i| {
+            .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("tvs-exec-{i}"))
                     .spawn(move || worker_loop(&shared, i))
-                    .expect("spawn worker thread")
+                    .ok()
             })
             .collect();
         ThreadPool {
@@ -194,7 +194,7 @@ impl ThreadPool {
         // before unwinding: their borrows die with our caller's frame.
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
         self.help_until_done(&scope.state);
-        if let Some(payload) = scope.state.panic.lock().expect("panic slot").take() {
+        if let Some(payload) = lock_unpoisoned(&scope.state.panic).take() {
             panic::resume_unwind(payload);
         }
         match result {
@@ -224,8 +224,55 @@ impl ThreadPool {
             }
         });
         out.into_iter()
+            // scope() re-raises any task panic first, so every slot is
+            // filled here. lint:allow(SRC005)
             .map(|r| r.expect("every spawned task completed"))
             .collect()
+    }
+
+    /// Like [`map`](Self::map), but panics inside `f` are captured instead of
+    /// re-raised: the call returns the lowest panicking input index and its
+    /// stringified payload as a [`TaskPanic`]. The lowest-index rule makes the
+    /// reported failure deterministic at any thread count, which lets callers
+    /// salvage partial results reproducibly.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskPanic>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut out: Vec<Option<Result<R, String>>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        let f = &f;
+        if self.threads <= 1 || items.len() <= 1 {
+            for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+                *slot = Some(
+                    panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(payload_message),
+                );
+            }
+        } else {
+            self.scope(|s| {
+                for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+                    s.spawn(move || {
+                        *slot = Some(
+                            panic::catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                                .map_err(payload_message),
+                        );
+                    });
+                }
+            });
+        }
+        let mut results = Vec::with_capacity(out.len());
+        for (index, slot) in out.into_iter().enumerate() {
+            match slot {
+                Some(Ok(r)) => results.push(r),
+                Some(Err(message)) => return Err(TaskPanic { index, message }),
+                // Unreachable: the scope barrier fills every slot, and panics
+                // inside `f` were already captured into the slot itself.
+                None => unreachable!("every spawned task completed"),
+            }
+        }
+        Ok(results)
     }
 
     /// Like [`map`](Self::map), but spawns one task per `chunk` consecutive
@@ -258,6 +305,8 @@ impl ThreadPool {
             }
         });
         out.into_iter()
+            // scope() re-raises any task panic first, so every slot is
+            // filled here. lint:allow(SRC005)
             .map(|r| r.expect("every spawned task completed"))
             .collect()
     }
@@ -281,14 +330,14 @@ impl ThreadPool {
             // Nothing to help with: the stragglers run on workers. Park
             // until a completion notifies us (re-check with a timeout to
             // cover the completion-before-park race).
-            let guard = state.done.lock().expect("done lock");
+            let guard = lock_unpoisoned(&state.done);
             if state.remaining.load(Ordering::Acquire) == 0 {
                 break;
             }
             let _unused = state
                 .done_cv
                 .wait_timeout(guard, std::time::Duration::from_millis(1))
-                .expect("done wait");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -296,7 +345,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut sleep = self.shared.sleep.lock().expect("sleep lock");
+            let mut sleep = lock_unpoisoned(&self.shared.sleep);
             sleep.shutdown = true;
             self.shared.wake.notify_all();
         }
@@ -312,7 +361,7 @@ fn worker_loop(shared: &Shared, home: usize) {
             task();
             continue;
         }
-        let mut sleep = shared.sleep.lock().expect("sleep lock");
+        let mut sleep = lock_unpoisoned(&shared.sleep);
         loop {
             if sleep.shutdown {
                 return;
@@ -320,8 +369,42 @@ fn worker_loop(shared: &Shared, home: usize) {
             if shared.pending.load(Ordering::Acquire) > 0 {
                 break;
             }
-            sleep = shared.wake.wait(sleep).expect("wake wait");
+            sleep = match shared.wake.wait(sleep) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
+    }
+}
+
+/// A work item inside [`ThreadPool::try_map`] panicked.
+///
+/// Carries the *lowest* panicking input index (deterministic at any thread
+/// count) and the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the lowest-index panicking item.
+    pub index: usize,
+    /// Stringified panic payload of that item.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a panic payload as a human-readable string.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -361,12 +444,12 @@ impl<'pool, 'scope> Scope<'pool, 'scope> {
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let result = panic::catch_unwind(AssertUnwindSafe(f));
             if let Err(payload) = result {
-                let mut slot = state.panic.lock().expect("panic slot");
+                let mut slot = lock_unpoisoned(&state.panic);
                 slot.get_or_insert(payload);
             }
             stats::counter("exec.tasks").incr();
             if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let _guard = state.done.lock().expect("done lock");
+                let _guard = lock_unpoisoned(&state.done);
                 state.done_cv.notify_all();
             }
         });
@@ -519,6 +602,65 @@ mod tests {
             ids.iter().all(|&id| id == caller),
             "threads=1 must run on the caller"
         );
+    }
+
+    #[test]
+    fn multiple_concurrent_panics_reraise_one_payload_without_deadlock() {
+        let pool = ThreadPool::new(4);
+        let started = stats::counter("test.pool.multipanic");
+        let before = started.get();
+        let finished = AtomicU64::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..64u64 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        stats::counter("test.pool.multipanic").incr();
+                        if i % 8 == 0 {
+                            panic!("boom #{i}");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        // One of the eight payloads (the first to be captured) is re-raised.
+        let payload = result.expect_err("concurrent panics must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.starts_with("boom #"),
+            "re-raised payload must come from a panicking item, got {message:?}"
+        );
+        // The barrier held: every non-panicking sibling still ran, and every
+        // task (panicking or not) advanced the counter — no lost bookkeeping.
+        assert_eq!(finished.load(Ordering::Relaxed), 56);
+        assert_eq!(started.get() - before, 64);
+        // The pool survives and keeps working.
+        assert_eq!(pool.map(&[1, 2, 3], |_, x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn try_map_reports_the_lowest_panicking_index_at_any_thread_count() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let items: Vec<usize> = (0..50).collect();
+            let err = pool
+                .try_map(&items, |i, &x| {
+                    if x % 7 == 3 {
+                        panic!("item {i} failed");
+                    }
+                    x * 2
+                })
+                .expect_err("panicking items must surface as TaskPanic");
+            assert_eq!(err.index, 3, "threads={threads}");
+            assert_eq!(err.message, "item 3 failed");
+            // No panic: results come back in order, and the pool is fine.
+            let ok = pool.try_map(&items, |_, &x| x + 1);
+            assert_eq!(ok, Ok((1..=50).collect()));
+        }
     }
 
     #[test]

@@ -10,8 +10,18 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Locks `mutex`, recovering the guard if a panicking task poisoned it.
+///
+/// Every mutex in this crate protects plain collections that are left in a
+/// consistent state at any panic point, so poison carries no correctness
+/// signal here — recovering keeps an isolated work-item panic from cascading
+/// into an abort of every later registry or queue access.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One named monotonically increasing event counter.
 #[derive(Clone, Debug)]
@@ -58,7 +68,7 @@ fn registry() -> &'static Registry {
 /// Returns the counter registered under `name`, creating it at zero on first
 /// use. The returned handle can be cached and shared freely across threads.
 pub fn counter(name: &str) -> Counter {
-    let mut counters = registry().counters.lock().expect("counter registry");
+    let mut counters = lock_unpoisoned(&registry().counters);
     let cell = counters
         .entry(name.to_owned())
         .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -78,7 +88,7 @@ pub fn counter(name: &str) -> Counter {
 /// assert!(tvs_exec::report().timers.iter().any(|t| t.name == "doc.example"));
 /// ```
 pub fn span(name: &str) -> SpanGuard {
-    let mut timers = registry().timers.lock().expect("timer registry");
+    let mut timers = lock_unpoisoned(&registry().timers);
     let cell = timers.entry(name.to_owned()).or_insert_with(|| {
         Arc::new(TimerCell {
             nanos: AtomicU64::new(0),
@@ -153,10 +163,7 @@ impl Report {
 
 /// Takes a [`Report`] snapshot of the global registry.
 pub fn report() -> Report {
-    let mut counters: Vec<CounterSnapshot> = registry()
-        .counters
-        .lock()
-        .expect("counter registry")
+    let mut counters: Vec<CounterSnapshot> = lock_unpoisoned(&registry().counters)
         .iter()
         .map(|(name, cell)| CounterSnapshot {
             name: name.clone(),
@@ -164,10 +171,7 @@ pub fn report() -> Report {
         })
         .collect();
     counters.sort_by(|a, b| a.name.cmp(&b.name));
-    let mut timers: Vec<TimerSnapshot> = registry()
-        .timers
-        .lock()
-        .expect("timer registry")
+    let mut timers: Vec<TimerSnapshot> = lock_unpoisoned(&registry().timers)
         .iter()
         .map(|(name, cell)| TimerSnapshot {
             name: name.clone(),
@@ -182,15 +186,10 @@ pub fn report() -> Report {
 /// Resets every registered counter and timer to zero. Handles cached by hot
 /// paths stay valid (the cells are zeroed, not replaced).
 pub fn reset_stats() {
-    for cell in registry()
-        .counters
-        .lock()
-        .expect("counter registry")
-        .values()
-    {
+    for cell in lock_unpoisoned(&registry().counters).values() {
         cell.store(0, Ordering::Relaxed);
     }
-    for cell in registry().timers.lock().expect("timer registry").values() {
+    for cell in lock_unpoisoned(&registry().timers).values() {
         cell.nanos.store(0, Ordering::Relaxed);
         cell.entries.store(0, Ordering::Relaxed);
     }

@@ -337,6 +337,8 @@ fn comb_cycles(graph: &IrGraph, driver_of: &[Option<usize>]) -> Vec<Vec<usize>> 
                 if lowlink[v] == index[v] {
                     let mut scc = Vec::new();
                     loop {
+                        // Tarjan invariant: v is on the stack when its SCC
+                        // is popped. lint:allow(SRC005)
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w] = false;
                         scc.push(w);
@@ -465,6 +467,8 @@ pub fn debug_assert_netlist_clean(netlist: &Netlist, context: &str) {
                 .into_iter()
                 .filter(|d| d.severity == Severity::Deny)
                 .collect();
+            // Debug-build guard: aborting on a deny-level IR defect IS the
+            // contract of this function. lint:allow(SRC005)
             panic!(
                 "tvs-lint: netlist {:?} failed IR checks at {context}:\n{}",
                 netlist.name(),
@@ -480,6 +484,8 @@ pub fn debug_assert_program_clean(spec: &ProgramSpec, context: &str) {
     if cfg!(debug_assertions) {
         let diags = analyze_program(spec);
         if has_deny(&diags) {
+            // Debug-build guard: aborting on an inconsistent program shape
+            // IS the contract of this function. lint:allow(SRC005)
             panic!(
                 "tvs-lint: stitch program failed consistency checks at {context}:\n{}",
                 render_text(&diags)

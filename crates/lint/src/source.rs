@@ -10,6 +10,7 @@
 //! | SRC002 | monotonic / wall-clock reads         | `crates/exec/src/stats.rs`    |
 //! | SRC003 | raw thread spawning                  | anywhere under `crates/exec/` |
 //! | SRC004 | `.unwrap()` in library code          | nowhere                       |
+//! | SRC005 | `panic!` / `.expect()` in libraries  | `inject.rs`, `crates/circuits/src/` |
 //!
 //! Individual sites can opt out with a `// lint:allow(CODE)` comment on the
 //! same line or the line directly above.
@@ -49,6 +50,11 @@ const RULES: &[Rule] = &[
         needles: &[".unwrap("],
         what: "library code must surface errors, not panic; use expect with an invariant message or propagate",
     },
+    Rule {
+        code: "SRC005",
+        needles: &["panic!", ".expect("],
+        what: "library code must degrade through typed errors, not abort; return an error or justify the invariant with lint:allow(SRC005)",
+    },
 ];
 
 /// Per-file allowlist for a rule code; `file` is a `/`-separated
@@ -57,6 +63,10 @@ fn file_allows(file: &str, code: &str) -> bool {
     match code {
         "SRC001" | "SRC002" => file == "crates/exec/src/stats.rs",
         "SRC003" => file.starts_with("crates/exec/"),
+        // The chaos injector exists to raise controlled panics, and the
+        // circuit construction crate is an infallible literal builder whose
+        // every expect is a generator bug, not a runtime input.
+        "SRC005" => file == "crates/exec/src/inject.rs" || file.starts_with("crates/circuits/src/"),
         _ => false,
     }
 }
@@ -523,6 +533,25 @@ mod tests {
         let src = "let a = x.unwrap_or(0);\nlet b = y.unwrap();\n";
         let d = lint_source("crates/x/src/a.rs", src);
         assert_eq!(codes_at(&d), vec![("SRC004", 2)]);
+    }
+
+    #[test]
+    fn panic_and_expect_deny_in_library_code() {
+        let src = "let v = x.expect(\"msg\");\npanic!(\"boom\");\nlet w = y.expect_err(\"e\");\n";
+        let d = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes_at(&d), vec![("SRC005", 1), ("SRC005", 2)]);
+    }
+
+    #[test]
+    fn panic_family_allowlists_and_escapes() {
+        let src = "panic!(\"injected\");\n";
+        assert!(lint_source("crates/exec/src/inject.rs", src).is_empty());
+        assert!(lint_source("crates/circuits/src/example.rs", src).is_empty());
+        let escaped =
+            "// lint:allow(SRC005) -- contract violation, not an input error\npanic!(\"bad\");\n";
+        assert!(lint_source("crates/x/src/a.rs", escaped).is_empty());
+        let test_only = "#[test]\nfn t() { x.expect(\"fine in tests\"); }\n";
+        assert!(lint_source("crates/x/src/a.rs", test_only).is_empty());
     }
 
     #[test]

@@ -84,6 +84,22 @@ impl Prng {
         }
     }
 
+    /// Captures the raw 256-bit generator state, e.g. for a checkpoint
+    /// snapshot. Feeding the result to [`from_state`](Self::from_state)
+    /// resumes the exact stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`state`](Self::state).
+    ///
+    /// Only states captured from a seeded generator are meaningful; the
+    /// all-zero state is a fixed point of xoshiro256** and never occurs in a
+    /// seeded stream.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Prng { s }
+    }
+
     /// Returns the next 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

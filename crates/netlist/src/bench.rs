@@ -33,9 +33,11 @@ use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] for malformed lines and the usual
-/// builder errors (duplicate/undefined signals, cycles) for structurally
-/// invalid circuits.
+/// Returns [`NetlistError::Parse`] — always carrying the 1-based source
+/// line — for malformed lines *and* for per-line structural defects the
+/// builder reports (duplicate or self-referential definitions). Defects only
+/// detectable once the whole file is read (undefined signals, combinational
+/// cycles) surface as the corresponding builder errors without a line.
 pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     let mut builder = NetlistBuilder::new(name);
     for (lineno, raw) in text.lines().enumerate() {
@@ -57,13 +59,23 @@ fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result
         line: lineno,
         message,
     };
+    // Builder errors that are attributable to this very line (duplicate
+    // definitions and the like) are wrapped so the diagnostic carries the
+    // source line; whole-file errors keep their own variants.
+    let located = |e: NetlistError| match e {
+        NetlistError::Parse { .. } => e,
+        other => NetlistError::Parse {
+            line: lineno,
+            message: other.to_string(),
+        },
+    };
 
     if let Some(rest) = strip_call(line, "INPUT") {
-        builder.add_input(rest.trim())?;
+        builder.add_input(rest.trim()).map_err(located)?;
         return Ok(());
     }
     if let Some(rest) = strip_call(line, "OUTPUT") {
-        builder.mark_output(rest.trim())?;
+        builder.mark_output(rest.trim()).map_err(located)?;
         return Ok(());
     }
 
@@ -94,10 +106,16 @@ fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result
                     args.len()
                 )));
             }
-            builder.add_dff(signal, args[0])?;
+            if args[0] == signal {
+                // A DFF feeding itself can never be controlled through the
+                // scan chain's combinational logic — reject it at the source
+                // line instead of surfacing a confusing downstream error.
+                return Err(err(format!("DFF {signal:?} feeds itself")));
+            }
+            builder.add_dff(signal, args[0]).map_err(located)?;
         }
         GateKind::Input => unreachable!("INPUT is not a gate keyword"),
-        kind => builder.add_gate(signal, kind, &args)?,
+        kind => builder.add_gate(signal, kind, &args).map_err(located)?,
     }
     Ok(())
 }

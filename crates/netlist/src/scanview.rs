@@ -75,6 +75,7 @@ impl ScanView {
             let stuck = netlist
                 .gate_ids()
                 .find(|&id| netlist.gate(id).kind().is_combinational() && indeg[id.index()] > 0)
+                // `seen != n` guarantees such a gate. lint:allow(SRC005)
                 .expect("cycle implies a stuck gate");
             return Err(NetlistError::CombinationalCycle(
                 netlist.gate_name(stuck).to_owned(),

@@ -1,10 +1,10 @@
 //! The stitched test generation engine (the paper's Fig. 2 flow).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
-use tvs_exec::ThreadPool;
+use tvs_exec::{inject, Budget, TaskPanic, ThreadPool};
 use tvs_logic::{BitVec, Cube, Logic, Prng};
 use tvs_netlist::{Netlist, NetlistError, ScanView};
 
@@ -12,8 +12,10 @@ use tvs_atpg::{generate_tests, AtpgConfig, Podem, PodemConfig, PodemResult};
 use tvs_fault::{detect_parallel, Fault, FaultList, FaultSim, Scoap, SlotSpec};
 use tvs_scan::{CaptureTransform, CostModel, ObserveTransform, ScanChain};
 
+use crate::snapshot::{fnv1a, FaultEntry, Snapshot, SnapshotError};
 use crate::{
-    Classification, CompressionMetrics, CycleRecord, FaultSets, SelectionStrategy, ShiftPolicy,
+    Classification, CompressionMetrics, CycleRecord, FaultSets, FaultState, SelectionStrategy,
+    ShiftPolicy,
 };
 
 /// Configuration of a stitched test generation run.
@@ -54,6 +56,12 @@ pub struct StitchConfig {
     pub efficiency_margin: f64,
     /// Baseline ATPG settings (the `aTV` reference run).
     pub baseline: AtpgConfig,
+    /// Optional work budget in deterministic work units (PODEM backtracks,
+    /// simulation slots, stitch cycles — never wall clock, which would break
+    /// determinism). Checked at stage boundaries; an exhausted budget ends
+    /// the run early with a valid partial program and
+    /// [`Termination::BudgetExhausted`] carrying the residual `f_u`.
+    pub budget: Option<u64>,
     /// Worker threads for the parallelizable stages (prescreen verdicts,
     /// candidate scoring, classification sweeps). `1` (the default) runs
     /// everything on the calling thread; any value produces bit-identical
@@ -77,6 +85,7 @@ impl Default for StitchConfig {
             efficiency_window: 6,
             efficiency_margin: 0.5,
             baseline: AtpgConfig::default(),
+            budget: None,
             threads: 1,
         }
     }
@@ -95,6 +104,15 @@ pub enum StitchError {
         /// 0-based cycle index of the offending vector.
         cycle: usize,
     },
+    /// A pool worker panicked before any program existed (prescreen), so
+    /// there is nothing to salvage. Mid-run panics instead end the run with
+    /// [`Termination::WorkerPanic`] and a partial program.
+    WorkerPanic {
+        /// Stringified panic payload of the failed work item.
+        message: String,
+    },
+    /// A resume snapshot was rejected.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for StitchError {
@@ -106,6 +124,10 @@ impl fmt::Display for StitchError {
                 f,
                 "replayed vector {cycle} conflicts with the retained response bits"
             ),
+            StitchError::WorkerPanic { message } => {
+                write!(f, "worker panicked during the prescreen: {message}")
+            }
+            StitchError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
     }
 }
@@ -118,8 +140,78 @@ impl From<NetlistError> for StitchError {
     }
 }
 
+impl From<SnapshotError> for StitchError {
+    fn from(e: SnapshotError) -> Self {
+        StitchError::Snapshot(e)
+    }
+}
+
+/// How a stitched run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Termination {
+    /// The flow ran to its natural end, fallback phase included.
+    Complete,
+    /// The work budget ran out at a stage boundary. The report's cycles and
+    /// extra vectors form a valid (lint-clean) partial program.
+    BudgetExhausted {
+        /// Faults still in `f_u` when the run stopped.
+        residual: Vec<Fault>,
+    },
+    /// A worker panicked mid-run. The cycles recorded before the failed
+    /// stage form a valid partial program; the panic payload is preserved.
+    WorkerPanic {
+        /// Stringified panic payload of the lowest-index failed work item
+        /// (deterministic at any thread count).
+        message: String,
+        /// Faults still in `f_u` when the run stopped.
+        residual: Vec<Fault>,
+    },
+}
+
+/// Resume/checkpoint options for [`StitchEngine::run_with`].
+#[derive(Default)]
+pub struct RunOptions<'cb> {
+    /// Resume from a previously captured snapshot instead of starting
+    /// fresh (the prescreen is skipped; its outcome is in the snapshot).
+    pub resume: Option<Snapshot>,
+    /// Emit a checkpoint every this many applied cycles (`0` = never).
+    pub checkpoint_every: usize,
+    /// Receives each emitted checkpoint; the caller persists it.
+    pub on_checkpoint: Option<&'cb mut dyn FnMut(Snapshot)>,
+}
+
+/// Why a run stopped before its natural end.
+enum StopCause {
+    Budget,
+    Worker(TaskPanic),
+}
+
+/// Fingerprint of the semantic configuration fields, for snapshot
+/// compatibility checks: everything that shapes the result stream except
+/// `threads` (results are thread-count independent by construction) and
+/// `budget` (a resumed run may receive a fresh allowance).
+fn config_fingerprint(cfg: &StitchConfig) -> u64 {
+    let text = format!(
+        "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{}|{}|{:016x}|{:?}",
+        cfg.policy,
+        cfg.selection,
+        cfg.capture,
+        cfg.observe,
+        cfg.seed,
+        cfg.podem,
+        cfg.max_targets_per_cycle,
+        cfg.candidates,
+        cfg.max_cycles,
+        cfg.stagnation_limit,
+        cfg.efficiency_window,
+        cfg.efficiency_margin.to_bits(),
+        cfg.baseline,
+    );
+    fnv1a(text.as_bytes())
+}
+
 /// The full outcome of a stitched run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StitchReport {
     /// Per-cycle records (first entry is the initial full shift-in).
     pub cycles: Vec<CycleRecord>,
@@ -138,6 +230,9 @@ pub struct StitchReport {
     /// Hidden-fault lifecycle counters `(entered, converted to caught,
     /// erased back to uncaught)` — the dynamics of the paper's §6.2.
     pub hidden_transitions: (usize, usize, usize),
+    /// How the run ended: complete, out of budget, or a worker panic —
+    /// the latter two still salvage a valid partial program.
+    pub termination: Termination,
 }
 
 /// One cycle of a [`replay`](StitchEngine::replay): the fault-free vector
@@ -242,66 +337,115 @@ impl<'a> StitchEngine<'a> {
     ///
     /// Propagates netlist errors from the baseline ATPG run.
     pub fn run(&self, config: &StitchConfig) -> Result<StitchReport, StitchError> {
+        self.run_with(config, RunOptions::default())
+    }
+
+    /// Runs stitched test generation with resume/checkpoint control.
+    ///
+    /// A run resumed from a snapshot emitted by `opts.on_checkpoint` is
+    /// **bit-identical** to one that never stopped, at any thread count:
+    /// snapshots capture state (fault sets, program, PRNG, budget cursor),
+    /// never timing.
+    ///
+    /// # Errors
+    ///
+    /// [`StitchError::Snapshot`] when `opts.resume` belongs to a different
+    /// netlist or configuration, [`StitchError::WorkerPanic`] when a worker
+    /// dies before any program exists (prescreen), plus the [`run`] errors.
+    ///
+    /// [`run`]: Self::run
+    pub fn run_with(
+        &self,
+        config: &StitchConfig,
+        mut opts: RunOptions<'_>,
+    ) -> Result<StitchReport, StitchError> {
         let _timer = tvs_exec::span("stitch.run");
-        let mut run = RunState::new(self, config)?;
+        let mut run = match opts.resume.take() {
+            Some(snapshot) => RunState::resume(self, config, snapshot)?,
+            None => RunState::new(self, config)?,
+        };
         let l = self.chain.length();
-        let mut k = config.policy.initial(l);
         let baseline_rate = run.baseline_rate();
-        let pq = run.p() + run.q();
-        let cycle_cost = move |k: usize| (2 * k + pq) as f64;
-        let mut window: std::collections::VecDeque<(usize, f64)> =
-            std::collections::VecDeque::new();
 
         // Cycle 1: a conventional full shift-in, but chosen by the same
-        // selection machinery (constraint-free).
-        if run.sets.uncaught_count() > 0 {
-            if let Some(vector) = run.select_vector(l, true) {
-                run.apply_cycle(l, &vector, true);
+        // selection machinery (constraint-free). Skipped on resume — the
+        // snapshot already contains it.
+        if run.cycles.is_empty() && run.sets.uncaught_count() > 0 && !run.budget.exhausted() {
+            match run.select_vector(l, true) {
+                Ok(Some(vector)) => {
+                    if let Err(panic) = run.apply_cycle(l, &vector, true) {
+                        run.stop = Some(StopCause::Worker(panic));
+                    }
+                }
+                Ok(None) => {}
+                Err(panic) => run.stop = Some(StopCause::Worker(panic)),
             }
         }
 
-        let mut stagnant = 0usize;
-        while run.sets.uncaught_count() > 0 && run.cycles.len() < config.max_cycles {
-            let exhausted = match run.select_vector(k, false) {
-                Some(vector) => {
-                    run.apply_cycle(k, &vector, false);
-                    let caught = run.cycles.last().map(|c| c.newly_caught).unwrap_or(0);
-                    if caught == 0 {
-                        stagnant += 1;
-                    } else {
-                        stagnant = 0;
-                    }
-                    window.push_back((caught, cycle_cost(k)));
-                    if window.len() > config.efficiency_window {
-                        window.pop_front();
-                    }
-                    let below_baseline = window.len() >= config.efficiency_window && {
-                        let catches: usize = window.iter().map(|&(c, _)| c).sum();
-                        let cost: f64 = window.iter().map(|&(_, c)| c).sum();
-                        (catches as f64 / cost) < baseline_rate * config.efficiency_margin
-                    };
-                    stagnant >= config.stagnation_limit || below_baseline
-                }
-                None => true,
-            };
-            if exhausted {
+        // A stitched cycle can only ride on a loaded chain: if the opening
+        // full shift-in could not be selected at all (e.g. a PODEM abort
+        // storm), skip the stitched phase and leave everything to the
+        // fallback so `shifts[0] == L` holds for every emitted program.
+        while run.stop.is_none()
+            && !run.cycles.is_empty()
+            && run.sets.uncaught_count() > 0
+            && run.cycles.len() < config.max_cycles
+        {
+            // Stage boundary: the budget is only ever checked here, so a
+            // stage that crosses the line completes before the run stops.
+            if run.budget.exhausted() {
+                run.stop = Some(StopCause::Budget);
+                break;
+            }
+            if run.shift_exhausted(baseline_rate) {
                 if std::env::var_os("TVS_DEBUG").is_some() {
                     eprintln!(
-                        "[tvs] escalate from k={k}: cycles={} caught={} hidden={} uncaught={}",
+                        "[tvs] escalate from k={}: cycles={} caught={} hidden={} uncaught={}",
+                        run.k,
                         run.cycles.len(),
                         run.sets.caught_count(),
                         run.sets.hidden_count(),
                         run.sets.uncaught_count()
                     );
                 }
-                match config.policy.escalate(l, k) {
+                match config.policy.escalate(l, run.k) {
                     Some(next) => {
-                        k = next;
-                        stagnant = 0;
-                        window.clear();
+                        run.k = next;
+                        run.stagnant = 0;
+                        run.select_failed = false;
+                        run.window.clear();
                         run.failed_targets.clear();
                     }
                     None => break,
+                }
+            }
+            let k = run.k;
+            match run.select_vector(k, false) {
+                Ok(Some(vector)) => {
+                    if let Err(panic) = run.apply_cycle(k, &vector, false) {
+                        run.stop = Some(StopCause::Worker(panic));
+                        break;
+                    }
+                    let caught = run.cycles.last().map(|c| c.newly_caught).unwrap_or(0);
+                    if caught == 0 {
+                        run.stagnant += 1;
+                    } else {
+                        run.stagnant = 0;
+                    }
+                    run.window.push_back((caught, run.cycle_cost(k)));
+                    if run.window.len() > config.efficiency_window {
+                        run.window.pop_front();
+                    }
+                    if opts.checkpoint_every > 0 && run.cycles.len() % opts.checkpoint_every == 0 {
+                        if let Some(cb) = opts.on_checkpoint.as_mut() {
+                            cb(run.snapshot());
+                        }
+                    }
+                }
+                Ok(None) => run.select_failed = true,
+                Err(panic) => {
+                    run.stop = Some(StopCause::Worker(panic));
+                    break;
                 }
             }
         }
@@ -498,6 +642,18 @@ struct RunState<'r, 'a> {
     /// The baseline pattern set (run up front; needed for the ratios anyway
     /// and for the marginal-efficiency stop rule).
     baseline: tvs_atpg::PatternSet,
+    /// The run's work budget (work units, never wall clock).
+    budget: Budget,
+    /// Current shift size.
+    k: usize,
+    /// Consecutive zero-catch cycles at the current shift size.
+    stagnant: usize,
+    /// Whether the last selection at the current shift size found nothing.
+    select_failed: bool,
+    /// Marginal-efficiency window: `(newly_caught, cycle_cost)` per cycle.
+    window: VecDeque<(usize, f64)>,
+    /// Set when the run must stop early (budget or worker panic).
+    stop: Option<StopCause>,
 }
 
 impl<'r, 'a> RunState<'r, 'a> {
@@ -523,9 +679,220 @@ impl<'r, 'a> RunState<'r, 'a> {
             prescreen_redundant: Vec::new(),
             prescreen_aborted: Vec::new(),
             baseline,
+            budget: Budget::from_limit(cfg.budget),
+            k: cfg.policy.initial(eng.chain.length()),
+            stagnant: 0,
+            select_failed: false,
+            window: VecDeque::new(),
+            stop: None,
         };
-        state.prescreen();
+        state.prescreen()?;
         Ok(state)
+    }
+
+    /// Rebuilds a run's state from a checkpoint snapshot: validates that the
+    /// snapshot belongs to this netlist and configuration, restores the
+    /// fault sets (with every hidden image), the program so far, the PRNG
+    /// stream and the budget cursor. The prescreen is skipped — its outcome
+    /// (redundant/aborted verdicts and the PRNG draws it consumed) is
+    /// already baked into the snapshot.
+    fn resume(
+        eng: &'r StitchEngine<'a>,
+        cfg: &'r StitchConfig,
+        snap: Snapshot,
+    ) -> Result<Self, StitchError> {
+        let mismatch = |what: String| StitchError::Snapshot(SnapshotError::Mismatch(what));
+        if snap.circuit != eng.netlist.name() {
+            return Err(mismatch(format!(
+                "snapshot is for circuit {:?}, run is on {:?}",
+                snap.circuit,
+                eng.netlist.name()
+            )));
+        }
+        if snap.gate_count != eng.netlist.gate_count() {
+            return Err(mismatch(format!(
+                "gate count {} vs {}",
+                snap.gate_count,
+                eng.netlist.gate_count()
+            )));
+        }
+        let l = eng.chain.length();
+        if snap.scan_len != l {
+            return Err(mismatch(format!("scan length {} vs {l}", snap.scan_len)));
+        }
+        if snap.fault_count != eng.faults.len() {
+            return Err(mismatch(format!(
+                "collapsed fault count {} vs {}",
+                snap.fault_count,
+                eng.faults.len()
+            )));
+        }
+        if snap.fault_entries.len() != snap.fault_count {
+            return Err(mismatch(format!(
+                "{} fault entries for {} faults",
+                snap.fault_entries.len(),
+                snap.fault_count
+            )));
+        }
+        if snap.config_fingerprint != config_fingerprint(cfg) {
+            return Err(mismatch(
+                "configuration fingerprint differs (only threads/budget may change)".to_string(),
+            ));
+        }
+        if snap.k == 0 || snap.k > l {
+            return Err(mismatch(format!("shift size k={} out of range", snap.k)));
+        }
+        if snap.good_image.len() != l {
+            return Err(mismatch(
+                "good-image length differs from the chain".to_string(),
+            ));
+        }
+        let p = eng.view.pi_count();
+        for (i, c) in snap.cycles.iter().enumerate() {
+            if c.shift == 0 || c.shift > l || c.vector.len() != p + l {
+                return Err(mismatch(format!("cycle {i} is malformed")));
+            }
+        }
+
+        let mut tracked = Vec::new();
+        let mut state = Vec::new();
+        let mut images = Vec::new();
+        let mut prescreen_redundant = Vec::new();
+        for (&fault, entry) in eng.faults.faults().iter().zip(&snap.fault_entries) {
+            match entry {
+                FaultEntry::Redundant => prescreen_redundant.push(fault),
+                FaultEntry::Uncaught => {
+                    tracked.push(fault);
+                    state.push(FaultState::Uncaught);
+                    images.push(None);
+                }
+                FaultEntry::Caught => {
+                    tracked.push(fault);
+                    state.push(FaultState::Caught);
+                    images.push(None);
+                }
+                FaultEntry::Hidden(img) => {
+                    if img.len() != l {
+                        return Err(mismatch(
+                            "hidden-fault image length differs from the chain".to_string(),
+                        ));
+                    }
+                    tracked.push(fault);
+                    state.push(FaultState::Hidden);
+                    images.push(Some(img.clone()));
+                }
+            }
+        }
+        let tracked_len = tracked.len();
+        let sets = FaultSets::restore(tracked, state, images, snap.transitions)
+            .ok_or_else(|| mismatch("inconsistent fault-set state".to_string()))?;
+        if snap
+            .never_target
+            .iter()
+            .chain(&snap.failed_targets)
+            .any(|&i| i >= tracked_len)
+        {
+            return Err(mismatch("target index out of range".to_string()));
+        }
+        let never_target: BTreeSet<usize> = snap.never_target.iter().copied().collect();
+        let prescreen_aborted: Vec<Fault> = never_target.iter().map(|&i| sets.fault(i)).collect();
+
+        // The baseline pattern set is deterministic given the config, so it
+        // is recomputed rather than checkpointed.
+        let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
+            tvs_atpg::AtpgOutcome::Netlist(err) => StitchError::Netlist(err),
+        })?;
+        let shifts = snap.cycles.iter().map(|c| c.shift).collect();
+        Ok(RunState {
+            eng,
+            cfg,
+            pool: ThreadPool::new(cfg.threads),
+            rng: Prng::from_state(snap.rng),
+            podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
+            fsim: FaultSim::new(eng.netlist, &eng.view),
+            scoap: Scoap::compute(eng.netlist, &eng.view),
+            sets,
+            good_image: snap.good_image,
+            cycles: snap.cycles,
+            shifts,
+            failed_targets: snap.failed_targets.iter().copied().collect(),
+            never_target,
+            prescreen_redundant,
+            prescreen_aborted,
+            baseline,
+            budget: Budget::with_spent(cfg.budget, snap.budget_spent),
+            k: snap.k,
+            stagnant: snap.stagnant,
+            select_failed: false,
+            window: snap.window.iter().copied().collect(),
+            stop: None,
+        })
+    }
+
+    /// Captures a checkpoint at the current cycle boundary. Faults are
+    /// recorded positionally against the collapsed list, so the snapshot
+    /// needs no fault identities.
+    fn snapshot(&self) -> Snapshot {
+        let collapsed = self.eng.faults.faults();
+        let mut fault_entries = Vec::with_capacity(collapsed.len());
+        let (mut tracked_i, mut red_i) = (0usize, 0usize);
+        for &fault in collapsed {
+            if red_i < self.prescreen_redundant.len() && self.prescreen_redundant[red_i] == fault {
+                fault_entries.push(FaultEntry::Redundant);
+                red_i += 1;
+            } else {
+                fault_entries.push(match self.sets.state(tracked_i) {
+                    FaultState::Uncaught => FaultEntry::Uncaught,
+                    FaultState::Caught => FaultEntry::Caught,
+                    FaultState::Hidden => FaultEntry::Hidden(
+                        self.sets
+                            .image(tracked_i)
+                            .cloned()
+                            .unwrap_or_else(BitVec::new),
+                    ),
+                });
+                tracked_i += 1;
+            }
+        }
+        Snapshot {
+            circuit: self.eng.netlist.name().to_string(),
+            gate_count: self.eng.netlist.gate_count(),
+            scan_len: self.l(),
+            fault_count: collapsed.len(),
+            config_fingerprint: config_fingerprint(self.cfg),
+            rng: self.rng.state(),
+            budget_spent: self.budget.spent(),
+            k: self.k,
+            stagnant: self.stagnant,
+            window: self.window.iter().copied().collect(),
+            good_image: self.good_image.clone(),
+            transitions: self.sets.transition_counts(),
+            cycles: self.cycles.clone(),
+            fault_entries,
+            never_target: self.never_target.iter().copied().collect(),
+            failed_targets: self.failed_targets.iter().copied().collect(),
+        }
+    }
+
+    /// Memory cost of one `k`-bit cycle, for the efficiency window.
+    fn cycle_cost(&self, k: usize) -> f64 {
+        (2 * k + self.p() + self.q()) as f64
+    }
+
+    /// Whether the current shift size is spent: constrained selection found
+    /// nothing, stagnation hit its limit, or the recent catches-per-
+    /// memory-bit rate fell below the (discounted) baseline rate. Evaluated
+    /// at the loop top from persisted state so a resumed run re-evaluates
+    /// it identically.
+    fn shift_exhausted(&self, baseline_rate: f64) -> bool {
+        if self.select_failed || self.stagnant >= self.cfg.stagnation_limit {
+            return true;
+        }
+        self.window.len() >= self.cfg.efficiency_window && {
+            let catches: usize = self.window.iter().map(|&(c, _)| c).sum();
+            let cost: f64 = self.window.iter().map(|&(_, c)| c).sum();
+            (catches as f64 / cost) < baseline_rate * self.cfg.efficiency_margin
+        }
     }
 
     /// The baseline flow's lifetime catches-per-memory-bit rate.
@@ -545,7 +912,14 @@ impl<'r, 'a> RunState<'r, 'a> {
     /// survivors get an unconstrained PODEM verdict. Aborted faults stay
     /// tracked (they can be caught fortuitously) but are never chosen as
     /// ATPG targets.
-    fn prescreen(&mut self) {
+    fn prescreen(&mut self) -> Result<(), StitchError> {
+        // Chaos hook: a worker dying this early leaves no program to
+        // salvage, so the whole run reports a typed error.
+        if inject::fire("stitch.prescreen.panic") {
+            return Err(StitchError::WorkerPanic {
+                message: inject::panic_message("stitch.prescreen.panic"),
+            });
+        }
         let faults = self.eng.faults.faults();
         let mut testable = vec![false; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
@@ -557,6 +931,7 @@ impl<'r, 'a> RunState<'r, 'a> {
                 .map(|_| self.rng.next_bool())
                 .collect();
             let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
+            self.budget.charge(subset.len() as u64);
             let hits = detect_parallel(
                 self.eng.netlist,
                 &self.eng.view,
@@ -598,15 +973,24 @@ impl<'r, 'a> RunState<'r, 'a> {
             .collect();
         let chunks: Vec<&[Fault]> = needs.chunks(32).collect();
         let (netlist, view) = (self.eng.netlist, &self.eng.view);
-        let verdicts: Vec<PodemResult> = self
+        // Each verdict comes back with its backtrack count so the budget
+        // charge reduces on the caller side, in fault order — deterministic
+        // at any thread count.
+        let verdicts: Vec<(PodemResult, u32)> = self
             .pool
-            .map(&chunks, |_, chunk| {
+            .try_map(&chunks, |_, chunk| {
                 let mut prover = Podem::with_config(netlist, view, deep);
                 chunk
                     .iter()
-                    .map(|&fault| prover.generate(fault, &free))
-                    .collect::<Vec<PodemResult>>()
+                    .map(|&fault| {
+                        let verdict = prover.generate(fault, &free);
+                        (verdict, prover.last_backtracks())
+                    })
+                    .collect::<Vec<(PodemResult, u32)>>()
             })
+            .map_err(|panic| StitchError::WorkerPanic {
+                message: panic.message,
+            })?
             .into_iter()
             .flatten()
             .collect();
@@ -616,7 +1000,12 @@ impl<'r, 'a> RunState<'r, 'a> {
                 tracked.push(fault);
                 continue;
             }
-            match verdicts.next().expect("one verdict per screened fault") {
+            // Defensive: the pool returns one verdict per screened fault; a
+            // short stream is treated as an abort rather than an invariant
+            // crash.
+            let (verdict, backtracks) = verdicts.next().unwrap_or((PodemResult::Aborted, 0));
+            self.budget.charge(1 + u64::from(backtracks));
+            match verdict {
                 PodemResult::Test(_) => tracked.push(fault),
                 PodemResult::Untestable => self.prescreen_redundant.push(fault),
                 PodemResult::Aborted => {
@@ -627,6 +1016,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             }
         }
         self.sets = FaultSets::new(tracked);
+        Ok(())
     }
 
     fn p(&self) -> usize {
@@ -702,7 +1092,7 @@ impl<'r, 'a> RunState<'r, 'a> {
 
     /// Tries to produce the next vector for a `k`-bit cycle; `None` when
     /// the shift size is exhausted.
-    fn select_vector(&mut self, k: usize, first: bool) -> Option<BitVec> {
+    fn select_vector(&mut self, k: usize, first: bool) -> Result<Option<BitVec>, TaskPanic> {
         let constraint = self.constraint(k, first);
         let observable = self.observable_flags(if first { self.l() } else { k });
         let targets = self.ordered_targets();
@@ -732,12 +1122,14 @@ impl<'r, 'a> RunState<'r, 'a> {
                 } else {
                     self.podem.generate(fault, &constraint)
                 };
+                self.budget
+                    .charge(1 + u64::from(self.podem.last_backtracks()));
                 match outcome {
                     PodemResult::Test(cube) => {
                         stats[phase * 2] += 1;
                         let bits = cube.random_fill(&mut self.rng);
                         if !self.cfg.selection.is_greedy() {
-                            return Some(bits);
+                            return Ok(Some(bits));
                         }
                         candidates.push(bits);
                         if candidates.len() >= self.cfg.candidates {
@@ -778,17 +1170,18 @@ impl<'r, 'a> RunState<'r, 'a> {
             let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
             for _ in 0..4 {
                 let bits = constraint.random_fill(&mut self.rng);
+                self.budget.charge(faults.len() as u64);
                 if self.fsim.detect(&bits, &faults).iter().any(|&h| h) {
-                    return Some(bits);
+                    return Ok(Some(bits));
                 }
             }
         }
 
         if candidates.is_empty() {
-            return None;
+            return Ok(None);
         }
         if candidates.len() == 1 {
-            return candidates.pop();
+            return Ok(candidates.pop());
         }
 
         // Greedy scoring. Three kinds of value, in decreasing weight:
@@ -812,14 +1205,9 @@ impl<'r, 'a> RunState<'r, 'a> {
         // varies, via the fresh incoming bits.
         let hidden: Vec<(Fault, BitVec)> = self
             .sets
-            .hidden_indices()
+            .hidden_faults()
             .into_iter()
-            .map(|idx| {
-                (
-                    self.sets.fault(idx),
-                    self.sets.image(idx).expect("hidden").clone(),
-                )
-            })
+            .map(|h| (h.fault, h.image))
             .collect();
         let ctx = ScoreCtx {
             netlist: self.eng.netlist,
@@ -835,7 +1223,9 @@ impl<'r, 'a> RunState<'r, 'a> {
             l,
             k,
         };
-        let scores = self.pool.map(&candidates, |_, bits| ctx.score(bits));
+        self.budget
+            .charge((candidates.len() * (faults.len() + hidden.len() + 1)) as u64);
+        let scores = self.pool.try_map(&candidates, |_, bits| ctx.score(bits))?;
         let mut best = 0usize;
         let mut best_score = 0u64;
         for (c, &score) in scores.iter().enumerate() {
@@ -844,14 +1234,26 @@ impl<'r, 'a> RunState<'r, 'a> {
                 best = c;
             }
         }
-        Some(candidates.swap_remove(best))
+        Ok(Some(candidates.swap_remove(best)))
     }
 
     /// Simulates `(stimulus, fault)` jobs, outputs in job order: the cached
     /// sequential simulator at `threads <= 1`, the pooled fan-out otherwise.
-    /// Both paths compute the same pure function of the jobs.
-    fn batch(&mut self, jobs: &[(&BitVec, Fault)]) -> Vec<BitVec> {
+    /// Both paths compute the same pure function of the jobs, and both
+    /// degrade to the same deterministic [`TaskPanic`] when a worker dies —
+    /// the lowest-index failure wins at any thread count.
+    fn batch(&mut self, jobs: &[(&BitVec, Fault)]) -> Result<Vec<BitVec>, TaskPanic> {
+        // The injection decision is taken here on the caller side, so the
+        // sequential hit counter advances identically at any thread count;
+        // the parallel path then realizes it as a genuine worker panic.
+        let boom = !jobs.is_empty() && inject::fire("stitch.sim.batch");
         if self.pool.threads() <= 1 {
+            if boom {
+                return Err(TaskPanic {
+                    index: 0,
+                    message: inject::panic_message("stitch.sim.batch"),
+                });
+            }
             let mut outs = Vec::with_capacity(jobs.len());
             for chunk in jobs.chunks(64) {
                 let slots: Vec<SlotSpec<'_>> = chunk
@@ -863,14 +1265,21 @@ impl<'r, 'a> RunState<'r, 'a> {
                     .collect();
                 outs.extend(self.fsim.run_slots(&slots));
             }
-            outs
+            Ok(outs)
         } else {
-            batch_outputs(&self.pool, self.eng.netlist, &self.eng.view, jobs)
+            batch_outputs(&self.pool, self.eng.netlist, &self.eng.view, jobs, boom)
         }
     }
 
     /// Applies one vector: shifts, simulates, classifies every live fault.
-    fn apply_cycle(&mut self, k: usize, vector: &BitVec, first: bool) {
+    ///
+    /// On a worker panic the cycle is not recorded; the hidden-set updates
+    /// made before the failed batch stand. That partial effect is
+    /// deterministic (the surviving state is a pure function of the inputs
+    /// and the panic index, which is thread-count independent) and the
+    /// salvaged program stays valid — it merely under-reports the final
+    /// cycle's catches.
+    fn apply_cycle(&mut self, k: usize, vector: &BitVec, first: bool) -> Result<(), TaskPanic> {
         let (p, q, l) = (self.p(), self.q(), self.l());
         let chain_tv = slice_bits(vector, p..p + l);
         let incoming = incoming_from_tv(&chain_tv, k);
@@ -900,11 +1309,18 @@ impl<'r, 'a> RunState<'r, 'a> {
             if first {
                 unreachable!("no hidden faults before the first vector");
             }
-            let image = self
-                .sets
-                .image(idx)
-                .expect("hidden fault has image")
-                .clone();
+            // Defensive: a hidden fault always carries an image; skip the
+            // entry rather than abort if that invariant is ever violated.
+            let Some(image) = self.sets.image(idx).cloned() else {
+                continue;
+            };
+            let mut image = image;
+            // Chaos hook: corrupt one bit of this fault's private chain
+            // image (keyed by fault index in this sequential loop, so the
+            // corruption is deterministic at any thread count).
+            if let Some(bit) = inject::flip_bit("stitch.hidden.image", idx as u64, image.len()) {
+                image.set(bit, !image.get(bit));
+            }
             let sh = self.eng.chain.shift(&image, &incoming, self.cfg.observe);
             if sh.observed != observed_good {
                 self.sets.set_caught(idx);
@@ -919,7 +1335,8 @@ impl<'r, 'a> RunState<'r, 'a> {
             .iter()
             .map(|(idx, stim)| (stim, self.sets.fault(*idx)))
             .collect();
-        let outs = self.batch(&hidden_jobs);
+        self.budget.charge(hidden_jobs.len() as u64);
+        let outs = self.batch(&hidden_jobs)?;
         for ((idx, stim), out) in live_hidden.iter().zip(&outs) {
             let f_po = slice_bits(out, 0..q);
             let f_resp = slice_bits(out, q..q + l);
@@ -942,7 +1359,8 @@ impl<'r, 'a> RunState<'r, 'a> {
             .iter()
             .map(|&idx| (vector, self.sets.fault(idx)))
             .collect();
-        let outs = self.batch(&uncaught_jobs);
+        self.budget.charge(uncaught_jobs.len() as u64 + 1);
+        let outs = self.batch(&uncaught_jobs)?;
         for (&idx, out) in uncaught.iter().zip(&outs) {
             let f_po = slice_bits(out, 0..q);
             let f_resp = slice_bits(out, q..q + l);
@@ -972,6 +1390,7 @@ impl<'r, 'a> RunState<'r, 'a> {
         // after an escalation; but a *changed* chain content re-opens
         // constrained possibilities for previously failed targets.
         self.failed_targets.clear();
+        Ok(())
     }
 
     /// Closing flush + conventional fallback, then metric assembly.
@@ -989,7 +1408,12 @@ impl<'r, 'a> RunState<'r, 'a> {
                 .chain
                 .shift(&self.good_image, &zeros, self.cfg.observe);
             for idx in self.sets.hidden_indices() {
-                let image = self.sets.image(idx).expect("hidden").clone();
+                // Defensive: a hidden fault always carries an image; treat a
+                // missing one as never-revealed rather than aborting.
+                let Some(image) = self.sets.image(idx).cloned() else {
+                    self.sets.set_uncaught(idx);
+                    continue;
+                };
                 let sh_f = self.eng.chain.shift(&image, &zeros, self.cfg.observe);
                 let first_diff = (0..l).find(|&t| sh_f.observed.get(t) != sh_good.observed.get(t));
                 match first_diff {
@@ -1003,11 +1427,14 @@ impl<'r, 'a> RunState<'r, 'a> {
             // Even with no hidden faults the last response is conventionally
             // checked with a closing shift of the last stitch size.
             if final_flush == 0 {
-                final_flush = *self.shifts.last().expect("non-empty");
+                final_flush = self.shifts.last().copied().unwrap_or(l);
             }
         }
 
-        // Fallback: conventional vectors for whatever is left in f_u.
+        // Fallback: conventional vectors for whatever is left in f_u —
+        // skipped entirely when the run already stopped (budget or worker
+        // panic): the report then salvages the stitched program as-is and
+        // lists the leftovers as the residual.
         let mut extra_vectors: Vec<BitVec> = Vec::new();
         let mut redundant: Vec<Fault> = std::mem::take(&mut self.prescreen_redundant);
         let prescreen_redundant_count = redundant.len();
@@ -1020,9 +1447,19 @@ impl<'r, 'a> RunState<'r, 'a> {
             .filter(|i| !self.never_target.contains(i))
             .collect();
         let fallback_faults: Vec<Fault> = remaining.iter().map(|&i| self.sets.fault(i)).collect();
-        while let Some(&idx) = remaining.first() {
+        while self.stop.is_none() && !remaining.is_empty() {
+            // Stage boundary: an exhausted budget ends the fallback between
+            // vectors, leaving the leftovers as the residual.
+            if self.budget.exhausted() {
+                self.stop = Some(StopCause::Budget);
+                break;
+            }
+            let idx = remaining[0];
             match self.podem.generate(self.sets.fault(idx), &free) {
                 PodemResult::Test(cube) => {
+                    self.budget.charge(
+                        1 + u64::from(self.podem.last_backtracks()) + remaining.len() as u64,
+                    );
                     let bits = cube.random_fill(&mut self.rng);
                     let faults: Vec<Fault> =
                         remaining.iter().map(|&i| self.sets.fault(i)).collect();
@@ -1048,10 +1485,14 @@ impl<'r, 'a> RunState<'r, 'a> {
                     extra_vectors.push(bits);
                 }
                 PodemResult::Untestable => {
+                    self.budget
+                        .charge(1 + u64::from(self.podem.last_backtracks()));
                     redundant.push(self.sets.fault(idx));
                     remaining.remove(0);
                 }
                 PodemResult::Aborted => {
+                    self.budget
+                        .charge(1 + u64::from(self.podem.last_backtracks()));
                     aborted.push(self.sets.fault(idx));
                     remaining.remove(0);
                 }
@@ -1121,6 +1562,23 @@ impl<'r, 'a> RunState<'r, 'a> {
             );
         }
         let hidden_transitions = self.sets.transition_counts();
+        let residual: Vec<Fault> = if self.stop.is_some() {
+            self.sets
+                .uncaught_indices()
+                .into_iter()
+                .map(|i| self.sets.fault(i))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let termination = match self.stop.take() {
+            None => Termination::Complete,
+            Some(StopCause::Budget) => Termination::BudgetExhausted { residual },
+            Some(StopCause::Worker(panic)) => Termination::WorkerPanic {
+                message: panic.message,
+                residual,
+            },
+        };
         Ok(StitchReport {
             cycles: self.cycles,
             shifts: self.shifts,
@@ -1130,6 +1588,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             aborted,
             metrics,
             hidden_transitions,
+            termination,
         })
     }
 }
@@ -1137,28 +1596,35 @@ impl<'r, 'a> RunState<'r, 'a> {
 /// Simulates `(stimulus, fault)` jobs in 64-slot batches fanned out over
 /// the pool, returning the faulty outputs in job order. Every batch builds
 /// its own simulator, so outputs are independent of batching and thread
-/// count.
+/// count. With `boom` set (an armed `stitch.sim.batch` injection), the
+/// first chunk's worker panics; the captured [`TaskPanic`] then matches the
+/// sequential path's bit for bit.
 fn batch_outputs(
     pool: &ThreadPool,
     netlist: &Netlist,
     view: &ScanView,
     jobs: &[(&BitVec, Fault)],
-) -> Vec<BitVec> {
+    boom: bool,
+) -> Result<Vec<BitVec>, TaskPanic> {
     let chunks: Vec<&[(&BitVec, Fault)]> = jobs.chunks(64).collect();
-    pool.map(&chunks, |_, chunk| {
-        let mut fsim = FaultSim::new(netlist, view);
-        let slots: Vec<SlotSpec<'_>> = chunk
-            .iter()
-            .map(|&(stim, f)| SlotSpec {
-                stimulus: stim,
-                fault: Some(f),
-            })
-            .collect();
-        fsim.run_slots(&slots)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    Ok(pool
+        .try_map(&chunks, |i, chunk| {
+            if boom && i == 0 {
+                inject::panic_now("stitch.sim.batch");
+            }
+            let mut fsim = FaultSim::new(netlist, view);
+            let slots: Vec<SlotSpec<'_>> = chunk
+                .iter()
+                .map(|&(stim, f)| SlotSpec {
+                    stimulus: stim,
+                    fault: Some(f),
+                })
+                .collect();
+            fsim.run_slots(&slots)
+        })?
+        .into_iter()
+        .flatten()
+        .collect())
 }
 
 /// Frozen inputs of one candidate-scoring round. [`ScoreCtx::score`] is a

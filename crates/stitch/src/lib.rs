@@ -30,12 +30,15 @@ mod metrics;
 mod policy;
 mod select;
 mod sets;
+mod snapshot;
 
 pub use classify::Classification;
 pub use engine::{
-    ReplayCycle, ReplayRow, ReplayTrace, StitchConfig, StitchEngine, StitchError, StitchReport,
+    ReplayCycle, ReplayRow, ReplayTrace, RunOptions, StitchConfig, StitchEngine, StitchError,
+    StitchReport, Termination,
 };
 pub use metrics::{CompressionMetrics, CycleRecord};
 pub use policy::ShiftPolicy;
 pub use select::SelectionStrategy;
 pub use sets::{FaultSets, FaultState, HiddenFault};
+pub use snapshot::{FaultEntry, Snapshot, SnapshotError, SNAPSHOT_VERSION};

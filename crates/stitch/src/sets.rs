@@ -150,15 +150,65 @@ impl FaultSets {
             .collect()
     }
 
-    /// The hidden faults with their images.
+    /// The hidden faults with their images. A hidden fault always carries an
+    /// image (`set_hidden` is the only way in); a missing one would be an
+    /// internal inconsistency, so such entries are skipped defensively rather
+    /// than aborting the run.
     pub fn hidden_faults(&self) -> Vec<HiddenFault> {
         self.hidden_indices()
             .into_iter()
-            .map(|i| HiddenFault {
-                fault: self.faults[i],
-                image: self.images[i].clone().expect("hidden fault has an image"),
+            .filter_map(|i| {
+                self.images[i].clone().map(|image| HiddenFault {
+                    fault: self.faults[i],
+                    image,
+                })
             })
             .collect()
+    }
+
+    /// Rebuilds the bookkeeping from checkpointed per-fault state, or `None`
+    /// when the inputs are inconsistent (length mismatch, a hidden fault
+    /// without an image, or an image on a non-hidden fault).
+    pub fn restore(
+        faults: Vec<Fault>,
+        state: Vec<FaultState>,
+        images: Vec<Option<BitVec>>,
+        transitions: (usize, usize, usize),
+    ) -> Option<Self> {
+        if state.len() != faults.len() || images.len() != faults.len() {
+            return None;
+        }
+        let mut caught = 0;
+        let mut hidden = 0;
+        for (st, image) in state.iter().zip(&images) {
+            match st {
+                FaultState::Caught => {
+                    if image.is_some() {
+                        return None;
+                    }
+                    caught += 1;
+                }
+                FaultState::Hidden => {
+                    if image.is_none() {
+                        return None;
+                    }
+                    hidden += 1;
+                }
+                FaultState::Uncaught => {
+                    if image.is_some() {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(FaultSets {
+            faults,
+            state,
+            images,
+            caught,
+            hidden,
+            transitions,
+        })
     }
 
     /// Moves a fault to `f_c`.
@@ -193,6 +243,8 @@ impl FaultSets {
     /// (`f_c` is absorbing).
     pub fn set_hidden(&mut self, index: usize, image: BitVec) {
         match self.state[index] {
+            // Contract violation by the caller, not a runtime input error;
+            // the documented "# Panics" state machine. lint:allow(SRC005)
             FaultState::Caught => panic!("caught faults cannot become hidden"),
             FaultState::Hidden => {
                 self.images[index] = Some(image);
@@ -213,6 +265,8 @@ impl FaultSets {
     /// Panics if `index` is out of range or the fault is already caught.
     pub fn set_uncaught(&mut self, index: usize) {
         match self.state[index] {
+            // Contract violation by the caller, not a runtime input error;
+            // the documented "# Panics" state machine. lint:allow(SRC005)
             FaultState::Caught => panic!("caught faults cannot become uncaught"),
             FaultState::Hidden => {
                 self.hidden -= 1;
@@ -303,6 +357,42 @@ mod tests {
         let mut s = three();
         s.set_caught(0);
         s.set_uncaught(0);
+    }
+
+    #[test]
+    fn restore_round_trips_and_rejects_inconsistency() {
+        let mut s = three();
+        s.set_hidden(0, BitVec::from_bools([true]));
+        s.set_caught(1);
+        let rebuilt = FaultSets::restore(
+            (0..3)
+                .map(|i| Fault::stem(GateId::from_index(i), StuckAt::Zero))
+                .collect(),
+            vec![FaultState::Hidden, FaultState::Caught, FaultState::Uncaught],
+            vec![Some(BitVec::from_bools([true])), None, None],
+            s.transition_counts(),
+        )
+        .expect("consistent state restores");
+        assert_eq!(rebuilt.hidden_count(), s.hidden_count());
+        assert_eq!(rebuilt.caught_count(), s.caught_count());
+        assert_eq!(rebuilt.image(0), s.image(0));
+        assert_eq!(rebuilt.transition_counts(), s.transition_counts());
+        // Hidden without an image is inconsistent.
+        assert!(FaultSets::restore(
+            vec![Fault::stem(GateId::from_index(0), StuckAt::Zero)],
+            vec![FaultState::Hidden],
+            vec![None],
+            (0, 0, 0),
+        )
+        .is_none());
+        // Length mismatch is inconsistent.
+        assert!(FaultSets::restore(
+            vec![Fault::stem(GateId::from_index(0), StuckAt::Zero)],
+            vec![],
+            vec![],
+            (0, 0, 0),
+        )
+        .is_none());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! tvs faults  <circuit.bench>                collapsed fault list summary
 //! tvs atpg    <circuit.bench>                conventional full-shift ATPG
 //! tvs stitch  <circuit.bench> [options]      stitched test generation
+//! tvs run     <circuit.bench> [options]      stitched generation with budgets
+//!                                            and checkpoint/resume
 //! tvs program <circuit.bench> <out.tvp>      stitch and export a tester program
 //! tvs verify  <circuit.bench> <prog.tvp>     execute a program on the virtual ATE
 //! tvs gen     <name|profile> <out.bench>     synthesize a calibrated benchmark
@@ -12,31 +14,39 @@
 //! ```
 //!
 //! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
-//! `--select random|hardness|most|weighted`, `--seed <n>`, `--threads <n>`
-//! (also the `TVS_THREADS` environment variable), `--stats`.
+//! `--select random|hardness|most|weighted`, `--seed <n>`, `--budget <n>`,
+//! `--threads <n>` (also the `TVS_THREADS` environment variable), `--stats`.
+//!
+//! Every failure maps to a [`TvsError`] and its structured exit code
+//! (2 usage, 3 malformed input, 4 engine, 5 snapshot, 6 I/O, 7 lint);
+//! exit code 1 stays reserved for panics.
 
-use std::error::Error;
 use std::fs;
 use std::process::ExitCode;
+use std::str::FromStr;
 
 use tvs::ate::{Dut, TestProgram, VirtualAte};
 use tvs::atpg::{generate_tests, AtpgConfig};
 use tvs::fault::FaultList;
 use tvs::netlist::{bench, Netlist};
 use tvs::scan::{CaptureTransform, ObserveTransform};
-use tvs::stitch::{SelectionStrategy, ShiftPolicy, StitchConfig, StitchEngine};
+use tvs::stitch::{
+    RunOptions, SelectionStrategy, ShiftPolicy, Snapshot, StitchConfig, StitchEngine, StitchReport,
+    Termination,
+};
+use tvs::TvsError;
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), TvsError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
@@ -44,12 +54,13 @@ fn run() -> Result<(), Box<dyn Error>> {
         "faults" => faults(&args[1..]),
         "atpg" => atpg(&args[1..]),
         "stitch" => stitch(&args[1..]),
+        "run" => run_cmd(&args[1..]),
         "program" => program(&args[1..]),
         "verify" => verify(&args[1..]),
         "gen" => gen(&args[1..]),
         "lint" => lint(&args[1..]),
         _ => {
-            print!("{}", USAGE);
+            print!("{USAGE}");
             Ok(())
         }
     }
@@ -62,6 +73,8 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
   tvs faults  <circuit.bench>              collapsed fault list summary
   tvs atpg    <circuit.bench>              conventional full-shift ATPG
   tvs stitch  <circuit.bench> [options]    stitched test generation
+  tvs run     <circuit.bench> [options]    stitched generation with budgets
+                                           and checkpoint/resume
   tvs program <circuit.bench> <out.tvp>    stitch and export a tester program
   tvs verify  <circuit.bench> <prog.tvp>   run a program on the virtual ATE
   tvs gen     <profile> <out.bench>        synthesize a calibrated benchmark
@@ -74,19 +87,32 @@ lint options:
   --format <f>      text | json   (default: text)
   (no arguments at all: --profiles --workspace)
 
-stitch options:
+stitch options (also accepted by run and program):
   --vxor            vertical-XOR capture (paper Fig. 3)
   --hxor <g>        horizontal-XOR observation with g taps (paper Fig. 4)
   --fixed <k>       fixed shift size instead of the variable policy
   --select <s>      random | hardness | most | weighted   (default: most)
   --seed <n>        RNG seed
+  --budget <n>      work budget in deterministic work units (backtracks,
+                    simulation slots, cycles — never wall clock); on
+                    exhaustion the run stops at a stage boundary with a
+                    valid partial program and the residual fault list
   --threads <n>     worker threads (default: TVS_THREADS env, then all cores;
                     results are bit-identical at any thread count)
   --stats           print instrumentation counters and span timers after the run
+
+run options:
+  --checkpoint-every <n>   write a checkpoint snapshot every n cycles
+  --checkpoint <file>      snapshot path (default: <circuit.bench>.tvsnap)
+  --resume <file>          resume from a snapshot; the continued run is
+                           bit-identical to one that never stopped
+
+exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io · 7 lint
+(1 stays reserved for panics)
 ";
 
-fn load(path: &str) -> Result<Netlist, Box<dyn Error>> {
-    let text = fs::read_to_string(path)?;
+fn load(path: &str) -> Result<Netlist, TvsError> {
+    let text = fs::read_to_string(path).map_err(|e| TvsError::io(path, e))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -94,13 +120,21 @@ fn load(path: &str) -> Result<Netlist, Box<dyn Error>> {
     Ok(bench::parse(name, &text)?)
 }
 
-fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, Box<dyn Error>> {
+fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, TvsError> {
     args.get(i)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing {what}").into())
+        .ok_or_else(|| TvsError::usage(format!("missing {what}")))
 }
 
-fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
+/// Parses a `--option value` operand, mapping malformed values to a usage
+/// error naming the option.
+fn parse_value<T: FromStr>(args: &[String], i: usize, what: &str) -> Result<T, TvsError> {
+    let text = need(args, i, what)?;
+    text.parse()
+        .map_err(|_| TvsError::usage(format!("malformed {what} {text:?}")))
+}
+
+fn stats(args: &[String]) -> Result<(), TvsError> {
     let netlist = load(need(args, 0, "circuit path")?)?;
     println!("{netlist}");
     println!("{}", netlist.stats());
@@ -114,7 +148,7 @@ fn stats(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn faults(args: &[String]) -> Result<(), Box<dyn Error>> {
+fn faults(args: &[String]) -> Result<(), TvsError> {
     let netlist = load(need(args, 0, "circuit path")?)?;
     let full = FaultList::full(&netlist);
     let collapsed = FaultList::collapsed(&netlist);
@@ -128,7 +162,7 @@ fn faults(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn atpg(args: &[String]) -> Result<(), Box<dyn Error>> {
+fn atpg(args: &[String]) -> Result<(), TvsError> {
     let netlist = load(need(args, 0, "circuit path")?)?;
     let set = generate_tests(&netlist, &AtpgConfig::default())?;
     println!(
@@ -149,7 +183,7 @@ struct StitchOpts {
     stats: bool,
 }
 
-fn stitch_config(args: &[String]) -> Result<StitchOpts, Box<dyn Error>> {
+fn stitch_config(args: &[String]) -> Result<StitchOpts, TvsError> {
     let mut config = StitchConfig {
         threads: tvs::exec::default_threads(),
         ..StitchConfig::default()
@@ -161,11 +195,11 @@ fn stitch_config(args: &[String]) -> Result<StitchOpts, Box<dyn Error>> {
             "--vxor" => config.capture = CaptureTransform::VerticalXor,
             "--hxor" => {
                 config.observe =
-                    ObserveTransform::HorizontalXor(need(args, i + 1, "tap count")?.parse()?);
+                    ObserveTransform::HorizontalXor(parse_value(args, i + 1, "tap count")?);
                 i += 1;
             }
             "--fixed" => {
-                config.policy = ShiftPolicy::Fixed(need(args, i + 1, "shift size")?.parse()?);
+                config.policy = ShiftPolicy::Fixed(parse_value(args, i + 1, "shift size")?);
                 i += 1;
             }
             "--select" => {
@@ -174,21 +208,25 @@ fn stitch_config(args: &[String]) -> Result<StitchOpts, Box<dyn Error>> {
                     "hardness" => SelectionStrategy::Hardness,
                     "most" => SelectionStrategy::MostFaults,
                     "weighted" => SelectionStrategy::Weighted,
-                    other => return Err(format!("unknown strategy {other:?}").into()),
+                    other => return Err(TvsError::usage(format!("unknown strategy {other:?}"))),
                 };
                 i += 1;
             }
             "--seed" => {
-                config.seed = need(args, i + 1, "seed")?.parse()?;
+                config.seed = parse_value(args, i + 1, "seed")?;
+                i += 1;
+            }
+            "--budget" => {
+                config.budget = Some(parse_value(args, i + 1, "work budget")?);
                 i += 1;
             }
             "--threads" => {
-                config.threads = need(args, i + 1, "thread count")?.parse::<usize>()?.max(1);
+                config.threads = parse_value::<usize>(args, i + 1, "thread count")?.max(1);
                 i += 1;
             }
             "--stats" => stats = true,
             other if other.starts_with("--") => {
-                return Err(format!("unknown option {other:?}").into())
+                return Err(TvsError::usage(format!("unknown option {other:?}")))
             }
             _ => {}
         }
@@ -197,34 +235,139 @@ fn stitch_config(args: &[String]) -> Result<StitchOpts, Box<dyn Error>> {
     Ok(StitchOpts { config, stats })
 }
 
-fn stitch(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let netlist = load(need(args, 0, "circuit path")?)?;
-    let opts = stitch_config(&args[1..])?;
-    let engine = StitchEngine::new(&netlist)?;
-    let report = engine.run(&opts.config)?;
-    println!("{}: {}", netlist.name(), report.metrics);
+/// Renders the common stitch-report block (`tvs stitch` and `tvs run` share
+/// it, so the resume-equivalence guarantee is visible as identical stdout).
+fn print_report(name: &str, report: &StitchReport) {
+    println!("{}: {}", name, report.metrics);
+    let tail = report
+        .shifts
+        .get(1..report.shifts.len().min(9))
+        .unwrap_or(&[]);
     println!(
         "shift schedule: initial {} then {:?}… closing flush {}",
         report.shifts.first().copied().unwrap_or(0),
-        &report.shifts[1..report.shifts.len().min(9)],
+        tail,
         report.final_flush
     );
     let (entered, converted, erased) = report.hidden_transitions;
     println!("hidden faults: {entered} entered, {converted} caught, {erased} erased");
+}
+
+fn stitch(args: &[String]) -> Result<(), TvsError> {
+    let netlist = load(need(args, 0, "circuit path")?)?;
+    let opts = stitch_config(&args[1..])?;
+    let engine = StitchEngine::new(&netlist)?;
+    let report = engine.run(&opts.config)?;
+    print_report(netlist.name(), &report);
     if opts.stats {
         print!("{}", tvs::exec::report());
     }
     Ok(())
 }
 
-fn program(args: &[String]) -> Result<(), Box<dyn Error>> {
+fn run_cmd(args: &[String]) -> Result<(), TvsError> {
+    let circuit_path = need(args, 0, "circuit path")?.to_owned();
+    let netlist = load(&circuit_path)?;
+
+    // Split the run-only options out; everything else is stitch options.
+    let mut checkpoint_every = 0usize;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut stitch_args: Vec<String> = Vec::new();
+    let rest = &args[1..];
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--checkpoint-every" => {
+                checkpoint_every = parse_value(rest, i + 1, "checkpoint interval")?;
+                i += 1;
+            }
+            "--checkpoint" => {
+                checkpoint_path = Some(need(rest, i + 1, "checkpoint path")?.to_owned());
+                i += 1;
+            }
+            "--resume" => {
+                resume_path = Some(need(rest, i + 1, "resume path")?.to_owned());
+                i += 1;
+            }
+            other => stitch_args.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let opts = stitch_config(&stitch_args)?;
+
+    let resume = match &resume_path {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| TvsError::io(path, e))?;
+            Some(Snapshot::parse(&text)?)
+        }
+        None => None,
+    };
+    let checkpoint_path = checkpoint_path.unwrap_or_else(|| format!("{circuit_path}.tvsnap"));
+
+    let engine = StitchEngine::new(&netlist)?;
+    // Snapshots are written atomically (tmp + rename) so an interrupt mid-
+    // write can never leave a truncated checkpoint behind; the checksum
+    // line guards against everything else.
+    let mut write_error: Option<TvsError> = None;
+    let mut written = 0usize;
+    let mut on_checkpoint = |snap: Snapshot| {
+        if write_error.is_some() {
+            return;
+        }
+        let tmp = format!("{checkpoint_path}.tmp");
+        let result =
+            fs::write(&tmp, snap.to_text()).and_then(|()| fs::rename(&tmp, &checkpoint_path));
+        match result {
+            Ok(()) => written += 1,
+            Err(e) => write_error = Some(TvsError::io(&*checkpoint_path, e)),
+        }
+    };
+    let report = engine.run_with(
+        &opts.config,
+        RunOptions {
+            resume,
+            checkpoint_every,
+            on_checkpoint: if checkpoint_every > 0 {
+                Some(&mut on_checkpoint)
+            } else {
+                None
+            },
+        },
+    )?;
+    if let Some(e) = write_error {
+        return Err(e);
+    }
+
+    print_report(netlist.name(), &report);
+    match &report.termination {
+        Termination::Complete => println!("termination: complete"),
+        Termination::BudgetExhausted { residual } => println!(
+            "termination: budget exhausted ({} residual faults; partial program is valid)",
+            residual.len()
+        ),
+        Termination::WorkerPanic { message, residual } => println!(
+            "termination: worker panic ({message}; {} residual faults; partial program is valid)",
+            residual.len()
+        ),
+    }
+    if written > 0 {
+        println!("checkpoints: {written} written to {checkpoint_path}");
+    }
+    if opts.stats {
+        print!("{}", tvs::exec::report());
+    }
+    Ok(())
+}
+
+fn program(args: &[String]) -> Result<(), TvsError> {
     let netlist = load(need(args, 0, "circuit path")?)?;
     let out = need(args, 1, "output path")?;
     let opts = stitch_config(&args[2..])?;
     let engine = StitchEngine::new(&netlist)?;
     let report = engine.run(&opts.config)?;
     let program = TestProgram::from_report(&netlist, &report, &opts.config);
-    fs::write(out, program.to_text())?;
+    fs::write(out, program.to_text()).map_err(|e| TvsError::io(out, e))?;
     println!(
         "wrote {} ({} cycles, {} shift clocks; {})",
         out,
@@ -238,9 +381,10 @@ fn program(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
+fn verify(args: &[String]) -> Result<(), TvsError> {
     let netlist = load(need(args, 0, "circuit path")?)?;
-    let text = fs::read_to_string(need(args, 1, "program path")?)?;
+    let path = need(args, 1, "program path")?;
+    let text = fs::read_to_string(path).map_err(|e| TvsError::io(path, e))?;
     let program = TestProgram::parse(&text)?;
     let view = netlist.scan_view()?;
     let mut dut = Dut::new(&netlist, &view, program.capture, program.observe);
@@ -249,7 +393,7 @@ fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn lint(args: &[String]) -> Result<(), Box<dyn Error>> {
+fn lint(args: &[String]) -> Result<(), TvsError> {
     use tvs::lint::{analyze_netlist, has_deny, render_json, render_text, Diagnostic};
 
     let mut profiles = false;
@@ -270,12 +414,12 @@ fn lint(args: &[String]) -> Result<(), Box<dyn Error>> {
                 json = match need(args, i + 1, "format")? {
                     "text" => false,
                     "json" => true,
-                    other => return Err(format!("unknown format {other:?}").into()),
+                    other => return Err(TvsError::usage(format!("unknown format {other:?}"))),
                 };
                 i += 1;
             }
             other if other.starts_with("--") => {
-                return Err(format!("unknown option {other:?}").into())
+                return Err(TvsError::usage(format!("unknown option {other:?}")))
             }
             file => files.push(file.to_owned()),
         }
@@ -297,7 +441,10 @@ fn lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         }
     }
     if workspace {
-        diags.extend(tvs::lint::lint_workspace(std::path::Path::new(&root))?);
+        diags.extend(
+            tvs::lint::lint_workspace(std::path::Path::new(&root))
+                .map_err(|e| TvsError::io(&*root, e))?,
+        );
     }
 
     if json {
@@ -306,18 +453,21 @@ fn lint(args: &[String]) -> Result<(), Box<dyn Error>> {
         print!("{}", render_text(&diags));
     }
     if has_deny(&diags) {
-        return Err("deny-level diagnostics found".into());
+        return Err(TvsError::Lint("deny-level diagnostics found".into()));
     }
     Ok(())
 }
 
-fn gen(args: &[String]) -> Result<(), Box<dyn Error>> {
+fn gen(args: &[String]) -> Result<(), TvsError> {
     let name = need(args, 0, "profile name")?;
     let out = need(args, 1, "output path")?;
-    let profile = tvs::circuits::profile(name)
-        .ok_or_else(|| format!("unknown profile {name:?} (try s444, s1423, s5378, …)"))?;
+    let profile = tvs::circuits::profile(name).ok_or_else(|| {
+        TvsError::usage(format!(
+            "unknown profile {name:?} (try s444, s1423, s5378, …)"
+        ))
+    })?;
     let netlist = profile.build();
-    fs::write(out, bench::to_string(&netlist))?;
+    fs::write(out, bench::to_string(&netlist)).map_err(|e| TvsError::io(out, e))?;
     println!("wrote {out}: {netlist}");
     Ok(())
 }

@@ -1,0 +1,172 @@
+//! The toolkit-level error taxonomy and the CLI's structured exit codes.
+//!
+//! Every failure the `tvs` binary can hit maps onto one [`TvsError`]
+//! variant, and every variant onto a stable [`exit code`](TvsError::exit_code)
+//! — scripts and CI can branch on *what kind* of failure occurred without
+//! parsing stderr:
+//!
+//! | code | variant | meaning |
+//! |---|---|---|
+//! | 2 | [`Usage`](TvsError::Usage) | bad invocation: unknown option, missing argument, malformed value |
+//! | 3 | [`Netlist`](TvsError::Netlist) / [`Program`](TvsError::Program) | malformed input artifact (`.bench` or `.tvp`) |
+//! | 4 | [`Stitch`](TvsError::Stitch) / [`Atpg`](TvsError::Atpg) | the generation engines rejected the run |
+//! | 5 | [`Snapshot`](TvsError::Snapshot) | a checkpoint file is corrupt, foreign or mismatched |
+//! | 6 | [`Io`](TvsError::Io) | the operating system failed us |
+//! | 7 | [`Lint`](TvsError::Lint) | deny-level diagnostics found |
+//!
+//! Exit code 1 stays reserved for panics (which the library layers avoid by
+//! construction — see the SRC005 lint) so an abort is distinguishable from
+//! every typed failure.
+
+use std::error::Error;
+use std::fmt;
+
+use tvs_ate::ParseProgramError;
+use tvs_atpg::AtpgOutcome;
+use tvs_netlist::NetlistError;
+use tvs_stitch::{SnapshotError, StitchError};
+
+/// Top-level error for the `tvs` toolkit and CLI.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TvsError {
+    /// The command line itself is wrong (unknown option, missing or
+    /// malformed argument).
+    Usage(String),
+    /// A `.bench` netlist failed to parse or validate.
+    Netlist(NetlistError),
+    /// A `.tvp` tester program failed to parse.
+    Program(ParseProgramError),
+    /// The stitching engine rejected or could not finish the run.
+    Stitch(StitchError),
+    /// The conventional ATPG flow failed.
+    Atpg(AtpgOutcome),
+    /// A checkpoint snapshot is truncated, corrupt, foreign or mismatched.
+    Snapshot(SnapshotError),
+    /// An operating-system I/O failure, with the path involved.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Deny-level lint diagnostics were found.
+    Lint(String),
+}
+
+impl TvsError {
+    /// The structured process exit code for this error (1 is reserved for
+    /// panics, so every typed failure is distinguishable from an abort).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            TvsError::Usage(_) => 2,
+            TvsError::Netlist(_) | TvsError::Program(_) => 3,
+            TvsError::Stitch(_) | TvsError::Atpg(_) => 4,
+            TvsError::Snapshot(_) => 5,
+            TvsError::Io { .. } => 6,
+            TvsError::Lint(_) => 7,
+        }
+    }
+
+    /// Convenience constructor for usage errors.
+    pub fn usage(message: impl Into<String>) -> Self {
+        TvsError::Usage(message.into())
+    }
+
+    /// Wraps an I/O error with the path it concerned.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        TvsError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for TvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TvsError::Usage(m) => write!(f, "usage: {m}"),
+            TvsError::Netlist(e) => write!(f, "netlist: {e}"),
+            TvsError::Program(e) => write!(f, "program: {e}"),
+            TvsError::Stitch(e) => write!(f, "stitch: {e}"),
+            TvsError::Atpg(e) => write!(f, "atpg: {e}"),
+            TvsError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            TvsError::Io { path, source } => write!(f, "io: {path}: {source}"),
+            TvsError::Lint(m) => write!(f, "lint: {m}"),
+        }
+    }
+}
+
+impl Error for TvsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TvsError::Netlist(e) => Some(e),
+            TvsError::Program(e) => Some(e),
+            TvsError::Stitch(e) => Some(e),
+            TvsError::Atpg(e) => Some(e),
+            TvsError::Snapshot(e) => Some(e),
+            TvsError::Io { source, .. } => Some(source),
+            TvsError::Usage(_) | TvsError::Lint(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TvsError {
+    fn from(e: NetlistError) -> Self {
+        TvsError::Netlist(e)
+    }
+}
+
+impl From<ParseProgramError> for TvsError {
+    fn from(e: ParseProgramError) -> Self {
+        TvsError::Program(e)
+    }
+}
+
+impl From<StitchError> for TvsError {
+    fn from(e: StitchError) -> Self {
+        // Snapshot problems keep their own exit code even when surfaced
+        // through the stitch engine's resume path.
+        match e {
+            StitchError::Snapshot(s) => TvsError::Snapshot(s),
+            other => TvsError::Stitch(other),
+        }
+    }
+}
+
+impl From<AtpgOutcome> for TvsError {
+    fn from(e: AtpgOutcome) -> Self {
+        TvsError::Atpg(e)
+    }
+}
+
+impl From<SnapshotError> for TvsError {
+    fn from(e: SnapshotError) -> Self {
+        TvsError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable_and_distinct_per_category() {
+        assert_eq!(TvsError::usage("x").exit_code(), 2);
+        assert_eq!(
+            TvsError::from(NetlistError::UndefinedSignal("g".into())).exit_code(),
+            3
+        );
+        assert_eq!(TvsError::from(StitchError::NoScanChain).exit_code(), 4);
+        assert_eq!(TvsError::from(SnapshotError::Truncated).exit_code(), 5);
+        assert_eq!(TvsError::io("x", std::io::Error::other("e")).exit_code(), 6);
+        assert_eq!(TvsError::Lint("deny".into()).exit_code(), 7);
+    }
+
+    #[test]
+    fn stitch_snapshot_errors_route_to_the_snapshot_code() {
+        let e = TvsError::from(StitchError::Snapshot(SnapshotError::Truncated));
+        assert!(matches!(e, TvsError::Snapshot(_)));
+        assert_eq!(e.exit_code(), 5);
+    }
+}

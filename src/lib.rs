@@ -20,6 +20,9 @@
 //! | execution | [`exec`] | deterministic work-stealing pool, counters, span timers |
 //! | static analysis | [`lint`] | IR design-rule checks + source determinism lint |
 //!
+//! Failures from every layer funnel into the [`TvsError`] taxonomy, which
+//! also defines the CLI's structured exit codes.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -36,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod error;
+
+pub use error::TvsError;
 
 pub use tvs_ate as ate;
 pub use tvs_atpg as atpg;
