@@ -10,6 +10,11 @@ cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Microbench smoke: the incremental simulation kernel must evaluate fewer
+# gates than full sweeps on the largest profile (s38417), with bit-identical
+# outputs. Writes BENCH_sim.json; exits nonzero on any regression.
+cargo run -q -p tvs-bench --release --offline --bin simbench
+
 # Static analysis (tvs-lint): fails on any deny-level diagnostic.
 # Engine 2 (source determinism lint) over the workspace tree:
 cargo run -q -p tvs-lint --release --offline --bin tvs-lint -- --workspace --format json

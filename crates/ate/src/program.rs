@@ -84,8 +84,8 @@ impl TestProgram {
         let mut cycles = Vec::with_capacity(report.cycles.len() + report.extra_vectors.len());
         for (record, &k) in report.cycles.iter().zip(&report.shifts) {
             cycles.push(ScanCycle {
-                pi: slice_bits(&record.vector, 0..p),
-                scan_in: incoming_from_tv(&record.vector, p, k),
+                pi: record.vector.slice(0..p),
+                scan_in: record.vector.rev_slice(p..p + k),
                 expected_observed: BitVec::new(),
                 expected_po: BitVec::new(),
             });
@@ -102,8 +102,8 @@ impl TestProgram {
         }
         for vector in &report.extra_vectors {
             cycles.push(ScanCycle {
-                pi: slice_bits(vector, 0..p),
-                scan_in: incoming_from_tv(vector, p, l),
+                pi: vector.slice(0..p),
+                scan_in: vector.rev_slice(p..p + l),
                 expected_observed: BitVec::new(),
                 expected_po: BitVec::new(),
             });
@@ -135,8 +135,8 @@ impl TestProgram {
         let cycles = patterns
             .iter()
             .map(|v| ScanCycle {
-                pi: slice_bits(v, 0..p),
-                scan_in: incoming_from_tv(v, p, l),
+                pi: v.slice(0..p),
+                scan_in: v.rev_slice(p..p + l),
                 expected_observed: BitVec::new(),
                 expected_po: BitVec::new(),
             })
@@ -358,16 +358,6 @@ fn undash(s: &str) -> Option<BitVec> {
         }
     }
     Some(out)
-}
-
-fn slice_bits(bits: &BitVec, range: std::ops::Range<usize>) -> BitVec {
-    range.map(|i| bits.get(i)).collect()
-}
-
-/// Scan-in bits (entry order) realizing the first `k` chain cells of a full
-/// vector whose chain part starts at `offset`.
-fn incoming_from_tv(vector: &BitVec, offset: usize, k: usize) -> BitVec {
-    (0..k).map(|t| vector.get(offset + k - 1 - t)).collect()
 }
 
 #[cfg(test)]

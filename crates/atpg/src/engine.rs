@@ -4,7 +4,7 @@ use tvs_exec::Budget;
 use tvs_logic::{BitVec, Cube, Prng};
 use tvs_netlist::{Netlist, NetlistError, ScanView};
 
-use tvs_fault::{Fault, FaultList, FaultSim};
+use tvs_fault::{Fault, FaultList, SimSession};
 
 use crate::{random_phase, FillStrategy, Podem, PodemConfig, PodemResult};
 
@@ -161,7 +161,7 @@ pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternS
     let mut budget = Budget::from_limit(config.budget);
     budget.charge((patterns.len() * faults.len()) as u64);
     let mut podem = Podem::with_config(netlist, &view, config.podem);
-    let mut fsim = FaultSim::new(netlist, &view);
+    let mut session = SimSession::new(netlist, &view);
     let free = Cube::unspecified(view.input_count());
     let mut redundant = Vec::new();
     let mut aborted = Vec::new();
@@ -184,7 +184,10 @@ pub fn generate_tests(netlist: &Netlist, config: &AtpgConfig) -> Result<PatternS
                 let alive: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
                 let subset: Vec<Fault> = alive.iter().map(|&i| faults.faults()[i]).collect();
                 budget.charge(1 + u64::from(podem.last_backtracks()) + subset.len() as u64);
-                let hits = fsim.detect(&bits, &subset);
+                let hits = match session.detect(&bits, &subset) {
+                    Ok(hits) => hits,
+                    Err(_) => unreachable!("filled cubes are view-width"),
+                };
                 let mut useful = false;
                 for (slot, &fi) in alive.iter().enumerate() {
                     if hits[slot] {
@@ -255,7 +258,7 @@ pub fn compact_patterns(
     faults: &[Fault],
     patterns: &[BitVec],
 ) -> Vec<BitVec> {
-    let mut fsim = FaultSim::new(netlist, view);
+    let mut session = SimSession::new(netlist, view);
     let mut alive: Vec<usize> = (0..faults.len()).collect();
     let mut kept = Vec::new();
     for pattern in patterns.iter().rev() {
@@ -263,7 +266,10 @@ pub fn compact_patterns(
             break;
         }
         let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
-        let hits = fsim.detect(pattern, &subset);
+        let hits = match session.detect(pattern, &subset) {
+            Ok(hits) => hits,
+            Err(_) => unreachable!("patterns under compaction are view-width"),
+        };
         if hits.iter().any(|&h| h) {
             kept.push(pattern.clone());
             let mut next = Vec::with_capacity(alive.len());
@@ -323,7 +329,7 @@ mod tests {
         let compacted = generate_tests(&n, &AtpgConfig::default()).unwrap();
         assert!(compacted.len() <= uncompacted.len());
 
-        let mut fsim = FaultSim::new(&n, &view);
+        let mut fsim = tvs_fault::FaultSim::new(&n, &view);
         let det = fsim.coverage(&compacted.patterns, faults.faults());
         let covered = det.iter().filter(|&&d| d).count();
         assert_eq!(covered, faults.len() - 1); // all but the redundant one

@@ -3,7 +3,7 @@
 use tvs_logic::{BitVec, Prng};
 use tvs_netlist::{Netlist, ScanView};
 
-use tvs_fault::{Fault, FaultSim};
+use tvs_fault::{Fault, SimSession};
 
 /// Runs the random-pattern phase: draws random fully specified patterns,
 /// keeps each pattern that detects at least one still-undetected fault
@@ -44,7 +44,7 @@ pub fn random_phase(
     max_patterns: usize,
     max_useless: usize,
 ) -> (Vec<BitVec>, Vec<bool>) {
-    let mut sim = FaultSim::new(netlist, view);
+    let mut sim = SimSession::new(netlist, view);
     let mut detected = vec![false; faults.len()];
     let mut alive: Vec<usize> = (0..faults.len()).collect();
     let mut patterns = Vec::new();
@@ -56,7 +56,10 @@ pub fn random_phase(
         }
         let pattern: BitVec = (0..view.input_count()).map(|_| rng.next_bool()).collect();
         let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
-        let hits = sim.detect(&pattern, &subset);
+        let hits = match sim.detect(&pattern, &subset) {
+            Ok(hits) => hits,
+            Err(_) => unreachable!("random patterns are view-width"),
+        };
         if hits.iter().any(|&h| h) {
             useless = 0;
             patterns.push(pattern);

@@ -60,10 +60,12 @@ fn detection_lands_on_an_allowed_output() {
                 for fill in [false, true] {
                     let bits = cube.fill_with(fill);
                     let good = fsim.good_outputs(&bits);
-                    let outs = fsim.run_slots(&[SlotSpec {
-                        stimulus: &bits,
-                        fault: Some(fault),
-                    }]);
+                    let outs = fsim
+                        .run_slots(&[SlotSpec {
+                            stimulus: &bits,
+                            fault: Some(fault),
+                        }])
+                        .unwrap();
                     assert_ne!(
                         outs[0].get(o),
                         good.get(o),

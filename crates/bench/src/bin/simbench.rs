@@ -1,0 +1,135 @@
+//! CI smoke bench for the incremental simulation kernel.
+//!
+//! Runs a classify-style fault-simulation workload — one good-machine
+//! stimulus, the collapsed fault list swept in 63-slot chunks — on the
+//! largest built-in profile (s38417) in two modes:
+//!
+//! * **full**: every chunk is a plain levelized sweep ([`ParallelSim::eval`]);
+//! * **incremental**: one baseline seed, then every chunk re-evaluates only
+//!   the injection fanout cones ([`ParallelSim::eval_incremental`]).
+//!
+//! The two modes must produce bit-identical output words (exit 1 otherwise),
+//! and the incremental mode must evaluate strictly fewer gates per the
+//! `sim.gates_evaluated` counter (exit 1 otherwise). Results — gate
+//! evaluations and median wall time per pass — are written to
+//! `BENCH_sim.json` in the current directory.
+//!
+//! Usage: `simbench [--out <path>]`.
+
+use std::process::ExitCode;
+
+use tvs_bench::microbench::BenchGroup;
+use tvs_fault::FaultList;
+use tvs_logic::Prng;
+use tvs_sim::{Injection, ParallelSim};
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => {
+                eprintln!("unknown argument: {other} (usage: simbench [--out <path>])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let profile = tvs_circuits::profile("s38417").expect("largest built-in profile");
+    eprintln!(
+        "simbench: building {} ({} gates)…",
+        profile.name, profile.gates
+    );
+    let netlist = profile.build();
+    let view = netlist.scan_view().expect("profile has a scan chain");
+    let list = FaultList::collapsed(&netlist);
+
+    // The classify-style workload: one stimulus, all faults in 63-slot
+    // chunks (slot 63 stays free, as the engine reserves it for the good
+    // machine when packing comparison sweeps).
+    let mut rng = Prng::seed_from_u64(0x38417);
+    let words: Vec<u64> = (0..view.input_count()).map(|_| rng.next_u64()).collect();
+    let chunks: Vec<Vec<Injection>> = list
+        .faults()
+        .chunks(63)
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .map(|(slot, f)| f.injection(1u64 << slot))
+                .collect()
+        })
+        .collect();
+    eprintln!(
+        "simbench: {} faults in {} chunks",
+        list.faults().len(),
+        chunks.len()
+    );
+
+    let gates = tvs_exec::counter("sim.gates_evaluated");
+    let outputs = view.output_count();
+    let mut sim = ParallelSim::new(&netlist, &view);
+
+    // Counted correctness passes: one per mode, comparing every output word.
+    let before = gates.get();
+    let mut full_outs: Vec<u64> = Vec::with_capacity(chunks.len() * outputs);
+    for chunk in &chunks {
+        sim.eval(&words, chunk);
+        full_outs.extend((0..outputs).map(|o| sim.output_word(o)));
+    }
+    let gates_full = gates.get() - before;
+
+    let before = gates.get();
+    let mut inc_outs: Vec<u64> = Vec::with_capacity(chunks.len() * outputs);
+    sim.seed_baseline(&words, &[]);
+    for chunk in &chunks {
+        sim.eval_incremental(&words, chunk);
+        inc_outs.extend((0..outputs).map(|o| sim.output_word(o)));
+    }
+    let gates_incremental = gates.get() - before;
+
+    if full_outs != inc_outs {
+        eprintln!("simbench: FAIL — incremental outputs diverged from full sweeps");
+        return ExitCode::FAILURE;
+    }
+
+    // Timed passes (median of `samples`, after one warm-up each).
+    let group = BenchGroup::new("sim", 5);
+    let wall_full = group.bench_timed("full", || {
+        for chunk in &chunks {
+            sim.eval(&words, chunk);
+        }
+    });
+    let wall_incremental = group.bench_timed("incremental", || {
+        sim.seed_baseline(&words, &[]);
+        for chunk in &chunks {
+            sim.eval_incremental(&words, chunk);
+        }
+    });
+
+    let ratio = gates_full as f64 / gates_incremental.max(1) as f64;
+    let json = format!(
+        "{{\n  \"circuit\": \"{}\",\n  \"gates\": {},\n  \"faults\": {},\n  \"chunks\": {},\n  \"gates_evaluated_full\": {},\n  \"gates_evaluated_incremental\": {},\n  \"gate_eval_ratio\": {:.2},\n  \"wall_ms_full\": {:.3},\n  \"wall_ms_incremental\": {:.3}\n}}\n",
+        profile.name,
+        netlist.gate_count(),
+        list.faults().len(),
+        chunks.len(),
+        gates_full,
+        gates_incremental,
+        ratio,
+        wall_full.as_secs_f64() * 1e3,
+        wall_incremental.as_secs_f64() * 1e3,
+    );
+    std::fs::write(&out_path, &json).expect("write bench results");
+    print!("{json}");
+
+    if gates_incremental >= gates_full {
+        eprintln!(
+            "simbench: FAIL — incremental evaluated {gates_incremental} gates, \
+             full evaluated {gates_full} (no win)"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("simbench: OK — {ratio:.1}x fewer gate evaluations, results in {out_path}");
+    ExitCode::SUCCESS
+}

@@ -30,7 +30,13 @@ impl BenchGroup {
 
     /// Times `f` for the group's sample count and prints one result line
     /// (`group/label: min … median … mean`).
-    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&self, label: &str, f: impl FnMut() -> R) {
+        let _ = self.bench_timed(label, f);
+    }
+
+    /// Like [`bench`](Self::bench), but additionally returns the median
+    /// sample, for harnesses that gate or report on the measured time.
+    pub fn bench_timed<R>(&self, label: &str, mut f: impl FnMut() -> R) -> Duration {
         black_box(f());
         let mut times: Vec<Duration> = (0..self.samples)
             .map(|_| {
@@ -52,6 +58,7 @@ impl BenchGroup {
             fmt_duration(mean),
             self.samples
         );
+        median
     }
 }
 

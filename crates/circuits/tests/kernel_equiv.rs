@@ -1,0 +1,100 @@
+//! Kernel equivalence: the event-driven incremental sweep must be
+//! bit-identical to the plain full sweep for *any* stimulus/injection
+//! combination. For every built-in profile we seed a baseline, then drive
+//! 256 random deltas — small stimulus flips, injection churn, and the
+//! occasional wholesale re-randomization that forces the full-sweep
+//! fallback — through an incremental simulator and an independent
+//! reference simulator, comparing every output word after each sweep.
+
+use tvs_circuits::all_profiles;
+use tvs_fault::{Fault, FaultList};
+use tvs_logic::Prng;
+use tvs_sim::{Injection, ParallelSim};
+
+/// Picks up to `max` random faults and realizes them as injections over
+/// random slot masks. Reuses the collapsed fault list so every injection
+/// names a real gate/pin pair.
+fn random_injections(rng: &mut Prng, faults: &[Fault], max: usize) -> Vec<Injection> {
+    let count = rng.gen_range(0..max + 1);
+    (0..count)
+        .map(|_| {
+            let f = &faults[rng.gen_range(0..faults.len())];
+            f.injection(rng.next_u64())
+        })
+        .collect()
+}
+
+#[test]
+fn incremental_sweeps_match_full_sweeps_on_every_profile() {
+    let mut rng = Prng::seed_from_u64(0x0517_C4E9);
+    for profile in all_profiles() {
+        let netlist = profile.build();
+        let view = netlist.scan_view().expect("profiles carry scan chains");
+        let list = FaultList::collapsed(&netlist);
+        let faults = list.faults();
+
+        let mut incremental = ParallelSim::new(&netlist, &view);
+        let mut reference = ParallelSim::new(&netlist, &view);
+
+        let mut words: Vec<u64> = (0..view.input_count()).map(|_| rng.next_u64()).collect();
+        let baseline_inj = random_injections(&mut rng, faults, 2);
+        incremental.seed_baseline(&words, &baseline_inj);
+
+        for step in 0..256 {
+            // Stimulus delta: usually a few flipped bits in a few words
+            // (the event path), every 16th step a full re-randomization
+            // (the cone-bound fallback path).
+            if step % 16 == 15 {
+                for w in words.iter_mut() {
+                    *w = rng.next_u64();
+                }
+            } else {
+                for _ in 0..rng.gen_range(1..4) {
+                    let i = rng.gen_range(0..words.len());
+                    words[i] ^= 1u64 << rng.gen_range(0..64);
+                }
+            }
+            let injections = random_injections(&mut rng, faults, 3);
+
+            incremental.eval_incremental(&words, &injections);
+            reference.eval(&words, &injections);
+
+            for o in 0..view.output_count() {
+                assert_eq!(
+                    incremental.output_word(o),
+                    reference.output_word(o),
+                    "{}: output {o} diverged at delta {step}",
+                    profile.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reseeding_after_incremental_sweeps_stays_equivalent() {
+    // A session-style workload: alternate baseline re-seeds with bursts of
+    // incremental sweeps, as the stitch engine does once per cycle.
+    let mut rng = Prng::seed_from_u64(0xBA5E);
+    let profile = tvs_circuits::profile("s953").expect("built-in profile");
+    let netlist = profile.build();
+    let view = netlist.scan_view().expect("scan chain");
+    let list = FaultList::collapsed(&netlist);
+    let faults = list.faults();
+
+    let mut incremental = ParallelSim::new(&netlist, &view);
+    let mut reference = ParallelSim::new(&netlist, &view);
+
+    for _ in 0..8 {
+        let words: Vec<u64> = (0..view.input_count()).map(|_| rng.next_u64()).collect();
+        incremental.seed_baseline(&words, &[]);
+        for _ in 0..32 {
+            let injections = random_injections(&mut rng, faults, 3);
+            incremental.eval_incremental(&words, &injections);
+            reference.eval(&words, &injections);
+            for o in 0..view.output_count() {
+                assert_eq!(incremental.output_word(o), reference.output_word(o));
+            }
+        }
+    }
+}

@@ -21,9 +21,11 @@ mod collapse;
 mod list;
 mod model;
 mod scoap;
+mod session;
 mod sim;
 
 pub use list::FaultList;
 pub use model::{Fault, FaultSite, StuckAt};
 pub use scoap::Scoap;
+pub use session::{FaultError, SimSession};
 pub use sim::{detect_parallel, FaultSim, SlotSpec};

@@ -1,11 +1,10 @@
 //! Bit-parallel single-pattern multi-fault simulation (PROOFS/HOPE style).
 
-use tvs_exec::{Counter, ThreadPool};
+use tvs_exec::ThreadPool;
 use tvs_logic::BitVec;
 use tvs_netlist::{Netlist, ScanView};
-use tvs_sim::{Injection, ParallelSim};
 
-use crate::Fault;
+use crate::{Fault, FaultError, SimSession};
 
 /// One simulator slot: a stimulus and an optional fault.
 ///
@@ -47,96 +46,66 @@ pub struct SlotSpec<'a> {
 /// ```
 #[derive(Debug)]
 pub struct FaultSim<'a> {
-    view: &'a ScanView,
-    psim: ParallelSim<'a>,
-    words: Vec<u64>,
-    injections: Vec<Injection>,
-    slot_counter: Counter,
-    sweep_counter: Counter,
+    session: SimSession<'a>,
 }
 
 impl<'a> FaultSim<'a> {
     /// Creates a simulator bound to a netlist and its scan view.
     pub fn new(netlist: &'a Netlist, view: &'a ScanView) -> Self {
         FaultSim {
-            view,
-            psim: ParallelSim::new(netlist, view),
-            words: vec![0; view.input_count()],
-            injections: Vec::new(),
-            slot_counter: tvs_exec::counter("fault.slots_simulated"),
-            sweep_counter: tvs_exec::counter("fault.sweeps"),
+            session: SimSession::new(netlist, view),
         }
     }
 
     /// Simulates up to 64 independent machines in one sweep and returns each
     /// machine's combinational outputs (POs then PPOs).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more than 64 slots are given or a stimulus length does not
-    /// match the view.
-    pub fn run_slots(&mut self, slots: &[SlotSpec<'_>]) -> Vec<BitVec> {
-        assert!(slots.len() <= 64, "at most 64 slots per sweep");
-        for w in &mut self.words {
-            *w = 0;
-        }
-        self.injections.clear();
-        for (s, spec) in slots.iter().enumerate() {
-            assert_eq!(
-                spec.stimulus.len(),
-                self.view.input_count(),
-                "slot {s} stimulus length must match the scan view"
-            );
-            for (i, bit) in spec.stimulus.iter().enumerate() {
-                if bit {
-                    self.words[i] |= 1u64 << s;
-                }
-            }
-            if let Some(fault) = spec.fault {
-                self.injections.push(fault.injection(1u64 << s));
-            }
-        }
-        self.psim.eval(&self.words, &self.injections);
-        self.slot_counter.add(slots.len() as u64);
-        self.sweep_counter.incr();
-        (0..slots.len() as u32)
-            .map(|s| self.psim.output_slot(s))
-            .collect()
+    /// [`FaultError::TooManySlots`] for more than 64 slots,
+    /// [`FaultError::StimulusLength`] for a stimulus that does not match the
+    /// view.
+    pub fn run_slots(&mut self, slots: &[SlotSpec<'_>]) -> Result<Vec<BitVec>, FaultError> {
+        self.session.run_slots(slots)
     }
 
-    /// Evaluates the fault-free outputs for one stimulus.
+    /// Evaluates the fault-free outputs for one stimulus, which also seeds
+    /// the session baseline for subsequent incremental sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stimulus` does not match the scan view.
     pub fn good_outputs(&mut self, stimulus: &BitVec) -> BitVec {
-        let mut out = self.run_slots(&[SlotSpec {
-            stimulus,
-            fault: None,
-        }]);
-        // One spec in, one output out — structurally infallible.
-        // lint:allow(SRC005)
-        out.pop().expect("one slot yields one output")
+        // The length is the only failure mode, pre-checked here so the
+        // session call is structurally infallible. lint:allow(SRC005)
+        assert_eq!(
+            stimulus.len(),
+            self.session.view().input_count(),
+            "stimulus length must match the scan view"
+        );
+        match self.session.baseline(stimulus) {
+            Ok(good) => good,
+            Err(_) => unreachable!("stimulus length validated above"),
+        }
     }
 
     /// Runs `faults` against a shared stimulus and reports, per fault,
     /// whether *any* combinational output differs from the fault-free
-    /// machine (slot 0 of each batch).
+    /// machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stimulus` does not match the scan view.
     pub fn detect(&mut self, stimulus: &BitVec, faults: &[Fault]) -> Vec<bool> {
-        let mut detected = Vec::with_capacity(faults.len());
-        for chunk in faults.chunks(63) {
-            let mut slots = Vec::with_capacity(chunk.len() + 1);
-            slots.push(SlotSpec {
-                stimulus,
-                fault: None,
-            });
-            slots.extend(chunk.iter().map(|&f| SlotSpec {
-                stimulus,
-                fault: Some(f),
-            }));
-            let outs = self.run_slots(&slots);
-            let good = &outs[0];
-            for faulty in &outs[1..] {
-                detected.push(faulty != good);
-            }
+        assert_eq!(
+            stimulus.len(),
+            self.session.view().input_count(),
+            "stimulus length must match the scan view"
+        );
+        match self.session.detect(stimulus, faults) {
+            Ok(hits) => hits,
+            Err(_) => unreachable!("stimulus length validated above"),
         }
-        detected
     }
 
     /// Simulates a pattern set over a fault list with fault dropping and
@@ -267,16 +236,18 @@ mod tests {
         let mut sim = FaultSim::new(&n, &v);
         let s1 = BitVec::from_bools([true, true, false]);
         let s2 = BitVec::from_bools([false, false, true]);
-        let outs = sim.run_slots(&[
-            SlotSpec {
-                stimulus: &s1,
-                fault: None,
-            },
-            SlotSpec {
-                stimulus: &s2,
-                fault: None,
-            },
-        ]);
+        let outs = sim
+            .run_slots(&[
+                SlotSpec {
+                    stimulus: &s1,
+                    fault: None,
+                },
+                SlotSpec {
+                    stimulus: &s2,
+                    fault: None,
+                },
+            ])
+            .unwrap();
         assert_eq!(outs[0].to_string(), "111");
         assert_eq!(outs[1].to_string(), "010");
     }

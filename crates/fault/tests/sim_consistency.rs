@@ -37,10 +37,12 @@ fn batched_detection_equals_one_fault_per_sweep() {
         let batched = sim.detect(&stimulus, faults.faults());
         let good = sim.good_outputs(&stimulus);
         for (i, &fault) in faults.faults().iter().enumerate().step_by(11) {
-            let outs = sim.run_slots(&[SlotSpec {
-                stimulus: &stimulus,
-                fault: Some(fault),
-            }]);
+            let outs = sim
+                .run_slots(&[SlotSpec {
+                    stimulus: &stimulus,
+                    fault: Some(fault),
+                }])
+                .unwrap();
             assert_eq!(
                 batched[i],
                 outs[0] != good,
@@ -73,7 +75,7 @@ fn fault_free_slot_is_unaffected_by_faulty_neighbours() {
             stimulus: &stimulus,
             fault: Some(f),
         }));
-        let outs = sim.run_slots(&slots);
+        let outs = sim.run_slots(&slots).unwrap();
         assert_eq!(&outs[0], &clean, "slot isolation violated");
     }
 }

@@ -137,6 +137,35 @@ impl BitVec {
         assert!(range.end <= self.len, "range out of bounds");
         range.into_iter().any(|i| self.get(i) != other.get(i))
     }
+
+    /// Extracts `range` as a new bit vector, preserving bit order.
+    ///
+    /// The canonical slicing helper for the toolkit's stimulus/response
+    /// plumbing (splitting a test vector into its PI and scan-chain parts,
+    /// or a response into PO and captured-chain parts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > len()`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.end <= self.len, "slice range out of bounds");
+        range.map(|i| self.get(i)).collect()
+    }
+
+    /// Extracts `range` with the bit order reversed: the *last* bit of the
+    /// range comes out first.
+    ///
+    /// This is the scan-in ordering transform: the content destined for
+    /// chain cells `0..k` must enter the chain with the bit for cell `k-1`
+    /// first, i.e. `rev_slice(offset..offset + k)` of the full vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > len()`.
+    pub fn rev_slice(&self, range: std::ops::Range<usize>) -> BitVec {
+        assert!(range.end <= self.len, "rev_slice range out of bounds");
+        range.rev().map(|i| self.get(i)).collect()
+    }
 }
 
 impl fmt::Debug for BitVec {
@@ -255,6 +284,37 @@ mod tests {
         assert!(a.differs_in(&b, 0..2));
         assert!(a.differs_in(&b, 1..2));
         assert!(!a.differs_in(&b, 2..4));
+    }
+
+    #[test]
+    fn slice_extracts_subranges() {
+        let a = BitVec::from_bools([true, false, true, true, false]);
+        assert_eq!(a.slice(0..5), a);
+        assert_eq!(a.slice(1..4).to_string(), "011");
+        assert_eq!(a.slice(2..2).len(), 0);
+        // Across a word boundary.
+        let mut big = BitVec::zeros(130);
+        big.set(63, true);
+        big.set(64, true);
+        assert_eq!(big.slice(62..66).to_string(), "0110");
+    }
+
+    #[test]
+    fn rev_slice_reverses_bit_order() {
+        let a = BitVec::from_bools([true, false, true, true, false]);
+        assert_eq!(a.rev_slice(0..3).to_string(), "101");
+        assert_eq!(a.rev_slice(1..4).to_string(), "110");
+        assert_eq!(a.rev_slice(0..0).len(), 0);
+        // rev_slice is slice followed by reversal.
+        let fwd: Vec<bool> = a.slice(1..5).iter().collect();
+        let rev: Vec<bool> = a.rev_slice(1..5).iter().collect();
+        assert_eq!(rev, fwd.into_iter().rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_range_panics() {
+        BitVec::zeros(4).slice(2..5);
     }
 
     #[test]

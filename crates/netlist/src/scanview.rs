@@ -31,6 +31,16 @@ pub struct ScanView {
     order: Vec<GateId>,
     /// For each gate (dense index): its topological level; sources get 0.
     level: Vec<u32>,
+    /// CSR index into `cf_data`: `cf_data[cf_index[g]..cf_index[g+1]]` are
+    /// the deduplicated *combinational* consumers of gate `g` (sequential
+    /// DFF edges filtered out, multi-pin consumers listed once).
+    cf_index: Vec<u32>,
+    cf_data: Vec<GateId>,
+    /// CSR index into `cone_data`: `cone_data[cone_index[i]..cone_index[i+1]]`
+    /// is the transitive combinational fanout cone of input `i`, in
+    /// topological order.
+    cone_index: Vec<u32>,
+    cone_data: Vec<GateId>,
 }
 
 impl ScanView {
@@ -88,6 +98,65 @@ impl ScanView {
             .map(|&ff| netlist.gate(ff).fanin()[0])
             .collect();
 
+        // Deduplicated combinational fanout, CSR form. The raw
+        // `Netlist::fanout` lists one (consumer, pin) pair per connection;
+        // event-driven simulation only needs each combinational consumer
+        // once, with sequential DFF edges filtered out.
+        let mut seen = vec![0u32; n];
+        let mut cf_index = Vec::with_capacity(n + 1);
+        let mut cf_data: Vec<GateId> = Vec::new();
+        cf_index.push(0u32);
+        for id in netlist.gate_ids() {
+            let stamp = id.index() as u32 + 1;
+            for &(consumer, _pin) in netlist.fanout(id) {
+                let ci = consumer.index();
+                if netlist.gate(consumer).kind().is_combinational() && seen[ci] != stamp {
+                    seen[ci] = stamp;
+                    cf_data.push(consumer);
+                }
+            }
+            cf_index.push(cf_data.len() as u32);
+        }
+
+        // Transitive fanout cone of every combinational input (PI or scan
+        // cell), stored topologically sorted so a cone can be replayed as a
+        // partial sweep. Total cone size is bounded by inputs × gates but in
+        // practice sits near inputs × average-cone (≈400k entries on the
+        // largest built-in profile), cheap enough to precompute eagerly.
+        let mut pos = vec![0u32; n];
+        for (t, &id) in order.iter().enumerate() {
+            pos[id.index()] = t as u32;
+        }
+        let input_count = netlist.inputs.len() + netlist.dffs.len();
+        let mut mark = vec![0u32; n];
+        let mut cone_index = Vec::with_capacity(input_count + 1);
+        let mut cone_data: Vec<GateId> = Vec::new();
+        let mut stack: Vec<GateId> = Vec::new();
+        cone_index.push(0u32);
+        for i in 0..input_count {
+            let stamp = i as u32 + 1;
+            let src = if i < netlist.inputs.len() {
+                netlist.inputs[i]
+            } else {
+                netlist.dffs[i - netlist.inputs.len()]
+            };
+            let start = cone_data.len();
+            stack.push(src);
+            while let Some(g) = stack.pop() {
+                let gi = g.index();
+                let fans = &cf_data[cf_index[gi] as usize..cf_index[gi + 1] as usize];
+                for &c in fans {
+                    if mark[c.index()] != stamp {
+                        mark[c.index()] = stamp;
+                        cone_data.push(c);
+                        stack.push(c);
+                    }
+                }
+            }
+            cone_data[start..].sort_unstable_by_key(|g| pos[g.index()]);
+            cone_index.push(cone_data.len() as u32);
+        }
+
         Ok(ScanView {
             pis: netlist.inputs.clone(),
             ppis: netlist.dffs.clone(),
@@ -95,6 +164,10 @@ impl ScanView {
             ppos,
             order,
             level,
+            cf_index,
+            cf_data,
+            cone_index,
+            cone_data,
         })
     }
 
@@ -196,6 +269,43 @@ impl ScanView {
         self.level.iter().copied().max().unwrap_or(0)
     }
 
+    /// The deduplicated combinational consumers of a gate — the fanout with
+    /// sequential (DFF) edges removed and multi-pin consumers listed once.
+    ///
+    /// This is the edge relation of event-driven incremental simulation: a
+    /// changed signal can only affect these gates within the same sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from the same netlist.
+    pub fn comb_fanout(&self, id: GateId) -> &[GateId] {
+        let gi = id.index();
+        &self.cf_data[self.cf_index[gi] as usize..self.cf_index[gi + 1] as usize]
+    }
+
+    /// The transitive combinational fanout cone of combinational input `i`
+    /// (PI-then-PPI convention), in topological order.
+    ///
+    /// Every gate whose value can depend on input `i` is in this slice; its
+    /// length bounds the re-evaluation work a single-input change can cause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= input_count()`.
+    pub fn input_cone(&self, i: usize) -> &[GateId] {
+        &self.cone_data[self.cone_index[i] as usize..self.cone_index[i + 1] as usize]
+    }
+
+    /// The transitive combinational fanout cone of scan cell `cell`
+    /// (equivalent to `input_cone(pi_count() + cell)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= ppi_count()`.
+    pub fn scan_cell_cone(&self, cell: usize) -> &[GateId] {
+        self.input_cone(self.pis.len() + cell)
+    }
+
     /// The combinational-input index of a gate if it is a PI or PPI.
     pub fn input_index_of(&self, id: GateId) -> Option<usize> {
         self.pis.iter().position(|&g| g == id).or_else(|| {
@@ -261,6 +371,55 @@ mod tests {
         let v = n.scan_view().unwrap();
         assert_eq!(v.input_index_of(n.find("b").unwrap()), Some(1));
         assert_eq!(v.input_index_of(n.find("F").unwrap()), None);
+    }
+
+    #[test]
+    fn comb_fanout_filters_sequential_edges_and_dedups() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        // b feeds D and E (combinational); its own DFF capture edge (E -> b)
+        // must not appear as fanout of E.
+        let names = |gates: &[crate::GateId]| -> Vec<&str> {
+            gates.iter().map(|&g| n.gate_name(g)).collect()
+        };
+        let mut b_fan = names(v.comb_fanout(n.find("b").unwrap()));
+        b_fan.sort_unstable();
+        assert_eq!(b_fan, vec!["D", "E"]);
+        assert_eq!(names(v.comb_fanout(n.find("E").unwrap())), vec!["F"]);
+        assert!(v.comb_fanout(n.find("F").unwrap()).is_empty());
+
+        // A consumer with the same signal on two pins appears once.
+        let mut bb = NetlistBuilder::new("dup");
+        bb.add_input("a").unwrap();
+        bb.add_gate("y", GateKind::And, &["a", "a"]).unwrap();
+        bb.mark_output("y").unwrap();
+        let nd = bb.build().unwrap();
+        let vd = nd.scan_view().unwrap();
+        assert_eq!(vd.comb_fanout(nd.find("a").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn input_cones_are_transitive_and_topological() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let cone_names =
+            |i: usize| -> Vec<&str> { v.input_cone(i).iter().map(|&g| n.gate_name(g)).collect() };
+        // b reaches D, E and (through both) F; topological order puts F last.
+        let b_cone = cone_names(1);
+        assert_eq!(b_cone.len(), 3);
+        assert_eq!(*b_cone.last().unwrap(), "F");
+        // a reaches only D then F; c reaches only E then F.
+        assert_eq!(cone_names(0), vec!["D", "F"]);
+        assert_eq!(cone_names(2), vec!["E", "F"]);
+        // fig1 is all-PPI, so scan_cell_cone is the same table.
+        assert_eq!(v.scan_cell_cone(1), v.input_cone(1));
+        // Cones are topologically sorted (level never decreases).
+        for i in 0..v.input_count() {
+            let cone = v.input_cone(i);
+            for w in cone.windows(2) {
+                assert!(v.level(w[0]) <= v.level(w[1]));
+            }
+        }
     }
 
     #[test]

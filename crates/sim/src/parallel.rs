@@ -1,5 +1,7 @@
-//! 64-slot bit-parallel two-valued simulation with per-slot injections.
+//! 64-slot bit-parallel two-valued simulation with per-slot injections,
+//! with an event-driven incremental mode over a seeded baseline.
 
+use tvs_exec::Counter;
 use tvs_logic::BitVec;
 use tvs_netlist::{GateId, GateKind, Netlist, ScanView};
 
@@ -67,6 +69,22 @@ pub struct ParallelSim<'a> {
     inj_flag: Vec<u32>,
     inj_by_gate: Vec<Vec<Injection>>,
     touched: Vec<GateId>,
+    /// Signal words of the seeded baseline sweep (valid iff `base_valid`).
+    base_words: Vec<u64>,
+    base_valid: bool,
+    /// Combinational gates carrying injections in the baseline sweep; they
+    /// must be re-evaluated by every incremental sweep (removing an
+    /// injection changes a gate's function just like adding one).
+    base_inj_gates: Vec<GateId>,
+    /// Gates whose `words` entry diverged from `base_words` in the last
+    /// incremental sweep — the set to restore before the next one.
+    base_dirty: Vec<GateId>,
+    /// Dense per-gate "already enqueued" flag for the event worklist.
+    queued: Vec<bool>,
+    /// Level-indexed worklist buckets (index = topological level).
+    buckets: Vec<Vec<GateId>>,
+    gates_evaluated: Counter,
+    events_saved: Counter,
 }
 
 impl<'a> ParallelSim<'a> {
@@ -80,6 +98,14 @@ impl<'a> ParallelSim<'a> {
             inj_flag: vec![0; netlist.gate_count()],
             inj_by_gate: Vec::new(),
             touched: Vec::new(),
+            base_words: Vec::new(),
+            base_valid: false,
+            base_inj_gates: Vec::new(),
+            base_dirty: Vec::new(),
+            queued: vec![false; netlist.gate_count()],
+            buckets: vec![Vec::new(); view.depth() as usize + 1],
+            gates_evaluated: tvs_exec::counter("sim.gates_evaluated"),
+            events_saved: tvs_exec::counter("sim.events_saved"),
         }
     }
 
@@ -100,8 +126,168 @@ impl<'a> ParallelSim<'a> {
             self.view.input_count(),
             "input word count must match the scan view"
         );
+        self.base_valid = false;
+        self.index_injections(injections);
 
-        // Index the injections by gate.
+        // Load sources, applying output-stem injections on PIs / scan cells.
+        for (i, &w) in input_words.iter().enumerate() {
+            let gate = self.view.input_gate(i);
+            self.words[gate.index()] = self.source_word(gate, w);
+        }
+
+        // Levelized sweep.
+        for &id in self.view.order() {
+            self.words[id.index()] = self.gate_word(id);
+        }
+        self.gates_evaluated.add(self.view.order().len() as u64);
+
+        self.read_outputs();
+    }
+
+    /// Runs one full sweep and records it as the **baseline** for subsequent
+    /// [`eval_incremental`](Self::eval_incremental) calls.
+    pub fn seed_baseline(&mut self, input_words: &[u64], injections: &[Injection]) {
+        self.eval(input_words, injections);
+        self.base_words.clone_from(&self.words);
+        self.base_inj_gates.clear();
+        for inj in injections {
+            if self.netlist.gate(inj.gate).kind().is_combinational() {
+                self.base_inj_gates.push(inj.gate);
+            }
+        }
+        self.base_dirty.clear();
+        self.base_valid = true;
+    }
+
+    /// Whether a baseline sweep is currently seeded.
+    pub fn has_baseline(&self) -> bool {
+        self.base_valid
+    }
+
+    /// Runs one sweep **incrementally** against the seeded baseline: only
+    /// the fanout cones of sources whose stimulus words changed and of gates
+    /// whose injection set changed (in this call or the baseline) are
+    /// re-evaluated; exact value equality stops propagation early.
+    ///
+    /// The results (readable through [`word`](Self::word) /
+    /// [`output_word`](Self::output_word)) are bit-identical to a full
+    /// [`eval`](Self::eval) with the same arguments — the sweep is a pure
+    /// function of sources and injections, so skipping provably unchanged
+    /// gates cannot alter any value. When the changed inputs' precomputed
+    /// [`ScanView::input_cone`]s already cover the whole core, the kernel
+    /// falls back to a plain full sweep (the worklist would only add
+    /// overhead). The `sim.gates_evaluated` / `sim.events_saved` counter
+    /// pair records how much work each mode performed and avoided.
+    ///
+    /// Falls back to a full (non-baseline) [`eval`](Self::eval) when no
+    /// baseline is seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len() != view.input_count()`, or if an
+    /// injection names an out-of-range pin.
+    pub fn eval_incremental(&mut self, input_words: &[u64], injections: &[Injection]) {
+        if !self.base_valid {
+            self.eval(input_words, injections);
+            return;
+        }
+        assert_eq!(
+            input_words.len(),
+            self.view.input_count(),
+            "input word count must match the scan view"
+        );
+
+        // Restore the signals the previous incremental sweep diverged on:
+        // afterwards `words == base_words` exactly.
+        for i in std::mem::take(&mut self.base_dirty) {
+            self.words[i.index()] = self.base_words[i.index()];
+        }
+        self.index_injections(injections);
+
+        // Pass 1: find changed sources and bound the event-path work by
+        // their precomputed fanout cones. (Injection-induced work is not in
+        // the estimate; injection cones are small and the bound stays a
+        // heuristic for choosing the cheaper mode, never a correctness
+        // input.)
+        let mut changed: Vec<(GateId, u64)> = Vec::new();
+        let mut cone_bound = 0usize;
+        for (i, &w) in input_words.iter().enumerate() {
+            let gate = self.view.input_gate(i);
+            let eff = self.source_word(gate, w);
+            if eff != self.words[gate.index()] {
+                cone_bound += self.view.input_cone(i).len();
+                changed.push((gate, eff));
+            }
+        }
+
+        let total = self.view.order().len();
+        if cone_bound >= total {
+            // Full-sweep fallback, still tracking divergence from the
+            // baseline so the next incremental call can restore it.
+            for (gate, eff) in changed {
+                self.words[gate.index()] = eff;
+                self.base_dirty.push(gate);
+            }
+            for &id in self.view.order() {
+                let out = self.gate_word(id);
+                if out != self.base_words[id.index()] {
+                    self.base_dirty.push(id);
+                }
+                self.words[id.index()] = out;
+            }
+            self.gates_evaluated.add(total as u64);
+            self.read_outputs();
+            return;
+        }
+
+        // Seed the worklist: fanout of changed sources, plus every
+        // combinational gate whose injection set differs from the baseline.
+        for &(gate, eff) in &changed {
+            self.words[gate.index()] = eff;
+            self.base_dirty.push(gate);
+            self.enqueue_fanout(gate);
+        }
+        for inj in injections {
+            if self.netlist.gate(inj.gate).kind().is_combinational() {
+                self.enqueue(inj.gate);
+            }
+        }
+        let base_inj = std::mem::take(&mut self.base_inj_gates);
+        for &g in &base_inj {
+            self.enqueue(g);
+        }
+        self.base_inj_gates = base_inj;
+
+        // Drain buckets in increasing level order: every fanin of a level-n
+        // gate is final once levels < n are drained, so one visit per gate
+        // suffices and exact equality suppresses further propagation.
+        let mut evaluated = 0u64;
+        for lvl in 1..self.buckets.len() {
+            let mut bucket = std::mem::take(&mut self.buckets[lvl]);
+            for &id in &bucket {
+                self.queued[id.index()] = false;
+                let out = self.gate_word(id);
+                evaluated += 1;
+                if out != self.words[id.index()] {
+                    self.words[id.index()] = out;
+                    if out != self.base_words[id.index()] {
+                        self.base_dirty.push(id);
+                    }
+                    self.enqueue_fanout(id);
+                }
+            }
+            bucket.clear();
+            self.buckets[lvl] = bucket;
+        }
+        self.gates_evaluated.add(evaluated);
+        self.events_saved.add(total as u64 - evaluated);
+
+        self.read_outputs();
+    }
+
+    /// Indexes `injections` by gate into `inj_flag` / `inj_by_gate`,
+    /// lazily clearing the previous call's flags.
+    fn index_injections(&mut self, injections: &[Injection]) {
         for &id in &self.touched {
             self.inj_flag[id.index()] = 0;
         }
@@ -116,41 +302,58 @@ impl<'a> ParallelSim<'a> {
             }
             self.inj_by_gate[(self.inj_flag[gi] - 1) as usize].push(inj);
         }
+    }
 
-        // Load sources, applying output-stem injections on PIs / scan cells.
-        for (i, &w) in input_words.iter().enumerate() {
-            let gate = self.view.input_gate(i);
-            let mut w = w;
-            if self.inj_flag[gate.index()] != 0 {
-                for inj in &self.inj_by_gate[(self.inj_flag[gate.index()] - 1) as usize] {
-                    if inj.pin.is_none() {
-                        w = apply(w, inj.stuck, inj.slots);
-                    }
+    /// A source gate's effective word: the stimulus with any output-stem
+    /// injections of the current call applied.
+    fn source_word(&self, gate: GateId, stimulus: u64) -> u64 {
+        let mut w = stimulus;
+        if self.inj_flag[gate.index()] != 0 {
+            for inj in &self.inj_by_gate[(self.inj_flag[gate.index()] - 1) as usize] {
+                if inj.pin.is_none() {
+                    w = apply(w, inj.stuck, inj.slots);
                 }
             }
-            self.words[gate.index()] = w;
         }
+        w
+    }
 
-        // Levelized sweep.
-        for &id in self.view.order() {
-            let gate = self.netlist.gate(id);
-            let flag = self.inj_flag[id.index()];
-            let out = if flag == 0 {
-                eval_plain(gate.kind(), gate.fanin(), &self.words)
-            } else {
-                let injs = &self.inj_by_gate[(flag - 1) as usize];
-                let mut out = eval_injected(gate.kind(), gate.fanin(), &self.words, injs);
-                for inj in injs {
-                    if inj.pin.is_none() {
-                        out = apply(out, inj.stuck, inj.slots);
-                    }
+    /// Evaluates one combinational gate from the current `words`, honouring
+    /// the current call's injections.
+    fn gate_word(&self, id: GateId) -> u64 {
+        let gate = self.netlist.gate(id);
+        let flag = self.inj_flag[id.index()];
+        if flag == 0 {
+            eval_plain(gate.kind(), gate.fanin(), &self.words)
+        } else {
+            let injs = &self.inj_by_gate[(flag - 1) as usize];
+            let mut out = eval_injected(gate.kind(), gate.fanin(), &self.words, injs);
+            for inj in injs {
+                if inj.pin.is_none() {
+                    out = apply(out, inj.stuck, inj.slots);
                 }
-                out
-            };
-            self.words[id.index()] = out;
+            }
+            out
         }
+    }
 
-        // Read outputs; DFF input-pin injections hit the captured PPO value.
+    #[inline]
+    fn enqueue(&mut self, id: GateId) {
+        if !self.queued[id.index()] {
+            self.queued[id.index()] = true;
+            self.buckets[self.view.level(id) as usize].push(id);
+        }
+    }
+
+    fn enqueue_fanout(&mut self, id: GateId) {
+        let view = self.view;
+        for &c in view.comb_fanout(id) {
+            self.enqueue(c);
+        }
+    }
+
+    /// Reads outputs; DFF input-pin injections hit the captured PPO value.
+    fn read_outputs(&mut self) {
         for o in 0..self.view.output_count() {
             let driver = self.view.output_gate(o);
             let mut w = self.words[driver.index()];
@@ -377,6 +580,95 @@ mod tests {
         assert_eq!(sim.output_slot(0).to_string(), "011");
         sim.eval(&[0b1, 0b1, 0b0], &[]);
         assert_eq!(sim.output_slot(0).to_string(), "111");
+    }
+
+    #[test]
+    fn incremental_matches_full_eval_on_random_deltas() {
+        use tvs_logic::Prng;
+
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut inc = ParallelSim::new(&n, &v);
+        let mut full = ParallelSim::new(&n, &v);
+        let mut rng = Prng::seed_from_u64(0x17C0);
+        let base = [0x5555u64, 0x00FF, 0xF0F0];
+        inc.seed_baseline(&base, &[]);
+        let all: Vec<GateId> = n.gate_ids().collect();
+        for round in 0..64 {
+            // Mutate a random subset of inputs and inject a random fault.
+            let mut words = base;
+            for w in &mut words {
+                if rng.next_bool() {
+                    *w ^= 1u64 << rng.gen_range(0..64);
+                }
+            }
+            let injections = if round % 3 == 0 {
+                vec![]
+            } else {
+                vec![Injection {
+                    gate: all[rng.gen_range(0..all.len())],
+                    pin: None,
+                    stuck: rng.next_bool(),
+                    slots: rng.next_u64(),
+                }]
+            };
+            inc.eval_incremental(&words, &injections);
+            full.eval(&words, &injections);
+            for &id in &all {
+                assert_eq!(inc.word(id), full.word(id), "round {round}");
+            }
+            for o in 0..v.output_count() {
+                assert_eq!(inc.output_word(o), full.output_word(o), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_reverts_removed_injections() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        let f = n.find("F").unwrap();
+        let inj = Injection {
+            gate: f,
+            pin: None,
+            stuck: false,
+            slots: !0,
+        };
+        // Baseline carries the injection; the incremental sweep removes it.
+        sim.seed_baseline(&[!0, !0, 0], &[inj]);
+        assert_eq!(sim.output_word(0), 0);
+        sim.eval_incremental(&[!0, !0, 0], &[]);
+        assert_eq!(sim.output_word(0), !0, "removed injection must revert");
+        sim.eval_incremental(&[!0, !0, 0], &[inj]);
+        assert_eq!(sim.output_word(0), 0, "re-added injection must apply");
+    }
+
+    #[test]
+    fn identical_incremental_call_changes_nothing_and_saves_events() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        sim.seed_baseline(&[0b01, 0b11, 0b10], &[]);
+        let before: Vec<u64> = (0..v.output_count()).map(|o| sim.output_word(o)).collect();
+        sim.eval_incremental(&[0b01, 0b11, 0b10], &[]);
+        let after: Vec<u64> = (0..v.output_count()).map(|o| sim.output_word(o)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn incremental_without_baseline_falls_back_to_full() {
+        let n = fig1();
+        let v = n.scan_view().unwrap();
+        let mut sim = ParallelSim::new(&n, &v);
+        assert!(!sim.has_baseline());
+        sim.eval_incremental(&[!0, !0, 0], &[]);
+        assert_eq!(sim.output_word(0), !0);
+        sim.seed_baseline(&[!0, !0, 0], &[]);
+        assert!(sim.has_baseline());
+        // A plain eval invalidates the baseline.
+        sim.eval(&[0, 0, 0], &[]);
+        assert!(!sim.has_baseline());
     }
 
     #[test]

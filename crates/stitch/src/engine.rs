@@ -1,271 +1,25 @@
 //! The stitched test generation engine (the paper's Fig. 2 flow).
+//!
+//! This module is a thin facade: it owns the immutable per-circuit context
+//! (netlist, scan view, scan chain, collapsed fault list) and hands it to
+//! the staged cycle pipeline:
+//!
+//! * [`config`](crate::config) — [`StitchConfig`](crate::StitchConfig) and
+//!   the snapshot fingerprint;
+//! * [`state`](crate::state) — the mutable `RunState` with its
+//!   checkpoint/restore glue and the persistent simulation session;
+//! * [`vector`](crate::vector) — constraint cube, target ordering,
+//!   candidate generation and greedy scoring;
+//! * [`cycle`](crate::cycle) — shift/apply/classify of one stitched cycle;
+//! * [`run`](crate::run) — the driver loop, termination taxonomy and
+//!   report assembly;
+//! * [`replay`](crate::replay) — Table 1 reproduction on a fixed schedule.
 
-use std::collections::{BTreeSet, VecDeque};
-use std::error::Error;
-use std::fmt;
+use tvs_fault::FaultList;
+use tvs_netlist::{Netlist, ScanView};
+use tvs_scan::ScanChain;
 
-use tvs_exec::{inject, Budget, TaskPanic, ThreadPool};
-use tvs_logic::{BitVec, Cube, Logic, Prng};
-use tvs_netlist::{Netlist, NetlistError, ScanView};
-
-use tvs_atpg::{generate_tests, AtpgConfig, Podem, PodemConfig, PodemResult};
-use tvs_fault::{detect_parallel, Fault, FaultList, FaultSim, Scoap, SlotSpec};
-use tvs_scan::{CaptureTransform, CostModel, ObserveTransform, ScanChain};
-
-use crate::snapshot::{fnv1a, FaultEntry, Snapshot, SnapshotError};
-use crate::{
-    Classification, CompressionMetrics, CycleRecord, FaultSets, FaultState, SelectionStrategy,
-    ShiftPolicy,
-};
-
-/// Configuration of a stitched test generation run.
-#[derive(Debug, Clone)]
-pub struct StitchConfig {
-    /// Shift-size policy (paper §6.1).
-    pub policy: ShiftPolicy,
-    /// Vector-selection strategy (paper §6.3).
-    pub selection: SelectionStrategy,
-    /// Capture transform (paper §6.2, VXOR).
-    pub capture: CaptureTransform,
-    /// Observation transform (paper §6.2, HXOR).
-    pub observe: ObserveTransform,
-    /// Seed for everything random (fill, random ordering).
-    pub seed: u64,
-    /// PODEM settings for constrained generation.
-    pub podem: PodemConfig,
-    /// Upper bound on constrained-ATPG attempts per cycle (failures are
-    /// cached per shift size, so the engine normally scans the whole of
-    /// `f_u` before declaring a shift size exhausted).
-    pub max_targets_per_cycle: usize,
-    /// How many candidate vectors the greedy strategies score per cycle.
-    pub candidates: usize,
-    /// Absolute cap on stitched cycles (safety valve).
-    pub max_cycles: usize,
-    /// Consecutive zero-catch cycles tolerated before the current shift
-    /// size is treated as exhausted.
-    pub stagnation_limit: usize,
-    /// Window (in cycles) for the marginal-efficiency check: when the
-    /// recent catches-per-memory-bit rate falls below the baseline flow's
-    /// overall rate times [`efficiency_margin`](Self::efficiency_margin),
-    /// the current shift size is treated as exhausted — the compacted
-    /// fallback is the cheaper tool past that point.
-    pub efficiency_window: usize,
-    /// Discount on the baseline rate used by the marginal-efficiency check;
-    /// below 1 because the fallback's *marginal* productivity on the
-    /// leftover hard faults is well below the baseline's average.
-    pub efficiency_margin: f64,
-    /// Baseline ATPG settings (the `aTV` reference run).
-    pub baseline: AtpgConfig,
-    /// Optional work budget in deterministic work units (PODEM backtracks,
-    /// simulation slots, stitch cycles — never wall clock, which would break
-    /// determinism). Checked at stage boundaries; an exhausted budget ends
-    /// the run early with a valid partial program and
-    /// [`Termination::BudgetExhausted`] carrying the residual `f_u`.
-    pub budget: Option<u64>,
-    /// Worker threads for the parallelizable stages (prescreen verdicts,
-    /// candidate scoring, classification sweeps). `1` (the default) runs
-    /// everything on the calling thread; any value produces bit-identical
-    /// results — parallel stages reduce in input order (DESIGN.md §6.4).
-    pub threads: usize,
-}
-
-impl Default for StitchConfig {
-    fn default() -> Self {
-        StitchConfig {
-            policy: ShiftPolicy::default(),
-            selection: SelectionStrategy::default(),
-            capture: CaptureTransform::default(),
-            observe: ObserveTransform::default(),
-            seed: 0x5717C4,
-            podem: PodemConfig::default(),
-            max_targets_per_cycle: 192,
-            candidates: 8,
-            max_cycles: 4096,
-            stagnation_limit: 6,
-            efficiency_window: 6,
-            efficiency_margin: 0.5,
-            baseline: AtpgConfig::default(),
-            budget: None,
-            threads: 1,
-        }
-    }
-}
-
-/// Errors from the stitching engine.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum StitchError {
-    /// The circuit has no flip-flops — nothing to stitch through.
-    NoScanChain,
-    /// The netlist could not be levelized.
-    Netlist(NetlistError),
-    /// A replayed vector's pinned bits disagree with the previous response.
-    ReplayMismatch {
-        /// 0-based cycle index of the offending vector.
-        cycle: usize,
-    },
-    /// A pool worker panicked before any program existed (prescreen), so
-    /// there is nothing to salvage. Mid-run panics instead end the run with
-    /// [`Termination::WorkerPanic`] and a partial program.
-    WorkerPanic {
-        /// Stringified panic payload of the failed work item.
-        message: String,
-    },
-    /// A resume snapshot was rejected.
-    Snapshot(SnapshotError),
-}
-
-impl fmt::Display for StitchError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StitchError::NoScanChain => write!(f, "circuit has no scan chain"),
-            StitchError::Netlist(e) => write!(f, "netlist error: {e}"),
-            StitchError::ReplayMismatch { cycle } => write!(
-                f,
-                "replayed vector {cycle} conflicts with the retained response bits"
-            ),
-            StitchError::WorkerPanic { message } => {
-                write!(f, "worker panicked during the prescreen: {message}")
-            }
-            StitchError::Snapshot(e) => write!(f, "snapshot error: {e}"),
-        }
-    }
-}
-
-impl Error for StitchError {}
-
-impl From<NetlistError> for StitchError {
-    fn from(e: NetlistError) -> Self {
-        StitchError::Netlist(e)
-    }
-}
-
-impl From<SnapshotError> for StitchError {
-    fn from(e: SnapshotError) -> Self {
-        StitchError::Snapshot(e)
-    }
-}
-
-/// How a stitched run ended.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Termination {
-    /// The flow ran to its natural end, fallback phase included.
-    Complete,
-    /// The work budget ran out at a stage boundary. The report's cycles and
-    /// extra vectors form a valid (lint-clean) partial program.
-    BudgetExhausted {
-        /// Faults still in `f_u` when the run stopped.
-        residual: Vec<Fault>,
-    },
-    /// A worker panicked mid-run. The cycles recorded before the failed
-    /// stage form a valid partial program; the panic payload is preserved.
-    WorkerPanic {
-        /// Stringified panic payload of the lowest-index failed work item
-        /// (deterministic at any thread count).
-        message: String,
-        /// Faults still in `f_u` when the run stopped.
-        residual: Vec<Fault>,
-    },
-}
-
-/// Resume/checkpoint options for [`StitchEngine::run_with`].
-#[derive(Default)]
-pub struct RunOptions<'cb> {
-    /// Resume from a previously captured snapshot instead of starting
-    /// fresh (the prescreen is skipped; its outcome is in the snapshot).
-    pub resume: Option<Snapshot>,
-    /// Emit a checkpoint every this many applied cycles (`0` = never).
-    pub checkpoint_every: usize,
-    /// Receives each emitted checkpoint; the caller persists it.
-    pub on_checkpoint: Option<&'cb mut dyn FnMut(Snapshot)>,
-}
-
-/// Why a run stopped before its natural end.
-enum StopCause {
-    Budget,
-    Worker(TaskPanic),
-}
-
-/// Fingerprint of the semantic configuration fields, for snapshot
-/// compatibility checks: everything that shapes the result stream except
-/// `threads` (results are thread-count independent by construction) and
-/// `budget` (a resumed run may receive a fresh allowance).
-fn config_fingerprint(cfg: &StitchConfig) -> u64 {
-    let text = format!(
-        "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{}|{}|{:016x}|{:?}",
-        cfg.policy,
-        cfg.selection,
-        cfg.capture,
-        cfg.observe,
-        cfg.seed,
-        cfg.podem,
-        cfg.max_targets_per_cycle,
-        cfg.candidates,
-        cfg.max_cycles,
-        cfg.stagnation_limit,
-        cfg.efficiency_window,
-        cfg.efficiency_margin.to_bits(),
-        cfg.baseline,
-    );
-    fnv1a(text.as_bytes())
-}
-
-/// The full outcome of a stitched run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StitchReport {
-    /// Per-cycle records (first entry is the initial full shift-in).
-    pub cycles: Vec<CycleRecord>,
-    /// The shift sizes, `cycles[i].shift` collected for cost accounting.
-    pub shifts: Vec<usize>,
-    /// The closing flush length the engine decided on.
-    pub final_flush: usize,
-    /// Fallback full-shift vectors appended at the end.
-    pub extra_vectors: Vec<BitVec>,
-    /// Faults proven redundant (by unconstrained ATPG in the fallback).
-    pub redundant: Vec<Fault>,
-    /// Faults the fallback ATPG aborted on.
-    pub aborted: Vec<Fault>,
-    /// The headline `TV / ex / m / t` numbers.
-    pub metrics: CompressionMetrics,
-    /// Hidden-fault lifecycle counters `(entered, converted to caught,
-    /// erased back to uncaught)` — the dynamics of the paper's §6.2.
-    pub hidden_transitions: (usize, usize, usize),
-    /// How the run ended: complete, out of budget, or a worker panic —
-    /// the latter two still salvage a valid partial program.
-    pub termination: Termination,
-}
-
-/// One cycle of a [`replay`](StitchEngine::replay): the fault-free vector
-/// and response.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReplayCycle {
-    /// The intended (fault-free) stimulus, PIs then chain cells.
-    pub vector: BitVec,
-    /// The fault-free outputs, POs then captured chain cells.
-    pub response: BitVec,
-}
-
-/// One fault's row in a [`ReplayTrace`] — the paper's Table 1 rows.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReplayRow {
-    /// The fault.
-    pub fault: Fault,
-    /// Per cycle (until caught): the stimulus this faulty machine actually
-    /// received and the response it produced.
-    pub entries: Vec<ReplayCycle>,
-    /// The 0-based cycle at which the fault's effect reached the tester,
-    /// `None` if it never did (redundant or unlucky).
-    pub caught_at: Option<usize>,
-}
-
-/// The outcome of replaying a fixed vector schedule (reproduces Table 1).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReplayTrace {
-    /// Fault-free behaviour per cycle.
-    pub cycles: Vec<ReplayCycle>,
-    /// One row per tracked fault.
-    pub rows: Vec<ReplayRow>,
-}
+use crate::run::StitchError;
 
 /// The stitched test generation engine.
 ///
@@ -292,10 +46,10 @@ pub struct ReplayTrace {
 /// ```
 #[derive(Debug)]
 pub struct StitchEngine<'a> {
-    netlist: &'a Netlist,
-    view: ScanView,
-    chain: ScanChain,
-    faults: FaultList,
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) view: ScanView,
+    pub(crate) chain: ScanChain,
+    pub(crate) faults: FaultList,
 }
 
 impl<'a> StitchEngine<'a> {
@@ -328,1561 +82,5 @@ impl<'a> StitchEngine<'a> {
     /// The collapsed fault list the engine tracks.
     pub fn faults(&self) -> &FaultList {
         &self.faults
-    }
-
-    /// Runs stitched test generation end to end and reports the paper's
-    /// metrics.
-    ///
-    /// # Errors
-    ///
-    /// Propagates netlist errors from the baseline ATPG run.
-    pub fn run(&self, config: &StitchConfig) -> Result<StitchReport, StitchError> {
-        self.run_with(config, RunOptions::default())
-    }
-
-    /// Runs stitched test generation with resume/checkpoint control.
-    ///
-    /// A run resumed from a snapshot emitted by `opts.on_checkpoint` is
-    /// **bit-identical** to one that never stopped, at any thread count:
-    /// snapshots capture state (fault sets, program, PRNG, budget cursor),
-    /// never timing.
-    ///
-    /// # Errors
-    ///
-    /// [`StitchError::Snapshot`] when `opts.resume` belongs to a different
-    /// netlist or configuration, [`StitchError::WorkerPanic`] when a worker
-    /// dies before any program exists (prescreen), plus the [`run`] errors.
-    ///
-    /// [`run`]: Self::run
-    pub fn run_with(
-        &self,
-        config: &StitchConfig,
-        mut opts: RunOptions<'_>,
-    ) -> Result<StitchReport, StitchError> {
-        let _timer = tvs_exec::span("stitch.run");
-        let mut run = match opts.resume.take() {
-            Some(snapshot) => RunState::resume(self, config, snapshot)?,
-            None => RunState::new(self, config)?,
-        };
-        let l = self.chain.length();
-        let baseline_rate = run.baseline_rate();
-
-        // Cycle 1: a conventional full shift-in, but chosen by the same
-        // selection machinery (constraint-free). Skipped on resume — the
-        // snapshot already contains it.
-        if run.cycles.is_empty() && run.sets.uncaught_count() > 0 && !run.budget.exhausted() {
-            match run.select_vector(l, true) {
-                Ok(Some(vector)) => {
-                    if let Err(panic) = run.apply_cycle(l, &vector, true) {
-                        run.stop = Some(StopCause::Worker(panic));
-                    }
-                }
-                Ok(None) => {}
-                Err(panic) => run.stop = Some(StopCause::Worker(panic)),
-            }
-        }
-
-        // A stitched cycle can only ride on a loaded chain: if the opening
-        // full shift-in could not be selected at all (e.g. a PODEM abort
-        // storm), skip the stitched phase and leave everything to the
-        // fallback so `shifts[0] == L` holds for every emitted program.
-        while run.stop.is_none()
-            && !run.cycles.is_empty()
-            && run.sets.uncaught_count() > 0
-            && run.cycles.len() < config.max_cycles
-        {
-            // Stage boundary: the budget is only ever checked here, so a
-            // stage that crosses the line completes before the run stops.
-            if run.budget.exhausted() {
-                run.stop = Some(StopCause::Budget);
-                break;
-            }
-            if run.shift_exhausted(baseline_rate) {
-                if std::env::var_os("TVS_DEBUG").is_some() {
-                    eprintln!(
-                        "[tvs] escalate from k={}: cycles={} caught={} hidden={} uncaught={}",
-                        run.k,
-                        run.cycles.len(),
-                        run.sets.caught_count(),
-                        run.sets.hidden_count(),
-                        run.sets.uncaught_count()
-                    );
-                }
-                match config.policy.escalate(l, run.k) {
-                    Some(next) => {
-                        run.k = next;
-                        run.stagnant = 0;
-                        run.select_failed = false;
-                        run.window.clear();
-                        run.failed_targets.clear();
-                    }
-                    None => break,
-                }
-            }
-            let k = run.k;
-            match run.select_vector(k, false) {
-                Ok(Some(vector)) => {
-                    if let Err(panic) = run.apply_cycle(k, &vector, false) {
-                        run.stop = Some(StopCause::Worker(panic));
-                        break;
-                    }
-                    let caught = run.cycles.last().map(|c| c.newly_caught).unwrap_or(0);
-                    if caught == 0 {
-                        run.stagnant += 1;
-                    } else {
-                        run.stagnant = 0;
-                    }
-                    run.window.push_back((caught, run.cycle_cost(k)));
-                    if run.window.len() > config.efficiency_window {
-                        run.window.pop_front();
-                    }
-                    if opts.checkpoint_every > 0 && run.cycles.len() % opts.checkpoint_every == 0 {
-                        if let Some(cb) = opts.on_checkpoint.as_mut() {
-                            cb(run.snapshot());
-                        }
-                    }
-                }
-                Ok(None) => run.select_failed = true,
-                Err(panic) => {
-                    run.stop = Some(StopCause::Worker(panic));
-                    break;
-                }
-            }
-        }
-
-        run.finish()
-    }
-
-    /// Replays a fixed schedule of vectors (reproducing the paper's
-    /// Table 1): every collapsed fault is tracked through each cycle until
-    /// its effect reaches the tester.
-    ///
-    /// `vectors[i]` is the full intended stimulus (PIs then chain cells) of
-    /// cycle `i`; `shifts[i]` the bits shifted before applying it
-    /// (`shifts[0]` must equal the scan length); `final_flush` the closing
-    /// observation shift.
-    ///
-    /// # Errors
-    ///
-    /// [`StitchError::ReplayMismatch`] if a vector's retained chain bits do
-    /// not equal the shifted previous response — such a schedule is
-    /// physically impossible to apply.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `vectors` and `shifts` have different lengths or a vector
-    /// has the wrong width.
-    pub fn replay(
-        &self,
-        vectors: &[BitVec],
-        shifts: &[usize],
-        final_flush: usize,
-        config: &StitchConfig,
-    ) -> Result<ReplayTrace, StitchError> {
-        assert_eq!(vectors.len(), shifts.len(), "one shift size per vector");
-        assert!(!vectors.is_empty(), "at least one vector");
-        assert_eq!(
-            shifts[0],
-            self.chain.length(),
-            "first vector is a full shift"
-        );
-        let p = self.view.pi_count();
-        let l = self.chain.length();
-        let q = self.view.po_count();
-        for v in vectors {
-            assert_eq!(v.len(), p + l, "vector width must be PIs + scan cells");
-        }
-
-        let mut fsim = FaultSim::new(self.netlist, &self.view);
-        let n_faults = self.faults.len();
-
-        // Good machine first: validate the schedule and precompute images.
-        let mut good_cycles: Vec<ReplayCycle> = Vec::new();
-        let mut good_images: Vec<BitVec> = Vec::new();
-        let mut image = BitVec::zeros(l);
-        for (i, vector) in vectors.iter().enumerate() {
-            let chain_tv = slice_bits(vector, p..p + l);
-            if i > 0 {
-                // Pinned consistency: retained cells must match the shifted
-                // previous image.
-                let k = shifts[i];
-                let shifted =
-                    self.chain
-                        .shift(&image, &incoming_from_tv(&chain_tv, k), config.observe);
-                if slice_bits(&shifted.new_image, k..l) != slice_bits(&chain_tv, k..l) {
-                    return Err(StitchError::ReplayMismatch { cycle: i });
-                }
-            }
-            let out = fsim.good_outputs(vector);
-            let resp = slice_bits(&out, q..q + l);
-            image = config.capture.capture(&chain_tv, &resp);
-            good_cycles.push(ReplayCycle {
-                vector: vector.clone(),
-                response: out,
-            });
-            good_images.push(image.clone());
-        }
-
-        // Per-fault tracking with one chain image each.
-        let mut rows: Vec<ReplayRow> = self
-            .faults
-            .iter()
-            .map(|&fault| ReplayRow {
-                fault,
-                entries: Vec::new(),
-                caught_at: None,
-            })
-            .collect();
-        let mut images: Vec<BitVec> = vec![BitVec::zeros(l); n_faults];
-
-        for (i, vector) in vectors.iter().enumerate() {
-            let k = shifts[i];
-            let alive: Vec<usize> = (0..n_faults)
-                .filter(|&f| rows[f].caught_at.is_none())
-                .collect();
-            if alive.is_empty() {
-                break;
-            }
-            // Derive each alive fault's stimulus by shifting its own image.
-            let mut stimuli: Vec<BitVec> = Vec::with_capacity(alive.len());
-            let mut shift_caught: Vec<bool> = Vec::with_capacity(alive.len());
-            let good_chain_tv = slice_bits(vector, p..p + l);
-            let incoming = incoming_from_tv(&good_chain_tv, k);
-            for &f in &alive {
-                if i == 0 {
-                    stimuli.push(vector.clone());
-                    shift_caught.push(false);
-                } else {
-                    let good_prev = &good_images[i - 1];
-                    let sh_good = self.chain.shift(good_prev, &incoming, config.observe);
-                    let sh_f = self.chain.shift(&images[f], &incoming, config.observe);
-                    shift_caught.push(sh_f.observed != sh_good.observed);
-                    let mut stim = slice_bits(vector, 0..p);
-                    stim.extend(sh_f.new_image.iter());
-                    stimuli.push(stim);
-                }
-            }
-            // Simulate all alive faulty machines under their own stimuli.
-            let mut outs: Vec<BitVec> = Vec::with_capacity(alive.len());
-            for batch_start in (0..alive.len()).step_by(64) {
-                let end = (batch_start + 64).min(alive.len());
-                let slots: Vec<SlotSpec<'_>> = (batch_start..end)
-                    .map(|j| SlotSpec {
-                        stimulus: &stimuli[j],
-                        fault: Some(self.faults.faults()[alive[j]]),
-                    })
-                    .collect();
-                outs.extend(fsim.run_slots(&slots));
-            }
-            let good_out = &good_cycles[i].response;
-            for (j, &f) in alive.iter().enumerate() {
-                let out = &outs[j];
-                let chain_stim = slice_bits(&stimuli[j], p..p + l);
-                let resp = slice_bits(out, q..q + l);
-                images[f] = config.capture.capture(&chain_stim, &resp);
-                rows[f].entries.push(ReplayCycle {
-                    vector: stimuli[j].clone(),
-                    response: out.clone(),
-                });
-                // Caught this cycle if the shift revealed an older effect,
-                // the POs differ now, or the captured image difference will
-                // be shifted out next cycle (exact lookahead, including the
-                // closing flush).
-                let po_differs = slice_bits(out, 0..q) != slice_bits(good_out, 0..q);
-                let next_k = if i + 1 < shifts.len() {
-                    shifts[i + 1]
-                } else {
-                    final_flush
-                };
-                let next_incoming = if i + 1 < vectors.len() {
-                    incoming_from_tv(&slice_bits(&vectors[i + 1], p..p + l), next_k)
-                } else {
-                    BitVec::zeros(next_k)
-                };
-                let sh_good_next =
-                    self.chain
-                        .shift(&good_images[i], &next_incoming, config.observe);
-                let sh_f_next = self.chain.shift(&images[f], &next_incoming, config.observe);
-                let observed_next = sh_f_next.observed != sh_good_next.observed;
-                if shift_caught[j] || po_differs || observed_next {
-                    rows[f].caught_at = Some(i);
-                }
-            }
-        }
-
-        Ok(ReplayTrace {
-            cycles: good_cycles,
-            rows,
-        })
-    }
-}
-
-/// Mutable state of one `run` invocation.
-struct RunState<'r, 'a> {
-    eng: &'r StitchEngine<'a>,
-    cfg: &'r StitchConfig,
-    pool: ThreadPool,
-    rng: Prng,
-    podem: Podem<'r>,
-    fsim: FaultSim<'r>,
-    scoap: Scoap,
-    sets: FaultSets,
-    good_image: BitVec,
-    cycles: Vec<CycleRecord>,
-    shifts: Vec<usize>,
-    /// Targets that failed constrained ATPG at the current shift size.
-    failed_targets: BTreeSet<usize>,
-    /// Faults prescreened as ATPG-hopeless: never chosen as targets (they
-    /// may still be caught fortuitously).
-    never_target: BTreeSet<usize>,
-    /// Faults proven redundant by the prescreen (excluded from tracking).
-    prescreen_redundant: Vec<Fault>,
-    /// Faults the prescreen PODEM aborted on.
-    prescreen_aborted: Vec<Fault>,
-    /// The baseline pattern set (run up front; needed for the ratios anyway
-    /// and for the marginal-efficiency stop rule).
-    baseline: tvs_atpg::PatternSet,
-    /// The run's work budget (work units, never wall clock).
-    budget: Budget,
-    /// Current shift size.
-    k: usize,
-    /// Consecutive zero-catch cycles at the current shift size.
-    stagnant: usize,
-    /// Whether the last selection at the current shift size found nothing.
-    select_failed: bool,
-    /// Marginal-efficiency window: `(newly_caught, cycle_cost)` per cycle.
-    window: VecDeque<(usize, f64)>,
-    /// Set when the run must stop early (budget or worker panic).
-    stop: Option<StopCause>,
-}
-
-impl<'r, 'a> RunState<'r, 'a> {
-    fn new(eng: &'r StitchEngine<'a>, cfg: &'r StitchConfig) -> Result<Self, StitchError> {
-        let scoap = Scoap::compute(eng.netlist, &eng.view);
-        let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
-            tvs_atpg::AtpgOutcome::Netlist(err) => StitchError::Netlist(err),
-        })?;
-        let mut state = RunState {
-            eng,
-            cfg,
-            pool: ThreadPool::new(cfg.threads),
-            rng: Prng::seed_from_u64(cfg.seed),
-            podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
-            fsim: FaultSim::new(eng.netlist, &eng.view),
-            scoap,
-            sets: FaultSets::new(Vec::new()),
-            good_image: BitVec::zeros(eng.chain.length()),
-            cycles: Vec::new(),
-            shifts: Vec::new(),
-            failed_targets: BTreeSet::new(),
-            never_target: BTreeSet::new(),
-            prescreen_redundant: Vec::new(),
-            prescreen_aborted: Vec::new(),
-            baseline,
-            budget: Budget::from_limit(cfg.budget),
-            k: cfg.policy.initial(eng.chain.length()),
-            stagnant: 0,
-            select_failed: false,
-            window: VecDeque::new(),
-            stop: None,
-        };
-        state.prescreen()?;
-        Ok(state)
-    }
-
-    /// Rebuilds a run's state from a checkpoint snapshot: validates that the
-    /// snapshot belongs to this netlist and configuration, restores the
-    /// fault sets (with every hidden image), the program so far, the PRNG
-    /// stream and the budget cursor. The prescreen is skipped — its outcome
-    /// (redundant/aborted verdicts and the PRNG draws it consumed) is
-    /// already baked into the snapshot.
-    fn resume(
-        eng: &'r StitchEngine<'a>,
-        cfg: &'r StitchConfig,
-        snap: Snapshot,
-    ) -> Result<Self, StitchError> {
-        let mismatch = |what: String| StitchError::Snapshot(SnapshotError::Mismatch(what));
-        if snap.circuit != eng.netlist.name() {
-            return Err(mismatch(format!(
-                "snapshot is for circuit {:?}, run is on {:?}",
-                snap.circuit,
-                eng.netlist.name()
-            )));
-        }
-        if snap.gate_count != eng.netlist.gate_count() {
-            return Err(mismatch(format!(
-                "gate count {} vs {}",
-                snap.gate_count,
-                eng.netlist.gate_count()
-            )));
-        }
-        let l = eng.chain.length();
-        if snap.scan_len != l {
-            return Err(mismatch(format!("scan length {} vs {l}", snap.scan_len)));
-        }
-        if snap.fault_count != eng.faults.len() {
-            return Err(mismatch(format!(
-                "collapsed fault count {} vs {}",
-                snap.fault_count,
-                eng.faults.len()
-            )));
-        }
-        if snap.fault_entries.len() != snap.fault_count {
-            return Err(mismatch(format!(
-                "{} fault entries for {} faults",
-                snap.fault_entries.len(),
-                snap.fault_count
-            )));
-        }
-        if snap.config_fingerprint != config_fingerprint(cfg) {
-            return Err(mismatch(
-                "configuration fingerprint differs (only threads/budget may change)".to_string(),
-            ));
-        }
-        if snap.k == 0 || snap.k > l {
-            return Err(mismatch(format!("shift size k={} out of range", snap.k)));
-        }
-        if snap.good_image.len() != l {
-            return Err(mismatch(
-                "good-image length differs from the chain".to_string(),
-            ));
-        }
-        let p = eng.view.pi_count();
-        for (i, c) in snap.cycles.iter().enumerate() {
-            if c.shift == 0 || c.shift > l || c.vector.len() != p + l {
-                return Err(mismatch(format!("cycle {i} is malformed")));
-            }
-        }
-
-        let mut tracked = Vec::new();
-        let mut state = Vec::new();
-        let mut images = Vec::new();
-        let mut prescreen_redundant = Vec::new();
-        for (&fault, entry) in eng.faults.faults().iter().zip(&snap.fault_entries) {
-            match entry {
-                FaultEntry::Redundant => prescreen_redundant.push(fault),
-                FaultEntry::Uncaught => {
-                    tracked.push(fault);
-                    state.push(FaultState::Uncaught);
-                    images.push(None);
-                }
-                FaultEntry::Caught => {
-                    tracked.push(fault);
-                    state.push(FaultState::Caught);
-                    images.push(None);
-                }
-                FaultEntry::Hidden(img) => {
-                    if img.len() != l {
-                        return Err(mismatch(
-                            "hidden-fault image length differs from the chain".to_string(),
-                        ));
-                    }
-                    tracked.push(fault);
-                    state.push(FaultState::Hidden);
-                    images.push(Some(img.clone()));
-                }
-            }
-        }
-        let tracked_len = tracked.len();
-        let sets = FaultSets::restore(tracked, state, images, snap.transitions)
-            .ok_or_else(|| mismatch("inconsistent fault-set state".to_string()))?;
-        if snap
-            .never_target
-            .iter()
-            .chain(&snap.failed_targets)
-            .any(|&i| i >= tracked_len)
-        {
-            return Err(mismatch("target index out of range".to_string()));
-        }
-        let never_target: BTreeSet<usize> = snap.never_target.iter().copied().collect();
-        let prescreen_aborted: Vec<Fault> = never_target.iter().map(|&i| sets.fault(i)).collect();
-
-        // The baseline pattern set is deterministic given the config, so it
-        // is recomputed rather than checkpointed.
-        let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
-            tvs_atpg::AtpgOutcome::Netlist(err) => StitchError::Netlist(err),
-        })?;
-        let shifts = snap.cycles.iter().map(|c| c.shift).collect();
-        Ok(RunState {
-            eng,
-            cfg,
-            pool: ThreadPool::new(cfg.threads),
-            rng: Prng::from_state(snap.rng),
-            podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
-            fsim: FaultSim::new(eng.netlist, &eng.view),
-            scoap: Scoap::compute(eng.netlist, &eng.view),
-            sets,
-            good_image: snap.good_image,
-            cycles: snap.cycles,
-            shifts,
-            failed_targets: snap.failed_targets.iter().copied().collect(),
-            never_target,
-            prescreen_redundant,
-            prescreen_aborted,
-            baseline,
-            budget: Budget::with_spent(cfg.budget, snap.budget_spent),
-            k: snap.k,
-            stagnant: snap.stagnant,
-            select_failed: false,
-            window: snap.window.iter().copied().collect(),
-            stop: None,
-        })
-    }
-
-    /// Captures a checkpoint at the current cycle boundary. Faults are
-    /// recorded positionally against the collapsed list, so the snapshot
-    /// needs no fault identities.
-    fn snapshot(&self) -> Snapshot {
-        let collapsed = self.eng.faults.faults();
-        let mut fault_entries = Vec::with_capacity(collapsed.len());
-        let (mut tracked_i, mut red_i) = (0usize, 0usize);
-        for &fault in collapsed {
-            if red_i < self.prescreen_redundant.len() && self.prescreen_redundant[red_i] == fault {
-                fault_entries.push(FaultEntry::Redundant);
-                red_i += 1;
-            } else {
-                fault_entries.push(match self.sets.state(tracked_i) {
-                    FaultState::Uncaught => FaultEntry::Uncaught,
-                    FaultState::Caught => FaultEntry::Caught,
-                    FaultState::Hidden => FaultEntry::Hidden(
-                        self.sets
-                            .image(tracked_i)
-                            .cloned()
-                            .unwrap_or_else(BitVec::new),
-                    ),
-                });
-                tracked_i += 1;
-            }
-        }
-        Snapshot {
-            circuit: self.eng.netlist.name().to_string(),
-            gate_count: self.eng.netlist.gate_count(),
-            scan_len: self.l(),
-            fault_count: collapsed.len(),
-            config_fingerprint: config_fingerprint(self.cfg),
-            rng: self.rng.state(),
-            budget_spent: self.budget.spent(),
-            k: self.k,
-            stagnant: self.stagnant,
-            window: self.window.iter().copied().collect(),
-            good_image: self.good_image.clone(),
-            transitions: self.sets.transition_counts(),
-            cycles: self.cycles.clone(),
-            fault_entries,
-            never_target: self.never_target.iter().copied().collect(),
-            failed_targets: self.failed_targets.iter().copied().collect(),
-        }
-    }
-
-    /// Memory cost of one `k`-bit cycle, for the efficiency window.
-    fn cycle_cost(&self, k: usize) -> f64 {
-        (2 * k + self.p() + self.q()) as f64
-    }
-
-    /// Whether the current shift size is spent: constrained selection found
-    /// nothing, stagnation hit its limit, or the recent catches-per-
-    /// memory-bit rate fell below the (discounted) baseline rate. Evaluated
-    /// at the loop top from persisted state so a resumed run re-evaluates
-    /// it identically.
-    fn shift_exhausted(&self, baseline_rate: f64) -> bool {
-        if self.select_failed || self.stagnant >= self.cfg.stagnation_limit {
-            return true;
-        }
-        self.window.len() >= self.cfg.efficiency_window && {
-            let catches: usize = self.window.iter().map(|&(c, _)| c).sum();
-            let cost: f64 = self.window.iter().map(|&(_, c)| c).sum();
-            (catches as f64 / cost) < baseline_rate * self.cfg.efficiency_margin
-        }
-    }
-
-    /// The baseline flow's lifetime catches-per-memory-bit rate.
-    fn baseline_rate(&self) -> f64 {
-        let model = CostModel {
-            scan_len: self.l(),
-            pi_count: self.p(),
-            po_count: self.q(),
-        };
-        let mem = model.full_costs(self.baseline.len().max(1)).memory_bits;
-        self.sets.len() as f64 / mem as f64
-    }
-
-    /// Splits the collapsed list into tracked faults vs. proven-redundant
-    /// ones (the paper starts `f_u` from "all the irredundant faults").
-    /// Cheap testability witnesses come from random simulation; only the
-    /// survivors get an unconstrained PODEM verdict. Aborted faults stay
-    /// tracked (they can be caught fortuitously) but are never chosen as
-    /// ATPG targets.
-    fn prescreen(&mut self) -> Result<(), StitchError> {
-        // Chaos hook: a worker dying this early leaves no program to
-        // salvage, so the whole run reports a typed error.
-        if inject::fire("stitch.prescreen.panic") {
-            return Err(StitchError::WorkerPanic {
-                message: inject::panic_message("stitch.prescreen.panic"),
-            });
-        }
-        let faults = self.eng.faults.faults();
-        let mut testable = vec![false; faults.len()];
-        let mut alive: Vec<usize> = (0..faults.len()).collect();
-        for _ in 0..8 {
-            if alive.is_empty() {
-                break;
-            }
-            let pattern: BitVec = (0..self.eng.view.input_count())
-                .map(|_| self.rng.next_bool())
-                .collect();
-            let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
-            self.budget.charge(subset.len() as u64);
-            let hits = detect_parallel(
-                self.eng.netlist,
-                &self.eng.view,
-                &self.pool,
-                &pattern,
-                &subset,
-            );
-            alive = alive
-                .into_iter()
-                .zip(hits)
-                .filter_map(|(i, h)| {
-                    if h {
-                        testable[i] = true;
-                        None
-                    } else {
-                        Some(i)
-                    }
-                })
-                .collect();
-        }
-        let free = Cube::unspecified(self.eng.view.input_count());
-        let mut tracked: Vec<Fault> = Vec::with_capacity(faults.len());
-        // Redundancy proofs are worth extra effort: an abort here silently
-        // costs coverage, so the prescreen gets a much deeper backtrack
-        // budget than per-cycle constrained generation.
-        let deep = PodemConfig {
-            backtrack_limit: self.cfg.podem.backtrack_limit.saturating_mul(8),
-            ..self.cfg.podem
-        };
-        // Verdicts are independent per fault, so the deep PODEM runs fan out
-        // over the pool in fixed 32-fault chunks (one prover per chunk) and
-        // merge back in fault-index order — bit-identical at any thread
-        // count.
-        let needs: Vec<Fault> = faults
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| !testable[i])
-            .map(|(_, &f)| f)
-            .collect();
-        let chunks: Vec<&[Fault]> = needs.chunks(32).collect();
-        let (netlist, view) = (self.eng.netlist, &self.eng.view);
-        // Each verdict comes back with its backtrack count so the budget
-        // charge reduces on the caller side, in fault order — deterministic
-        // at any thread count.
-        let verdicts: Vec<(PodemResult, u32)> = self
-            .pool
-            .try_map(&chunks, |_, chunk| {
-                let mut prover = Podem::with_config(netlist, view, deep);
-                chunk
-                    .iter()
-                    .map(|&fault| {
-                        let verdict = prover.generate(fault, &free);
-                        (verdict, prover.last_backtracks())
-                    })
-                    .collect::<Vec<(PodemResult, u32)>>()
-            })
-            .map_err(|panic| StitchError::WorkerPanic {
-                message: panic.message,
-            })?
-            .into_iter()
-            .flatten()
-            .collect();
-        let mut verdicts = verdicts.into_iter();
-        for (i, &fault) in faults.iter().enumerate() {
-            if testable[i] {
-                tracked.push(fault);
-                continue;
-            }
-            // Defensive: the pool returns one verdict per screened fault; a
-            // short stream is treated as an abort rather than an invariant
-            // crash.
-            let (verdict, backtracks) = verdicts.next().unwrap_or((PodemResult::Aborted, 0));
-            self.budget.charge(1 + u64::from(backtracks));
-            match verdict {
-                PodemResult::Test(_) => tracked.push(fault),
-                PodemResult::Untestable => self.prescreen_redundant.push(fault),
-                PodemResult::Aborted => {
-                    self.prescreen_aborted.push(fault);
-                    self.never_target.insert(tracked.len());
-                    tracked.push(fault);
-                }
-            }
-        }
-        self.sets = FaultSets::new(tracked);
-        Ok(())
-    }
-
-    fn p(&self) -> usize {
-        self.eng.view.pi_count()
-    }
-
-    fn q(&self) -> usize {
-        self.eng.view.po_count()
-    }
-
-    fn l(&self) -> usize {
-        self.eng.chain.length()
-    }
-
-    /// Builds the constraint cube for a `k`-bit stitched cycle.
-    fn constraint(&self, k: usize, first: bool) -> Cube {
-        let (p, l) = (self.p(), self.l());
-        let mut cube = Cube::unspecified(p + l);
-        if !first {
-            for j in k..l {
-                cube.set(p + j, Logic::from(self.good_image.get(j - k)));
-            }
-        }
-        cube
-    }
-
-    /// Orders the current `f_u` according to the selection strategy.
-    fn ordered_targets(&mut self) -> Vec<usize> {
-        let mut targets = self.sets.uncaught_indices();
-        targets.retain(|i| !self.never_target.contains(i));
-        match self.cfg.selection {
-            SelectionStrategy::Random => self.rng.shuffle(&mut targets),
-            // Hardness/Weighted: hard faults get first claim on the still-
-            // loose constraint (the paper's §6.3 rationale).
-            SelectionStrategy::Hardness | SelectionStrategy::Weighted => {
-                targets.sort_by_key(|&i| {
-                    std::cmp::Reverse(
-                        self.scoap
-                            .fault_hardness(self.eng.netlist, &self.sets.fault(i)),
-                    )
-                });
-            }
-            // MostFaults: candidates come from easy targets first — they
-            // are the ones likely to admit tests under a tight constraint
-            // (the paper's §6.1: "easy-to-test faults dominate" the early,
-            // small-shift stage), and the greedy scoring then picks the
-            // best of the pool.
-            SelectionStrategy::MostFaults => {
-                targets.sort_by_key(|&i| {
-                    self.scoap
-                        .fault_hardness(self.eng.netlist, &self.sets.fault(i))
-                });
-            }
-        }
-        targets
-    }
-
-    /// Which combinational outputs a `k`-bit cycle makes observable: every
-    /// PO, plus the scan cells that the *next* shift will expose (sound for
-    /// monotone shift policies under direct observation; under horizontal
-    /// XOR it is a targeting heuristic — exact classification stays lazy).
-    fn observable_flags(&self, k: usize) -> Vec<bool> {
-        let (q, l) = (self.q(), self.l());
-        let mut flags = vec![false; q + l];
-        for f in flags.iter_mut().take(q) {
-            *f = true;
-        }
-        for j in l.saturating_sub(k)..l {
-            flags[q + j] = true;
-        }
-        flags
-    }
-
-    /// Tries to produce the next vector for a `k`-bit cycle; `None` when
-    /// the shift size is exhausted.
-    fn select_vector(&mut self, k: usize, first: bool) -> Result<Option<BitVec>, TaskPanic> {
-        let constraint = self.constraint(k, first);
-        let observable = self.observable_flags(if first { self.l() } else { k });
-        let targets = self.ordered_targets();
-        let mut candidates: Vec<BitVec> = Vec::new();
-
-        // Phase A: demand propagation to an observable point (PO or a
-        // next-shift-exposed cell) — every such vector's target is
-        // guaranteed to reach f_c. Phase B (only if A yields nothing):
-        // accept any differentiation; the target becomes hidden and bets on
-        // the paper's mutated-stimulus mechanism. The stagnation guard in
-        // `run` escalates the shift size if those bets stop paying off.
-        let mut stats = [0usize; 4]; // [A-ok, A-fail, B-ok, B-fail]
-        for phase in 0..2 {
-            let mut attempts = 0usize;
-            for &idx in &targets {
-                if self.failed_targets.contains(&idx) {
-                    continue;
-                }
-                if attempts >= self.cfg.max_targets_per_cycle {
-                    break;
-                }
-                attempts += 1;
-                let fault = self.sets.fault(idx);
-                let outcome = if phase == 0 {
-                    self.podem
-                        .generate_observable(fault, &constraint, Some(&observable))
-                } else {
-                    self.podem.generate(fault, &constraint)
-                };
-                self.budget
-                    .charge(1 + u64::from(self.podem.last_backtracks()));
-                match outcome {
-                    PodemResult::Test(cube) => {
-                        stats[phase * 2] += 1;
-                        let bits = cube.random_fill(&mut self.rng);
-                        if !self.cfg.selection.is_greedy() {
-                            return Ok(Some(bits));
-                        }
-                        candidates.push(bits);
-                        if candidates.len() >= self.cfg.candidates {
-                            break;
-                        }
-                    }
-                    PodemResult::Untestable | PodemResult::Aborted => {
-                        stats[phase * 2 + 1] += 1;
-                        if phase == 1 {
-                            self.failed_targets.insert(idx);
-                        }
-                    }
-                }
-            }
-            if !candidates.is_empty() {
-                break;
-            }
-        }
-        if std::env::var_os("TVS_DEBUG").is_some() {
-            eprintln!(
-                "[tvs] select k={k} targets={} A:{}/{} B:{}/{}",
-                targets.len(),
-                stats[0],
-                stats[1],
-                stats[2],
-                stats[3]
-            );
-        }
-
-        // Phase C: context rotation. Constrained ATPG can be blocked not by
-        // the shift size but by the *particular* retained response pattern;
-        // applying a cheap filler vector changes that pattern and often
-        // unblocks targets at the same k. Accept a random completion of the
-        // constraint if it at least differentiates some uncaught fault (the
-        // stagnation guard in `run` still bounds fruitless rotation).
-        if candidates.is_empty() && !first {
-            let uncaught = self.sets.uncaught_indices();
-            let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
-            for _ in 0..4 {
-                let bits = constraint.random_fill(&mut self.rng);
-                self.budget.charge(faults.len() as u64);
-                if self.fsim.detect(&bits, &faults).iter().any(|&h| h) {
-                    return Ok(Some(bits));
-                }
-            }
-        }
-
-        if candidates.is_empty() {
-            return Ok(None);
-        }
-        if candidates.len() == 1 {
-            return Ok(candidates.pop());
-        }
-
-        // Greedy scoring. Three kinds of value, in decreasing weight:
-        // catches of f_u faults (a difference at a PO or in the next-shift-
-        // observed cells), catches/preservation of the *hidden* pool (an
-        // erased hidden fault wastes its earlier differentiation — the
-        // paper's §6.2 concern), and plain differentiations as tiebreak.
-        //
-        // Each candidate's score is a pure function of the candidate bits
-        // and the (frozen) fault/hidden state, so the candidates fan out
-        // over the pool; the strict first-best argmax below runs over the
-        // input-ordered score vector, keeping the pick bit-identical at any
-        // thread count.
-        let uncaught = self.sets.uncaught_indices();
-        let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
-        let weighted = self.cfg.selection == SelectionStrategy::Weighted;
-        let (p, q, l) = (self.p(), self.q(), self.l());
-        let watched: Vec<usize> = (0..q).chain(q + l.saturating_sub(k)..q + l).collect();
-        // Hidden machines: image and fault per hidden index. The shift-out
-        // stream is candidate-independent; only the post-capture fate
-        // varies, via the fresh incoming bits.
-        let hidden: Vec<(Fault, BitVec)> = self
-            .sets
-            .hidden_faults()
-            .into_iter()
-            .map(|h| (h.fault, h.image))
-            .collect();
-        let ctx = ScoreCtx {
-            netlist: self.eng.netlist,
-            view: &self.eng.view,
-            chain: &self.eng.chain,
-            scoap: &self.scoap,
-            observe: self.cfg.observe,
-            faults: &faults,
-            hidden: &hidden,
-            watched: &watched,
-            weighted,
-            p,
-            l,
-            k,
-        };
-        self.budget
-            .charge((candidates.len() * (faults.len() + hidden.len() + 1)) as u64);
-        let scores = self.pool.try_map(&candidates, |_, bits| ctx.score(bits))?;
-        let mut best = 0usize;
-        let mut best_score = 0u64;
-        for (c, &score) in scores.iter().enumerate() {
-            if score > best_score {
-                best_score = score;
-                best = c;
-            }
-        }
-        Ok(Some(candidates.swap_remove(best)))
-    }
-
-    /// Simulates `(stimulus, fault)` jobs, outputs in job order: the cached
-    /// sequential simulator at `threads <= 1`, the pooled fan-out otherwise.
-    /// Both paths compute the same pure function of the jobs, and both
-    /// degrade to the same deterministic [`TaskPanic`] when a worker dies —
-    /// the lowest-index failure wins at any thread count.
-    fn batch(&mut self, jobs: &[(&BitVec, Fault)]) -> Result<Vec<BitVec>, TaskPanic> {
-        // The injection decision is taken here on the caller side, so the
-        // sequential hit counter advances identically at any thread count;
-        // the parallel path then realizes it as a genuine worker panic.
-        let boom = !jobs.is_empty() && inject::fire("stitch.sim.batch");
-        if self.pool.threads() <= 1 {
-            if boom {
-                return Err(TaskPanic {
-                    index: 0,
-                    message: inject::panic_message("stitch.sim.batch"),
-                });
-            }
-            let mut outs = Vec::with_capacity(jobs.len());
-            for chunk in jobs.chunks(64) {
-                let slots: Vec<SlotSpec<'_>> = chunk
-                    .iter()
-                    .map(|&(stim, f)| SlotSpec {
-                        stimulus: stim,
-                        fault: Some(f),
-                    })
-                    .collect();
-                outs.extend(self.fsim.run_slots(&slots));
-            }
-            Ok(outs)
-        } else {
-            batch_outputs(&self.pool, self.eng.netlist, &self.eng.view, jobs, boom)
-        }
-    }
-
-    /// Applies one vector: shifts, simulates, classifies every live fault.
-    ///
-    /// On a worker panic the cycle is not recorded; the hidden-set updates
-    /// made before the failed batch stand. That partial effect is
-    /// deterministic (the surviving state is a pure function of the inputs
-    /// and the panic index, which is thread-count independent) and the
-    /// salvaged program stays valid — it merely under-reports the final
-    /// cycle's catches.
-    fn apply_cycle(&mut self, k: usize, vector: &BitVec, first: bool) -> Result<(), TaskPanic> {
-        let (p, q, l) = (self.p(), self.q(), self.l());
-        let chain_tv = slice_bits(vector, p..p + l);
-        let incoming = incoming_from_tv(&chain_tv, k);
-
-        // Fault-free machine.
-        let observed_good = if first {
-            BitVec::new() // power-up contents are not meaningful data
-        } else {
-            let sh = self
-                .eng
-                .chain
-                .shift(&self.good_image, &incoming, self.cfg.observe);
-            debug_assert_eq!(sh.new_image, chain_tv, "stitched vector must be reachable");
-            sh.observed
-        };
-        let good_out = self.fsim.good_outputs(vector);
-        let good_po = slice_bits(&good_out, 0..q);
-        let good_resp = slice_bits(&good_out, q..q + l);
-        let new_good_image = self.cfg.capture.capture(&chain_tv, &good_resp);
-
-        let mut newly_caught = 0usize;
-
-        // Hidden faults: private shift, private stimulus.
-        let hidden = self.sets.hidden_indices();
-        let mut live_hidden: Vec<(usize, BitVec)> = Vec::new();
-        for idx in hidden {
-            if first {
-                unreachable!("no hidden faults before the first vector");
-            }
-            // Defensive: a hidden fault always carries an image; skip the
-            // entry rather than abort if that invariant is ever violated.
-            let Some(image) = self.sets.image(idx).cloned() else {
-                continue;
-            };
-            let mut image = image;
-            // Chaos hook: corrupt one bit of this fault's private chain
-            // image (keyed by fault index in this sequential loop, so the
-            // corruption is deterministic at any thread count).
-            if let Some(bit) = inject::flip_bit("stitch.hidden.image", idx as u64, image.len()) {
-                image.set(bit, !image.get(bit));
-            }
-            let sh = self.eng.chain.shift(&image, &incoming, self.cfg.observe);
-            if sh.observed != observed_good {
-                self.sets.set_caught(idx);
-                newly_caught += 1;
-            } else {
-                let mut stim = slice_bits(vector, 0..p);
-                stim.extend(sh.new_image.iter());
-                live_hidden.push((idx, stim));
-            }
-        }
-        let hidden_jobs: Vec<(&BitVec, Fault)> = live_hidden
-            .iter()
-            .map(|(idx, stim)| (stim, self.sets.fault(*idx)))
-            .collect();
-        self.budget.charge(hidden_jobs.len() as u64);
-        let outs = self.batch(&hidden_jobs)?;
-        for ((idx, stim), out) in live_hidden.iter().zip(&outs) {
-            let f_po = slice_bits(out, 0..q);
-            let f_resp = slice_bits(out, q..q + l);
-            let f_chain_tv = slice_bits(stim, p..p + l);
-            let image = self.cfg.capture.capture(&f_chain_tv, &f_resp);
-            match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
-                Classification::Caught => {
-                    self.sets.set_caught(*idx);
-                    newly_caught += 1;
-                }
-                Classification::Hidden => self.sets.set_hidden(*idx, image),
-                Classification::Uncaught => self.sets.set_uncaught(*idx),
-            }
-        }
-
-        // Uncaught faults: shared stimulus (their machines match the good
-        // one so far).
-        let uncaught = self.sets.uncaught_indices();
-        let uncaught_jobs: Vec<(&BitVec, Fault)> = uncaught
-            .iter()
-            .map(|&idx| (vector, self.sets.fault(idx)))
-            .collect();
-        self.budget.charge(uncaught_jobs.len() as u64 + 1);
-        let outs = self.batch(&uncaught_jobs)?;
-        for (&idx, out) in uncaught.iter().zip(&outs) {
-            let f_po = slice_bits(out, 0..q);
-            let f_resp = slice_bits(out, q..q + l);
-            let image = self.cfg.capture.capture(&chain_tv, &f_resp);
-            match Classification::classify(&good_po, &f_po, &new_good_image, &image) {
-                Classification::Caught => {
-                    self.sets.set_caught(idx);
-                    newly_caught += 1;
-                }
-                Classification::Hidden => self.sets.set_hidden(idx, image),
-                Classification::Uncaught => {}
-            }
-        }
-
-        self.good_image = new_good_image;
-        self.shifts.push(k);
-        tvs_exec::counter("stitch.vectors_stitched").incr();
-        self.cycles.push(CycleRecord {
-            shift: k,
-            vector: vector.clone(),
-            observed: observed_good,
-            newly_caught,
-            hidden_after: self.sets.hidden_count(),
-            uncaught_after: self.sets.uncaught_count(),
-        });
-        // New catches mean previously failed targets may matter again only
-        // after an escalation; but a *changed* chain content re-opens
-        // constrained possibilities for previously failed targets.
-        self.failed_targets.clear();
-        Ok(())
-    }
-
-    /// Closing flush + conventional fallback, then metric assembly.
-    fn finish(mut self) -> Result<StitchReport, StitchError> {
-        let l = self.l();
-
-        // Closing flush: find, per hidden fault, the shortest flush prefix
-        // that reveals it; flush long enough for all of them (exact under
-        // any observation transform).
-        let mut final_flush = 0usize;
-        if !self.cycles.is_empty() {
-            let zeros = BitVec::zeros(l);
-            let sh_good = self
-                .eng
-                .chain
-                .shift(&self.good_image, &zeros, self.cfg.observe);
-            for idx in self.sets.hidden_indices() {
-                // Defensive: a hidden fault always carries an image; treat a
-                // missing one as never-revealed rather than aborting.
-                let Some(image) = self.sets.image(idx).cloned() else {
-                    self.sets.set_uncaught(idx);
-                    continue;
-                };
-                let sh_f = self.eng.chain.shift(&image, &zeros, self.cfg.observe);
-                let first_diff = (0..l).find(|&t| sh_f.observed.get(t) != sh_good.observed.get(t));
-                match first_diff {
-                    Some(t) => {
-                        final_flush = final_flush.max(t + 1);
-                        self.sets.set_caught(idx);
-                    }
-                    None => self.sets.set_uncaught(idx),
-                }
-            }
-            // Even with no hidden faults the last response is conventionally
-            // checked with a closing shift of the last stitch size.
-            if final_flush == 0 {
-                final_flush = self.shifts.last().copied().unwrap_or(l);
-            }
-        }
-
-        // Fallback: conventional vectors for whatever is left in f_u —
-        // skipped entirely when the run already stopped (budget or worker
-        // panic): the report then salvages the stitched program as-is and
-        // lists the leftovers as the residual.
-        let mut extra_vectors: Vec<BitVec> = Vec::new();
-        let mut redundant: Vec<Fault> = std::mem::take(&mut self.prescreen_redundant);
-        let prescreen_redundant_count = redundant.len();
-        let mut aborted: Vec<Fault> = std::mem::take(&mut self.prescreen_aborted);
-        let free = Cube::unspecified(self.eng.view.input_count());
-        let mut remaining: Vec<usize> = self
-            .sets
-            .uncaught_indices()
-            .into_iter()
-            .filter(|i| !self.never_target.contains(i))
-            .collect();
-        let fallback_faults: Vec<Fault> = remaining.iter().map(|&i| self.sets.fault(i)).collect();
-        while self.stop.is_none() && !remaining.is_empty() {
-            // Stage boundary: an exhausted budget ends the fallback between
-            // vectors, leaving the leftovers as the residual.
-            if self.budget.exhausted() {
-                self.stop = Some(StopCause::Budget);
-                break;
-            }
-            let idx = remaining[0];
-            match self.podem.generate(self.sets.fault(idx), &free) {
-                PodemResult::Test(cube) => {
-                    self.budget.charge(
-                        1 + u64::from(self.podem.last_backtracks()) + remaining.len() as u64,
-                    );
-                    let bits = cube.random_fill(&mut self.rng);
-                    let faults: Vec<Fault> =
-                        remaining.iter().map(|&i| self.sets.fault(i)).collect();
-                    let hits = self.fsim.detect(&bits, &faults);
-                    let mut next = Vec::with_capacity(remaining.len());
-                    for (slot, &fi) in remaining.iter().enumerate() {
-                        if hits[slot] {
-                            self.sets.set_caught(fi);
-                        } else {
-                            next.push(fi);
-                        }
-                    }
-                    debug_assert!(
-                        next.len() < remaining.len(),
-                        "fallback vector must progress"
-                    );
-                    if next.len() == remaining.len() {
-                        // Defensive: avoid livelock on a sim/ATPG disagreement.
-                        aborted.push(self.sets.fault(idx));
-                        next.retain(|&i| i != idx);
-                    }
-                    remaining = next;
-                    extra_vectors.push(bits);
-                }
-                PodemResult::Untestable => {
-                    self.budget
-                        .charge(1 + u64::from(self.podem.last_backtracks()));
-                    redundant.push(self.sets.fault(idx));
-                    remaining.remove(0);
-                }
-                PodemResult::Aborted => {
-                    self.budget
-                        .charge(1 + u64::from(self.podem.last_backtracks()));
-                    aborted.push(self.sets.fault(idx));
-                    remaining.remove(0);
-                }
-            }
-        }
-        // The fallback phase is conventional test application, so it gets
-        // conventional reverse-order compaction against the faults it was
-        // responsible for.
-        if extra_vectors.len() > 1 {
-            extra_vectors = tvs_atpg::compact_patterns(
-                self.eng.netlist,
-                &self.eng.view,
-                &fallback_faults,
-                &extra_vectors,
-            );
-        }
-
-        // Baseline for the ratios (generated up front in `new`).
-        let baseline = &self.baseline;
-
-        let model = CostModel {
-            scan_len: l,
-            pi_count: self.p(),
-            po_count: self.q(),
-        };
-        let stitched_costs = if self.shifts.is_empty() {
-            // Degenerate: everything handled by fallback vectors.
-            model.full_costs(extra_vectors.len())
-        } else {
-            model.stitched_costs(&self.shifts, final_flush, extra_vectors.len())
-        };
-        let baseline_costs = model.full_costs(baseline.len());
-
-        // Denominator: every tracked fault that is not proven redundant.
-        // Prescreen-redundant faults were never tracked, so only the
-        // fallback-found redundancies must be discounted here.
-        let fallback_redundant = redundant.len() - prescreen_redundant_count;
-        let testable = self.sets.len() - fallback_redundant;
-        let coverage = if testable == 0 {
-            1.0
-        } else {
-            self.sets.caught_count() as f64 / testable as f64
-        };
-
-        let metrics = CompressionMetrics::new(
-            self.cycles.len(),
-            extra_vectors.len(),
-            baseline.len(),
-            stitched_costs,
-            baseline_costs,
-            coverage,
-        );
-
-        tvs_exec::counter("stitch.extra_vectors").add(extra_vectors.len() as u64);
-        // Degenerate runs (no stitched cycles, everything on fallback
-        // vectors) have no program shape to check.
-        if !self.shifts.is_empty() {
-            tvs_lint::debug_assert_program_clean(
-                &tvs_lint::ProgramSpec {
-                    scan_len: l,
-                    shifts: self.shifts.clone(),
-                    final_flush,
-                    extra_vectors: extra_vectors.len(),
-                    uncaught_at_fallback: fallback_faults.len(),
-                },
-                "stitch::finish",
-            );
-        }
-        let hidden_transitions = self.sets.transition_counts();
-        let residual: Vec<Fault> = if self.stop.is_some() {
-            self.sets
-                .uncaught_indices()
-                .into_iter()
-                .map(|i| self.sets.fault(i))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let termination = match self.stop.take() {
-            None => Termination::Complete,
-            Some(StopCause::Budget) => Termination::BudgetExhausted { residual },
-            Some(StopCause::Worker(panic)) => Termination::WorkerPanic {
-                message: panic.message,
-                residual,
-            },
-        };
-        Ok(StitchReport {
-            cycles: self.cycles,
-            shifts: self.shifts,
-            final_flush,
-            extra_vectors,
-            redundant,
-            aborted,
-            metrics,
-            hidden_transitions,
-            termination,
-        })
-    }
-}
-
-/// Simulates `(stimulus, fault)` jobs in 64-slot batches fanned out over
-/// the pool, returning the faulty outputs in job order. Every batch builds
-/// its own simulator, so outputs are independent of batching and thread
-/// count. With `boom` set (an armed `stitch.sim.batch` injection), the
-/// first chunk's worker panics; the captured [`TaskPanic`] then matches the
-/// sequential path's bit for bit.
-fn batch_outputs(
-    pool: &ThreadPool,
-    netlist: &Netlist,
-    view: &ScanView,
-    jobs: &[(&BitVec, Fault)],
-    boom: bool,
-) -> Result<Vec<BitVec>, TaskPanic> {
-    let chunks: Vec<&[(&BitVec, Fault)]> = jobs.chunks(64).collect();
-    Ok(pool
-        .try_map(&chunks, |i, chunk| {
-            if boom && i == 0 {
-                inject::panic_now("stitch.sim.batch");
-            }
-            let mut fsim = FaultSim::new(netlist, view);
-            let slots: Vec<SlotSpec<'_>> = chunk
-                .iter()
-                .map(|&(stim, f)| SlotSpec {
-                    stimulus: stim,
-                    fault: Some(f),
-                })
-                .collect();
-            fsim.run_slots(&slots)
-        })?
-        .into_iter()
-        .flatten()
-        .collect())
-}
-
-/// Frozen inputs of one candidate-scoring round. [`ScoreCtx::score`] is a
-/// pure function of this context plus the candidate bits (each invocation
-/// builds its own simulator), which is what lets `select_vector` fan the
-/// candidates out over the thread pool.
-struct ScoreCtx<'c> {
-    netlist: &'c Netlist,
-    view: &'c ScanView,
-    chain: &'c ScanChain,
-    scoap: &'c Scoap,
-    observe: ObserveTransform,
-    faults: &'c [Fault],
-    hidden: &'c [(Fault, BitVec)],
-    watched: &'c [usize],
-    weighted: bool,
-    p: usize,
-    l: usize,
-    k: usize,
-}
-
-impl ScoreCtx<'_> {
-    fn score(&self, bits: &BitVec) -> u64 {
-        let mut fsim = FaultSim::new(self.netlist, self.view);
-        let good = fsim.good_outputs(bits);
-        let mut score = 0u64;
-        for chunk in self.faults.chunks(63) {
-            let slots: Vec<SlotSpec<'_>> = chunk
-                .iter()
-                .map(|&f| SlotSpec {
-                    stimulus: bits,
-                    fault: Some(f),
-                })
-                .collect();
-            let outs = fsim.run_slots(&slots);
-            for (f, out) in chunk.iter().zip(&outs) {
-                let caught = self.watched.iter().any(|&o| out.get(o) != good.get(o));
-                let differentiated = caught || out != &good;
-                let unit = if self.weighted {
-                    self.scoap.fault_hardness(self.netlist, f).max(1)
-                } else {
-                    1
-                };
-                if caught {
-                    score += unit * 1000;
-                } else if differentiated {
-                    score += unit;
-                }
-            }
-        }
-        if !self.hidden.is_empty() {
-            let chain_tv = slice_bits(bits, self.p..self.p + self.l);
-            let incoming = incoming_from_tv(&chain_tv, self.k);
-            let mut stimuli: Vec<BitVec> = Vec::with_capacity(self.hidden.len());
-            for (_, image) in self.hidden {
-                let sh = self.chain.shift(image, &incoming, self.observe);
-                let mut stim = slice_bits(bits, 0..self.p);
-                stim.extend(sh.new_image.iter());
-                stimuli.push(stim);
-            }
-            for (chunk_i, chunk) in self.hidden.chunks(63).enumerate() {
-                let slots: Vec<SlotSpec<'_>> = chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &(fault, _))| SlotSpec {
-                        stimulus: &stimuli[chunk_i * 63 + j],
-                        fault: Some(fault),
-                    })
-                    .collect();
-                let outs = fsim.run_slots(&slots);
-                for out in &outs {
-                    let caught = self.watched.iter().any(|&o| out.get(o) != good.get(o));
-                    let kept = out != &good;
-                    if caught {
-                        score += 1000;
-                    } else if kept {
-                        score += 30;
-                    }
-                }
-            }
-        }
-        score
-    }
-}
-
-/// Extracts `range` of a [`BitVec`] as a new vector.
-fn slice_bits(bits: &BitVec, range: std::ops::Range<usize>) -> BitVec {
-    range.map(|i| bits.get(i)).collect()
-}
-
-/// Converts the desired final content of the first `k` chain cells into
-/// scan-in entry order (the bit destined for cell `k-1` enters first).
-fn incoming_from_tv(chain_tv: &BitVec, k: usize) -> BitVec {
-    (0..k).map(|t| chain_tv.get(k - 1 - t)).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tvs_netlist::{GateKind, NetlistBuilder};
-
-    fn fig1() -> Netlist {
-        let mut b = NetlistBuilder::new("fig1");
-        b.add_dff("a", "F").unwrap();
-        b.add_dff("b", "E").unwrap();
-        b.add_dff("c", "D").unwrap();
-        b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
-        b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
-        b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
-        b.build().unwrap()
-    }
-
-    fn bv(s: &str) -> BitVec {
-        s.chars().map(|c| c == '1').collect()
-    }
-
-    #[test]
-    fn no_scan_chain_is_rejected() {
-        let mut b = NetlistBuilder::new("comb");
-        b.add_input("a").unwrap();
-        b.add_gate("y", GateKind::Not, &["a"]).unwrap();
-        b.mark_output("y").unwrap();
-        let n = b.build().unwrap();
-        assert!(matches!(
-            StitchEngine::new(&n),
-            Err(StitchError::NoScanChain)
-        ));
-    }
-
-    #[test]
-    fn fig1_run_reaches_full_coverage() {
-        let n = fig1();
-        let engine = StitchEngine::new(&n).unwrap();
-        let report = engine.run(&StitchConfig::default()).unwrap();
-        assert!(
-            report.metrics.fault_coverage >= 1.0 - 1e-9,
-            "coverage {}",
-            report.metrics.fault_coverage
-        );
-        assert_eq!(report.redundant.len(), 1, "the paper's E-F/1");
-        assert!(report.aborted.is_empty());
-    }
-
-    #[test]
-    fn fig1_compresses_versus_baseline() {
-        let n = fig1();
-        let engine = StitchEngine::new(&n).unwrap();
-        let cfg = StitchConfig {
-            policy: ShiftPolicy::Fixed(2),
-            ..StitchConfig::default()
-        };
-        let report = engine.run(&cfg).unwrap();
-        assert!(report.metrics.time_ratio > 0.0);
-        // With k = 2 of 3 the stitched stream must beat full shifting per
-        // vector unless many extra vectors were needed.
-        if report.extra_vectors.is_empty() {
-            assert!(
-                report.metrics.time_ratio <= 1.05,
-                "t = {}",
-                report.metrics.time_ratio
-            );
-        }
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let n = fig1();
-        let engine = StitchEngine::new(&n).unwrap();
-        let a = engine.run(&StitchConfig::default()).unwrap();
-        let b = engine.run(&StitchConfig::default()).unwrap();
-        assert_eq!(a.shifts, b.shifts);
-        assert_eq!(a.metrics.stitched_vectors, b.metrics.stitched_vectors);
-        assert_eq!(
-            a.cycles
-                .iter()
-                .map(|c| c.vector.clone())
-                .collect::<Vec<_>>(),
-            b.cycles
-                .iter()
-                .map(|c| c.vector.clone())
-                .collect::<Vec<_>>()
-        );
-    }
-
-    #[test]
-    fn replay_reproduces_table1_catches() {
-        // The paper's schedule: 110, then 2-bit stitches yielding 001, 100,
-        // 010, closing with a 2-bit flush.
-        let n = fig1();
-        let engine = StitchEngine::new(&n).unwrap();
-        let vectors = vec![bv("110"), bv("001"), bv("100"), bv("010")];
-        let trace = engine
-            .replay(&vectors, &[3, 2, 2, 2], 2, &StitchConfig::default())
-            .unwrap();
-
-        // Fault-free responses per the paper.
-        let resp: Vec<String> = trace
-            .cycles
-            .iter()
-            .map(|c| c.response.to_string())
-            .collect();
-        assert_eq!(resp, vec!["111", "010", "000", "010"]);
-
-        // Every fault except the redundant E-F/1 is caught.
-        let uncaught: Vec<String> = trace
-            .rows
-            .iter()
-            .filter(|r| r.caught_at.is_none())
-            .map(|r| r.fault.display_in(&n))
-            .collect();
-        assert_eq!(uncaught, vec!["E-F/1".to_string()]);
-
-        // Spot-check the paper's hidden-fault story: F/0 is NOT caught in
-        // cycle 0 (its effect hides in cell a) but in cycle 1.
-        let f0 = trace
-            .rows
-            .iter()
-            .find(|r| r.fault.display_in(&n) == "F/0")
-            .expect("F/0 tracked");
-        assert_eq!(f0.caught_at, Some(1));
-        assert_eq!(f0.entries[0].response.to_string(), "011");
-        // Its mutated second vector is 000 (not the intended 001).
-        assert_eq!(f0.entries[1].vector.to_string(), "000");
-        assert_eq!(f0.entries[1].response.to_string(), "000");
-    }
-
-    #[test]
-    fn replay_rejects_impossible_schedules() {
-        let n = fig1();
-        let engine = StitchEngine::new(&n).unwrap();
-        // Second vector 101: cell c would need to hold 1, but the shifted
-        // response leaves a 1 only via cell a of response 111 -> c = 1 works;
-        // pick something genuinely inconsistent: 011 needs c = 1 as well...
-        // response 111 shifted by 2 gives c = 1, cells a,b free. So any
-        // second vector with c = 0 is impossible.
-        let vectors = vec![bv("110"), bv("010")];
-        let err = engine
-            .replay(&vectors, &[3, 2], 2, &StitchConfig::default())
-            .unwrap_err();
-        assert!(matches!(err, StitchError::ReplayMismatch { cycle: 1 }));
-    }
-
-    #[test]
-    fn hidden_faults_appear_during_fig1_replay() {
-        let n = fig1();
-        let engine = StitchEngine::new(&n).unwrap();
-        let vectors = vec![bv("110"), bv("001"), bv("100"), bv("010")];
-        let trace = engine
-            .replay(&vectors, &[3, 2, 2, 2], 2, &StitchConfig::default())
-            .unwrap();
-        // F/1 and D-F/1 mutate the third vector to 101 per the paper.
-        for name in ["F/1", "D-F/1"] {
-            let row = trace.rows.iter().find(|r| r.fault.display_in(&n) == name);
-            if let Some(row) = row {
-                // (collapsing may merge D-F/1 into another representative)
-                assert_eq!(row.caught_at, Some(2), "{name}");
-                assert_eq!(row.entries[2].vector.to_string(), "101", "{name}");
-            }
-        }
     }
 }

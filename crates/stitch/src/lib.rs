@@ -25,20 +25,26 @@
 #![warn(missing_docs)]
 
 mod classify;
+mod config;
+mod cycle;
 mod engine;
 mod metrics;
 mod policy;
+mod replay;
+mod run;
 mod select;
 mod sets;
 mod snapshot;
+mod state;
+mod vector;
 
 pub use classify::Classification;
-pub use engine::{
-    ReplayCycle, ReplayRow, ReplayTrace, RunOptions, StitchConfig, StitchEngine, StitchError,
-    StitchReport, Termination,
-};
+pub use config::StitchConfig;
+pub use engine::StitchEngine;
 pub use metrics::{CompressionMetrics, CycleRecord};
 pub use policy::ShiftPolicy;
+pub use replay::{ReplayCycle, ReplayRow, ReplayTrace};
+pub use run::{RunOptions, StitchError, StitchReport, Termination};
 pub use select::SelectionStrategy;
 pub use sets::{FaultSets, FaultState, HiddenFault};
 pub use snapshot::{FaultEntry, Snapshot, SnapshotError, SNAPSHOT_VERSION};

@@ -1,0 +1,451 @@
+//! Mutable state of one stitched run plus its checkpoint/restore glue.
+//!
+//! [`RunState`] is shared by every stage of the cycle pipeline: the
+//! selection stage ([`vector`](crate::vector)), the apply/classify stage
+//! ([`cycle`](crate::cycle)) and the driver loop ([`run`](crate::run)).
+//! Simulation goes through one persistent [`SimSession`] so the good-machine
+//! baseline seeded for a cycle is reused incrementally by every faulty
+//! sweep of that cycle.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use tvs_exec::{inject, Budget, ThreadPool};
+use tvs_logic::{BitVec, Cube, Prng};
+
+use tvs_atpg::{generate_tests, Podem, PodemConfig, PodemResult};
+use tvs_fault::{detect_parallel, Fault, Scoap, SimSession};
+use tvs_scan::CostModel;
+
+use crate::config::config_fingerprint;
+use crate::engine::StitchEngine;
+use crate::run::{StitchError, StopCause};
+use crate::snapshot::{FaultEntry, Snapshot, SnapshotError};
+use crate::{CycleRecord, FaultSets, FaultState, StitchConfig};
+
+/// Mutable state of one `run` invocation.
+pub(crate) struct RunState<'r, 'a> {
+    pub(crate) eng: &'r StitchEngine<'a>,
+    pub(crate) cfg: &'r StitchConfig,
+    pub(crate) pool: ThreadPool,
+    pub(crate) rng: Prng,
+    pub(crate) podem: Podem<'r>,
+    pub(crate) session: SimSession<'r>,
+    pub(crate) scoap: Scoap,
+    pub(crate) sets: FaultSets,
+    pub(crate) good_image: BitVec,
+    pub(crate) cycles: Vec<CycleRecord>,
+    pub(crate) shifts: Vec<usize>,
+    /// Targets that failed constrained ATPG at the current shift size.
+    pub(crate) failed_targets: BTreeSet<usize>,
+    /// Faults prescreened as ATPG-hopeless: never chosen as targets (they
+    /// may still be caught fortuitously).
+    pub(crate) never_target: BTreeSet<usize>,
+    /// Faults proven redundant by the prescreen (excluded from tracking).
+    pub(crate) prescreen_redundant: Vec<Fault>,
+    /// Faults the prescreen PODEM aborted on.
+    pub(crate) prescreen_aborted: Vec<Fault>,
+    /// The baseline pattern set (run up front; needed for the ratios anyway
+    /// and for the marginal-efficiency stop rule).
+    pub(crate) baseline: tvs_atpg::PatternSet,
+    /// The run's work budget (work units, never wall clock).
+    pub(crate) budget: Budget,
+    /// Current shift size.
+    pub(crate) k: usize,
+    /// Consecutive zero-catch cycles at the current shift size.
+    pub(crate) stagnant: usize,
+    /// Whether the last selection at the current shift size found nothing.
+    pub(crate) select_failed: bool,
+    /// Marginal-efficiency window: `(newly_caught, cycle_cost)` per cycle.
+    pub(crate) window: VecDeque<(usize, f64)>,
+    /// Set when the run must stop early (budget or worker panic).
+    pub(crate) stop: Option<StopCause>,
+}
+
+impl<'r, 'a> RunState<'r, 'a> {
+    pub(crate) fn new(
+        eng: &'r StitchEngine<'a>,
+        cfg: &'r StitchConfig,
+    ) -> Result<Self, StitchError> {
+        let scoap = Scoap::compute(eng.netlist, &eng.view);
+        let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
+            tvs_atpg::AtpgOutcome::Netlist(err) => StitchError::Netlist(err),
+        })?;
+        let mut state = RunState {
+            eng,
+            cfg,
+            pool: ThreadPool::new(cfg.threads),
+            rng: Prng::seed_from_u64(cfg.seed),
+            podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
+            session: SimSession::new(eng.netlist, &eng.view),
+            scoap,
+            sets: FaultSets::new(Vec::new()),
+            good_image: BitVec::zeros(eng.chain.length()),
+            cycles: Vec::new(),
+            shifts: Vec::new(),
+            failed_targets: BTreeSet::new(),
+            never_target: BTreeSet::new(),
+            prescreen_redundant: Vec::new(),
+            prescreen_aborted: Vec::new(),
+            baseline,
+            budget: Budget::from_limit(cfg.budget),
+            k: cfg.policy.initial(eng.chain.length()),
+            stagnant: 0,
+            select_failed: false,
+            window: VecDeque::new(),
+            stop: None,
+        };
+        state.prescreen()?;
+        Ok(state)
+    }
+
+    /// Rebuilds a run's state from a checkpoint snapshot: validates that the
+    /// snapshot belongs to this netlist and configuration, restores the
+    /// fault sets (with every hidden image), the program so far, the PRNG
+    /// stream and the budget cursor. The prescreen is skipped — its outcome
+    /// (redundant/aborted verdicts and the PRNG draws it consumed) is
+    /// already baked into the snapshot.
+    pub(crate) fn resume(
+        eng: &'r StitchEngine<'a>,
+        cfg: &'r StitchConfig,
+        snap: Snapshot,
+    ) -> Result<Self, StitchError> {
+        let mismatch = |what: String| StitchError::Snapshot(SnapshotError::Mismatch(what));
+        if snap.circuit != eng.netlist.name() {
+            return Err(mismatch(format!(
+                "snapshot is for circuit {:?}, run is on {:?}",
+                snap.circuit,
+                eng.netlist.name()
+            )));
+        }
+        if snap.gate_count != eng.netlist.gate_count() {
+            return Err(mismatch(format!(
+                "gate count {} vs {}",
+                snap.gate_count,
+                eng.netlist.gate_count()
+            )));
+        }
+        let l = eng.chain.length();
+        if snap.scan_len != l {
+            return Err(mismatch(format!("scan length {} vs {l}", snap.scan_len)));
+        }
+        if snap.fault_count != eng.faults.len() {
+            return Err(mismatch(format!(
+                "collapsed fault count {} vs {}",
+                snap.fault_count,
+                eng.faults.len()
+            )));
+        }
+        if snap.fault_entries.len() != snap.fault_count {
+            return Err(mismatch(format!(
+                "{} fault entries for {} faults",
+                snap.fault_entries.len(),
+                snap.fault_count
+            )));
+        }
+        if snap.config_fingerprint != config_fingerprint(cfg) {
+            return Err(mismatch(
+                "configuration fingerprint differs (only threads/budget may change)".to_string(),
+            ));
+        }
+        if snap.k == 0 || snap.k > l {
+            return Err(mismatch(format!("shift size k={} out of range", snap.k)));
+        }
+        if snap.good_image.len() != l {
+            return Err(mismatch(
+                "good-image length differs from the chain".to_string(),
+            ));
+        }
+        let p = eng.view.pi_count();
+        for (i, c) in snap.cycles.iter().enumerate() {
+            if c.shift == 0 || c.shift > l || c.vector.len() != p + l {
+                return Err(mismatch(format!("cycle {i} is malformed")));
+            }
+        }
+
+        let mut tracked = Vec::new();
+        let mut state = Vec::new();
+        let mut images = Vec::new();
+        let mut prescreen_redundant = Vec::new();
+        for (&fault, entry) in eng.faults.faults().iter().zip(&snap.fault_entries) {
+            match entry {
+                FaultEntry::Redundant => prescreen_redundant.push(fault),
+                FaultEntry::Uncaught => {
+                    tracked.push(fault);
+                    state.push(FaultState::Uncaught);
+                    images.push(None);
+                }
+                FaultEntry::Caught => {
+                    tracked.push(fault);
+                    state.push(FaultState::Caught);
+                    images.push(None);
+                }
+                FaultEntry::Hidden(img) => {
+                    if img.len() != l {
+                        return Err(mismatch(
+                            "hidden-fault image length differs from the chain".to_string(),
+                        ));
+                    }
+                    tracked.push(fault);
+                    state.push(FaultState::Hidden);
+                    images.push(Some(img.clone()));
+                }
+            }
+        }
+        let tracked_len = tracked.len();
+        let sets = FaultSets::restore(tracked, state, images, snap.transitions)
+            .ok_or_else(|| mismatch("inconsistent fault-set state".to_string()))?;
+        if snap
+            .never_target
+            .iter()
+            .chain(&snap.failed_targets)
+            .any(|&i| i >= tracked_len)
+        {
+            return Err(mismatch("target index out of range".to_string()));
+        }
+        let never_target: BTreeSet<usize> = snap.never_target.iter().copied().collect();
+        let prescreen_aborted: Vec<Fault> = never_target.iter().map(|&i| sets.fault(i)).collect();
+
+        // The baseline pattern set is deterministic given the config, so it
+        // is recomputed rather than checkpointed.
+        let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
+            tvs_atpg::AtpgOutcome::Netlist(err) => StitchError::Netlist(err),
+        })?;
+        let shifts = snap.cycles.iter().map(|c| c.shift).collect();
+        Ok(RunState {
+            eng,
+            cfg,
+            pool: ThreadPool::new(cfg.threads),
+            rng: Prng::from_state(snap.rng),
+            podem: Podem::with_config(eng.netlist, &eng.view, cfg.podem),
+            session: SimSession::new(eng.netlist, &eng.view),
+            scoap: Scoap::compute(eng.netlist, &eng.view),
+            sets,
+            good_image: snap.good_image,
+            cycles: snap.cycles,
+            shifts,
+            failed_targets: snap.failed_targets.iter().copied().collect(),
+            never_target,
+            prescreen_redundant,
+            prescreen_aborted,
+            baseline,
+            budget: Budget::with_spent(cfg.budget, snap.budget_spent),
+            k: snap.k,
+            stagnant: snap.stagnant,
+            select_failed: false,
+            window: snap.window.iter().copied().collect(),
+            stop: None,
+        })
+    }
+
+    /// Captures a checkpoint at the current cycle boundary. Faults are
+    /// recorded positionally against the collapsed list, so the snapshot
+    /// needs no fault identities.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let collapsed = self.eng.faults.faults();
+        let mut fault_entries = Vec::with_capacity(collapsed.len());
+        let (mut tracked_i, mut red_i) = (0usize, 0usize);
+        for &fault in collapsed {
+            if red_i < self.prescreen_redundant.len() && self.prescreen_redundant[red_i] == fault {
+                fault_entries.push(FaultEntry::Redundant);
+                red_i += 1;
+            } else {
+                fault_entries.push(match self.sets.state(tracked_i) {
+                    FaultState::Uncaught => FaultEntry::Uncaught,
+                    FaultState::Caught => FaultEntry::Caught,
+                    FaultState::Hidden => FaultEntry::Hidden(
+                        self.sets
+                            .image(tracked_i)
+                            .cloned()
+                            .unwrap_or_else(BitVec::new),
+                    ),
+                });
+                tracked_i += 1;
+            }
+        }
+        Snapshot {
+            circuit: self.eng.netlist.name().to_string(),
+            gate_count: self.eng.netlist.gate_count(),
+            scan_len: self.l(),
+            fault_count: collapsed.len(),
+            config_fingerprint: config_fingerprint(self.cfg),
+            rng: self.rng.state(),
+            budget_spent: self.budget.spent(),
+            k: self.k,
+            stagnant: self.stagnant,
+            window: self.window.iter().copied().collect(),
+            good_image: self.good_image.clone(),
+            transitions: self.sets.transition_counts(),
+            cycles: self.cycles.clone(),
+            fault_entries,
+            never_target: self.never_target.iter().copied().collect(),
+            failed_targets: self.failed_targets.iter().copied().collect(),
+        }
+    }
+
+    /// Memory cost of one `k`-bit cycle, for the efficiency window.
+    pub(crate) fn cycle_cost(&self, k: usize) -> f64 {
+        (2 * k + self.p() + self.q()) as f64
+    }
+
+    /// Whether the current shift size is spent: constrained selection found
+    /// nothing, stagnation hit its limit, or the recent catches-per-
+    /// memory-bit rate fell below the (discounted) baseline rate. Evaluated
+    /// at the loop top from persisted state so a resumed run re-evaluates
+    /// it identically.
+    pub(crate) fn shift_exhausted(&self, baseline_rate: f64) -> bool {
+        if self.select_failed || self.stagnant >= self.cfg.stagnation_limit {
+            return true;
+        }
+        self.window.len() >= self.cfg.efficiency_window && {
+            let catches: usize = self.window.iter().map(|&(c, _)| c).sum();
+            let cost: f64 = self.window.iter().map(|&(_, c)| c).sum();
+            (catches as f64 / cost) < baseline_rate * self.cfg.efficiency_margin
+        }
+    }
+
+    /// The baseline flow's lifetime catches-per-memory-bit rate.
+    pub(crate) fn baseline_rate(&self) -> f64 {
+        let model = CostModel {
+            scan_len: self.l(),
+            pi_count: self.p(),
+            po_count: self.q(),
+        };
+        let mem = model.full_costs(self.baseline.len().max(1)).memory_bits;
+        self.sets.len() as f64 / mem as f64
+    }
+
+    /// Splits the collapsed list into tracked faults vs. proven-redundant
+    /// ones (the paper starts `f_u` from "all the irredundant faults").
+    /// Cheap testability witnesses come from random simulation; only the
+    /// survivors get an unconstrained PODEM verdict. Aborted faults stay
+    /// tracked (they can be caught fortuitously) but are never chosen as
+    /// ATPG targets.
+    fn prescreen(&mut self) -> Result<(), StitchError> {
+        // Chaos hook: a worker dying this early leaves no program to
+        // salvage, so the whole run reports a typed error.
+        if inject::fire("stitch.prescreen.panic") {
+            return Err(StitchError::WorkerPanic {
+                message: inject::panic_message("stitch.prescreen.panic"),
+            });
+        }
+        let faults = self.eng.faults.faults();
+        let mut testable = vec![false; faults.len()];
+        let mut alive: Vec<usize> = (0..faults.len()).collect();
+        for _ in 0..8 {
+            if alive.is_empty() {
+                break;
+            }
+            let pattern: BitVec = (0..self.eng.view.input_count())
+                .map(|_| self.rng.next_bool())
+                .collect();
+            let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
+            self.budget.charge(subset.len() as u64);
+            let hits = detect_parallel(
+                self.eng.netlist,
+                &self.eng.view,
+                &self.pool,
+                &pattern,
+                &subset,
+            );
+            alive = alive
+                .into_iter()
+                .zip(hits)
+                .filter_map(|(i, h)| {
+                    if h {
+                        testable[i] = true;
+                        None
+                    } else {
+                        Some(i)
+                    }
+                })
+                .collect();
+        }
+        let free = Cube::unspecified(self.eng.view.input_count());
+        let mut tracked: Vec<Fault> = Vec::with_capacity(faults.len());
+        // Redundancy proofs are worth extra effort: an abort here silently
+        // costs coverage, so the prescreen gets a much deeper backtrack
+        // budget than per-cycle constrained generation.
+        let deep = PodemConfig {
+            backtrack_limit: self.cfg.podem.backtrack_limit.saturating_mul(8),
+            ..self.cfg.podem
+        };
+        // Verdicts are independent per fault, so the deep PODEM runs fan out
+        // over the pool in fixed 32-fault chunks (one prover per chunk) and
+        // merge back in fault-index order — bit-identical at any thread
+        // count.
+        let needs: Vec<Fault> = faults
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !testable[i])
+            .map(|(_, &f)| f)
+            .collect();
+        let chunks: Vec<&[Fault]> = needs.chunks(32).collect();
+        let (netlist, view) = (self.eng.netlist, &self.eng.view);
+        // Each verdict comes back with its backtrack count so the budget
+        // charge reduces on the caller side, in fault order — deterministic
+        // at any thread count.
+        let verdicts: Vec<(PodemResult, u32)> = self
+            .pool
+            .try_map(&chunks, |_, chunk| {
+                let mut prover = Podem::with_config(netlist, view, deep);
+                chunk
+                    .iter()
+                    .map(|&fault| {
+                        let verdict = prover.generate(fault, &free);
+                        (verdict, prover.last_backtracks())
+                    })
+                    .collect::<Vec<(PodemResult, u32)>>()
+            })
+            .map_err(|panic| StitchError::WorkerPanic {
+                message: panic.message,
+            })?
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut verdicts = verdicts.into_iter();
+        for (i, &fault) in faults.iter().enumerate() {
+            if testable[i] {
+                tracked.push(fault);
+                continue;
+            }
+            // Defensive: the pool returns one verdict per screened fault; a
+            // short stream is treated as an abort rather than an invariant
+            // crash.
+            let (verdict, backtracks) = verdicts.next().unwrap_or((PodemResult::Aborted, 0));
+            self.budget.charge(1 + u64::from(backtracks));
+            match verdict {
+                PodemResult::Test(_) => tracked.push(fault),
+                PodemResult::Untestable => self.prescreen_redundant.push(fault),
+                PodemResult::Aborted => {
+                    self.prescreen_aborted.push(fault);
+                    self.never_target.insert(tracked.len());
+                    tracked.push(fault);
+                }
+            }
+        }
+        self.sets = FaultSets::new(tracked);
+        Ok(())
+    }
+
+    /// Session-backed fault detection under a shared stimulus. The engine
+    /// only ever builds view-width stimuli, so the session's typed length
+    /// error is structurally impossible here.
+    pub(crate) fn detect(&mut self, stimulus: &BitVec, faults: &[Fault]) -> Vec<bool> {
+        match self.session.detect(stimulus, faults) {
+            Ok(hits) => hits,
+            Err(_) => unreachable!("engine stimuli always match the scan view"),
+        }
+    }
+
+    pub(crate) fn p(&self) -> usize {
+        self.eng.view.pi_count()
+    }
+
+    pub(crate) fn q(&self) -> usize {
+        self.eng.view.po_count()
+    }
+
+    pub(crate) fn l(&self) -> usize {
+        self.eng.chain.length()
+    }
+}

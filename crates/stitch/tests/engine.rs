@@ -1,0 +1,166 @@
+//! End-to-end engine behaviour through the public API (formerly the
+//! in-crate test module of the pre-split `engine.rs` monolith).
+
+use tvs_logic::BitVec;
+use tvs_netlist::{GateKind, Netlist, NetlistBuilder};
+use tvs_stitch::{ShiftPolicy, StitchConfig, StitchEngine, StitchError};
+
+fn fig1() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1");
+    b.add_dff("a", "F").unwrap();
+    b.add_dff("b", "E").unwrap();
+    b.add_dff("c", "D").unwrap();
+    b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+    b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+    b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+    b.build().unwrap()
+}
+
+fn bv(s: &str) -> BitVec {
+    s.chars().map(|c| c == '1').collect()
+}
+
+#[test]
+fn no_scan_chain_is_rejected() {
+    let mut b = NetlistBuilder::new("comb");
+    b.add_input("a").unwrap();
+    b.add_gate("y", GateKind::Not, &["a"]).unwrap();
+    b.mark_output("y").unwrap();
+    let n = b.build().unwrap();
+    assert!(matches!(
+        StitchEngine::new(&n),
+        Err(StitchError::NoScanChain)
+    ));
+}
+
+#[test]
+fn fig1_run_reaches_full_coverage() {
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    let report = engine.run(&StitchConfig::default()).unwrap();
+    assert!(
+        report.metrics.fault_coverage >= 1.0 - 1e-9,
+        "coverage {}",
+        report.metrics.fault_coverage
+    );
+    assert_eq!(report.redundant.len(), 1, "the paper's E-F/1");
+    assert!(report.aborted.is_empty());
+}
+
+#[test]
+fn fig1_compresses_versus_baseline() {
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    let cfg = StitchConfig {
+        policy: ShiftPolicy::Fixed(2),
+        ..StitchConfig::default()
+    };
+    let report = engine.run(&cfg).unwrap();
+    assert!(report.metrics.time_ratio > 0.0);
+    // With k = 2 of 3 the stitched stream must beat full shifting per
+    // vector unless many extra vectors were needed.
+    if report.extra_vectors.is_empty() {
+        assert!(
+            report.metrics.time_ratio <= 1.05,
+            "t = {}",
+            report.metrics.time_ratio
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    let a = engine.run(&StitchConfig::default()).unwrap();
+    let b = engine.run(&StitchConfig::default()).unwrap();
+    assert_eq!(a.shifts, b.shifts);
+    assert_eq!(a.metrics.stitched_vectors, b.metrics.stitched_vectors);
+    assert_eq!(
+        a.cycles
+            .iter()
+            .map(|c| c.vector.clone())
+            .collect::<Vec<_>>(),
+        b.cycles
+            .iter()
+            .map(|c| c.vector.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn replay_reproduces_table1_catches() {
+    // The paper's schedule: 110, then 2-bit stitches yielding 001, 100,
+    // 010, closing with a 2-bit flush.
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    let vectors = vec![bv("110"), bv("001"), bv("100"), bv("010")];
+    let trace = engine
+        .replay(&vectors, &[3, 2, 2, 2], 2, &StitchConfig::default())
+        .unwrap();
+
+    // Fault-free responses per the paper.
+    let resp: Vec<String> = trace
+        .cycles
+        .iter()
+        .map(|c| c.response.to_string())
+        .collect();
+    assert_eq!(resp, vec!["111", "010", "000", "010"]);
+
+    // Every fault except the redundant E-F/1 is caught.
+    let uncaught: Vec<String> = trace
+        .rows
+        .iter()
+        .filter(|r| r.caught_at.is_none())
+        .map(|r| r.fault.display_in(&n))
+        .collect();
+    assert_eq!(uncaught, vec!["E-F/1".to_string()]);
+
+    // Spot-check the paper's hidden-fault story: F/0 is NOT caught in
+    // cycle 0 (its effect hides in cell a) but in cycle 1.
+    let f0 = trace
+        .rows
+        .iter()
+        .find(|r| r.fault.display_in(&n) == "F/0")
+        .expect("F/0 tracked");
+    assert_eq!(f0.caught_at, Some(1));
+    assert_eq!(f0.entries[0].response.to_string(), "011");
+    // Its mutated second vector is 000 (not the intended 001).
+    assert_eq!(f0.entries[1].vector.to_string(), "000");
+    assert_eq!(f0.entries[1].response.to_string(), "000");
+}
+
+#[test]
+fn replay_rejects_impossible_schedules() {
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    // Second vector 101: cell c would need to hold 1, but the shifted
+    // response leaves a 1 only via cell a of response 111 -> c = 1 works;
+    // pick something genuinely inconsistent: 011 needs c = 1 as well...
+    // response 111 shifted by 2 gives c = 1, cells a,b free. So any
+    // second vector with c = 0 is impossible.
+    let vectors = vec![bv("110"), bv("010")];
+    let err = engine
+        .replay(&vectors, &[3, 2], 2, &StitchConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, StitchError::ReplayMismatch { cycle: 1 }));
+}
+
+#[test]
+fn hidden_faults_appear_during_fig1_replay() {
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    let vectors = vec![bv("110"), bv("001"), bv("100"), bv("010")];
+    let trace = engine
+        .replay(&vectors, &[3, 2, 2, 2], 2, &StitchConfig::default())
+        .unwrap();
+    // F/1 and D-F/1 mutate the third vector to 101 per the paper.
+    for name in ["F/1", "D-F/1"] {
+        let row = trace.rows.iter().find(|r| r.fault.display_in(&n) == name);
+        if let Some(row) = row {
+            // (collapsing may merge D-F/1 into another representative)
+            assert_eq!(row.caught_at, Some(2), "{name}");
+            assert_eq!(row.entries[2].vector.to_string(), "101", "{name}");
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! |---|---|---|
 //! | 2 | [`Usage`](TvsError::Usage) | bad invocation: unknown option, missing argument, malformed value |
 //! | 3 | [`Netlist`](TvsError::Netlist) / [`Program`](TvsError::Program) | malformed input artifact (`.bench` or `.tvp`) |
-//! | 4 | [`Stitch`](TvsError::Stitch) / [`Atpg`](TvsError::Atpg) | the generation engines rejected the run |
+//! | 4 | [`Stitch`](TvsError::Stitch) / [`Atpg`](TvsError::Atpg) / [`Fault`](TvsError::Fault) | the generation engines rejected the run |
 //! | 5 | [`Snapshot`](TvsError::Snapshot) | a checkpoint file is corrupt, foreign or mismatched |
 //! | 6 | [`Io`](TvsError::Io) | the operating system failed us |
 //! | 7 | [`Lint`](TvsError::Lint) | deny-level diagnostics found |
@@ -23,6 +23,7 @@ use std::fmt;
 
 use tvs_ate::ParseProgramError;
 use tvs_atpg::AtpgOutcome;
+use tvs_fault::FaultError;
 use tvs_netlist::NetlistError;
 use tvs_stitch::{SnapshotError, StitchError};
 
@@ -41,6 +42,8 @@ pub enum TvsError {
     Stitch(StitchError),
     /// The conventional ATPG flow failed.
     Atpg(AtpgOutcome),
+    /// The fault-simulation session rejected a sweep request.
+    Fault(FaultError),
     /// A checkpoint snapshot is truncated, corrupt, foreign or mismatched.
     Snapshot(SnapshotError),
     /// An operating-system I/O failure, with the path involved.
@@ -61,7 +64,7 @@ impl TvsError {
         match self {
             TvsError::Usage(_) => 2,
             TvsError::Netlist(_) | TvsError::Program(_) => 3,
-            TvsError::Stitch(_) | TvsError::Atpg(_) => 4,
+            TvsError::Stitch(_) | TvsError::Atpg(_) | TvsError::Fault(_) => 4,
             TvsError::Snapshot(_) => 5,
             TvsError::Io { .. } => 6,
             TvsError::Lint(_) => 7,
@@ -90,6 +93,7 @@ impl fmt::Display for TvsError {
             TvsError::Program(e) => write!(f, "program: {e}"),
             TvsError::Stitch(e) => write!(f, "stitch: {e}"),
             TvsError::Atpg(e) => write!(f, "atpg: {e}"),
+            TvsError::Fault(e) => write!(f, "fault: {e}"),
             TvsError::Snapshot(e) => write!(f, "snapshot: {e}"),
             TvsError::Io { path, source } => write!(f, "io: {path}: {source}"),
             TvsError::Lint(m) => write!(f, "lint: {m}"),
@@ -104,6 +108,7 @@ impl Error for TvsError {
             TvsError::Program(e) => Some(e),
             TvsError::Stitch(e) => Some(e),
             TvsError::Atpg(e) => Some(e),
+            TvsError::Fault(e) => Some(e),
             TvsError::Snapshot(e) => Some(e),
             TvsError::Io { source, .. } => Some(source),
             TvsError::Usage(_) | TvsError::Lint(_) => None,
@@ -134,6 +139,12 @@ impl From<StitchError> for TvsError {
     }
 }
 
+impl From<FaultError> for TvsError {
+    fn from(e: FaultError) -> Self {
+        TvsError::Fault(e)
+    }
+}
+
 impl From<AtpgOutcome> for TvsError {
     fn from(e: AtpgOutcome) -> Self {
         TvsError::Atpg(e)
@@ -158,6 +169,10 @@ mod tests {
             3
         );
         assert_eq!(TvsError::from(StitchError::NoScanChain).exit_code(), 4);
+        assert_eq!(
+            TvsError::from(FaultError::TooManySlots { given: 65 }).exit_code(),
+            4
+        );
         assert_eq!(TvsError::from(SnapshotError::Truncated).exit_code(), 5);
         assert_eq!(TvsError::io("x", std::io::Error::other("e")).exit_code(), 6);
         assert_eq!(TvsError::Lint("deny".into()).exit_code(), 7);

@@ -1,0 +1,74 @@
+//! Snapshot-format pin: a checked-in checkpoint written by the *pre-split*
+//! engine must keep parsing and resuming bit-identically after any
+//! refactor of the stitch pipeline or the simulation kernel.
+//!
+//! `tests/data/s444_pin.tvsnap` was captured with
+//! `tvs run s444.bench --threads 1 --checkpoint-every 3` at the default
+//! configuration; `tests/data/s444_pin.bench` is the matching circuit. The
+//! reference run printed `TV=39 ex=19 aTV=39 m=0.90 t=0.80 coverage=1.0000`.
+
+use tvs::netlist::bench;
+use tvs::stitch::{RunOptions, Snapshot, StitchConfig, StitchEngine, StitchReport, Termination};
+
+fn pinned_netlist() -> tvs::netlist::Netlist {
+    let text = include_str!("data/s444_pin.bench");
+    bench::parse("s444", text).expect("pinned bench parses")
+}
+
+fn pinned_snapshot() -> Snapshot {
+    let text = include_str!("data/s444_pin.tvsnap");
+    Snapshot::parse(text).expect("pinned snapshot parses")
+}
+
+fn run_resumed(netlist: &tvs::netlist::Netlist, threads: usize) -> StitchReport {
+    let cfg = StitchConfig {
+        threads,
+        ..StitchConfig::default()
+    };
+    StitchEngine::new(netlist)
+        .expect("engine")
+        .run_with(
+            &cfg,
+            RunOptions {
+                resume: Some(pinned_snapshot()),
+                checkpoint_every: 0,
+                on_checkpoint: None,
+            },
+        )
+        .expect("resume from the pinned snapshot")
+}
+
+#[test]
+fn pinned_snapshot_parses_and_describes_the_pinned_circuit() {
+    let snap = pinned_snapshot();
+    let netlist = pinned_netlist();
+    assert_eq!(snap.circuit, "s444");
+    assert_eq!(snap.gate_count, netlist.gate_count());
+    assert_eq!(snap.scan_len, netlist.dff_count());
+    // Canonical serialization: emitting the parsed snapshot reproduces it.
+    let reparsed = Snapshot::parse(&snap.to_text()).expect("round trip");
+    assert_eq!(snap, reparsed);
+}
+
+#[test]
+fn pinned_snapshot_resumes_bit_identically_to_an_uninterrupted_run() {
+    let netlist = pinned_netlist();
+    let full = StitchEngine::new(&netlist)
+        .expect("engine")
+        .run(&StitchConfig::default())
+        .expect("uninterrupted run");
+    assert_eq!(full.termination, Termination::Complete);
+    // The pre-refactor reference numbers, pinned to the byte.
+    assert_eq!(
+        full.metrics.to_string(),
+        "TV=39 ex=19 aTV=39 m=0.90 t=0.80 coverage=1.0000"
+    );
+
+    for threads in [1, 2, 8] {
+        let resumed = run_resumed(&netlist, threads);
+        assert_eq!(
+            full, resumed,
+            "resume at {threads} threads diverged from the uninterrupted run"
+        );
+    }
+}
