@@ -21,6 +21,35 @@ cargo run -q -p tvs-lint --release --offline --bin tvs-lint -- --workspace --for
 # Engine 1 (IR design rules) over every built-in circuit profile:
 cargo run -q --release --offline --bin tvs -- lint --profiles > /dev/null
 
+# Serve smoke: start the daemon on a loopback port, drive a job through
+# submit/wait/fetch with the client binary, check the warm path is a cache
+# hit with byte-identical bytes, then shut down and assert a clean drain.
+SMOKE=$(mktemp -d)
+ADDR=""
+cargo run -q --release --offline --bin tvs -- gen s444 "$SMOKE/s444.bench"
+cargo run -q --release --offline --bin tvs -- serve --listen 127.0.0.1:0 \
+  --cache-dir "$SMOKE/cache" --workers 2 --queue 8 > "$SMOKE/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^tvs-serve: listening on //p' "$SMOKE/serve.log")
+  if [ -n "$ADDR" ]; then break; fi
+  sleep 0.1
+done
+test -n "$ADDR"
+client() { cargo run -q --release --offline -p tvs-serve --bin tvs-client -- --addr "$ADDR" "$@"; }
+client submit --wait --fetch --out "$SMOKE/artifact.json" "$SMOKE/s444.bench"
+# Capture before grepping: grep -q closes the pipe at first match, and under
+# pipefail the client's SIGPIPE would read as a stage failure.
+client submit --fetch --out "$SMOKE/artifact2.json" "$SMOKE/s444.bench" > "$SMOKE/resubmit.out"
+grep -q cache-hit "$SMOKE/resubmit.out"
+cmp "$SMOKE/artifact.json" "$SMOKE/artifact2.json"
+client stats > "$SMOKE/stats.out"
+grep -q '"serve.engine_runs":1' "$SMOKE/stats.out"
+client shutdown
+wait "$SERVE_PID"
+grep -q "drained, exiting" "$SMOKE/serve.log"
+rm -rf "$SMOKE"
+
 # Chaos suite: deterministic fault injection (worker panics, PODEM abort
 # storms, corrupted hidden-chain images, truncated inputs). The injection
 # sites only exist in debug builds, so this stage runs unoptimized on

@@ -9,10 +9,16 @@
 //!   the injection fanout cones ([`ParallelSim::eval_incremental`]).
 //!
 //! The two modes must produce bit-identical output words (exit 1 otherwise),
-//! and the incremental mode must evaluate strictly fewer gates per the
-//! `sim.gates_evaluated` counter (exit 1 otherwise). Results — gate
-//! evaluations and median wall time per pass — are written to
-//! `BENCH_sim.json` in the current directory.
+//! and the incremental mode must beat the full sweep by at least
+//! [`MIN_GATE_EVAL_RATIO`]× on the `sim.gates_evaluated` counter (exit 1
+//! otherwise). The gate is **deterministic**: counter values are a pure
+//! function of the workload, so the same binary passes or fails identically
+//! on a loaded CI box and a quiet workstation. Wall-clock medians are still
+//! measured and reported in the JSON, but purely as information — they gate
+//! nothing.
+//!
+//! Results — gate evaluations and median wall time per pass — are written
+//! to `BENCH_sim.json` in the current directory.
 //!
 //! Usage: `simbench [--out <path>]`.
 
@@ -22,6 +28,12 @@ use tvs_bench::microbench::BenchGroup;
 use tvs_fault::FaultList;
 use tvs_logic::Prng;
 use tvs_sim::{Injection, ParallelSim};
+
+/// The CI gate: the incremental kernel must evaluate at least this many
+/// times fewer gates than full sweeps on the s38417 workload. The observed
+/// ratio is ~4–5×; 2.0 leaves headroom for workload drift while still
+/// catching a broken fanout-cone cut (which collapses the ratio to ~1).
+const MIN_GATE_EVAL_RATIO: f64 = 2.0;
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_sim.json");
@@ -123,13 +135,17 @@ fn main() -> ExitCode {
     std::fs::write(&out_path, &json).expect("write bench results");
     print!("{json}");
 
-    if gates_incremental >= gates_full {
+    if ratio < MIN_GATE_EVAL_RATIO {
         eprintln!(
-            "simbench: FAIL — incremental evaluated {gates_incremental} gates, \
-             full evaluated {gates_full} (no win)"
+            "simbench: FAIL — incremental evaluated {gates_incremental} gates vs \
+             {gates_full} full ({ratio:.2}x, gate requires {MIN_GATE_EVAL_RATIO}x)"
         );
         return ExitCode::FAILURE;
     }
-    eprintln!("simbench: OK — {ratio:.1}x fewer gate evaluations, results in {out_path}");
+    eprintln!(
+        "simbench: OK — {ratio:.1}x fewer gate evaluations \
+         (deterministic gate ≥ {MIN_GATE_EVAL_RATIO}x; wall times informational), \
+         results in {out_path}"
+    );
     ExitCode::SUCCESS
 }

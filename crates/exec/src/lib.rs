@@ -20,6 +20,9 @@
 //!   wall clock), panic-capturing [`try_map`](ThreadPool::try_map) with a
 //!   deterministic [`TaskPanic`] outcome, and the [`inject`] chaos-testing
 //!   registry (compiled out in release builds).
+//! * Serving substrate — [`JobQueue`], a bounded multi-producer job queue
+//!   with long-lived workers and cloneable [`JobHandle`]s, the admission /
+//!   single-flight primitive under the `tvs-serve` daemon.
 //!
 //! # Determinism contract
 //!
@@ -44,8 +47,10 @@
 mod budget;
 pub mod inject;
 mod pool;
+mod queue;
 mod stats;
 
 pub use budget::Budget;
 pub use pool::{default_threads, Scope, TaskPanic, ThreadPool};
+pub use queue::{JobHandle, JobPanicked, JobQueue, QueueFull};
 pub use stats::{counter, report, reset_stats, span, Counter, Report, SpanGuard};

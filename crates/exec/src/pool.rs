@@ -398,7 +398,7 @@ impl std::fmt::Display for TaskPanic {
 impl std::error::Error for TaskPanic {}
 
 /// Renders a panic payload as a human-readable string.
-fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

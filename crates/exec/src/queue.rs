@@ -1,0 +1,448 @@
+//! A bounded job queue with long-lived workers and shareable job handles.
+//!
+//! The [`ThreadPool`](crate::ThreadPool) serves barrier-style fan-out: a
+//! caller scopes a batch, helps execute it and collects everything before
+//! moving on. A *serving* workload is shaped differently — jobs arrive one
+//! at a time from many producers, run for seconds, and several parties may
+//! want the same job's result. [`JobQueue`] covers that shape:
+//!
+//! * **Bounded admission.** The queue admits at most `capacity` unfinished
+//!   jobs (queued + running). [`submit`](JobQueue::submit) never blocks: a
+//!   full queue is a typed [`QueueFull`] the caller turns into backpressure
+//!   (the serve layer's `busy` response) instead of an unbounded pile-up.
+//! * **Shareable handles.** [`JobHandle`] is a cheap clone; any number of
+//!   waiters can block on ([`wait`](JobHandle::wait)) or poll
+//!   ([`try_get`](JobHandle::try_get)) the same job. This is the primitive
+//!   under single-flight deduplication: N identical requests share one
+//!   handle and therefore one execution.
+//! * **Ready handles.** [`JobHandle::ready`] wraps an already-known value
+//!   (a cache hit) in the same interface as a live job, so consumers need
+//!   not branch on provenance.
+//! * **Typed panics.** A panicking job resolves its handle to a
+//!   [`JobPanicked`] carrying the stringified payload — waiters get an
+//!   error, the workers survive.
+//!
+//! Jobs execute in FIFO submission order per worker pickup; with one worker
+//! the order is exactly FIFO. The queue makes no determinism claim about
+//! *interleaving* across workers — determinism of job *results* is the
+//! submitted closures' business (the stitch engine guarantees it by
+//! construction).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::stats::{self, lock_unpoisoned};
+
+/// A queued unit of work producing a `T`.
+type Job<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// The queue was at capacity; the job was **not** admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Unfinished jobs (queued + running) at rejection time.
+    pub open: usize,
+    /// The queue's admission bound.
+    pub capacity: usize,
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job queue full: {} unfinished jobs at capacity {}",
+            self.open, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// The job this handle tracks panicked instead of producing a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// Stringified panic payload.
+    pub message: String,
+}
+
+impl fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+/// Completion cell shared by a job and every handle cloned from it.
+struct JobCell<T> {
+    slot: Mutex<Option<Result<Arc<T>, JobPanicked>>>,
+    done: Condvar,
+}
+
+/// A cheap, cloneable ticket for one job's eventual result.
+///
+/// All clones observe the same completion; results are shared as `Arc<T>`
+/// so many waiters never copy the value.
+pub struct JobHandle<T> {
+    cell: Arc<JobCell<T>>,
+}
+
+impl<T> Clone for JobHandle<T> {
+    fn clone(&self) -> Self {
+        JobHandle {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T> fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<T> JobHandle<T> {
+    fn pending() -> Self {
+        JobHandle {
+            cell: Arc::new(JobCell {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A handle that is already complete with `value` — a cache hit wearing
+    /// the same interface as a live job.
+    pub fn ready(value: T) -> Self {
+        let handle = JobHandle::pending();
+        handle.fulfill(Ok(Arc::new(value)));
+        handle
+    }
+
+    fn fulfill(&self, result: Result<Arc<T>, JobPanicked>) {
+        let mut slot = lock_unpoisoned(&self.cell.slot);
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.cell.done.notify_all();
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_finished(&self) -> bool {
+        lock_unpoisoned(&self.cell.slot).is_some()
+    }
+
+    /// The result if the job already finished, without blocking.
+    pub fn try_get(&self) -> Option<Result<Arc<T>, JobPanicked>> {
+        lock_unpoisoned(&self.cell.slot).clone()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(&self) -> Result<Arc<T>, JobPanicked> {
+        let mut slot = lock_unpoisoned(&self.cell.slot);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self
+                .cell
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<(Job<T>, JobHandle<T>)>,
+    /// Queued + running jobs: the quantity the capacity bounds.
+    open: usize,
+    shutdown: bool,
+}
+
+struct QueueShared<T> {
+    state: Mutex<QueueState<T>>,
+    /// Workers park here when the queue is empty.
+    work: Condvar,
+    /// Producers/drainers park here waiting for `open` to drop.
+    settled: Condvar,
+    capacity: usize,
+}
+
+/// A bounded multi-producer job queue executed by dedicated worker threads.
+///
+/// Dropping the queue drains it: workers finish every admitted job (queued
+/// jobs included) before joining, so no accepted work is ever lost.
+///
+/// # Examples
+///
+/// ```
+/// use tvs_exec::JobQueue;
+///
+/// let queue: JobQueue<u64> = JobQueue::new(2, 8);
+/// let handle = queue.submit(|| 6 * 7).expect("under capacity");
+/// assert_eq!(*handle.wait().expect("no panic"), 42);
+/// ```
+pub struct JobQueue<T> {
+    shared: Arc<QueueShared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T> fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .field("open", &lock_unpoisoned(&self.shared.state).open)
+            .finish()
+    }
+}
+
+impl<T: Send + Sync + 'static> JobQueue<T> {
+    /// Creates a queue served by `workers` threads (clamped to at least 1)
+    /// admitting at most `capacity` unfinished jobs (clamped likewise).
+    ///
+    /// If the OS refuses a worker thread the queue degrades to however many
+    /// it got; admission keeps working as long as one worker exists, and
+    /// even a fully worker-less queue still drains on drop (inline).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            settled: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .filter_map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tvs-queue-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .ok()
+            })
+            .collect();
+        JobQueue { shared, workers }
+    }
+
+    /// Admits `job` if the queue has room, returning a shareable handle for
+    /// its result.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when `capacity` jobs are already unfinished; the job is
+    /// not admitted and the caller should shed load (the typed backpressure
+    /// the serve layer surfaces as `busy`).
+    pub fn submit(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<JobHandle<T>, QueueFull> {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        if state.open >= self.shared.capacity || state.shutdown {
+            return Err(QueueFull {
+                open: state.open,
+                capacity: self.shared.capacity,
+            });
+        }
+        state.open += 1;
+        let handle = JobHandle::pending();
+        state.jobs.push_back((Box::new(job), handle.clone()));
+        stats::counter("exec.jobs_submitted").incr();
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(handle)
+    }
+
+    /// Unfinished jobs right now (queued + running).
+    pub fn open_jobs(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).open
+    }
+
+    /// The admission bound this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Blocks until every admitted job has finished. New submissions are
+    /// still accepted while draining; callers wanting a terminal drain stop
+    /// producing first (the serve layer's `draining` flag).
+    pub fn drain(&self) {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        while state.open > 0 {
+            state = self
+                .shared
+                .settled
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Drop for JobQueue<T> {
+    fn drop(&mut self) {
+        // Run any still-queued jobs inline if every worker thread failed to
+        // spawn; otherwise let the workers finish the backlog.
+        let inline: Vec<(Job<T>, JobHandle<T>)> = {
+            let mut state = lock_unpoisoned(&self.shared.state);
+            state.shutdown = true;
+            if self.workers.is_empty() {
+                state.jobs.drain(..).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        for (job, handle) in inline {
+            run_job(&self.shared, job, handle);
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _joined = worker.join();
+        }
+    }
+}
+
+fn run_job<T>(shared: &QueueShared<T>, job: Job<T>, handle: JobHandle<T>) {
+    let result = panic::catch_unwind(AssertUnwindSafe(job))
+        .map(Arc::new)
+        .map_err(|payload| {
+            stats::counter("exec.jobs_panicked").incr();
+            JobPanicked {
+                message: crate::pool::payload_message(payload),
+            }
+        });
+    handle.fulfill(result);
+    stats::counter("exec.jobs_finished").incr();
+    let mut state = lock_unpoisoned(&shared.state);
+    state.open = state.open.saturating_sub(1);
+    drop(state);
+    shared.settled.notify_all();
+}
+
+fn worker_loop<T>(shared: &QueueShared<T>) {
+    loop {
+        let mut state = lock_unpoisoned(&shared.state);
+        loop {
+            if let Some((job, handle)) = state.jobs.pop_front() {
+                drop(state);
+                run_job(shared, job, handle);
+                break;
+            }
+            if state.shutdown {
+                return;
+            }
+            state = shared
+                .work
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn jobs_complete_and_handles_share_the_value() {
+        let queue: JobQueue<String> = JobQueue::new(2, 4);
+        let handle = queue.submit(|| "hello".to_string()).expect("room");
+        let clone = handle.clone();
+        assert_eq!(*handle.wait().expect("ok"), "hello");
+        assert_eq!(*clone.wait().expect("ok"), "hello");
+        assert!(clone.is_finished());
+        assert_eq!(*clone.try_get().expect("done").expect("ok"), "hello");
+    }
+
+    #[test]
+    fn ready_handles_behave_like_finished_jobs() {
+        let handle = JobHandle::ready(7u64);
+        assert!(handle.is_finished());
+        assert_eq!(*handle.wait().expect("ok"), 7);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound_and_frees_up_after_completion() {
+        let queue: JobQueue<u64> = JobQueue::new(1, 2);
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let first = queue
+            .submit(move || {
+                g.wait();
+                1
+            })
+            .expect("room");
+        // The worker may or may not have picked up the first job; either way
+        // both it and the second occupy capacity.
+        let second = queue.submit(|| 2).expect("room");
+        let err = queue.submit(|| 3).expect_err("full");
+        assert_eq!(err.capacity, 2);
+        assert_eq!(err.open, 2);
+        gate.wait();
+        assert_eq!(*first.wait().expect("ok"), 1);
+        assert_eq!(*second.wait().expect("ok"), 2);
+        queue.drain();
+        assert_eq!(queue.open_jobs(), 0);
+        let third = queue.submit(|| 3).expect("room again");
+        assert_eq!(*third.wait().expect("ok"), 3);
+    }
+
+    #[test]
+    fn panicking_jobs_resolve_handles_and_spare_the_workers() {
+        let queue: JobQueue<u64> = JobQueue::new(1, 4);
+        let bad = queue.submit(|| panic!("boom")).expect("room");
+        let err = bad.wait().expect_err("panicked");
+        assert_eq!(err.message, "boom");
+        // The single worker survived the panic and serves the next job.
+        let good = queue.submit(|| 5).expect("room");
+        assert_eq!(*good.wait().expect("ok"), 5);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let queue: JobQueue<()> = JobQueue::new(1, 64);
+            for _ in 0..32 {
+                let ran = Arc::clone(&ran);
+                queue
+                    .submit(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .expect("room");
+            }
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 32, "drop must drain");
+    }
+
+    #[test]
+    fn many_waiters_on_one_job_all_wake() {
+        let queue: JobQueue<u64> = JobQueue::new(2, 4);
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let handle = queue
+            .submit(move || {
+                g.wait();
+                99
+            })
+            .expect("room");
+        let waiters: Vec<_> = (0..8)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || *h.wait().expect("ok"))
+            })
+            .collect();
+        gate.wait();
+        for w in waiters {
+            assert_eq!(w.join().expect("waiter"), 99);
+        }
+    }
+}

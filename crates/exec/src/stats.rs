@@ -159,6 +159,53 @@ impl Report {
             .find(|c| c.name == name)
             .map_or(0, |c| c.value)
     }
+
+    /// Renders the report as machine-readable JSON:
+    /// `{"counters":{...},"timers":{name:{"total_nanos":n,"entries":n}}}`.
+    ///
+    /// Keys come out in the report's sorted order, so two snapshots of the
+    /// same state serialize byte-identically. This is the serializer behind
+    /// `tvs run --stats-json` and the serve daemon's `stats` response.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(&c.name), c.value));
+        }
+        out.push_str("},\"timers\":{");
+        for (i, t) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"total_nanos\":{},\"entries\":{}}}",
+                json_escape(&t.name),
+                t.total_nanos,
+                t.entries
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Takes a [`Report`] snapshot of the global registry.
@@ -311,6 +358,16 @@ mod tests {
         let rendered = snap.to_string();
         assert!(rendered.contains("test.stats.render.a"));
         assert!(rendered.contains("counter"));
+    }
+
+    #[test]
+    fn json_report_is_structured_and_escaped() {
+        counter("test.stats.json \"q\"").add(3);
+        let json = report().to_json();
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        assert!(json.contains(r#""test.stats.json \"q\"":3"#), "{json}");
+        assert!(json.contains("\"timers\":{"), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! The content-addressed artifact store.
+//!
+//! An artifact's identity is a function of **what** is compressed and
+//! **how**: the FNV-1a fingerprint of the canonicalized `.bench` source
+//! (parse → [`tvs_netlist::bench::to_string`], so formatting, comments and
+//! declaration order cannot split the cache) combined with the
+//! [`StitchConfig`] fingerprint. The config half reuses the snapshot
+//! fingerprint and hashes the work budget back in: the snapshot fingerprint
+//! deliberately excludes `budget` (a resumed run may get a fresh allowance),
+//! but an exhausted budget truncates the run and therefore changes the
+//! emitted artifact. `threads` stays excluded — results are bit-identical at
+//! any worker count, which is precisely what makes them cacheable.
+//!
+//! Writes go through a temporary file followed by an atomic rename, so a
+//! crashed server never leaves a truncated artifact that a warm start would
+//! serve as truth. Alongside each pending artifact the store keeps the job's
+//! latest checkpoint snapshot (`<key>.tvsnap`); a resubmission after a crash
+//! resumes instead of recomputing.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tvs_stitch::{fnv1a, StitchConfig};
+
+use crate::error::ServeError;
+
+/// The 64-bit content address of an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ArtifactKey(pub u64);
+
+impl ArtifactKey {
+    /// Derives the key from canonical netlist text and a configuration.
+    pub fn compute(canonical_bench: &str, config: &StitchConfig) -> ArtifactKey {
+        let bench_hash = fnv1a(canonical_bench.as_bytes());
+        let ident = format!(
+            "{bench_hash:016x}|{:016x}|{:?}",
+            config.fingerprint(),
+            config.budget
+        );
+        ArtifactKey(fnv1a(ident.as_bytes()))
+    }
+
+    /// Parses the 16-hex-digit rendering produced by `Display`.
+    pub fn parse(text: &str) -> Option<ArtifactKey> {
+        (text.len() == 16)
+            .then(|| u64::from_str_radix(text, 16).ok())
+            .flatten()
+            .map(ArtifactKey)
+    }
+}
+
+impl std::fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// On-disk artifact + checkpoint store rooted at one cache directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactStore, ServeError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| ServeError::io(dir.display().to_string(), e))?;
+        Ok(ArtifactStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn artifact_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Path of the checkpoint snapshot kept while `key` is being computed.
+    pub fn snapshot_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{key}.tvsnap"))
+    }
+
+    /// Loads a cached artifact, `None` on a cold key.
+    pub fn load(&self, key: ArtifactKey) -> Result<Option<String>, ServeError> {
+        read_optional(&self.artifact_path(key))
+    }
+
+    /// Persists an artifact atomically (temp file + rename).
+    pub fn store(&self, key: ArtifactKey, artifact: &str) -> Result<(), ServeError> {
+        write_atomic(&self.artifact_path(key), artifact)
+    }
+
+    /// Loads the pending checkpoint for `key`, `None` if absent.
+    pub fn load_snapshot(&self, key: ArtifactKey) -> Result<Option<String>, ServeError> {
+        read_optional(&self.snapshot_path(key))
+    }
+
+    /// Persists a checkpoint atomically.
+    pub fn store_snapshot(&self, key: ArtifactKey, text: &str) -> Result<(), ServeError> {
+        write_atomic(&self.snapshot_path(key), text)
+    }
+
+    /// Drops the checkpoint once its artifact is final. Missing files are
+    /// fine — a clean cold run never wrote one.
+    pub fn remove_snapshot(&self, key: ArtifactKey) -> Result<(), ServeError> {
+        match fs::remove_file(self.snapshot_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(ServeError::io(
+                self.snapshot_path(key).display().to_string(),
+                e,
+            )),
+        }
+    }
+}
+
+fn read_optional(path: &Path) -> Result<Option<String>, ServeError> {
+    match fs::read_to_string(path) {
+        Ok(text) => Ok(Some(text)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(ServeError::io(path.display().to_string(), e)),
+    }
+}
+
+fn write_atomic(path: &Path, text: &str) -> Result<(), ServeError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text)
+        .and_then(|()| fs::rename(&tmp, path))
+        .map_err(|e| ServeError::io(path.display().to_string(), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_tracks_content_not_formatting() {
+        let cfg = StitchConfig::default();
+        let a = ArtifactKey::compute("INPUT(a)\n", &cfg);
+        let b = ArtifactKey::compute("INPUT(a)\n", &cfg);
+        let c = ArtifactKey::compute("INPUT(b)\n", &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_tracks_config_and_budget_but_not_threads() {
+        let base = StitchConfig::default();
+        let bench = "INPUT(a)\n";
+        let k0 = ArtifactKey::compute(bench, &base);
+
+        let mut seeded = base.clone();
+        seeded.seed ^= 1;
+        assert_ne!(k0, ArtifactKey::compute(bench, &seeded));
+
+        let mut budgeted = base.clone();
+        budgeted.budget = Some(1000);
+        assert_ne!(k0, ArtifactKey::compute(bench, &budgeted));
+
+        let mut threaded = base.clone();
+        threaded.threads = 7;
+        assert_eq!(k0, ArtifactKey::compute(bench, &threaded));
+    }
+
+    #[test]
+    fn key_display_round_trips() {
+        let key = ArtifactKey(0x00ab_cdef_0123_4567);
+        assert_eq!(ArtifactKey::parse(&key.to_string()), Some(key));
+        assert_eq!(ArtifactKey::parse("xyz"), None);
+    }
+
+    #[test]
+    fn store_round_trips_and_overwrites_atomically() {
+        let dir = std::env::temp_dir().join(format!("tvs-serve-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).unwrap();
+        let key = ArtifactKey(42);
+        assert_eq!(store.load(key).unwrap(), None);
+        store.store(key, "{\"v\":1}").unwrap();
+        assert_eq!(store.load(key).unwrap().as_deref(), Some("{\"v\":1}"));
+        store.store(key, "{\"v\":2}").unwrap();
+        assert_eq!(store.load(key).unwrap().as_deref(), Some("{\"v\":2}"));
+
+        assert_eq!(store.load_snapshot(key).unwrap(), None);
+        store.store_snapshot(key, "snap").unwrap();
+        assert_eq!(store.load_snapshot(key).unwrap().as_deref(), Some("snap"));
+        store.remove_snapshot(key).unwrap();
+        store.remove_snapshot(key).unwrap(); // idempotent
+        assert_eq!(store.load_snapshot(key).unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,138 @@
+//! The serve layer's error taxonomy and its wire representation.
+
+use std::fmt;
+use std::io;
+
+use crate::json::Value;
+use crate::proto::ProtoError;
+
+/// Everything that can go wrong between a request arriving and a response
+/// leaving. Each variant maps to a stable wire code (see
+/// [`ServeError::wire_code`]) so clients can branch without parsing prose.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The job queue is at capacity; the client should back off and retry.
+    Busy {
+        /// Jobs admitted and not yet finished.
+        open: usize,
+        /// The queue's admission bound.
+        capacity: usize,
+    },
+    /// The server is draining after a `shutdown` request; no new work.
+    Draining,
+    /// The peer violated the framing or request grammar.
+    Protocol(String),
+    /// A job id that the server never issued (or has no record of).
+    UnknownJob(String),
+    /// The job ran and failed; the message is the engine's error.
+    JobFailed(String),
+    /// The submitted netlist failed to parse.
+    Netlist(String),
+    /// The submitted stitch configuration is invalid.
+    Config(String),
+    /// A filesystem or socket operation failed.
+    Io {
+        /// What was being attempted (usually a path).
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl ServeError {
+    /// Convenience constructor for I/O failures.
+    pub fn io(context: impl Into<String>, source: io::Error) -> ServeError {
+        ServeError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// The stable machine-readable code carried in error responses.
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            ServeError::Busy { .. } => "busy",
+            ServeError::Draining => "draining",
+            ServeError::Protocol(_) => "protocol",
+            ServeError::UnknownJob(_) => "unknown-job",
+            ServeError::JobFailed(_) => "job-failed",
+            ServeError::Netlist(_) => "netlist",
+            ServeError::Config(_) => "config",
+            ServeError::Io { .. } => "io",
+        }
+    }
+
+    /// Renders the error as the protocol's `{"ok":false,...}` response.
+    pub fn to_wire(&self) -> Value {
+        let mut pairs = vec![
+            ("ok".to_owned(), Value::Bool(false)),
+            ("error".to_owned(), Value::str(self.wire_code())),
+            ("message".to_owned(), Value::str(self.to_string())),
+        ];
+        if let ServeError::Busy { open, capacity } = self {
+            pairs.push(("open".to_owned(), Value::num_u64(*open as u64)));
+            pairs.push(("capacity".to_owned(), Value::num_u64(*capacity as u64)));
+        }
+        Value::Obj(pairs)
+    }
+
+    /// Reconstructs a `ServeError` from a wire error response, for clients.
+    pub fn from_wire(response: &Value) -> ServeError {
+        let message = response
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap_or("(no message)")
+            .to_owned();
+        match response.get("error").and_then(Value::as_str) {
+            Some("busy") => ServeError::Busy {
+                open: response.get("open").and_then(Value::as_u64).unwrap_or(0) as usize,
+                capacity: response
+                    .get("capacity")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0) as usize,
+            },
+            Some("draining") => ServeError::Draining,
+            Some("unknown-job") => ServeError::UnknownJob(message),
+            Some("job-failed") => ServeError::JobFailed(message),
+            Some("netlist") => ServeError::Netlist(message),
+            Some("config") => ServeError::Config(message),
+            Some("io") => ServeError::io("remote", io::Error::other(message)),
+            _ => ServeError::Protocol(message),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { open, capacity } => {
+                write!(f, "server busy: {open} of {capacity} job slots in flight")
+            }
+            ServeError::Draining => write!(f, "server is draining; submissions are closed"),
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+            ServeError::JobFailed(m) => write!(f, "job failed: {m}"),
+            ServeError::Netlist(m) => write!(f, "netlist rejected: {m}"),
+            ServeError::Config(m) => write!(f, "configuration rejected: {m}"),
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => ServeError::io("socket", io),
+            other => ServeError::Protocol(other.to_string()),
+        }
+    }
+}

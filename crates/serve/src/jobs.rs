@@ -1,0 +1,502 @@
+//! Job admission, single-flight deduplication and artifact production.
+//!
+//! A [`JobTable`] sits between the protocol layer and the
+//! [`tvs_exec::JobQueue`]. Every submission resolves to an
+//! [`ArtifactKey`]; the table guarantees that at any moment **at most one
+//! engine run per key is in flight**, no matter how many clients submit the
+//! same circuit concurrently:
+//!
+//! 1. a live job for the key → the caller is attached to it (a *dedup hit*;
+//!    `JobHandle`s are cloneable, all waiters share one result);
+//! 2. a stored artifact for the key → a pre-resolved job is issued without
+//!    touching the queue (a *cache hit*);
+//! 3. otherwise the run is admitted to the bounded queue (or rejected with
+//!    [`ServeError::Busy`]) and its artifact is persisted on completion.
+//!
+//! Counters: `serve.submits`, `serve.engine_runs`, `serve.cache_hits`,
+//! `serve.dedup_hits`, `serve.jobs_failed` — all through tvs-exec's stats
+//! layer so `tvs serve`'s `stats` op and `tvs run --stats` read one ledger.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use std::collections::BTreeMap;
+
+use tvs_exec::{JobHandle, JobQueue, QueueFull};
+use tvs_netlist::{bench, Netlist};
+use tvs_stitch::{
+    RunOptions, RunProgress, Snapshot, StitchConfig, StitchEngine, StitchReport, Termination,
+};
+
+use crate::cache::{ArtifactKey, ArtifactStore};
+use crate::error::ServeError;
+use crate::json::Value;
+
+/// The result a job resolves to: the artifact JSON text, or the engine's
+/// error rendered for the wire.
+pub type JobResult = Result<String, String>;
+
+/// Lock-free progress cells a running job publishes and `status` reads.
+#[derive(Debug, Default)]
+pub struct ProgressCells {
+    /// 0 = queued, 1 = running (set by the worker when the closure starts).
+    started: AtomicUsize,
+    cycle: AtomicUsize,
+    caught: AtomicUsize,
+    hidden: AtomicUsize,
+    uncaught: AtomicUsize,
+}
+
+/// A point-in-time view of one job, the payload of `status`/`wait`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// `"queued"`, `"running"`, `"done"` or `"failed"`.
+    pub state: &'static str,
+    /// The job's artifact key.
+    pub key: ArtifactKey,
+    /// Cycles applied so far.
+    pub cycle: usize,
+    /// `|f_c|` so far.
+    pub caught: usize,
+    /// `|f_h|` so far.
+    pub hidden: usize,
+    /// `|f_u|` so far.
+    pub uncaught: usize,
+    /// The failure message when `state == "failed"`.
+    pub error: Option<String>,
+}
+
+struct JobEntry {
+    key: ArtifactKey,
+    handle: JobHandle<JobResult>,
+    progress: Arc<ProgressCells>,
+}
+
+#[derive(Default)]
+struct TableInner {
+    jobs: BTreeMap<String, JobEntry>,
+    /// Live (not yet finished) job per key — the single-flight index.
+    by_key: BTreeMap<u64, String>,
+    next_id: u64,
+}
+
+/// How a submission was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A fresh engine run was admitted to the queue.
+    Miss,
+    /// Served from the on-disk artifact store.
+    CacheHit,
+    /// Attached to an identical in-flight run.
+    DedupHit,
+}
+
+impl Admission {
+    /// The wire spelling (`"miss"`, `"cache-hit"`, `"dedup-hit"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Admission::Miss => "miss",
+            Admission::CacheHit => "cache-hit",
+            Admission::DedupHit => "dedup-hit",
+        }
+    }
+}
+
+/// The job table: admission control + single-flight + artifact persistence.
+pub struct JobTable {
+    queue: JobQueue<JobResult>,
+    store: ArtifactStore,
+    inner: Arc<Mutex<TableInner>>,
+    /// Cycles between checkpoint snapshots while a job runs (0 = never).
+    checkpoint_every: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking job closure cannot leave shared state inconsistent: every
+    // mutation below is a single map insert/remove.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl JobTable {
+    /// Creates a table executing on `workers` threads with an admission
+    /// bound of `capacity` open jobs, persisting artifacts to `store`.
+    pub fn new(
+        workers: usize,
+        capacity: usize,
+        checkpoint_every: usize,
+        store: ArtifactStore,
+    ) -> JobTable {
+        JobTable {
+            queue: JobQueue::new(workers, capacity),
+            store,
+            inner: Arc::new(Mutex::new(TableInner::default())),
+            checkpoint_every,
+        }
+    }
+
+    /// The artifact store backing this table.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Open (admitted, unfinished) jobs in the queue.
+    pub fn open_jobs(&self) -> usize {
+        self.queue.open_jobs()
+    }
+
+    /// The queue's admission bound.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Total jobs issued since startup (all admission paths).
+    pub fn jobs_issued(&self) -> u64 {
+        lock(&self.inner).next_id
+    }
+
+    /// Blocks until every admitted job has finished.
+    pub fn drain(&self) {
+        self.queue.drain();
+    }
+
+    /// Submits `.bench` source for compression under `config`.
+    ///
+    /// Returns the issued job id and how the submission was satisfied.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Netlist`] when the source does not parse,
+    /// [`ServeError::Busy`] when the queue is at capacity, and I/O errors
+    /// from the artifact store.
+    pub fn submit(
+        &self,
+        name: &str,
+        bench_text: &str,
+        config: StitchConfig,
+    ) -> Result<(String, Admission), ServeError> {
+        tvs_exec::counter("serve.submits").incr();
+        let netlist =
+            bench::parse(name, bench_text).map_err(|e| ServeError::Netlist(e.to_string()))?;
+        let canonical = bench::to_string(&netlist);
+        let key = ArtifactKey::compute(&canonical, &config);
+
+        // Fast path checks happen under the table lock so two identical
+        // submissions cannot both decide to start an engine run.
+        let mut inner = lock(&self.inner);
+
+        if let Some(existing) = inner.by_key.get(&key.0) {
+            let id = existing.clone();
+            if inner.jobs.contains_key(&id) {
+                tvs_exec::counter("serve.dedup_hits").incr();
+                return Ok((id, Admission::DedupHit));
+            }
+        }
+
+        if let Some(artifact) = self.store.load(key)? {
+            tvs_exec::counter("serve.cache_hits").incr();
+            let id = next_id(&mut inner);
+            let progress = Arc::new(ProgressCells::default());
+            progress.started.store(1, Ordering::Release);
+            inner.jobs.insert(
+                id.clone(),
+                JobEntry {
+                    key,
+                    handle: JobHandle::ready(Ok(artifact)),
+                    progress,
+                },
+            );
+            return Ok((id, Admission::CacheHit));
+        }
+
+        let id = next_id(&mut inner);
+        let progress = Arc::new(ProgressCells::default());
+        let resume = self.store.load_snapshot(key)?;
+        let closure_progress = Arc::clone(&progress);
+        let closure_inner = Arc::clone(&self.inner);
+        let closure_store = self.store.clone();
+        let closure_id = id.clone();
+        let checkpoint_every = self.checkpoint_every;
+        let handle = self
+            .queue
+            .submit(move || {
+                let result = run_job(
+                    &netlist,
+                    &config,
+                    key,
+                    resume,
+                    checkpoint_every,
+                    &closure_store,
+                    &closure_progress,
+                );
+                // Retire the single-flight entry: later identical submissions
+                // must consult the artifact store, not a finished handle.
+                let mut inner = lock(&closure_inner);
+                if inner.by_key.get(&key.0) == Some(&closure_id) {
+                    inner.by_key.remove(&key.0);
+                }
+                result
+            })
+            .map_err(|QueueFull { open, capacity }| {
+                // Roll back: the id was minted but no job exists under it.
+                ServeError::Busy { open, capacity }
+            })?;
+        inner.by_key.insert(key.0, id.clone());
+        inner.jobs.insert(
+            id.clone(),
+            JobEntry {
+                key,
+                handle,
+                progress,
+            },
+        );
+        Ok((id, Admission::Miss))
+    }
+
+    /// A point-in-time status of `job_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for ids this table never issued.
+    pub fn status(&self, job_id: &str) -> Result<JobStatus, ServeError> {
+        let inner = lock(&self.inner);
+        let entry = inner
+            .jobs
+            .get(job_id)
+            .ok_or_else(|| ServeError::UnknownJob(job_id.to_owned()))?;
+        Ok(entry_status(entry))
+    }
+
+    /// Blocks until `job_id` finishes, then returns its final status.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for ids this table never issued.
+    pub fn wait(&self, job_id: &str) -> Result<JobStatus, ServeError> {
+        let (handle, entry_snapshot) = {
+            let inner = lock(&self.inner);
+            let entry = inner
+                .jobs
+                .get(job_id)
+                .ok_or_else(|| ServeError::UnknownJob(job_id.to_owned()))?;
+            (
+                entry.handle.clone(),
+                (entry.key, Arc::clone(&entry.progress)),
+            )
+        };
+        // Block outside the table lock — other clients keep submitting.
+        let _ = handle.wait();
+        let (key, progress) = entry_snapshot;
+        Ok(entry_status(&JobEntry {
+            key,
+            handle,
+            progress,
+        }))
+    }
+
+    /// Blocks until `job_id` finishes and returns its artifact JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for unknown ids, [`ServeError::JobFailed`]
+    /// when the engine run failed.
+    pub fn fetch(&self, job_id: &str) -> Result<Arc<String>, ServeError> {
+        let handle = {
+            let inner = lock(&self.inner);
+            inner
+                .jobs
+                .get(job_id)
+                .map(|e| e.handle.clone())
+                .ok_or_else(|| ServeError::UnknownJob(job_id.to_owned()))?
+        };
+        match handle.wait() {
+            Ok(result) => match result.as_ref() {
+                Ok(artifact) => Ok(Arc::new(artifact.clone())),
+                Err(message) => Err(ServeError::JobFailed(message.clone())),
+            },
+            Err(panic) => Err(ServeError::JobFailed(panic.to_string())),
+        }
+    }
+}
+
+fn next_id(inner: &mut TableInner) -> String {
+    inner.next_id += 1;
+    format!("j{}", inner.next_id)
+}
+
+fn entry_status(entry: &JobEntry) -> JobStatus {
+    let p = &entry.progress;
+    let (state, error) = match entry.handle.try_get() {
+        Some(Ok(result)) => match result.as_ref() {
+            Ok(_) => ("done", None),
+            Err(message) => ("failed", Some(message.clone())),
+        },
+        Some(Err(panic)) => ("failed", Some(panic.to_string())),
+        None if p.started.load(Ordering::Acquire) == 1 => ("running", None),
+        None => ("queued", None),
+    };
+    JobStatus {
+        state,
+        key: entry.key,
+        cycle: p.cycle.load(Ordering::Acquire),
+        caught: p.caught.load(Ordering::Acquire),
+        hidden: p.hidden.load(Ordering::Acquire),
+        uncaught: p.uncaught.load(Ordering::Acquire),
+        error,
+    }
+}
+
+/// Executes one engine run end to end: resume-or-cold stitch, artifact
+/// rendering, persistence, checkpoint cleanup.
+fn run_job(
+    netlist: &Netlist,
+    config: &StitchConfig,
+    key: ArtifactKey,
+    resume_text: Option<String>,
+    checkpoint_every: usize,
+    store: &ArtifactStore,
+    progress: &ProgressCells,
+) -> JobResult {
+    progress.started.store(1, Ordering::Release);
+    tvs_exec::counter("serve.engine_runs").incr();
+    let report = match run_engine(
+        netlist,
+        config,
+        resume_text,
+        checkpoint_every,
+        store,
+        key,
+        progress,
+    ) {
+        Ok(report) => report,
+        Err(message) => {
+            tvs_exec::counter("serve.jobs_failed").incr();
+            return Err(message);
+        }
+    };
+    let artifact = render_artifact(netlist, &report, config, key).to_text();
+    if let Err(e) = store.store(key, &artifact) {
+        tvs_exec::counter("serve.jobs_failed").incr();
+        return Err(e.to_string());
+    }
+    if let Err(e) = store.remove_snapshot(key) {
+        // The artifact is already final; a stale snapshot only costs disk.
+        tvs_exec::counter("serve.snapshot_cleanup_failed").incr();
+        let _ = e;
+    }
+    Ok(artifact)
+}
+
+fn run_engine(
+    netlist: &Netlist,
+    config: &StitchConfig,
+    resume_text: Option<String>,
+    checkpoint_every: usize,
+    store: &ArtifactStore,
+    key: ArtifactKey,
+    progress: &ProgressCells,
+) -> Result<StitchReport, String> {
+    let engine = StitchEngine::new(netlist).map_err(|e| e.to_string())?;
+    let resume = resume_text.and_then(|text| Snapshot::parse(&text).ok());
+    let resumed = resume.is_some();
+
+    let mut on_progress = |p: RunProgress| {
+        progress.cycle.store(p.cycle, Ordering::Release);
+        progress.caught.store(p.caught, Ordering::Release);
+        progress.hidden.store(p.hidden, Ordering::Release);
+        progress.uncaught.store(p.uncaught, Ordering::Release);
+    };
+    let mut on_checkpoint = |snap: Snapshot| {
+        // Checkpoint persistence is best-effort: a failed write costs crash
+        // resumability, never correctness.
+        if store.store_snapshot(key, &snap.to_text()).is_err() {
+            tvs_exec::counter("serve.checkpoint_write_failed").incr();
+        }
+    };
+    let attempt = engine.run_with(
+        config,
+        RunOptions {
+            resume,
+            checkpoint_every,
+            on_checkpoint: Some(&mut on_checkpoint),
+            on_progress: Some(&mut on_progress),
+        },
+    );
+    match attempt {
+        Ok(report) => Ok(report),
+        // A stale or incompatible on-disk checkpoint (e.g. from an older
+        // config sharing the key by collision) must not fail the job: fall
+        // back to a cold run.
+        Err(tvs_stitch::StitchError::Snapshot(_)) if resumed => {
+            tvs_exec::counter("serve.snapshot_rejected").incr();
+            let mut on_progress = |p: RunProgress| {
+                progress.cycle.store(p.cycle, Ordering::Release);
+                progress.caught.store(p.caught, Ordering::Release);
+                progress.hidden.store(p.hidden, Ordering::Release);
+                progress.uncaught.store(p.uncaught, Ordering::Release);
+            };
+            let mut on_checkpoint = |snap: Snapshot| {
+                if store.store_snapshot(key, &snap.to_text()).is_err() {
+                    tvs_exec::counter("serve.checkpoint_write_failed").incr();
+                }
+            };
+            engine
+                .run_with(
+                    config,
+                    RunOptions {
+                        resume: None,
+                        checkpoint_every,
+                        on_checkpoint: Some(&mut on_checkpoint),
+                        on_progress: Some(&mut on_progress),
+                    },
+                )
+                .map_err(|e| e.to_string())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Renders the artifact document: identity, Table 2–5 metrics, and the full
+/// tester program. The rendering is a pure function of the report, which is
+/// itself bit-identical at any thread count — so the artifact text is too.
+pub fn render_artifact(
+    netlist: &Netlist,
+    report: &StitchReport,
+    config: &StitchConfig,
+    key: ArtifactKey,
+) -> Value {
+    let program = tvs_ate::TestProgram::from_report(netlist, report, config);
+    let m = &report.metrics;
+    let (entered, converted, erased) = report.hidden_transitions;
+    let termination = match &report.termination {
+        Termination::Complete => "complete",
+        Termination::BudgetExhausted { .. } => "budget-exhausted",
+        Termination::WorkerPanic { .. } => "worker-panic",
+    };
+    let metrics = Value::Obj(vec![
+        ("tv".into(), Value::num_u64(m.stitched_vectors as u64)),
+        ("ex".into(), Value::num_u64(m.extra_vectors as u64)),
+        ("atv".into(), Value::num_u64(m.baseline_vectors as u64)),
+        ("m".into(), Value::num_f64(m.memory_ratio)),
+        ("t".into(), Value::num_f64(m.time_ratio)),
+        ("coverage".into(), Value::num_f64(m.fault_coverage)),
+        ("cycles".into(), Value::num_u64(report.cycles.len() as u64)),
+        (
+            "final_flush".into(),
+            Value::num_u64(report.final_flush as u64),
+        ),
+        ("hidden_entered".into(), Value::num_u64(entered as u64)),
+        ("hidden_converted".into(), Value::num_u64(converted as u64)),
+        ("hidden_erased".into(), Value::num_u64(erased as u64)),
+        ("termination".into(), Value::str(termination)),
+    ]);
+    Value::Obj(vec![
+        ("key".into(), Value::str(key.to_string())),
+        ("circuit".into(), Value::str(netlist.name())),
+        (
+            "config_fingerprint".into(),
+            Value::str(format!("{:016x}", config.fingerprint())),
+        ),
+        ("metrics".into(), metrics),
+        ("program".into(), Value::str(program.to_text())),
+    ])
+}

@@ -1,0 +1,367 @@
+//! A minimal, dependency-free JSON value model for the wire protocol and
+//! the on-disk artifact format.
+//!
+//! Numbers are kept as their **raw source text** (`Value::Num(String)`), so a
+//! parsed document re-serializes byte-identically and no float round-trip can
+//! perturb a cached artifact. Objects preserve insertion order; serialization
+//! is a pure function of the value, which is what makes artifacts
+//! content-addressable.
+
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, stored as its exact source text (e.g. `"0.43"`).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; pairs keep insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a number node from an unsigned integer.
+    pub fn num_u64(n: u64) -> Value {
+        Value::Num(n.to_string())
+    }
+
+    /// Builds a number node from a float, fixed to six decimal places so the
+    /// rendering is a deterministic function of the bits.
+    pub fn num_f64(x: f64) -> Value {
+        Value::Num(format!("{x:.6}"))
+    }
+
+    /// Builds a string node.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Looks up a key in an object node.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is an integral number node.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean node.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compact, deterministic serialization (no whitespace).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(s) => out.push_str(s),
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after document"));
+    }
+    Ok(value)
+}
+
+fn err(pos: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        pos,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':' after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(err(*pos, format!("unexpected byte {c:#04x}"))),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected {lit:?}")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(err(start, "malformed number"));
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| err(start, "non-utf8 number"))?
+        .to_owned();
+    // Validate without adopting the parsed representation: the raw text is
+    // what round-trips.
+    raw.parse::<f64>()
+        .map_err(|_| err(start, "malformed number"))?;
+    Ok(Value::Num(raw))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-utf8 \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "malformed \\u escape"))?;
+                        // Surrogate pairs are not needed by this protocol;
+                        // unpaired surrogates map to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "unknown escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar at a time.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "non-utf8 string content"))?;
+                let c = rest.chars().next().ok_or_else(|| err(*pos, "empty"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_preserve_number_text() {
+        let doc = r#"{"a":0.43,"b":[1,2.50,-3e2],"c":"x\ny","d":null,"e":true}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.to_text(), doc);
+        assert_eq!(v.get("a").unwrap(), &Value::Num("0.43".into()));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.to_text(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{"a":"#).is_err());
+        assert!(parse(r#"["unterminated"#).is_err());
+        assert!(parse("01abc").is_err());
+    }
+
+    #[test]
+    fn escapes_survive_a_round_trip() {
+        let v = Value::Obj(vec![("k\"ey".into(), Value::str("a\\b\n\tc\u{1}"))]);
+        let text = v.to_text();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_are_type_checked() {
+        let v = parse(r#"{"n":7,"s":"x","b":false}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("s").unwrap().as_u64(), None);
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! **tvs-serve** — the batching compression service.
+//!
+//! Stitched test generation (the core of the DATE 2003 flow, see
+//! `tvs-stitch`) is CPU-minutes per circuit but a pure function of
+//! `(netlist, configuration)`. This crate exploits that purity end to end:
+//!
+//! * a **TCP daemon** ([`Server`]) speaking a length-prefixed JSON protocol
+//!   ([`proto`]) with ops `submit`, `status`, `wait`, `fetch`, `stats` and
+//!   `shutdown`;
+//! * a **content-addressed artifact cache** ([`ArtifactStore`]): the key is
+//!   the FNV fingerprint of the canonicalized `.bench` source combined with
+//!   the [`StitchConfig`](tvs_stitch::StitchConfig) fingerprint, so a warm
+//!   fetch never re-runs the engine and formatting differences cannot split
+//!   the cache;
+//! * **single-flight deduplication** ([`JobTable`]): any number of
+//!   concurrent identical submissions coalesce onto one engine run, whose
+//!   cloneable [`tvs_exec::JobHandle`] fans the result out to every waiter;
+//! * **bounded admission**: engine runs execute on a
+//!   [`tvs_exec::JobQueue`]; past its capacity clients get a typed `busy`
+//!   rejection instead of an unbounded backlog.
+//!
+//! Everything is std-only; determinism of the engine itself is untouched —
+//! connection threads (the one allowed use of raw threads outside
+//! `crates/exec`, see the lint table) only wait on sockets and job handles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+mod error;
+pub mod jobs;
+pub mod json;
+pub mod proto;
+mod server;
+
+pub use cache::{ArtifactKey, ArtifactStore};
+pub use client::Client;
+pub use error::ServeError;
+pub use jobs::{Admission, JobStatus, JobTable};
+pub use server::{config_from_wire, Server, ServerConfig};

@@ -1,0 +1,58 @@
+//! Bounded admission: past the queue capacity, submissions get a typed
+//! `busy` rejection instead of an unbounded backlog — and distinct configs
+//! never coalesce.
+
+use tvs_serve::{Admission, ArtifactStore, JobTable, ServeError};
+use tvs_stitch::StitchConfig;
+
+#[test]
+fn overflowing_the_queue_is_a_typed_busy_rejection() {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-busy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let netlist = tvs_circuits::profile("s444").expect("s444 profile").build();
+    let bench = tvs_netlist::bench::to_string(&netlist);
+
+    // One worker, one admission slot: the second *distinct* job overflows.
+    let table = JobTable::new(1, 1, 0, ArtifactStore::open(&dir).expect("store"));
+    let config = |seed: u64| StitchConfig {
+        seed,
+        ..StitchConfig::default()
+    };
+    let (job1, admission) = table.submit("s444", &bench, config(1)).expect("first");
+    assert_eq!(admission, Admission::Miss);
+
+    // Same key while in flight: single-flight attaches, never queues — so
+    // it succeeds even though the queue is full.
+    let (dup, admission) = table.submit("s444", &bench, config(1)).expect("dup");
+    assert_eq!(dup, job1);
+    assert_eq!(admission, Admission::DedupHit);
+
+    // Distinct key: the bounded queue pushes back.
+    let overflow = table.submit("s444", &bench, config(2));
+    match overflow {
+        Err(ServeError::Busy { open, capacity }) => {
+            assert_eq!(capacity, 1);
+            assert!(open >= 1);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // The busy error's wire form carries the gauges.
+    let wire = ServeError::Busy {
+        open: 1,
+        capacity: 1,
+    }
+    .to_wire()
+    .to_text();
+    assert!(wire.contains("\"error\":\"busy\""), "{wire}");
+    assert!(wire.contains("\"capacity\":1"), "{wire}");
+
+    // After the backlog clears, the same submission is admitted.
+    let first = table.fetch(&job1).expect("first result");
+    table.drain();
+    let (job2, admission) = table.submit("s444", &bench, config(2)).expect("retry");
+    assert_eq!(admission, Admission::Miss);
+    let second = table.fetch(&job2).expect("second result");
+    assert_ne!(*first, *second, "different seeds, different artifacts");
+    table.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

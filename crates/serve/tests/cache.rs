@@ -1,0 +1,102 @@
+//! Artifact cache correctness at the JobTable layer: warm hits are
+//! byte-identical and free (no engine run), survive a table restart on the
+//! same directory, and any semantic config change misses.
+
+use tvs_serve::{Admission, ArtifactStore, JobTable};
+use tvs_stitch::StitchConfig;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn table(dir: &std::path::Path) -> JobTable {
+    JobTable::new(2, 16, 4, ArtifactStore::open(dir).expect("store"))
+}
+
+fn s444_bench() -> String {
+    let netlist = tvs_circuits::profile("s444").expect("s444 profile").build();
+    tvs_netlist::bench::to_string(&netlist)
+}
+
+fn config(seed: u64) -> StitchConfig {
+    StitchConfig {
+        seed,
+        ..StitchConfig::default()
+    }
+}
+
+#[test]
+fn warm_hits_are_byte_identical_and_config_changes_miss() {
+    let dir = temp_dir("cache");
+    let bench = s444_bench();
+    let engine_runs = tvs_exec::counter("serve.engine_runs");
+
+    // Cold run.
+    let table1 = table(&dir);
+    let (job, admission) = table1.submit("s444", &bench, config(7)).expect("submit");
+    assert_eq!(admission, Admission::Miss);
+    let cold = table1.fetch(&job).expect("fetch");
+    let runs_after_cold = engine_runs.get();
+
+    // Warm hit in the same table: identical bytes, no engine run. (The
+    // live-job entry has retired by now — fetch blocked until completion —
+    // so this exercises the store path, not single-flight.)
+    let (job, admission) = table1.submit("s444", &bench, config(7)).expect("resubmit");
+    assert_eq!(admission, Admission::CacheHit);
+    assert_eq!(*table1.fetch(&job).expect("fetch"), *cold);
+    assert_eq!(engine_runs.get(), runs_after_cold, "hit must not re-run");
+
+    // A formatting-only change to the source still hits: the key is over
+    // the canonicalized netlist.
+    let reformatted = format!("# a comment\n\n{}", bench.replace('\n', "\n\n"));
+    let (job, admission) = table1
+        .submit("s444", &reformatted, config(7))
+        .expect("reformatted submit");
+    assert_eq!(admission, Admission::CacheHit, "canonicalization failed");
+    assert_eq!(*table1.fetch(&job).expect("fetch"), *cold);
+
+    // Restart: a fresh table over the same directory still hits.
+    drop(table1);
+    let table2 = table(&dir);
+    let (job, admission) = table2
+        .submit("s444", &bench, config(7))
+        .expect("post-restart submit");
+    assert_eq!(admission, Admission::CacheHit, "cache must survive restart");
+    assert_eq!(*table2.fetch(&job).expect("fetch"), *cold);
+    assert_eq!(engine_runs.get(), runs_after_cold);
+
+    // Any semantic config change must miss: seed…
+    let (job, admission) = table2
+        .submit("s444", &bench, config(8))
+        .expect("seed-change submit");
+    assert_eq!(admission, Admission::Miss, "seed change must miss");
+    let reseeded = table2.fetch(&job).expect("fetch");
+    assert_ne!(*reseeded, *cold, "different seed, different artifact");
+
+    // …and budget, even though the snapshot fingerprint excludes it (an
+    // exhausted budget changes the emitted artifact).
+    let mut budgeted = config(7);
+    budgeted.budget = Some(50_000);
+    let (_, admission) = table2
+        .submit("s444", &bench, budgeted)
+        .expect("budget submit");
+    assert_eq!(admission, Admission::Miss, "budget change must miss");
+
+    // Thread count is NOT semantic: it must hit the seed-7 artifact.
+    let mut threaded = config(7);
+    threaded.threads = 3;
+    let (job, admission) = table2
+        .submit("s444", &bench, threaded)
+        .expect("threaded submit");
+    assert_eq!(
+        admission,
+        Admission::CacheHit,
+        "threads must not split the cache"
+    );
+    assert_eq!(*table2.fetch(&job).expect("fetch"), *cold);
+
+    table2.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,88 @@
+//! Served artifacts are bit-identical to what a direct `tvs run`-style
+//! engine invocation produces, at any worker thread count.
+
+use tvs_serve::cache::ArtifactKey;
+use tvs_serve::jobs::render_artifact;
+use tvs_serve::{Admission, ArtifactStore, JobTable};
+use tvs_stitch::{StitchConfig, StitchEngine};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn served_artifact_matches_direct_engine_run_at_any_thread_count() {
+    let netlist = tvs_circuits::profile("s444").expect("s444 profile").build();
+    let bench = tvs_netlist::bench::to_string(&netlist);
+
+    // The reference: a direct, single-threaded engine run rendered through
+    // the same artifact serializer.
+    let reference_config = StitchConfig {
+        seed: 11,
+        threads: 1,
+        ..StitchConfig::default()
+    };
+    let report = StitchEngine::new(&netlist)
+        .expect("engine")
+        .run(&reference_config)
+        .expect("direct run");
+    let key = ArtifactKey::compute(&bench, &reference_config);
+    let reference = render_artifact(&netlist, &report, &reference_config, key).to_text();
+
+    // Serve the same job at several thread counts, each on a cold cache so
+    // every run actually executes.
+    for threads in [1usize, 3] {
+        let dir = temp_dir(&format!("identity-{threads}"));
+        let table = JobTable::new(2, 8, 3, ArtifactStore::open(&dir).expect("store"));
+        let config = StitchConfig {
+            seed: 11,
+            threads,
+            ..StitchConfig::default()
+        };
+        let (job, admission) = table.submit("s444", &bench, config).expect("submit");
+        assert_eq!(admission, Admission::Miss);
+        let served = table.fetch(&job).expect("fetch");
+        assert_eq!(
+            *served, reference,
+            "served artifact at {threads} threads diverged from the direct run"
+        );
+        table.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn artifact_embeds_a_replayable_program_and_honest_metrics() {
+    let netlist = tvs_circuits::profile("s444").expect("s444 profile").build();
+    let bench = tvs_netlist::bench::to_string(&netlist);
+    let dir = temp_dir("artifact-shape");
+    let table = JobTable::new(1, 4, 0, ArtifactStore::open(&dir).expect("store"));
+    let (job, _) = table
+        .submit("s444", &bench, StitchConfig::default())
+        .expect("submit");
+    let artifact_text = table.fetch(&job).expect("fetch");
+    let artifact = tvs_serve::json::parse(&artifact_text).expect("artifact parses");
+
+    // The program round-trips through the ATE parser.
+    let program_text = artifact
+        .get("program")
+        .and_then(tvs_serve::json::Value::as_str)
+        .expect("program field");
+    let program = tvs_ate::TestProgram::parse(program_text).expect("program parses");
+    assert!(program.cycles.len() > 1);
+
+    // Metrics agree with the program they describe.
+    let metrics = artifact.get("metrics").expect("metrics field");
+    let tv = metrics.get("tv").and_then(tvs_serve::json::Value::as_u64);
+    assert!(tv.is_some_and(|tv| tv > 0));
+    assert_eq!(
+        artifact
+            .get("circuit")
+            .and_then(tvs_serve::json::Value::as_str),
+        Some("s444")
+    );
+    table.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,103 @@
+//! The single-flight guarantee, end to end over TCP: N concurrent identical
+//! submissions → exactly one engine run, every client fetches a
+//! byte-identical artifact.
+
+use std::sync::{Arc, Barrier};
+
+use tvs_serve::json::Value;
+use tvs_serve::{Client, Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn s444_bench() -> String {
+    let netlist = tvs_circuits::profile("s444").expect("s444 profile").build();
+    tvs_netlist::bench::to_string(&netlist)
+}
+
+#[test]
+fn eight_concurrent_identical_submissions_share_one_engine_run() {
+    const CLIENTS: usize = 8;
+    let cache = temp_dir("single-flight");
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: cache.clone(),
+        workers: 2,
+        queue_capacity: 16,
+        checkpoint_every: 4,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let bench = Arc::new(s444_bench());
+    let runs_before = tvs_exec::counter("serve.engine_runs").get();
+
+    // All clients release their submits together to maximize overlap.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let bench = Arc::clone(&bench);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                barrier.wait();
+                let (job, admission) = client
+                    .submit("s444", &bench, Value::Obj(vec![]))
+                    .expect("submit");
+                let artifact = client.fetch(&job).expect("fetch");
+                (admission, artifact.to_text())
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    let runs_after = tvs_exec::counter("serve.engine_runs").get();
+    assert_eq!(
+        runs_after - runs_before,
+        1,
+        "eight identical submissions must coalesce onto one engine run"
+    );
+
+    // Exactly one submission was the cold miss; the others attached to the
+    // in-flight run or (if they arrived after it finished) hit the cache.
+    let misses = results.iter().filter(|(a, _)| a == "miss").count();
+    assert_eq!(
+        misses,
+        1,
+        "admissions: {:?}",
+        results.iter().map(|(a, _)| a).collect::<Vec<_>>()
+    );
+    for (admission, _) in &results {
+        assert!(
+            matches!(admission.as_str(), "miss" | "dedup-hit" | "cache-hit"),
+            "unexpected admission {admission:?}"
+        );
+    }
+
+    // Every client got the same bytes.
+    let first = &results[0].1;
+    for (_, artifact) in &results {
+        assert_eq!(artifact, first, "artifacts must be byte-identical");
+    }
+    assert!(
+        first.contains("\"program\""),
+        "artifact carries the program"
+    );
+
+    // Drain cleanly.
+    let mut client = Client::connect(&addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    let _ = std::fs::remove_dir_all(&cache);
+}

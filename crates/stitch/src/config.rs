@@ -58,6 +58,21 @@ pub struct StitchConfig {
     pub threads: usize,
 }
 
+impl StitchConfig {
+    /// FNV fingerprint of the semantic configuration fields — everything
+    /// that shapes the result stream except `threads` (results are
+    /// thread-count independent by construction) and `budget` (a resumed
+    /// run may receive a fresh allowance).
+    ///
+    /// This is the value [`Snapshot`](crate::Snapshot)s embed for
+    /// compatibility checks, and one half of the serve layer's
+    /// content-addressed artifact key (which hashes the budget back in,
+    /// since an exhausted budget *does* change the emitted artifact).
+    pub fn fingerprint(&self) -> u64 {
+        config_fingerprint(self)
+    }
+}
+
 impl Default for StitchConfig {
     fn default() -> Self {
         StitchConfig {

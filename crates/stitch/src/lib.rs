@@ -44,7 +44,7 @@ pub use engine::StitchEngine;
 pub use metrics::{CompressionMetrics, CycleRecord};
 pub use policy::ShiftPolicy;
 pub use replay::{ReplayCycle, ReplayRow, ReplayTrace};
-pub use run::{RunOptions, StitchError, StitchReport, Termination};
+pub use run::{RunOptions, RunProgress, StitchError, StitchReport, Termination};
 pub use select::SelectionStrategy;
 pub use sets::{FaultSets, FaultState, HiddenFault};
-pub use snapshot::{FaultEntry, Snapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{fnv1a, FaultEntry, Snapshot, SnapshotError, SNAPSHOT_VERSION};

@@ -104,6 +104,25 @@ pub struct RunOptions<'cb> {
     pub checkpoint_every: usize,
     /// Receives each emitted checkpoint; the caller persists it.
     pub on_checkpoint: Option<&'cb mut dyn FnMut(Snapshot)>,
+    /// Receives a [`RunProgress`] after every applied cycle of the pipeline
+    /// (the opening full shift-in included). Purely observational: the hook
+    /// sees state, never steers it, so it cannot perturb the deterministic
+    /// result stream — the serve layer feeds live `status` responses from it.
+    pub on_progress: Option<&'cb mut dyn FnMut(RunProgress)>,
+}
+
+/// Live progress of an in-flight stitched run, reported through
+/// [`RunOptions::on_progress`] at every cycle boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Cycles applied so far (the opening full shift-in counts as 1).
+    pub cycle: usize,
+    /// `|f_c|` — faults caught so far.
+    pub caught: usize,
+    /// `|f_h|` — faults currently hidden in the chain.
+    pub hidden: usize,
+    /// `|f_u|` — faults not yet differentiated.
+    pub uncaught: usize,
 }
 
 /// Why a run stopped before its natural end.
@@ -183,6 +202,8 @@ impl StitchEngine<'_> {
                 Ok(Some(vector)) => {
                     if let Err(panic) = run.apply_cycle(l, &vector, true) {
                         run.stop = Some(StopCause::Worker(panic));
+                    } else {
+                        run.report_progress(&mut opts.on_progress);
                     }
                 }
                 Ok(None) => {}
@@ -234,6 +255,7 @@ impl StitchEngine<'_> {
                         run.stop = Some(StopCause::Worker(panic));
                         break;
                     }
+                    run.report_progress(&mut opts.on_progress);
                     let caught = run.cycles.last().map(|c| c.newly_caught).unwrap_or(0);
                     if caught == 0 {
                         run.stagnant += 1;
@@ -263,6 +285,18 @@ impl StitchEngine<'_> {
 }
 
 impl RunState<'_, '_> {
+    /// Feeds the `on_progress` hook from the current fault-set counts.
+    fn report_progress(&self, hook: &mut Option<&mut dyn FnMut(RunProgress)>) {
+        if let Some(cb) = hook.as_mut() {
+            cb(RunProgress {
+                cycle: self.cycles.len(),
+                caught: self.sets.caught_count(),
+                hidden: self.sets.hidden_count(),
+                uncaught: self.sets.uncaught_count(),
+            });
+        }
+    }
+
     /// Closing flush + conventional fallback, then metric assembly.
     pub(crate) fn finish(mut self) -> Result<StitchReport, StitchError> {
         let l = self.l();

@@ -132,8 +132,10 @@ pub struct Snapshot {
     pub failed_targets: Vec<usize>,
 }
 
-/// FNV-1a-64 over a byte string.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a-64 over a byte string — the checksum/fingerprint hash shared by
+/// snapshots, the configuration fingerprint and the serve layer's
+/// content-addressed artifact keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

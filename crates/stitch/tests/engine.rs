@@ -164,3 +164,40 @@ fn hidden_faults_appear_during_fig1_replay() {
         }
     }
 }
+
+#[test]
+fn progress_hook_observes_every_cycle() {
+    use tvs_stitch::{RunOptions, RunProgress};
+    let n = fig1();
+    let engine = StitchEngine::new(&n).unwrap();
+    let cfg = StitchConfig::default();
+    let mut seen: Vec<RunProgress> = Vec::new();
+    let mut hook = |p: RunProgress| seen.push(p);
+    let report = engine
+        .run_with(
+            &cfg,
+            RunOptions {
+                resume: None,
+                checkpoint_every: 0,
+                on_checkpoint: None,
+                on_progress: Some(&mut hook),
+            },
+        )
+        .unwrap();
+    assert_eq!(seen.len(), report.cycles.len(), "one event per cycle");
+    // Cycle numbers count up; caught counts never decrease; the final
+    // event matches the report's totals.
+    for (i, p) in seen.iter().enumerate() {
+        assert_eq!(p.cycle, i + 1);
+        if i > 0 {
+            assert!(p.caught >= seen[i - 1].caught);
+        }
+    }
+    let last = seen.last().unwrap();
+    let total_caught: usize = report.cycles.iter().map(|c| c.newly_caught).sum();
+    assert_eq!(last.caught, total_caught);
+
+    // The hook must not perturb the run: a hook-free run is identical.
+    let plain = engine.run(&cfg).unwrap();
+    assert_eq!(plain, report, "observing the run must not change it");
+}

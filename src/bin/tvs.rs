@@ -11,6 +11,8 @@
 //! tvs verify  <circuit.bench> <prog.tvp>     execute a program on the virtual ATE
 //! tvs gen     <name|profile> <out.bench>     synthesize a calibrated benchmark
 //! tvs lint    [options] [circuit.bench ...]  static analysis (IR + determinism)
+//! tvs serve   --listen ADDR [options]        batching compression daemon with a
+//!                                            content-addressed artifact cache
 //! ```
 //!
 //! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
@@ -18,8 +20,8 @@
 //! `--threads <n>` (also the `TVS_THREADS` environment variable), `--stats`.
 //!
 //! Every failure maps to a [`TvsError`] and its structured exit code
-//! (2 usage, 3 malformed input, 4 engine, 5 snapshot, 6 I/O, 7 lint);
-//! exit code 1 stays reserved for panics.
+//! (2 usage, 3 malformed input, 4 engine, 5 snapshot, 6 I/O, 7 lint,
+//! 8 serve); exit code 1 stays reserved for panics.
 
 use std::fs;
 use std::process::ExitCode;
@@ -59,6 +61,7 @@ fn run() -> Result<(), TvsError> {
         "verify" => verify(&args[1..]),
         "gen" => gen(&args[1..]),
         "lint" => lint(&args[1..]),
+        "serve" => serve(&args[1..]),
         _ => {
             print!("{USAGE}");
             Ok(())
@@ -79,6 +82,7 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
   tvs verify  <circuit.bench> <prog.tvp>   run a program on the virtual ATE
   tvs gen     <profile> <out.bench>        synthesize a calibrated benchmark
   tvs lint    [options] [circuit.bench …]  static analysis (IR + determinism)
+  tvs serve   --listen ADDR [options]      batching compression daemon
 
 lint options:
   --profiles        analyze every built-in circuit profile
@@ -106,9 +110,19 @@ run options:
   --checkpoint <file>      snapshot path (default: <circuit.bench>.tvsnap)
   --resume <file>          resume from a snapshot; the continued run is
                            bit-identical to one that never stopped
+  --stats-json <file>      write the instrumentation report as JSON (the
+                           same serializer behind the daemon's stats op)
 
-exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io · 7 lint
-(1 stays reserved for panics)
+serve options:
+  --listen <addr>          TCP address to bind, e.g. 127.0.0.1:7077 (:0 picks
+                           a free port; the bound address is printed)
+  --cache-dir <dir>        artifact cache directory (default: tvs-cache)
+  --workers <n>            engine worker threads (default: 2)
+  --queue <n>              max open jobs before submits get busy (default: 64)
+  --checkpoint-every <n>   snapshot running jobs every n cycles (default: 8)
+
+exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io ·
+7 lint · 8 serve (1 stays reserved for panics)
 ";
 
 fn load(path: &str) -> Result<Netlist, TvsError> {
@@ -273,6 +287,7 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
     let mut checkpoint_every = 0usize;
     let mut checkpoint_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    let mut stats_json_path: Option<String> = None;
     let mut stitch_args: Vec<String> = Vec::new();
     let rest = &args[1..];
     let mut i = 0;
@@ -288,6 +303,10 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
             }
             "--resume" => {
                 resume_path = Some(need(rest, i + 1, "resume path")?.to_owned());
+                i += 1;
+            }
+            "--stats-json" => {
+                stats_json_path = Some(need(rest, i + 1, "stats json path")?.to_owned());
                 i += 1;
             }
             other => stitch_args.push(other.to_owned()),
@@ -333,6 +352,7 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
             } else {
                 None
             },
+            on_progress: None,
         },
     )?;
     if let Some(e) = write_error {
@@ -357,6 +377,55 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
     if opts.stats {
         print!("{}", tvs::exec::report());
     }
+    if let Some(path) = stats_json_path {
+        fs::write(&path, tvs::exec::report().to_json()).map_err(|e| TvsError::io(&path, e))?;
+        println!("stats written to {path}");
+    }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), TvsError> {
+    let mut config = tvs::serve::ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                config.listen = need(args, i + 1, "listen address")?.to_owned();
+                i += 1;
+            }
+            "--cache-dir" => {
+                config.cache_dir = need(args, i + 1, "cache directory")?.into();
+                i += 1;
+            }
+            "--workers" => {
+                config.workers = parse_value::<usize>(args, i + 1, "worker count")?.max(1);
+                i += 1;
+            }
+            "--queue" => {
+                config.queue_capacity = parse_value::<usize>(args, i + 1, "queue capacity")?.max(1);
+                i += 1;
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every = parse_value(args, i + 1, "checkpoint interval")?;
+                i += 1;
+            }
+            other => return Err(TvsError::usage(format!("unknown serve option {other:?}"))),
+        }
+        i += 1;
+    }
+    let server = tvs::serve::Server::bind(&config)?;
+    let addr = server.local_addr()?;
+    // The smoke harness and scripts parse this line to learn the port.
+    println!("tvs-serve: listening on {addr}");
+    println!(
+        "tvs-serve: cache {} · {} workers · queue {} · checkpoint every {} cycles",
+        config.cache_dir.display(),
+        config.workers,
+        config.queue_capacity,
+        config.checkpoint_every
+    );
+    server.run()?;
+    println!("tvs-serve: drained, exiting");
     Ok(())
 }
 

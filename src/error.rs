@@ -13,6 +13,7 @@
 //! | 5 | [`Snapshot`](TvsError::Snapshot) | a checkpoint file is corrupt, foreign or mismatched |
 //! | 6 | [`Io`](TvsError::Io) | the operating system failed us |
 //! | 7 | [`Lint`](TvsError::Lint) | deny-level diagnostics found |
+//! | 8 | [`Serve`](TvsError::Serve) | the compression service or its client failed |
 //!
 //! Exit code 1 stays reserved for panics (which the library layers avoid by
 //! construction — see the SRC005 lint) so an abort is distinguishable from
@@ -25,6 +26,7 @@ use tvs_ate::ParseProgramError;
 use tvs_atpg::AtpgOutcome;
 use tvs_fault::FaultError;
 use tvs_netlist::NetlistError;
+use tvs_serve::ServeError;
 use tvs_stitch::{SnapshotError, StitchError};
 
 /// Top-level error for the `tvs` toolkit and CLI.
@@ -55,6 +57,8 @@ pub enum TvsError {
     },
     /// Deny-level lint diagnostics were found.
     Lint(String),
+    /// The compression service (daemon or client side) failed.
+    Serve(ServeError),
 }
 
 impl TvsError {
@@ -68,6 +72,7 @@ impl TvsError {
             TvsError::Snapshot(_) => 5,
             TvsError::Io { .. } => 6,
             TvsError::Lint(_) => 7,
+            TvsError::Serve(_) => 8,
         }
     }
 
@@ -97,6 +102,7 @@ impl fmt::Display for TvsError {
             TvsError::Snapshot(e) => write!(f, "snapshot: {e}"),
             TvsError::Io { path, source } => write!(f, "io: {path}: {source}"),
             TvsError::Lint(m) => write!(f, "lint: {m}"),
+            TvsError::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -111,6 +117,7 @@ impl Error for TvsError {
             TvsError::Fault(e) => Some(e),
             TvsError::Snapshot(e) => Some(e),
             TvsError::Io { source, .. } => Some(source),
+            TvsError::Serve(e) => Some(e),
             TvsError::Usage(_) | TvsError::Lint(_) => None,
         }
     }
@@ -151,6 +158,12 @@ impl From<AtpgOutcome> for TvsError {
     }
 }
 
+impl From<ServeError> for TvsError {
+    fn from(e: ServeError) -> Self {
+        TvsError::Serve(e)
+    }
+}
+
 impl From<SnapshotError> for TvsError {
     fn from(e: SnapshotError) -> Self {
         TvsError::Snapshot(e)
@@ -176,6 +189,7 @@ mod tests {
         assert_eq!(TvsError::from(SnapshotError::Truncated).exit_code(), 5);
         assert_eq!(TvsError::io("x", std::io::Error::other("e")).exit_code(), 6);
         assert_eq!(TvsError::Lint("deny".into()).exit_code(), 7);
+        assert_eq!(TvsError::from(ServeError::Draining).exit_code(), 8);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | benchmarks | [`circuits`] | paper example + ISCAS89-calibrated profiles |
 //! | virtual tester | [`ate`] | pin-accurate program execution, screening, diagnosis |
 //! | execution | [`exec`] | deterministic work-stealing pool, counters, span timers |
+//! | serving | [`serve`] | batching TCP daemon, single-flight jobs, artifact cache |
 //! | static analysis | [`lint`] | IR design-rule checks + source determinism lint |
 //!
 //! Failures from every layer funnel into the [`TvsError`] taxonomy, which
@@ -53,5 +54,6 @@ pub use tvs_lint as lint;
 pub use tvs_logic as logic;
 pub use tvs_netlist as netlist;
 pub use tvs_scan as scan;
+pub use tvs_serve as serve;
 pub use tvs_sim as sim;
 pub use tvs_stitch as stitch;

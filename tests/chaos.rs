@@ -190,6 +190,7 @@ fn truncated_and_corrupted_snapshots_are_typed_errors() {
                 resume: None,
                 checkpoint_every: 1,
                 on_checkpoint: Some(&mut keep),
+                on_progress: None,
             },
         )
         .expect("clean checkpointed run");

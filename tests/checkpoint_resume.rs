@@ -39,6 +39,7 @@ fn checkpointed_run(
                 resume: None,
                 checkpoint_every: every,
                 on_checkpoint: Some(&mut keep),
+                on_progress: None,
             },
         )
         .expect("checkpointed run");
@@ -56,6 +57,7 @@ fn resume_run(
             resume: Some(snapshot),
             checkpoint_every: 0,
             on_checkpoint: None,
+            on_progress: None,
         },
     )
 }
@@ -193,6 +195,7 @@ fn budget_spend_survives_a_resume() {
                 resume: None,
                 checkpoint_every: 2,
                 on_checkpoint: Some(&mut keep),
+                on_progress: None,
             },
         )
         .expect("budgeted run");

@@ -33,6 +33,7 @@ fn run_resumed(netlist: &tvs::netlist::Netlist, threads: usize) -> StitchReport 
                 resume: Some(pinned_snapshot()),
                 checkpoint_every: 0,
                 on_checkpoint: None,
+                on_progress: None,
             },
         )
         .expect("resume from the pinned snapshot")
