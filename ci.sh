@@ -50,6 +50,105 @@ wait "$SERVE_PID"
 grep -q "drained, exiting" "$SMOKE/serve.log"
 rm -rf "$SMOKE"
 
+# Fleet smoke: two workers sharing a cache dir behind the coordinator.
+# Kill the job's home worker mid-run and assert the retried artifact is
+# byte-identical to a cold single-serve reference, the fleet-wide engine
+# run count is exact, the warm path is a cache hit, and shutdown drains
+# the survivors. Workers run as direct binaries (not via cargo run) so the
+# kill reaches the process that holds the job.
+FLEET=$(mktemp -d)
+TVS=./target/release/tvs
+TVS_CLIENT=./target/release/tvs-client
+"$TVS" gen s1423 "$FLEET/s1423.bench"
+"$TVS" gen s444 "$FLEET/s444.bench"
+await_addr() { # <logfile> <prefix> — poll for the "listening on" line
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n "s/^$2: listening on //p" "$1")
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.1
+  done
+  test -n "$addr"
+  echo "$addr"
+}
+
+# Reference artifacts from a solo daemon with its own cold cache.
+"$TVS" serve --listen 127.0.0.1:0 --cache-dir "$FLEET/ref-cache" \
+  --workers 2 > "$FLEET/ref.log" &
+REF_PID=$!
+REF_ADDR=$(await_addr "$FLEET/ref.log" tvs-serve)
+"$TVS_CLIENT" --addr "$REF_ADDR" submit --wait --fetch \
+  --out "$FLEET/ref-s1423.json" --seed 3 "$FLEET/s1423.bench"
+"$TVS_CLIENT" --addr "$REF_ADDR" submit --wait --fetch \
+  --out "$FLEET/ref-s444.json" --seed 3 "$FLEET/s444.bench"
+"$TVS_CLIENT" --addr "$REF_ADDR" shutdown
+wait "$REF_PID"
+
+# The fleet: two workers, one shared cache, the coordinator in front.
+"$TVS" serve --listen 127.0.0.1:0 --cache-dir "$FLEET/cache" \
+  --workers 2 --checkpoint-every 4 > "$FLEET/w1.log" &
+W1_PID=$!
+"$TVS" serve --listen 127.0.0.1:0 --cache-dir "$FLEET/cache" \
+  --workers 2 --checkpoint-every 4 > "$FLEET/w2.log" &
+W2_PID=$!
+W1_ADDR=$(await_addr "$FLEET/w1.log" tvs-serve)
+W2_ADDR=$(await_addr "$FLEET/w2.log" tvs-serve)
+"$TVS" fleet --listen 127.0.0.1:0 --workers "$W1_ADDR,$W2_ADDR" \
+  > "$FLEET/fleet.log" &
+COORD_PID=$!
+FLEET_ADDR=$(await_addr "$FLEET/fleet.log" tvs-fleet)
+fclient() { "$TVS_CLIENT" --addr "$FLEET_ADDR" "$@"; }
+
+# Submit the slow job, map its home worker from the coordinator's routing
+# line to a PID, and kill that worker mid-run.
+fclient submit --seed 3 "$FLEET/s1423.bench" > "$FLEET/submit.out"
+JOB=$(sed -n 's/^job \([^ ]*\) admission.*/\1/p' "$FLEET/submit.out")
+test -n "$JOB"
+HOME_ADDR=""
+for _ in $(seq 1 100); do
+  HOME_ADDR=$(sed -n "s/^tvs-fleet: job $JOB key .* -> worker //p" "$FLEET/fleet.log")
+  if [ -n "$HOME_ADDR" ]; then break; fi
+  sleep 0.1
+done
+test -n "$HOME_ADDR"
+if [ "$HOME_ADDR" = "$W1_ADDR" ]; then
+  DOOMED_PID=$W1_PID SURVIVOR_PID=$W2_PID
+else
+  DOOMED_PID=$W2_PID SURVIVOR_PID=$W1_PID
+fi
+kill -9 "$DOOMED_PID"
+wait "$DOOMED_PID" || true
+
+# The blocked wait survives the death: the coordinator marks the worker
+# dead and replays the job on the ring successor.
+fclient wait "$JOB" > "$FLEET/wait.out"
+grep -q "state \"done\"" "$FLEET/wait.out"
+grep -q "retry -> worker" "$FLEET/fleet.log"
+fclient fetch "$JOB" --out "$FLEET/fleet-s1423.json"
+cmp "$FLEET/ref-s1423.json" "$FLEET/fleet-s1423.json"
+
+# A second job routes around the dead worker and matches its reference.
+fclient submit --wait --fetch --out "$FLEET/fleet-s444.json" \
+  --seed 3 "$FLEET/s444.bench"
+cmp "$FLEET/ref-s444.json" "$FLEET/fleet-s444.json"
+
+# Fleet-wide stats: exactly two engine runs across the surviving fleet
+# (the dead worker's partial run died with it), and exactly one death.
+fclient stats > "$FLEET/stats.out"
+grep -q '"engine_runs":2' "$FLEET/stats.out"
+grep -q '"worker_deaths":1' "$FLEET/stats.out"
+
+# Warm resubmission through the coordinator is a cache hit.
+fclient submit --seed 3 "$FLEET/s1423.bench" > "$FLEET/resubmit.out"
+grep -q cache-hit "$FLEET/resubmit.out"
+
+# Coordinator shutdown drains the coordinator and the surviving worker.
+fclient shutdown
+wait "$COORD_PID"
+grep -q "drained, exiting" "$FLEET/fleet.log"
+wait "$SURVIVOR_PID"
+rm -rf "$FLEET"
+
 # Chaos suite: deterministic fault injection (worker panics, PODEM abort
 # storms, corrupted hidden-chain images, truncated inputs). The injection
 # sites only exist in debug builds, so this stage runs unoptimized on

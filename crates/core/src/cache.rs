@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 
 use tvs_stitch::{fnv1a, StitchConfig};
 
-use crate::error::ServeError;
+use crate::error::CoreError;
 
 /// The 64-bit content address of an artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -64,9 +64,9 @@ pub struct ArtifactStore {
 
 impl ArtifactStore {
     /// Opens (creating if needed) a store at `dir`.
-    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactStore, ServeError> {
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactStore, CoreError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| ServeError::io(dir.display().to_string(), e))?;
+        fs::create_dir_all(&dir).map_err(|e| CoreError::io(dir.display().to_string(), e))?;
         Ok(ArtifactStore { dir })
     }
 
@@ -85,32 +85,32 @@ impl ArtifactStore {
     }
 
     /// Loads a cached artifact, `None` on a cold key.
-    pub fn load(&self, key: ArtifactKey) -> Result<Option<String>, ServeError> {
+    pub fn load(&self, key: ArtifactKey) -> Result<Option<String>, CoreError> {
         read_optional(&self.artifact_path(key))
     }
 
     /// Persists an artifact atomically (temp file + rename).
-    pub fn store(&self, key: ArtifactKey, artifact: &str) -> Result<(), ServeError> {
+    pub fn store(&self, key: ArtifactKey, artifact: &str) -> Result<(), CoreError> {
         write_atomic(&self.artifact_path(key), artifact)
     }
 
     /// Loads the pending checkpoint for `key`, `None` if absent.
-    pub fn load_snapshot(&self, key: ArtifactKey) -> Result<Option<String>, ServeError> {
+    pub fn load_snapshot(&self, key: ArtifactKey) -> Result<Option<String>, CoreError> {
         read_optional(&self.snapshot_path(key))
     }
 
     /// Persists a checkpoint atomically.
-    pub fn store_snapshot(&self, key: ArtifactKey, text: &str) -> Result<(), ServeError> {
+    pub fn store_snapshot(&self, key: ArtifactKey, text: &str) -> Result<(), CoreError> {
         write_atomic(&self.snapshot_path(key), text)
     }
 
     /// Drops the checkpoint once its artifact is final. Missing files are
     /// fine — a clean cold run never wrote one.
-    pub fn remove_snapshot(&self, key: ArtifactKey) -> Result<(), ServeError> {
+    pub fn remove_snapshot(&self, key: ArtifactKey) -> Result<(), CoreError> {
         match fs::remove_file(self.snapshot_path(key)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(ServeError::io(
+            Err(e) => Err(CoreError::io(
                 self.snapshot_path(key).display().to_string(),
                 e,
             )),
@@ -118,19 +118,19 @@ impl ArtifactStore {
     }
 }
 
-fn read_optional(path: &Path) -> Result<Option<String>, ServeError> {
+fn read_optional(path: &Path) -> Result<Option<String>, CoreError> {
     match fs::read_to_string(path) {
         Ok(text) => Ok(Some(text)),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-        Err(e) => Err(ServeError::io(path.display().to_string(), e)),
+        Err(e) => Err(CoreError::io(path.display().to_string(), e)),
     }
 }
 
-fn write_atomic(path: &Path, text: &str) -> Result<(), ServeError> {
+fn write_atomic(path: &Path, text: &str) -> Result<(), CoreError> {
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, text)
         .and_then(|()| fs::rename(&tmp, path))
-        .map_err(|e| ServeError::io(path.display().to_string(), e))
+        .map_err(|e| CoreError::io(path.display().to_string(), e))
 }
 
 #[cfg(test)]

@@ -1,0 +1,67 @@
+//! The serving core's error taxonomy, free of any transport vocabulary.
+
+use std::fmt;
+use std::io;
+
+/// Everything the job/cache/queue core can fail with. Transports (the TCP
+/// daemon's `ServeError`, the fleet coordinator's `FleetError`) wrap these
+/// into their own wire taxonomies; the core stays protocol-agnostic.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The job queue is at capacity; the caller should shed load.
+    Busy {
+        /// Jobs admitted and not yet finished.
+        open: usize,
+        /// The queue's admission bound.
+        capacity: usize,
+    },
+    /// A job id this table never issued (or has no record of).
+    UnknownJob(String),
+    /// The job ran and failed; the message is the engine's error.
+    JobFailed(String),
+    /// The submitted netlist failed to parse.
+    Netlist(String),
+    /// The submitted stitch configuration is invalid.
+    Config(String),
+    /// A filesystem operation failed.
+    Io {
+        /// What was being attempted (usually a path).
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for I/O failures.
+    pub fn io(context: impl Into<String>, source: io::Error) -> CoreError {
+        CoreError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Busy { open, capacity } => {
+                write!(f, "server busy: {open} of {capacity} job slots in flight")
+            }
+            CoreError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+            CoreError::JobFailed(m) => write!(f, "job failed: {m}"),
+            CoreError::Netlist(m) => write!(f, "netlist rejected: {m}"),
+            CoreError::Config(m) => write!(f, "configuration rejected: {m}"),
+            CoreError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

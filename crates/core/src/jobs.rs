@@ -11,7 +11,7 @@
 //! 2. a stored artifact for the key → a pre-resolved job is issued without
 //!    touching the queue (a *cache hit*);
 //! 3. otherwise the run is admitted to the bounded queue (or rejected with
-//!    [`ServeError::Busy`]) and its artifact is persisted on completion.
+//!    [`CoreError::Busy`]) and its artifact is persisted on completion.
 //!
 //! Counters: `serve.submits`, `serve.engine_runs`, `serve.cache_hits`,
 //! `serve.dedup_hits`, `serve.jobs_failed` — all through tvs-exec's stats
@@ -29,7 +29,7 @@ use tvs_stitch::{
 };
 
 use crate::cache::{ArtifactKey, ArtifactStore};
-use crate::error::ServeError;
+use crate::error::CoreError;
 use crate::json::Value;
 
 /// The result a job resolves to: the artifact JSON text, or the engine's
@@ -165,18 +165,18 @@ impl JobTable {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Netlist`] when the source does not parse,
-    /// [`ServeError::Busy`] when the queue is at capacity, and I/O errors
+    /// [`CoreError::Netlist`] when the source does not parse,
+    /// [`CoreError::Busy`] when the queue is at capacity, and I/O errors
     /// from the artifact store.
     pub fn submit(
         &self,
         name: &str,
         bench_text: &str,
         config: StitchConfig,
-    ) -> Result<(String, Admission), ServeError> {
+    ) -> Result<(String, Admission), CoreError> {
         tvs_exec::counter("serve.submits").incr();
         let netlist =
-            bench::parse(name, bench_text).map_err(|e| ServeError::Netlist(e.to_string()))?;
+            bench::parse(name, bench_text).map_err(|e| CoreError::Netlist(e.to_string()))?;
         let canonical = bench::to_string(&netlist);
         let key = ArtifactKey::compute(&canonical, &config);
 
@@ -238,7 +238,7 @@ impl JobTable {
             })
             .map_err(|QueueFull { open, capacity }| {
                 // Roll back: the id was minted but no job exists under it.
-                ServeError::Busy { open, capacity }
+                CoreError::Busy { open, capacity }
             })?;
         inner.by_key.insert(key.0, id.clone());
         inner.jobs.insert(
@@ -256,13 +256,13 @@ impl JobTable {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownJob`] for ids this table never issued.
-    pub fn status(&self, job_id: &str) -> Result<JobStatus, ServeError> {
+    /// [`CoreError::UnknownJob`] for ids this table never issued.
+    pub fn status(&self, job_id: &str) -> Result<JobStatus, CoreError> {
         let inner = lock(&self.inner);
         let entry = inner
             .jobs
             .get(job_id)
-            .ok_or_else(|| ServeError::UnknownJob(job_id.to_owned()))?;
+            .ok_or_else(|| CoreError::UnknownJob(job_id.to_owned()))?;
         Ok(entry_status(entry))
     }
 
@@ -270,14 +270,14 @@ impl JobTable {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownJob`] for ids this table never issued.
-    pub fn wait(&self, job_id: &str) -> Result<JobStatus, ServeError> {
+    /// [`CoreError::UnknownJob`] for ids this table never issued.
+    pub fn wait(&self, job_id: &str) -> Result<JobStatus, CoreError> {
         let (handle, entry_snapshot) = {
             let inner = lock(&self.inner);
             let entry = inner
                 .jobs
                 .get(job_id)
-                .ok_or_else(|| ServeError::UnknownJob(job_id.to_owned()))?;
+                .ok_or_else(|| CoreError::UnknownJob(job_id.to_owned()))?;
             (
                 entry.handle.clone(),
                 (entry.key, Arc::clone(&entry.progress)),
@@ -297,23 +297,23 @@ impl JobTable {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownJob`] for unknown ids, [`ServeError::JobFailed`]
+    /// [`CoreError::UnknownJob`] for unknown ids, [`CoreError::JobFailed`]
     /// when the engine run failed.
-    pub fn fetch(&self, job_id: &str) -> Result<Arc<String>, ServeError> {
+    pub fn fetch(&self, job_id: &str) -> Result<Arc<String>, CoreError> {
         let handle = {
             let inner = lock(&self.inner);
             inner
                 .jobs
                 .get(job_id)
                 .map(|e| e.handle.clone())
-                .ok_or_else(|| ServeError::UnknownJob(job_id.to_owned()))?
+                .ok_or_else(|| CoreError::UnknownJob(job_id.to_owned()))?
         };
         match handle.wait() {
             Ok(result) => match result.as_ref() {
                 Ok(artifact) => Ok(Arc::new(artifact.clone())),
-                Err(message) => Err(ServeError::JobFailed(message.clone())),
+                Err(message) => Err(CoreError::JobFailed(message.clone())),
             },
-            Err(panic) => Err(ServeError::JobFailed(panic.to_string())),
+            Err(panic) => Err(CoreError::JobFailed(panic.to_string())),
         }
     }
 }

@@ -1,0 +1,96 @@
+//! The fleet layer's error taxonomy and its wire representation.
+//!
+//! The coordinator speaks the same wire grammar as a single worker, so
+//! everything a worker can answer — `busy`, `netlist`, `job-failed`, … —
+//! passes through byte-faithfully as [`FleetError::Serve`]. The variants
+//! the fleet adds are the failures only a *fleet* can have: no live worker
+//! for a key, and a job whose every candidate worker died under it.
+
+use std::fmt;
+
+use tvs_serve::json::Value;
+use tvs_serve::ServeError;
+
+/// Everything the coordinator can fail with.
+#[derive(Debug)]
+pub enum FleetError {
+    /// No live worker could take the request: every ring successor is dead,
+    /// unreachable, or at capacity.
+    NoWorkers {
+        /// Workers configured into the ring.
+        workers: usize,
+        /// Workers currently considered alive.
+        alive: usize,
+    },
+    /// A job's worker died and every resubmission attempt failed too; the
+    /// job cannot be completed by the current fleet.
+    JobAbandoned {
+        /// The coordinator-issued job id.
+        job: String,
+        /// Placement attempts made (initial + retries).
+        attempts: u32,
+    },
+    /// A service-level failure shared with the single-worker protocol,
+    /// forwarded with its original wire code (`busy`, `unknown-job`, …).
+    Serve(ServeError),
+}
+
+impl FleetError {
+    /// The stable machine-readable code carried in error responses.
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            FleetError::NoWorkers { .. } => "no-workers",
+            FleetError::JobAbandoned { .. } => "job-abandoned",
+            FleetError::Serve(e) => e.wire_code(),
+        }
+    }
+
+    /// Renders the error as the protocol's `{"ok":false,...}` response.
+    pub fn to_wire(&self) -> Value {
+        match self {
+            FleetError::Serve(e) => e.to_wire(),
+            other => Value::Obj(vec![
+                ("ok".to_owned(), Value::Bool(false)),
+                ("error".to_owned(), Value::str(other.wire_code())),
+                ("message".to_owned(), Value::str(other.to_string())),
+            ]),
+        }
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoWorkers { workers, alive } => write!(
+                f,
+                "no live worker available ({alive} of {workers} workers alive)"
+            ),
+            FleetError::JobAbandoned { job, attempts } => write!(
+                f,
+                "job {job} abandoned after {attempts} placement attempts; every candidate worker died or refused"
+            ),
+            FleetError::Serve(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+impl From<tvs_core::CoreError> for FleetError {
+    fn from(e: tvs_core::CoreError) -> Self {
+        FleetError::Serve(ServeError::from(e))
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-worker health state and the probe policy.
+//!
+//! Every worker has a [`WorkerSlot`] holding its address and a small state
+//! machine: **alive** until `fail_threshold` consecutive probe failures,
+//! **dead** until a probe succeeds again. Two paths feed it:
+//!
+//! * the **health monitor** thread pings each worker's `stats` op on a
+//!   fixed interval with a connect/read timeout, backing off exponentially
+//!   (capped) on dead workers so a long-gone machine is not hammered;
+//! * the **dispatch path** marks a worker dead immediately when a forwarded
+//!   request loses its transport — a connection refused or a socket reset
+//!   is better evidence than any probe, and routing must react *now*.
+//!
+//! Death never edits the hash ring: membership is static configuration,
+//! aliveness is a routing-time filter. A worker that comes back keeps the
+//! exact vnodes it had, so its share of the key space — and its warm
+//! artifact cache — is waiting for it.
+
+use std::sync::Mutex;
+
+/// Consecutive probe failures after which a worker is declared dead.
+pub const DEFAULT_FAIL_THRESHOLD: u32 = 2;
+
+/// Cap on the probe back-off exponent for dead workers (2^4 = every 16th
+/// health tick).
+const MAX_BACKOFF_EXP: u32 = 4;
+
+/// Mutable health state of one worker.
+#[derive(Debug, Default)]
+struct Health {
+    dead: bool,
+    consecutive_failures: u32,
+    /// Health ticks to skip before the next probe of a dead worker.
+    cooldown: u32,
+    probes: u64,
+    deaths: u64,
+    jobs_routed: u64,
+    last_error: Option<String>,
+}
+
+/// One worker's address plus its lock-guarded health state.
+#[derive(Debug)]
+pub struct WorkerSlot {
+    /// The worker daemon's `host:port` address (also its ring identity).
+    pub addr: String,
+    state: Mutex<Health>,
+}
+
+/// A point-in-time copy of one worker's health, for the `stats` op.
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// Whether the worker is currently routable.
+    pub alive: bool,
+    /// Consecutive probe/dispatch failures so far.
+    pub consecutive_failures: u32,
+    /// Probes attempted since startup.
+    pub probes: u64,
+    /// Times this worker transitioned alive → dead.
+    pub deaths: u64,
+    /// Submissions (initial placements + retries) routed here.
+    pub jobs_routed: u64,
+    /// The most recent failure, if any.
+    pub last_error: Option<String>,
+}
+
+fn lock(m: &Mutex<Health>) -> std::sync::MutexGuard<'_, Health> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl WorkerSlot {
+    /// A slot for `addr`, initially alive (the first failed probe or
+    /// dispatch will correct optimism within one health interval).
+    pub fn new(addr: impl Into<String>) -> WorkerSlot {
+        WorkerSlot {
+            addr: addr.into(),
+            state: Mutex::new(Health::default()),
+        }
+    }
+
+    /// Whether the worker is currently routable.
+    pub fn is_alive(&self) -> bool {
+        !lock(&self.state).dead
+    }
+
+    /// Records a routed submission (initial placement or retry).
+    pub fn note_routed(&self) {
+        lock(&self.state).jobs_routed += 1;
+    }
+
+    /// Declares the worker dead right now (dispatch saw its transport die).
+    /// Returns true when this call performed the alive → dead transition.
+    pub fn mark_dead(&self, reason: &str) -> bool {
+        let mut h = lock(&self.state);
+        h.consecutive_failures = h.consecutive_failures.max(1);
+        h.last_error = Some(reason.to_owned());
+        let transitioned = !h.dead;
+        if transitioned {
+            h.dead = true;
+            h.deaths += 1;
+        }
+        transitioned
+    }
+
+    /// Whether the health monitor should probe this tick. Alive workers are
+    /// probed every tick; dead ones on a capped exponential back-off.
+    pub fn due_for_probe(&self) -> bool {
+        let mut h = lock(&self.state);
+        if h.cooldown > 0 {
+            h.cooldown -= 1;
+            return false;
+        }
+        true
+    }
+
+    /// Records a probe result; `threshold` is the consecutive-failure count
+    /// that flips an alive worker dead. Returns true on the alive → dead
+    /// transition so the caller can log it exactly once.
+    pub fn note_probe(&self, result: Result<(), String>, threshold: u32) -> bool {
+        let mut h = lock(&self.state);
+        h.probes += 1;
+        match result {
+            Ok(()) => {
+                h.dead = false;
+                h.consecutive_failures = 0;
+                h.cooldown = 0;
+                h.last_error = None;
+                false
+            }
+            Err(reason) => {
+                h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+                h.last_error = Some(reason);
+                let newly_dead = !h.dead && h.consecutive_failures >= threshold.max(1);
+                if newly_dead {
+                    h.dead = true;
+                    h.deaths += 1;
+                }
+                if h.dead {
+                    let exp = h
+                        .consecutive_failures
+                        .saturating_sub(threshold.max(1))
+                        .min(MAX_BACKOFF_EXP);
+                    h.cooldown = (1u32 << exp) - 1;
+                }
+                newly_dead
+            }
+        }
+    }
+
+    /// A copy of the current health state.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let h = lock(&self.state);
+        HealthSnapshot {
+            alive: !h.dead,
+            consecutive_failures: h.consecutive_failures,
+            probes: h.probes,
+            deaths: h.deaths,
+            jobs_routed: h.jobs_routed,
+            last_error: h.last_error.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_and_recovery() {
+        let slot = WorkerSlot::new("127.0.0.1:1");
+        assert!(slot.is_alive());
+        assert!(!slot.note_probe(Err("a".into()), 2), "below threshold");
+        assert!(slot.is_alive());
+        assert!(slot.note_probe(Err("b".into()), 2), "transition reported");
+        assert!(!slot.is_alive());
+        assert!(!slot.note_probe(Err("c".into()), 2), "already dead");
+        assert!(!slot.note_probe(Ok(()), 2));
+        assert!(slot.is_alive(), "successful probe revives");
+        assert_eq!(slot.snapshot().deaths, 1);
+    }
+
+    #[test]
+    fn dead_workers_back_off() {
+        let slot = WorkerSlot::new("127.0.0.1:1");
+        slot.note_probe(Err("x".into()), 1);
+        assert!(!slot.is_alive());
+        // Exponent grows with consecutive failures; cooldown skips ticks.
+        slot.note_probe(Err("x".into()), 1);
+        let mut skipped = 0;
+        while !slot.due_for_probe() {
+            skipped += 1;
+            assert!(skipped < 32, "cooldown must be capped");
+        }
+        assert!(skipped >= 1, "second failure must impose a cooldown");
+    }
+
+    #[test]
+    fn dispatch_death_is_immediate() {
+        let slot = WorkerSlot::new("127.0.0.1:1");
+        assert!(slot.mark_dead("connection reset"));
+        assert!(!slot.is_alive());
+        assert!(!slot.mark_dead("again"), "second mark is not a transition");
+        assert_eq!(slot.snapshot().deaths, 1);
+        assert_eq!(
+            slot.snapshot().last_error.as_deref(),
+            Some("again"),
+            "latest reason is kept"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! **tvs-fleet** — a sharded coordinator over many `tvs serve` workers.
+//!
+//! One `tvs serve` daemon scales to one machine. This crate scales the
+//! service out without giving up the property that makes the whole system
+//! work: a submission's artifact is a pure, byte-stable function of
+//! `(netlist, configuration)`. The coordinator ([`Coordinator`]) speaks the
+//! *same* wire protocol as a worker — clients cannot tell the difference —
+//! and fans submissions out across a fleet:
+//!
+//! * **Sharding** ([`Ring`]): consistent hashing over the content-addressed
+//!   [`tvs_core::ArtifactKey`], with virtual nodes for balance. Routing
+//!   depends only on the worker address list, never on registration order
+//!   or runtime state, so any two coordinators shard identically.
+//! * **Health** ([`WorkerSlot`]): periodic `stats` probes with timeout and
+//!   capped exponential back-off; dispatch failures mark a worker dead
+//!   immediately. Death filters routing but never edits the ring, so a
+//!   returning worker gets its key ranges — and its warm cache — back.
+//! * **Deterministic retry**: when a worker dies under an in-flight job the
+//!   coordinator resubmits the identical payload to the key's ring
+//!   successor. Because artifacts exclude thread count and workers
+//!   checkpoint to `.tvsnap` sidecars, the retried run yields the
+//!   byte-identical artifact the dead worker would have produced.
+//! * **Typed failures** ([`FleetError`]): fleet-only conditions
+//!   (`no-workers`, `job-abandoned`) extend the serve wire codes; worker
+//!   errors pass through untouched.
+//!
+//! Std-only, like every other crate in this workspace. The coordinator
+//! never runs the engine itself; determinism arguments live with the
+//! workers and DESIGN.md §6 — and now §13 for the fleet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+mod coordinator;
+mod error;
+pub mod health;
+pub mod ring;
+
+pub use conn::{ConnFailure, WorkerConn};
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use error::FleetError;
+pub use health::{HealthSnapshot, WorkerSlot};
+pub use ring::Ring;

@@ -1,0 +1,95 @@
+//! The consistent hash ring that shards artifact keys across workers.
+//!
+//! Each worker address is expanded into [`Ring::vnodes`] *virtual nodes*,
+//! every vnode hashed onto a `u64` circle; a key routes to the worker
+//! owning the first vnode clockwise from the key's hash. Virtual nodes
+//! smooth the shard sizes (the expected share of N workers is `1/N` with
+//! variance shrinking as vnodes grow), and consistent hashing bounds churn:
+//! adding a worker steals only the key ranges its own vnodes land on —
+//! every other key keeps its worker, which is what keeps the per-worker
+//! artifact caches warm across fleet resizes.
+//!
+//! Determinism: a vnode's position depends only on the worker's address
+//! text and the vnode index (FNV-1a, the same hash the artifact keys use),
+//! never on registration order or any runtime state. Two coordinators
+//! configured with the same worker set route every key identically, and a
+//! coordinator restart cannot reshuffle the fleet. Hash collisions between
+//! vnodes are resolved toward the lexicographically smaller address for the
+//! same reason.
+
+use std::collections::BTreeMap;
+
+use tvs_stitch::fnv1a;
+
+/// A consistent hash ring over worker addresses.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Circle position → worker address. `BTreeMap` gives ordered walks.
+    points: BTreeMap<u64, String>,
+    vnodes: usize,
+}
+
+impl Ring {
+    /// An empty ring placing `vnodes` virtual nodes per worker (clamped to
+    /// at least 1).
+    pub fn new(vnodes: usize) -> Ring {
+        Ring {
+            points: BTreeMap::new(),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    /// Virtual nodes placed per worker.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Adds a worker's virtual nodes. Re-adding an address is idempotent.
+    pub fn add(&mut self, addr: &str) {
+        for i in 0..self.vnodes {
+            let point = fnv1a(format!("{addr}#{i}").as_bytes());
+            match self.points.get_mut(&point) {
+                // A 64-bit collision between two workers' vnodes: keep the
+                // lexicographically smaller address so the outcome does not
+                // depend on insertion order.
+                Some(existing) => {
+                    if addr < existing.as_str() {
+                        *existing = addr.to_owned();
+                    }
+                }
+                None => {
+                    self.points.insert(point, addr.to_owned());
+                }
+            }
+        }
+    }
+
+    /// Removes a worker's virtual nodes (a no-op for unknown addresses).
+    pub fn remove(&mut self, addr: &str) {
+        self.points.retain(|_, a| a != addr);
+    }
+
+    /// Distinct worker addresses on the ring, in clockwise order starting
+    /// at `key`'s position. The first element is the key's home worker;
+    /// the rest are its retry successors in failover order.
+    pub fn successors(&self, key: u64) -> Vec<&str> {
+        let mut order: Vec<&str> = Vec::new();
+        let walk = self
+            .points
+            .range(key..)
+            .chain(self.points.range(..key))
+            .map(|(_, addr)| addr.as_str());
+        for addr in walk {
+            if !order.contains(&addr) {
+                order.push(addr);
+            }
+        }
+        order
+    }
+
+    /// The first worker for `key` that satisfies `alive`, walking the ring
+    /// clockwise. `None` when no worker qualifies (or the ring is empty).
+    pub fn route<F: Fn(&str) -> bool>(&self, key: u64, alive: F) -> Option<&str> {
+        self.successors(key).into_iter().find(|addr| alive(addr))
+    }
+}

@@ -1,0 +1,274 @@
+//! The fleet identity guarantee: one submission produces byte-identical
+//! artifacts whether it runs through a direct engine invocation, a single
+//! `tvs serve` daemon, or a fleet of workers behind the coordinator — and
+//! the guarantee holds even when the job's worker dies mid-job and the
+//! coordinator retries it on the ring successor.
+
+use std::io::{BufReader, BufWriter};
+
+use tvs_core::jobs::render_artifact;
+use tvs_core::ArtifactKey;
+use tvs_fleet::{Coordinator, CoordinatorConfig, Ring};
+use tvs_serve::json::{self, Value};
+use tvs_serve::proto::{read_frame, write_frame};
+use tvs_serve::{Client, Server, ServerConfig};
+use tvs_stitch::{StitchConfig, StitchEngine};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn s444() -> (tvs_netlist::Netlist, String) {
+    let netlist = tvs_circuits::profile("s444").expect("s444 profile").build();
+    let bench = tvs_netlist::bench::to_string(&netlist);
+    (netlist, bench)
+}
+
+/// Renders the reference artifact: a direct, in-process engine run through
+/// the same serializer the workers use.
+fn direct_artifact(netlist: &tvs_netlist::Netlist, bench: &str, seed: u64) -> String {
+    let config = StitchConfig {
+        seed,
+        threads: 1,
+        ..StitchConfig::default()
+    };
+    let report = StitchEngine::new(netlist)
+        .expect("engine")
+        .run(&config)
+        .expect("direct run");
+    let key = ArtifactKey::compute(bench, &config);
+    render_artifact(netlist, &report, &config, key).to_text()
+}
+
+fn start_worker(tag: &str) -> (String, std::thread::JoinHandle<()>, std::path::PathBuf) {
+    let cache = temp_dir(tag);
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: cache.clone(),
+        workers: 2,
+        queue_capacity: 8,
+        checkpoint_every: 4,
+    })
+    .expect("bind worker");
+    let addr = server.local_addr().expect("worker addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("worker run"));
+    (addr, handle, cache)
+}
+
+fn start_coordinator(workers: Vec<String>) -> (String, std::thread::JoinHandle<()>) {
+    let coordinator = Coordinator::bind(&CoordinatorConfig {
+        listen: "127.0.0.1:0".into(),
+        workers,
+        // Keep the prober quiet for the test's duration: death detection in
+        // these tests must come from the dispatch path, deterministically.
+        health_interval: std::time::Duration::from_secs(120),
+        ..CoordinatorConfig::default()
+    })
+    .expect("bind coordinator");
+    let addr = coordinator
+        .local_addr()
+        .expect("coordinator addr")
+        .to_string();
+    let handle = std::thread::spawn(move || coordinator.run().expect("coordinator run"));
+    (addr, handle)
+}
+
+fn seed_config(seed: u64) -> Value {
+    Value::Obj(vec![("seed".into(), Value::num_u64(seed))])
+}
+
+#[test]
+fn fleet_artifact_matches_single_serve_and_direct_run() {
+    let (netlist, bench) = s444();
+    let reference = direct_artifact(&netlist, &bench, 11);
+
+    // Path 2: one plain serve daemon, cold cache.
+    let (solo_addr, solo_thread, solo_cache) = start_worker("solo");
+    let mut solo = Client::connect(&solo_addr).expect("connect solo");
+    let (job, admission) = solo
+        .submit("s444", &bench, seed_config(11))
+        .expect("solo submit");
+    assert_eq!(admission, "miss");
+    let solo_artifact = solo.fetch(&job).expect("solo fetch").to_text();
+    assert_eq!(
+        solo_artifact, reference,
+        "single serve diverged from direct"
+    );
+
+    // Path 3: a three-worker fleet, every cache cold.
+    let mut workers = Vec::new();
+    for i in 0..3 {
+        workers.push(start_worker(&format!("w{i}")));
+    }
+    let (fleet_addr, fleet_thread) =
+        start_coordinator(workers.iter().map(|(a, _, _)| a.clone()).collect());
+    let mut fleet = Client::connect(&fleet_addr).expect("connect fleet");
+    let (job, admission) = fleet
+        .submit("s444", &bench, seed_config(11))
+        .expect("fleet submit");
+    assert_eq!(admission, "miss");
+    let fleet_artifact = fleet.fetch(&job).expect("fleet fetch").to_text();
+    assert_eq!(fleet_artifact, reference, "fleet diverged from direct");
+
+    // Resubmitting through the coordinator hits the owning worker's cache.
+    let (_, admission) = fleet
+        .submit("s444", &bench, seed_config(11))
+        .expect("fleet resubmit");
+    assert_eq!(admission, "cache-hit");
+
+    // Tear down: fleet shutdown drains the coordinator and its workers.
+    solo.shutdown().expect("solo shutdown");
+    solo_thread.join().expect("solo thread");
+    fleet.shutdown().expect("fleet shutdown");
+    fleet_thread.join().expect("fleet thread");
+    for (_, handle, cache) in workers {
+        handle.join().expect("worker thread");
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+    let _ = std::fs::remove_dir_all(&solo_cache);
+}
+
+/// A worker impostor that accepts submissions and then "crashes": `stats`
+/// probes and `submit` are answered normally, but the first blocking op
+/// (`wait`/`fetch`) drops the connection unanswered and stops listening,
+/// exactly like a process killed mid-job.
+fn doomed_worker() -> (String, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind doomed");
+    let addr = listener.local_addr().expect("doomed addr").to_string();
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => return,
+            };
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let mut writer = BufWriter::new(stream);
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                _ => continue,
+            };
+            let request = json::parse(&frame).expect("request parses");
+            let response = match request.get("op").and_then(Value::as_str) {
+                Some("stats") => Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    (
+                        "stats".into(),
+                        Value::Obj(vec![("counters".into(), Value::Obj(vec![]))]),
+                    ),
+                    ("server".into(), Value::Obj(vec![])),
+                ]),
+                Some("submit") => Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("job".into(), Value::str("x1")),
+                    ("admission".into(), Value::str("miss")),
+                ]),
+                // The crash: no response, connection dropped, no more
+                // accepts. The coordinator sees EOF mid-`wait`.
+                _ => return,
+            };
+            let _ = write_frame(&mut writer, &response.to_text());
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn worker_death_mid_job_retries_on_the_ring_successor_byte_identically() {
+    let (netlist, bench) = s444();
+    let (doomed_addr, doomed_thread) = doomed_worker();
+    let (real_addr, real_thread, real_cache) = start_worker("survivor");
+
+    // Find a seed whose artifact key routes to the doomed worker first, so
+    // the death-and-retry path is exercised deterministically.
+    let mut ring = Ring::new(64);
+    ring.add(&doomed_addr);
+    ring.add(&real_addr);
+    let seed = (0..256u64)
+        .find(|&seed| {
+            let config = StitchConfig {
+                seed,
+                ..StitchConfig::default()
+            };
+            let key = ArtifactKey::compute(&bench, &config);
+            ring.successors(key.0)[0] == doomed_addr
+        })
+        .expect("some seed routes home to the doomed worker");
+    let reference = direct_artifact(&netlist, &bench, seed);
+
+    let (fleet_addr, fleet_thread) =
+        start_coordinator(vec![doomed_addr.clone(), real_addr.clone()]);
+    let mut client = Client::connect(&fleet_addr).expect("connect fleet");
+
+    // The submission lands on the doomed worker (assert via the routing
+    // field in the raw response).
+    let submit = client
+        .request(&Value::Obj(vec![
+            ("op".into(), Value::str("submit")),
+            ("name".into(), Value::str("s444")),
+            ("bench".into(), Value::str(bench.clone())),
+            ("config".into(), seed_config(seed)),
+        ]))
+        .expect("fleet submit");
+    assert_eq!(
+        submit.get("worker").and_then(Value::as_str),
+        Some(doomed_addr.as_str()),
+        "seed search must place the job on the doomed worker"
+    );
+    let job = submit
+        .get("job")
+        .and_then(Value::as_str)
+        .expect("job id")
+        .to_owned();
+
+    // `wait` hits the crash, the coordinator marks the worker dead and
+    // replays the job on the survivor — the client just sees it finish.
+    let status = client.wait(&job).expect("wait survives the worker death");
+    assert_eq!(status.get("state").and_then(Value::as_str), Some("done"));
+
+    let artifact = client.fetch(&job).expect("fetch retried job").to_text();
+    assert_eq!(
+        artifact, reference,
+        "retried artifact must be byte-identical to the direct run"
+    );
+
+    // The fleet's stats expose the death and the reroute.
+    let stats = client.stats().expect("fleet stats");
+    let fleet_gauges = stats.get("fleet").expect("fleet gauges");
+    assert_eq!(
+        fleet_gauges.get("worker_deaths").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(fleet_gauges.get("alive").and_then(Value::as_u64), Some(1));
+    let workers = match stats.get("workers") {
+        Some(Value::Arr(entries)) => entries,
+        other => panic!("workers array missing: {other:?}"),
+    };
+    let entry = |addr: &str| {
+        workers
+            .iter()
+            .find(|w| w.get("addr").and_then(Value::as_str) == Some(addr))
+            .unwrap_or_else(|| panic!("no stats entry for {addr}"))
+    };
+    let doomed = entry(&doomed_addr);
+    assert_eq!(doomed.get("alive").and_then(Value::as_bool), Some(false));
+    assert_eq!(doomed.get("deaths").and_then(Value::as_u64), Some(1));
+    assert_eq!(doomed.get("jobs_routed").and_then(Value::as_u64), Some(1));
+    let survivor = entry(&real_addr);
+    assert_eq!(survivor.get("alive").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        survivor.get("jobs_routed").and_then(Value::as_u64),
+        Some(1),
+        "the retry must have been routed to the survivor"
+    );
+
+    client.shutdown().expect("fleet shutdown");
+    fleet_thread.join().expect("fleet thread");
+    real_thread.join().expect("survivor thread");
+    doomed_thread.join().expect("doomed thread");
+    let _ = std::fs::remove_dir_all(&real_cache);
+}

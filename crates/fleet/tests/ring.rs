@@ -1,0 +1,142 @@
+//! Hash-ring properties the fleet's correctness leans on: balanced shards,
+//! bounded and directional key movement on membership change, and routing
+//! that cannot depend on the order workers were registered in.
+
+use tvs_fleet::Ring;
+use tvs_stitch::fnv1a;
+
+const WORKERS: [&str; 3] = ["10.0.0.1:7071", "10.0.0.2:7071", "10.0.0.3:7071"];
+const KEYS: usize = 10_000;
+
+fn sample_keys() -> Vec<u64> {
+    (0..KEYS)
+        .map(|i| fnv1a(format!("key-{i}").as_bytes()))
+        .collect()
+}
+
+fn ring_of(addrs: &[&str], vnodes: usize) -> Ring {
+    let mut ring = Ring::new(vnodes);
+    for addr in addrs {
+        ring.add(addr);
+    }
+    ring
+}
+
+fn owner(ring: &Ring, key: u64) -> &str {
+    ring.route(key, |_| true).expect("non-empty ring routes")
+}
+
+#[test]
+fn keys_distribute_roughly_uniformly_across_workers() {
+    let ring = ring_of(&WORKERS, 64);
+    let mut counts = std::collections::BTreeMap::new();
+    for key in sample_keys() {
+        *counts.entry(owner(&ring, key).to_owned()).or_insert(0usize) += 1;
+    }
+    assert_eq!(counts.len(), WORKERS.len(), "every worker owns some keys");
+    // Expected share is 1/3; 64 vnodes keeps every shard well inside
+    // [half, double] of that.
+    for (addr, count) in &counts {
+        let share = *count as f64 / KEYS as f64;
+        assert!(
+            (0.1666..=0.6666).contains(&share),
+            "worker {addr} owns a {share:.3} share; ring is badly skewed"
+        );
+    }
+}
+
+#[test]
+fn adding_a_worker_steals_keys_only_for_itself() {
+    let before = ring_of(&WORKERS, 64);
+    let joined = "10.0.0.4:7071";
+    let mut after = before.clone();
+    after.add(joined);
+
+    let mut moved = 0usize;
+    for key in sample_keys() {
+        let old = owner(&before, key);
+        let new = owner(&after, key);
+        if new != old {
+            // Consistent hashing's defining property: a join may only move
+            // keys *to* the joiner, never shuffle them between survivors.
+            assert_eq!(new, joined, "key {key:#018x} moved {old} -> {new}");
+            moved += 1;
+        }
+    }
+    let fraction = moved as f64 / KEYS as f64;
+    // The joiner's fair share is 1/4 of the key space.
+    assert!(
+        (0.10..=0.45).contains(&fraction),
+        "join moved a {fraction:.3} fraction of keys (expected ≈ 0.25)"
+    );
+}
+
+#[test]
+fn removing_a_worker_moves_only_its_keys() {
+    let before = ring_of(&WORKERS, 64);
+    let leaver = WORKERS[1];
+    let mut after = before.clone();
+    after.remove(leaver);
+
+    for key in sample_keys() {
+        let old = owner(&before, key);
+        let new = owner(&after, key);
+        if old == leaver {
+            assert_ne!(new, leaver);
+            // The orphaned key lands exactly on its old failover successor,
+            // which is what makes death-rerouting deterministic.
+            let failover = before
+                .successors(key)
+                .into_iter()
+                .find(|a| *a != leaver)
+                .expect("two survivors remain")
+                .to_owned();
+            assert_eq!(new, failover, "key {key:#018x} skipped its successor");
+        } else {
+            assert_eq!(old, new, "a survivor's key moved on an unrelated leave");
+        }
+    }
+}
+
+#[test]
+fn routing_is_independent_of_registration_order() {
+    let forward = ring_of(&WORKERS, 64);
+    let reversed = {
+        let mut addrs = WORKERS;
+        addrs.reverse();
+        ring_of(&addrs, 64)
+    };
+    for key in sample_keys() {
+        assert_eq!(
+            forward.successors(key),
+            reversed.successors(key),
+            "successor order for key {key:#018x} depends on registration order"
+        );
+    }
+}
+
+#[test]
+fn route_skips_dead_workers_in_successor_order() {
+    let ring = ring_of(&WORKERS, 64);
+    for key in sample_keys().into_iter().take(100) {
+        let order = ring.successors(key);
+        assert_eq!(order.len(), WORKERS.len());
+        let home = order[0].to_owned();
+        let rerouted = ring
+            .route(key, |addr| addr != home)
+            .expect("two live workers remain");
+        assert_eq!(rerouted, order[1], "death must fail over to the successor");
+    }
+    assert_eq!(ring.route(42, |_| false), None, "all dead routes nowhere");
+}
+
+#[test]
+fn readding_a_worker_restores_its_exact_key_ranges() {
+    let original = ring_of(&WORKERS, 64);
+    let mut churned = original.clone();
+    churned.remove(WORKERS[0]);
+    churned.add(WORKERS[0]);
+    for key in sample_keys() {
+        assert_eq!(owner(&original, key), owner(&churned, key));
+    }
+}

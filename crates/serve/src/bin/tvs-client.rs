@@ -13,7 +13,9 @@
 //! Stitch options mirror `tvs run`: `--seed N`, `--fixed K`, `--select S`,
 //! `--vxor`, `--hxor G`, `--budget N`, `--threads N`.
 //!
-//! Exit codes: 0 success, 2 usage, 8 any server/transport error.
+//! Exit codes: 0 success, 2 usage, 8 any server/transport error. Server
+//! errors print as `tvs-client: [<wire-code>] <message>` — the bracketed
+//! code (`busy`, `unknown-job`, `version`, …) is stable for scripting.
 
 use std::fs;
 use std::process::ExitCode;
@@ -31,7 +33,9 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         Err(Failure::Serve(e)) => {
-            eprintln!("tvs-client: {e}");
+            // The bracketed wire code is stable; scripts branch on it
+            // (e.g. `[busy]`, `[unknown-job]`) instead of parsing prose.
+            eprintln!("tvs-client: [{}] {e}", e.wire_code());
             ExitCode::from(8)
         }
     }

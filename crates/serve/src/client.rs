@@ -6,7 +6,7 @@ use std::net::TcpStream;
 
 use crate::error::ServeError;
 use crate::json::{self, Value};
-use crate::proto::{read_frame, write_frame};
+use crate::proto::{read_frame, write_frame, PROTO_VERSION};
 
 /// One connection to a `tvs serve` daemon.
 pub struct Client {
@@ -35,13 +35,20 @@ impl Client {
     }
 
     /// Sends one request document and returns the (already `ok`-checked)
-    /// response document.
+    /// response document. A `"v"` protocol-version field is stamped onto
+    /// the request unless the caller already set one.
     ///
     /// # Errors
     ///
     /// Transport failures, protocol violations, and any error response from
     /// the server (decoded back into the matching [`ServeError`] variant).
     pub fn request(&mut self, request: &Value) -> Result<Value, ServeError> {
+        let mut request = request.clone();
+        if let Value::Obj(pairs) = &mut request {
+            if !pairs.iter().any(|(k, _)| k == "v") {
+                pairs.push(("v".into(), Value::num_u64(PROTO_VERSION)));
+            }
+        }
         write_frame(&mut self.writer, &request.to_text())?;
         let frame = read_frame(&mut self.reader)?
             .ok_or_else(|| ServeError::Protocol("server hung up".to_owned()))?;

@@ -3,8 +3,10 @@
 use std::fmt;
 use std::io;
 
+use tvs_core::CoreError;
+
 use crate::json::Value;
-use crate::proto::ProtoError;
+use crate::proto::{ProtoError, PROTO_VERSION};
 
 /// Everything that can go wrong between a request arriving and a response
 /// leaving. Each variant maps to a stable wire code (see
@@ -20,6 +22,15 @@ pub enum ServeError {
     },
     /// The server is draining after a `shutdown` request; no new work.
     Draining,
+    /// The peer speaks a different protocol version. Mixed-version fleets
+    /// must fail loudly instead of misparsing each other's frames.
+    Version {
+        /// The version the peer announced (`None` if the request had no
+        /// `v` field at all — a pre-versioning peer).
+        got: Option<u64>,
+        /// The version this side speaks ([`PROTO_VERSION`]).
+        want: u64,
+    },
     /// The peer violated the framing or request grammar.
     Protocol(String),
     /// A job id that the server never issued (or has no record of).
@@ -53,6 +64,7 @@ impl ServeError {
         match self {
             ServeError::Busy { .. } => "busy",
             ServeError::Draining => "draining",
+            ServeError::Version { .. } => "version",
             ServeError::Protocol(_) => "protocol",
             ServeError::UnknownJob(_) => "unknown-job",
             ServeError::JobFailed(_) => "job-failed",
@@ -69,9 +81,21 @@ impl ServeError {
             ("error".to_owned(), Value::str(self.wire_code())),
             ("message".to_owned(), Value::str(self.to_string())),
         ];
-        if let ServeError::Busy { open, capacity } = self {
-            pairs.push(("open".to_owned(), Value::num_u64(*open as u64)));
-            pairs.push(("capacity".to_owned(), Value::num_u64(*capacity as u64)));
+        match self {
+            ServeError::Busy { open, capacity } => {
+                pairs.push(("open".to_owned(), Value::num_u64(*open as u64)));
+                pairs.push(("capacity".to_owned(), Value::num_u64(*capacity as u64)));
+            }
+            ServeError::Version { got, want } => {
+                if let Some(got) = got {
+                    pairs.push(("got".to_owned(), Value::num_u64(*got)));
+                }
+                pairs.push(("want".to_owned(), Value::num_u64(*want)));
+            }
+            ServeError::UnknownJob(job) => {
+                pairs.push(("job".to_owned(), Value::str(job.clone())));
+            }
+            _ => {}
         }
         Value::Obj(pairs)
     }
@@ -92,7 +116,21 @@ impl ServeError {
                     .unwrap_or(0) as usize,
             },
             Some("draining") => ServeError::Draining,
-            Some("unknown-job") => ServeError::UnknownJob(message),
+            Some("version") => ServeError::Version {
+                got: response.get("got").and_then(Value::as_u64),
+                want: response
+                    .get("want")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(PROTO_VERSION),
+            },
+            Some("unknown-job") => ServeError::UnknownJob(
+                // Prefer the structured job id; older peers only sent prose.
+                response
+                    .get("job")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .unwrap_or(message),
+            ),
             Some("job-failed") => ServeError::JobFailed(message),
             Some("netlist") => ServeError::Netlist(message),
             Some("config") => ServeError::Config(message),
@@ -109,6 +147,18 @@ impl fmt::Display for ServeError {
                 write!(f, "server busy: {open} of {capacity} job slots in flight")
             }
             ServeError::Draining => write!(f, "server is draining; submissions are closed"),
+            ServeError::Version {
+                got: Some(got),
+                want,
+            } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks v{got}, this side v{want}"
+                )
+            }
+            ServeError::Version { got: None, want } => {
+                write!(f, "protocol version mismatch: request carries no version, this side requires v{want}")
+            }
             ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ServeError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
             ServeError::JobFailed(m) => write!(f, "job failed: {m}"),
@@ -133,6 +183,19 @@ impl From<ProtoError> for ServeError {
         match e {
             ProtoError::Io(io) => ServeError::io("socket", io),
             other => ServeError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Busy { open, capacity } => ServeError::Busy { open, capacity },
+            CoreError::UnknownJob(id) => ServeError::UnknownJob(id),
+            CoreError::JobFailed(m) => ServeError::JobFailed(m),
+            CoreError::Netlist(m) => ServeError::Netlist(m),
+            CoreError::Config(m) => ServeError::Config(m),
+            CoreError::Io { context, source } => ServeError::Io { context, source },
         }
     }
 }

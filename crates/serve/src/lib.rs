@@ -4,38 +4,39 @@
 //! `tvs-stitch`) is CPU-minutes per circuit but a pure function of
 //! `(netlist, configuration)`. This crate exploits that purity end to end:
 //!
-//! * a **TCP daemon** ([`Server`]) speaking a length-prefixed JSON protocol
-//!   ([`proto`]) with ops `submit`, `status`, `wait`, `fetch`, `stats` and
-//!   `shutdown`;
-//! * a **content-addressed artifact cache** ([`ArtifactStore`]): the key is
-//!   the FNV fingerprint of the canonicalized `.bench` source combined with
-//!   the [`StitchConfig`](tvs_stitch::StitchConfig) fingerprint, so a warm
-//!   fetch never re-runs the engine and formatting differences cannot split
-//!   the cache;
-//! * **single-flight deduplication** ([`JobTable`]): any number of
-//!   concurrent identical submissions coalesce onto one engine run, whose
-//!   cloneable [`tvs_exec::JobHandle`] fans the result out to every waiter;
-//! * **bounded admission**: engine runs execute on a
-//!   [`tvs_exec::JobQueue`]; past its capacity clients get a typed `busy`
-//!   rejection instead of an unbounded backlog.
+//! * a **TCP daemon** ([`Server`]) speaking a length-prefixed, versioned
+//!   JSON protocol ([`proto`]) with ops `submit`, `status`, `wait`, `fetch`,
+//!   `stats` and `shutdown`;
+//! * the **transport-agnostic serving core** re-exported from
+//!   [`tvs_core`]: the content-addressed [`ArtifactStore`], the
+//!   single-flight [`JobTable`] with bounded admission, and the
+//!   deterministic [`json`] value model (numbers keep their raw source
+//!   text, so artifacts re-serialize byte-identically).
+//!
+//! This crate owns the *wire*: framing, the request grammar, the
+//! [`ServeError`] taxonomy with stable wire codes, and the blocking
+//! [`Client`]. The job/cache/queue mechanics live in `tvs-core`, shared
+//! with the fleet coordinator (`tvs-fleet`) that shards submissions across
+//! many of these daemons.
 //!
 //! Everything is std-only; determinism of the engine itself is untouched —
-//! connection threads (the one allowed use of raw threads outside
+//! connection threads (one allowed use of raw threads outside
 //! `crates/exec`, see the lint table) only wait on sockets and job handles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cache;
 pub mod client;
 mod error;
-pub mod jobs;
-pub mod json;
 pub mod proto;
 mod server;
 
-pub use cache::{ArtifactKey, ArtifactStore};
+pub use tvs_core::cache;
+pub use tvs_core::jobs;
+pub use tvs_core::json;
+
 pub use client::Client;
 pub use error::ServeError;
-pub use jobs::{Admission, JobStatus, JobTable};
-pub use server::{config_from_wire, Server, ServerConfig};
+pub use proto::PROTO_VERSION;
+pub use server::{check_version, config_from_wire, Server, ServerConfig};
+pub use tvs_core::{Admission, ArtifactKey, ArtifactStore, CoreError, JobStatus, JobTable};

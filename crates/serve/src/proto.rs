@@ -18,6 +18,14 @@ use std::io::{self, Read, Write};
 /// above the largest ISCAS benchmark plus its artifact).
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 
+/// The protocol generation this build speaks. Every request document
+/// carries it as a top-level `"v"` field; servers (daemon and fleet
+/// coordinator alike) reject any other value — or its absence — with the
+/// typed `version` error, so a mixed-version fleet fails loudly at the
+/// first frame instead of misparsing payloads. Bump on any change to the
+/// request/response grammar.
+pub const PROTO_VERSION: u64 = 1;
+
 /// A framing failure.
 #[derive(Debug)]
 pub enum ProtoError {

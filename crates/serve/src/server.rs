@@ -24,11 +24,11 @@ use std::time::Duration;
 use tvs_scan::{CaptureTransform, ObserveTransform};
 use tvs_stitch::{SelectionStrategy, ShiftPolicy, StitchConfig};
 
-use crate::cache::ArtifactStore;
+use tvs_core::json::{self, Value};
+use tvs_core::{ArtifactStore, JobStatus, JobTable};
+
 use crate::error::ServeError;
-use crate::jobs::{JobStatus, JobTable};
-use crate::json::{self, Value};
-use crate::proto::{read_frame, write_frame, ProtoError};
+use crate::proto::{read_frame, write_frame, ProtoError, PROTO_VERSION};
 
 /// How often blocked reads and the accept loop re-check the draining flag.
 const POLL: Duration = Duration::from_millis(50);
@@ -197,6 +197,7 @@ fn dispatch(frame: &str, table: &JobTable, draining: &AtomicBool) -> Result<Valu
         .get("op")
         .and_then(Value::as_str)
         .ok_or_else(|| ServeError::Protocol("missing \"op\"".to_owned()))?;
+    check_version(&request)?;
     match op {
         "submit" => {
             if draining.load(Ordering::Acquire) {
@@ -269,6 +270,19 @@ fn dispatch(frame: &str, table: &JobTable, draining: &AtomicBool) -> Result<Valu
             ]))
         }
         other => Err(ServeError::Protocol(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Enforces the frame's protocol-version field. Requests without a `v`
+/// field are from pre-versioning peers and rejected just like mismatched
+/// ones: a mixed-version fleet must fail loudly, not misparse.
+pub fn check_version(request: &Value) -> Result<(), ServeError> {
+    match request.get("v").and_then(Value::as_u64) {
+        Some(v) if v == PROTO_VERSION => Ok(()),
+        got => Err(ServeError::Version {
+            got,
+            want: PROTO_VERSION,
+        }),
     }
 }
 

@@ -2,7 +2,7 @@
 //! `busy` rejection instead of an unbounded backlog — and distinct configs
 //! never coalesce.
 
-use tvs_serve::{Admission, ArtifactStore, JobTable, ServeError};
+use tvs_serve::{Admission, ArtifactStore, CoreError, JobTable, ServeError};
 use tvs_stitch::StitchConfig;
 
 #[test]
@@ -30,7 +30,7 @@ fn overflowing_the_queue_is_a_typed_busy_rejection() {
     // Distinct key: the bounded queue pushes back.
     let overflow = table.submit("s444", &bench, config(2));
     match overflow {
-        Err(ServeError::Busy { open, capacity }) => {
+        Err(CoreError::Busy { open, capacity }) => {
             assert_eq!(capacity, 1);
             assert!(open >= 1);
         }

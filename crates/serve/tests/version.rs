@@ -1,0 +1,124 @@
+//! The protocol-version handshake: every frame carries `"v"`, mismatches
+//! are rejected with the typed `version` error, and typed error payloads
+//! survive a wire round trip without degrading into prose.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+
+use tvs_serve::json::{self, Value};
+use tvs_serve::proto::{read_frame, write_frame, PROTO_VERSION};
+use tvs_serve::{Client, ServeError, Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sends one raw frame (no client-side version stamping) and returns the
+/// parsed response.
+fn raw_request(addr: &str, request: &Value) -> Value {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &request.to_text()).expect("write");
+    let frame = read_frame(&mut reader).expect("read").expect("response");
+    json::parse(&frame).expect("response parses")
+}
+
+#[test]
+fn mismatched_and_missing_versions_get_the_typed_error() {
+    let cache = temp_dir("version");
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: cache.clone(),
+        workers: 1,
+        queue_capacity: 4,
+        checkpoint_every: 0,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Wrong version: typed rejection carrying both sides' numbers.
+    let wrong = raw_request(
+        &addr,
+        &Value::Obj(vec![
+            ("op".into(), Value::str("stats")),
+            ("v".into(), Value::num_u64(PROTO_VERSION + 41)),
+        ]),
+    );
+    assert_eq!(wrong.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(wrong.get("error").and_then(Value::as_str), Some("version"));
+    assert_eq!(
+        wrong.get("got").and_then(Value::as_u64),
+        Some(PROTO_VERSION + 41)
+    );
+    assert_eq!(
+        wrong.get("want").and_then(Value::as_u64),
+        Some(PROTO_VERSION)
+    );
+
+    // No version at all (a pre-versioning peer): same rejection, no `got`.
+    let missing = raw_request(&addr, &Value::Obj(vec![("op".into(), Value::str("stats"))]));
+    assert_eq!(
+        missing.get("error").and_then(Value::as_str),
+        Some("version")
+    );
+    assert!(missing.get("got").is_none());
+    assert_eq!(
+        missing.get("want").and_then(Value::as_u64),
+        Some(PROTO_VERSION)
+    );
+
+    // The stock client stamps the current version and sails through.
+    let mut client = Client::connect(&addr).expect("client connect");
+    let stats = client.stats().expect("versioned stats succeeds");
+    assert_eq!(stats.get("ok").and_then(Value::as_bool), Some(true));
+
+    client.shutdown().expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn typed_error_payloads_survive_the_wire_round_trip() {
+    let busy = ServeError::Busy {
+        open: 7,
+        capacity: 8,
+    };
+    match ServeError::from_wire(&busy.to_wire()) {
+        ServeError::Busy { open, capacity } => {
+            assert_eq!((open, capacity), (7, 8));
+        }
+        other => panic!("busy degraded to {other:?}"),
+    }
+
+    let version = ServeError::Version {
+        got: Some(3),
+        want: PROTO_VERSION,
+    };
+    match ServeError::from_wire(&version.to_wire()) {
+        ServeError::Version { got, want } => {
+            assert_eq!(got, Some(3));
+            assert_eq!(want, PROTO_VERSION);
+        }
+        other => panic!("version degraded to {other:?}"),
+    }
+
+    // The regression this guards: unknown-job used to re-wrap the prose
+    // message, so clients printed `unknown job "unknown job \"j9\""`.
+    let unknown = ServeError::UnknownJob("j9".to_owned());
+    match ServeError::from_wire(&unknown.to_wire()) {
+        ServeError::UnknownJob(job) => assert_eq!(job, "j9"),
+        other => panic!("unknown-job degraded to {other:?}"),
+    }
+    assert_eq!(
+        ServeError::from_wire(&unknown.to_wire()).to_string(),
+        unknown.to_string(),
+        "round-tripped display must not double-wrap"
+    );
+}

@@ -13,6 +13,8 @@
 //! tvs lint    [options] [circuit.bench ...]  static analysis (IR + determinism)
 //! tvs serve   --listen ADDR [options]        batching compression daemon with a
 //!                                            content-addressed artifact cache
+//! tvs fleet   --listen ADDR --workers a,b,…  sharded coordinator over several
+//!                                            serve daemons with health checks
 //! ```
 //!
 //! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
@@ -21,7 +23,7 @@
 //!
 //! Every failure maps to a [`TvsError`] and its structured exit code
 //! (2 usage, 3 malformed input, 4 engine, 5 snapshot, 6 I/O, 7 lint,
-//! 8 serve); exit code 1 stays reserved for panics.
+//! 8 serve, 9 fleet); exit code 1 stays reserved for panics.
 
 use std::fs;
 use std::process::ExitCode;
@@ -62,6 +64,7 @@ fn run() -> Result<(), TvsError> {
         "gen" => gen(&args[1..]),
         "lint" => lint(&args[1..]),
         "serve" => serve(&args[1..]),
+        "fleet" => fleet(&args[1..]),
         _ => {
             print!("{USAGE}");
             Ok(())
@@ -83,6 +86,8 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
   tvs gen     <profile> <out.bench>        synthesize a calibrated benchmark
   tvs lint    [options] [circuit.bench …]  static analysis (IR + determinism)
   tvs serve   --listen ADDR [options]      batching compression daemon
+  tvs fleet   --listen ADDR --workers a,b  sharded coordinator over several
+                                           serve daemons
 
 lint options:
   --profiles        analyze every built-in circuit profile
@@ -121,8 +126,20 @@ serve options:
   --queue <n>              max open jobs before submits get busy (default: 64)
   --checkpoint-every <n>   snapshot running jobs every n cycles (default: 8)
 
+fleet options:
+  --listen <addr>            TCP address to bind (:0 picks a free port; the
+                             bound address is printed)
+  --workers <a,b,…>          comma-separated worker daemon addresses (required)
+  --vnodes <n>               virtual nodes per worker on the hash ring
+                             (default: 64)
+  --health-interval-ms <n>   pause between health-probe sweeps (default: 500)
+  --probe-timeout-ms <n>     connect/read timeout for probes and quick
+                             forwarded ops (default: 1000)
+  --fail-threshold <n>       consecutive probe failures that mark a worker
+                             dead (default: 2)
+
 exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io ·
-7 lint · 8 serve (1 stays reserved for panics)
+7 lint · 8 serve · 9 fleet (1 stays reserved for panics)
 ";
 
 fn load(path: &str) -> Result<Netlist, TvsError> {
@@ -426,6 +443,68 @@ fn serve(args: &[String]) -> Result<(), TvsError> {
     );
     server.run()?;
     println!("tvs-serve: drained, exiting");
+    Ok(())
+}
+
+fn fleet(args: &[String]) -> Result<(), TvsError> {
+    let mut config = tvs::fleet::CoordinatorConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                config.listen = need(args, i + 1, "listen address")?.to_owned();
+                i += 1;
+            }
+            "--workers" => {
+                config.workers = need(args, i + 1, "worker address list")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                i += 1;
+            }
+            "--vnodes" => {
+                config.vnodes = parse_value::<usize>(args, i + 1, "vnode count")?.max(1);
+                i += 1;
+            }
+            "--health-interval-ms" => {
+                let ms = parse_value::<u64>(args, i + 1, "health interval")?;
+                config.health_interval = std::time::Duration::from_millis(ms.max(1));
+                i += 1;
+            }
+            "--probe-timeout-ms" => {
+                let ms = parse_value::<u64>(args, i + 1, "probe timeout")?;
+                config.probe_timeout = std::time::Duration::from_millis(ms.max(1));
+                i += 1;
+            }
+            "--fail-threshold" => {
+                config.fail_threshold = parse_value::<u32>(args, i + 1, "fail threshold")?.max(1);
+                i += 1;
+            }
+            other => return Err(TvsError::usage(format!("unknown fleet option {other:?}"))),
+        }
+        i += 1;
+    }
+    if config.workers.is_empty() {
+        return Err(TvsError::usage(
+            "fleet requires --workers with at least one worker address",
+        ));
+    }
+    let coordinator = tvs::fleet::Coordinator::bind(&config)?;
+    let addr = coordinator.local_addr()?;
+    // The smoke harness and scripts parse this line to learn the port.
+    println!("tvs-fleet: listening on {addr}");
+    println!(
+        "tvs-fleet: {} workers · {} vnodes/worker · probe every {}ms (timeout {}ms, threshold {})",
+        config.workers.len(),
+        config.vnodes,
+        config.health_interval.as_millis(),
+        config.probe_timeout.as_millis(),
+        config.fail_threshold
+    );
+    coordinator.run()?;
+    println!("tvs-fleet: drained, exiting");
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! | 6 | [`Io`](TvsError::Io) | the operating system failed us |
 //! | 7 | [`Lint`](TvsError::Lint) | deny-level diagnostics found |
 //! | 8 | [`Serve`](TvsError::Serve) | the compression service or its client failed |
+//! | 9 | [`Fleet`](TvsError::Fleet) | the fleet coordinator failed (no live workers, abandoned job) |
 //!
 //! Exit code 1 stays reserved for panics (which the library layers avoid by
 //! construction — see the SRC005 lint) so an abort is distinguishable from
@@ -25,6 +26,7 @@ use std::fmt;
 use tvs_ate::ParseProgramError;
 use tvs_atpg::AtpgOutcome;
 use tvs_fault::FaultError;
+use tvs_fleet::FleetError;
 use tvs_netlist::NetlistError;
 use tvs_serve::ServeError;
 use tvs_stitch::{SnapshotError, StitchError};
@@ -59,6 +61,8 @@ pub enum TvsError {
     Lint(String),
     /// The compression service (daemon or client side) failed.
     Serve(ServeError),
+    /// The fleet coordinator failed (no live workers, abandoned job).
+    Fleet(FleetError),
 }
 
 impl TvsError {
@@ -73,6 +77,7 @@ impl TvsError {
             TvsError::Io { .. } => 6,
             TvsError::Lint(_) => 7,
             TvsError::Serve(_) => 8,
+            TvsError::Fleet(_) => 9,
         }
     }
 
@@ -103,6 +108,7 @@ impl fmt::Display for TvsError {
             TvsError::Io { path, source } => write!(f, "io: {path}: {source}"),
             TvsError::Lint(m) => write!(f, "lint: {m}"),
             TvsError::Serve(e) => write!(f, "serve: {e}"),
+            TvsError::Fleet(e) => write!(f, "fleet: {e}"),
         }
     }
 }
@@ -118,6 +124,7 @@ impl Error for TvsError {
             TvsError::Snapshot(e) => Some(e),
             TvsError::Io { source, .. } => Some(source),
             TvsError::Serve(e) => Some(e),
+            TvsError::Fleet(e) => Some(e),
             TvsError::Usage(_) | TvsError::Lint(_) => None,
         }
     }
@@ -170,6 +177,12 @@ impl From<SnapshotError> for TvsError {
     }
 }
 
+impl From<FleetError> for TvsError {
+    fn from(e: FleetError) -> Self {
+        TvsError::Fleet(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +203,14 @@ mod tests {
         assert_eq!(TvsError::io("x", std::io::Error::other("e")).exit_code(), 6);
         assert_eq!(TvsError::Lint("deny".into()).exit_code(), 7);
         assert_eq!(TvsError::from(ServeError::Draining).exit_code(), 8);
+        assert_eq!(
+            TvsError::from(FleetError::NoWorkers {
+                workers: 3,
+                alive: 0
+            })
+            .exit_code(),
+            9
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! | benchmarks | [`circuits`] | paper example + ISCAS89-calibrated profiles |
 //! | virtual tester | [`ate`] | pin-accurate program execution, screening, diagnosis |
 //! | execution | [`exec`] | deterministic work-stealing pool, counters, span timers |
-//! | serving | [`serve`] | batching TCP daemon, single-flight jobs, artifact cache |
+//! | serving core | [`core`] | single-flight job table, content-addressed artifact cache, JSON model |
+//! | serving | [`serve`] | batching TCP daemon speaking the versioned wire protocol |
+//! | fleet | [`fleet`] | sharded coordinator: consistent hashing, health checks, retry on worker death |
 //! | static analysis | [`lint`] | IR design-rule checks + source determinism lint |
 //!
 //! Failures from every layer funnel into the [`TvsError`] taxonomy, which
@@ -48,8 +50,10 @@ pub use error::TvsError;
 pub use tvs_ate as ate;
 pub use tvs_atpg as atpg;
 pub use tvs_circuits as circuits;
+pub use tvs_core as core;
 pub use tvs_exec as exec;
 pub use tvs_fault as fault;
+pub use tvs_fleet as fleet;
 pub use tvs_lint as lint;
 pub use tvs_logic as logic;
 pub use tvs_netlist as netlist;
