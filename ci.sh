@@ -18,8 +18,39 @@ cargo run -q -p tvs-bench --release --offline --bin simbench
 # Static analysis (tvs-lint): fails on any deny-level diagnostic.
 # Engine 2 (source determinism lint) over the workspace tree:
 cargo run -q -p tvs-lint --release --offline --bin tvs-lint -- --workspace --format json
-# Engine 1 (IR design rules) over every built-in circuit profile:
-cargo run -q --release --offline --bin tvs -- lint --profiles > /dev/null
+# Engine 1 (IR design rules) + the SCOAP testability dataflow (TB001-TB003)
+# over every built-in circuit profile:
+cargo run -q --release --offline --bin tvs -- lint --testability --profiles > /dev/null
+
+# Abstract interpretation of emitted programs: stitch a tester program for
+# every built-in profile and require each to be SP006-clean (no capture may
+# depend on unestablished power-up state; `tvs lint --program` exits
+# nonzero on any deny). The six small profiles run to completion; the
+# larger ones run under a deterministic work budget, stopping at a stage
+# boundary with a valid partial program — same interpreter contract, and
+# the budget is work units, so the emitted program is machine-independent.
+PROGS=$(mktemp -d)
+TVS=./target/release/tvs
+emit_and_interpret() { # <profile> [--budget N]
+  local p=$1; shift
+  "$TVS" gen "$p" "$PROGS/$p.bench" > /dev/null
+  "$TVS" program "$PROGS/$p.bench" "$PROGS/$p.tvp" "$@"
+  "$TVS" lint --program "$PROGS/$p.tvp" "$p" > "$PROGS/$p.lint"
+}
+for p in s444 s526 s641 s953 s1196 s1423; do
+  emit_and_interpret "$p"
+done
+emit_and_interpret s5378  --budget 4000000
+emit_and_interpret s9234  --budget 8000000
+for p in s13207 s15850; do
+  emit_and_interpret "$p" --budget 16000000
+done
+for p in s35932 s38417 s38584; do
+  emit_and_interpret "$p" --budget 24000000
+done
+# Guard against catalog drift: the calls above must cover every profile.
+test "$(ls "$PROGS"/*.tvp | wc -l)" = "$(grep -c 'name: "' crates/circuits/src/profiles.rs)"
+rm -rf "$PROGS"
 
 # Serve smoke: start the daemon on a loopback port, drive a job through
 # submit/wait/fetch with the client binary, check the warm path is a cache
@@ -45,6 +76,28 @@ grep -q cache-hit "$SMOKE/resubmit.out"
 cmp "$SMOKE/artifact.json" "$SMOKE/artifact2.json"
 client stats > "$SMOKE/stats.out"
 grep -q '"serve.engine_runs":1' "$SMOKE/stats.out"
+
+# Admission smoke: a deny-level netlist (combinational cycle) is rejected
+# with the typed wire code before any engine run; the resubmit is answered
+# from the rejection cache; the engine-run count is untouched.
+printf 'INPUT(a)\nOUTPUT(y)\nb = AND(a, c)\nc = NOT(b)\ny = AND(a, b)\n' \
+  > "$SMOKE/cyclic.bench"
+client lint "$SMOKE/cyclic.bench" > "$SMOKE/lint.out"
+grep -q 'admitted false' "$SMOKE/lint.out"
+grep -q 'IR004' "$SMOKE/lint.out"
+if client submit "$SMOKE/cyclic.bench" 2> "$SMOKE/reject1.err"; then
+  echo "deny-level submit was admitted" >&2; exit 1
+fi
+grep -q '\[rejected\]' "$SMOKE/reject1.err"
+if client submit "$SMOKE/cyclic.bench" 2> "$SMOKE/reject2.err"; then
+  echo "deny-level resubmit was admitted" >&2; exit 1
+fi
+grep -q '\[rejected\]' "$SMOKE/reject2.err"
+client stats > "$SMOKE/stats2.out"
+grep -q '"serve.engine_runs":1' "$SMOKE/stats2.out"
+grep -q '"serve.rejected":1' "$SMOKE/stats2.out"
+grep -q '"serve.rejected_cache_hits":1' "$SMOKE/stats2.out"
+
 client shutdown
 wait "$SERVE_PID"
 grep -q "drained, exiting" "$SMOKE/serve.log"

@@ -1,0 +1,166 @@
+//! Pins the abstract interpreter's soundness contract against the concrete
+//! DUT: for fully-specified stimulus, every bit `tvs_lint::evaluate_trace`
+//! derives equals what a fault-free [`Dut`] replay produces — observed
+//! shift streams, primary outputs, the closing flush, and the final chain
+//! image — across random circuits, programs, and capture/observe
+//! transforms. And the SP006 verdict never contradicts the replay: a
+//! program that opens with a full chain load cannot capture unspecified
+//! state.
+
+use tvs_ate::Dut;
+use tvs_lint::{analyze_trace, evaluate_trace, IrGraph, ProgramTrace, TraceCycle};
+use tvs_logic::{BitVec, Logic, Prng};
+use tvs_netlist::{GateKind, Netlist, NetlistBuilder};
+use tvs_scan::{CaptureTransform, ObserveTransform};
+
+/// Builds a random full-scan netlist: every signal a gate reads is declared
+/// before it (acyclic by construction); DFF D-inputs may reference any
+/// combinational signal.
+fn random_netlist(rng: &mut Prng, tag: usize) -> Netlist {
+    let pis = 1 + rng.gen_range(0..3);
+    let ffs = 1 + rng.gen_range(0..4);
+    let gates = 2 + rng.gen_range(0..9);
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut b = NetlistBuilder::new(format!("rand{tag}"));
+    let mut signals: Vec<String> = Vec::new();
+    for i in 0..pis {
+        let name = format!("p{i}");
+        b.add_input(&name).expect("pi");
+        signals.push(name);
+    }
+    for i in 0..ffs {
+        let name = format!("q{i}");
+        // D nets are forward references resolved after the gates exist.
+        b.add_dff(&name, &format!("g{}", rng.gen_range(0..gates)))
+            .expect("dff");
+        signals.push(name);
+    }
+    for i in 0..gates {
+        let name = format!("g{i}");
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let pick = |rng: &mut Prng, pool: &[String]| pool[rng.gen_range(0..pool.len())].clone();
+        let fanin: Vec<String> = match kind {
+            GateKind::Not | GateKind::Buf => vec![pick(rng, &signals)],
+            _ => vec![pick(rng, &signals), pick(rng, &signals)],
+        };
+        let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+        b.add_gate(&name, kind, &refs).expect("gate");
+        signals.push(name);
+    }
+    for i in 0..gates {
+        if rng.gen_range(0..3) == 0 {
+            b.mark_output(&format!("g{i}")).expect("output");
+        }
+    }
+    b.build()
+        .expect("random netlists are valid by construction")
+}
+
+fn random_bits(rng: &mut Prng, len: usize) -> BitVec {
+    (0..len).map(|_| rng.next_bool()).collect()
+}
+
+fn to_logic(bits: &BitVec) -> Vec<Logic> {
+    bits.iter().map(Logic::from).collect()
+}
+
+#[test]
+fn abstract_interpretation_matches_concrete_replay_on_256_random_programs() {
+    let mut rng = Prng::seed_from_u64(0x1A7E_2003);
+    for round in 0..256 {
+        let netlist = random_netlist(&mut rng, round);
+        let l = netlist.dff_count();
+        let p = netlist.input_count();
+        let capture = if rng.next_bool() {
+            CaptureTransform::VerticalXor
+        } else {
+            CaptureTransform::Plain
+        };
+        let observe = if rng.next_bool() {
+            ObserveTransform::HorizontalXor(1 + rng.gen_range(0..3))
+        } else {
+            ObserveTransform::Direct
+        };
+
+        // Half the programs open with a full chain load (the well-formed
+        // shape); half start partial to exercise zero-seeded evaluation.
+        let full_load = round % 2 == 0;
+        let n_cycles = 1 + rng.gen_range(0..4);
+        let cycles: Vec<(BitVec, BitVec)> = (0..n_cycles)
+            .map(|i| {
+                let shift_len = if i == 0 && full_load {
+                    l
+                } else {
+                    rng.gen_range(0..l + 1)
+                };
+                (random_bits(&mut rng, p), random_bits(&mut rng, shift_len))
+            })
+            .collect();
+        let final_flush = rng.gen_range(0..l + 1);
+
+        // Concrete: a fault-free replay from the zeroed power-up image.
+        let view = netlist.scan_view().expect("scan view");
+        let mut dut = Dut::new(&netlist, &view, capture, observe);
+        let concrete: Vec<(BitVec, BitVec)> = cycles
+            .iter()
+            .map(|(pi, scan_in)| dut.clock_cycle(pi, scan_in))
+            .collect();
+        let concrete_flush = dut.flush(final_flush);
+
+        // Abstract: the same program through the 3-valued interpreter.
+        let trace = ProgramTrace {
+            capture,
+            observe,
+            cycles: cycles
+                .iter()
+                .map(|(pi, scan_in)| TraceCycle {
+                    pi: to_logic(pi),
+                    scan_in: to_logic(scan_in),
+                })
+                .collect(),
+            final_flush,
+        };
+        let graph = IrGraph::from(&netlist);
+        let eval = evaluate_trace(&graph, &trace).expect("in-shape programs interpret");
+
+        // With fully-specified stimulus the evaluation must be fully
+        // specified too, and every bit must equal the replay.
+        for (i, ((obs, po), (c_obs, c_po))) in eval.cycles.iter().zip(&concrete).enumerate() {
+            assert_eq!(
+                obs,
+                &to_logic(c_obs),
+                "round {round} cycle {i}: observed stream diverged"
+            );
+            assert_eq!(po, &to_logic(c_po), "round {round} cycle {i}: POs diverged");
+        }
+        assert_eq!(
+            eval.flush,
+            to_logic(&concrete_flush),
+            "round {round}: flush diverged"
+        );
+        assert_eq!(
+            eval.final_image,
+            to_logic(dut.image()),
+            "round {round}: final chain image diverged"
+        );
+
+        // SP006 must never contradict the replay: after a full opening
+        // load every capture is a function of established state only.
+        if full_load {
+            let diags = analyze_trace(&graph, &trace);
+            assert!(
+                diags.iter().all(|d| d.code != "SP006"),
+                "round {round}: SP006 on a full-load program: {diags:?}"
+            );
+        }
+    }
+}

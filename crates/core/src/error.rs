@@ -21,6 +21,16 @@ pub enum CoreError {
     JobFailed(String),
     /// The submitted netlist failed to parse.
     Netlist(String),
+    /// The submitted netlist parsed but was rejected by deny-level lint
+    /// rules at admission; no engine run was started.
+    Rejected {
+        /// The lint findings as a rendered JSON document
+        /// (`{"diagnostics":[...],"counts":{...}}`).
+        diagnostics: String,
+        /// `true` when the verdict came from the rejection cache rather
+        /// than a fresh analysis.
+        cached: bool,
+    },
     /// The submitted stitch configuration is invalid.
     Config(String),
     /// A filesystem operation failed.
@@ -51,6 +61,13 @@ impl fmt::Display for CoreError {
             CoreError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
             CoreError::JobFailed(m) => write!(f, "job failed: {m}"),
             CoreError::Netlist(m) => write!(f, "netlist rejected: {m}"),
+            CoreError::Rejected { diagnostics, .. } => {
+                write!(
+                    f,
+                    "netlist rejected by lint admission: {}",
+                    diagnostics.trim_end()
+                )
+            }
             CoreError::Config(m) => write!(f, "configuration rejected: {m}"),
             CoreError::Io { context, source } => write!(f, "{context}: {source}"),
         }

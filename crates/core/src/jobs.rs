@@ -13,14 +13,22 @@
 //! 3. otherwise the run is admitted to the bounded queue (or rejected with
 //!    [`CoreError::Busy`]) and its artifact is persisted on completion.
 //!
+//! Submissions are **lint-gated**: before a fresh engine run is admitted,
+//! the structural design rules and the testability dataflow run over the
+//! parsed netlist, and any deny-level finding rejects the job with
+//! [`CoreError::Rejected`] carrying the diagnostics as JSON — no engine run
+//! starts, and the verdict is cached per key so identical resubmissions are
+//! rejected without re-analysis.
+//!
 //! Counters: `serve.submits`, `serve.engine_runs`, `serve.cache_hits`,
-//! `serve.dedup_hits`, `serve.jobs_failed` — all through tvs-exec's stats
-//! layer so `tvs serve`'s `stats` op and `tvs run --stats` read one ledger.
+//! `serve.dedup_hits`, `serve.rejected`, `serve.rejected_cache_hits`,
+//! `serve.jobs_failed` — all through tvs-exec's stats layer so `tvs serve`'s
+//! `stats` op and `tvs run --stats` read one ledger.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tvs_exec::{JobHandle, JobQueue, QueueFull};
 use tvs_netlist::{bench, Netlist};
@@ -77,6 +85,12 @@ struct TableInner {
     jobs: BTreeMap<String, JobEntry>,
     /// Live (not yet finished) job per key — the single-flight index.
     by_key: BTreeMap<u64, String>,
+    /// Lint-rejection verdicts per key (diagnostics JSON). Rejections are a
+    /// pure function of the submission, so they are cached like artifacts —
+    /// resubmitting a denied netlist never re-runs the analysis.
+    rejections: BTreeMap<u64, String>,
+    /// Keys that already passed the lint gate (the accept-side memo).
+    admitted: BTreeSet<u64>,
     next_id: u64,
 }
 
@@ -159,6 +173,37 @@ impl JobTable {
         self.queue.drain();
     }
 
+    /// Records a fresh lint rejection for `key` (or returns the cached one
+    /// if another submission raced this one to the verdict).
+    fn reject(&self, key: ArtifactKey, diagnostics: String) -> CoreError {
+        let mut inner = lock(&self.inner);
+        if let Some(existing) = inner.rejections.get(&key.0) {
+            tvs_exec::counter("serve.rejected_cache_hits").incr();
+            return CoreError::Rejected {
+                diagnostics: existing.clone(),
+                cached: true,
+            };
+        }
+        tvs_exec::counter("serve.rejected").incr();
+        inner.rejections.insert(key.0, diagnostics.clone());
+        CoreError::Rejected {
+            diagnostics,
+            cached: false,
+        }
+    }
+
+    /// The cached rejection for `key`, if any.
+    fn cached_rejection(&self, key: ArtifactKey) -> Option<CoreError> {
+        let inner = lock(&self.inner);
+        inner.rejections.get(&key.0).map(|diagnostics| {
+            tvs_exec::counter("serve.rejected_cache_hits").incr();
+            CoreError::Rejected {
+                diagnostics: diagnostics.clone(),
+                cached: true,
+            }
+        })
+    }
+
     /// Submits `.bench` source for compression under `config`.
     ///
     /// Returns the issued job id and how the submission was satisfied.
@@ -166,6 +211,9 @@ impl JobTable {
     /// # Errors
     ///
     /// [`CoreError::Netlist`] when the source does not parse,
+    /// [`CoreError::Rejected`] when deny-level lint findings block
+    /// admission (structural builder errors and design-rule violations
+    /// alike; the diagnostics ride along as JSON),
     /// [`CoreError::Busy`] when the queue is at capacity, and I/O errors
     /// from the artifact store.
     pub fn submit(
@@ -175,10 +223,42 @@ impl JobTable {
         config: StitchConfig,
     ) -> Result<(String, Admission), CoreError> {
         tvs_exec::counter("serve.submits").incr();
-        let netlist =
-            bench::parse(name, bench_text).map_err(|e| CoreError::Netlist(e.to_string()))?;
+        let netlist = match bench::parse(name, bench_text) {
+            Ok(netlist) => netlist,
+            Err(e) => {
+                return Err(match tvs_lint::netlist_error_diagnostics(&e) {
+                    // Structural builder errors are design-rule findings;
+                    // the raw source text stands in for the canonical form
+                    // the build never produced.
+                    Some(diags) => {
+                        let key = ArtifactKey::compute(bench_text, &config);
+                        match self.cached_rejection(key) {
+                            Some(hit) => hit,
+                            None => self.reject(key, tvs_lint::render_json(&diags)),
+                        }
+                    }
+                    None => CoreError::Netlist(e.to_string()),
+                });
+            }
+        };
         let canonical = bench::to_string(&netlist);
         let key = ArtifactKey::compute(&canonical, &config);
+
+        if let Some(hit) = self.cached_rejection(key) {
+            return Err(hit);
+        }
+
+        // Lint gate: structural rules + testability dataflow, run outside
+        // the table lock (it is pure analysis). Accepted keys are memoized
+        // so resubmissions and cache hits skip the analysis entirely.
+        if !lock(&self.inner).admitted.contains(&key.0) {
+            let diags =
+                tvs_lint::admission_diagnostics(&netlist, &tvs_lint::TestabilityConfig::default());
+            if tvs_lint::has_deny(&diags) {
+                return Err(self.reject(key, tvs_lint::render_json(&diags)));
+            }
+            lock(&self.inner).admitted.insert(key.0);
+        }
 
         // Fast path checks happen under the table lock so two identical
         // submissions cannot both decide to start an engine run.
@@ -499,4 +579,53 @@ pub fn render_artifact(
         ("metrics".into(), metrics),
         ("program".into(), Value::str(program.to_text())),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(tag: &str) -> JobTable {
+        let dir =
+            std::env::temp_dir().join(format!("tvs-core-admit-{}-{}", tag, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        JobTable::new(1, 4, 0, ArtifactStore::open(&dir).unwrap())
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected_with_diagnostics_then_served_from_cache() {
+        let table = table("cyclic");
+        let bench = "INPUT(a)\nOUTPUT(y)\nb = AND(a, c)\nc = NOT(b)\ny = AND(a, b)\n";
+        let config = StitchConfig::default();
+        match table.submit("cyclic", bench, config.clone()) {
+            Err(CoreError::Rejected {
+                diagnostics,
+                cached,
+            }) => {
+                assert!(!cached, "first verdict must be fresh");
+                assert!(diagnostics.contains("IR004"), "{diagnostics}");
+                assert!(diagnostics.contains("\"deny\":1"), "{diagnostics}");
+            }
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+        match table.submit("cyclic", bench, config) {
+            Err(CoreError::Rejected { cached, .. }) => {
+                assert!(cached, "resubmission must hit the rejection cache");
+            }
+            other => panic!("expected cached rejection, got {other:?}"),
+        }
+        // No job was ever issued for the rejected submissions.
+        assert_eq!(table.jobs_issued(), 0);
+    }
+
+    #[test]
+    fn syntax_errors_keep_the_plain_netlist_error_path() {
+        let table = table("syntax");
+        match table.submit("bad", "this is not bench\n", StitchConfig::default()) {
+            Err(CoreError::Netlist(message)) => {
+                assert!(message.contains("parse error"), "{message}");
+            }
+            other => panic!("expected a netlist parse error, got {other:?}"),
+        }
+    }
 }

@@ -12,7 +12,10 @@
 //!   its *own* stimulus (required by the stitching engine, whose hidden
 //!   faults see mutated test vectors);
 //! * [`Scoap`] — SCOAP controllability/observability testability measures,
-//!   used for the paper's "Hardness" fault-ordering strategy.
+//!   used for the paper's "Hardness" fault-ordering strategy;
+//! * [`StaticPrune`] — pattern-independent pre-classification of faults on
+//!   structurally unobservable sites, derived from the lint crate's
+//!   testability dataflow and provably equivalent to full simulation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,12 +23,14 @@
 mod collapse;
 mod list;
 mod model;
+mod prune;
 mod scoap;
 mod session;
 mod sim;
 
 pub use list::FaultList;
 pub use model::{Fault, FaultSite, StuckAt};
+pub use prune::{detect_pruned, StaticPrune};
 pub use scoap::Scoap;
 pub use session::{FaultError, SimSession};
 pub use sim::{detect_parallel, FaultSim, SlotSpec};

@@ -1,0 +1,188 @@
+//! Static fault pre-classification from testability dataflow.
+//!
+//! The SCOAP-style observability sweep in `tvs-lint` proves, for some sites,
+//! that **no structural path** exists from the site to any observation point
+//! (primary output or scan-cell `D` pin). A stuck-at fault on such a site
+//! can never change an observable output, so it is untestable — no
+//! simulation or ATPG effort can ever detect or even target it.
+//!
+//! [`StaticPrune`] captures that set once per netlist and lets every run
+//! path (CLI, stitch engine prescreen, coverage baselines) pre-classify the
+//! same faults identically: the verdict is a pure function of the netlist,
+//! independent of patterns, seeds and thread counts. [`detect_pruned`]
+//! wraps the parallel detector with the prune applied; the result is
+//! bit-identical to full simulation because pruned faults are provably
+//! never detected.
+
+use std::collections::BTreeSet;
+
+use tvs_exec::ThreadPool;
+use tvs_lint::{IrGraph, Testability};
+use tvs_logic::BitVec;
+use tvs_netlist::{Netlist, ScanView};
+
+use crate::{detect_parallel, Fault};
+
+/// The statically-untestable fault sites of one netlist.
+///
+/// # Examples
+///
+/// A gate that drives nothing is unobservable; both polarities of its stem
+/// fault are pre-classified untestable:
+///
+/// ```
+/// use tvs_fault::{Fault, StaticPrune, StuckAt};
+/// use tvs_netlist::{GateKind, NetlistBuilder};
+///
+/// let mut b = NetlistBuilder::new("t");
+/// b.add_input("a")?;
+/// b.add_gate("dead", GateKind::Not, &["a"])?;
+/// b.add_gate("y", GateKind::Buf, &["a"])?;
+/// b.mark_output("y")?;
+/// let n = b.build()?;
+/// let prune = StaticPrune::new(&n);
+/// let dead = n.find("dead").unwrap();
+/// assert!(prune.is_untestable(&Fault::stem(dead, StuckAt::Zero)));
+/// assert!(!prune.is_untestable(&Fault::stem(n.find("y").unwrap(), StuckAt::One)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StaticPrune {
+    /// Unobservable sites as `(gate index, pin)`; `None` = output stem.
+    sites: BTreeSet<(usize, Option<u32>)>,
+}
+
+impl StaticPrune {
+    /// Computes the untestable-site set for a netlist.
+    ///
+    /// When the testability analysis declines (malformed graph — impossible
+    /// for a built `Netlist`, possible for hand-assembled IR), the set is
+    /// empty: pruning degrades to a no-op, never to an unsound verdict.
+    pub fn new(netlist: &Netlist) -> Self {
+        let graph = IrGraph::from(netlist);
+        let sites = match Testability::compute(&graph) {
+            Some(t) => t
+                .untestable_sites(&graph)
+                .into_iter()
+                .map(|s| (s.node, s.pin))
+                .collect(),
+            None => BTreeSet::new(),
+        };
+        StaticPrune { sites }
+    }
+
+    /// The number of unobservable sites (each carries two stuck-at faults).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when no site is statically untestable.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// `true` when `fault` sits on a structurally unobservable site and is
+    /// therefore undetectable by any test.
+    pub fn is_untestable(&self, fault: &Fault) -> bool {
+        self.sites
+            .contains(&(fault.site.gate.index(), fault.site.pin))
+    }
+}
+
+/// [`detect_parallel`] with static pruning: faults on unobservable sites
+/// are reported undetected without simulating them; the rest go through the
+/// ordinary parallel detector.
+///
+/// Bit-identical to `detect_parallel` over the same faults — the prune only
+/// skips faults whose detection is structurally impossible.
+pub fn detect_pruned(
+    netlist: &Netlist,
+    view: &ScanView,
+    pool: &ThreadPool,
+    stimulus: &BitVec,
+    faults: &[Fault],
+    prune: &StaticPrune,
+) -> Vec<bool> {
+    if prune.is_empty() {
+        return detect_parallel(netlist, view, pool, stimulus, faults);
+    }
+    let live: Vec<usize> = (0..faults.len())
+        .filter(|&i| !prune.is_untestable(&faults[i]))
+        .collect();
+    let subset: Vec<Fault> = live.iter().map(|&i| faults[i]).collect();
+    let hits = detect_parallel(netlist, view, pool, stimulus, &subset);
+    let mut out = vec![false; faults.len()];
+    for (&i, hit) in live.iter().zip(hits) {
+        out[i] = hit;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultList, FaultSim, StuckAt};
+    use tvs_netlist::{GateKind, NetlistBuilder};
+
+    /// `y` observable, `dead2 = Not(dead1)` a dead cone of two gates.
+    fn dead_cone() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("dead1", GateKind::Or, &["a", "b"]).unwrap();
+        b.add_gate("dead2", GateKind::Not, &["dead1"]).unwrap();
+        b.mark_output("y").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dead_cone_faults_are_pre_classified() {
+        let n = dead_cone();
+        let prune = StaticPrune::new(&n);
+        // Stems of dead1/dead2, the dead1->dead2 branch, and the two input
+        // branches feeding the dead cone: 5 sites.
+        assert_eq!(prune.len(), 5);
+        let dead1 = n.find("dead1").unwrap();
+        let dead2 = n.find("dead2").unwrap();
+        assert!(prune.is_untestable(&Fault::branch(dead2, 0, StuckAt::One)));
+        assert!(prune.is_untestable(&Fault::branch(dead1, 0, StuckAt::Zero)));
+        assert!(prune.is_untestable(&Fault::branch(dead1, 1, StuckAt::One)));
+        for name in ["dead1", "dead2"] {
+            let g = n.find(name).unwrap();
+            for stuck in StuckAt::BOTH {
+                assert!(prune.is_untestable(&Fault::stem(g, stuck)), "{name}");
+            }
+        }
+        let live = n.find("y").unwrap();
+        assert!(!prune.is_untestable(&Fault::stem(live, StuckAt::Zero)));
+        assert!(!prune.is_untestable(&Fault::branch(live, 0, StuckAt::One)));
+    }
+
+    #[test]
+    fn pruned_detection_matches_full_simulation() {
+        let n = dead_cone();
+        let view = n.scan_view().unwrap();
+        let list = FaultList::full(&n);
+        let prune = StaticPrune::new(&n);
+        let pool = ThreadPool::new(2);
+        for bits in 0..4u32 {
+            let tv: BitVec = (0..2).map(|i| (bits >> i) & 1 == 1).collect();
+            let full = FaultSim::new(&n, &view).detect(&tv, list.faults());
+            let pruned = detect_pruned(&n, &view, &pool, &tv, list.faults(), &prune);
+            assert_eq!(full, pruned, "pattern {bits:02b}");
+        }
+    }
+
+    #[test]
+    fn fully_observable_netlist_has_empty_prune() {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_gate("y", GateKind::Not, &["a"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        let prune = StaticPrune::new(&n);
+        assert!(prune.is_empty());
+        assert_eq!(prune.len(), 0);
+    }
+}

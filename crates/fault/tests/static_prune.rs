@@ -1,0 +1,61 @@
+//! Static pruning soundness: on every built-in profile, pre-classifying
+//! structurally unobservable faults must be bit-identical to simulating
+//! them — at one thread and at eight.
+//!
+//! The test set per profile is every statically-untestable fault (the
+//! claim under test) plus a deterministic sample of the live ones (so the
+//! scatter/gather of [`detect_pruned`] is exercised on mixed lists).
+
+use tvs_circuits::all_profiles;
+use tvs_exec::ThreadPool;
+use tvs_fault::{detect_parallel, detect_pruned, Fault, FaultList, StaticPrune};
+use tvs_logic::{BitVec, Prng};
+
+#[test]
+fn pruned_classification_matches_full_simulation_on_every_profile() {
+    let mut rng = Prng::seed_from_u64(0x5CA0_2003);
+    let pools = [ThreadPool::new(1), ThreadPool::new(8)];
+    for profile in all_profiles() {
+        let netlist = profile.build();
+        let view = netlist.scan_view().expect("profiles carry scan chains");
+        let list = FaultList::collapsed(&netlist);
+        let prune = StaticPrune::new(&netlist);
+
+        let (untestable, live): (Vec<&Fault>, Vec<&Fault>) =
+            list.faults().iter().partition(|f| prune.is_untestable(f));
+        let mut subset: Vec<Fault> = untestable.iter().map(|&&f| f).collect();
+        let stride = (live.len() / 256).max(1);
+        subset.extend(live.iter().step_by(stride).take(256).map(|&&f| f));
+
+        for _ in 0..3 {
+            let stimulus: BitVec = (0..view.input_count()).map(|_| rng.next_bool()).collect();
+            let mut runs = Vec::new();
+            for pool in &pools {
+                let full = detect_parallel(&netlist, &view, pool, &stimulus, &subset);
+                let pruned = detect_pruned(&netlist, &view, pool, &stimulus, &subset, &prune);
+                assert_eq!(
+                    full,
+                    pruned,
+                    "{}: pruned classification diverged at {} threads",
+                    profile.name,
+                    pool.threads()
+                );
+                // Soundness: no statically-untestable fault is ever detected.
+                for (i, f) in untestable.iter().enumerate() {
+                    assert!(
+                        !full[i],
+                        "{}: statically-untestable {} detected by simulation",
+                        profile.name,
+                        f.display_in(&netlist)
+                    );
+                }
+                runs.push(full);
+            }
+            assert_eq!(
+                runs[0], runs[1],
+                "{}: thread-count divergence",
+                profile.name
+            );
+        }
+    }
+}

@@ -18,6 +18,12 @@
 //! often) it is retried. Two clients racing the same dead job may both
 //! resubmit; the worker's single-flight table collapses the race.
 //!
+//! **Lint-gated admission.** Before routing, the coordinator runs the same
+//! deny-level admission analysis a worker would (structural rules plus the
+//! testability dataflow): a rejected netlist gets the typed `rejected`
+//! error locally — cached per artifact key — and never reaches a worker,
+//! and the `lint` op is answered locally for the same reason.
+//!
 //! **Busy spillover.** A `busy` refusal means the home worker did *not*
 //! admit the job, so trying the next successor cannot start a duplicate
 //! run; `busy` reaches the client only when every live worker refuses.
@@ -32,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use tvs_core::json::{self, Value};
 use tvs_core::ArtifactKey;
@@ -108,6 +114,12 @@ struct Fleet {
     ring: Ring,
     slots: Vec<Arc<WorkerSlot>>,
     jobs: Mutex<JobMap>,
+    /// Lint admission verdicts by artifact key: rendered diagnostics for
+    /// rejected keys, plus a memo of keys already analyzed clean — so a
+    /// resubmitted netlist never pays for the dataflow twice and a
+    /// deny-level one never burns a worker round-trip.
+    rejections: Mutex<BTreeMap<u64, String>>,
+    admitted: Mutex<BTreeSet<u64>>,
     probe_timeout: Duration,
     fail_threshold: u32,
     draining: Arc<AtomicBool>,
@@ -150,6 +162,8 @@ impl Coordinator {
                 ring,
                 slots,
                 jobs: Mutex::new(JobMap::default()),
+                rejections: Mutex::new(BTreeMap::new()),
+                admitted: Mutex::new(BTreeSet::new()),
                 probe_timeout: config.probe_timeout,
                 fail_threshold: config.fail_threshold,
                 draining: Arc::new(AtomicBool::new(false)),
@@ -337,6 +351,7 @@ impl Fleet {
         check_version(&request)?;
         match op {
             "submit" => self.submit(&request),
+            "lint" => self.lint(&request),
             "status" | "wait" | "fetch" => {
                 let job = request
                     .get("job")
@@ -367,11 +382,36 @@ impl Fleet {
             .unwrap_or("netlist");
         // Reject bad submissions here, before burning a worker round-trip —
         // and compute the routing key the exact way the worker will.
-        let netlist =
-            bench::parse(name, bench_text).map_err(|e| ServeError::Netlist(e.to_string()))?;
-        let canonical = bench::to_string(&netlist);
         let config = config_from_wire(request.get("config"))?;
+        let netlist = match bench::parse(name, bench_text) {
+            Ok(netlist) => netlist,
+            Err(e) => {
+                // Structural build errors get the same typed rejection the
+                // worker would issue, cached under the raw-text key (the
+                // netlist cannot be canonicalized); syntax errors stay on
+                // the plain netlist path.
+                return Err(match tvs_lint::netlist_error_diagnostics(&e) {
+                    Some(diags) => {
+                        let key = ArtifactKey::compute(bench_text, &config);
+                        self.reject(key, tvs_lint::render_json(&diags))
+                    }
+                    None => ServeError::Netlist(e.to_string()).into(),
+                });
+            }
+        };
+        let canonical = bench::to_string(&netlist);
         let key = ArtifactKey::compute(&canonical, &config);
+        if let Some(hit) = self.cached_rejection(key) {
+            return Err(hit);
+        }
+        if !lock(&self.admitted).contains(&key.0) {
+            let diags =
+                tvs_lint::admission_diagnostics(&netlist, &tvs_lint::TestabilityConfig::default());
+            if tvs_lint::has_deny(&diags) {
+                return Err(self.reject(key, tvs_lint::render_json(&diags)));
+            }
+            lock(&self.admitted).insert(key.0);
+        }
 
         let job = FleetJob {
             key,
@@ -403,6 +443,70 @@ impl Fleet {
             ("admission".into(), Value::str(admission)),
             ("key".into(), Value::str(key.to_string())),
             ("worker".into(), Value::str(worker)),
+        ]))
+    }
+
+    /// Records a fresh deny verdict for `key` and returns the typed wire
+    /// error. Race-safe: if another submission recorded the verdict first,
+    /// its diagnostics win and this call reports a cache hit.
+    fn reject(&self, key: ArtifactKey, diagnostics: String) -> FleetError {
+        let mut rejections = lock(&self.rejections);
+        if let Some(existing) = rejections.get(&key.0) {
+            tvs_exec::counter("fleet.rejected_cache_hits").incr();
+            return ServeError::Rejected {
+                diagnostics: existing.clone(),
+                cached: true,
+            }
+            .into();
+        }
+        tvs_exec::counter("fleet.rejected").incr();
+        rejections.insert(key.0, diagnostics.clone());
+        ServeError::Rejected {
+            diagnostics,
+            cached: false,
+        }
+        .into()
+    }
+
+    /// The cached deny verdict for `key`, if any.
+    fn cached_rejection(&self, key: ArtifactKey) -> Option<FleetError> {
+        let rejections = lock(&self.rejections);
+        let diagnostics = rejections.get(&key.0)?.clone();
+        tvs_exec::counter("fleet.rejected_cache_hits").incr();
+        Some(
+            ServeError::Rejected {
+                diagnostics,
+                cached: true,
+            }
+            .into(),
+        )
+    }
+
+    /// Answers the `lint` op locally — the coordinator runs the identical
+    /// analysis a worker would, so no round-trip is needed.
+    fn lint(&self, request: &Value) -> Result<Value, FleetError> {
+        let bench_text = request
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::Protocol("lint requires \"bench\"".to_owned()))?;
+        let name = request
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("netlist");
+        let diags = match bench::parse(name, bench_text) {
+            Ok(netlist) => {
+                tvs_lint::admission_diagnostics(&netlist, &tvs_lint::TestabilityConfig::default())
+            }
+            Err(e) => tvs_lint::netlist_error_diagnostics(&e)
+                .ok_or_else(|| ServeError::Netlist(e.to_string()))?,
+        };
+        let deny = tvs_lint::has_deny(&diags);
+        let doc = json::parse(&tvs_lint::render_json(&diags))
+            .map_err(|e| ServeError::Protocol(format!("lint serializer: {e}")))?;
+        Ok(Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("admitted".into(), Value::Bool(!deny)),
+            ("lint".into(), doc),
         ]))
     }
 

@@ -1,0 +1,107 @@
+//! Lint-gated admission: the analysis bundle the serving layers run at
+//! submit time, before any engine run is admitted.
+//!
+//! Two entry points cover the two ways a submission can be bad:
+//!
+//! * the `.bench` source *builds* but violates deny-level rules —
+//!   [`admission_diagnostics`] runs the structural rules and the
+//!   testability dataflow over the built netlist;
+//! * the source *cannot be built* because the builder caught a structural
+//!   error (cycle, duplicate/undefined signal, bad arity) —
+//!   [`netlist_error_diagnostics`] translates that typed error into the
+//!   same diagnostic vocabulary, so clients see one format either way.
+//!
+//! Genuine syntax errors (`NetlistError::Parse`) are *not* design-rule
+//! findings and map to `None`; callers keep reporting those through their
+//! plain netlist-error path.
+
+use tvs_netlist::{Netlist, NetlistError};
+
+use crate::diag::{Diagnostic, Severity, Site};
+use crate::graph::IrGraph;
+use crate::ir::analyze_graph;
+use crate::testability::{analyze_testability, TestabilityConfig};
+
+/// Runs the full admission analysis over a built netlist: every structural
+/// design rule plus the SCOAP-style testability pass.
+///
+/// The caller decides policy by filtering severities (serving layers reject
+/// on any deny-level finding).
+pub fn admission_diagnostics(netlist: &Netlist, config: &TestabilityConfig) -> Vec<Diagnostic> {
+    let graph = IrGraph::from(netlist);
+    let mut diags = analyze_graph(&graph);
+    diags.extend(analyze_testability(&graph, config));
+    diags
+}
+
+/// Translates a structural [`NetlistError`] into the diagnostic vocabulary
+/// of the IR rules, or `None` when the error is a syntax problem (or an
+/// unknown future variant) rather than a design-rule violation.
+pub fn netlist_error_diagnostics(err: &NetlistError) -> Option<Vec<Diagnostic>> {
+    let (code, site) = match err {
+        NetlistError::UndefinedSignal(s) => ("IR001", Site::Net(s.clone())),
+        NetlistError::DuplicateSignal(s) => ("IR002", Site::Net(s.clone())),
+        NetlistError::UndefinedOutput(s) => ("IR003", Site::Net(s.clone())),
+        NetlistError::CombinationalCycle(s) => ("IR004", Site::Net(s.clone())),
+        NetlistError::BadArity { signal, .. } => ("IR005", Site::Net(signal.clone())),
+        _ => return None,
+    };
+    Some(vec![Diagnostic::new(
+        code,
+        Severity::Deny,
+        site,
+        err.to_string(),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvs_netlist::GateKind;
+
+    #[test]
+    fn structural_errors_map_to_ir_codes() {
+        let cases = [
+            (NetlistError::UndefinedSignal("x".into()), "IR001"),
+            (NetlistError::DuplicateSignal("x".into()), "IR002"),
+            (NetlistError::UndefinedOutput("x".into()), "IR003"),
+            (NetlistError::CombinationalCycle("x".into()), "IR004"),
+            (
+                NetlistError::BadArity {
+                    signal: "x".into(),
+                    kind: GateKind::Not,
+                    found: 2,
+                },
+                "IR005",
+            ),
+        ];
+        for (err, code) in cases {
+            let diags = netlist_error_diagnostics(&err).unwrap();
+            assert_eq!(diags.len(), 1);
+            assert_eq!(diags[0].code, code);
+            assert_eq!(diags[0].severity, Severity::Deny);
+            assert_eq!(diags[0].site, Site::Net("x".into()));
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_not_design_rule_findings() {
+        let err = NetlistError::Parse {
+            line: 3,
+            message: "garbage".into(),
+        };
+        assert!(netlist_error_diagnostics(&err).is_none());
+    }
+
+    #[test]
+    fn clean_netlist_admits_with_stats_only() {
+        let mut b = tvs_netlist::NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_dff("q", "y").unwrap();
+        b.add_gate("y", GateKind::And, &["a", "q"]).unwrap();
+        b.mark_output("y").unwrap();
+        let n = b.build().unwrap();
+        let diags = admission_diagnostics(&n, &TestabilityConfig::default());
+        assert!(!crate::diag::has_deny(&diags), "{diags:?}");
+    }
+}

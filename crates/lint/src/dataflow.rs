@@ -1,0 +1,180 @@
+//! Shared dataflow scaffolding: well-formedness gating and a levelized
+//! evaluation order over an [`IrGraph`]'s combinational core.
+//!
+//! The semantic passes (SCOAP testability, the 3-valued program
+//! interpreter) need stronger invariants than the structural rules assume:
+//! every net driven exactly once, no dangling references, evaluable
+//! operator arities, and an acyclic combinational core. [`CombOrder`]
+//! checks all of that once and hands back a topological order; when the
+//! graph is malformed it declines (`None`) and the structural rules
+//! (IR001-IR005) remain the source of truth for *why*.
+
+use crate::graph::{IrGraph, IrKind};
+
+/// A validated, levelized view of an [`IrGraph`].
+#[derive(Debug, Clone)]
+pub(crate) struct CombOrder {
+    /// Combinational node indices in topological (levelized) order.
+    pub order: Vec<usize>,
+    /// Per net, the `(node, pin)` branches reading it, in node order.
+    pub readers: Vec<Vec<(usize, u32)>>,
+}
+
+impl CombOrder {
+    /// Builds the order, or `None` when the graph is not well-formed enough
+    /// for semantic analysis.
+    pub fn build(graph: &IrGraph) -> Option<CombOrder> {
+        let n_nets = graph.net_count;
+        let mut driver_of = vec![usize::MAX; n_nets];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if node.drives >= n_nets || driver_of[node.drives] != usize::MAX {
+                return None;
+            }
+            driver_of[node.drives] = i;
+            match node.kind {
+                IrKind::Input if !node.fanin.is_empty() => return None,
+                IrKind::Flop if node.fanin.len() != 1 => return None,
+                IrKind::Comb if node.fanin.is_empty() || !node.op.is_combinational() => {
+                    return None
+                }
+                _ => {}
+            }
+            if node.fanin.iter().any(|&f| f >= n_nets) {
+                return None;
+            }
+        }
+        if driver_of.contains(&usize::MAX) {
+            return None;
+        }
+        for &o in &graph.outputs {
+            if o >= n_nets {
+                return None;
+            }
+        }
+        for &c in &graph.chain {
+            if c >= graph.nodes.len() || graph.nodes[c].kind != IrKind::Flop {
+                return None;
+            }
+        }
+
+        let mut readers: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n_nets];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            for (pin, &f) in node.fanin.iter().enumerate() {
+                readers[f].push((i, pin as u32));
+            }
+        }
+
+        // Kahn levelization of the combinational subgraph; sources (inputs
+        // and flop outputs) are level 0 and not part of the order.
+        let n_nodes = graph.nodes.len();
+        let mut indeg = vec![0usize; n_nodes];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if node.kind != IrKind::Comb {
+                continue;
+            }
+            indeg[i] = node
+                .fanin
+                .iter()
+                .filter(|&&f| graph.nodes[driver_of[f]].kind == IrKind::Comb)
+                .count();
+        }
+        // Process in ascending node index within a level for determinism.
+        let mut ready: Vec<usize> = (0..n_nodes)
+            .filter(|&i| graph.nodes[i].kind == IrKind::Comb && indeg[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n_nodes);
+        let mut cursor = 0;
+        while cursor < ready.len() {
+            let v = ready[cursor];
+            cursor += 1;
+            order.push(v);
+            for &(reader, _) in &readers[graph.nodes[v].drives] {
+                if graph.nodes[reader].kind == IrKind::Comb {
+                    indeg[reader] -= 1;
+                    if indeg[reader] == 0 {
+                        ready.push(reader);
+                    }
+                }
+            }
+        }
+        let comb_total = graph
+            .nodes
+            .iter()
+            .filter(|n| n.kind == IrKind::Comb)
+            .count();
+        if order.len() != comb_total {
+            return None; // combinational cycle
+        }
+        Some(CombOrder { order, readers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::IrNode;
+    use tvs_netlist::GateKind;
+
+    fn input(drives: usize) -> IrNode {
+        IrNode {
+            kind: IrKind::Input,
+            op: GateKind::Input,
+            drives,
+            fanin: Vec::new(),
+        }
+    }
+
+    fn comb(op: GateKind, drives: usize, fanin: &[usize]) -> IrNode {
+        IrNode {
+            kind: IrKind::Comb,
+            op,
+            drives,
+            fanin: fanin.to_vec(),
+        }
+    }
+
+    fn graph(nodes: Vec<IrNode>, outputs: Vec<usize>) -> IrGraph {
+        let net_count = nodes.len();
+        IrGraph {
+            name: "t".into(),
+            net_count,
+            net_names: (0..net_count).map(|i| format!("n{i}")).collect(),
+            nodes,
+            outputs,
+            chain: Vec::new(),
+            declared_scan_len: None,
+        }
+    }
+
+    #[test]
+    fn levelizes_a_clean_dag() {
+        let g = graph(
+            vec![
+                input(0),
+                comb(GateKind::Not, 1, &[0]),
+                comb(GateKind::And, 2, &[0, 1]),
+            ],
+            vec![2],
+        );
+        let o = CombOrder::build(&g).unwrap();
+        assert_eq!(o.order, vec![1, 2]);
+        assert_eq!(o.readers[0], vec![(1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn declines_cycles_and_undriven_nets() {
+        let cyclic = graph(
+            vec![
+                input(0),
+                comb(GateKind::And, 1, &[0, 2]),
+                comb(GateKind::Not, 2, &[1]),
+            ],
+            vec![2],
+        );
+        assert!(CombOrder::build(&cyclic).is_none());
+
+        let mut undriven = graph(vec![input(0), comb(GateKind::Not, 1, &[2])], vec![1]);
+        undriven.net_count = 3;
+        assert!(CombOrder::build(&undriven).is_none());
+    }
+}

@@ -136,7 +136,7 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

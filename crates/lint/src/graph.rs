@@ -8,7 +8,7 @@
 //! [`From<&Netlist>`] conversion, under which every gate drives the
 //! same-indexed net.
 
-use tvs_netlist::Netlist;
+use tvs_netlist::{GateKind, Netlist};
 
 /// What a node is, as far as the structural rules care.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +27,10 @@ pub enum IrKind {
 pub struct IrNode {
     /// Node kind.
     pub kind: IrKind,
+    /// The gate operator, for semantic passes (testability costing and the
+    /// 3-valued interpreter). Structural rules ignore it; `Input`/`Flop`
+    /// nodes carry `GateKind::Input`/`GateKind::Dff`.
+    pub op: GateKind,
     /// The net this node drives.
     pub drives: usize,
     /// Input nets, in pin order (sequential for `Flop`).
@@ -66,7 +70,6 @@ impl IrGraph {
 
 impl From<&Netlist> for IrGraph {
     fn from(netlist: &Netlist) -> IrGraph {
-        use tvs_netlist::GateKind;
         let nodes = netlist
             .gate_ids()
             .map(|id| {
@@ -77,6 +80,7 @@ impl From<&Netlist> for IrGraph {
                         GateKind::Dff => IrKind::Flop,
                         _ => IrKind::Comb,
                     },
+                    op: gate.kind(),
                     drives: id.index(),
                     fanin: gate.fanin().iter().map(|f| f.index()).collect(),
                 }
@@ -142,6 +146,9 @@ mod tests {
         assert_eq!(g.net_name(0), "a");
         assert_eq!(g.nodes[0].kind, IrKind::Flop);
         assert_eq!(g.nodes[3].kind, IrKind::Comb);
+        assert_eq!(g.nodes[0].op, GateKind::Dff);
+        assert_eq!(g.nodes[3].op, GateKind::And);
+        assert_eq!(g.nodes[4].op, GateKind::Or);
         // Every node drives its own index.
         for (i, node) in g.nodes.iter().enumerate() {
             assert_eq!(node.drives, i);

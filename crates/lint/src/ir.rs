@@ -9,7 +9,7 @@
 //! | IR003 | deny     | dangling net reference (index out of range)          |
 //! | IR004 | deny     | combinational cycle                                  |
 //! | IR005 | deny     | bad arity for node kind                              |
-//! | IR006 | warn     | dead combinational gate (no consumers, not a PO)     |
+//! | IR006 | warn     | dead combinational gate (unobservable via CO dataflow)|
 //! | IR007 | info     | structure statistics                                 |
 //! | IR008 | warn     | net marked as primary output more than once          |
 //! | CH001 | deny     | flop missing from the scan chain                     |
@@ -24,6 +24,7 @@
 
 use crate::diag::{has_deny, render_text, Diagnostic, Severity, Site};
 use crate::graph::{IrGraph, IrKind, ProgramSpec};
+use crate::testability::{Testability, UNREACHED};
 use tvs_netlist::Netlist;
 
 /// Runs every structural and scan-chain rule over an [`IrGraph`].
@@ -149,18 +150,27 @@ pub fn analyze_graph(graph: &IrGraph) -> Vec<Diagnostic> {
         }
     }
 
-    // IR006: dead combinational gates — drive a net nobody reads or observes.
+    // IR006: dead combinational gates. On a well-formed graph this is the
+    // observability dataflow's verdict — no structural path from the gate's
+    // output to a primary output or scan-cell D pin — which also catches
+    // transitively-dead cones (a gate read only by dead gates). Gates whose
+    // only readers are flop D pins are observable and never flagged.
+    // Malformed graphs fall back to the direct consumer census.
+    let testability = Testability::compute(graph);
     for node in &graph.nodes {
-        if node.kind == IrKind::Comb
-            && node.drives < n_nets
-            && consumers[node.drives] == 0
-            && output_marks[node.drives] == 0
-        {
+        if node.kind != IrKind::Comb || node.drives >= n_nets {
+            continue;
+        }
+        let dead = match &testability {
+            Some(t) => t.co(node.drives) == UNREACHED,
+            None => consumers[node.drives] == 0 && output_marks[node.drives] == 0,
+        };
+        if dead {
             diags.push(Diagnostic::new(
                 "IR006",
                 Severity::Warn,
                 Site::Net(graph.net_name(node.drives)),
-                "combinational gate output is never read or observed",
+                "combinational gate output cannot reach any output or scan cell",
             ));
         }
     }
@@ -515,8 +525,27 @@ mod tests {
     fn comb(drives: usize, fanin: &[usize]) -> IrNode {
         IrNode {
             kind: IrKind::Comb,
+            op: tvs_netlist::GateKind::And,
             drives,
             fanin: fanin.to_vec(),
+        }
+    }
+
+    fn input(drives: usize) -> IrNode {
+        IrNode {
+            kind: IrKind::Input,
+            op: tvs_netlist::GateKind::Input,
+            drives,
+            fanin: Vec::new(),
+        }
+    }
+
+    fn flop(drives: usize, d: usize) -> IrNode {
+        IrNode {
+            kind: IrKind::Flop,
+            op: tvs_netlist::GateKind::Dff,
+            drives,
+            fanin: vec![d],
         }
     }
 
@@ -525,42 +554,34 @@ mod tests {
     }
 
     #[test]
+    fn gate_read_only_by_a_flop_is_never_dead() {
+        // The comb gate feeds only a scan cell's D pin: captured and
+        // shifted out, so it is observable and IR006 must not fire.
+        let g = graph(vec![flop(0, 1), comb(1, &[2]), input(2)], vec![], vec![0]);
+        let d = analyze_graph(&g);
+        assert_eq!(codes(&d), vec!["IR007"], "{d:?}");
+    }
+
+    #[test]
+    fn transitively_dead_cone_is_flagged_whole() {
+        // input -> a -> b with b unread: the census alone would only flag
+        // b, but the CO dataflow sees that a's only reader is dead too.
+        let g = graph(vec![input(0), comb(1, &[0]), comb(2, &[1])], vec![], vec![]);
+        let d = analyze_graph(&g);
+        let dead = d.iter().filter(|d| d.code == "IR006").count();
+        assert_eq!(dead, 2, "{d:?}");
+    }
+
+    #[test]
     fn clean_dag_yields_only_stats() {
-        let g = graph(
-            vec![
-                IrNode {
-                    kind: IrKind::Input,
-                    drives: 0,
-                    fanin: vec![],
-                },
-                IrNode {
-                    kind: IrKind::Input,
-                    drives: 1,
-                    fanin: vec![],
-                },
-                comb(2, &[0, 1]),
-            ],
-            vec![2],
-            vec![],
-        );
+        let g = graph(vec![input(0), input(1), comb(2, &[0, 1])], vec![2], vec![]);
         let d = analyze_graph(&g);
         assert_eq!(codes(&d), vec!["IR007"]);
     }
 
     #[test]
     fn self_loop_is_a_cycle() {
-        let g = graph(
-            vec![
-                IrNode {
-                    kind: IrKind::Input,
-                    drives: 0,
-                    fanin: vec![],
-                },
-                comb(1, &[0, 1]),
-            ],
-            vec![1],
-            vec![],
-        );
+        let g = graph(vec![input(0), comb(1, &[0, 1])], vec![1], vec![]);
         let d = analyze_graph(&g);
         assert!(codes(&d).contains(&"IR004"), "{d:?}");
     }
@@ -569,16 +590,7 @@ mod tests {
     fn depth_counts_longest_path() {
         // input -> a -> b -> c, plus a shortcut input -> c.
         let g = graph(
-            vec![
-                IrNode {
-                    kind: IrKind::Input,
-                    drives: 0,
-                    fanin: vec![],
-                },
-                comb(1, &[0]),
-                comb(2, &[1]),
-                comb(3, &[2, 0]),
-            ],
+            vec![input(0), comb(1, &[0]), comb(2, &[1]), comb(3, &[2, 0])],
             vec![3],
             vec![],
         );

@@ -11,9 +11,15 @@
 //! | SRC003 | raw thread spawning                  | `crates/exec/`, `crates/serve/src/server.rs`, `crates/fleet/src/coordinator.rs` |
 //! | SRC004 | `.unwrap()` in library code          | nowhere                       |
 //! | SRC005 | `panic!` / `.expect()` in libraries  | `inject.rs`, `crates/circuits/src/` |
+//! | SRC006 | environment reads (`env::var` & co.) | `crates/exec/src/pool.rs`     |
 //!
 //! Individual sites can opt out with a `// lint:allow(CODE)` comment on the
 //! same line or the line directly above.
+//!
+//! The per-file allowlist is a data table ([`ALLOWS`]); [`lint_workspace`]
+//! cross-checks it against the tree and emits a warn-level `SRC000` for any
+//! entry whose path no longer exists, so a rename cannot silently leave a
+//! dead hole in the lint.
 
 use crate::diag::{Diagnostic, Severity, Site};
 use std::fs;
@@ -55,28 +61,108 @@ const RULES: &[Rule] = &[
         needles: &["panic!", ".expect("],
         what: "library code must degrade through typed errors, not abort; return an error or justify the invariant with lint:allow(SRC005)",
     },
+    Rule {
+        code: "SRC006",
+        needles: &["env::var", "env::var_os", "env::vars", "env::vars_os"],
+        what: "environment reads make a run's identity depend on ambient state; route configuration through explicit config structs",
+    },
+];
+
+/// One per-file allowlist entry. A `path` ending in `/` allows the whole
+/// subtree; otherwise it names one file. Paths are `/`-separated and
+/// workspace-relative.
+struct Allow {
+    code: &'static str,
+    path: &'static str,
+    /// Why the exemption is sound — rendered nowhere, kept next to the data
+    /// so the table stays reviewable.
+    #[allow(dead_code)]
+    why: &'static str,
+}
+
+/// The whole per-file allowlist. [`lint_workspace`] warns (`SRC000`) for
+/// entries whose path has drifted away from the tree.
+const ALLOWS: &[Allow] = &[
+    Allow {
+        code: "SRC001",
+        path: "crates/exec/src/stats.rs",
+        why: "the stats registry hashes only for lookup and sorts before rendering",
+    },
+    Allow {
+        code: "SRC002",
+        path: "crates/exec/src/stats.rs",
+        why: "the one sanctioned clock: span timers live behind the stats layer",
+    },
+    Allow {
+        code: "SRC003",
+        path: "crates/exec/",
+        why: "tvs-exec owns the deterministic pool; its internals must spawn",
+    },
+    Allow {
+        code: "SRC003",
+        path: "crates/serve/src/server.rs",
+        why: "one I/O-waiter thread per connection; compute stays in the job queue",
+    },
+    Allow {
+        code: "SRC003",
+        path: "crates/fleet/src/coordinator.rs",
+        why: "connection and health-monitor threads only wait on sockets",
+    },
+    Allow {
+        code: "SRC005",
+        path: "crates/exec/src/inject.rs",
+        why: "the chaos injector exists to raise controlled panics",
+    },
+    Allow {
+        code: "SRC005",
+        path: "crates/circuits/src/",
+        why: "an infallible literal builder: every expect is a generator bug, not input",
+    },
+    Allow {
+        code: "SRC006",
+        path: "crates/exec/src/pool.rs",
+        why: "TVS_THREADS is the documented thread-count default; it never changes results",
+    },
 ];
 
 /// Per-file allowlist for a rule code; `file` is a `/`-separated
 /// workspace-relative path.
 fn file_allows(file: &str, code: &str) -> bool {
-    match code {
-        "SRC001" | "SRC002" => file == "crates/exec/src/stats.rs",
-        // The serve daemon's accept loop spawns one I/O-waiter thread per
-        // connection, and the fleet coordinator adds a health-monitor
-        // thread; compute still flows through tvs-exec's job queue on the
-        // workers.
-        "SRC003" => {
-            file.starts_with("crates/exec/")
-                || file == "crates/serve/src/server.rs"
-                || file == "crates/fleet/src/coordinator.rs"
+    ALLOWS.iter().any(|a| {
+        a.code == code
+            && if a.path.ends_with('/') {
+                file.starts_with(a.path)
+            } else {
+                file == a.path
+            }
+    })
+}
+
+/// Checks every [`ALLOWS`] entry against the tree under `root`: an entry
+/// whose path no longer exists is dead weight that would silently exempt a
+/// future file at that name, so it warns (`SRC000`).
+fn allowlist_drift(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for allow in ALLOWS {
+        let target = root.join(allow.path.trim_end_matches('/'));
+        let ok = if allow.path.ends_with('/') {
+            target.is_dir()
+        } else {
+            target.is_file()
+        };
+        if !ok {
+            diags.push(Diagnostic::new(
+                "SRC000",
+                Severity::Warn,
+                Site::Global,
+                format!(
+                    "allowlist drift: {} entry {:?} no longer exists; remove or update the entry",
+                    allow.code, allow.path
+                ),
+            ));
         }
-        // The chaos injector exists to raise controlled panics, and the
-        // circuit construction crate is an infallible literal builder whose
-        // every expect is a generator bug, not a runtime input.
-        "SRC005" => file == "crates/exec/src/inject.rs" || file.starts_with("crates/circuits/src/"),
-        _ => false,
     }
+    diags
 }
 
 /// The comment/string stripper's output: source with the same line structure
@@ -437,7 +523,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         }
     }
     files.sort();
-    let mut diags = Vec::new();
+    let mut diags = allowlist_drift(root);
     for file in files {
         let text = fs::read_to_string(&file)?;
         let rel: String = file
@@ -564,6 +650,51 @@ mod tests {
         assert!(lint_source("crates/x/src/a.rs", escaped).is_empty());
         let test_only = "#[test]\nfn t() { x.expect(\"fine in tests\"); }\n";
         assert!(lint_source("crates/x/src/a.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn environment_reads_deny_outside_the_config_site() {
+        let src =
+            "let t = std::env::var(\"TVS_THREADS\");\nlet d = std::env::var_os(\"TVS_DEBUG\");\n";
+        let d = lint_source("crates/x/src/a.rs", src);
+        assert_eq!(codes_at(&d), vec![("SRC006", 1), ("SRC006", 2)]);
+        assert!(lint_source("crates/exec/src/pool.rs", src).is_empty());
+        let escaped = "// lint:allow(SRC006)\nlet d = std::env::var_os(\"TVS_DEBUG\");\n";
+        assert!(lint_source("crates/x/src/a.rs", escaped).is_empty());
+        // `env::vars()` iteration is just as ambient.
+        let iter = "for (k, v) in std::env::vars() {}\n";
+        assert_eq!(
+            codes_at(&lint_source("crates/x/src/a.rs", iter)),
+            vec![("SRC006", 1)]
+        );
+    }
+
+    #[test]
+    fn allowlist_entries_all_point_at_real_paths() {
+        // The crate sits at crates/lint, so the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let drift = allowlist_drift(root);
+        assert!(drift.is_empty(), "{drift:?}");
+    }
+
+    #[test]
+    fn missing_allowlist_path_warns_src000() {
+        let root = std::env::temp_dir().join(format!("tvs-lint-drift-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let drift = allowlist_drift(&root);
+        assert_eq!(
+            drift.len(),
+            ALLOWS.len(),
+            "every entry should drift in an empty tree"
+        );
+        assert!(drift
+            .iter()
+            .all(|d| d.code == "SRC000" && d.severity == Severity::Warn));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use tvs_lint::{
     analyze_graph, analyze_program, lint_source, Diagnostic, IrGraph, IrKind, IrNode, ProgramSpec,
     Severity,
 };
+use tvs_netlist::GateKind;
 
 fn graph(nodes: Vec<IrNode>, outputs: Vec<usize>, chain: Vec<usize>) -> IrGraph {
     let net_count = nodes.len();
@@ -22,6 +23,11 @@ fn graph(nodes: Vec<IrNode>, outputs: Vec<usize>, chain: Vec<usize>) -> IrGraph 
 fn node(kind: IrKind, drives: usize, fanin: &[usize]) -> IrNode {
     IrNode {
         kind,
+        op: match kind {
+            IrKind::Input => GateKind::Input,
+            IrKind::Flop => GateKind::Dff,
+            IrKind::Comb => GateKind::And,
+        },
         drives,
         fanin: fanin.to_vec(),
     }

@@ -1,0 +1,165 @@
+//! Testability-dataflow golden and property tests.
+//!
+//! The golden test hand-checks every SCOAP score on the paper's Fig. 1
+//! circuit (s27-sized: 3 scan cells, 3 gates). The property test pins the
+//! analysis to the circuit's *structure*: scores must be invariant under
+//! gate declaration reordering.
+
+use tvs_lint::{IrGraph, Testability};
+use tvs_logic::Prng;
+use tvs_netlist::{GateKind, Netlist, NetlistBuilder};
+
+fn net(n: &Netlist, name: &str) -> usize {
+    n.find(name).unwrap().index()
+}
+
+#[test]
+fn fig1_scores_match_hand_computation() {
+    let mut b = NetlistBuilder::new("fig1");
+    b.add_dff("a", "F").unwrap();
+    b.add_dff("b", "E").unwrap();
+    b.add_dff("c", "D").unwrap();
+    b.add_gate("D", GateKind::And, &["a", "b"]).unwrap();
+    b.add_gate("E", GateKind::Or, &["b", "c"]).unwrap();
+    b.add_gate("F", GateKind::And, &["D", "E"]).unwrap();
+    let n = b.build().unwrap();
+    let g = IrGraph::from(&n);
+    let t = Testability::compute(&g).unwrap();
+
+    // Scan cells are perfectly controllable sources.
+    for name in ["a", "b", "c"] {
+        assert_eq!(t.cc0(net(&n, name)), 1, "{name}");
+        assert_eq!(t.cc1(net(&n, name)), 1, "{name}");
+    }
+    // D = AND(a, b): cc1 = 1+1+1, cc0 = min(1,1)+1.
+    assert_eq!(t.cc1(net(&n, "D")), 3);
+    assert_eq!(t.cc0(net(&n, "D")), 2);
+    // E = OR(b, c): dual of D.
+    assert_eq!(t.cc0(net(&n, "E")), 3);
+    assert_eq!(t.cc1(net(&n, "E")), 2);
+    // F = AND(D, E): cc1 = 3+2+1, cc0 = min(2,3)+1.
+    assert_eq!(t.cc1(net(&n, "F")), 6);
+    assert_eq!(t.cc0(net(&n, "F")), 3);
+
+    // Every D net feeds a scan cell directly: perfectly observable.
+    assert_eq!(t.co(net(&n, "D")), 0);
+    assert_eq!(t.co(net(&n, "E")), 0);
+    assert_eq!(t.co(net(&n, "F")), 0);
+    // Cell outputs observe through one AND/OR side input: cost 2.
+    assert_eq!(t.co(net(&n, "a")), 2);
+    assert_eq!(t.co(net(&n, "b")), 2);
+    assert_eq!(t.co(net(&n, "c")), 2);
+}
+
+/// One randomly generated circuit as declaration lists. Gates only reference
+/// earlier signals and the builder resolves forward references at `build`,
+/// so any declaration order produces the same structure.
+struct Spec {
+    inputs: Vec<String>,
+    dffs: Vec<(String, String)>,
+    gates: Vec<(String, GateKind, Vec<String>)>,
+    outputs: Vec<String>,
+}
+
+fn random_spec(rng: &mut Prng) -> Spec {
+    let kinds = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let n_pi = rng.gen_range(1..4);
+    let n_ff = rng.gen_range(1..4);
+    let n_gates = rng.gen_range(2..12);
+    let inputs: Vec<String> = (0..n_pi).map(|i| format!("pi{i}")).collect();
+    let mut signals: Vec<String> = inputs.clone();
+    signals.extend((0..n_ff).map(|i| format!("ff{i}")));
+    let mut gates = Vec::new();
+    for i in 0..n_gates {
+        let name = format!("g{i}");
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let arity = match kind {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => rng.gen_range(2..4),
+        };
+        let fanin: Vec<String> = (0..arity)
+            .map(|_| signals[rng.gen_range(0..signals.len())].clone())
+            .collect();
+        signals.push(name.clone());
+        gates.push((name, kind, fanin));
+    }
+    let dffs: Vec<(String, String)> = (0..n_ff)
+        .map(|i| {
+            (
+                format!("ff{i}"),
+                signals[rng.gen_range(0..signals.len())].clone(),
+            )
+        })
+        .collect();
+    let mut outputs = Vec::new();
+    for s in &signals {
+        if rng.gen_range(0..4) == 0 {
+            outputs.push(s.clone());
+        }
+    }
+    if outputs.is_empty() {
+        outputs.push(signals[signals.len() - 1].clone());
+    }
+    Spec {
+        inputs,
+        dffs,
+        gates,
+        outputs,
+    }
+}
+
+/// Builds the spec declaring items in the order given by `perm`, a
+/// permutation of `0..inputs+dffs+gates` (inputs first, then dffs, then
+/// gates in the identity order).
+fn build(spec: &Spec, perm: &[usize]) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    for &d in perm {
+        if d < spec.inputs.len() {
+            b.add_input(&spec.inputs[d]).unwrap();
+        } else if d < spec.inputs.len() + spec.dffs.len() {
+            let (q, dn) = &spec.dffs[d - spec.inputs.len()];
+            b.add_dff(q, dn).unwrap();
+        } else {
+            let (name, kind, fanin) = &spec.gates[d - spec.inputs.len() - spec.dffs.len()];
+            let refs: Vec<&str> = fanin.iter().map(String::as_str).collect();
+            b.add_gate(name, *kind, &refs).unwrap();
+        }
+    }
+    for o in &spec.outputs {
+        b.mark_output(o).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn scores_are_invariant_under_declaration_reordering() {
+    let mut rng = Prng::seed_from_u64(0x7e57_ab1e);
+    for round in 0..48 {
+        let spec = random_spec(&mut rng);
+        let total = spec.inputs.len() + spec.dffs.len() + spec.gates.len();
+        let identity: Vec<usize> = (0..total).collect();
+        let mut shuffled = identity.clone();
+        rng.shuffle(&mut shuffled);
+        let a = build(&spec, &identity);
+        let b = build(&spec, &shuffled);
+        let ta = Testability::compute(&IrGraph::from(&a)).unwrap();
+        let tb = Testability::compute(&IrGraph::from(&b)).unwrap();
+        for gate in a.gate_ids() {
+            let name = a.gate_name(gate);
+            let ia = gate.index();
+            let ib = b.find(name).unwrap().index();
+            assert_eq!(ta.cc0(ia), tb.cc0(ib), "cc0({name}) round {round}");
+            assert_eq!(ta.cc1(ia), tb.cc1(ib), "cc1({name}) round {round}");
+            assert_eq!(ta.co(ia), tb.co(ib), "co({name}) round {round}");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! tvs-client --addr HOST:PORT submit [--wait] [--fetch [--out FILE]]
 //!            [--name N] [stitch options] <circuit.bench>
+//! tvs-client --addr HOST:PORT lint   [--name N] <circuit.bench>
 //! tvs-client --addr HOST:PORT status <job>
 //! tvs-client --addr HOST:PORT wait   <job>
 //! tvs-client --addr HOST:PORT fetch  <job> [--out FILE]
@@ -46,6 +47,7 @@ usage:
   tvs-client --addr HOST:PORT submit [--wait] [--fetch [--out FILE]]
              [--name N] [--seed N] [--fixed K] [--select S] [--vxor]
              [--hxor G] [--budget N] [--threads N] <circuit.bench>
+  tvs-client --addr HOST:PORT lint   [--name N] <circuit.bench>
   tvs-client --addr HOST:PORT status <job>
   tvs-client --addr HOST:PORT wait   <job>
   tvs-client --addr HOST:PORT fetch  <job> [--out FILE]
@@ -85,6 +87,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
     let mut client = Client::connect(addr)?;
     match verb.as_str() {
         "submit" => submit(&mut client, &rest[1..]),
+        "lint" => lint(&mut client, &rest[1..]),
         "status" | "wait" => {
             let job = rest.get(1).ok_or_else(|| usage("missing job id"))?;
             let doc = if verb.as_str() == "wait" {
@@ -168,6 +171,26 @@ fn submit(client: &mut Client, args: &[&String]) -> Result<(), Failure> {
         let artifact = client.fetch(&job)?;
         emit_artifact(&artifact, out)?;
     }
+    Ok(())
+}
+
+fn lint(client: &mut Client, args: &[&String]) -> Result<(), Failure> {
+    let name = flag_value(args, "--name");
+    let path = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| Some(*a) != name)
+        .ok_or_else(|| usage("missing <circuit.bench>"))?;
+    let bench = fs::read_to_string(path).map_err(|e| Failure::Serve(ServeError::io(path, e)))?;
+    let default_name = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".bench");
+    let (admitted, doc) = client.lint(name.unwrap_or(default_name), &bench)?;
+    println!("{}", doc.to_text());
+    println!("admitted {admitted}");
     Ok(())
 }
 

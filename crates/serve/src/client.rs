@@ -82,6 +82,31 @@ impl Client {
         Ok((job, admission))
     }
 
+    /// Runs the server's admission analysis over `.bench` source without
+    /// submitting a job; returns `(admitted, lint document)` where the
+    /// document is the `{"diagnostics":[...],"counts":{...}}` rendering.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; syntax errors (as opposed to design-rule
+    /// findings) surface as [`ServeError::Netlist`].
+    pub fn lint(&mut self, name: &str, bench: &str) -> Result<(bool, Value), ServeError> {
+        let response = self.request(&Value::Obj(vec![
+            ("op".into(), Value::str("lint")),
+            ("name".into(), Value::str(name)),
+            ("bench".into(), Value::str(bench)),
+        ]))?;
+        let admitted = response
+            .get("admitted")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| ServeError::Protocol("lint response lacks admitted".to_owned()))?;
+        let lint = response
+            .get("lint")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("lint response lacks lint".to_owned()))?;
+        Ok((admitted, lint))
+    }
+
     /// A point-in-time job status document.
     ///
     /// # Errors

@@ -39,6 +39,16 @@ pub enum ServeError {
     JobFailed(String),
     /// The submitted netlist failed to parse.
     Netlist(String),
+    /// The submitted netlist parsed but was rejected by deny-level lint
+    /// rules at admission; no engine run was started.
+    Rejected {
+        /// The lint findings as a rendered JSON document
+        /// (`{"diagnostics":[...],"counts":{...}}`).
+        diagnostics: String,
+        /// `true` when the verdict came from the server's rejection cache
+        /// rather than a fresh analysis.
+        cached: bool,
+    },
     /// The submitted stitch configuration is invalid.
     Config(String),
     /// A filesystem or socket operation failed.
@@ -69,6 +79,7 @@ impl ServeError {
             ServeError::UnknownJob(_) => "unknown-job",
             ServeError::JobFailed(_) => "job-failed",
             ServeError::Netlist(_) => "netlist",
+            ServeError::Rejected { .. } => "rejected",
             ServeError::Config(_) => "config",
             ServeError::Io { .. } => "io",
         }
@@ -94,6 +105,18 @@ impl ServeError {
             }
             ServeError::UnknownJob(job) => {
                 pairs.push(("job".to_owned(), Value::str(job.clone())));
+            }
+            ServeError::Rejected {
+                diagnostics,
+                cached,
+            } => {
+                // Embed the findings as a structured document when they
+                // parse (they always should — the server rendered them),
+                // falling back to the raw text so nothing is ever dropped.
+                let doc = crate::json::parse(diagnostics)
+                    .unwrap_or_else(|_| Value::str(diagnostics.clone()));
+                pairs.push(("diagnostics".to_owned(), doc));
+                pairs.push(("cached".to_owned(), Value::Bool(*cached)));
             }
             _ => {}
         }
@@ -133,6 +156,16 @@ impl ServeError {
             ),
             Some("job-failed") => ServeError::JobFailed(message),
             Some("netlist") => ServeError::Netlist(message),
+            Some("rejected") => ServeError::Rejected {
+                diagnostics: response
+                    .get("diagnostics")
+                    .map(Value::to_text)
+                    .unwrap_or(message),
+                cached: response
+                    .get("cached")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+            },
             Some("config") => ServeError::Config(message),
             Some("io") => ServeError::io("remote", io::Error::other(message)),
             _ => ServeError::Protocol(message),
@@ -163,6 +196,13 @@ impl fmt::Display for ServeError {
             ServeError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
             ServeError::JobFailed(m) => write!(f, "job failed: {m}"),
             ServeError::Netlist(m) => write!(f, "netlist rejected: {m}"),
+            ServeError::Rejected { diagnostics, .. } => {
+                write!(
+                    f,
+                    "netlist rejected by lint admission: {}",
+                    diagnostics.trim_end()
+                )
+            }
             ServeError::Config(m) => write!(f, "configuration rejected: {m}"),
             ServeError::Io { context, source } => write!(f, "{context}: {source}"),
         }
@@ -194,6 +234,13 @@ impl From<CoreError> for ServeError {
             CoreError::UnknownJob(id) => ServeError::UnknownJob(id),
             CoreError::JobFailed(m) => ServeError::JobFailed(m),
             CoreError::Netlist(m) => ServeError::Netlist(m),
+            CoreError::Rejected {
+                diagnostics,
+                cached,
+            } => ServeError::Rejected {
+                diagnostics,
+                cached,
+            },
             CoreError::Config(m) => ServeError::Config(m),
             CoreError::Io { context, source } => ServeError::Io { context, source },
         }

@@ -5,8 +5,8 @@
 //! `(netlist, configuration)`. This crate exploits that purity end to end:
 //!
 //! * a **TCP daemon** ([`Server`]) speaking a length-prefixed, versioned
-//!   JSON protocol ([`proto`]) with ops `submit`, `status`, `wait`, `fetch`,
-//!   `stats` and `shutdown`;
+//!   JSON protocol ([`proto`]) with ops `submit`, `lint`, `status`, `wait`,
+//!   `fetch`, `stats` and `shutdown`;
 //! * the **transport-agnostic serving core** re-exported from
 //!   [`tvs_core`]: the content-addressed [`ArtifactStore`], the
 //!   single-flight [`JobTable`] with bounded admission, and the

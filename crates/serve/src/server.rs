@@ -221,6 +221,34 @@ fn dispatch(frame: &str, table: &JobTable, draining: &AtomicBool) -> Result<Valu
                 ("key".into(), Value::str(status.key.to_string())),
             ]))
         }
+        "lint" => {
+            // Runs the same admission analysis `submit` gates on, but only
+            // reports: no job, no engine run, no rejection-cache entry.
+            let bench = request
+                .get("bench")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ServeError::Protocol("lint requires \"bench\"".to_owned()))?;
+            let name = request
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("netlist");
+            let diags = match tvs_netlist::bench::parse(name, bench) {
+                Ok(netlist) => tvs_lint::admission_diagnostics(
+                    &netlist,
+                    &tvs_lint::TestabilityConfig::default(),
+                ),
+                Err(e) => tvs_lint::netlist_error_diagnostics(&e)
+                    .ok_or_else(|| ServeError::Netlist(e.to_string()))?,
+            };
+            let deny = tvs_lint::has_deny(&diags);
+            let doc = json::parse(&tvs_lint::render_json(&diags))
+                .map_err(|e| ServeError::Protocol(format!("lint serializer: {e}")))?;
+            Ok(Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("admitted".into(), Value::Bool(!deny)),
+                ("lint".into(), doc),
+            ]))
+        }
         "status" | "wait" => {
             let job = job_arg(&request)?;
             let status = if op == "wait" {

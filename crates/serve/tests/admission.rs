@@ -1,0 +1,132 @@
+//! Lint-gated admission over the wire: a deny-level netlist is rejected
+//! with the typed `rejected` error (structured diagnostics, no engine run),
+//! the verdict is cached per artifact key, and the `lint` op reports the
+//! same findings without touching the job table.
+
+use tvs_serve::json::Value;
+use tvs_serve::{Client, ServeError, Server, ServerConfig};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A netlist whose builder trips on the `b <-> c` combinational cycle.
+const CYCLIC: &str = "INPUT(a)\nOUTPUT(y)\nb = AND(a, c)\nc = NOT(b)\ny = AND(a, b)\n";
+
+fn counter(stats: &Value, name: &str) -> u64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn deny_level_netlists_are_rejected_without_an_engine_run() {
+    let cache = temp_dir("admission");
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: cache.clone(),
+        workers: 1,
+        queue_capacity: 4,
+        checkpoint_every: 0,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let runs_before = counter(&client.stats().expect("stats"), "serve.engine_runs");
+
+    // The lint op reports the finding without creating a job.
+    let (admitted, lint) = client.lint("cyclic", CYCLIC).expect("lint op");
+    assert!(!admitted, "cyclic netlist must not be admitted");
+    let rendered = lint.to_text();
+    assert!(rendered.contains("IR004"), "missing IR004 in {rendered}");
+
+    // Submitting it gets the typed wire error carrying the same document.
+    let err = client
+        .submit("cyclic", CYCLIC, Value::Obj(vec![]))
+        .expect_err("cyclic submit must fail");
+    match &err {
+        ServeError::Rejected {
+            diagnostics,
+            cached,
+        } => {
+            assert!(!cached, "first verdict must be fresh");
+            assert!(
+                diagnostics.contains("IR004"),
+                "missing IR004: {diagnostics}"
+            );
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert_eq!(err.wire_code(), "rejected");
+
+    // Resubmission is served from the rejection cache.
+    let err = client
+        .submit("cyclic", CYCLIC, Value::Obj(vec![]))
+        .expect_err("cached cyclic submit must fail");
+    match &err {
+        ServeError::Rejected { cached, .. } => {
+            assert!(cached, "second verdict must come from the rejection cache");
+        }
+        other => panic!("expected cached Rejected, got {other:?}"),
+    }
+
+    // No engine ever ran; the counters saw both rejections.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        counter(&stats, "serve.engine_runs"),
+        runs_before,
+        "rejection must not start an engine run"
+    );
+    assert!(counter(&stats, "serve.rejected") >= 1);
+    assert!(counter(&stats, "serve.rejected_cache_hits") >= 1);
+
+    // A clean netlist on the same connection still sails through.
+    let clean = "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = AND(a, q)\n";
+    let (admitted, _) = client.lint("clean", clean).expect("clean lint");
+    assert!(admitted, "clean netlist must be admitted");
+    let (job, _) = client
+        .submit("clean", clean, Value::Obj(vec![]))
+        .expect("clean submit");
+    let status = client.wait(&job).expect("wait");
+    assert_eq!(status.get("state").and_then(Value::as_str), Some("done"));
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("join").expect("server run");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn syntax_errors_keep_the_plain_netlist_wire_code() {
+    let cache = temp_dir("admission-syntax");
+    let server = Server::bind(&ServerConfig {
+        listen: "127.0.0.1:0".into(),
+        cache_dir: cache.clone(),
+        workers: 1,
+        queue_capacity: 4,
+        checkpoint_every: 0,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .submit("garbage", "this is not bench\n", Value::Obj(vec![]))
+        .expect_err("garbage must fail");
+    assert_eq!(err.wire_code(), "netlist");
+    let err = client
+        .lint("garbage", "this is not bench\n")
+        .expect_err("garbage lint must fail");
+    assert_eq!(err.wire_code(), "netlist");
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("join").expect("server run");
+    let _ = std::fs::remove_dir_all(&cache);
+}

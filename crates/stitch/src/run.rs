@@ -227,6 +227,7 @@ impl StitchEngine<'_> {
                 break;
             }
             if run.shift_exhausted(baseline_rate) {
+                // lint:allow(SRC006) -- debug tracing gate; never influences results
                 if std::env::var_os("TVS_DEBUG").is_some() {
                     eprintln!(
                         "[tvs] escalate from k={}: cycles={} caught={} hidden={} uncaught={}",

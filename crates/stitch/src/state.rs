@@ -13,7 +13,7 @@ use tvs_exec::{inject, Budget, ThreadPool};
 use tvs_logic::{BitVec, Cube, Prng};
 
 use tvs_atpg::{generate_tests, Podem, PodemConfig, PodemResult};
-use tvs_fault::{detect_parallel, Fault, Scoap, SimSession};
+use tvs_fault::{detect_parallel, Fault, Scoap, SimSession, StaticPrune};
 use tvs_scan::CostModel;
 
 use crate::config::config_fingerprint;
@@ -373,10 +373,16 @@ impl<'r, 'a> RunState<'r, 'a> {
         // over the pool in fixed 32-fault chunks (one prover per chunk) and
         // merge back in fault-index order — bit-identical at any thread
         // count.
+        // Structurally unobservable faults are untestable by construction
+        // (no path to any observation point), so they skip the PODEM proof
+        // entirely and classify as redundant — the same verdict the prover
+        // would reach, but pattern- and budget-independent, hence identical
+        // in every run path.
+        let prune = StaticPrune::new(self.eng.netlist);
         let needs: Vec<Fault> = faults
             .iter()
             .enumerate()
-            .filter(|&(i, _)| !testable[i])
+            .filter(|&(i, f)| !testable[i] && !prune.is_untestable(f))
             .map(|(_, &f)| f)
             .collect();
         let chunks: Vec<&[Fault]> = needs.chunks(32).collect();
@@ -406,6 +412,10 @@ impl<'r, 'a> RunState<'r, 'a> {
         for (i, &fault) in faults.iter().enumerate() {
             if testable[i] {
                 tracked.push(fault);
+                continue;
+            }
+            if prune.is_untestable(&fault) {
+                self.prescreen_redundant.push(fault);
                 continue;
             }
             // Defensive: the pool returns one verdict per screened fault; a

@@ -134,6 +134,7 @@ impl RunState<'_, '_> {
                 break;
             }
         }
+        // lint:allow(SRC006) -- debug tracing gate; never influences results
         if std::env::var_os("TVS_DEBUG").is_some() {
             eprintln!(
                 "[tvs] select k={k} targets={} A:{}/{} B:{}/{}",

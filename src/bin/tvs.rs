@@ -90,10 +90,15 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
                                            serve daemons
 
 lint options:
-  --profiles        analyze every built-in circuit profile
-  --workspace       run the source determinism lint over the source tree
-  --root <dir>      workspace root for --workspace (default: .)
-  --format <f>      text | json   (default: text)
+  --profiles           analyze every built-in circuit profile
+  --workspace          run the source determinism lint over the source tree
+  --root <dir>         workspace root for --workspace (default: .)
+  --testability        add the SCOAP testability dataflow (TB001-TB003)
+  --deny-unobservable  escalate TB003 (unobservable net) to deny level
+  --scores <file>      write per-net SCOAP scores as JSON (implies --testability)
+  --program <p.tvp>    abstract-interpret a tester program (SP006/SP007)
+                       against one circuit (.bench path or profile name)
+  --format <f>         text | json   (default: text)
   (no arguments at all: --profiles --workspace)
 
 stitch options (also accepted by run and program):
@@ -542,18 +547,39 @@ fn verify(args: &[String]) -> Result<(), TvsError> {
 }
 
 fn lint(args: &[String]) -> Result<(), TvsError> {
-    use tvs::lint::{analyze_netlist, has_deny, render_json, render_text, Diagnostic};
+    use tvs::lint::{
+        analyze_netlist, analyze_testability, analyze_trace, has_deny, render_json, render_text,
+        testability_json, Diagnostic, IrGraph, Testability, TestabilityConfig,
+    };
 
     let mut profiles = false;
     let mut workspace = false;
+    let mut testability = false;
     let mut root = String::from(".");
     let mut json = false;
+    let mut tb_config = TestabilityConfig::default();
+    let mut scores_path: Option<String> = None;
+    let mut program_path: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--profiles" => profiles = true,
             "--workspace" => workspace = true,
+            "--testability" => testability = true,
+            "--deny-unobservable" => {
+                testability = true;
+                tb_config.deny_unobservable = true;
+            }
+            "--scores" => {
+                testability = true;
+                scores_path = Some(need(args, i + 1, "scores path")?.to_owned());
+                i += 1;
+            }
+            "--program" => {
+                program_path = Some(need(args, i + 1, "program path")?.to_owned());
+                i += 1;
+            }
             "--root" => {
                 root = need(args, i + 1, "workspace root")?.to_owned();
                 i += 1;
@@ -574,18 +600,62 @@ fn lint(args: &[String]) -> Result<(), TvsError> {
         i += 1;
     }
     // Bare `tvs lint` checks everything checkable without arguments.
-    if !profiles && !workspace && files.is_empty() {
+    if !profiles && !workspace && files.is_empty() && program_path.is_none() {
         profiles = true;
         workspace = true;
     }
 
-    let mut diags: Vec<Diagnostic> = Vec::new();
+    // `--program <prog.tvp>` interprets a tester program against one
+    // circuit (a `.bench` path or a built-in profile name).
+    if let Some(path) = &program_path {
+        let circuit = files
+            .first()
+            .ok_or_else(|| TvsError::usage("--program needs a circuit (.bench or profile)"))?;
+        if files.len() > 1 {
+            return Err(TvsError::usage("--program takes exactly one circuit"));
+        }
+        let netlist = match tvs::circuits::profile(circuit) {
+            Some(profile) => profile.build(),
+            None => load(circuit)?,
+        };
+        let text = fs::read_to_string(path).map_err(|e| TvsError::io(path, e))?;
+        let program = TestProgram::parse(&text)?;
+        let graph = IrGraph::from(&netlist);
+        let diags = analyze_trace(&graph, &lower_program(&program));
+        if json {
+            print!("{}", render_json(&diags));
+        } else {
+            print!("{}", render_text(&diags));
+        }
+        if has_deny(&diags) {
+            return Err(TvsError::Lint("deny-level diagnostics found".into()));
+        }
+        return Ok(());
+    }
+
+    // Each netlist under analysis, with its graph for the testability pass.
+    let mut targets: Vec<Netlist> = Vec::new();
     for file in &files {
-        diags.extend(analyze_netlist(&load(file)?));
+        targets.push(load(file)?);
     }
     if profiles {
         for profile in tvs::circuits::all_profiles() {
-            diags.extend(analyze_netlist(&profile.build()));
+            targets.push(profile.build());
+        }
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut scores = String::new();
+    for netlist in &targets {
+        let graph = IrGraph::from(netlist);
+        diags.extend(analyze_netlist(netlist));
+        if testability {
+            diags.extend(analyze_testability(&graph, &tb_config));
+            if scores_path.is_some() {
+                if let Some(t) = Testability::compute(&graph) {
+                    scores.push_str(&testability_json(&graph, &t));
+                }
+            }
         }
     }
     if workspace {
@@ -593,6 +663,10 @@ fn lint(args: &[String]) -> Result<(), TvsError> {
             tvs::lint::lint_workspace(std::path::Path::new(&root))
                 .map_err(|e| TvsError::io(&*root, e))?,
         );
+    }
+    if let Some(path) = &scores_path {
+        fs::write(path, &scores).map_err(|e| TvsError::io(path, e))?;
+        println!("testability scores written to {path}");
     }
 
     if json {
@@ -604,6 +678,27 @@ fn lint(args: &[String]) -> Result<(), TvsError> {
         return Err(TvsError::Lint("deny-level diagnostics found".into()));
     }
     Ok(())
+}
+
+/// Lowers a tester program to the abstract interpreter's trace form: the
+/// stimulus is copied bit for bit; expectations are dropped (the
+/// interpreter derives its own).
+fn lower_program(program: &TestProgram) -> tvs::lint::ProgramTrace {
+    use tvs::logic::Logic;
+    let bits = |bv: &tvs::logic::BitVec| -> Vec<Logic> { bv.iter().map(Logic::from).collect() };
+    tvs::lint::ProgramTrace {
+        capture: program.capture,
+        observe: program.observe,
+        cycles: program
+            .cycles
+            .iter()
+            .map(|c| tvs::lint::TraceCycle {
+                pi: bits(&c.pi),
+                scan_in: bits(&c.scan_in),
+            })
+            .collect(),
+        final_flush: program.expected_flush.len(),
+    }
 }
 
 fn gen(args: &[String]) -> Result<(), TvsError> {
