@@ -242,8 +242,20 @@ pub fn synthesize(name: &str, config: &SynthConfig) -> Netlist {
         idx
     };
 
+    // Outputs must be distinct signals (`OUTPUT` declarations are a set, and
+    // the builder dedups). When a pick collides with an already-chosen
+    // output, scan deterministically to the next free gate — no extra RNG
+    // draw, so collision-free builds are byte-identical to older ones.
+    let mut is_output = vec![false; signals.len()];
     for o in 0..config.outputs {
-        let idx = pick_sink(&mut rng, &mut consumers, o % columns);
+        let mut idx = pick_sink(&mut rng, &mut consumers, o % columns);
+        while is_output[idx] {
+            idx += 1;
+            if idx == signals.len() {
+                idx = gate_base;
+            }
+        }
+        is_output[idx] = true;
         b.mark_output(&signals[idx]).expect("declared signal");
     }
     for i in 0..config.flip_flops {

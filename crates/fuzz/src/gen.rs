@@ -1,0 +1,246 @@
+//! Seed-driven generators for `.bench` netlist text.
+//!
+//! Two modes, both pure functions of the seed bytes:
+//!
+//! * **grammar synthesis** — builds a netlist line by line from the format's
+//!   grammar. In *valid-leaning* mode the construction is correct by design
+//!   (acyclic fanin, fresh names, every sink observed); in *defect* mode each
+//!   line may be replaced by one of the classic parser traps (duplicate
+//!   definitions, self-feeding flip-flops, unterminated parens, non-ASCII
+//!   identifiers, zero-input gates, …).
+//! * **mutation** — takes one of the cached base texts (the paper's Figure 1
+//!   circuit plus two small synthesized profiles) and applies a short burst
+//!   of line- and character-level edits: near-valid inputs probe the parser
+//!   paths that pure noise never reaches.
+
+use std::sync::OnceLock;
+
+use tvs_circuits::{fig1, profile};
+use tvs_netlist::bench;
+
+use crate::rng::FuzzRng;
+
+const GATE_KINDS: &[&str] = &["AND", "OR", "NAND", "NOR", "XOR", "XNOR", "BUF", "NOT"];
+
+/// The near-valid mutation bases: small, structurally diverse, cached for
+/// the process lifetime (synthesis is deterministic, so the cache cannot
+/// perturb results).
+pub fn base_texts() -> &'static [String] {
+    static TEXTS: OnceLock<Vec<String>> = OnceLock::new();
+    TEXTS.get_or_init(|| {
+        let mut texts = vec![bench::to_string(&fig1())];
+        for name in ["s444", "s526"] {
+            if let Some(p) = profile(name) {
+                texts.push(bench::to_string(&p.build()));
+            }
+        }
+        texts
+    })
+}
+
+/// Grammar-driven `.bench` synthesis. With `defects` the output stays close
+/// to the grammar but each line may carry one deliberate flaw; without, the
+/// text is valid by construction (parse must succeed).
+pub fn grammar_bench(rng: &mut FuzzRng, defects: bool) -> String {
+    let n_in = 1 + rng.range(4);
+    let n_ff = 1 + rng.range(5);
+    let n_gate = 1 + rng.range(16);
+    let mut text = String::from("# fuzz grammar netlist\n");
+
+    // The full name pool is fixed up front so fanin can forward-reference.
+    let name = |kind: &str, k: usize| format!("{kind}{k}");
+    let mut pool: Vec<String> = Vec::new();
+    for k in 0..n_in {
+        pool.push(name("i", k));
+    }
+    for k in 0..n_ff {
+        pool.push(name("q", k));
+    }
+    for k in 0..n_gate {
+        pool.push(name("g", k));
+    }
+
+    for k in 0..n_in {
+        text.push_str(&format!("INPUT({})\n", name("i", k)));
+    }
+
+    let mut used = vec![false; pool.len()];
+    let mut defect_budget = 2usize;
+    let mut defect = |rng: &mut FuzzRng| {
+        if defects && defect_budget > 0 && rng.chance(48) {
+            defect_budget -= 1;
+            Some(rng.range(7))
+        } else {
+            None
+        }
+    };
+
+    for k in 0..n_ff {
+        let q = name("q", k);
+        // Any signal but itself: flip-flops legally close sequential loops.
+        let mut d = rng.range(pool.len());
+        if pool[d] == q {
+            d = (d + 1) % pool.len();
+        }
+        match defect(rng) {
+            Some(0) => text.push_str(&format!("{q} = DFF({q})\n")), // self-feed
+            Some(1) => text.push_str(&format!("{q} = DFF()\n")),    // zero-input
+            Some(2) => text.push_str(&format!("{q} = DFF({}\n", pool[d])), // unterminated
+            _ => {
+                used[d] = true;
+                text.push_str(&format!("{q} = DFF({})\n", pool[d]));
+            }
+        }
+    }
+
+    for k in 0..n_gate {
+        let g = name("g", k);
+        let kind = GATE_KINDS[rng.range(GATE_KINDS.len())];
+        let arity = if kind == "BUF" || kind == "NOT" {
+            1
+        } else {
+            1 + rng.range(3)
+        };
+        // Fanin from inputs, flip-flops and *earlier* gates only, so the
+        // combinational core is acyclic by construction.
+        let horizon = n_in + n_ff + k;
+        let mut fanin = Vec::new();
+        for _ in 0..arity {
+            let idx = rng.range(horizon.max(1));
+            used[idx] = true;
+            fanin.push(pool[idx].clone());
+        }
+        match defect(rng) {
+            Some(0) => text.push_str(&format!("{g} = {kind}()\n")),
+            Some(1) => {
+                text.push_str(&format!("{g} = {kind}({})\n", fanin.join(", ")).replace(')', ""))
+            }
+            Some(2) => text.push_str(&format!("{g} = {kind}(phantom{k})\n")),
+            Some(3) => {
+                // Duplicate definition of an existing name.
+                let dup = pool[rng.range(n_in + n_ff + k)].clone();
+                text.push_str(&format!("{dup} = {kind}({})\n", fanin.join(", ")));
+            }
+            Some(4) => text.push_str(&format!("caf\u{e9}{k} = {kind}({})\n", fanin.join(", "))),
+            Some(5) => text.push_str(&format!("{g} {kind}({})\n", fanin.join(", "))),
+            Some(6) => text.push_str(&format!("{g} = MAJ3({})\n", fanin.join(", "))),
+            _ => text.push_str(&format!("{g} = {kind}({})\n", fanin.join(", "))),
+        }
+    }
+
+    // Observe every sink (signals nothing consumed) so valid-mode circuits
+    // pass dangling-logic lint checks; defect mode may double-declare one.
+    let mut any = false;
+    for (idx, name) in pool.iter().enumerate().skip(n_in) {
+        if !used[idx] {
+            text.push_str(&format!("OUTPUT({name})\n"));
+            any = true;
+        }
+    }
+    if !any {
+        text.push_str(&format!("OUTPUT({})\n", pool[pool.len() - 1]));
+    }
+    if defects && rng.chance(32) {
+        let target = pool[rng.range(pool.len())].clone();
+        text.push_str(&format!("OUTPUT({target})\nOUTPUT({target})\n"));
+    }
+    text
+}
+
+/// Applies a short seed-driven burst of line- and character-level edits.
+pub fn mutate(base: &str, rng: &mut FuzzRng) -> String {
+    let mut text = base.to_string();
+    for _ in 0..1 + rng.range(4) {
+        text = mutate_once(&text, rng);
+    }
+    text
+}
+
+fn mutate_once(text: &str, rng: &mut FuzzRng) -> String {
+    match rng.range(6) {
+        // Truncate at an arbitrary character boundary.
+        0 => {
+            let chars: Vec<char> = text.chars().collect();
+            let cut = rng.range(chars.len() + 1);
+            chars[..cut].iter().collect()
+        }
+        // Delete one line.
+        1 => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                lines.remove(rng.range(lines.len()));
+            }
+            join_lines(&lines)
+        }
+        // Duplicate one line (re-declarations, duplicate outputs, …).
+        2 => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if !lines.is_empty() {
+                let at = rng.range(lines.len());
+                lines.insert(at, lines[at]);
+            }
+            join_lines(&lines)
+        }
+        // Overwrite one character with seed-chosen printable ASCII.
+        3 => {
+            let mut chars: Vec<char> = text.chars().collect();
+            if !chars.is_empty() {
+                let at = rng.range(chars.len());
+                chars[at] = char::from(b' ' + (rng.byte() % 95));
+            }
+            chars.into_iter().collect()
+        }
+        // Insert a non-ASCII character.
+        4 => {
+            let mut chars: Vec<char> = text.chars().collect();
+            let at = rng.range(chars.len() + 1);
+            let c = ['\u{e9}', '\u{201c}', '\u{200b}', '\u{0430}'][rng.range(4)];
+            chars.insert(at, c);
+            chars.into_iter().collect()
+        }
+        // Swap two lines (forward references, order-dependent defects).
+        _ => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.len() >= 2 {
+                let a = rng.range(lines.len());
+                let b = rng.range(lines.len());
+                lines.swap(a, b);
+            }
+            join_lines(&lines)
+        }
+    }
+}
+
+fn join_lines(lines: &[&str]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_mode_always_parses() {
+        // Valid-leaning grammar output must parse for any seed prefix.
+        for len in 0..48usize {
+            let seed: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            let mut rng = FuzzRng::new(&seed);
+            let text = grammar_bench(&mut rng, false);
+            bench::parse("gen", &text).expect(&text);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let seed: Vec<u8> = (0..64u8).collect();
+        let a = grammar_bench(&mut FuzzRng::new(&seed), true);
+        let b = grammar_bench(&mut FuzzRng::new(&seed), true);
+        assert_eq!(a, b);
+        let base = &base_texts()[0];
+        let m1 = mutate(base, &mut FuzzRng::new(&seed));
+        let m2 = mutate(base, &mut FuzzRng::new(&seed));
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic structured fuzzing of every TVS input surface.
+//!
+//! Every byte the toolkit accepts from outside — `.bench` netlist text, the
+//! length-prefixed JSON wire frames of the serve/fleet protocol, `.tvsnap`
+//! checkpoint text — flows through a parser whose contract is "typed error
+//! or success, never a panic". This crate checks that contract the way the
+//! clvm_rs exemplar does: a [`FuzzRng`] derives structured inputs
+//! deterministically from a seed **byte string**, so every failure is a
+//! replayable seed, and minimized seeds live in `crates/fuzz/corpus/` where
+//! a regression test replays them on every `cargo test`.
+//!
+//! Four targets, each a pure function `fn(seed: &[u8]) -> Outcome`:
+//!
+//! | target     | surface |
+//! |------------|---------|
+//! | `bench`    | `.bench` parser: grammar synthesis, near-valid mutations of cached profiles, raw noise; round-trips every accepted netlist |
+//! | `frame`    | wire framing + JSON + version/config decoding (the serve *and* fleet entry path) |
+//! | `snapshot` | `.tvsnap` parse, round-trip, and the engine's resume validation |
+//! | `e2e`      | whole random netlists through lint → run → checkpoint → resume, byte-comparing reports at 1 and 4 threads |
+//!
+//! The harness ([`check`]) runs a target **twice** per seed under
+//! `catch_unwind`: a panic, a contract violation reported by the target
+//! itself, or any divergence between the two runs is a [`FuzzFailure`]
+//! carrying the seed in replayable hex form. `tvs fuzz` drives bounded
+//! deterministic rounds of this harness from a fixed seed schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod rng;
+mod seeds;
+mod targets;
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use rng::FuzzRng;
+pub use seeds::{parse_seed_text, schedule_seed, seed_to_hex};
+
+/// What a fuzz target observed for one seed. `Ok` and `TypedError` both
+/// satisfy the target contract; `Violation` is the target reporting a broken
+/// invariant in-band (round-trip mismatch, thread divergence) — the harness
+/// treats it like a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The input was accepted; the string is a deterministic digest of what
+    /// was produced (used for the double-run determinism compare).
+    Ok(String),
+    /// The input was rejected with a typed error, rendered.
+    TypedError(String),
+    /// The target detected a broken invariant on an *accepted* input.
+    Violation(String),
+}
+
+impl Outcome {
+    /// One-line rendering for logs and determinism comparison.
+    pub fn describe(&self) -> String {
+        match self {
+            Outcome::Ok(d) => format!("ok: {d}"),
+            Outcome::TypedError(e) => format!("typed-error: {e}"),
+            Outcome::Violation(v) => format!("violation: {v}"),
+        }
+    }
+}
+
+/// The registered fuzz target names, in the order `tvs fuzz` and the CI
+/// schedule iterate them.
+pub const TARGETS: &[&str] = &["bench", "frame", "snapshot", "e2e"];
+
+/// Runs one target once, unguarded. Returns `None` for an unknown target
+/// name.
+pub fn run_target(target: &str, seed: &[u8]) -> Option<Outcome> {
+    match target {
+        "bench" => Some(targets::bench_target(seed)),
+        "frame" => Some(targets::frame_target(seed)),
+        "snapshot" => Some(targets::snapshot_target(seed)),
+        "e2e" => Some(targets::e2e_target(seed)),
+        _ => None,
+    }
+}
+
+/// How a seed failed the harness contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzFailure {
+    /// No target is registered under this name.
+    UnknownTarget(String),
+    /// The target panicked instead of returning a typed outcome.
+    Panicked(String),
+    /// The target reported a broken invariant on an accepted input.
+    Violation(String),
+    /// Two runs over the same seed produced different outcomes.
+    NonDeterministic {
+        /// Outcome of the first run.
+        first: String,
+        /// Outcome of the second run.
+        second: String,
+    },
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzFailure::UnknownTarget(t) => write!(f, "unknown fuzz target {t:?}"),
+            FuzzFailure::Panicked(m) => write!(f, "target panicked: {m}"),
+            FuzzFailure::Violation(v) => write!(f, "invariant violation: {v}"),
+            FuzzFailure::NonDeterministic { first, second } => write!(
+                f,
+                "outcome not deterministic: first run {first:?}, second run {second:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FuzzFailure {}
+
+fn run_guarded(target: &str, seed: &[u8]) -> Result<Outcome, FuzzFailure> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_target(target, seed)))
+        .map_err(|payload| FuzzFailure::Panicked(panic_message(payload.as_ref())))?;
+    outcome.ok_or_else(|| FuzzFailure::UnknownTarget(target.to_string()))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Enforces the full harness contract for one `(target, seed)` pair: the
+/// target must return a typed outcome (no panic, no violation), and running
+/// it twice must produce byte-identical outcomes.
+pub fn check(target: &str, seed: &[u8]) -> Result<Outcome, FuzzFailure> {
+    let first = run_guarded(target, seed)?;
+    let second = run_guarded(target, seed)?;
+    if first != second {
+        return Err(FuzzFailure::NonDeterministic {
+            first: first.describe(),
+            second: second.describe(),
+        });
+    }
+    if let Outcome::Violation(v) = &first {
+        return Err(FuzzFailure::Violation(v.clone()));
+    }
+    Ok(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_targets_are_a_typed_failure() {
+        assert!(matches!(
+            check("no-such-target", &[]),
+            Err(FuzzFailure::UnknownTarget(_))
+        ));
+    }
+
+    #[test]
+    fn empty_seed_is_total_for_every_target() {
+        for target in TARGETS {
+            let outcome = check(target, &[]).expect(target);
+            assert!(!matches!(outcome, Outcome::Violation(_)), "{target}");
+        }
+    }
+}

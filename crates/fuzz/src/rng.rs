@@ -1,0 +1,131 @@
+//! The byte-seed reader every generator draws from.
+//!
+//! A [`FuzzRng`] is not a random number generator at all: it is a cursor
+//! over the caller's seed bytes. Every structural decision a generator makes
+//! consumes bytes from the front of the seed, so the seed *is* the test case
+//! — two runs over the same bytes make identical decisions, and a failing
+//! input is reported (and replayed, and minimized) as the byte string
+//! itself. Once the seed is exhausted the reader yields an endless tail of
+//! zeros, so every seed is total: short seeds simply mean "all remaining
+//! choices take the zero branch".
+
+/// A deterministic byte-string reader with a fixed all-zeros tail.
+#[derive(Debug, Clone)]
+pub struct FuzzRng<'s> {
+    seed: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> FuzzRng<'s> {
+    /// Wraps a seed byte string.
+    pub fn new(seed: &'s [u8]) -> Self {
+        FuzzRng { seed, pos: 0 }
+    }
+
+    /// True once every seed byte has been consumed (the zero tail is live).
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.seed.len()
+    }
+
+    /// Seed bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.seed.len().saturating_sub(self.pos)
+    }
+
+    /// The next seed byte, or `0` forever after exhaustion.
+    pub fn byte(&mut self) -> u8 {
+        let b = self.seed.get(self.pos).copied().unwrap_or(0);
+        self.pos = self.pos.saturating_add(1);
+        b
+    }
+
+    /// Two seed bytes, big-endian.
+    pub fn u16(&mut self) -> u16 {
+        u16::from(self.byte()) << 8 | u16::from(self.byte())
+    }
+
+    /// Four seed bytes, big-endian.
+    pub fn u32(&mut self) -> u32 {
+        u32::from(self.u16()) << 16 | u32::from(self.u16())
+    }
+
+    /// Eight seed bytes, big-endian.
+    pub fn u64(&mut self) -> u64 {
+        u64::from(self.u32()) << 32 | u64::from(self.u32())
+    }
+
+    /// A value in `0..n` (`0` when `n == 0`), from one byte for small `n`
+    /// and four bytes otherwise. The modulo bias is irrelevant here — the
+    /// mapping only needs to be deterministic and to reach every branch.
+    pub fn range(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        if n <= usize::from(u8::MAX) {
+            usize::from(self.byte()) % n
+        } else {
+            self.u32() as usize % n
+        }
+    }
+
+    /// True with probability `p/256` (one byte consumed).
+    pub fn chance(&mut self, p: u8) -> bool {
+        self.byte() < p
+    }
+
+    /// Up to `n` raw bytes; stops early at seed exhaustion so garbage
+    /// payloads shrink with the seed instead of padding out with zeros.
+    pub fn take(&mut self, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            if self.exhausted() {
+                break;
+            }
+            out.push(self.byte());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_yields_fixed_zero_tail() {
+        let mut r = FuzzRng::new(&[7]);
+        assert_eq!(r.byte(), 7);
+        assert!(r.exhausted());
+        assert_eq!(r.byte(), 0);
+        assert_eq!(r.u64(), 0);
+        assert_eq!(r.range(13), 0);
+        assert!(!r.chance(0));
+    }
+
+    #[test]
+    fn every_draw_is_a_pure_function_of_the_seed() {
+        let seed = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let mut a = FuzzRng::new(&seed);
+        let mut b = FuzzRng::new(&seed);
+        assert_eq!(a.u16(), b.u16());
+        assert_eq!(a.range(300), b.range(300));
+        assert_eq!(a.take(8), b.take(8));
+    }
+
+    #[test]
+    fn range_is_always_in_bounds() {
+        let seed: Vec<u8> = (0..=255).collect();
+        let mut r = FuzzRng::new(&seed);
+        for n in 1..60usize {
+            assert!(r.range(n) < n);
+        }
+        assert_eq!(r.range(0), 0);
+    }
+
+    #[test]
+    fn take_stops_at_exhaustion() {
+        let mut r = FuzzRng::new(&[1, 2, 3]);
+        assert_eq!(r.take(10), vec![1, 2, 3]);
+        assert!(r.take(4).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Seed encoding and the CI schedule.
+//!
+//! Seeds travel as hex text: a corpus file is hex bytes with free
+//! whitespace, `#`-to-end-of-line comments, and an optional
+//! `# expect: <substring>` marker the corpus replay test asserts against the
+//! outcome. The CI schedule derives round seeds from a fixed base with
+//! SplitMix64 (the same seeder the engine PRNG uses), so the whole fuzz
+//! stage is one deterministic function of `(base, rounds)`.
+
+use tvs_logic::SplitMix64;
+
+/// Renders a seed as lowercase hex, the replayable form printed on failure.
+pub fn seed_to_hex(seed: &[u8]) -> String {
+    if seed.is_empty() {
+        return "(empty)".to_string();
+    }
+    let mut out = String::with_capacity(seed.len() * 2);
+    for b in seed {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Parses corpus seed text: hex bytes with arbitrary whitespace and `#`
+/// comments. `(empty)` (the failure-report rendering of an empty seed) and
+/// fully-commented files parse to an empty seed.
+///
+/// # Errors
+///
+/// Returns a description of the first non-hex character or a trailing odd
+/// nibble.
+pub fn parse_seed_text(text: &str) -> Result<Vec<u8>, String> {
+    let mut nibbles: Vec<u8> = Vec::new();
+    for line in text.lines() {
+        let line = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        for c in line.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if line.trim() == "(empty)" {
+                break;
+            }
+            let nibble = c
+                .to_digit(16)
+                .ok_or_else(|| format!("non-hex character {c:?} in seed"))?;
+            nibbles.push(nibble as u8);
+        }
+    }
+    if !nibbles.len().is_multiple_of(2) {
+        return Err("odd number of hex digits in seed".to_string());
+    }
+    Ok(nibbles.chunks(2).map(|p| p[0] << 4 | p[1]).collect())
+}
+
+/// The deterministic CI seed schedule: round `i` of base `b` is a byte
+/// string of seed-derived length (1–96 bytes) drawn from
+/// `SplitMix64(b XOR f(i))`. Varying lengths matter — the zero tail after
+/// exhaustion is exactly the "short seed" behaviour the generators must
+/// stay total under.
+pub fn schedule_seed(base: u64, round: u64) -> Vec<u8> {
+    let mut sm = SplitMix64::new(base ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let len = 1 + (sm.next_u64() % 96) as usize;
+    let mut seed = Vec::with_capacity(len);
+    while seed.len() < len {
+        for b in sm.next_u64().to_be_bytes() {
+            if seed.len() < len {
+                seed.push(b);
+            }
+        }
+    }
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let seed = vec![0x00, 0xff, 0x12, 0xab];
+        assert_eq!(parse_seed_text(&seed_to_hex(&seed)).unwrap(), seed);
+        assert_eq!(parse_seed_text("(empty)").unwrap(), Vec::<u8>::new());
+        assert_eq!(seed_to_hex(&[]), "(empty)");
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_free() {
+        let text = "# expect: typed-error\n12 ab # trailing\n  cd\n";
+        assert_eq!(parse_seed_text(text).unwrap(), vec![0x12, 0xab, 0xcd]);
+    }
+
+    #[test]
+    fn malformed_seed_text_is_typed() {
+        assert!(parse_seed_text("zz").is_err());
+        assert!(parse_seed_text("abc").is_err());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_with_varied_lengths() {
+        let a = schedule_seed(42, 7);
+        assert_eq!(a, schedule_seed(42, 7));
+        assert_ne!(a, schedule_seed(42, 8));
+        let lens: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| schedule_seed(1, i).len()).collect();
+        assert!(lens.len() > 8, "lengths vary: {lens:?}");
+    }
+}

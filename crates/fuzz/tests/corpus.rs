@@ -1,0 +1,80 @@
+//! Replays every checked-in corpus seed on every `cargo test`.
+//!
+//! Each `crates/fuzz/corpus/<target>/*.seed` file is hex bytes with `#`
+//! comments; an optional `# expect: <substring>` marker asserts against the
+//! outcome's one-line description, pinning the *category* of the typed error
+//! (not its exact wording). Every seed is run through the full harness
+//! twice, so a regression to panic, violation or nondeterminism fails here
+//! before any fuzzing runs.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tvs_fuzz::{check, parse_seed_text, TARGETS};
+
+fn corpus_dir(target: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(target)
+}
+
+/// The `# expect:` marker, if any, from a corpus file.
+fn expect_marker(text: &str) -> Option<String> {
+    text.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix("# expect:")
+            .map(|rest| rest.trim().to_string())
+    })
+}
+
+#[test]
+fn every_corpus_seed_replays_clean() {
+    let mut replayed = 0usize;
+    for target in TARGETS {
+        let dir = corpus_dir(target);
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+            .map(|entry| entry.expect("corpus dir entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "seed"))
+            .collect();
+        entries.sort();
+        assert!(
+            !entries.is_empty(),
+            "target {target} has no corpus seeds in {}",
+            dir.display()
+        );
+        for path in entries {
+            let text = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+            let seed = parse_seed_text(&text)
+                .unwrap_or_else(|e| panic!("malformed seed in {}: {e}", path.display()));
+
+            // The harness itself already runs the target twice; calling it
+            // twice more proves the whole check is replayable byte for byte.
+            let first = check(target, &seed)
+                .unwrap_or_else(|e| panic!("{} regressed: {e}", path.display()));
+            let second = check(target, &seed)
+                .unwrap_or_else(|e| panic!("{} regressed on replay: {e}", path.display()));
+            assert_eq!(
+                first.describe(),
+                second.describe(),
+                "{} is not replay-stable",
+                path.display()
+            );
+
+            if let Some(expect) = expect_marker(&text) {
+                let got = first.describe();
+                assert!(
+                    got.contains(&expect),
+                    "{}: expected outcome containing {expect:?}, got {got:?}",
+                    path.display()
+                );
+            }
+            replayed += 1;
+        }
+    }
+    assert!(
+        replayed >= 15,
+        "corpus unexpectedly small: {replayed} seeds"
+    );
+}

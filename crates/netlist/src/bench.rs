@@ -23,6 +23,7 @@
 //! # Ok::<(), tvs_netlist::NetlistError>(())
 //! ```
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
@@ -30,6 +31,9 @@ use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
 /// Parses ISCAS89 `.bench` text into a [`Netlist`].
 ///
 /// Blank lines and `#` comments are skipped. Keywords are case-insensitive.
+/// Signal identifiers must be non-empty printable ASCII without structural
+/// characters (`(`, `)`, `,`, `=`, `#`), and a signal may be declared
+/// `OUTPUT` at most once.
 ///
 /// # Errors
 ///
@@ -40,6 +44,7 @@ use crate::{GateKind, Netlist, NetlistBuilder, NetlistError};
 /// cycles) surface as the corresponding builder errors without a line.
 pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
     let mut builder = NetlistBuilder::new(name);
+    let mut outputs_seen = BTreeSet::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = match raw.find('#') {
             Some(pos) => &raw[..pos],
@@ -49,12 +54,43 @@ pub fn parse(name: &str, text: &str) -> Result<Netlist, NetlistError> {
         if line.is_empty() {
             continue;
         }
-        parse_line(&mut builder, lineno + 1, line)?;
+        parse_line(&mut builder, &mut outputs_seen, lineno + 1, line)?;
     }
     builder.build()
 }
 
-fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result<(), NetlistError> {
+/// Validates a signal identifier: non-empty printable ASCII with no
+/// whitespace and none of the characters the grammar itself uses. The
+/// grammar's own splitting means structural characters mostly cannot reach
+/// here, but rejecting them explicitly keeps the rule self-contained — and
+/// non-ASCII names are refused outright so every admitted netlist
+/// round-trips through byte-oriented tooling unchanged.
+fn check_ident(lineno: usize, name: &str, role: &str) -> Result<(), NetlistError> {
+    let bad = |message: String| NetlistError::Parse {
+        line: lineno,
+        message,
+    };
+    if name.is_empty() {
+        return Err(bad(format!("empty {role} identifier")));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|&c| !c.is_ascii_graphic() || "(),=#".contains(c))
+    {
+        return Err(bad(format!(
+            "invalid character {c:?} in {role} identifier {name:?}: \
+             identifiers are printable ASCII without `(),=#`"
+        )));
+    }
+    Ok(())
+}
+
+fn parse_line(
+    builder: &mut NetlistBuilder,
+    outputs_seen: &mut BTreeSet<String>,
+    lineno: usize,
+    line: &str,
+) -> Result<(), NetlistError> {
     let err = |message: String| NetlistError::Parse {
         line: lineno,
         message,
@@ -71,11 +107,18 @@ fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result
     };
 
     if let Some(rest) = strip_call(line, "INPUT") {
-        builder.add_input(rest.trim()).map_err(located)?;
+        let name = rest.trim();
+        check_ident(lineno, name, "input")?;
+        builder.add_input(name).map_err(located)?;
         return Ok(());
     }
     if let Some(rest) = strip_call(line, "OUTPUT") {
-        builder.mark_output(rest.trim()).map_err(located)?;
+        let name = rest.trim();
+        check_ident(lineno, name, "output")?;
+        if !outputs_seen.insert(name.to_owned()) {
+            return Err(err(format!("duplicate OUTPUT declaration for {name:?}")));
+        }
+        builder.mark_output(name).map_err(located)?;
         return Ok(());
     }
 
@@ -83,6 +126,7 @@ fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result
         .split_once('=')
         .ok_or_else(|| err(format!("expected `signal = GATE(...)`, found {line:?}")))?;
     let signal = lhs.trim();
+    check_ident(lineno, signal, "signal")?;
     let rhs = rhs.trim();
     let open = rhs
         .find('(')
@@ -98,6 +142,9 @@ fn parse_line(builder: &mut NetlistBuilder, lineno: usize, line: &str) -> Result
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
+    for arg in &args {
+        check_ident(lineno, arg, "fanin")?;
+    }
     match kind {
         GateKind::Dff => {
             if args.len() != 1 {

@@ -120,13 +120,17 @@ impl NetlistBuilder {
     }
 
     /// Marks a signal as a primary output. The signal may be defined later.
+    /// Marking the same signal twice is idempotent — outputs are a set, and
+    /// the `.bench` writer/parser pair relies on each `OUTPUT` being unique.
     ///
     /// # Errors
     ///
     /// Currently infallible; returns `Result` for future-proofing and
     /// interface symmetry.
     pub fn mark_output(&mut self, signal: &str) -> Result<(), NetlistError> {
-        self.output_names.push(signal.to_owned());
+        if !self.output_names.iter().any(|n| n == signal) {
+            self.output_names.push(signal.to_owned());
+        }
         Ok(())
     }
 

@@ -90,6 +90,84 @@ fn undefined_signal_is_typed_but_file_scoped() {
 }
 
 #[test]
+fn duplicate_output_declaration_carries_the_line() {
+    // Found by the bench fuzz target: two `OUTPUT(y)` lines used to produce
+    // a netlist with two identical primary outputs, silently inflating the
+    // PO count on round-trip.
+    let e = parse("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n").unwrap_err();
+    match e {
+        NetlistError::Parse { line, ref message } => {
+            assert_eq!(line, 3, "the second declaration is the defect");
+            assert!(message.contains("duplicate OUTPUT"), "{message}");
+        }
+        other => panic!("expected a located parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unterminated_paren_carries_the_line() {
+    let e = parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a\n").unwrap_err();
+    match e {
+        NetlistError::Parse { line, ref message } => {
+            assert_eq!(line, 3);
+            assert!(message.contains(')'), "points at the paren: {message}");
+        }
+        other => panic!("expected a located parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_ascii_identifiers_are_rejected_with_a_line() {
+    // Smart quotes, accents and zero-width characters are all refused so an
+    // admitted netlist survives byte-oriented tooling unchanged.
+    for (text, line) in [
+        ("INPUT(caf\u{e9})\n", 1),
+        ("INPUT(a)\nOUTPUT(\u{201c}y\u{201d})\n", 2),
+        ("INPUT(a)\ny\u{200b} = NOT(a)\n", 2),
+        ("INPUT(a)\nOUTPUT(y)\ny = NOT(\u{0430})\n", 3), // Cyrillic а
+    ] {
+        let e = parse(text).unwrap_err();
+        match e {
+            NetlistError::Parse {
+                line: found,
+                ref message,
+            } => {
+                assert_eq!(found, line, "for {text:?}");
+                assert!(message.contains("identifier"), "{message}");
+            }
+            other => panic!("expected a located parse error for {text:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_identifiers_are_rejected_with_a_line() {
+    for (text, line) in [("INPUT()\n", 1), ("INPUT(a)\nOUTPUT( )\n", 2)] {
+        let e = parse(text).unwrap_err();
+        assert!(
+            matches!(e, NetlistError::Parse { line: found, .. } if found == line),
+            "for {text:?}: got {e:?}"
+        );
+    }
+}
+
+#[test]
+fn zero_input_gates_carry_the_line() {
+    for (text, line) in [
+        ("INPUT(a)\nOUTPUT(y)\ny = AND()\n", 3),
+        ("INPUT(a)\nOUTPUT(y)\ny = NOT()\n", 3),
+        ("y = DFF()\n", 1),
+        ("INPUT(a)\ny = OR(,)\n", 2),
+    ] {
+        let e = parse(text).unwrap_err();
+        assert!(
+            matches!(e, NetlistError::Parse { line: found, .. } if found == line),
+            "for {text:?}: got {e:?}"
+        );
+    }
+}
+
+#[test]
 fn corpus_never_panics() {
     // A grab-bag of hostile inputs: each must return *some* Err, never abort.
     let corpus = [

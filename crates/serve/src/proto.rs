@@ -90,6 +90,12 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> Result<(), ProtoError> 
 /// frame from a stuck peer cannot pin a connection thread forever.
 const MAX_STALL_READS: usize = 1200;
 
+/// Bound on length-line digits. [`MAX_FRAME`] needs 8; anything past this is
+/// a peer streaming leading zeros (the only way to grow the digit count
+/// without tripping the cap), which would otherwise let it pin the
+/// connection in the length loop indefinitely.
+const MAX_LENGTH_DIGITS: usize = 20;
+
 /// True for the error kinds a socket read timeout produces.
 fn is_timeout(e: &io::Error) -> bool {
     matches!(
@@ -138,6 +144,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtoError> {
                         announced: usize::MAX,
                     })?;
                 digits += 1;
+                if digits > MAX_LENGTH_DIGITS {
+                    return Err(ProtoError::Malformed("length line too long".into()));
+                }
                 if len > MAX_FRAME {
                     return Err(ProtoError::Oversize { announced: len });
                 }
@@ -211,5 +220,36 @@ mod tests {
             read_frame(&mut Cursor::new(b"10\nshort\n".to_vec())),
             Err(ProtoError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_typed() {
+        // EOF while the length line is still being read — must be a typed
+        // Malformed, never a hang or a panic.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"12".to_vec())),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"123456".to_vec())),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn leading_zero_streams_are_bounded() {
+        // A peer streaming zeros never grows `len`, so only the digit bound
+        // stops it; 21 zeros must already be rejected.
+        let zeros = vec![b'0'; 21];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(zeros)),
+            Err(ProtoError::Malformed(_))
+        ));
+        // While a zero-padded but in-cap length still parses.
+        let padded = b"017\n{\"op\":\"shutdown\"}\n".to_vec();
+        assert_eq!(
+            read_frame(&mut Cursor::new(padded)).unwrap().as_deref(),
+            Some("{\"op\":\"shutdown\"}")
+        );
     }
 }

@@ -293,7 +293,7 @@ impl Snapshot {
 
         let (line, text) = next("window")?;
         let wn = parse_num(line, Some(field(line, text, "window")?), "window count")? as usize;
-        let mut window = Vec::with_capacity(wn);
+        let mut window = Vec::with_capacity(cap_alloc(wn));
         for _ in 0..wn {
             let (line, text) = next("window entry")?;
             let mut it = field(line, text, "w")?.split(' ');
@@ -318,7 +318,7 @@ impl Snapshot {
 
         let (line, text) = next("cycles")?;
         let cn = parse_num(line, Some(field(line, text, "cycles")?), "cycle count")? as usize;
-        let mut cycles = Vec::with_capacity(cn);
+        let mut cycles = Vec::with_capacity(cap_alloc(cn));
         for _ in 0..cn {
             let (line, text) = next("cycle entry")?;
             let mut it = field(line, text, "c")?.split(' ');
@@ -347,7 +347,7 @@ impl Snapshot {
 
         let (line, text) = next("faults")?;
         let fn_ = parse_num(line, Some(field(line, text, "faults")?), "fault count")? as usize;
-        let mut fault_entries = Vec::with_capacity(fn_);
+        let mut fault_entries = Vec::with_capacity(cap_alloc(fn_));
         for _ in 0..fn_ {
             let (line, text) = next("fault entry")?;
             let rest = field(line, text, "f")?;
@@ -389,6 +389,17 @@ impl Snapshot {
             failed_targets,
         })
     }
+}
+
+/// Caps a section count before it is used as an allocation hint. The counts
+/// come from the snapshot text itself, and the checksum only proves the file
+/// is self-consistent, not honest — a forged `cycles 18446744073709551615`
+/// line must not abort the process inside `Vec::with_capacity`. Real entries
+/// still accumulate correctly past the hint (`push` grows), and a count
+/// larger than the remaining lines fails the per-entry `next()` reads with a
+/// typed parse error.
+fn cap_alloc(n: usize) -> usize {
+    n.min(4096)
 }
 
 fn index_line(key: &str, indices: &[usize]) -> String {

@@ -15,6 +15,8 @@
 //!                                            content-addressed artifact cache
 //! tvs fleet   --listen ADDR --workers a,b,…  sharded coordinator over several
 //!                                            serve daemons with health checks
+//! tvs fuzz    --target <t> [options]         deterministic structured fuzzing
+//!                                            of the toolkit's input surfaces
 //! ```
 //!
 //! Stitch options: `--vxor`, `--hxor <g>`, `--fixed <k>`,
@@ -23,7 +25,7 @@
 //!
 //! Every failure maps to a [`TvsError`] and its structured exit code
 //! (2 usage, 3 malformed input, 4 engine, 5 snapshot, 6 I/O, 7 lint,
-//! 8 serve, 9 fleet); exit code 1 stays reserved for panics.
+//! 8 serve, 9 fleet, 10 fuzz); exit code 1 stays reserved for panics.
 
 use std::fs;
 use std::process::ExitCode;
@@ -65,6 +67,7 @@ fn run() -> Result<(), TvsError> {
         "lint" => lint(&args[1..]),
         "serve" => serve(&args[1..]),
         "fleet" => fleet(&args[1..]),
+        "fuzz" => fuzz(&args[1..]),
         _ => {
             print!("{USAGE}");
             Ok(())
@@ -88,6 +91,8 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
   tvs serve   --listen ADDR [options]      batching compression daemon
   tvs fleet   --listen ADDR --workers a,b  sharded coordinator over several
                                            serve daemons
+  tvs fuzz    --target <t> [options]       deterministic structured fuzzing of
+                                           the toolkit's input surfaces
 
 lint options:
   --profiles           analyze every built-in circuit profile
@@ -143,8 +148,15 @@ fleet options:
   --fail-threshold <n>       consecutive probe failures that mark a worker
                              dead (default: 2)
 
+fuzz options:
+  --target <t>      bench | frame | snapshot | e2e | all   (required)
+  --rounds <n>      schedule-driven rounds per target (default: 256)
+  --base-seed <n>   base of the deterministic seed schedule (default: 5707716)
+  --seed-hex <hex>  replay one seed given as hex bytes (overrides --rounds)
+  --seed-file <f>   replay one corpus seed file (hex with # comments)
+
 exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io ·
-7 lint · 8 serve · 9 fleet (1 stays reserved for panics)
+7 lint · 8 serve · 9 fleet · 10 fuzz (1 stays reserved for panics)
 ";
 
 fn load(path: &str) -> Result<Netlist, TvsError> {
@@ -510,6 +522,124 @@ fn fleet(args: &[String]) -> Result<(), TvsError> {
     );
     coordinator.run()?;
     println!("tvs-fleet: drained, exiting");
+    Ok(())
+}
+
+fn fuzz(args: &[String]) -> Result<(), TvsError> {
+    let mut target: Option<String> = None;
+    let mut rounds: u64 = 256;
+    let mut base_seed: u64 = 0x5717C4;
+    let mut seed_file: Option<String> = None;
+    let mut seed_hex: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" => {
+                target = Some(need(args, i + 1, "target name")?.to_owned());
+                i += 1;
+            }
+            "--rounds" => {
+                rounds = parse_value(args, i + 1, "round count")?;
+                i += 1;
+            }
+            "--base-seed" => {
+                base_seed = parse_value(args, i + 1, "base seed")?;
+                i += 1;
+            }
+            "--seed-file" => {
+                seed_file = Some(need(args, i + 1, "seed file path")?.to_owned());
+                i += 1;
+            }
+            "--seed-hex" => {
+                seed_hex = Some(need(args, i + 1, "seed hex")?.to_owned());
+                i += 1;
+            }
+            other => return Err(TvsError::usage(format!("unknown fuzz option {other:?}"))),
+        }
+        i += 1;
+    }
+    let target = target.ok_or_else(|| {
+        TvsError::usage("fuzz requires --target (bench, frame, snapshot, e2e or all)")
+    })?;
+    let targets: Vec<&str> = if target == "all" {
+        tvs::fuzz::TARGETS.to_vec()
+    } else {
+        match tvs::fuzz::TARGETS.iter().find(|t| **t == target) {
+            Some(t) => vec![t],
+            None => {
+                return Err(TvsError::usage(format!(
+                    "unknown fuzz target {target:?} (bench, frame, snapshot, e2e, all)"
+                )))
+            }
+        }
+    };
+    let replay_seed = match (&seed_file, &seed_hex) {
+        (Some(_), Some(_)) => {
+            return Err(TvsError::usage("--seed-file and --seed-hex are exclusive"))
+        }
+        (Some(path), None) => {
+            let text = fs::read_to_string(path).map_err(|e| TvsError::io(path, e))?;
+            Some(tvs::fuzz::parse_seed_text(&text).map_err(TvsError::usage)?)
+        }
+        (None, Some(hex)) => Some(tvs::fuzz::parse_seed_text(hex).map_err(TvsError::usage)?),
+        (None, None) => None,
+    };
+
+    // The harness catches target panics, but the default panic hook would
+    // still print a backtrace for each one; keep the loop quiet and restore
+    // the hook afterwards so a genuine driver panic stays visible.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = fuzz_drive(&targets, replay_seed, rounds, base_seed);
+    std::panic::set_hook(saved_hook);
+    result
+}
+
+/// The fuzz loop proper: replay one seed, or drive `rounds` schedule seeds
+/// per target. Any harness-contract failure prints the seed in replayable
+/// form and exits with code 10.
+fn fuzz_drive(
+    targets: &[&str],
+    replay_seed: Option<Vec<u8>>,
+    rounds: u64,
+    base_seed: u64,
+) -> Result<(), TvsError> {
+    use tvs::fuzz::{check, schedule_seed, seed_to_hex, Outcome};
+
+    if let Some(seed) = replay_seed {
+        for t in targets {
+            match check(t, &seed) {
+                Ok(outcome) => println!("{t}: {}", outcome.describe()),
+                Err(failure) => {
+                    eprintln!("{t}: seed {} failed", seed_to_hex(&seed));
+                    return Err(failure.into());
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    for t in targets {
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for round in 0..rounds {
+            let seed = schedule_seed(base_seed, round);
+            match check(t, &seed) {
+                Ok(Outcome::Ok(_)) => accepted += 1,
+                Ok(_) => rejected += 1,
+                Err(failure) => {
+                    let hex = seed_to_hex(&seed);
+                    eprintln!("fuzz failure: target={t} round={round} seed={hex}");
+                    eprintln!("replay with: tvs fuzz --target {t} --seed-hex {hex}");
+                    return Err(failure.into());
+                }
+            }
+        }
+        println!(
+            "{t}: {rounds} rounds (base seed {base_seed}) · {accepted} accepted · \
+             {rejected} typed-error · 0 contract failures"
+        );
+    }
     Ok(())
 }
 

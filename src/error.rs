@@ -15,6 +15,7 @@
 //! | 7 | [`Lint`](TvsError::Lint) | deny-level diagnostics found |
 //! | 8 | [`Serve`](TvsError::Serve) | the compression service or its client failed |
 //! | 9 | [`Fleet`](TvsError::Fleet) | the fleet coordinator failed (no live workers, abandoned job) |
+//! | 10 | [`Fuzz`](TvsError::Fuzz) | a fuzz target broke its contract (panic, violation, nondeterminism) |
 //!
 //! Exit code 1 stays reserved for panics (which the library layers avoid by
 //! construction — see the SRC005 lint) so an abort is distinguishable from
@@ -27,6 +28,7 @@ use tvs_ate::ParseProgramError;
 use tvs_atpg::AtpgOutcome;
 use tvs_fault::FaultError;
 use tvs_fleet::FleetError;
+use tvs_fuzz::FuzzFailure;
 use tvs_netlist::NetlistError;
 use tvs_serve::ServeError;
 use tvs_stitch::{SnapshotError, StitchError};
@@ -63,6 +65,9 @@ pub enum TvsError {
     Serve(ServeError),
     /// The fleet coordinator failed (no live workers, abandoned job).
     Fleet(FleetError),
+    /// A fuzz target broke its harness contract: the offending seed is in
+    /// the message in replayable hex form.
+    Fuzz(FuzzFailure),
 }
 
 impl TvsError {
@@ -78,6 +83,7 @@ impl TvsError {
             TvsError::Lint(_) => 7,
             TvsError::Serve(_) => 8,
             TvsError::Fleet(_) => 9,
+            TvsError::Fuzz(_) => 10,
         }
     }
 
@@ -109,6 +115,7 @@ impl fmt::Display for TvsError {
             TvsError::Lint(m) => write!(f, "lint: {m}"),
             TvsError::Serve(e) => write!(f, "serve: {e}"),
             TvsError::Fleet(e) => write!(f, "fleet: {e}"),
+            TvsError::Fuzz(e) => write!(f, "fuzz: {e}"),
         }
     }
 }
@@ -125,6 +132,7 @@ impl Error for TvsError {
             TvsError::Io { source, .. } => Some(source),
             TvsError::Serve(e) => Some(e),
             TvsError::Fleet(e) => Some(e),
+            TvsError::Fuzz(e) => Some(e),
             TvsError::Usage(_) | TvsError::Lint(_) => None,
         }
     }
@@ -183,6 +191,12 @@ impl From<FleetError> for TvsError {
     }
 }
 
+impl From<FuzzFailure> for TvsError {
+    fn from(e: FuzzFailure) -> Self {
+        TvsError::Fuzz(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +224,10 @@ mod tests {
             })
             .exit_code(),
             9
+        );
+        assert_eq!(
+            TvsError::from(FuzzFailure::Panicked("boom".into())).exit_code(),
+            10
         );
     }
 

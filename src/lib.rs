@@ -22,6 +22,7 @@
 //! | serving | [`serve`] | batching TCP daemon speaking the versioned wire protocol |
 //! | fleet | [`fleet`] | sharded coordinator: consistent hashing, health checks, retry on worker death |
 //! | static analysis | [`lint`] | IR design-rule checks + source determinism lint |
+//! | fuzzing | [`fuzz`] | deterministic structured fuzzing of every input surface |
 //!
 //! Failures from every layer funnel into the [`TvsError`] taxonomy, which
 //! also defines the CLI's structured exit codes.
@@ -54,6 +55,7 @@ pub use tvs_core as core;
 pub use tvs_exec as exec;
 pub use tvs_fault as fault;
 pub use tvs_fleet as fleet;
+pub use tvs_fuzz as fuzz;
 pub use tvs_lint as lint;
 pub use tvs_logic as logic;
 pub use tvs_netlist as netlist;

@@ -1,0 +1,219 @@
+//! Corrupt-snapshot robustness: every way a `.tvsnap` file can be damaged
+//! must surface as a typed [`SnapshotError`] — never a panic, never a hang,
+//! never a resumed run built on garbage — and the CLI must map it to exit
+//! code 5 (DESIGN.md §15).
+//!
+//! The sweeps here are systematic (every truncation point, every line
+//! dropped, forged counts at the extremes); the seed-driven `snapshot` fuzz
+//! target covers the same surface probabilistically.
+
+use std::fs;
+use std::process::Command;
+
+use tvs::circuits;
+use tvs::stitch::{
+    fnv1a, RunOptions, Snapshot, SnapshotError, StitchConfig, StitchEngine, StitchError,
+};
+
+fn config() -> StitchConfig {
+    StitchConfig {
+        seed: 17,
+        threads: 1,
+        ..StitchConfig::default()
+    }
+}
+
+/// A real mid-flight snapshot of the s444 profile, as text.
+fn real_snapshot_text() -> String {
+    let netlist = circuits::profile("s444").expect("s444 profile").build();
+    let engine = StitchEngine::new(&netlist).expect("engine");
+    let mut first: Option<Snapshot> = None;
+    let mut keep = |snap: Snapshot| {
+        if first.is_none() {
+            first = Some(snap);
+        }
+    };
+    engine
+        .run_with(
+            &config(),
+            RunOptions {
+                resume: None,
+                checkpoint_every: 4,
+                on_checkpoint: Some(&mut keep),
+                on_progress: None,
+            },
+        )
+        .expect("checkpointed run");
+    first.expect("at least one checkpoint").to_text()
+}
+
+/// Re-closes a body with a correct checksum line, so only per-line
+/// validation can reject what follows.
+fn with_fixed_checksum(body_lines: &[&str]) -> String {
+    let mut body = body_lines.join("\n");
+    body.push('\n');
+    let sum = fnv1a(body.as_bytes());
+    body.push_str(&format!("checksum {sum:016x}\n"));
+    body
+}
+
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    let text = real_snapshot_text();
+    // Cut after every line boundary: all proper prefixes must be rejected.
+    let mut cut = 0;
+    while let Some(nl) = text[cut..].find('\n') {
+        cut += nl + 1;
+        if cut == text.len() {
+            break;
+        }
+        let err = Snapshot::parse(&text[..cut]).expect_err("prefix accepted");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated | SnapshotError::Checksum { .. }
+            ),
+            "cut at byte {cut}: got {err:?}"
+        );
+    }
+    // Mid-line cuts (no trailing newline) are equally typed...
+    for cut in [1, 7, text.len() / 2] {
+        Snapshot::parse(&text[..cut]).expect_err("mid-line prefix accepted");
+    }
+    assert!(Snapshot::parse("").is_err());
+    assert!(Snapshot::parse(&text).is_ok(), "the untouched text parses");
+    // ...except losing only the final newline: the checksum body is intact,
+    // so a file with its last newline stripped (a common editor artifact)
+    // still parses.
+    assert!(Snapshot::parse(&text[..text.len() - 1]).is_ok());
+}
+
+#[test]
+fn every_dropped_line_is_a_typed_error() {
+    let text = real_snapshot_text();
+    let lines: Vec<&str> = text.lines().collect();
+    let body_len = lines.len() - 1; // the final line is the checksum
+    for drop in 0..body_len {
+        let kept: Vec<&str> = lines[..body_len]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != drop)
+            .map(|(_, l)| *l)
+            .collect();
+        let forged = with_fixed_checksum(&kept);
+        let err = Snapshot::parse(&forged).expect_err("dropped line accepted");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated | SnapshotError::Version(_) | SnapshotError::Parse { .. }
+            ),
+            "dropping line {drop} ({:?}): got {err:?}",
+            lines[drop]
+        );
+    }
+}
+
+#[test]
+fn forged_section_counts_are_typed_not_fatal() {
+    let text = real_snapshot_text();
+    let body: Vec<&str> = text.lines().collect();
+    let body = &body[..body.len() - 1];
+    // Lie each counted section up and down, including counts so large that
+    // trusting them for allocation would abort the process.
+    for section in ["window ", "cycles ", "faults "] {
+        let Some(at) = body.iter().position(|l| l.starts_with(section)) else {
+            continue;
+        };
+        for count in ["0", "1", "99999999", "18446744073709551615"] {
+            let forged_line = format!("{section}{count}");
+            let mut lines: Vec<&str> = body.to_vec();
+            lines[at] = &forged_line;
+            let forged = with_fixed_checksum(&lines);
+            match Snapshot::parse(&forged) {
+                // A lowered count can make a structurally consistent file;
+                // resume validation is the next line of defense.
+                Ok(_) => {}
+                Err(SnapshotError::Truncated | SnapshotError::Parse { .. }) => {}
+                Err(other) => panic!("{section}{count}: got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_from_tampered_state_is_typed() {
+    // Swap in a foreign config fingerprint behind a valid checksum: the
+    // file parses, but the engine must refuse to splice histories.
+    let text = real_snapshot_text();
+    let lines: Vec<&str> = text.lines().collect();
+    let body = &lines[..lines.len() - 1];
+    let at = body
+        .iter()
+        .position(|l| l.starts_with("config "))
+        .expect("config line");
+    let mut forged_lines: Vec<&str> = body.to_vec();
+    forged_lines[at] = "config 0123456789abcdef";
+    let snap = Snapshot::parse(&with_fixed_checksum(&forged_lines)).expect("parses");
+
+    let netlist = circuits::profile("s444").expect("s444 profile").build();
+    let err = StitchEngine::new(&netlist)
+        .expect("engine")
+        .run_with(
+            &config(),
+            RunOptions {
+                resume: Some(snap),
+                checkpoint_every: 0,
+                on_checkpoint: None,
+                on_progress: None,
+            },
+        )
+        .expect_err("tampered fingerprint accepted");
+    assert!(
+        matches!(err, StitchError::Snapshot(SnapshotError::Mismatch(_))),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn cli_maps_corrupt_snapshots_to_exit_code_5() {
+    let dir = std::env::temp_dir().join(format!("tvs-snapcorrupt-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    let bench = dir.join("s444.bench");
+    let snap = dir.join("bad.tvsnap");
+    let netlist = circuits::profile("s444").expect("s444 profile").build();
+    fs::write(&bench, tvs::netlist::bench::to_string(&netlist)).expect("write bench");
+
+    // A truncated file and a checksum-corrupt file both exit 5 with a
+    // snapshot-prefixed message; exit 1 would mean we panicked.
+    let full = real_snapshot_text();
+    for (name, text) in [
+        ("truncated", &full[..full.len() / 2]),
+        ("flipped", &full.replace("cursor", "cursOr")),
+    ] {
+        fs::write(&snap, text).expect("write snapshot");
+        let out = Command::new(env!("CARGO_BIN_EXE_tvs"))
+            .args([
+                "run",
+                bench.to_str().expect("utf-8 path"),
+                "--resume",
+                snap.to_str().expect("utf-8 path"),
+                "--seed",
+                "17",
+            ])
+            .output()
+            .expect("run tvs");
+        assert_eq!(
+            out.status.code(),
+            Some(5),
+            "{name}: status {:?}, stderr: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("snapshot"),
+            "{name}: stderr names the snapshot layer: {stderr}"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
