@@ -202,6 +202,21 @@ grep -q "drained, exiting" "$FLEET/fleet.log"
 wait "$SURVIVOR_PID"
 rm -rf "$FLEET"
 
+# Strategy sweep gate: run the strategies × profiles Pareto bench twice on
+# the three smallest profiles at a comfortable budget. `--gate` fails (exit
+# 11) if any strategy's coverage drops strictly below the MostFaults
+# baseline on the same profile; the cmp fails if the sweep is not
+# byte-for-byte reproducible. (The tight default budget is not gated: there,
+# prepare-heavy strategies legitimately trade coverage for budget — see
+# EXPERIMENTS.md "Strategy Pareto sweep".)
+SWEEP=$(mktemp -d)
+"$TVS" bench strategies --profiles s444,s526,s641 --budget 200000 --gate \
+  --out "$SWEEP/a.json"
+"$TVS" bench strategies --profiles s444,s526,s641 --budget 200000 --gate \
+  --out "$SWEEP/b.json"
+cmp "$SWEEP/a.json" "$SWEEP/b.json"
+rm -rf "$SWEEP"
+
 # Chaos suite: deterministic fault injection (worker panics, PODEM abort
 # storms, corrupted hidden-chain images, truncated inputs). The injection
 # sites only exist in debug builds, so this stage runs unoptimized on

@@ -1,0 +1,98 @@
+//! Standalone entry point of the strategies × profiles Pareto sweep; the
+//! `tvs bench strategies` subcommand is the canonical wrapper and takes
+//! the same options.
+//!
+//! Usage: `strategies [--out <f>] [--profiles <a,b,…>] [--budget <n>]
+//! [--scale <f>] [--threads <n>] [--gate]`
+
+use std::process::ExitCode;
+
+use tvs_bench::strategies::{coverage_regressions, sweep, to_json, SweepOpts};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, out, gate) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match sweep(&opts) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = to_json(&result);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: write {out}: {e}");
+        return ExitCode::from(6);
+    }
+    eprintln!(
+        "wrote {out}: {} profiles x {} strategies",
+        result.profiles.len(),
+        result.profiles.first().map_or(0, |p| p.rows.len())
+    );
+    if gate {
+        let regressions = coverage_regressions(&result);
+        if !regressions.is_empty() {
+            for (profile, strategy, got, baseline) in &regressions {
+                eprintln!(
+                    "coverage regression: {profile}/{strategy} {got:.4} < most {baseline:.4}"
+                );
+            }
+            return ExitCode::from(11);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+type Parsed = (SweepOpts, String, bool);
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut opts = SweepOpts::default();
+    let mut out = "BENCH_strategies.json".to_owned();
+    let mut gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", args[i]))
+        };
+        match args[i].as_str() {
+            "--out" => {
+                out = value(i)?;
+                i += 1;
+            }
+            "--profiles" => {
+                opts.profiles = value(i)?.split(',').map(str::to_owned).collect();
+                i += 1;
+            }
+            "--budget" => {
+                opts.budget = value(i)?
+                    .parse()
+                    .map_err(|_| "malformed --budget".to_owned())?;
+                i += 1;
+            }
+            "--scale" => {
+                opts.scale = value(i)?
+                    .parse()
+                    .map_err(|_| "malformed --scale".to_owned())?;
+                i += 1;
+            }
+            "--threads" => {
+                opts.threads = value(i)?
+                    .parse()
+                    .map_err(|_| "malformed --threads".to_owned())?;
+                i += 1;
+            }
+            "--gate" => gate = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok((opts, out, gate))
+}

@@ -8,15 +8,15 @@
 
 use tvs_bench::runner::{map_profiles, run_profile, threads_from_args, Scaling};
 use tvs_bench::tables::{mean, ratio, TextTable};
-use tvs_stitch::{SelectionStrategy, StitchConfig};
+use tvs_stitch::{StitchConfig, StrategyId};
 
 fn main() {
     let scaling = Scaling::from_args();
     let threads = threads_from_args();
     let strategies = [
-        ("Random", SelectionStrategy::Random),
-        ("Hardness", SelectionStrategy::Hardness),
-        ("Most-faults", SelectionStrategy::MostFaults),
+        ("Random", StrategyId::Random),
+        ("Hardness", StrategyId::Hardness),
+        ("Most-faults", StrategyId::MostFaults),
     ];
 
     println!("Table 4: selection of test vectors (m, t per strategy)\n");
@@ -31,7 +31,7 @@ fn main() {
         let mut ratios = Vec::with_capacity(6);
         for (_, strategy) in strategies.iter() {
             let cfg = StitchConfig {
-                selection: *strategy,
+                strategy: *strategy,
                 ..StitchConfig::default()
             };
             let row = run_profile(profile, &scaling, &cfg);

@@ -10,4 +10,5 @@
 
 pub mod microbench;
 pub mod runner;
+pub mod strategies;
 pub mod tables;

@@ -1,0 +1,290 @@
+//! The strategies × profiles compression/coverage sweep behind
+//! `tvs bench strategies`.
+//!
+//! Every registered strategy runs on every requested profile under one
+//! deterministic work budget, and each profile's rows are reduced to a
+//! Pareto front over (tester-memory ratio ↓, attainable fault coverage ↑).
+//! The report is rendered by hand into a canonical JSON string — fixed key
+//! order, fixed float precision, `\n` line endings — so two sweeps with the
+//! same inputs produce byte-identical files, which is exactly what the CI
+//! stage `cmp`s.
+
+use tvs_circuits::Profile;
+use tvs_stitch::{StitchConfig, StrategyId, ALL_STRATEGIES};
+
+use crate::runner::{run_profile, Scaling};
+
+/// Sweep parameters (all deterministic: no wall-clock inputs).
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Profile names to run (a subset of the 13 built-in profiles).
+    pub profiles: Vec<String>,
+    /// Deterministic work budget per (profile, strategy) run.
+    pub budget: u64,
+    /// Gate-count scaling factor handed to [`Scaling`].
+    pub scale: f64,
+    /// Worker threads per run (results are thread-count invariant).
+    pub threads: usize,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            profiles: tvs_circuits::all_profiles()
+                .iter()
+                .map(|p| p.name.to_owned())
+                .collect(),
+            budget: 20_000,
+            scale: 0.08,
+            threads: 1,
+        }
+    }
+}
+
+/// One (profile, strategy) measurement.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Strategy name as accepted by `--strategy`.
+    pub strategy: &'static str,
+    /// Attainable fault coverage reached under the budget.
+    pub coverage: f64,
+    /// Tester-memory ratio (the paper's `m`).
+    pub memory_ratio: f64,
+    /// Test-application-time ratio (the paper's `t`).
+    pub time_ratio: f64,
+    /// Stitched vectors applied (the paper's `TV`).
+    pub stitched_vectors: usize,
+    /// Fallback full-shift vectors (the paper's `ex`).
+    pub extra_vectors: usize,
+    /// Whether this row sits on the profile's Pareto front.
+    pub pareto: bool,
+}
+
+/// All rows for one profile.
+#[derive(Debug, Clone)]
+pub struct SweepProfile {
+    /// Profile name.
+    pub name: String,
+    /// Gate count actually built after scaling.
+    pub gates: usize,
+    /// One row per strategy, in [`ALL_STRATEGIES`] order.
+    pub rows: Vec<SweepRow>,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The options the sweep ran under.
+    pub opts: SweepOpts,
+    /// Per-profile measurements, in request order.
+    pub profiles: Vec<SweepProfile>,
+}
+
+/// Marks the Pareto-optimal rows: a row is dominated when some other row
+/// has coverage ≥ and memory ratio ≤ with at least one strict inequality.
+/// Ties (equal on both axes) all stay on the front, which keeps the
+/// marking order-independent and therefore deterministic.
+fn mark_pareto(rows: &mut [SweepRow]) {
+    let snapshot: Vec<(f64, f64)> = rows.iter().map(|r| (r.coverage, r.memory_ratio)).collect();
+    for (i, row) in rows.iter_mut().enumerate() {
+        let (c, m) = snapshot[i];
+        row.pareto = !snapshot
+            .iter()
+            .enumerate()
+            .any(|(j, &(oc, om))| j != i && oc >= c && om <= m && (oc > c || om < m));
+    }
+}
+
+/// Runs the sweep. Fails only on unknown profile names; engine failures on
+/// a profile are impossible by construction (every built-in profile is
+/// sequential and scan-chained).
+pub fn sweep(opts: &SweepOpts) -> Result<SweepResult, String> {
+    let mut resolved: Vec<Profile> = Vec::with_capacity(opts.profiles.len());
+    for name in &opts.profiles {
+        resolved
+            .push(tvs_circuits::profile(name).ok_or_else(|| format!("unknown profile {name:?}"))?);
+    }
+    let scaling = Scaling {
+        factor: opts.scale,
+        full: false,
+    };
+    let mut profiles = Vec::with_capacity(resolved.len());
+    for profile in &resolved {
+        let mut gates = 0;
+        let mut rows = Vec::with_capacity(ALL_STRATEGIES.len());
+        for strategy in ALL_STRATEGIES {
+            let cfg = StitchConfig {
+                strategy,
+                budget: Some(opts.budget),
+                threads: opts.threads,
+                ..StitchConfig::default()
+            };
+            let run = run_profile(profile, &scaling, &cfg);
+            gates = run.gates;
+            let m = &run.report.metrics;
+            rows.push(SweepRow {
+                strategy: strategy.name(),
+                coverage: m.fault_coverage,
+                memory_ratio: m.memory_ratio,
+                time_ratio: m.time_ratio,
+                stitched_vectors: m.stitched_vectors,
+                extra_vectors: m.extra_vectors,
+                pareto: false,
+            });
+        }
+        mark_pareto(&mut rows);
+        profiles.push(SweepProfile {
+            name: profile.name.to_owned(),
+            gates,
+            rows,
+        });
+    }
+    Ok(SweepResult {
+        opts: opts.clone(),
+        profiles,
+    })
+}
+
+/// Coverage regressions against the `MostFaults` baseline column:
+/// `(profile, strategy, coverage, baseline coverage)` for every row whose
+/// coverage falls strictly below the same profile's `most` row.
+pub fn coverage_regressions(result: &SweepResult) -> Vec<(String, &'static str, f64, f64)> {
+    let mut out = Vec::new();
+    for profile in &result.profiles {
+        let Some(baseline) = profile
+            .rows
+            .iter()
+            .find(|r| r.strategy == StrategyId::MostFaults.name())
+        else {
+            continue;
+        };
+        for row in &profile.rows {
+            if row.coverage < baseline.coverage {
+                out.push((
+                    profile.name.clone(),
+                    row.strategy,
+                    row.coverage,
+                    baseline.coverage,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the canonical byte-stable JSON document.
+///
+/// Ratios print with four decimals and counts as plain integers; the float
+/// values themselves are deterministic (the engine is bit-identical at any
+/// thread count), so the rendering is too.
+pub fn to_json(result: &SweepResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tvs-bench-strategies v1\",\n");
+    s.push_str(&format!("  \"budget\": {},\n", result.opts.budget));
+    s.push_str(&format!("  \"scale\": \"{:.4}\",\n", result.opts.scale));
+    s.push_str("  \"profiles\": [\n");
+    for (i, profile) in result.profiles.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", profile.name));
+        s.push_str(&format!("      \"gates\": {},\n", profile.gates));
+        s.push_str("      \"rows\": [\n");
+        for (j, row) in profile.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"strategy\": \"{}\", \"coverage\": {:.4}, \
+                 \"memory_ratio\": {:.4}, \"time_ratio\": {:.4}, \
+                 \"stitched_vectors\": {}, \"extra_vectors\": {}, \
+                 \"pareto\": {}}}{}\n",
+                row.strategy,
+                row.coverage,
+                row.memory_ratio,
+                row.time_ratio,
+                row.stitched_vectors,
+                row.extra_vectors,
+                row.pareto,
+                if j + 1 < profile.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ],\n");
+        let front: Vec<String> = profile
+            .rows
+            .iter()
+            .filter(|r| r.pareto)
+            .map(|r| format!("\"{}\"", r.strategy))
+            .collect();
+        s.push_str(&format!("      \"pareto\": [{}]\n", front.join(", ")));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < result.profiles.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(strategy: &'static str, coverage: f64, memory: f64) -> SweepRow {
+        SweepRow {
+            strategy,
+            coverage,
+            memory_ratio: memory,
+            time_ratio: memory,
+            stitched_vectors: 1,
+            extra_vectors: 0,
+            pareto: false,
+        }
+    }
+
+    #[test]
+    fn pareto_marking_keeps_ties_and_drops_dominated_rows() {
+        let mut rows = vec![
+            row("a", 0.99, 0.80),
+            row("b", 0.99, 0.70), // dominates a
+            row("c", 1.00, 0.90), // best coverage: on the front
+            row("d", 0.99, 0.70), // tie with b: both stay
+            row("e", 0.98, 0.95), // dominated by everything
+        ];
+        mark_pareto(&mut rows);
+        let front: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.pareto)
+            .map(|r| r.strategy)
+            .collect();
+        assert_eq!(front, ["b", "c", "d"]);
+    }
+
+    #[test]
+    fn sweep_on_one_small_profile_is_byte_stable_and_gated() {
+        let opts = SweepOpts {
+            profiles: vec!["s444".into()],
+            budget: 20_000,
+            scale: 0.08,
+            threads: 1,
+        };
+        let first = sweep(&opts).expect("sweep runs");
+        let second = sweep(&opts).expect("sweep runs");
+        assert_eq!(to_json(&first), to_json(&second), "sweep not byte-stable");
+        assert_eq!(first.profiles[0].rows.len(), ALL_STRATEGIES.len());
+        assert!(
+            first.profiles[0].rows.iter().any(|r| r.pareto),
+            "every profile has a nonempty Pareto front"
+        );
+    }
+
+    #[test]
+    fn unknown_profiles_are_rejected() {
+        let opts = SweepOpts {
+            profiles: vec!["s000".into()],
+            ..SweepOpts::default()
+        };
+        assert!(sweep(&opts).is_err());
+    }
+}

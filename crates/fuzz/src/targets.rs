@@ -105,11 +105,29 @@ fn build_request(rng: &mut FuzzRng) -> Value {
     if rng.chance(160) {
         let mut config = Vec::new();
         for _ in 0..rng.range(4) {
-            let key = ["seed", "fixed", "select", "vxor", "hxor", "budget", "bogus"][rng.range(7)]
-                .to_string();
+            let key = [
+                "seed", "fixed", "select", "vxor", "hxor", "budget", "bogus", "strategy",
+            ][rng.range(8)]
+            .to_string();
+            // The string pool mixes legacy selection names, valid strategy
+            // names, near-miss spellings (case drift, missing dash) and
+            // plain garbage: every unknown name must come back as a typed
+            // rejection, never a panic.
             let value = match rng.range(4) {
                 0 => Value::num_u64(u64::from(rng.u16())),
-                1 => Value::str(["random", "most", "sideways"][rng.range(3)]),
+                1 => Value::str(
+                    [
+                        "random",
+                        "most",
+                        "sideways",
+                        "adi",
+                        "scheme-search",
+                        "buckets",
+                        "adI",
+                        "schemesearch",
+                        "warp",
+                    ][rng.range(9)],
+                ),
                 2 => Value::Bool(rng.chance(128)),
                 _ => Value::Null,
             };
@@ -240,7 +258,7 @@ fn base_snapshot_text() -> &'static str {
             Some(s) => s.to_text(),
             // Unreachable in practice (fig1 always runs); a header-only text
             // keeps the target total without a panic path.
-            None => "tvs-snapshot v1\n".to_string(),
+            None => "tvs-snapshot v2\n".to_string(),
         }
     })
 }
@@ -338,12 +356,16 @@ pub fn snapshot_target(seed: &[u8]) -> Outcome {
         // Synthetic from fragments.
         _ => {
             let fragments = [
-                "tvs-snapshot v1",
+                "tvs-snapshot v2",
+                "tvs-snapshot v1", // the pre-strategy format: foreign now
                 "tvs-snapshot v9",
                 "circuit 3 3 8 fig1",
                 "config 0000000000000000",
                 "rng 1 2 3 4",
                 "budget-spent 7",
+                "strategy-cursor 2",
+                "strategy-cursor 18446744073709551615",
+                "sc 7",
                 "cursor 2 0",
                 "window 18446744073709551615",
                 "cycles 18446744073709551615",

@@ -21,6 +21,8 @@
 //! | SP003 | deny     | shift count out of the `0 < k <= L` window           |
 //! | SP004 | deny     | final flush longer than the chain                    |
 //! | SP005 | deny     | ex-vectors emitted before constrained-ATPG exhaustion|
+//! | SP008 | deny     | stitched shift schedule shrinks after the opening    |
+//! |       |          | full shift (breaks eager caught-classification)      |
 
 use crate::diag::{has_deny, render_text, Diagnostic, Severity, Site};
 use crate::graph::{IrGraph, IrKind, ProgramSpec};
@@ -453,6 +455,25 @@ pub fn analyze_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
             ),
         ));
     }
+    // SP008: after the opening full shift, the stitched shift sizes must
+    // be non-decreasing. Monotone growth is what makes the engine's eager
+    // caught-classification sound — a later cycle always exposes at least
+    // as much of the retained response window — so a strategy-emitted
+    // schedule that shrinks is a soundness defect, not a style choice.
+    for i in 2..spec.shifts.len() {
+        if spec.shifts[i] < spec.shifts[i - 1] {
+            diags.push(Diagnostic::new(
+                "SP008",
+                Severity::Deny,
+                Site::Cycle(i),
+                format!(
+                    "shift count k={} shrinks below the previous cycle's k={}",
+                    spec.shifts[i],
+                    spec.shifts[i - 1]
+                ),
+            ));
+        }
+    }
     if spec.extra_vectors > 0 && spec.uncaught_at_fallback == 0 {
         diags.push(Diagnostic::new(
             "SP005",
@@ -623,5 +644,32 @@ mod tests {
             uncaught_at_fallback: 3,
         };
         assert!(analyze_program(&good).is_empty());
+    }
+
+    #[test]
+    fn sp008_rejects_a_shrinking_shift_schedule() {
+        let shrinking = ProgramSpec {
+            scan_len: 8,
+            shifts: vec![8, 2, 4, 3, 5],
+            final_flush: 8,
+            extra_vectors: 0,
+            uncaught_at_fallback: 0,
+        };
+        let d = analyze_program(&shrinking);
+        let sp008: Vec<_> = d.iter().filter(|d| d.code == "SP008").collect();
+        assert_eq!(sp008.len(), 1);
+        assert_eq!(sp008[0].site, Site::Cycle(3));
+        assert!(sp008[0].message.contains("k=3"));
+
+        // The drop from the opening full shift down to the first stitched
+        // k is the whole point of stitching, never a finding.
+        let opening_drop = ProgramSpec {
+            scan_len: 8,
+            shifts: vec![8, 1, 1, 2, 4, 8],
+            final_flush: 8,
+            extra_vectors: 0,
+            uncaught_at_fallback: 0,
+        };
+        assert!(analyze_program(&opening_drop).is_empty());
     }
 }

@@ -142,10 +142,11 @@ fn non_flop_in_chain_is_ch004() {
 
 #[test]
 fn oversized_shift_is_sp003() {
-    // k > L in the middle of the program.
+    // k > L past the opening shift (kept non-shrinking so SP003 is the
+    // only finding; a shrink would add SP008).
     let spec = ProgramSpec {
         scan_len: 8,
-        shifts: vec![8, 9, 3],
+        shifts: vec![8, 9, 9],
         final_flush: 8,
         extra_vectors: 0,
         uncaught_at_fallback: 0,

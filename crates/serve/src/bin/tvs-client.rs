@@ -11,7 +11,7 @@
 //! tvs-client --addr HOST:PORT shutdown
 //! ```
 //!
-//! Stitch options mirror `tvs run`: `--seed N`, `--fixed K`, `--select S`,
+//! Stitch options mirror `tvs run`: `--seed N`, `--fixed K`, `--strategy S`,
 //! `--vxor`, `--hxor G`, `--budget N`, `--threads N`.
 //!
 //! Exit codes: 0 success, 2 usage, 8 any server/transport error. Server
@@ -45,7 +45,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   tvs-client --addr HOST:PORT submit [--wait] [--fetch [--out FILE]]
-             [--name N] [--seed N] [--fixed K] [--select S] [--vxor]
+             [--name N] [--seed N] [--fixed K] [--strategy S] [--vxor]
              [--hxor G] [--budget N] [--threads N] <circuit.bench>
   tvs-client --addr HOST:PORT lint   [--name N] <circuit.bench>
   tvs-client --addr HOST:PORT status <job>
@@ -142,6 +142,7 @@ fn submit(client: &mut Client, args: &[&String]) -> Result<(), Failure> {
             "--seed" => config.push(("seed".into(), num(take("a seed")?)?)),
             "--fixed" => config.push(("fixed".into(), num(take("a shift size")?)?)),
             "--select" => config.push(("select".into(), Value::str(take("a strategy")?))),
+            "--strategy" => config.push(("strategy".into(), Value::str(take("a strategy")?))),
             "--vxor" => config.push(("vxor".into(), Value::Bool(true))),
             "--hxor" => config.push(("hxor".into(), num(take("a tap count")?)?)),
             "--budget" => config.push(("budget".into(), num(take("a budget")?)?)),

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tvs_scan::{CaptureTransform, ObserveTransform};
-use tvs_stitch::{SelectionStrategy, ShiftPolicy, StitchConfig};
+use tvs_stitch::{SelectionStrategy, ShiftPolicy, StitchConfig, StrategyId};
 
 use tvs_core::json::{self, Value};
 use tvs_core::{ArtifactStore, JobStatus, JobTable};
@@ -338,10 +338,11 @@ fn status_to_wire(status: &JobStatus) -> Value {
 }
 
 /// Builds a [`StitchConfig`] from the request's `config` object. Keys mirror
-/// the CLI's stitch options: `seed`, `fixed` (shift size), `select`, `vxor`,
-/// `hxor` (tap count), `budget`, `threads`. Absent keys keep defaults;
-/// unknown keys are rejected so typos cannot silently change a run's
-/// identity (and therefore its cache key).
+/// the CLI's stitch options: `seed`, `fixed` (shift size), `select` (legacy
+/// selection names), `strategy` (any strategy-layer name), `vxor`, `hxor`
+/// (tap count), `budget`, `threads`. Absent keys keep defaults; unknown keys
+/// — and unknown strategy names — are rejected so typos cannot silently
+/// change a run's identity (and therefore its cache key).
 pub fn config_from_wire(value: Option<&Value>) -> Result<StitchConfig, ServeError> {
     let mut config = StitchConfig::default();
     let Some(value) = value else {
@@ -366,7 +367,7 @@ pub fn config_from_wire(value: Option<&Value>) -> Result<StitchConfig, ServeErro
                 config.policy = ShiftPolicy::Fixed(k as usize);
             }
             "select" => {
-                config.selection = match v.as_str() {
+                let selection = match v.as_str() {
                     Some("random") => SelectionStrategy::Random,
                     Some("hardness") => SelectionStrategy::Hardness,
                     Some("most") => SelectionStrategy::MostFaults,
@@ -377,6 +378,12 @@ pub fn config_from_wire(value: Option<&Value>) -> Result<StitchConfig, ServeErro
                         )))
                     }
                 };
+                config.strategy = StrategyId::from_selection(selection);
+            }
+            "strategy" => {
+                let name = v.as_str().unwrap_or_default();
+                config.strategy = StrategyId::parse(name)
+                    .ok_or_else(|| ServeError::Config(format!("unknown strategy {name:?}")))?;
             }
             "vxor" => {
                 if v.as_bool()

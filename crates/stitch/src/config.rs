@@ -4,15 +4,17 @@ use tvs_atpg::{AtpgConfig, PodemConfig};
 use tvs_scan::{CaptureTransform, ObserveTransform};
 
 use crate::snapshot::fnv1a;
-use crate::{SelectionStrategy, ShiftPolicy};
+use crate::{ShiftPolicy, StrategyId};
 
 /// Configuration of a stitched test generation run.
 #[derive(Debug, Clone)]
 pub struct StitchConfig {
     /// Shift-size policy (paper §6.1).
     pub policy: ShiftPolicy,
-    /// Vector-selection strategy (paper §6.3).
-    pub selection: SelectionStrategy,
+    /// The strategy driving fault ordering, candidate scoring and the
+    /// shift schedule (paper §6.3 plus the strategy-layer additions; see
+    /// [`StrategyId`]).
+    pub strategy: StrategyId,
     /// Capture transform (paper §6.2, VXOR).
     pub capture: CaptureTransform,
     /// Observation transform (paper §6.2, HXOR).
@@ -77,7 +79,7 @@ impl Default for StitchConfig {
     fn default() -> Self {
         StitchConfig {
             policy: ShiftPolicy::default(),
-            selection: SelectionStrategy::default(),
+            strategy: StrategyId::default(),
             capture: CaptureTransform::default(),
             observe: ObserveTransform::default(),
             seed: 0x5717C4,
@@ -101,9 +103,9 @@ impl Default for StitchConfig {
 /// `budget` (a resumed run may receive a fresh allowance).
 pub(crate) fn config_fingerprint(cfg: &StitchConfig) -> u64 {
     let text = format!(
-        "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{}|{}|{:016x}|{:?}",
-        cfg.policy,
-        cfg.selection,
+        "{}|{}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{}|{}|{:016x}|{:?}",
+        cfg.policy.fingerprint_text(),
+        cfg.strategy.resolve().fingerprint_text(),
         cfg.capture,
         cfg.observe,
         cfg.seed,

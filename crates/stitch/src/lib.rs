@@ -36,15 +36,17 @@ mod select;
 mod sets;
 mod snapshot;
 mod state;
+mod strategy;
 mod vector;
 
 pub use classify::Classification;
 pub use config::StitchConfig;
 pub use engine::StitchEngine;
 pub use metrics::{CompressionMetrics, CycleRecord};
-pub use policy::ShiftPolicy;
+pub use policy::{Ratio, ShiftPolicy};
 pub use replay::{ReplayCycle, ReplayRow, ReplayTrace};
 pub use run::{RunOptions, RunProgress, StitchError, StitchReport, Termination};
 pub use select::SelectionStrategy;
 pub use sets::{FaultSets, FaultState, HiddenFault};
 pub use snapshot::{fnv1a, FaultEntry, Snapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use strategy::{Strategy, StrategyCtx, StrategyId, ALL_STRATEGIES};

@@ -1,5 +1,62 @@
 //! Shift-size policies (paper §6.1).
 
+/// An exact fraction `num / den` of the scan length.
+///
+/// Shift schedules used to carry `f64` fractions; every consumer of the
+/// schedule (config fingerprints, snapshots, strategy genomes) wants a
+/// serialization that never goes through floating point, so the schedule is
+/// now rational end to end. All arithmetic is `u128`-widened ceiling
+/// division — exact for every scan length that fits in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator (must be non-zero).
+    pub den: u64,
+}
+
+impl Ratio {
+    /// A new ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub const fn new(num: u64, den: u64) -> Ratio {
+        assert!(den != 0, "ratio denominator must be non-zero");
+        Ratio { num, den }
+    }
+
+    /// `⌈n · num / den⌉`, saturating at `usize::MAX`.
+    pub fn scale_ceil(&self, n: usize) -> usize {
+        let num = self.num as u128;
+        let den = self.den as u128;
+        let scaled = (n as u128) * num;
+        let ceiled = scaled.div_ceil(den);
+        usize::try_from(ceiled).unwrap_or(usize::MAX)
+    }
+
+    /// Whether the ratio is within `(0, 1]`.
+    pub fn is_proper(&self) -> bool {
+        self.num > 0 && self.num <= self.den
+    }
+
+    /// Whether the ratio strictly exceeds one.
+    pub fn exceeds_one(&self) -> bool {
+        self.num > self.den
+    }
+
+    /// `self >= other`, exactly (cross-multiplied in `u128`).
+    pub fn ge(&self, other: &Ratio) -> bool {
+        (self.num as u128) * (other.den as u128) >= (other.num as u128) * (self.den as u128)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
 /// How many bits are shifted per stitched cycle.
 ///
 /// * [`Fixed`](ShiftPolicy::Fixed) — a constant `k`, as in the three `info`
@@ -26,19 +83,19 @@
 pub enum ShiftPolicy {
     /// Shift exactly `k` bits every cycle.
     Fixed(usize),
-    /// Start at `max(1, ⌈L · start_fraction⌉)` and multiply by `growth`
-    /// (at least +1) whenever no new fault can be caught, up to
-    /// `⌈L · max_fraction⌉`. Beyond the cap a stitched cycle retains so
-    /// little of the previous response that a conventional (compactable)
-    /// fallback vector strictly dominates it, so exhaustion at the cap
-    /// hands the remaining faults to the fallback phase.
+    /// Start at `max(1, ⌈L · start⌉)` and multiply by `growth` (at least
+    /// +1) whenever no new fault can be caught, up to `⌈L · max⌉`. Beyond
+    /// the cap a stitched cycle retains so little of the previous response
+    /// that a conventional (compactable) fallback vector strictly dominates
+    /// it, so exhaustion at the cap hands the remaining faults to the
+    /// fallback phase.
     Variable {
         /// Initial shift size as a fraction of the scan length.
-        start_fraction: f64,
+        start: Ratio,
         /// Multiplicative growth factor applied on exhaustion.
-        growth: f64,
+        growth: Ratio,
         /// Largest shift size as a fraction of the scan length.
-        max_fraction: f64,
+        max: Ratio,
     },
 }
 
@@ -48,9 +105,9 @@ impl Default for ShiftPolicy {
     /// the paper does not specify one; see DESIGN.md §7).
     fn default() -> Self {
         ShiftPolicy::Variable {
-            start_fraction: 1.0 / 8.0,
-            growth: 2.0,
-            max_fraction: 0.5,
+            start: Ratio::new(1, 8),
+            growth: Ratio::new(2, 1),
+            max: Ratio::new(1, 2),
         }
     }
 }
@@ -72,43 +129,54 @@ impl ShiftPolicy {
                 );
                 k
             }
-            ShiftPolicy::Variable {
-                start_fraction,
-                growth,
-                max_fraction,
-            } => {
+            ShiftPolicy::Variable { start, growth, max } => {
+                assert!(start.is_proper(), "start fraction must be in (0, 1]");
+                assert!(growth.exceeds_one(), "growth factor must exceed 1");
                 assert!(
-                    start_fraction > 0.0 && start_fraction <= 1.0,
-                    "start fraction must be in (0, 1]"
+                    max.ge(&start) && max.is_proper(),
+                    "max fraction must be in [start, 1]"
                 );
-                assert!(growth > 1.0, "growth factor must exceed 1");
-                assert!(
-                    max_fraction >= start_fraction && max_fraction <= 1.0,
-                    "max fraction must be in [start_fraction, 1]"
-                );
-                ((scan_len as f64 * start_fraction).ceil() as usize).clamp(1, scan_len)
+                start.scale_ceil(scan_len).clamp(1, scan_len)
             }
         }
     }
 
     /// The next (strictly larger) shift size after exhaustion, or `None`
     /// when no escalation is possible (fixed policies never escalate; a
-    /// variable policy caps at `⌈L · max_fraction⌉`).
+    /// variable policy caps at `⌈L · max⌉`).
     pub fn escalate(&self, scan_len: usize, current: usize) -> Option<usize> {
         match *self {
             ShiftPolicy::Fixed(_) => None,
-            ShiftPolicy::Variable {
-                growth,
-                max_fraction,
-                ..
-            } => {
-                let cap = ((scan_len as f64 * max_fraction).ceil() as usize).clamp(1, scan_len);
+            ShiftPolicy::Variable { growth, max, .. } => {
+                let cap = max.scale_ceil(scan_len).clamp(1, scan_len);
                 if current >= cap {
                     None
                 } else {
-                    let grown = ((current as f64 * growth).ceil() as usize).max(current + 1);
+                    let grown = growth.scale_ceil(current).max(current + 1);
                     Some(grown.min(cap))
                 }
+            }
+        }
+    }
+
+    /// The escalation ceiling `⌈L · max⌉` (the scan length itself for fixed
+    /// policies, which never escalate past their constant).
+    pub fn cap(&self, scan_len: usize) -> usize {
+        match *self {
+            ShiftPolicy::Fixed(k) => k,
+            ShiftPolicy::Variable { max, .. } => max.scale_ceil(scan_len).clamp(1, scan_len),
+        }
+    }
+
+    /// A float-free, fingerprint-stable rendering of the policy.
+    ///
+    /// This text feeds [`config_fingerprint`](crate::StitchConfig) and
+    /// therefore the snapshot header and the serving-layer `ArtifactKey`.
+    pub fn fingerprint_text(&self) -> String {
+        match *self {
+            ShiftPolicy::Fixed(k) => format!("fixed:{k}"),
+            ShiftPolicy::Variable { start, growth, max } => {
+                format!("var:{start}:{growth}:{max}")
             }
         }
     }
@@ -123,6 +191,7 @@ mod tests {
         let p = ShiftPolicy::Fixed(5);
         assert_eq!(p.initial(20), 5);
         assert_eq!(p.escalate(20, 5), None);
+        assert_eq!(p.cap(20), 5);
     }
 
     #[test]
@@ -137,7 +206,7 @@ mod tests {
             k = next;
             seen.push(k);
         }
-        assert_eq!(k, 50, "caps at L * max_fraction");
+        assert_eq!(k, 50, "caps at L * max");
         assert!(seen.len() >= 3, "several escalation steps: {seen:?}");
     }
 
@@ -148,12 +217,59 @@ mod tests {
         assert_eq!(p.escalate(1, 1), None);
         assert_eq!(p.initial(3), 1);
         assert_eq!(p.escalate(3, 1), Some(2));
-        assert_eq!(p.escalate(3, 2), None, "cap = ceil(3 * 0.5) = 2");
+        assert_eq!(p.escalate(3, 2), None, "cap = ceil(3 / 2) = 2");
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn oversized_fixed_shift_panics() {
         ShiftPolicy::Fixed(10).initial(5);
+    }
+
+    /// The rational schedule is bit-identical to the `f64` formulas it
+    /// replaced (`(L·f).ceil()` with `f = 1/8, 2.0, 1/2`), pinned across
+    /// every scan length up to 4096 and every escalation step.
+    #[test]
+    fn rational_default_matches_the_old_float_schedule() {
+        for l in 1usize..=4096 {
+            let p = ShiftPolicy::default();
+            let old_initial = ((l as f64 * (1.0 / 8.0)).ceil() as usize).clamp(1, l);
+            let mut k = p.initial(l);
+            assert_eq!(k, old_initial, "initial at L={l}");
+            let old_cap = ((l as f64 * 0.5).ceil() as usize).clamp(1, l);
+            loop {
+                let old_next = if k >= old_cap {
+                    None
+                } else {
+                    Some((((k as f64 * 2.0).ceil() as usize).max(k + 1)).min(old_cap))
+                };
+                let next = p.escalate(l, k);
+                assert_eq!(next, old_next, "escalate at L={l}, k={k}");
+                match next {
+                    Some(n) => k = n,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_arithmetic_is_exact() {
+        assert_eq!(Ratio::new(1, 8).scale_ceil(64), 8);
+        assert_eq!(Ratio::new(1, 8).scale_ceil(100), 13);
+        assert_eq!(Ratio::new(1, 2).scale_ceil(3), 2);
+        assert_eq!(Ratio::new(2, 1).scale_ceil(13), 26);
+        assert_eq!(Ratio::new(1, 3).scale_ceil(0), 0);
+        assert!(Ratio::new(1, 2).ge(&Ratio::new(1, 8)));
+        assert!(!Ratio::new(1, 8).ge(&Ratio::new(1, 2)));
+        assert!(Ratio::new(3, 3).is_proper());
+        assert!(!Ratio::new(4, 3).is_proper());
+        assert!(Ratio::new(4, 3).exceeds_one());
+    }
+
+    #[test]
+    fn fingerprint_text_never_serializes_floats() {
+        assert_eq!(ShiftPolicy::Fixed(7).fingerprint_text(), "fixed:7");
+        assert_eq!(ShiftPolicy::default().fingerprint_text(), "var:1/8:2/1:1/2");
     }
 }

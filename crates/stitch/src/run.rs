@@ -238,7 +238,7 @@ impl StitchEngine<'_> {
                         run.sets.uncaught_count()
                     );
                 }
-                match config.policy.escalate(l, run.k) {
+                match run.escalate_shift() {
                     Some(next) => {
                         run.k = next;
                         run.stagnant = 0;

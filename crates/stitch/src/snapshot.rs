@@ -7,11 +7,13 @@
 //! snapshot is **bit-identical** to never having stopped, at any thread
 //! count — the snapshot records state, never timing.
 //!
-//! The on-disk form is a line-oriented text format (`tvs-snapshot v1`)
+//! The on-disk form is a line-oriented text format (`tvs-snapshot v2`)
 //! closed by an FNV-1a-64 checksum line, so truncated or corrupted files are
 //! rejected with a typed [`SnapshotError`] instead of resuming from garbage.
 //! Floating-point fields are stored as raw IEEE-754 bits, keeping the
-//! round-trip exact.
+//! round-trip exact. Version 2 added the `strategy-cursor` line (the
+//! pluggable strategy's persistent state); v1 files are rejected as a
+//! foreign version — their fingerprints predate the strategy layer anyway.
 //!
 //! [`StitchEngine::run_with`]: crate::StitchEngine::run_with
 
@@ -23,9 +25,9 @@ use tvs_logic::BitVec;
 use crate::CycleRecord;
 
 /// The format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
-const HEADER: &str = "tvs-snapshot v1";
+const HEADER: &str = "tvs-snapshot v2";
 
 /// Errors from parsing or validating a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +114,9 @@ pub struct Snapshot {
     pub rng: [u64; 4],
     /// Work units spent when the checkpoint was taken.
     pub budget_spent: u64,
+    /// The strategy's persistent cursor words (opaque to the snapshot
+    /// layer; strategies validate their own cursor on use).
+    pub strategy_cursor: Vec<u64>,
     /// Current shift size `k`.
     pub k: usize,
     /// Consecutive zero-catch cycles at the current shift size.
@@ -184,6 +189,10 @@ impl Snapshot {
         ));
         w(format!("budget-spent {}", self.budget_spent));
         w(format!("cursor {} {}", self.k, self.stagnant));
+        w(format!("strategy-cursor {}", self.strategy_cursor.len()));
+        for word in &self.strategy_cursor {
+            w(format!("sc {word}"));
+        }
         w(format!("window {}", self.window.len()));
         for &(caught, cost) in &self.window {
             w(format!("w {caught} {:016x}", cost.to_bits()));
@@ -291,6 +300,19 @@ impl Snapshot {
         let k = parse_num(line, it.next(), "k")? as usize;
         let stagnant = parse_num(line, it.next(), "stagnant")? as usize;
 
+        let (line, text) = next("strategy-cursor")?;
+        let scn = parse_num(
+            line,
+            Some(field(line, text, "strategy-cursor")?),
+            "strategy-cursor count",
+        )? as usize;
+        let mut strategy_cursor = Vec::with_capacity(cap_alloc(scn));
+        for _ in 0..scn {
+            let (line, text) = next("strategy-cursor entry")?;
+            let word = parse_num(line, Some(field(line, text, "sc")?), "cursor word")?;
+            strategy_cursor.push(word);
+        }
+
         let (line, text) = next("window")?;
         let wn = parse_num(line, Some(field(line, text, "window")?), "window count")? as usize;
         let mut window = Vec::with_capacity(cap_alloc(wn));
@@ -378,6 +400,7 @@ impl Snapshot {
             config_fingerprint,
             rng,
             budget_spent,
+            strategy_cursor,
             k,
             stagnant,
             window,
@@ -463,6 +486,7 @@ mod tests {
             config_fingerprint: 0xDEAD_BEEF_0BAD_F00D,
             rng: [1, 2, u64::MAX, 0x1234_5678_9ABC_DEF0],
             budget_spent: 42,
+            strategy_cursor: vec![7, 0, u64::MAX],
             k: 2,
             stagnant: 1,
             window: vec![(3, 10.25), (0, 8.5)],
@@ -529,13 +553,28 @@ mod tests {
 
     #[test]
     fn foreign_versions_are_rejected() {
-        let mut body = String::from("tvs-snapshot v9\n");
-        let sum = fnv1a(body.as_bytes());
-        body.push_str(&format!("checksum {sum:016x}\n"));
-        assert_eq!(
-            Snapshot::parse(&body).unwrap_err(),
-            SnapshotError::Version("tvs-snapshot v9".to_string())
-        );
+        for foreign in ["tvs-snapshot v9", "tvs-snapshot v1"] {
+            let mut body = format!("{foreign}\n");
+            let sum = fnv1a(body.as_bytes());
+            body.push_str(&format!("checksum {sum:016x}\n"));
+            assert_eq!(
+                Snapshot::parse(&body).unwrap_err(),
+                SnapshotError::Version(foreign.to_string())
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_huge_strategy_cursors_round_trip() {
+        let mut snap = sample();
+        snap.strategy_cursor = Vec::new();
+        let back = Snapshot::parse(&snap.to_text()).expect("empty cursor");
+        assert_eq!(back.strategy_cursor, Vec::<u64>::new());
+        // A count far past cap_alloc still parses (push grows past the
+        // clamped hint) — entries, not the count line, bound the data.
+        snap.strategy_cursor = (0..5000).map(|i| i as u64).collect();
+        let back = Snapshot::parse(&snap.to_text()).expect("big cursor");
+        assert_eq!(back.strategy_cursor.len(), 5000);
     }
 
     #[test]

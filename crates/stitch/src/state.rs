@@ -20,6 +20,7 @@ use crate::config::config_fingerprint;
 use crate::engine::StitchEngine;
 use crate::run::{StitchError, StopCause};
 use crate::snapshot::{FaultEntry, Snapshot, SnapshotError};
+use crate::strategy::StrategyCtx;
 use crate::{CycleRecord, FaultSets, FaultState, StitchConfig};
 
 /// Mutable state of one `run` invocation.
@@ -49,6 +50,9 @@ pub(crate) struct RunState<'r, 'a> {
     pub(crate) baseline: tvs_atpg::PatternSet,
     /// The run's work budget (work units, never wall clock).
     pub(crate) budget: Budget,
+    /// The strategy's persistent cursor (ADI counts, scheme genome, active
+    /// bucket, …) — opaque to the engine, checkpointed verbatim.
+    pub(crate) strategy_cursor: Vec<u64>,
     /// Current shift size.
     pub(crate) k: usize,
     /// Consecutive zero-catch cycles at the current shift size.
@@ -88,14 +92,49 @@ impl<'r, 'a> RunState<'r, 'a> {
             prescreen_aborted: Vec::new(),
             baseline,
             budget: Budget::from_limit(cfg.budget),
-            k: cfg.policy.initial(eng.chain.length()),
+            strategy_cursor: Vec::new(),
+            k: 0,
             stagnant: 0,
             select_failed: false,
             window: VecDeque::new(),
             stop: None,
         };
         state.prescreen()?;
+        // Strategy cold start: the cursor (ADI counts, scheme genome, …) is
+        // computed once against the freshly tracked fault sets, then the
+        // strategy picks the opening shift size. Legacy strategies have an
+        // empty prepare and delegate the shift to the policy, so their
+        // PRNG/budget streams — and therefore their results — are unchanged.
+        let strat = cfg.strategy.resolve();
+        let cursor = strat.prepare(&mut state.strategy_ctx());
+        state.strategy_cursor = cursor;
+        state.k = strat.initial_shift(&mut state.strategy_ctx());
         Ok(state)
+    }
+
+    /// The borrowed context strategies see. Field borrows are disjoint, so
+    /// the immutable circuit/fault views coexist with the mutable PRNG,
+    /// budget and cursor streams.
+    pub(crate) fn strategy_ctx(&mut self) -> StrategyCtx<'_> {
+        StrategyCtx {
+            netlist: self.eng.netlist,
+            view: &self.eng.view,
+            scoap: &self.scoap,
+            sets: &self.sets,
+            policy: &self.cfg.policy,
+            seed: self.cfg.seed,
+            scan_len: self.eng.chain.length(),
+            k: self.k,
+            rng: &mut self.rng,
+            budget: &mut self.budget,
+            cursor: &mut self.strategy_cursor,
+        }
+    }
+
+    /// Asks the strategy for the next (strictly larger) shift size.
+    pub(crate) fn escalate_shift(&mut self) -> Option<usize> {
+        let strat = self.cfg.strategy.resolve();
+        strat.escalate(&mut self.strategy_ctx())
     }
 
     /// Rebuilds a run's state from a checkpoint snapshot: validates that the
@@ -229,6 +268,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             prescreen_aborted,
             baseline,
             budget: Budget::with_spent(cfg.budget, snap.budget_spent),
+            strategy_cursor: snap.strategy_cursor,
             k: snap.k,
             stagnant: snap.stagnant,
             select_failed: false,
@@ -270,6 +310,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             config_fingerprint: config_fingerprint(self.cfg),
             rng: self.rng.state(),
             budget_spent: self.budget.spent(),
+            strategy_cursor: self.strategy_cursor.clone(),
             k: self.k,
             stagnant: self.stagnant,
             window: self.window.iter().copied().collect(),

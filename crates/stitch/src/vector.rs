@@ -10,7 +10,6 @@ use tvs_fault::{Fault, FaultSim, Scoap, SlotSpec};
 use tvs_scan::{ObserveTransform, ScanChain};
 
 use crate::state::RunState;
-use crate::SelectionStrategy;
 
 impl RunState<'_, '_> {
     /// Builds the constraint cube for a `k`-bit stitched cycle.
@@ -25,34 +24,12 @@ impl RunState<'_, '_> {
         cube
     }
 
-    /// Orders the current `f_u` according to the selection strategy.
+    /// Orders the current `f_u` according to the configured strategy.
     pub(crate) fn ordered_targets(&mut self) -> Vec<usize> {
         let mut targets = self.sets.uncaught_indices();
         targets.retain(|i| !self.never_target.contains(i));
-        match self.cfg.selection {
-            SelectionStrategy::Random => self.rng.shuffle(&mut targets),
-            // Hardness/Weighted: hard faults get first claim on the still-
-            // loose constraint (the paper's §6.3 rationale).
-            SelectionStrategy::Hardness | SelectionStrategy::Weighted => {
-                targets.sort_by_key(|&i| {
-                    std::cmp::Reverse(
-                        self.scoap
-                            .fault_hardness(self.eng.netlist, &self.sets.fault(i)),
-                    )
-                });
-            }
-            // MostFaults: candidates come from easy targets first — they
-            // are the ones likely to admit tests under a tight constraint
-            // (the paper's §6.1: "easy-to-test faults dominate" the early,
-            // small-shift stage), and the greedy scoring then picks the
-            // best of the pool.
-            SelectionStrategy::MostFaults => {
-                targets.sort_by_key(|&i| {
-                    self.scoap
-                        .fault_hardness(self.eng.netlist, &self.sets.fault(i))
-                });
-            }
-        }
+        let strat = self.cfg.strategy.resolve();
+        strat.order_targets(&mut self.strategy_ctx(), &mut targets);
         targets
     }
 
@@ -114,7 +91,7 @@ impl RunState<'_, '_> {
                     PodemResult::Test(cube) => {
                         stats[phase * 2] += 1;
                         let bits = cube.random_fill(&mut self.rng);
-                        if !self.cfg.selection.is_greedy() {
+                        if !self.cfg.strategy.resolve().is_greedy() {
                             return Ok(Some(bits));
                         }
                         candidates.push(bits);
@@ -184,7 +161,7 @@ impl RunState<'_, '_> {
         // thread count.
         let uncaught = self.sets.uncaught_indices();
         let faults: Vec<Fault> = uncaught.iter().map(|&i| self.sets.fault(i)).collect();
-        let weighted = self.cfg.selection == SelectionStrategy::Weighted;
+        let weighted = self.cfg.strategy.resolve().weighted_scoring();
         let (p, q, l) = (self.p(), self.q(), self.l());
         let watched: Vec<usize> = (0..q).chain(q + l.saturating_sub(k)..q + l).collect();
         // Hidden machines: image and fault per hidden index. The shift-out

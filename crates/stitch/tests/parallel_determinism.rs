@@ -3,7 +3,7 @@
 //! deep PODEM verdicts, candidate scoring, hidden/uncaught classification —
 //! compute pure functions and reduce in input order.
 
-use tvs_stitch::{SelectionStrategy, StitchConfig, StitchEngine};
+use tvs_stitch::{StitchConfig, StitchEngine, ALL_STRATEGIES};
 
 fn report_with_threads(netlist: &tvs_netlist::Netlist, threads: usize) -> String {
     let engine = StitchEngine::new(netlist).expect("sequential circuit");
@@ -53,7 +53,7 @@ fn synthetic_profile_report_is_thread_count_invariant() {
 }
 
 #[test]
-fn every_selection_strategy_is_thread_count_invariant() {
+fn every_strategy_is_thread_count_invariant() {
     let netlist = tvs_circuits::synthesize(
         "det-sel",
         &tvs_circuits::SynthConfig {
@@ -66,20 +66,17 @@ fn every_selection_strategy_is_thread_count_invariant() {
         },
     );
     let engine = StitchEngine::new(&netlist).expect("sequential circuit");
-    for strategy in [
-        SelectionStrategy::Random,
-        SelectionStrategy::Hardness,
-        SelectionStrategy::MostFaults,
-        SelectionStrategy::Weighted,
-    ] {
+    for strategy in ALL_STRATEGIES {
         let run = |threads| {
             let cfg = StitchConfig {
                 threads,
-                selection: strategy,
+                strategy,
                 ..StitchConfig::default()
             };
             format!("{:?}", engine.run(&cfg).expect("run"))
         };
-        assert_eq!(run(1), run(8), "{strategy:?}: 1 vs 8 threads");
+        let seq = run(1);
+        assert_eq!(seq, run(2), "{strategy:?}: 1 vs 2 threads");
+        assert_eq!(seq, run(8), "{strategy:?}: 1 vs 8 threads");
     }
 }

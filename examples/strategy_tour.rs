@@ -8,7 +8,7 @@
 
 use tvs::circuits;
 use tvs::scan::{CaptureTransform, ObserveTransform};
-use tvs::stitch::{SelectionStrategy, ShiftPolicy, StitchConfig, StitchEngine};
+use tvs::stitch::{ShiftPolicy, StitchConfig, StitchEngine, ALL_STRATEGIES};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A mid-size stand-in (s444-calibrated: 3 PIs, 6 POs, 21 scan cells).
@@ -30,18 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {label:24} {}", report.metrics);
     }
 
-    println!("\n-- vector selection (paper §6.3) --");
-    for (label, selection) in [
-        ("random", SelectionStrategy::Random),
-        ("hardness", SelectionStrategy::Hardness),
-        ("most-faults", SelectionStrategy::MostFaults),
-        ("weighted", SelectionStrategy::Weighted),
-    ] {
+    println!("\n-- target ordering strategy (paper §6.3 and beyond) --");
+    for strategy in ALL_STRATEGIES {
         let report = engine.run(&StitchConfig {
-            selection,
+            strategy,
             ..StitchConfig::default()
         })?;
-        println!("  {label:24} {}", report.metrics);
+        println!("  {:24} {}", strategy.name(), report.metrics);
     }
 
     println!("\n-- hidden-fault observability (paper §6.2) --");

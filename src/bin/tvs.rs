@@ -38,7 +38,7 @@ use tvs::netlist::{bench, Netlist};
 use tvs::scan::{CaptureTransform, ObserveTransform};
 use tvs::stitch::{
     RunOptions, SelectionStrategy, ShiftPolicy, Snapshot, StitchConfig, StitchEngine, StitchReport,
-    Termination,
+    StrategyId, Termination,
 };
 use tvs::TvsError;
 
@@ -68,6 +68,7 @@ fn run() -> Result<(), TvsError> {
         "serve" => serve(&args[1..]),
         "fleet" => fleet(&args[1..]),
         "fuzz" => fuzz(&args[1..]),
+        "bench" => bench_cmd(&args[1..]),
         _ => {
             print!("{USAGE}");
             Ok(())
@@ -93,6 +94,9 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
                                            serve daemons
   tvs fuzz    --target <t> [options]       deterministic structured fuzzing of
                                            the toolkit's input surfaces
+  tvs bench strategies [options]           strategies × profiles sweep with
+                                           per-profile compression/coverage
+                                           Pareto fronts
 
 lint options:
   --profiles           analyze every built-in circuit profile
@@ -110,7 +114,10 @@ stitch options (also accepted by run and program):
   --vxor            vertical-XOR capture (paper Fig. 3)
   --hxor <g>        horizontal-XOR observation with g taps (paper Fig. 4)
   --fixed <k>       fixed shift size instead of the variable policy
-  --select <s>      random | hardness | most | weighted   (default: most)
+  --select <s>      random | hardness | most | weighted   (default: most;
+                    legacy spelling of --strategy)
+  --strategy <s>    random | hardness | most | weighted | adi |
+                    scheme-search | buckets   (default: most)
   --seed <n>        RNG seed
   --budget <n>      work budget in deterministic work units (backtracks,
                     simulation slots, cycles — never wall clock); on
@@ -155,8 +162,19 @@ fuzz options:
   --seed-hex <hex>  replay one seed given as hex bytes (overrides --rounds)
   --seed-file <f>   replay one corpus seed file (hex with # comments)
 
+bench strategies options:
+  --out <f>         report path (default: BENCH_strategies.json); the file is
+                    byte-identical across reruns with the same options
+  --profiles <a,b>  comma-separated profile names (default: all 13)
+  --budget <n>      deterministic work budget per run (default: 20000)
+  --scale <f>       gate-count scaling factor (default: 0.08)
+  --threads <n>     worker threads per run (default: 1; results identical)
+  --gate            fail (exit 11) if any strategy's coverage falls below
+                    the most-faults baseline column on any profile
+
 exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io ·
-7 lint · 8 serve · 9 fleet · 10 fuzz (1 stays reserved for panics)
+7 lint · 8 serve · 9 fleet · 10 fuzz · 11 bench gate (1 stays reserved for
+panics)
 ";
 
 fn load(path: &str) -> Result<Netlist, TvsError> {
@@ -251,13 +269,24 @@ fn stitch_config(args: &[String]) -> Result<StitchOpts, TvsError> {
                 i += 1;
             }
             "--select" => {
-                config.selection = match need(args, i + 1, "strategy")? {
+                let selection = match need(args, i + 1, "strategy")? {
                     "random" => SelectionStrategy::Random,
                     "hardness" => SelectionStrategy::Hardness,
                     "most" => SelectionStrategy::MostFaults,
                     "weighted" => SelectionStrategy::Weighted,
                     other => return Err(TvsError::usage(format!("unknown strategy {other:?}"))),
                 };
+                config.strategy = StrategyId::from_selection(selection);
+                i += 1;
+            }
+            "--strategy" => {
+                let name = need(args, i + 1, "strategy")?;
+                config.strategy = StrategyId::parse(name).ok_or_else(|| {
+                    TvsError::usage(format!(
+                        "unknown strategy {name:?} (expected one of {})",
+                        tvs::stitch::ALL_STRATEGIES.map(|s| s.name()).join(", ")
+                    ))
+                })?;
                 i += 1;
             }
             "--seed" => {
@@ -842,5 +871,87 @@ fn gen(args: &[String]) -> Result<(), TvsError> {
     let netlist = profile.build();
     fs::write(out, bench::to_string(&netlist)).map_err(|e| TvsError::io(out, e))?;
     println!("wrote {out}: {netlist}");
+    Ok(())
+}
+
+fn bench_cmd(args: &[String]) -> Result<(), TvsError> {
+    match args.first().map(String::as_str) {
+        Some("strategies") => bench_strategies(&args[1..]),
+        Some(other) => Err(TvsError::usage(format!(
+            "unknown bench experiment {other:?} (expected strategies)"
+        ))),
+        None => Err(TvsError::usage("missing bench experiment name")),
+    }
+}
+
+fn bench_strategies(args: &[String]) -> Result<(), TvsError> {
+    use tvs::bench::strategies::{coverage_regressions, sweep, to_json, SweepOpts};
+
+    let mut opts = SweepOpts::default();
+    let mut out = "BENCH_strategies.json".to_owned();
+    let mut gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = need(args, i + 1, "output path")?.to_owned();
+                i += 1;
+            }
+            "--profiles" => {
+                opts.profiles = need(args, i + 1, "profile list")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+                i += 1;
+            }
+            "--budget" => {
+                opts.budget = parse_value(args, i + 1, "work budget")?;
+                i += 1;
+            }
+            "--scale" => {
+                opts.scale = parse_value(args, i + 1, "scaling factor")?;
+                i += 1;
+            }
+            "--threads" => {
+                opts.threads = parse_value::<usize>(args, i + 1, "thread count")?.max(1);
+                i += 1;
+            }
+            "--gate" => gate = true,
+            other => return Err(TvsError::usage(format!("unknown option {other:?}"))),
+        }
+        i += 1;
+    }
+    let result = sweep(&opts).map_err(TvsError::usage)?;
+    let json = to_json(&result);
+    fs::write(&out, &json).map_err(|e| TvsError::io(&*out, e))?;
+    println!(
+        "wrote {out}: {} profiles x {} strategies",
+        result.profiles.len(),
+        result.profiles.first().map_or(0, |p| p.rows.len())
+    );
+    for profile in &result.profiles {
+        let front: Vec<&str> = profile
+            .rows
+            .iter()
+            .filter(|r| r.pareto)
+            .map(|r| r.strategy)
+            .collect();
+        println!("  {:8} pareto: {}", profile.name, front.join(", "));
+    }
+    if gate {
+        let regressions = coverage_regressions(&result);
+        if !regressions.is_empty() {
+            let mut lines = Vec::new();
+            for (profile, strategy, got, baseline) in &regressions {
+                lines.push(format!(
+                    "{profile}/{strategy} coverage {got:.4} < most {baseline:.4}"
+                ));
+            }
+            return Err(TvsError::Bench(format!(
+                "coverage regression vs most-faults baseline: {}",
+                lines.join("; ")
+            )));
+        }
+    }
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! | 8 | [`Serve`](TvsError::Serve) | the compression service or its client failed |
 //! | 9 | [`Fleet`](TvsError::Fleet) | the fleet coordinator failed (no live workers, abandoned job) |
 //! | 10 | [`Fuzz`](TvsError::Fuzz) | a fuzz target broke its contract (panic, violation, nondeterminism) |
+//! | 11 | [`Bench`](TvsError::Bench) | a benchmark gate tripped (coverage regression vs. baseline) |
 //!
 //! Exit code 1 stays reserved for panics (which the library layers avoid by
 //! construction — see the SRC005 lint) so an abort is distinguishable from
@@ -68,6 +69,9 @@ pub enum TvsError {
     /// A fuzz target broke its harness contract: the offending seed is in
     /// the message in replayable hex form.
     Fuzz(FuzzFailure),
+    /// A benchmark gate tripped (e.g. a strategy regressed coverage below
+    /// the `MostFaults` baseline in `tvs bench strategies --gate`).
+    Bench(String),
 }
 
 impl TvsError {
@@ -84,6 +88,7 @@ impl TvsError {
             TvsError::Serve(_) => 8,
             TvsError::Fleet(_) => 9,
             TvsError::Fuzz(_) => 10,
+            TvsError::Bench(_) => 11,
         }
     }
 
@@ -116,6 +121,7 @@ impl fmt::Display for TvsError {
             TvsError::Serve(e) => write!(f, "serve: {e}"),
             TvsError::Fleet(e) => write!(f, "fleet: {e}"),
             TvsError::Fuzz(e) => write!(f, "fuzz: {e}"),
+            TvsError::Bench(m) => write!(f, "bench: {m}"),
         }
     }
 }
@@ -133,7 +139,7 @@ impl Error for TvsError {
             TvsError::Serve(e) => Some(e),
             TvsError::Fleet(e) => Some(e),
             TvsError::Fuzz(e) => Some(e),
-            TvsError::Usage(_) | TvsError::Lint(_) => None,
+            TvsError::Usage(_) | TvsError::Lint(_) | TvsError::Bench(_) => None,
         }
     }
 }

@@ -50,6 +50,7 @@ pub use error::TvsError;
 
 pub use tvs_ate as ate;
 pub use tvs_atpg as atpg;
+pub use tvs_bench as bench;
 pub use tvs_circuits as circuits;
 pub use tvs_core as core;
 pub use tvs_exec as exec;

@@ -215,7 +215,7 @@ fn truncated_and_corrupted_snapshots_are_typed_errors() {
     ));
 
     // Foreign version line.
-    let foreign = text.replacen("tvs-snapshot v1", "tvs-snapshot v9", 1);
+    let foreign = text.replacen("tvs-snapshot v2", "tvs-snapshot v9", 1);
     assert!(matches!(
         tvs::stitch::Snapshot::parse(&foreign),
         Err(SnapshotError::Version(_) | SnapshotError::Checksum { .. })

@@ -145,7 +145,7 @@ fn resume_rejects_a_mismatched_configuration() {
     // A different selection strategy is a different run; resuming would
     // silently splice two incompatible histories.
     let mut other = config(1);
-    other.selection = tvs::stitch::SelectionStrategy::Random;
+    other.strategy = tvs::stitch::StrategyId::Random;
     let err = resume_run(&netlist, &other, snap).expect_err("must reject");
     assert!(
         matches!(

@@ -5,7 +5,7 @@ use tvs::atpg::{generate_tests, AtpgConfig};
 use tvs::circuits::{s27, synthesize, SynthConfig};
 use tvs::fault::{FaultList, FaultSim};
 use tvs::scan::{CaptureTransform, ObserveTransform};
-use tvs::stitch::{SelectionStrategy, ShiftPolicy, StitchConfig, StitchEngine};
+use tvs::stitch::{ShiftPolicy, StitchConfig, StitchEngine, ALL_STRATEGIES};
 
 fn small_synth() -> tvs::netlist::Netlist {
     synthesize(
@@ -63,21 +63,16 @@ fn every_policy_and_strategy_combination_runs() {
         ShiftPolicy::Fixed(16),
         ShiftPolicy::default(),
     ] {
-        for selection in [
-            SelectionStrategy::Random,
-            SelectionStrategy::Hardness,
-            SelectionStrategy::MostFaults,
-            SelectionStrategy::Weighted,
-        ] {
+        for strategy in ALL_STRATEGIES {
             let cfg = StitchConfig {
                 policy,
-                selection,
+                strategy,
                 ..StitchConfig::default()
             };
             let report = engine.run(&cfg).expect("run");
             assert!(
                 report.metrics.fault_coverage > 0.9,
-                "{policy:?}/{selection:?}: coverage {}",
+                "{policy:?}/{strategy:?}: coverage {}",
                 report.metrics.fault_coverage
             );
         }

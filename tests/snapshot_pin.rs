@@ -1,11 +1,16 @@
-//! Snapshot-format pin: a checked-in checkpoint written by the *pre-split*
-//! engine must keep parsing and resuming bit-identically after any
-//! refactor of the stitch pipeline or the simulation kernel.
+//! Snapshot-format pin: a checked-in checkpoint must keep parsing and
+//! resuming bit-identically after any refactor of the stitch pipeline or
+//! the simulation kernel.
 //!
 //! `tests/data/s444_pin.tvsnap` was captured with
 //! `tvs run s444.bench --threads 1 --checkpoint-every 3` at the default
-//! configuration; `tests/data/s444_pin.bench` is the matching circuit. The
-//! reference run printed `TV=39 ex=19 aTV=39 m=0.90 t=0.80 coverage=1.0000`.
+//! configuration (format v2, which carries the strategy cursor — the
+//! original v1 capture predates the strategy layer and was regenerated
+//! when v1 became foreign); `tests/data/s444_pin.bench` is the matching
+//! circuit. The reference run printed
+//! `TV=39 ex=19 aTV=39 m=0.90 t=0.80 coverage=1.0000` — unchanged across
+//! the regeneration, pinning that the default `most` strategy through the
+//! trait layer is bit-identical to the pre-refactor closed enum.
 
 use tvs::netlist::bench;
 use tvs::stitch::{RunOptions, Snapshot, StitchConfig, StitchEngine, StitchReport, Termination};

@@ -1,0 +1,65 @@
+//! Lint follow-through of the strategy layer: the tester program every new
+//! strategy emits must interpret cleanly under the program-level abstract
+//! interpreter — in particular no SP006 (a capture or PO expectation that
+//! depends on uninitialized power-up state).
+
+use tvs::ate::TestProgram;
+use tvs::circuits;
+use tvs::lint::{analyze_trace, IrGraph, ProgramTrace, TraceCycle};
+use tvs::logic::Logic;
+use tvs::stitch::{StitchConfig, StitchEngine, StrategyId};
+
+const NEW_STRATEGIES: [StrategyId; 3] = [
+    StrategyId::Adi,
+    StrategyId::SchemeSearch,
+    StrategyId::Buckets,
+];
+
+/// Mirrors the CLI's lowering: stimulus bits are copied verbatim and
+/// expectations are dropped (the interpreter derives its own).
+fn lower(program: &TestProgram) -> ProgramTrace {
+    let bits = |bv: &tvs::logic::BitVec| -> Vec<Logic> { bv.iter().map(Logic::from).collect() };
+    ProgramTrace {
+        capture: program.capture,
+        observe: program.observe,
+        cycles: program
+            .cycles
+            .iter()
+            .map(|c| TraceCycle {
+                pi: bits(&c.pi),
+                scan_in: bits(&c.scan_in),
+            })
+            .collect(),
+        final_flush: program.expected_flush.len(),
+    }
+}
+
+#[test]
+fn programs_from_every_new_strategy_interpret_clean() {
+    for profile in ["s444", "s526"] {
+        let netlist = circuits::profile(profile).expect("profile").build();
+        let graph = IrGraph::from(&netlist);
+        for strategy in NEW_STRATEGIES {
+            let cfg = StitchConfig {
+                strategy,
+                seed: 17,
+                threads: 1,
+                ..StitchConfig::default()
+            };
+            let report = StitchEngine::new(&netlist)
+                .expect("engine")
+                .run(&cfg)
+                .expect("run");
+            let program = TestProgram::from_report(&netlist, &report, &cfg);
+            let diags = analyze_trace(&graph, &lower(&program));
+            let denies: Vec<&tvs::lint::Diagnostic> = diags
+                .iter()
+                .filter(|d| d.severity == tvs::lint::Severity::Deny)
+                .collect();
+            assert!(
+                denies.is_empty(),
+                "{profile}/{strategy:?}: program-level lint denies: {denies:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Byte-identity pins of the four legacy strategies against pre-refactor
+//! `main`.
+//!
+//! The digests below were captured on the commit *before* the strategy
+//! layer existed, by running every (profile, selection) pair through
+//! `run_profile` with `Scaling { factor: 0.08, full: false }` and a 20 000
+//! unit work budget at one thread, then hashing the report's `Debug`
+//! rendering with FNV-1a-64. `StitchReport` carries no configuration, so
+//! the digests are insensitive to the `selection` → `strategy` field
+//! rename and pin exactly the emitted behavior: any reordering, rng draw,
+//! or budget charge introduced by the refactor shifts at least one digest.
+//!
+//! The big profiles (s13207 and up) exhaust the budget during prescreen,
+//! so their digests coincide across strategies — they still pin the
+//! salvage path byte-for-byte. Debug builds run the strategy-divergent
+//! subset; release builds add s13207; `TVS_PIN_FULL=1` runs all 13.
+
+use tvs::bench::runner::{run_profile, Scaling};
+use tvs::stitch::{fnv1a, StitchConfig, StrategyId};
+
+/// (profile, strategy name, FNV-1a-64 of `format!("{report:?}")`),
+/// captured on pre-refactor main.
+const PINS: &[(&str, &str, u64)] = &[
+    ("s444", "random", 0xdd97dbcc3fd96589),
+    ("s444", "hardness", 0xae0f5a0533f4478d),
+    ("s444", "most", 0xf0c5332745a2c325),
+    ("s444", "weighted", 0xeacdc57e7a2b910f),
+    ("s526", "random", 0x5ed787ffe4aeed66),
+    ("s526", "hardness", 0x47f124a1baa97e9a),
+    ("s526", "most", 0x5d077b464c9024d5),
+    ("s526", "weighted", 0xe762e1466c826160),
+    ("s641", "random", 0xa17266a652babd9a),
+    ("s641", "hardness", 0x35d709b0eba00f4a),
+    ("s641", "most", 0xeeb9b5f5ce5a402c),
+    ("s641", "weighted", 0xdd8fb2175a3c804d),
+    ("s953", "random", 0x800d3af22f0f09db),
+    ("s953", "hardness", 0xd22212fd650c7098),
+    ("s953", "most", 0x8f0b9fc20e0fcba0),
+    ("s953", "weighted", 0xe14fc6e745df160b),
+    ("s1196", "random", 0xbcc2474a4ba9757f),
+    ("s1196", "hardness", 0xa5c713c47bfff487),
+    ("s1196", "most", 0x67279c3207277ed0),
+    ("s1196", "weighted", 0xb89d40f920a5b001),
+    ("s1423", "random", 0x2625034abe04ad4e),
+    ("s1423", "hardness", 0xf4d608dbd62a9929),
+    ("s1423", "most", 0xdb2e42d88b2fe920),
+    ("s1423", "weighted", 0xf12a6c35ff995bf9),
+    ("s5378", "random", 0x2b59334d1e7fbd46),
+    ("s5378", "hardness", 0x8aae63315fb26973),
+    ("s5378", "most", 0x21c74eec676a13e3),
+    ("s5378", "weighted", 0xd2549074f2034522),
+    ("s9234", "random", 0x88445497dbce343c),
+    ("s9234", "hardness", 0xb103063a16dd8308),
+    ("s9234", "most", 0x65752b62cc2cd2e8),
+    ("s9234", "weighted", 0xabc454749a9d5a01),
+    ("s13207", "random", 0x763092947d801122),
+    ("s13207", "hardness", 0x763092947d801122),
+    ("s13207", "most", 0x763092947d801122),
+    ("s13207", "weighted", 0x763092947d801122),
+    ("s15850", "random", 0xe7fa8233fc7a74b3),
+    ("s15850", "hardness", 0xe7fa8233fc7a74b3),
+    ("s15850", "most", 0xe7fa8233fc7a74b3),
+    ("s15850", "weighted", 0xe7fa8233fc7a74b3),
+    ("s35932", "random", 0x2743cb581be9809b),
+    ("s35932", "hardness", 0x2743cb581be9809b),
+    ("s35932", "most", 0x2743cb581be9809b),
+    ("s35932", "weighted", 0x2743cb581be9809b),
+    ("s38417", "random", 0x23e220b7d2aa9467),
+    ("s38417", "hardness", 0x23e220b7d2aa9467),
+    ("s38417", "most", 0x23e220b7d2aa9467),
+    ("s38417", "weighted", 0x23e220b7d2aa9467),
+    ("s38584", "random", 0xab5a2939d4a196a7),
+    ("s38584", "hardness", 0xab5a2939d4a196a7),
+    ("s38584", "most", 0xab5a2939d4a196a7),
+    ("s38584", "weighted", 0xab5a2939d4a196a7),
+];
+
+/// Profiles cheap enough for debug builds (these eight include every
+/// strategy-divergent digest in the table).
+const DEBUG_PROFILES: &[&str] = &[
+    "s444", "s526", "s641", "s953", "s1196", "s1423", "s5378", "s9234",
+];
+
+fn profile_enabled(name: &str) -> bool {
+    if std::env::var_os("TVS_PIN_FULL").is_some() {
+        return true;
+    }
+    if DEBUG_PROFILES.contains(&name) {
+        return true;
+    }
+    // s13207 costs ~2 s per run in release and minutes in debug.
+    cfg!(not(debug_assertions)) && name == "s13207"
+}
+
+fn check_strategy(strategy: StrategyId) {
+    let scaling = Scaling {
+        factor: 0.08,
+        full: false,
+    };
+    let cfg = StitchConfig {
+        strategy,
+        budget: Some(20_000),
+        threads: 1,
+        ..StitchConfig::default()
+    };
+    let mut checked = 0;
+    for &(profile_name, strat_name, expected) in PINS {
+        if strat_name != strategy.name() || !profile_enabled(profile_name) {
+            continue;
+        }
+        let profile = tvs::circuits::profile(profile_name).expect("known profile");
+        let row = run_profile(&profile, &scaling, &cfg);
+        let digest = fnv1a(format!("{:?}", row.report).as_bytes());
+        assert_eq!(
+            digest, expected,
+            "{profile_name}/{strat_name}: report digest {digest:#018x} \
+             diverged from pre-refactor main ({expected:#018x})"
+        );
+        checked += 1;
+    }
+    assert!(checked >= DEBUG_PROFILES.len(), "pin table not exercised");
+}
+
+#[test]
+fn legacy_random_is_byte_identical_to_pre_refactor_main() {
+    check_strategy(StrategyId::Random);
+}
+
+#[test]
+fn legacy_hardness_is_byte_identical_to_pre_refactor_main() {
+    check_strategy(StrategyId::Hardness);
+}
+
+#[test]
+fn legacy_most_faults_is_byte_identical_to_pre_refactor_main() {
+    check_strategy(StrategyId::MostFaults);
+}
+
+#[test]
+fn legacy_weighted_is_byte_identical_to_pre_refactor_main() {
+    check_strategy(StrategyId::Weighted);
+}

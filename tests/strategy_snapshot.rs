@@ -1,0 +1,201 @@
+//! Strategy-layer checkpoint contracts: a snapshot carries the strategy's
+//! cursor state verbatim, a checkpoint taken under one strategy refuses to
+//! resume under another (config-fingerprint mismatch → exit 5 at the CLI),
+//! and every new strategy round-trips its cursor bit-identically at 1 and
+//! 4 threads.
+
+use std::process::Command;
+
+use tvs::circuits;
+use tvs::netlist::bench;
+use tvs::stitch::{
+    RunOptions, Snapshot, SnapshotError, StitchConfig, StitchEngine, StitchError, StitchReport,
+    StrategyId,
+};
+
+/// The strategies introduced by the strategy-layer refactor.
+const NEW_STRATEGIES: [StrategyId; 3] = [
+    StrategyId::Adi,
+    StrategyId::SchemeSearch,
+    StrategyId::Buckets,
+];
+
+fn netlist() -> tvs::netlist::Netlist {
+    circuits::profile("s444").expect("s444 profile").build()
+}
+
+fn config(strategy: StrategyId, threads: usize) -> StitchConfig {
+    StitchConfig {
+        strategy,
+        seed: 17,
+        threads,
+        ..StitchConfig::default()
+    }
+}
+
+fn checkpointed_run(
+    netlist: &tvs::netlist::Netlist,
+    cfg: &StitchConfig,
+    every: usize,
+) -> (StitchReport, Vec<Snapshot>) {
+    let engine = StitchEngine::new(netlist).expect("engine");
+    let mut snaps: Vec<Snapshot> = Vec::new();
+    let mut keep = |snap: Snapshot| snaps.push(snap);
+    let report = engine
+        .run_with(
+            cfg,
+            RunOptions {
+                resume: None,
+                checkpoint_every: every,
+                on_checkpoint: Some(&mut keep),
+                on_progress: None,
+            },
+        )
+        .expect("checkpointed run");
+    (report, snaps)
+}
+
+fn resume_run(
+    netlist: &tvs::netlist::Netlist,
+    cfg: &StitchConfig,
+    snapshot: Snapshot,
+) -> Result<StitchReport, StitchError> {
+    StitchEngine::new(netlist).expect("engine").run_with(
+        cfg,
+        RunOptions {
+            resume: Some(snapshot),
+            checkpoint_every: 0,
+            on_checkpoint: None,
+            on_progress: None,
+        },
+    )
+}
+
+#[test]
+fn each_new_strategy_round_trips_its_cursor_at_1_and_4_threads() {
+    let netlist = netlist();
+    for strategy in NEW_STRATEGIES {
+        for threads in [1, 4] {
+            let cfg = config(strategy, threads);
+            let (full, snaps) = checkpointed_run(&netlist, &cfg, 4);
+            assert!(
+                !snaps.is_empty(),
+                "{strategy:?}@{threads}: run long enough to checkpoint"
+            );
+            for snap in &snaps {
+                // The cursor survives the text format bit-for-bit.
+                let text = snap.to_text();
+                let parsed = Snapshot::parse(&text).expect("round trip");
+                assert_eq!(
+                    snap.strategy_cursor, parsed.strategy_cursor,
+                    "{strategy:?}@{threads}: cursor changed across serialization"
+                );
+                assert_eq!(snap, &parsed);
+                assert_eq!(text, parsed.to_text(), "canonical serialization");
+            }
+            // Resuming mid-flight reproduces the uninterrupted run exactly.
+            let resumed =
+                resume_run(&netlist, &cfg, snaps[0].clone()).expect("resume under same strategy");
+            assert_eq!(
+                full, resumed,
+                "{strategy:?}@{threads}: resume diverged from the uninterrupted run"
+            );
+        }
+    }
+}
+
+#[test]
+fn new_strategy_cursors_are_thread_count_invariant() {
+    let netlist = netlist();
+    for strategy in NEW_STRATEGIES {
+        let (_, one) = checkpointed_run(&netlist, &config(strategy, 1), 4);
+        let (_, four) = checkpointed_run(&netlist, &config(strategy, 4), 4);
+        let ones: Vec<&[u64]> = one.iter().map(|s| s.strategy_cursor.as_slice()).collect();
+        let fours: Vec<&[u64]> = four.iter().map(|s| s.strategy_cursor.as_slice()).collect();
+        assert_eq!(
+            ones, fours,
+            "{strategy:?}: cursor stream differs between 1 and 4 threads"
+        );
+    }
+}
+
+#[test]
+fn resume_under_a_different_strategy_is_refused_in_process() {
+    let netlist = netlist();
+    for (taken, resumed_as) in [
+        (StrategyId::Adi, StrategyId::MostFaults),
+        (StrategyId::SchemeSearch, StrategyId::Adi),
+        (StrategyId::Buckets, StrategyId::SchemeSearch),
+        (StrategyId::MostFaults, StrategyId::Buckets),
+    ] {
+        let (_, snaps) = checkpointed_run(&netlist, &config(taken, 1), 4);
+        let err = resume_run(&netlist, &config(resumed_as, 1), snaps[0].clone())
+            .expect_err("strategies differ; resume must refuse");
+        assert!(
+            matches!(
+                err,
+                StitchError::Snapshot(SnapshotError::Mismatch(ref m)) if m.contains("config")
+            ),
+            "{taken:?}->{resumed_as:?}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn cli_resume_under_a_different_strategy_exits_5() {
+    let dir = std::env::temp_dir().join(format!("tvs-strategy-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let circuit = dir.join("s444.bench");
+    let snap = dir.join("s444.tvsnap");
+    std::fs::write(&circuit, bench::to_string(&netlist())).expect("write circuit");
+
+    let tvs = env!("CARGO_BIN_EXE_tvs");
+    let checkpoint = Command::new(tvs)
+        .args([
+            "run",
+            circuit.to_str().expect("utf8 path"),
+            "--strategy",
+            "adi",
+            "--threads",
+            "1",
+            "--checkpoint-every",
+            "4",
+            "--checkpoint",
+            snap.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn tvs run");
+    assert!(
+        checkpoint.status.success(),
+        "checkpoint run failed: {}",
+        String::from_utf8_lossy(&checkpoint.stderr)
+    );
+    assert!(snap.exists(), "checkpoint file written");
+
+    let resume = Command::new(tvs)
+        .args([
+            "run",
+            circuit.to_str().expect("utf8 path"),
+            "--strategy",
+            "buckets",
+            "--threads",
+            "1",
+            "--resume",
+            snap.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn tvs run --resume");
+    assert_eq!(
+        resume.status.code(),
+        Some(5),
+        "mismatched strategy must exit 5 (snapshot mismatch); stderr: {}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resume.stderr);
+    assert!(
+        stderr.contains("fingerprint"),
+        "stderr names the fingerprint mismatch: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
