@@ -202,6 +202,73 @@ grep -q "drained, exiting" "$FLEET/fleet.log"
 wait "$SURVIVOR_PID"
 rm -rf "$FLEET"
 
+# Delta smoke: incremental recompression through the daemon. Submit a base
+# s1423, then a one-gate edit of it; the edit must land as a miss that
+# reuses prescreen verdicts from the base's cone manifest
+# (delta.faults_reused > 0) while its artifact stays byte-identical to a
+# cold run of the same edit on a separate daemon with a cold cache.
+DELTA=$(mktemp -d)
+"$TVS" gen s1423 "$DELTA/s1423.bench"
+# One-gate edit: flip the first AND to its same-arity dual. The gate keeps
+# its name, so the edit dirties exactly the cones containing it.
+sed '0,/ = AND(/s// = OR(/' "$DELTA/s1423.bench" > "$DELTA/s1423_edit.bench"
+cmp -s "$DELTA/s1423.bench" "$DELTA/s1423_edit.bench" && exit 1
+
+"$TVS" serve --listen 127.0.0.1:0 --cache-dir "$DELTA/ref-cache" \
+  --workers 2 > "$DELTA/ref.log" &
+REF_PID=$!
+REF_ADDR=$(await_addr "$DELTA/ref.log" tvs-serve)
+"$TVS_CLIENT" --addr "$REF_ADDR" submit --wait --fetch \
+  --out "$DELTA/ref-edit.json" --seed 3 "$DELTA/s1423_edit.bench"
+"$TVS_CLIENT" --addr "$REF_ADDR" shutdown
+wait "$REF_PID"
+
+"$TVS" serve --listen 127.0.0.1:0 --cache-dir "$DELTA/cache" \
+  --workers 2 > "$DELTA/delta.log" &
+DELTA_PID=$!
+DELTA_ADDR=$(await_addr "$DELTA/delta.log" tvs-serve)
+dclient() { "$TVS_CLIENT" --addr "$DELTA_ADDR" "$@"; }
+dclient submit --wait --seed 3 "$DELTA/s1423.bench"
+dclient submit --wait --fetch --out "$DELTA/delta-edit.json" \
+  --seed 3 "$DELTA/s1423_edit.bench"
+cmp "$DELTA/ref-edit.json" "$DELTA/delta-edit.json"
+dclient stats > "$DELTA/stats.out"
+grep -q '"delta.plans":1' "$DELTA/stats.out"
+grep -q '"delta.faults_reused":[1-9]' "$DELTA/stats.out"
+dclient shutdown
+wait "$DELTA_PID"
+
+# Cache hygiene: under a tiny byte cap the store evicts oldest-first
+# (deterministic insertion order, no clock reads) and says so in the
+# counters; the newest artifact always survives.
+"$TVS" gen s444 "$DELTA/s444.bench"
+"$TVS" serve --listen 127.0.0.1:0 --cache-dir "$DELTA/evict-cache" \
+  --cache-cap-bytes 1024 --workers 2 > "$DELTA/evict.log" &
+EVICT_PID=$!
+EVICT_ADDR=$(await_addr "$DELTA/evict.log" tvs-serve)
+for seed in 1 2 3; do
+  "$TVS_CLIENT" --addr "$EVICT_ADDR" submit --wait --seed "$seed" \
+    "$DELTA/s444.bench"
+done
+"$TVS_CLIENT" --addr "$EVICT_ADDR" stats > "$DELTA/evict-stats.out"
+grep -q '"cache.evictions":[1-9]' "$DELTA/evict-stats.out"
+test "$(ls "$DELTA/evict-cache"/*.json | wc -l)" -ge 1
+"$TVS_CLIENT" --addr "$EVICT_ADDR" shutdown
+wait "$EVICT_PID"
+rm -rf "$DELTA"
+
+# Delta-reuse gate: the reuse × edit-size table must be byte-reproducible,
+# and a one-gate edit of the largest profile (s38417) must keep at least
+# half of its fault classification reusable — the table is pure manifest
+# arithmetic, so this gate is exactly deterministic.
+DBENCH=$(mktemp -d)
+"$TVS" bench delta --profiles s1423,s38417 --edits 1,8 --gate --floor 0.5 \
+  --out "$DBENCH/a.json"
+"$TVS" bench delta --profiles s1423,s38417 --edits 1,8 --gate --floor 0.5 \
+  --out "$DBENCH/b.json"
+cmp "$DBENCH/a.json" "$DBENCH/b.json"
+rm -rf "$DBENCH"
+
 # Strategy sweep gate: run the strategies × profiles Pareto bench twice on
 # the three smallest profiles at a comfortable budget. `--gate` fails (exit
 # 11) if any strategy's coverage drops strictly below the MostFaults
@@ -230,7 +297,7 @@ cargo test -q --offline --test checkpoint_resume
 # the base seed, so this stage either passes identically everywhere or
 # fails printing a replayable seed (exit 10); corrupt-snapshot sweeps and
 # the checked-in corpus ride along in the same stage.
-for fuzz_target in bench frame snapshot e2e; do
+for fuzz_target in bench frame snapshot e2e delta; do
   "$TVS" fuzz --target "$fuzz_target" --rounds 256 --base-seed 5707716
 done
 cargo test -q --offline --test snapshot_corrupt

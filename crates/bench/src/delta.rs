@@ -1,0 +1,263 @@
+//! The delta-reuse × edit-size table behind `tvs bench delta`.
+//!
+//! For every requested profile the sweep builds the base netlist, takes its
+//! cone manifest, then applies k-gate edits (k over `--edits`) and measures
+//! how much of the base's fault classification a delta run could reuse:
+//! `plan_for` is pure manifest arithmetic, so the whole table costs cone
+//! hashing plus support hashing — no engine runs. The report is rendered by
+//! hand into a canonical JSON string (fixed key order, fixed precision,
+//! `\n` line endings) so two sweeps with the same options produce
+//! byte-identical files, which is what the CI stage `cmp`s.
+
+use tvs_delta::{plan_for, ConeManifest};
+use tvs_fault::FaultList;
+use tvs_netlist::{bench, GateKind, Netlist};
+use tvs_stitch::{PrescreenRecord, StitchConfig};
+
+/// Sweep parameters (all deterministic: no wall-clock inputs).
+#[derive(Debug, Clone)]
+pub struct DeltaOpts {
+    /// Profile names to measure (a subset of the 13 built-in profiles).
+    pub profiles: Vec<String>,
+    /// Edit sizes: how many combinational gates each edit flips.
+    pub edits: Vec<usize>,
+    /// Gate-count scaling factor applied to every profile.
+    pub scale: f64,
+}
+
+impl Default for DeltaOpts {
+    fn default() -> Self {
+        DeltaOpts {
+            profiles: tvs_circuits::all_profiles()
+                .iter()
+                .map(|p| p.name.to_owned())
+                .collect(),
+            edits: vec![1, 2, 4, 8],
+            scale: 1.0,
+        }
+    }
+}
+
+/// One (profile, edit-size) measurement.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Gates flipped in this edit.
+    pub edits: usize,
+    /// Collapsed faults in the edited netlist.
+    pub faults_total: usize,
+    /// Faults whose support survived the edit (reusable verbatim).
+    pub faults_matched: usize,
+    /// Cones whose hash changed or vanished.
+    pub cones_dirty: usize,
+}
+
+impl DeltaRow {
+    /// The fraction of the edited fault list a delta run reuses.
+    pub fn reuse_ratio(&self) -> f64 {
+        self.faults_matched as f64 / self.faults_total.max(1) as f64
+    }
+}
+
+/// All rows for one profile.
+#[derive(Debug, Clone)]
+pub struct DeltaProfile {
+    /// Profile name.
+    pub name: String,
+    /// Gate count actually built after scaling.
+    pub gates: usize,
+    /// Cones in the base manifest.
+    pub cones: usize,
+    /// One row per edit size, in request order.
+    pub rows: Vec<DeltaRow>,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct DeltaResult {
+    /// The options the sweep ran under.
+    pub opts: DeltaOpts,
+    /// Per-profile measurements, in request order.
+    pub profiles: Vec<DeltaProfile>,
+}
+
+/// The same-arity dual a gate flips to in an edit.
+fn dual(kind: GateKind) -> Option<GateKind> {
+    match kind {
+        GateKind::And => Some(GateKind::Or),
+        GateKind::Or => Some(GateKind::And),
+        GateKind::Nand => Some(GateKind::Nor),
+        GateKind::Nor => Some(GateKind::Nand),
+        GateKind::Xor => Some(GateKind::Xnor),
+        GateKind::Xnor => Some(GateKind::Xor),
+        GateKind::Not => Some(GateKind::Buf),
+        GateKind::Buf => Some(GateKind::Not),
+        GateKind::Input | GateKind::Dff => None,
+    }
+}
+
+/// Rebuilds `netlist` with `k` combinational gates flipped to their duals,
+/// the victims spread evenly through the gate order so edits of different
+/// sizes touch different circuit regions.
+fn apply_edit(netlist: &Netlist, k: usize) -> Result<Netlist, String> {
+    let flippable: Vec<_> = netlist
+        .gate_ids()
+        .filter(|&id| dual(netlist.gate(id).kind()).is_some())
+        .collect();
+    if flippable.len() < k {
+        return Err(format!(
+            "{}: {} flippable gates < edit size {k}",
+            netlist.name(),
+            flippable.len()
+        ));
+    }
+    let mut text = bench::to_string(netlist);
+    for i in 0..k {
+        let id = flippable[i * flippable.len() / k];
+        let kind = netlist.gate(id).kind();
+        let to = dual(kind).ok_or("unreachable: filtered above")?;
+        let name = netlist.gate_name(id);
+        let from_line = format!("{name} = {}(", kind.keyword());
+        let to_line = format!("{name} = {}(", to.keyword());
+        if !text.contains(&from_line) {
+            return Err(format!("{}: gate {name} not found in text", netlist.name()));
+        }
+        text = text.replacen(&from_line, &to_line, 1);
+    }
+    bench::parse(netlist.name(), &text).map_err(|e| e.to_string())
+}
+
+/// Runs the sweep. Fails on unknown profile names or a profile too small
+/// for the largest requested edit.
+pub fn sweep(opts: &DeltaOpts) -> Result<DeltaResult, String> {
+    let config = StitchConfig::default();
+    let mut profiles = Vec::with_capacity(opts.profiles.len());
+    for name in &opts.profiles {
+        let profile =
+            tvs_circuits::profile(name).ok_or_else(|| format!("unknown profile {name:?}"))?;
+        let base = profile.build_scaled(opts.scale);
+        // Default records suffice: reuse arithmetic only compares support
+        // hashes, never the record contents.
+        let records = vec![PrescreenRecord::default(); FaultList::collapsed(&base).len()];
+        let manifest = ConeManifest::build(&base, config.fingerprint(), &records)
+            .map_err(|e| format!("{name}: {e}"))?;
+        let mut rows = Vec::with_capacity(opts.edits.len());
+        for &k in &opts.edits {
+            let edited = apply_edit(&base, k)?;
+            let plan = plan_for(&manifest, &edited, config.fingerprint())
+                .map_err(|e| format!("{name}/{k}: {e}"))?;
+            rows.push(DeltaRow {
+                edits: k,
+                faults_total: plan.faults_total,
+                faults_matched: plan.faults_matched,
+                cones_dirty: plan.cones_dirty,
+            });
+        }
+        profiles.push(DeltaProfile {
+            name: name.clone(),
+            gates: base.gate_count(),
+            cones: manifest.cones.len(),
+            rows,
+        });
+    }
+    Ok(DeltaResult {
+        opts: opts.clone(),
+        profiles,
+    })
+}
+
+/// Gate failures: every profile's one-gate edit must reuse strictly more
+/// than nothing and at least `floor` of its fault list. Returns
+/// `(profile, reuse_ratio)` for each violation.
+pub fn reuse_failures(result: &DeltaResult, floor: f64) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for profile in &result.profiles {
+        for row in &profile.rows {
+            if row.edits != 1 {
+                continue;
+            }
+            let ratio = row.reuse_ratio();
+            if row.faults_matched == 0 || ratio < floor {
+                out.push((profile.name.clone(), ratio));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the canonical byte-stable JSON document.
+pub fn to_json(result: &DeltaResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tvs-bench-delta v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{:.4}\",\n", result.opts.scale));
+    s.push_str("  \"profiles\": [\n");
+    for (i, profile) in result.profiles.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", profile.name));
+        s.push_str(&format!("      \"gates\": {},\n", profile.gates));
+        s.push_str(&format!("      \"cones\": {},\n", profile.cones));
+        s.push_str("      \"rows\": [\n");
+        for (j, row) in profile.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"edits\": {}, \"faults_total\": {}, \
+                 \"faults_matched\": {}, \"reuse_ratio\": {:.4}, \
+                 \"cones_dirty\": {}}}{}\n",
+                row.edits,
+                row.faults_total,
+                row.faults_matched,
+                row.reuse_ratio(),
+                row.cones_dirty,
+                if j + 1 < profile.rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < result.profiles.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_on_one_small_profile_is_byte_stable_and_reuses_most_faults() {
+        let opts = DeltaOpts {
+            profiles: vec!["s444".into()],
+            edits: vec![1, 2],
+            scale: 1.0,
+        };
+        let first = sweep(&opts).expect("sweep runs");
+        let second = sweep(&opts).expect("sweep runs");
+        assert_eq!(to_json(&first), to_json(&second), "sweep not byte-stable");
+        let rows = &first.profiles[0].rows;
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[0].faults_matched > 0,
+            "a one-gate edit must leave reusable faults"
+        );
+        assert!(
+            rows[0].faults_matched >= rows[1].faults_matched,
+            "larger edits cannot reuse more than smaller ones here"
+        );
+        assert!(reuse_failures(&first, 0.3).is_empty());
+    }
+
+    #[test]
+    fn unknown_profiles_are_rejected() {
+        let opts = DeltaOpts {
+            profiles: vec!["s000".into()],
+            ..DeltaOpts::default()
+        };
+        assert!(sweep(&opts).is_err());
+    }
+}

@@ -1,26 +1,46 @@
 //! The content-addressed artifact store.
 //!
 //! An artifact's identity is a function of **what** is compressed and
-//! **how**: the FNV-1a fingerprint of the canonicalized `.bench` source
-//! (parse → [`tvs_netlist::bench::to_string`], so formatting, comments and
-//! declaration order cannot split the cache) combined with the
-//! [`StitchConfig`] fingerprint. The config half reuses the snapshot
-//! fingerprint and hashes the work budget back in: the snapshot fingerprint
-//! deliberately excludes `budget` (a resumed run may get a fresh allowance),
-//! but an exhausted budget truncates the run and therefore changes the
-//! emitted artifact. `threads` stays excluded — results are bit-identical at
-//! any worker count, which is precisely what makes them cacheable.
+//! **how**. The *what* half is the netlist's Merkle root
+//! ([`tvs_delta::netlist_root`]): per-gate cone hashes rolled bottom-up,
+//! combined with the interface signature — so formatting, comments,
+//! declaration order *and gate renaming-free structural identity* cannot
+//! split the cache, while any cone or interface change does. Netlists
+//! without a scan view (combinational cycles, which lint rejects anyway)
+//! fall back to hashing the canonicalized `.bench` text. The *how* half
+//! reuses the snapshot fingerprint and hashes the work budget back in: the
+//! snapshot fingerprint deliberately excludes `budget` (a resumed run may
+//! get a fresh allowance), but an exhausted budget truncates the run and
+//! therefore changes the emitted artifact. `threads` stays excluded —
+//! results are bit-identical at any worker count, which is precisely what
+//! makes them cacheable.
 //!
 //! Writes go through a temporary file followed by an atomic rename, so a
 //! crashed server never leaves a truncated artifact that a warm start would
-//! serve as truth. Alongside each pending artifact the store keeps the job's
-//! latest checkpoint snapshot (`<key>.tvsnap`); a resubmission after a crash
-//! resumes instead of recomputing.
+//! serve as truth. Alongside each artifact the store keeps two sidecars:
+//! the job's latest checkpoint snapshot (`<key>.tvsnap`; a resubmission
+//! after a crash resumes instead of recomputing) and the run's cone
+//! manifest (`<key>.manifest`; a later submission of an *edited* netlist
+//! diffs against it and replays clean prescreen verdicts).
+//!
+//! # Eviction
+//!
+//! With a byte cap set ([`ArtifactStore::with_cap`]) the store evicts
+//! least-recently-used keys until it fits. Recency is an insertion-tick
+//! ledger — a logical counter bumped on every store and load — never a
+//! clock read, so eviction order is a deterministic function of the access
+//! sequence. The key touched most recently is never evicted, even when it
+//! alone exceeds the cap. Counters: `cache.evictions` (keys evicted),
+//! `cache.bytes` (bytes resident after the latest mutation).
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use tvs_delta::{cone_table, interface_signature, netlist_root, ConeManifest};
+use tvs_netlist::Netlist;
 use tvs_stitch::{fnv1a, StitchConfig};
 
 use crate::error::CoreError;
@@ -31,10 +51,24 @@ pub struct ArtifactKey(pub u64);
 
 impl ArtifactKey {
     /// Derives the key from canonical netlist text and a configuration.
+    ///
+    /// This is the *fallback* identity, used when the netlist has no scan
+    /// view; parseable submissions go through [`SubmissionIdentity::of`],
+    /// which keys on the Merkle root instead.
     pub fn compute(canonical_bench: &str, config: &StitchConfig) -> ArtifactKey {
         let bench_hash = fnv1a(canonical_bench.as_bytes());
         let ident = format!(
             "{bench_hash:016x}|{:016x}|{:?}",
+            config.fingerprint(),
+            config.budget
+        );
+        ArtifactKey(fnv1a(ident.as_bytes()))
+    }
+
+    /// Derives the key from a netlist Merkle root and a configuration.
+    pub fn from_root(root: u64, config: &StitchConfig) -> ArtifactKey {
+        let ident = format!(
+            "root {root:016x}|{:016x}|{:?}",
             config.fingerprint(),
             config.budget
         );
@@ -56,23 +90,233 @@ impl std::fmt::Display for ArtifactKey {
     }
 }
 
-/// On-disk artifact + checkpoint store rooted at one cache directory.
+/// Everything the serving layers derive from one submission's netlist: the
+/// artifact key plus, when the netlist has a scan view, the Merkle pieces
+/// delta reuse and fleet routing are built from.
+#[derive(Debug, Clone)]
+pub struct SubmissionIdentity {
+    /// The artifact key (root-based when possible, text-based otherwise).
+    pub key: ArtifactKey,
+    /// The netlist Merkle root, when a scan view exists.
+    pub root: Option<u64>,
+    /// The interface signature, when a scan view exists.
+    pub interface_sig: Option<u64>,
+    /// The cone table, when a scan view exists.
+    pub cones: Option<Vec<(String, u64)>>,
+}
+
+impl SubmissionIdentity {
+    /// Computes the identity of one submission. Every admission path —
+    /// job table, fleet coordinator, CLI — must go through this function,
+    /// or their keys disagree and the cache splits.
+    pub fn of(netlist: &Netlist, canonical: &str, config: &StitchConfig) -> SubmissionIdentity {
+        match netlist.scan_view() {
+            Ok(view) => {
+                let interface_sig = interface_signature(netlist);
+                let cones = cone_table(netlist, &view);
+                let root = netlist_root(interface_sig, &cones);
+                SubmissionIdentity {
+                    key: ArtifactKey::from_root(root, config),
+                    root: Some(root),
+                    interface_sig: Some(interface_sig),
+                    cones: Some(cones),
+                }
+            }
+            Err(_) => SubmissionIdentity {
+                key: ArtifactKey::compute(canonical, config),
+                root: None,
+                interface_sig: None,
+                cones: None,
+            },
+        }
+    }
+
+    /// The routing family: one value for every edit of the same design
+    /// (same interface) under the same configuration.
+    pub fn family(&self, config: &StitchConfig) -> u64 {
+        match self.interface_sig {
+            Some(sig) => tvs_delta::family_key(sig, config.fingerprint()),
+            None => self.key.0,
+        }
+    }
+}
+
+/// The LRU ledger: logical recency ticks and resident bytes per key,
+/// plus the byte cap itself — shared across clones so the cap can be
+/// adjusted on a live store (the daemon's `cache-cap` op).
+#[derive(Debug, Default)]
+struct Ledger {
+    tick: u64,
+    cap: u64,
+    entries: BTreeMap<u64, LedgerEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LedgerEntry {
+    tick: u64,
+    bytes: u64,
+}
+
+impl Ledger {
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.tick = tick;
+        }
+    }
+}
+
+/// On-disk artifact + checkpoint + manifest store rooted at one cache
+/// directory, with optional deterministic LRU eviction.
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     dir: PathBuf,
+    ledger: Arc<Mutex<Ledger>>,
 }
 
+fn lock(m: &Mutex<Ledger>) -> MutexGuard<'_, Ledger> {
+    // The ledger is a plain map; every mutation is complete at any panic
+    // point, so poison carries no signal here.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The sidecar extensions one key owns on disk.
+const KEY_EXTENSIONS: [&str; 3] = ["json", "tvsnap", "manifest"];
+
 impl ArtifactStore {
-    /// Opens (creating if needed) a store at `dir`.
+    /// Opens (creating if needed) an unbounded store at `dir`.
+    ///
+    /// Pre-existing entries seed the recency ledger in key order, so a
+    /// freshly opened store evicts deterministically regardless of
+    /// directory enumeration order.
     pub fn open(dir: impl Into<PathBuf>) -> Result<ArtifactStore, CoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| CoreError::io(dir.display().to_string(), e))?;
-        Ok(ArtifactStore { dir })
+        let store = ArtifactStore {
+            dir,
+            ledger: Arc::new(Mutex::new(Ledger::default())),
+        };
+        store.seed_ledger()?;
+        Ok(store)
+    }
+
+    /// Sets the byte cap (0 = unbounded) and applies it to whatever is
+    /// already resident.
+    pub fn with_cap(self, cap_bytes: u64) -> ArtifactStore {
+        self.set_cap(cap_bytes);
+        self
+    }
+
+    /// Adjusts the byte cap on a live store (0 = unbounded), evicting
+    /// immediately if the resident set no longer fits. All clones of this
+    /// store observe the new cap.
+    pub fn set_cap(&self, cap_bytes: u64) {
+        let mut ledger = lock(&self.ledger);
+        ledger.cap = cap_bytes;
+        self.enforce_cap(&mut ledger);
+        publish_bytes(&ledger);
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The configured byte cap (0 = unbounded).
+    pub fn cap_bytes(&self) -> u64 {
+        lock(&self.ledger).cap
+    }
+
+    fn seed_ledger(&self) -> Result<(), CoreError> {
+        let mut keys: Vec<u64> = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| CoreError::io(self.dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CoreError::io(self.dir.display().to_string(), e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some((stem, ext)) = name.split_once('.') else {
+                continue;
+            };
+            if KEY_EXTENSIONS.contains(&ext) {
+                if let Some(key) = ArtifactKey::parse(stem) {
+                    keys.push(key.0);
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let mut ledger = lock(&self.ledger);
+        for key in keys {
+            ledger.tick += 1;
+            let entry = LedgerEntry {
+                tick: ledger.tick,
+                bytes: self.resident_bytes(ArtifactKey(key)),
+            };
+            ledger.entries.insert(key, entry);
+        }
+        publish_bytes(&ledger);
+        Ok(())
+    }
+
+    /// Sums the on-disk sizes of every file the key owns.
+    fn resident_bytes(&self, key: ArtifactKey) -> u64 {
+        KEY_EXTENSIONS
+            .iter()
+            .map(|ext| {
+                fs::metadata(self.dir.join(format!("{key}.{ext}")))
+                    .map(|m| m.len())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Re-measures a key after a write, bumps its recency and applies the
+    /// cap. The just-touched key is exempt from this round of eviction.
+    fn account(&self, key: ArtifactKey) {
+        let bytes = self.resident_bytes(key);
+        let mut ledger = lock(&self.ledger);
+        ledger.tick += 1;
+        let entry = LedgerEntry {
+            tick: ledger.tick,
+            bytes,
+        };
+        ledger.entries.insert(key.0, entry);
+        self.enforce_cap(&mut ledger);
+        publish_bytes(&ledger);
+    }
+
+    /// Evicts least-recently-used keys until the cap fits, never touching
+    /// the most recently used one.
+    fn enforce_cap(&self, ledger: &mut Ledger) {
+        if ledger.cap == 0 {
+            return;
+        }
+        while ledger.total_bytes() > ledger.cap && ledger.entries.len() > 1 {
+            let newest = ledger
+                .entries
+                .iter()
+                .max_by_key(|(_, e)| e.tick)
+                .map(|(&k, _)| k);
+            let victim = ledger
+                .entries
+                .iter()
+                .filter(|(k, _)| Some(**k) != newest)
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(&k, _)| k);
+            let Some(victim) = victim else { break };
+            ledger.entries.remove(&victim);
+            for ext in KEY_EXTENSIONS {
+                // Missing files are fine: not every key has all sidecars.
+                let _ = fs::remove_file(self.dir.join(format!("{:016x}.{ext}", victim)));
+            }
+            tvs_exec::counter("cache.evictions").incr();
+        }
     }
 
     fn artifact_path(&self, key: ArtifactKey) -> PathBuf {
@@ -84,14 +328,25 @@ impl ArtifactStore {
         self.dir.join(format!("{key}.tvsnap"))
     }
 
+    /// Path of the cone manifest sidecar for `key`.
+    pub fn manifest_path(&self, key: ArtifactKey) -> PathBuf {
+        self.dir.join(format!("{key}.manifest"))
+    }
+
     /// Loads a cached artifact, `None` on a cold key.
     pub fn load(&self, key: ArtifactKey) -> Result<Option<String>, CoreError> {
-        read_optional(&self.artifact_path(key))
+        let loaded = read_optional(&self.artifact_path(key))?;
+        if loaded.is_some() {
+            lock(&self.ledger).touch(key.0);
+        }
+        Ok(loaded)
     }
 
     /// Persists an artifact atomically (temp file + rename).
     pub fn store(&self, key: ArtifactKey, artifact: &str) -> Result<(), CoreError> {
-        write_atomic(&self.artifact_path(key), artifact)
+        write_atomic(&self.artifact_path(key), artifact)?;
+        self.account(key);
+        Ok(())
     }
 
     /// Loads the pending checkpoint for `key`, `None` if absent.
@@ -101,14 +356,19 @@ impl ArtifactStore {
 
     /// Persists a checkpoint atomically.
     pub fn store_snapshot(&self, key: ArtifactKey, text: &str) -> Result<(), CoreError> {
-        write_atomic(&self.snapshot_path(key), text)
+        write_atomic(&self.snapshot_path(key), text)?;
+        self.account(key);
+        Ok(())
     }
 
     /// Drops the checkpoint once its artifact is final. Missing files are
     /// fine — a clean cold run never wrote one.
     pub fn remove_snapshot(&self, key: ArtifactKey) -> Result<(), CoreError> {
         match fs::remove_file(self.snapshot_path(key)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.account(key);
+                Ok(())
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(CoreError::io(
                 self.snapshot_path(key).display().to_string(),
@@ -116,6 +376,89 @@ impl ArtifactStore {
             )),
         }
     }
+
+    /// Loads the cone manifest sidecar for `key`, `None` if absent.
+    pub fn load_manifest(&self, key: ArtifactKey) -> Result<Option<String>, CoreError> {
+        read_optional(&self.manifest_path(key))
+    }
+
+    /// Persists a cone manifest atomically.
+    pub fn store_manifest(&self, key: ArtifactKey, text: &str) -> Result<(), CoreError> {
+        write_atomic(&self.manifest_path(key), text)?;
+        self.account(key);
+        Ok(())
+    }
+
+    /// Finds the nearest cached ancestor of a submission: among every
+    /// parseable manifest with the same interface signature and
+    /// configuration fingerprint (excluding the submission's own key), the
+    /// one sharing the most `(gate name, cone hash)` pairs with `cones`.
+    /// Ties break toward the smallest key, so discovery is deterministic.
+    ///
+    /// Unparseable or mismatching-root sidecars are skipped (counted as
+    /// `delta.manifest_rejected`), never trusted.
+    pub fn find_ancestor(
+        &self,
+        interface_sig: u64,
+        config_fingerprint: u64,
+        cones: &[(String, u64)],
+        exclude: ArtifactKey,
+    ) -> Result<Option<(ArtifactKey, ConeManifest)>, CoreError> {
+        let mut keys: Vec<ArtifactKey> = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| CoreError::io(self.dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CoreError::io(self.dir.display().to_string(), e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(stem) = name.strip_suffix(".manifest") {
+                if let Some(key) = ArtifactKey::parse(stem) {
+                    if key != exclude {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+
+        let target: BTreeMap<&str, u64> = cones
+            .iter()
+            .map(|(name, hash)| (name.as_str(), *hash))
+            .collect();
+        let mut best: Option<(usize, ArtifactKey, ConeManifest)> = None;
+        for key in keys {
+            let Some(text) = self.load_manifest(key)? else {
+                continue;
+            };
+            let manifest = match ConeManifest::parse(&text) {
+                Ok(m) => m,
+                Err(_) => {
+                    tvs_exec::counter("delta.manifest_rejected").incr();
+                    continue;
+                }
+            };
+            if manifest.interface_sig != interface_sig
+                || manifest.config_fingerprint != config_fingerprint
+            {
+                continue;
+            }
+            let score = manifest
+                .cones
+                .iter()
+                .filter(|(name, hash)| target.get(name.as_str()) == Some(hash))
+                .count();
+            // Strictly-better wins; the key sort above settles ties.
+            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                best = Some((score, key, manifest));
+            }
+        }
+        Ok(best.map(|(_, key, manifest)| (key, manifest)))
+    }
+}
+
+/// Publishes the resident-bytes gauge.
+fn publish_bytes(ledger: &Ledger) {
+    tvs_exec::counter("cache.bytes").set(ledger.total_bytes());
 }
 
 fn read_optional(path: &Path) -> Result<Option<String>, CoreError> {
@@ -167,10 +510,23 @@ mod tests {
     }
 
     #[test]
-    fn key_display_round_trips() {
-        let key = ArtifactKey(0x00ab_cdef_0123_4567);
-        assert_eq!(ArtifactKey::parse(&key.to_string()), Some(key));
-        assert_eq!(ArtifactKey::parse("xyz"), None);
+    fn rooted_key_is_comment_proof_and_structure_sensitive() {
+        use tvs_netlist::bench;
+        let cfg = StitchConfig::default();
+        let a = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let b = "# renamed file, same circuit\nINPUT(a)\nOUTPUT(y)\n\ny = NOT(a)\n";
+        let c = "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n";
+        let ident = |text: &str| {
+            let n = bench::parse("t", text).unwrap();
+            SubmissionIdentity::of(&n, &bench::to_string(&n), &cfg)
+        };
+        let (ia, ib, ic) = (ident(a), ident(b), ident(c));
+        assert_eq!(ia.key, ib.key);
+        assert_eq!(ia.root, ib.root);
+        assert_ne!(ia.key, ic.key);
+        // Same interface, different logic: same family (delta routing works
+        // across edits), different key.
+        assert_eq!(ia.family(&cfg), ic.family(&cfg));
     }
 
     #[test]
@@ -191,6 +547,54 @@ mod tests {
         store.remove_snapshot(key).unwrap();
         store.remove_snapshot(key).unwrap(); // idempotent
         assert_eq!(store.load_snapshot(key).unwrap(), None);
+
+        assert_eq!(store.load_manifest(key).unwrap(), None);
+        store.store_manifest(key, "m").unwrap();
+        assert_eq!(store.load_manifest(key).unwrap().as_deref(), Some("m"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first_and_spares_the_newest() {
+        let dir = std::env::temp_dir().join(format!("tvs-cache-lru-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).unwrap().with_cap(64);
+        let payload = "x".repeat(30);
+        store.store(ArtifactKey(1), &payload).unwrap();
+        store.store(ArtifactKey(2), &payload).unwrap();
+        // Both fit (60 <= 64). Touch key 1 so key 2 becomes the LRU victim.
+        assert!(store.load(ArtifactKey(1)).unwrap().is_some());
+        store.store(ArtifactKey(3), &payload).unwrap();
+        assert!(store.load(ArtifactKey(3)).unwrap().is_some(), "newest kept");
+        assert!(
+            store.load(ArtifactKey(1)).unwrap().is_some(),
+            "recently touched key survives"
+        );
+        assert_eq!(store.load(ArtifactKey(2)).unwrap(), None, "LRU evicted");
+
+        // A single oversized entry is kept: never evict the newest.
+        let huge = "y".repeat(200);
+        store.store(ArtifactKey(9), &huge).unwrap();
+        assert!(store.load(ArtifactKey(9)).unwrap().is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_store_seeds_the_ledger_deterministically() {
+        let dir = std::env::temp_dir().join(format!("tvs-cache-seed-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = ArtifactStore::open(&dir).unwrap();
+            for k in [5u64, 3, 8] {
+                store.store(ArtifactKey(k), "0123456789").unwrap();
+            }
+        }
+        // Reopen with a cap that holds two entries: seeding orders recency
+        // by key, so key 3 (smallest) is the deterministic victim.
+        let store = ArtifactStore::open(&dir).unwrap().with_cap(25);
+        assert_eq!(store.load(ArtifactKey(3)).unwrap(), None);
+        assert!(store.load(ArtifactKey(5)).unwrap().is_some());
+        assert!(store.load(ArtifactKey(8)).unwrap().is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -15,6 +15,16 @@ pub enum CoreError {
         /// The queue's admission bound.
         capacity: usize,
     },
+    /// The submitting client is at its in-flight job quota; the caller
+    /// should wait for one of its open jobs to finish.
+    QuotaExceeded {
+        /// The client identity that hit its quota.
+        client: String,
+        /// The client's jobs currently in flight.
+        open: usize,
+        /// The per-client admission limit.
+        limit: usize,
+    },
     /// A job id this table never issued (or has no record of).
     UnknownJob(String),
     /// The job ran and failed; the message is the engine's error.
@@ -57,6 +67,16 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Busy { open, capacity } => {
                 write!(f, "server busy: {open} of {capacity} job slots in flight")
+            }
+            CoreError::QuotaExceeded {
+                client,
+                open,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "client {client:?} at its admission quota: {open} of {limit} jobs in flight"
+                )
             }
             CoreError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
             CoreError::JobFailed(m) => write!(f, "job failed: {m}"),

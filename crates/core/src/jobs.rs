@@ -20,23 +20,40 @@
 //! starts, and the verdict is cached per key so identical resubmissions are
 //! rejected without re-analysis.
 //!
+//! Submissions are **delta-aware**: a cache miss searches the store for the
+//! nearest cached ancestor manifest (same interface and configuration, most
+//! shared cone hashes) and derives a prescreen replay plan from it — clean
+//! faults reuse the ancestor's verdicts verbatim, dirty ones recompute — and
+//! every successful run persists its own cone manifest sidecar for future
+//! edits to diff against. Replay changes where prescreen verdicts come from,
+//! never their values, so a delta run's artifact is byte-identical to a cold
+//! run's. Any manifest defect falls back to a cold run.
+//!
+//! Per-client **admission quotas** (opt-in via [`JobTable::with_client_quota`])
+//! bound the in-flight engine runs any one client identity can hold; cache,
+//! dedup and rejection hits are never charged against the quota.
+//!
 //! Counters: `serve.submits`, `serve.engine_runs`, `serve.cache_hits`,
 //! `serve.dedup_hits`, `serve.rejected`, `serve.rejected_cache_hits`,
-//! `serve.jobs_failed` — all through tvs-exec's stats layer so `tvs serve`'s
-//! `stats` op and `tvs run --stats` read one ledger.
+//! `serve.jobs_failed`, `serve.quota_rejected`, `delta.faults_reused`,
+//! `delta.cones_dirty`, `delta.plans`, `delta.manifest_rejected` — all
+//! through tvs-exec's stats layer so `tvs serve`'s `stats` op and
+//! `tvs run --stats` read one ledger.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use tvs_delta::{plan_for, ConeManifest};
 use tvs_exec::{JobHandle, JobQueue, QueueFull};
 use tvs_netlist::{bench, Netlist};
 use tvs_stitch::{
-    RunOptions, RunProgress, Snapshot, StitchConfig, StitchEngine, StitchReport, Termination,
+    PrescreenRecord, PrescreenTrace, RunOptions, RunProgress, Snapshot, StitchConfig, StitchEngine,
+    StitchReport, Termination,
 };
 
-use crate::cache::{ArtifactKey, ArtifactStore};
+use crate::cache::{ArtifactKey, ArtifactStore, SubmissionIdentity};
 use crate::error::CoreError;
 use crate::json::Value;
 
@@ -91,6 +108,8 @@ struct TableInner {
     rejections: BTreeMap<u64, String>,
     /// Keys that already passed the lint gate (the accept-side memo).
     admitted: BTreeSet<u64>,
+    /// Engine runs in flight per client identity (quota accounting).
+    in_flight: BTreeMap<String, usize>,
     next_id: u64,
 }
 
@@ -123,6 +142,8 @@ pub struct JobTable {
     inner: Arc<Mutex<TableInner>>,
     /// Cycles between checkpoint snapshots while a job runs (0 = never).
     checkpoint_every: usize,
+    /// Max in-flight engine runs per client identity (0 = unlimited).
+    client_quota: usize,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -145,7 +166,16 @@ impl JobTable {
             store,
             inner: Arc::new(Mutex::new(TableInner::default())),
             checkpoint_every,
+            client_quota: 0,
         }
+    }
+
+    /// Caps the in-flight engine runs any single client identity may hold
+    /// (0 = unlimited). Anonymous submissions are exempt; cache, dedup and
+    /// rejection hits never count against the quota.
+    pub fn with_client_quota(mut self, quota: usize) -> JobTable {
+        self.client_quota = quota;
+        self
     }
 
     /// The artifact store backing this table.
@@ -204,7 +234,8 @@ impl JobTable {
         })
     }
 
-    /// Submits `.bench` source for compression under `config`.
+    /// Submits `.bench` source for compression under `config`, optionally
+    /// on behalf of a named `client` (quota accounting).
     ///
     /// Returns the issued job id and how the submission was satisfied.
     ///
@@ -214,13 +245,15 @@ impl JobTable {
     /// [`CoreError::Rejected`] when deny-level lint findings block
     /// admission (structural builder errors and design-rule violations
     /// alike; the diagnostics ride along as JSON),
-    /// [`CoreError::Busy`] when the queue is at capacity, and I/O errors
-    /// from the artifact store.
+    /// [`CoreError::Busy`] when the queue is at capacity,
+    /// [`CoreError::QuotaExceeded`] when the client is at its in-flight
+    /// limit, and I/O errors from the artifact store.
     pub fn submit(
         &self,
         name: &str,
         bench_text: &str,
         config: StitchConfig,
+        client: Option<&str>,
     ) -> Result<(String, Admission), CoreError> {
         tvs_exec::counter("serve.submits").incr();
         let netlist = match bench::parse(name, bench_text) {
@@ -242,7 +275,8 @@ impl JobTable {
             }
         };
         let canonical = bench::to_string(&netlist);
-        let key = ArtifactKey::compute(&canonical, &config);
+        let identity = SubmissionIdentity::of(&netlist, &canonical, &config);
+        let key = identity.key;
 
         if let Some(hit) = self.cached_rejection(key) {
             return Err(hit);
@@ -262,30 +296,35 @@ impl JobTable {
 
         // Fast path checks happen under the table lock so two identical
         // submissions cannot both decide to start an engine run.
-        let mut inner = lock(&self.inner);
-
-        if let Some(existing) = inner.by_key.get(&key.0) {
-            let id = existing.clone();
-            if inner.jobs.contains_key(&id) {
-                tvs_exec::counter("serve.dedup_hits").incr();
-                return Ok((id, Admission::DedupHit));
-            }
+        if let Some(hit) = self.fast_path(&mut lock(&self.inner), key)? {
+            return Ok(hit);
         }
 
-        if let Some(artifact) = self.store.load(key)? {
-            tvs_exec::counter("serve.cache_hits").incr();
-            let id = next_id(&mut inner);
-            let progress = Arc::new(ProgressCells::default());
-            progress.started.store(1, Ordering::Release);
-            inner.jobs.insert(
-                id.clone(),
-                JobEntry {
-                    key,
-                    handle: JobHandle::ready(Ok(artifact)),
-                    progress,
-                },
-            );
-            return Ok((id, Admission::CacheHit));
+        // A genuine miss: search the store for the nearest ancestor
+        // manifest and derive the prescreen replay plan — outside the
+        // lock, since support hashing is real work.
+        let plan = self.delta_plan(&identity, &netlist, &config);
+
+        let mut inner = lock(&self.inner);
+        // An identical submission may have raced ahead while manifests
+        // were being diffed; single-flight still holds because this check
+        // and the enqueue below share one critical section.
+        if let Some(hit) = self.fast_path(&mut inner, key)? {
+            return Ok(hit);
+        }
+
+        if self.client_quota > 0 {
+            if let Some(client) = client {
+                let open = inner.in_flight.get(client).copied().unwrap_or(0);
+                if open >= self.client_quota {
+                    tvs_exec::counter("serve.quota_rejected").incr();
+                    return Err(CoreError::QuotaExceeded {
+                        client: client.to_owned(),
+                        open,
+                        limit: self.client_quota,
+                    });
+                }
+            }
         }
 
         let id = next_id(&mut inner);
@@ -295,6 +334,11 @@ impl JobTable {
         let closure_inner = Arc::clone(&self.inner);
         let closure_store = self.store.clone();
         let closure_id = id.clone();
+        let closure_client = if self.client_quota > 0 {
+            client.map(str::to_owned)
+        } else {
+            None
+        };
         let checkpoint_every = self.checkpoint_every;
         let handle = self
             .queue
@@ -304,6 +348,7 @@ impl JobTable {
                     &config,
                     key,
                     resume,
+                    plan,
                     checkpoint_every,
                     &closure_store,
                     &closure_progress,
@@ -311,6 +356,14 @@ impl JobTable {
                 // Retire the single-flight entry: later identical submissions
                 // must consult the artifact store, not a finished handle.
                 let mut inner = lock(&closure_inner);
+                if let Some(client) = &closure_client {
+                    if let Some(open) = inner.in_flight.get_mut(client) {
+                        *open = open.saturating_sub(1);
+                        if *open == 0 {
+                            inner.in_flight.remove(client);
+                        }
+                    }
+                }
                 if inner.by_key.get(&key.0) == Some(&closure_id) {
                     inner.by_key.remove(&key.0);
                 }
@@ -320,6 +373,11 @@ impl JobTable {
                 // Roll back: the id was minted but no job exists under it.
                 CoreError::Busy { open, capacity }
             })?;
+        if self.client_quota > 0 {
+            if let Some(client) = client {
+                *inner.in_flight.entry(client.to_owned()).or_insert(0) += 1;
+            }
+        }
         inner.by_key.insert(key.0, id.clone());
         inner.jobs.insert(
             id.clone(),
@@ -330,6 +388,71 @@ impl JobTable {
             },
         );
         Ok((id, Admission::Miss))
+    }
+
+    /// The dedup and cache-hit fast paths, evaluated under the caller's
+    /// table lock.
+    fn fast_path(
+        &self,
+        inner: &mut TableInner,
+        key: ArtifactKey,
+    ) -> Result<Option<(String, Admission)>, CoreError> {
+        if let Some(existing) = inner.by_key.get(&key.0) {
+            let id = existing.clone();
+            if inner.jobs.contains_key(&id) {
+                tvs_exec::counter("serve.dedup_hits").incr();
+                return Ok(Some((id, Admission::DedupHit)));
+            }
+        }
+        if let Some(artifact) = self.store.load(key)? {
+            tvs_exec::counter("serve.cache_hits").incr();
+            let id = next_id(inner);
+            let progress = Arc::new(ProgressCells::default());
+            progress.started.store(1, Ordering::Release);
+            inner.jobs.insert(
+                id.clone(),
+                JobEntry {
+                    key,
+                    handle: JobHandle::ready(Ok(artifact)),
+                    progress,
+                },
+            );
+            return Ok(Some((id, Admission::CacheHit)));
+        }
+        Ok(None)
+    }
+
+    /// Searches the store for the nearest cached ancestor and derives the
+    /// prescreen replay plan. Every failure mode — no scan view, no
+    /// ancestor, unreadable store, mismatching or forged manifest — is a
+    /// cold run, never an error: reuse is an optimization, not a contract.
+    fn delta_plan(
+        &self,
+        identity: &SubmissionIdentity,
+        netlist: &Netlist,
+        config: &StitchConfig,
+    ) -> Option<Vec<Option<PrescreenRecord>>> {
+        let (interface_sig, cones) = match (identity.interface_sig, identity.cones.as_ref()) {
+            (Some(sig), Some(cones)) => (sig, cones),
+            _ => return None,
+        };
+        let fingerprint = config.fingerprint();
+        let (_, manifest) = self
+            .store
+            .find_ancestor(interface_sig, fingerprint, cones, identity.key)
+            .ok()
+            .flatten()?;
+        match plan_for(&manifest, netlist, fingerprint) {
+            Ok(plan) => {
+                tvs_exec::counter("delta.plans").incr();
+                tvs_exec::counter("delta.cones_dirty").add(plan.cones_dirty as u64);
+                Some(plan.plan)
+            }
+            Err(_) => {
+                tvs_exec::counter("delta.manifest_rejected").incr();
+                None
+            }
+        }
     }
 
     /// A point-in-time status of `job_id`.
@@ -425,29 +548,33 @@ fn entry_status(entry: &JobEntry) -> JobStatus {
     }
 }
 
-/// Executes one engine run end to end: resume-or-cold stitch, artifact
-/// rendering, persistence, checkpoint cleanup.
+/// Executes one engine run end to end: resume-or-cold stitch (with an
+/// optional prescreen replay plan), artifact rendering, persistence,
+/// checkpoint cleanup, manifest sidecar emission.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     netlist: &Netlist,
     config: &StitchConfig,
     key: ArtifactKey,
     resume_text: Option<String>,
+    plan: Option<Vec<Option<PrescreenRecord>>>,
     checkpoint_every: usize,
     store: &ArtifactStore,
     progress: &ProgressCells,
 ) -> JobResult {
     progress.started.store(1, Ordering::Release);
     tvs_exec::counter("serve.engine_runs").incr();
-    let report = match run_engine(
+    let (report, trace) = match run_engine(
         netlist,
         config,
         resume_text,
+        plan,
         checkpoint_every,
         store,
         key,
         progress,
     ) {
-        Ok(report) => report,
+        Ok(outcome) => outcome,
         Err(message) => {
             tvs_exec::counter("serve.jobs_failed").incr();
             return Err(message);
@@ -458,6 +585,17 @@ fn run_job(
         tvs_exec::counter("serve.jobs_failed").incr();
         return Err(e.to_string());
     }
+    // Persist the cone manifest so future edits can diff against this run.
+    // Best-effort: a failed sidecar write costs future reuse, never
+    // correctness. Resumed runs skip the prescreen and emit no trace.
+    if let Some(trace) = trace {
+        tvs_exec::counter("delta.faults_reused").add(trace.reused as u64);
+        if let Ok(manifest) = ConeManifest::build(netlist, config.fingerprint(), &trace.records) {
+            if store.store_manifest(key, &manifest.to_text()).is_err() {
+                tvs_exec::counter("delta.manifest_write_failed").incr();
+            }
+        }
+    }
     if let Err(e) = store.remove_snapshot(key) {
         // The artifact is already final; a stale snapshot only costs disk.
         tvs_exec::counter("serve.snapshot_cleanup_failed").incr();
@@ -466,19 +604,23 @@ fn run_job(
     Ok(artifact)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_engine(
     netlist: &Netlist,
     config: &StitchConfig,
     resume_text: Option<String>,
+    plan: Option<Vec<Option<PrescreenRecord>>>,
     checkpoint_every: usize,
     store: &ArtifactStore,
     key: ArtifactKey,
     progress: &ProgressCells,
-) -> Result<StitchReport, String> {
+) -> Result<(StitchReport, Option<PrescreenTrace>), String> {
     let engine = StitchEngine::new(netlist).map_err(|e| e.to_string())?;
     let resume = resume_text.and_then(|text| Snapshot::parse(&text).ok());
     let resumed = resume.is_some();
 
+    let mut trace = None;
+    let mut on_prescreen = |t: PrescreenTrace| trace = Some(t);
     let mut on_progress = |p: RunProgress| {
         progress.cycle.store(p.cycle, Ordering::Release);
         progress.caught.store(p.caught, Ordering::Release);
@@ -499,15 +641,19 @@ fn run_engine(
             checkpoint_every,
             on_checkpoint: Some(&mut on_checkpoint),
             on_progress: Some(&mut on_progress),
+            prescreen_plan: plan.clone(),
+            on_prescreen: Some(&mut on_prescreen),
         },
     );
     match attempt {
-        Ok(report) => Ok(report),
+        Ok(report) => Ok((report, trace)),
         // A stale or incompatible on-disk checkpoint (e.g. from an older
         // config sharing the key by collision) must not fail the job: fall
         // back to a cold run.
         Err(tvs_stitch::StitchError::Snapshot(_)) if resumed => {
             tvs_exec::counter("serve.snapshot_rejected").incr();
+            let mut trace = None;
+            let mut on_prescreen = |t: PrescreenTrace| trace = Some(t);
             let mut on_progress = |p: RunProgress| {
                 progress.cycle.store(p.cycle, Ordering::Release);
                 progress.caught.store(p.caught, Ordering::Release);
@@ -527,8 +673,11 @@ fn run_engine(
                         checkpoint_every,
                         on_checkpoint: Some(&mut on_checkpoint),
                         on_progress: Some(&mut on_progress),
+                        prescreen_plan: plan,
+                        on_prescreen: Some(&mut on_prescreen),
                     },
                 )
+                .map(|report| (report, trace))
                 .map_err(|e| e.to_string())
         }
         Err(e) => Err(e.to_string()),
@@ -597,7 +746,7 @@ mod tests {
         let table = table("cyclic");
         let bench = "INPUT(a)\nOUTPUT(y)\nb = AND(a, c)\nc = NOT(b)\ny = AND(a, b)\n";
         let config = StitchConfig::default();
-        match table.submit("cyclic", bench, config.clone()) {
+        match table.submit("cyclic", bench, config.clone(), None) {
             Err(CoreError::Rejected {
                 diagnostics,
                 cached,
@@ -608,7 +757,7 @@ mod tests {
             }
             other => panic!("expected lint rejection, got {other:?}"),
         }
-        match table.submit("cyclic", bench, config) {
+        match table.submit("cyclic", bench, config, None) {
             Err(CoreError::Rejected { cached, .. }) => {
                 assert!(cached, "resubmission must hit the rejection cache");
             }
@@ -621,7 +770,7 @@ mod tests {
     #[test]
     fn syntax_errors_keep_the_plain_netlist_error_path() {
         let table = table("syntax");
-        match table.submit("bad", "this is not bench\n", StitchConfig::default()) {
+        match table.submit("bad", "this is not bench\n", StitchConfig::default(), None) {
             Err(CoreError::Netlist(message)) => {
                 assert!(message.contains("parse error"), "{message}");
             }

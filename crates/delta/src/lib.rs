@@ -1,0 +1,42 @@
+//! **tvs-delta** — incremental recompression through cone-level content
+//! addressing.
+//!
+//! The artifact cache keys a run by the whole canonicalized `.bench`, so a
+//! one-gate edit of a large design used to mean a full cold run. This crate
+//! Merkle-izes the netlist instead: every gate gets a **cone hash** — an
+//! FNV-1a fingerprint of its entire fanin cone, rolled bottom-up in
+//! topological order ([`cones::cone_hashes`]) — and every collapsed fault
+//! gets a **support hash** covering exactly the circuit region that can
+//! influence its prescreen verdicts ([`cones::fault_supports`]). A
+//! [`ConeManifest`] bundles the cone table, the per-fault supports and the
+//! recorded prescreen outcome ([`tvs_stitch::PrescreenRecord`]s) into a
+//! checksummed sidecar next to the artifact.
+//!
+//! On resubmission of an edited design, [`manifest::plan_for`] diffs the new
+//! supports against a cached ancestor's manifest: faults whose support hash
+//! is unchanged are *clean* and replay the recorded verdicts verbatim;
+//! everything else is *dirty* and re-simulated through the ordinary
+//! `SimSession`/`StaticPrune` paths. The replay changes where verdicts come
+//! from — never their values, budget charges or PRNG draws — so a delta run
+//! is **byte-identical** to a cold run of the edited netlist.
+//!
+//! The support hash is deliberately conservative. It folds, in topological
+//! (Kahn) order, the cone hashes of every gate in the fault's combinational
+//! fanout region, plus the positions of the primary and pseudo-primary
+//! outputs that observe the region. Kahn-order folding also pins the
+//! region's relative evaluation order, which PODEM's D-frontier tie-breaks
+//! depend on: any edit that could reorder the frontier walk changes the
+//! fold and dirties the fault. Flip-flops hash as leaves (sequential loops
+//! stay finite); a fault on a flip-flop's D pin therefore folds the D
+//! driver's cone explicitly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cones;
+pub mod manifest;
+
+pub use cones::{
+    cone_hashes, cone_table, family_key, fault_supports, interface_signature, netlist_root,
+};
+pub use manifest::{plan_for, ConeManifest, DeltaPlan, ManifestError, ManifestFault};

@@ -1,0 +1,499 @@
+//! The cone manifest: a checksummed text sidecar recording a run's cone
+//! table, per-fault support hashes and prescreen outcome, plus the diff
+//! that turns a cached manifest into a prescreen replay plan.
+//!
+//! The on-disk form mirrors the snapshot format: a `tvs-manifest v1` header,
+//! line-oriented sections, and a closing FNV-1a-64 checksum line. Parsing
+//! validates structure, counts, the checksum *and* the recorded root (it is
+//! recomputed from the interface and cone lines), so a forged cone hash, a
+//! dropped entry or a stale root all fail with a typed [`ManifestError`] —
+//! callers fall back to a cold run, never to a wrong reuse.
+
+use std::error::Error;
+use std::fmt;
+
+use tvs_fault::{Fault, FaultList, StuckAt};
+use tvs_netlist::Netlist;
+use tvs_stitch::{fnv1a, PodemVerdict, PrescreenRecord};
+
+use crate::cones::{fault_supports, interface_signature, netlist_root};
+
+/// The format version this build writes and reads.
+pub const MANIFEST_VERSION: u32 = 1;
+
+const HEADER: &str = "tvs-manifest v1";
+
+/// Errors from building, parsing or diffing a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManifestError {
+    /// The text ends before the closing checksum line.
+    Truncated,
+    /// The body does not hash to the recorded checksum.
+    Checksum {
+        /// The checksum the file claims.
+        expected: u64,
+        /// The checksum the body actually hashes to.
+        found: u64,
+    },
+    /// The header names a version this build does not read.
+    Version(String),
+    /// A body line is malformed.
+    Parse {
+        /// 1-based line number of the defect.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The recorded root does not match the interface and cone lines it
+    /// claims to summarize (forged cone hash, dropped entry or stale root).
+    Root {
+        /// The root the file claims.
+        expected: u64,
+        /// The root the cone lines actually hash to.
+        found: u64,
+    },
+    /// The manifest is well-formed but belongs to a different circuit
+    /// interface or configuration than the submission diffing against it.
+    Mismatch(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Truncated => write!(f, "manifest truncated before its checksum line"),
+            ManifestError::Checksum { expected, found } => write!(
+                f,
+                "manifest checksum mismatch: file claims {expected:016x}, body hashes to {found:016x}"
+            ),
+            ManifestError::Version(v) => write!(f, "unsupported manifest header {v:?}"),
+            ManifestError::Parse { line, message } => write!(f, "manifest line {line}: {message}"),
+            ManifestError::Root { expected, found } => write!(
+                f,
+                "manifest root mismatch: file claims {expected:016x}, cone table hashes to {found:016x}"
+            ),
+            ManifestError::Mismatch(what) => {
+                write!(f, "manifest does not match this submission: {what}")
+            }
+        }
+    }
+}
+
+impl Error for ManifestError {}
+
+/// One collapsed fault's manifest entry: identity (by signal name, so it
+/// survives gate-id renumbering), support hash and recorded prescreen
+/// outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestFault {
+    /// Site gate's signal name.
+    pub gate: String,
+    /// `None` = output stem; `Some(p)` = input pin `p`.
+    pub pin: Option<u32>,
+    /// The stuck value.
+    pub stuck: StuckAt,
+    /// The fault's support hash on the recorded netlist.
+    pub support: u64,
+    /// The recorded prescreen outcome.
+    pub record: PrescreenRecord,
+}
+
+/// A run's cone manifest: everything a later submission needs to decide
+/// which prescreen verdicts it may reuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeManifest {
+    /// Netlist name (diagnostics only; identity lives in the hashes).
+    pub circuit: String,
+    /// Interface signature (see [`interface_signature`]).
+    pub interface_sig: u64,
+    /// Stitch-configuration fingerprint the run used. The budget is
+    /// deliberately not part of manifest validity: the prescreen charges
+    /// the budget but never stops early on it, so its verdicts are
+    /// budget-independent.
+    pub config_fingerprint: u64,
+    /// Root over the interface signature and cone table.
+    pub root: u64,
+    /// `(gate name, cone hash)` for every gate, in dense id order.
+    pub cones: Vec<(String, u64)>,
+    /// One entry per collapsed fault, in collapsed list order.
+    pub faults: Vec<ManifestFault>,
+}
+
+impl ConeManifest {
+    /// Builds the manifest for a completed run from its netlist, stitch
+    /// configuration fingerprint and captured prescreen records.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Mismatch`] when the records do not align with the
+    /// netlist's collapsed fault list, or when the netlist has no scan view
+    /// (a combinational cycle — such a netlist cannot have run at all).
+    pub fn build(
+        netlist: &Netlist,
+        config_fingerprint: u64,
+        records: &[PrescreenRecord],
+    ) -> Result<ConeManifest, ManifestError> {
+        let view = netlist
+            .scan_view()
+            .map_err(|e| ManifestError::Mismatch(format!("no scan view: {e}")))?;
+        let collapsed = FaultList::collapsed(netlist);
+        if records.len() != collapsed.len() {
+            return Err(ManifestError::Mismatch(format!(
+                "{} prescreen records for {} collapsed faults",
+                records.len(),
+                collapsed.len()
+            )));
+        }
+        let interface_sig = interface_signature(netlist);
+        let cones = crate::cones::cone_table(netlist, &view);
+        let supports = fault_supports(netlist, &view, collapsed.faults());
+        let faults = collapsed
+            .faults()
+            .iter()
+            .zip(supports)
+            .zip(records)
+            .map(|((fault, support), &record)| ManifestFault {
+                gate: netlist.gate_name(fault.site.gate).to_string(),
+                pin: fault.site.pin,
+                stuck: fault.stuck,
+                support,
+                record,
+            })
+            .collect();
+        Ok(ConeManifest {
+            circuit: netlist.name().to_string(),
+            interface_sig,
+            config_fingerprint,
+            root: netlist_root(interface_sig, &cones),
+            cones,
+            faults,
+        })
+    }
+
+    /// Renders the manifest as its versioned text form, checksum included.
+    pub fn to_text(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        // Infallible: writing to a String cannot error. lint:allow(SRC005)
+        let mut w = |line: String| writeln!(s, "{line}").expect("write to String");
+        w(HEADER.to_string());
+        w(format!("circuit {}", self.circuit));
+        w(format!("interface {:016x}", self.interface_sig));
+        w(format!("config {:016x}", self.config_fingerprint));
+        w(format!("root {:016x}", self.root));
+        w(format!("cones {}", self.cones.len()));
+        for (name, hash) in &self.cones {
+            w(format!("c {hash:016x} {name}"));
+        }
+        w(format!("faults {}", self.faults.len()));
+        for f in &self.faults {
+            let pin = match f.pin {
+                Some(p) => p.to_string(),
+                None => "-".to_string(),
+            };
+            let round = match f.record.first_detect_round {
+                Some(r) => r.to_string(),
+                None => "-".to_string(),
+            };
+            let podem = match f.record.podem {
+                Some((verdict, backtracks)) => format!("{}{backtracks}", verdict.code()),
+                None => "-".to_string(),
+            };
+            w(format!(
+                "f {pin} {} {:016x} {round} {podem} {}",
+                f.stuck, f.support, f.gate
+            ));
+        }
+        let sum = fnv1a(s.as_bytes());
+        s.push_str(&format!("checksum {sum:016x}\n"));
+        s
+    }
+
+    /// Parses the text form, verifying header, checksum, counts and that
+    /// the recorded root matches the interface and cone lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Truncated`] without a closing checksum line,
+    /// [`ManifestError::Checksum`] when the body was altered,
+    /// [`ManifestError::Version`] for a foreign header,
+    /// [`ManifestError::Parse`] for malformed body lines and
+    /// [`ManifestError::Root`] when the cone table does not hash to the
+    /// recorded root.
+    pub fn parse(text: &str) -> Result<Self, ManifestError> {
+        let trimmed = text.trim_end_matches('\n');
+        let (body, last) = match trimmed.rfind('\n') {
+            Some(pos) => (&text[..pos + 1], &trimmed[pos + 1..]),
+            None => return Err(ManifestError::Truncated),
+        };
+        let expected = last
+            .strip_prefix("checksum ")
+            .ok_or(ManifestError::Truncated)?;
+        let expected =
+            u64::from_str_radix(expected.trim(), 16).map_err(|_| ManifestError::Truncated)?;
+        let found = fnv1a(body.as_bytes());
+        if expected != found {
+            return Err(ManifestError::Checksum { expected, found });
+        }
+
+        let mut lines = body.lines().enumerate();
+        let mut next = |what: &str| -> Result<(usize, &str), ManifestError> {
+            lines
+                .next()
+                .map(|(i, l)| (i + 1, l))
+                .ok_or_else(|| ManifestError::Parse {
+                    line: 0,
+                    message: format!("missing {what} line"),
+                })
+        };
+
+        let (_, header) = next("header")?;
+        if header != HEADER {
+            return Err(ManifestError::Version(header.to_string()));
+        }
+
+        let (line, text) = next("circuit")?;
+        let circuit = field(line, text, "circuit")?.to_string();
+
+        let (line, text) = next("interface")?;
+        let interface_sig = parse_hex(line, field(line, text, "interface")?)?;
+
+        let (line, text) = next("config")?;
+        let config_fingerprint = parse_hex(line, field(line, text, "config")?)?;
+
+        let (line, text) = next("root")?;
+        let root = parse_hex(line, field(line, text, "root")?)?;
+
+        let (line, text) = next("cones")?;
+        let cn = parse_num(line, field(line, text, "cones")?, "cone count")? as usize;
+        let mut cones = Vec::with_capacity(cap_alloc(cn));
+        for _ in 0..cn {
+            let (line, text) = next("cone entry")?;
+            let rest = field(line, text, "c")?;
+            let mut it = rest.splitn(2, ' ');
+            let hash = parse_hex(line, it.next().unwrap_or_default())?;
+            let name = it
+                .next()
+                .ok_or_else(|| malformed(line, "missing gate name"))?
+                .to_string();
+            cones.push((name, hash));
+        }
+
+        let (line, text) = next("faults")?;
+        let fan = parse_num(line, field(line, text, "faults")?, "fault count")? as usize;
+        let mut faults = Vec::with_capacity(cap_alloc(fan));
+        for _ in 0..fan {
+            let (line, text) = next("fault entry")?;
+            let rest = field(line, text, "f")?;
+            let mut it = rest.splitn(6, ' ');
+            let pin = match it.next() {
+                Some("-") => None,
+                Some(p) => Some(
+                    p.parse::<u32>()
+                        .map_err(|_| malformed(line, &format!("bad pin {p:?}")))?,
+                ),
+                None => return Err(malformed(line, "missing pin")),
+            };
+            let stuck = match it.next() {
+                Some("0") => StuckAt::Zero,
+                Some("1") => StuckAt::One,
+                other => return Err(malformed(line, &format!("bad stuck value {other:?}"))),
+            };
+            let support = parse_hex(
+                line,
+                it.next()
+                    .ok_or_else(|| malformed(line, "missing support"))?,
+            )?;
+            let first_detect_round = match it.next() {
+                Some("-") => None,
+                Some(r) => {
+                    let r = r
+                        .parse::<u8>()
+                        .map_err(|_| malformed(line, &format!("bad round {r:?}")))?;
+                    if r >= 8 {
+                        return Err(malformed(line, &format!("round {r} out of range")));
+                    }
+                    Some(r)
+                }
+                None => return Err(malformed(line, "missing detect round")),
+            };
+            let podem = match it.next() {
+                Some("-") => None,
+                Some(v) => {
+                    let mut chars = v.chars();
+                    let verdict = chars
+                        .next()
+                        .and_then(PodemVerdict::from_code)
+                        .ok_or_else(|| malformed(line, &format!("bad podem verdict {v:?}")))?;
+                    let backtracks = chars
+                        .as_str()
+                        .parse::<u32>()
+                        .map_err(|_| malformed(line, &format!("bad backtrack count {v:?}")))?;
+                    Some((verdict, backtracks))
+                }
+                None => return Err(malformed(line, "missing podem verdict")),
+            };
+            let gate = it
+                .next()
+                .ok_or_else(|| malformed(line, "missing gate name"))?
+                .to_string();
+            faults.push(ManifestFault {
+                gate,
+                pin,
+                stuck,
+                support,
+                record: PrescreenRecord {
+                    first_detect_round,
+                    podem,
+                },
+            });
+        }
+
+        let recomputed = netlist_root(interface_sig, &cones);
+        if recomputed != root {
+            return Err(ManifestError::Root {
+                expected: root,
+                found: recomputed,
+            });
+        }
+
+        Ok(ConeManifest {
+            circuit,
+            interface_sig,
+            config_fingerprint,
+            root,
+            cones,
+            faults,
+        })
+    }
+}
+
+/// The result of diffing a cached manifest against an edited netlist: a
+/// prescreen replay plan plus the reuse accounting the counters report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// One entry per collapsed fault of the *edited* netlist: `Some` replays
+    /// the ancestor's record (clean support), `None` recomputes (dirty).
+    pub plan: Vec<Option<PrescreenRecord>>,
+    /// Collapsed fault count of the edited netlist.
+    pub faults_total: usize,
+    /// Faults whose support hash matched the ancestor (clean).
+    pub faults_matched: usize,
+    /// Gates of the edited netlist whose cone hash differs from (or is
+    /// absent in) the ancestor's cone table.
+    pub cones_dirty: usize,
+}
+
+/// Diffs a cached ancestor manifest against an edited netlist and derives
+/// the prescreen replay plan.
+///
+/// # Errors
+///
+/// [`ManifestError::Mismatch`] when the manifest belongs to a different
+/// interface or configuration (reuse would be unsound), or when the edited
+/// netlist has no scan view.
+pub fn plan_for(
+    manifest: &ConeManifest,
+    netlist: &Netlist,
+    config_fingerprint: u64,
+) -> Result<DeltaPlan, ManifestError> {
+    if manifest.config_fingerprint != config_fingerprint {
+        return Err(ManifestError::Mismatch(format!(
+            "configuration fingerprint {:016x} vs {:016x}",
+            manifest.config_fingerprint, config_fingerprint
+        )));
+    }
+    let view = netlist
+        .scan_view()
+        .map_err(|e| ManifestError::Mismatch(format!("no scan view: {e}")))?;
+    let interface_sig = interface_signature(netlist);
+    if manifest.interface_sig != interface_sig {
+        return Err(ManifestError::Mismatch(format!(
+            "interface signature {:016x} vs {:016x}",
+            manifest.interface_sig, interface_sig
+        )));
+    }
+
+    let ancestor: std::collections::BTreeMap<(&str, Option<u32>, bool), (u64, PrescreenRecord)> =
+        manifest
+            .faults
+            .iter()
+            .map(|f| {
+                (
+                    (f.gate.as_str(), f.pin, f.stuck.as_bool()),
+                    (f.support, f.record),
+                )
+            })
+            .collect();
+
+    let collapsed = FaultList::collapsed(netlist);
+    let supports = fault_supports(netlist, &view, collapsed.faults());
+    let plan: Vec<Option<PrescreenRecord>> = collapsed
+        .faults()
+        .iter()
+        .zip(&supports)
+        .map(|(fault, &support)| {
+            let key = (
+                netlist.gate_name(fault.site.gate),
+                fault.site.pin,
+                fault.stuck.as_bool(),
+            );
+            ancestor
+                .get(&key)
+                .filter(|&&(ancestor_support, _)| ancestor_support == support)
+                .map(|&(_, record)| record)
+        })
+        .collect();
+    let faults_matched = plan.iter().filter(|p| p.is_some()).count();
+
+    let ancestor_cones: std::collections::BTreeMap<&str, u64> = manifest
+        .cones
+        .iter()
+        .map(|(name, hash)| (name.as_str(), *hash))
+        .collect();
+    let cones_dirty = crate::cones::cone_table(netlist, &view)
+        .iter()
+        .filter(|(name, hash)| ancestor_cones.get(name.as_str()) != Some(hash))
+        .count();
+
+    Ok(DeltaPlan {
+        faults_total: plan.len(),
+        faults_matched,
+        plan,
+        cones_dirty,
+    })
+}
+
+/// Caps a section count before it is used as an allocation hint — the same
+/// defense the snapshot parser uses against forged count lines.
+fn cap_alloc(n: usize) -> usize {
+    n.min(4096)
+}
+
+fn malformed(line: usize, message: &str) -> ManifestError {
+    ManifestError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn field<'t>(line: usize, text: &'t str, key: &str) -> Result<&'t str, ManifestError> {
+    text.strip_prefix(key)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| malformed(line, &format!("expected a {key:?} line, got {text:?}")))
+}
+
+fn parse_num(line: usize, text: &str, what: &str) -> Result<u64, ManifestError> {
+    text.parse::<u64>()
+        .map_err(|_| malformed(line, &format!("bad {what} {text:?}")))
+}
+
+fn parse_hex(line: usize, text: &str) -> Result<u64, ManifestError> {
+    u64::from_str_radix(text, 16).map_err(|_| malformed(line, &format!("bad hex field {text:?}")))
+}
+
+/// Convenience for call sites that only have faults (not a list): the
+/// collapsed-order fault slice a plan aligns to.
+pub fn collapsed_faults(netlist: &Netlist) -> Vec<Fault> {
+    FaultList::collapsed(netlist).faults().to_vec()
+}

@@ -1,0 +1,443 @@
+//! Tier-1 tests for the delta subsystem: manifest round trip, the
+//! corruption sweep (every forged manifest must fail parse — fall back to
+//! cold, never reuse wrongly), the single-edit dirty-set property, and the
+//! non-negotiable invariant that a delta run is byte-identical to a cold
+//! run of the edited netlist.
+
+use tvs_circuits::profile;
+use tvs_delta::{
+    cone_table, interface_signature, netlist_root, plan_for, ConeManifest, ManifestError,
+};
+use tvs_fault::FaultList;
+use tvs_netlist::{bench, GateId, GateKind, Netlist, NetlistBuilder};
+use tvs_stitch::{
+    fnv1a, PodemVerdict, PrescreenRecord, PrescreenTrace, RunOptions, StitchConfig, StitchEngine,
+    StitchReport,
+};
+
+/// The kind a combinational gate flips to in a single-gate edit: its
+/// same-arity dual, so the text reparses without structural changes.
+fn flipped(kind: GateKind) -> GateKind {
+    match kind {
+        GateKind::And => GateKind::Or,
+        GateKind::Or => GateKind::And,
+        GateKind::Nand => GateKind::Nor,
+        GateKind::Nor => GateKind::Nand,
+        GateKind::Xor => GateKind::Xnor,
+        GateKind::Xnor => GateKind::Xor,
+        GateKind::Not => GateKind::Buf,
+        GateKind::Buf => GateKind::Not,
+        GateKind::Input | GateKind::Dff => kind,
+    }
+}
+
+/// Rebuilds `netlist` with one combinational gate's kind flipped to its
+/// same-arity dual.
+fn flip_gate(netlist: &Netlist, name: &str) -> Netlist {
+    let id = netlist.find(name).unwrap();
+    let kind = netlist.gate(id).kind();
+    assert!(kind.is_combinational(), "{name} is not flippable");
+    let from = format!("{name} = {}(", kind.keyword());
+    let to = format!("{name} = {}(", flipped(kind).keyword());
+    let text = bench::to_string(netlist).replacen(&from, &to, 1);
+    let edited = bench::parse(netlist.name(), &text).unwrap();
+    assert_ne!(
+        edited.gate(edited.find(name).unwrap()).kind(),
+        kind,
+        "edit did not take"
+    );
+    edited
+}
+
+/// The combinational fanout closure of `seed`, including the seed itself.
+fn fanout_closure(netlist: &Netlist, seed: GateId) -> Vec<bool> {
+    let view = netlist.scan_view().unwrap();
+    let mut hit = vec![false; netlist.gate_count()];
+    hit[seed.index()] = true;
+    let mut stack = vec![seed];
+    while let Some(g) = stack.pop() {
+        for &c in view.comb_fanout(g) {
+            if !hit[c.index()] {
+                hit[c.index()] = true;
+                stack.push(c);
+            }
+        }
+    }
+    hit
+}
+
+/// Fabricated prescreen records with varied field values, aligned to the
+/// netlist's collapsed fault list.
+fn fake_records(netlist: &Netlist) -> Vec<PrescreenRecord> {
+    let n = FaultList::collapsed(netlist).len();
+    (0..n)
+        .map(|i| {
+            let first_detect_round = if i % 3 == 0 {
+                Some((i % 8) as u8)
+            } else {
+                None
+            };
+            let podem = match i % 4 {
+                0 => None,
+                1 => Some((PodemVerdict::Test, i as u32)),
+                2 => Some((PodemVerdict::Untestable, 0)),
+                _ => Some((PodemVerdict::Aborted, 64)),
+            };
+            PrescreenRecord {
+                first_detect_round,
+                podem,
+            }
+        })
+        .collect()
+}
+
+/// Recomputes the trailing checksum line after a deliberate body edit, so
+/// corruption tests exercise the *semantic* validators, not just the hash.
+fn fix_checksum(text: &str) -> String {
+    let body_end = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+    let body = &text[..body_end];
+    format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()))
+}
+
+#[test]
+fn cone_hashes_distinguish_interface_only_diffs() {
+    let build = |mark_extra: bool| {
+        let mut b = NetlistBuilder::new("t");
+        b.add_input("a").unwrap();
+        b.add_input("b").unwrap();
+        b.add_gate("x", GateKind::And, &["a", "b"]).unwrap();
+        b.add_gate("y", GateKind::Or, &["a", "x"]).unwrap();
+        b.mark_output("y").unwrap();
+        if mark_extra {
+            b.mark_output("x").unwrap();
+        }
+        b.build().unwrap()
+    };
+    let plain = build(false);
+    let marked = build(true);
+    // Same gates, same cones — only the OUTPUT marking differs.
+    let pv = plain.scan_view().unwrap();
+    let mv = marked.scan_view().unwrap();
+    assert_eq!(cone_table(&plain, &pv), cone_table(&marked, &mv));
+    assert_ne!(
+        netlist_root(interface_signature(&plain), &cone_table(&plain, &pv)),
+        netlist_root(interface_signature(&marked), &cone_table(&marked, &mv)),
+        "root must fold the interface, or PO-marking edits would alias"
+    );
+}
+
+#[test]
+fn single_gate_edit_dirties_exactly_its_fanout_cones() {
+    for name in ["s444", "s526"] {
+        let base = profile(name).unwrap().build();
+        let view = base.scan_view().unwrap();
+        let before = cone_table(&base, &view);
+        for id in base.gate_ids() {
+            if !base.gate(id).kind().is_combinational() {
+                continue;
+            }
+            let gate_name = base.gate_name(id).to_string();
+            let edited = flip_gate(&base, &gate_name);
+            let ev = edited.scan_view().unwrap();
+            let after = cone_table(&edited, &ev);
+            assert_eq!(before.len(), after.len());
+            let expect = fanout_closure(&base, id);
+            for (gi, (b, a)) in before.iter().zip(&after).enumerate() {
+                assert_eq!(b.0, a.0, "gate order must be stable");
+                let in_cone = expect[edited.find(&b.0).unwrap().index()];
+                // Guard against an accidental hash collision aliasing a
+                // truly-changed cone back to its old value.
+                assert_eq!(
+                    b.1 != a.1,
+                    in_cone,
+                    "{name}: edit of {gate_name} vs cone of gate #{gi} ({})",
+                    b.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn manifest_round_trips_through_text() {
+    let n = profile("s444").unwrap().build();
+    let records = fake_records(&n);
+    let m = ConeManifest::build(&n, 0x1234_5678_9abc_def0, &records).unwrap();
+    assert_eq!(m.circuit, "s444");
+    assert_eq!(m.faults.len(), records.len());
+    let text = m.to_text();
+    let parsed = ConeManifest::parse(&text).unwrap();
+    assert_eq!(parsed, m);
+    // Stability: rendering the parse reproduces the text byte-for-byte.
+    assert_eq!(parsed.to_text(), text);
+}
+
+#[test]
+fn corrupt_manifests_always_fail_parse() {
+    let n = profile("s444").unwrap().build();
+    let m = ConeManifest::build(&n, 7, &fake_records(&n)).unwrap();
+    let text = m.to_text();
+
+    // Truncation: no checksum line at all.
+    let cut = text.trim_end_matches('\n').rfind('\n').unwrap();
+    assert_eq!(
+        ConeManifest::parse(&text[..cut + 1]),
+        Err(ManifestError::Truncated)
+    );
+
+    // A flipped body byte fails the checksum.
+    let corrupt = text.replacen("faults", "fawlts", 1);
+    assert!(matches!(
+        ConeManifest::parse(&corrupt),
+        Err(ManifestError::Checksum { .. })
+    ));
+
+    // A foreign header version.
+    let foreign = fix_checksum(&text.replacen("tvs-manifest v1", "tvs-manifest v9", 1));
+    assert!(matches!(
+        ConeManifest::parse(&foreign),
+        Err(ManifestError::Version(_))
+    ));
+
+    // A forged cone hash (checksum fixed up): root recompute catches it.
+    let c_line = text
+        .lines()
+        .find(|l| l.starts_with("c "))
+        .unwrap()
+        .to_string();
+    let forged_line = format!("c {:016x}{}", !0u64, &c_line[18..]);
+    let forged = fix_checksum(&text.replacen(&c_line, &forged_line, 1));
+    assert!(matches!(
+        ConeManifest::parse(&forged),
+        Err(ManifestError::Root { .. })
+    ));
+
+    // A dropped cone entry with the count patched: root recompute catches it.
+    let count = m.cones.len();
+    let dropped = fix_checksum(
+        &text
+            .replacen(
+                &format!("cones {count}"),
+                &format!("cones {}", count - 1),
+                1,
+            )
+            .replacen(&format!("{c_line}\n"), "", 1),
+    );
+    assert!(matches!(
+        ConeManifest::parse(&dropped),
+        Err(ManifestError::Root { .. })
+    ));
+
+    // A dropped entry *without* patching the count shears the section frame.
+    let sheared = fix_checksum(&text.replacen(&format!("{c_line}\n"), "", 1));
+    assert!(matches!(
+        ConeManifest::parse(&sheared),
+        Err(ManifestError::Parse { .. })
+    ));
+
+    // A stale root line (checksum fixed up).
+    let root_line = format!("root {:016x}", m.root);
+    let stale = fix_checksum(&text.replacen(&root_line, &format!("root {:016x}", m.root ^ 1), 1));
+    assert!(matches!(
+        ConeManifest::parse(&stale),
+        Err(ManifestError::Root { .. })
+    ));
+
+    // An out-of-range prescreen round.
+    let f_line = text
+        .lines()
+        .find(|l| l.starts_with("f ") && l.split(' ').nth(4) == Some("0"))
+        .unwrap()
+        .to_string();
+    let mut fields: Vec<&str> = f_line.split(' ').collect();
+    fields[4] = "9";
+    let bad_round = fix_checksum(&text.replacen(&f_line, &fields.join(" "), 1));
+    assert!(matches!(
+        ConeManifest::parse(&bad_round),
+        Err(ManifestError::Parse { .. })
+    ));
+}
+
+#[test]
+fn plan_for_identical_netlist_reuses_everything() {
+    let n = profile("s526").unwrap().build();
+    let records = fake_records(&n);
+    let m = ConeManifest::build(&n, 11, &records).unwrap();
+    let plan = plan_for(&m, &n, 11).unwrap();
+    assert_eq!(plan.faults_total, records.len());
+    assert_eq!(plan.faults_matched, records.len());
+    assert_eq!(plan.cones_dirty, 0);
+    for (p, r) in plan.plan.iter().zip(&records) {
+        assert_eq!(p.as_ref(), Some(r));
+    }
+}
+
+#[test]
+fn plan_for_rejects_foreign_config_and_interface() {
+    let n = profile("s526").unwrap().build();
+    let m = ConeManifest::build(&n, 11, &fake_records(&n)).unwrap();
+    assert!(matches!(
+        plan_for(&m, &n, 12),
+        Err(ManifestError::Mismatch(_))
+    ));
+    let other = profile("s444").unwrap().build();
+    assert!(matches!(
+        plan_for(&m, &other, 11),
+        Err(ManifestError::Mismatch(_))
+    ));
+}
+
+#[test]
+fn plan_dirty_set_is_support_region_membership() {
+    let base = profile("s526").unwrap().build();
+    let m = ConeManifest::build(&base, 3, &fake_records(&base)).unwrap();
+    // Flip a mid-circuit gate and check each fault's clean/dirty call
+    // against an independent region-membership computation.
+    let target = base
+        .gate_ids()
+        .find(|&id| base.gate(id).kind().is_combinational() && !base.fanout(id).is_empty())
+        .unwrap();
+    let target_name = base.gate_name(target).to_string();
+    let edited = flip_gate(&base, &target_name);
+    let plan = plan_for(&m, &edited, 3).unwrap();
+    assert!(plan.faults_matched > 0, "reuse must survive a 1-gate edit");
+    assert!(plan.faults_matched < plan.faults_total);
+    assert!(plan.cones_dirty > 0);
+
+    let changed = fanout_closure(&edited, edited.find(&target_name).unwrap());
+    let collapsed = FaultList::collapsed(&edited);
+    for (fault, entry) in collapsed.faults().iter().zip(&plan.plan) {
+        let site = fault.site.gate;
+        let gate = edited.gate(site);
+        let dirty = if gate.kind() == GateKind::Dff && fault.site.pin == Some(0) {
+            let driver = gate.fanin()[0];
+            changed[driver.index()]
+        } else {
+            let region = fanout_closure(&edited, site);
+            region.iter().zip(&changed).any(|(&r, &c)| r && c)
+        };
+        assert_eq!(
+            entry.is_none(),
+            dirty,
+            "fault {} clean/dirty call",
+            fault.display_in(&edited)
+        );
+    }
+}
+
+/// Runs the engine, capturing the prescreen trace.
+fn run_traced(netlist: &Netlist, cfg: &StitchConfig) -> (StitchReport, PrescreenTrace) {
+    let engine = StitchEngine::new(netlist).unwrap();
+    let mut trace = None;
+    let mut sink = |t: PrescreenTrace| trace = Some(t);
+    let report = engine
+        .run_with(
+            cfg,
+            RunOptions {
+                resume: None,
+                checkpoint_every: 0,
+                on_checkpoint: None,
+                on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: Some(&mut sink),
+            },
+        )
+        .unwrap();
+    let trace = trace.unwrap();
+    (report, trace)
+}
+
+#[test]
+fn delta_run_is_byte_identical_to_cold_run() {
+    for (name, threads) in [("s444", 1), ("s526", 8), ("s1423", 8)] {
+        let base = profile(name).unwrap().build_scaled(0.3);
+        let cfg = StitchConfig {
+            threads,
+            ..StitchConfig::default()
+        };
+        let fp = cfg.fingerprint();
+
+        let (_, trace) = run_traced(&base, &cfg);
+        assert_eq!(trace.reused, 0, "cold run reuses nothing");
+        let manifest = ConeManifest::build(&base, fp, &trace.records).unwrap();
+        // Exercise the persistence path too: plan from the parsed text.
+        let manifest = ConeManifest::parse(&manifest.to_text()).unwrap();
+
+        let target = base
+            .gate_ids()
+            .filter(|&id| base.gate(id).kind().is_combinational())
+            .nth(3)
+            .unwrap();
+        let edited = flip_gate(&base, base.gate_name(target));
+
+        let (cold, cold_trace) = run_traced(&edited, &cfg);
+        let plan = plan_for(&manifest, &edited, fp).unwrap();
+        assert!(plan.faults_matched > 0, "{name}: no reuse on a 1-gate edit");
+
+        let engine = StitchEngine::new(&edited).unwrap();
+        let mut delta_trace = None;
+        let mut sink = |t: PrescreenTrace| delta_trace = Some(t);
+        let delta = engine
+            .run_with(
+                &cfg,
+                RunOptions {
+                    resume: None,
+                    checkpoint_every: 0,
+                    on_checkpoint: None,
+                    on_progress: None,
+                    prescreen_plan: Some(plan.plan.clone()),
+                    on_prescreen: Some(&mut sink),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            format!("{delta:?}"),
+            format!("{cold:?}"),
+            "{name}: delta report must be byte-identical to cold"
+        );
+        let delta_trace = delta_trace.unwrap();
+        assert!(delta_trace.reused > 0, "{name}: counters must show reuse");
+        assert!(delta_trace.reused <= plan.faults_matched);
+        // The trace a delta run emits must rebuild the same manifest a cold
+        // run of the edited netlist would, so chains of edits keep working.
+        assert_eq!(
+            ConeManifest::build(&edited, fp, &delta_trace.records).unwrap(),
+            ConeManifest::build(&edited, fp, &cold_trace.records).unwrap(),
+            "{name}: delta-produced manifest drifts from cold"
+        );
+    }
+}
+
+#[test]
+fn corrupt_record_plan_still_matches_cold_when_supports_differ() {
+    // A manifest whose *records* are wrong but whose supports honestly
+    // mismatch must simply fall back to recomputation for those faults.
+    let base = profile("s444").unwrap().build_scaled(0.5);
+    let cfg = StitchConfig::default();
+    let fp = cfg.fingerprint();
+    let (_, trace) = run_traced(&base, &cfg);
+    let manifest = ConeManifest::build(&base, fp, &trace.records).unwrap();
+    let target = base
+        .gate_ids()
+        .find(|&id| base.gate(id).kind().is_combinational())
+        .unwrap();
+    let edited = flip_gate(&base, base.gate_name(target));
+    let plan = plan_for(&manifest, &edited, fp).unwrap();
+    // Every dirty fault recomputes; the run must still be exact.
+    let (cold, _) = run_traced(&edited, &cfg);
+    let engine = StitchEngine::new(&edited).unwrap();
+    let delta = engine
+        .run_with(
+            &cfg,
+            RunOptions {
+                resume: None,
+                checkpoint_every: 0,
+                on_checkpoint: None,
+                on_progress: None,
+                prescreen_plan: Some(plan.plan),
+                on_prescreen: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(format!("{delta:?}"), format!("{cold:?}"));
+}

@@ -44,6 +44,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Overwrites the counter with an absolute value. For gauges (current
+    /// cache bytes, open jobs) that track a level rather than a count.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
 }
 
 /// Accumulated wall-clock time for one named span.

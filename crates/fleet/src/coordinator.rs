@@ -41,7 +41,7 @@ use std::time::Duration;
 use std::collections::{BTreeMap, BTreeSet};
 
 use tvs_core::json::{self, Value};
-use tvs_core::ArtifactKey;
+use tvs_core::{ArtifactKey, SubmissionIdentity};
 use tvs_netlist::bench;
 use tvs_serve::proto::{read_frame, write_frame, ProtoError};
 use tvs_serve::{check_version, config_from_wire, ServeError};
@@ -69,6 +69,9 @@ pub struct CoordinatorConfig {
     pub probe_timeout: Duration,
     /// Consecutive probe failures that flip a worker dead.
     pub fail_threshold: u32,
+    /// Artifact-cache byte cap broadcast to every worker at startup
+    /// (0 = leave the workers' own configuration alone).
+    pub cache_cap_bytes: u64,
 }
 
 impl Default for CoordinatorConfig {
@@ -80,6 +83,7 @@ impl Default for CoordinatorConfig {
             health_interval: Duration::from_millis(500),
             probe_timeout: Duration::from_secs(1),
             fail_threshold: crate::health::DEFAULT_FAIL_THRESHOLD,
+            cache_cap_bytes: 0,
         }
     }
 }
@@ -89,9 +93,16 @@ impl Default for CoordinatorConfig {
 #[derive(Debug, Clone)]
 struct FleetJob {
     key: ArtifactKey,
+    /// The routing family: shared by every edit of the same design under
+    /// the same configuration, so an edited resubmission lands on the
+    /// worker whose cache holds the ancestor's manifest (delta reuse).
+    family: u64,
     name: String,
     bench: String,
     config_wire: Option<Value>,
+    /// The submitting client identity, forwarded verbatim to workers so
+    /// per-client admission quotas hold across the fleet.
+    client: Option<String>,
     /// Current placement: worker address and that worker's job id.
     worker: String,
     remote: String,
@@ -122,6 +133,7 @@ struct Fleet {
     admitted: Mutex<BTreeSet<u64>>,
     probe_timeout: Duration,
     fail_threshold: u32,
+    cache_cap_bytes: u64,
     draining: Arc<AtomicBool>,
 }
 
@@ -166,6 +178,7 @@ impl Coordinator {
                 admitted: Mutex::new(BTreeSet::new()),
                 probe_timeout: config.probe_timeout,
                 fail_threshold: config.fail_threshold,
+                cache_cap_bytes: config.cache_cap_bytes,
                 draining: Arc::new(AtomicBool::new(false)),
             }),
             health_interval: config.health_interval,
@@ -199,6 +212,7 @@ impl Coordinator {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| ServeError::io("set_nonblocking", e))?;
+        self.fleet.broadcast_cache_cap();
         // Like the worker daemon, all threads here are I/O waiters: the
         // health monitor sleeps between probes, connection threads block on
         // sockets. Compute happens on the workers. This file is on the
@@ -237,6 +251,28 @@ impl Coordinator {
 }
 
 impl Fleet {
+    /// Pushes the configured cache cap to every worker, best effort: a
+    /// worker that is down now will keep its own configuration.
+    fn broadcast_cache_cap(&self) {
+        if self.cache_cap_bytes == 0 {
+            return;
+        }
+        let request = Value::Obj(vec![
+            ("op".to_owned(), Value::str("cache-cap")),
+            ("bytes".to_owned(), Value::num_u64(self.cache_cap_bytes)),
+        ]);
+        for slot in &self.slots {
+            let sent = WorkerConn::connect(&slot.addr, self.probe_timeout)
+                .and_then(|mut c| c.request(&request, Some(self.probe_timeout)));
+            if sent.is_ok() {
+                println!(
+                    "tvs-fleet: worker {} cache cap {} bytes",
+                    slot.addr, self.cache_cap_bytes
+                );
+            }
+        }
+    }
+
     fn alive(&self, addr: &str) -> bool {
         self.slot(addr).map(|s| s.is_alive()).unwrap_or(false)
     }
@@ -400,7 +436,11 @@ impl Fleet {
             }
         };
         let canonical = bench::to_string(&netlist);
-        let key = ArtifactKey::compute(&canonical, &config);
+        // The identity helper keeps the coordinator's key byte-for-byte in
+        // agreement with what the placed worker will compute.
+        let identity = SubmissionIdentity::of(&netlist, &canonical, &config);
+        let key = identity.key;
+        let family = identity.family(&config);
         if let Some(hit) = self.cached_rejection(key) {
             return Err(hit);
         }
@@ -415,9 +455,14 @@ impl Fleet {
 
         let job = FleetJob {
             key,
+            family,
             name: name.to_owned(),
             bench: bench_text.to_owned(),
             config_wire: request.get("config").cloned(),
+            client: request
+                .get("client")
+                .and_then(Value::as_str)
+                .map(str::to_owned),
             worker: String::new(),
             remote: String::new(),
             attempts: 0,
@@ -510,8 +555,12 @@ impl Fleet {
         ]))
     }
 
-    /// Tries the key's ring successors in order until one accepts the
-    /// submission. Returns `((worker, remote_id), admission)`.
+    /// Tries the job family's ring successors in order until one accepts
+    /// the submission. Returns `((worker, remote_id), admission)`.
+    ///
+    /// Routing hashes the *family* (interface signature + configuration),
+    /// not the artifact key: every edit of one design homes to the same
+    /// worker, whose cache holds the ancestor manifests a delta run needs.
     fn place(
         &self,
         job: &FleetJob,
@@ -525,10 +574,13 @@ impl Fleet {
         if let Some(config) = &job.config_wire {
             request.push(("config".to_owned(), config.clone()));
         }
+        if let Some(client) = &job.client {
+            request.push(("client".to_owned(), Value::str(client.clone())));
+        }
         let request = Value::Obj(request);
 
         let mut last_refusal: Option<ServeError> = None;
-        for addr in self.ring.successors(job.key.0) {
+        for addr in self.ring.successors(job.family) {
             if Some(addr) == skip || !self.alive(addr) {
                 continue;
             }
@@ -677,6 +729,14 @@ impl Fleet {
                                 (name.strip_prefix("serve."), v.as_u64())
                             {
                                 *totals.entry(short.to_owned()).or_insert(0) += n;
+                            }
+                            // Cache-hygiene and delta-reuse counters keep
+                            // their full dotted names in the fleet totals.
+                            if let (true, Some(n)) = (
+                                name.starts_with("cache.") || name.starts_with("delta."),
+                                v.as_u64(),
+                            ) {
+                                *totals.entry(name.clone()).or_insert(0) += n;
                             }
                         }
                     }

@@ -25,6 +25,8 @@ fn coordinator_rejects_deny_level_netlists_before_routing() {
         workers: 1,
         queue_capacity: 4,
         checkpoint_every: 0,
+        cache_cap_bytes: 0,
+        client_quota: 0,
     })
     .expect("bind worker");
     let worker_addr = server.local_addr().expect("worker addr").to_string();

@@ -7,7 +7,7 @@
 use std::io::{BufReader, BufWriter};
 
 use tvs_core::jobs::render_artifact;
-use tvs_core::ArtifactKey;
+use tvs_core::SubmissionIdentity;
 use tvs_fleet::{Coordinator, CoordinatorConfig, Ring};
 use tvs_serve::json::{self, Value};
 use tvs_serve::proto::{read_frame, write_frame};
@@ -38,7 +38,7 @@ fn direct_artifact(netlist: &tvs_netlist::Netlist, bench: &str, seed: u64) -> St
         .expect("engine")
         .run(&config)
         .expect("direct run");
-    let key = ArtifactKey::compute(bench, &config);
+    let key = SubmissionIdentity::of(netlist, bench, &config).key;
     render_artifact(netlist, &report, &config, key).to_text()
 }
 
@@ -50,6 +50,8 @@ fn start_worker(tag: &str) -> (String, std::thread::JoinHandle<()>, std::path::P
         workers: 2,
         queue_capacity: 8,
         checkpoint_every: 4,
+        cache_cap_bytes: 0,
+        client_quota: 0,
     })
     .expect("bind worker");
     let addr = server.local_addr().expect("worker addr").to_string();
@@ -130,6 +132,91 @@ fn fleet_artifact_matches_single_serve_and_direct_run() {
     let _ = std::fs::remove_dir_all(&solo_cache);
 }
 
+#[test]
+fn edited_resubmission_homes_to_the_same_worker_for_delta_reuse() {
+    let (netlist, bench) = s444();
+    // One combinational gate flipped to its same-arity dual: a different
+    // netlist root (and artifact key) but the same routing family.
+    let gate_id = netlist
+        .gate_ids()
+        .find(|&id| {
+            matches!(
+                netlist.gate(id).kind(),
+                tvs_netlist::GateKind::And | tvs_netlist::GateKind::Or
+            )
+        })
+        .expect("a flippable gate");
+    let kind = netlist.gate(gate_id).kind();
+    let dual = match kind {
+        tvs_netlist::GateKind::And => tvs_netlist::GateKind::Or,
+        _ => tvs_netlist::GateKind::And,
+    };
+    let name = netlist.gate_name(gate_id);
+    let edited = bench.replacen(
+        &format!("{name} = {}(", kind.keyword()),
+        &format!("{name} = {}(", dual.keyword()),
+        1,
+    );
+    assert_ne!(bench, edited, "edit did not take");
+
+    let mut workers = Vec::new();
+    for i in 0..3 {
+        workers.push(start_worker(&format!("family-w{i}")));
+    }
+    let (fleet_addr, fleet_thread) =
+        start_coordinator(workers.iter().map(|(a, _, _)| a.clone()).collect());
+    let mut client = Client::connect(&fleet_addr).expect("connect fleet");
+
+    let submit_raw = |client: &mut Client, bench: &str| {
+        client
+            .request(&Value::Obj(vec![
+                ("op".into(), Value::str("submit")),
+                ("name".into(), Value::str("s444")),
+                ("bench".into(), Value::str(bench.to_owned())),
+                ("config".into(), seed_config(11)),
+            ]))
+            .expect("fleet submit")
+    };
+    let base_response = submit_raw(&mut client, &bench);
+    let base_job = base_response
+        .get("job")
+        .and_then(Value::as_str)
+        .expect("base job")
+        .to_owned();
+    client.wait(&base_job).expect("base wait");
+
+    let edited_response = submit_raw(&mut client, &edited);
+    assert_eq!(
+        edited_response.get("admission").and_then(Value::as_str),
+        Some("miss"),
+        "an edited netlist is a different artifact key"
+    );
+    assert_eq!(
+        edited_response.get("worker").and_then(Value::as_str),
+        base_response.get("worker").and_then(Value::as_str),
+        "the edit must home to the worker holding the ancestor manifest"
+    );
+    let edited_job = edited_response
+        .get("job")
+        .and_then(Value::as_str)
+        .expect("edited job")
+        .to_owned();
+
+    // The delta run is byte-identical to a direct run of the edited text.
+    let edited_netlist = tvs_netlist::bench::parse("s444", &edited).expect("edited parses");
+    let canonical = tvs_netlist::bench::to_string(&edited_netlist);
+    let reference = direct_artifact(&edited_netlist, &canonical, 11);
+    let artifact = client.fetch(&edited_job).expect("fetch edited").to_text();
+    assert_eq!(artifact, reference, "fleet delta run diverged from direct");
+
+    client.shutdown().expect("fleet shutdown");
+    fleet_thread.join().expect("fleet thread");
+    for (_, handle, cache) in workers {
+        handle.join().expect("worker thread");
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+}
+
 /// A worker impostor that accepts submissions and then "crashes": `stats`
 /// probes and `submit` are answered normally, but the first blocking op
 /// (`wait`/`fetch`) drops the connection unanswered and stops listening,
@@ -188,14 +275,16 @@ fn worker_death_mid_job_retries_on_the_ring_successor_byte_identically() {
     let mut ring = Ring::new(64);
     ring.add(&doomed_addr);
     ring.add(&real_addr);
+    // The coordinator routes by *family* (interface signature + config),
+    // so the seed search must hash the same way.
     let seed = (0..256u64)
         .find(|&seed| {
             let config = StitchConfig {
                 seed,
                 ..StitchConfig::default()
             };
-            let key = ArtifactKey::compute(&bench, &config);
-            ring.successors(key.0)[0] == doomed_addr
+            let identity = SubmissionIdentity::of(&netlist, &bench, &config);
+            ring.successors(identity.family(&config))[0] == doomed_addr
         })
         .expect("some seed routes home to the doomed worker");
     let reference = direct_artifact(&netlist, &bench, seed);

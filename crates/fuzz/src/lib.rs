@@ -9,7 +9,7 @@
 //! replayable seed, and minimized seeds live in `crates/fuzz/corpus/` where
 //! a regression test replays them on every `cargo test`.
 //!
-//! Four targets, each a pure function `fn(seed: &[u8]) -> Outcome`:
+//! Five targets, each a pure function `fn(seed: &[u8]) -> Outcome`:
 //!
 //! | target     | surface |
 //! |------------|---------|
@@ -17,6 +17,7 @@
 //! | `frame`    | wire framing + JSON + version/config decoding (the serve *and* fleet entry path) |
 //! | `snapshot` | `.tvsnap` parse, round-trip, and the engine's resume validation |
 //! | `e2e`      | whole random netlists through lint → run → checkpoint → resume, byte-comparing reports at 1 and 4 threads |
+//! | `delta`    | base + mutation netlist pairs through manifest build → round trip → plan → delta run, byte-compared to the mutant's cold run |
 //!
 //! The harness ([`check`]) runs a target **twice** per seed under
 //! `catch_unwind`: a panic, a contract violation reported by the target
@@ -66,7 +67,7 @@ impl Outcome {
 
 /// The registered fuzz target names, in the order `tvs fuzz` and the CI
 /// schedule iterate them.
-pub const TARGETS: &[&str] = &["bench", "frame", "snapshot", "e2e"];
+pub const TARGETS: &[&str] = &["bench", "frame", "snapshot", "e2e", "delta"];
 
 /// Runs one target once, unguarded. Returns `None` for an unknown target
 /// name.
@@ -76,6 +77,7 @@ pub fn run_target(target: &str, seed: &[u8]) -> Option<Outcome> {
         "frame" => Some(targets::frame_target(seed)),
         "snapshot" => Some(targets::snapshot_target(seed)),
         "e2e" => Some(targets::e2e_target(seed)),
+        "delta" => Some(targets::delta_target(seed)),
         _ => None,
     }
 }

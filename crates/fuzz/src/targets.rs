@@ -251,6 +251,8 @@ fn base_snapshot_text() -> &'static str {
                     checkpoint_every: 1,
                     on_checkpoint: Some(&mut keep),
                     on_progress: None,
+                    prescreen_plan: None,
+                    on_prescreen: None,
                 },
             );
         }
@@ -466,6 +468,8 @@ pub fn e2e_target(seed: &[u8]) -> Outcome {
             checkpoint_every: 1 + rng.range(3),
             on_checkpoint: Some(&mut keep),
             on_progress: None,
+            prescreen_plan: None,
+            on_prescreen: None,
         },
     ) {
         Err(e) => return Outcome::TypedError(format!("stitch: {e}")),
@@ -519,5 +523,164 @@ pub fn e2e_target(seed: &[u8]) -> Outcome {
         "{} cycles, coverage {:.4}, {ended}, resume {resumed_from}",
         reference.cycles.len(),
         reference.metrics.fault_coverage
+    ))
+}
+
+// ---------------------------------------------------------------- delta --
+
+/// One engine run capturing the prescreen trace alongside the report.
+fn run_traced(
+    engine: &StitchEngine,
+    config: &StitchConfig,
+    plan: Option<Vec<Option<tvs_stitch::PrescreenRecord>>>,
+) -> Result<(StitchReport, Option<tvs_stitch::PrescreenTrace>), String> {
+    let mut trace: Option<tvs_stitch::PrescreenTrace> = None;
+    let mut sink = |t: tvs_stitch::PrescreenTrace| trace = Some(t);
+    let report = engine
+        .run_with(
+            config,
+            RunOptions {
+                resume: None,
+                checkpoint_every: 0,
+                on_checkpoint: None,
+                on_progress: None,
+                prescreen_plan: plan,
+                on_prescreen: Some(&mut sink),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    Ok((report, trace))
+}
+
+/// Base + mutation netlist pairs through the full delta pipeline: cold run
+/// of the base, manifest build and text round trip, plan derivation for an
+/// id-preserving one-gate mutation, then cold vs delta runs of the mutant
+/// byte-compared — the subsystem's non-negotiable invariant under fuzz.
+pub fn delta_target(seed: &[u8]) -> Outcome {
+    let mut rng = FuzzRng::new(seed);
+    let text = gen::grammar_bench(&mut rng, false);
+    let base = match bench::parse("fuzz-delta", &text) {
+        Err(e) => return Outcome::TypedError(format!("netlist: {e}")),
+        Ok(n) => n,
+    };
+    let diags = admission_diagnostics(&base, &TestabilityConfig::default());
+    if has_deny(&diags) {
+        return Outcome::TypedError(format!("admission denied ({} diagnostics)", diags.len()));
+    }
+
+    // An id-preserving mutation: one combinational gate flipped to its
+    // same-arity dual in the canonical text, so the edited netlist keeps
+    // the base's interface and gate names.
+    let canonical = bench::to_string(&base);
+    let duals: &[(&str, &str)] = &[
+        ("AND", "OR"),
+        ("OR", "AND"),
+        ("NAND", "NOR"),
+        ("NOR", "NAND"),
+        ("XOR", "XNOR"),
+        ("XNOR", "XOR"),
+        ("NOT", "BUF"),
+        ("BUF", "NOT"),
+    ];
+    let flippable: Vec<_> = base
+        .gate_ids()
+        .filter(|&id| {
+            let kw = base.gate(id).kind().keyword();
+            duals.iter().any(|(from, _)| *from == kw)
+        })
+        .collect();
+    if flippable.is_empty() {
+        return Outcome::TypedError("no flippable combinational gate".to_string());
+    }
+    let victim = flippable[rng.range(flippable.len())];
+    let kw = base.gate(victim).kind().keyword();
+    let (_, to) = duals
+        .iter()
+        .find(|(from, _)| *from == kw)
+        .copied()
+        .unwrap_or(("", "AND"));
+    let name = base.gate_name(victim);
+    let mutated_text =
+        canonical.replacen(&format!("{name} = {kw}("), &format!("{name} = {to}("), 1);
+    let edited = match bench::parse("fuzz-delta", &mutated_text) {
+        Err(e) => return Outcome::TypedError(format!("mutant netlist: {e}")),
+        Ok(n) => n,
+    };
+    if has_deny(&admission_diagnostics(
+        &edited,
+        &TestabilityConfig::default(),
+    )) {
+        return Outcome::TypedError("mutant denied at admission".to_string());
+    }
+
+    let config = StitchConfig {
+        seed: rng.u64(),
+        budget: Some(2_000 + 1_000 * rng.range(4) as u64),
+        threads: 1,
+        ..StitchConfig::default()
+    };
+
+    // Cold run of the base, manifest from its trace.
+    let base_engine = match StitchEngine::new(&base) {
+        Err(e) => return Outcome::TypedError(format!("engine: {e}")),
+        Ok(e) => e,
+    };
+    let (_, base_trace) = match run_traced(&base_engine, &config, None) {
+        Err(e) => return Outcome::TypedError(format!("base stitch: {e}")),
+        Ok(r) => r,
+    };
+    let Some(base_trace) = base_trace else {
+        return Outcome::Violation("cold run produced no prescreen trace".to_string());
+    };
+    let manifest =
+        match tvs_delta::ConeManifest::build(&base, config.fingerprint(), &base_trace.records) {
+            Err(e) => return Outcome::TypedError(format!("manifest build: {e}")),
+            Ok(m) => m,
+        };
+    // Text round trip must be the identity.
+    match tvs_delta::ConeManifest::parse(&manifest.to_text()) {
+        Err(e) => return Outcome::Violation(format!("own manifest fails parse: {e}")),
+        Ok(back) => {
+            if back.to_text() != manifest.to_text() {
+                return Outcome::Violation("manifest text round trip not identity".to_string());
+            }
+        }
+    }
+
+    // Plan for the mutant; an id-preserving flip keeps the interface, so
+    // plan derivation must succeed.
+    let plan = match tvs_delta::plan_for(&manifest, &edited, config.fingerprint()) {
+        Err(e) => return Outcome::Violation(format!("plan for id-preserving mutant: {e}")),
+        Ok(p) => p,
+    };
+
+    // The invariant: delta run byte-identical to the mutant's cold run.
+    let edited_engine = match StitchEngine::new(&edited) {
+        Err(e) => return Outcome::TypedError(format!("mutant engine: {e}")),
+        Ok(e) => e,
+    };
+    let (cold, _) = match run_traced(&edited_engine, &config, None) {
+        Err(e) => return Outcome::TypedError(format!("mutant cold stitch: {e}")),
+        Ok(r) => r,
+    };
+    let (delta, delta_trace) = match run_traced(&edited_engine, &config, Some(plan.plan)) {
+        Err(e) => return Outcome::Violation(format!("delta run failed after cold: {e}")),
+        Ok(r) => r,
+    };
+    if describe_report(&delta) != describe_report(&cold) {
+        return Outcome::Violation(
+            "delta run not byte-identical to the cold run of the mutant".to_string(),
+        );
+    }
+    let reused = delta_trace.map(|t| t.reused).unwrap_or(0);
+    if reused > plan.faults_matched {
+        return Outcome::Violation(format!(
+            "reused {reused} verdicts but only {} matched the plan",
+            plan.faults_matched
+        ));
+    }
+    Outcome::Ok(format!(
+        "{} faults, reused {reused}/{} matched, {} cones dirty",
+        plan.faults_total, plan.faults_matched, plan.cones_dirty
     ))
 }

@@ -20,6 +20,16 @@ pub enum ServeError {
         /// The queue's admission bound.
         capacity: usize,
     },
+    /// The submitting client is at its in-flight job quota; it should wait
+    /// for one of its open jobs to finish before submitting again.
+    QuotaExceeded {
+        /// The client identity that hit its quota.
+        client: String,
+        /// The client's jobs currently in flight.
+        open: usize,
+        /// The per-client admission limit.
+        limit: usize,
+    },
     /// The server is draining after a `shutdown` request; no new work.
     Draining,
     /// The peer speaks a different protocol version. Mixed-version fleets
@@ -73,6 +83,7 @@ impl ServeError {
     pub fn wire_code(&self) -> &'static str {
         match self {
             ServeError::Busy { .. } => "busy",
+            ServeError::QuotaExceeded { .. } => "quota",
             ServeError::Draining => "draining",
             ServeError::Version { .. } => "version",
             ServeError::Protocol(_) => "protocol",
@@ -96,6 +107,15 @@ impl ServeError {
             ServeError::Busy { open, capacity } => {
                 pairs.push(("open".to_owned(), Value::num_u64(*open as u64)));
                 pairs.push(("capacity".to_owned(), Value::num_u64(*capacity as u64)));
+            }
+            ServeError::QuotaExceeded {
+                client,
+                open,
+                limit,
+            } => {
+                pairs.push(("client".to_owned(), Value::str(client.clone())));
+                pairs.push(("open".to_owned(), Value::num_u64(*open as u64)));
+                pairs.push(("limit".to_owned(), Value::num_u64(*limit as u64)));
             }
             ServeError::Version { got, want } => {
                 if let Some(got) = got {
@@ -138,6 +158,15 @@ impl ServeError {
                     .and_then(Value::as_u64)
                     .unwrap_or(0) as usize,
             },
+            Some("quota") => ServeError::QuotaExceeded {
+                client: response
+                    .get("client")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+                open: response.get("open").and_then(Value::as_u64).unwrap_or(0) as usize,
+                limit: response.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
+            },
             Some("draining") => ServeError::Draining,
             Some("version") => ServeError::Version {
                 got: response.get("got").and_then(Value::as_u64),
@@ -178,6 +207,16 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Busy { open, capacity } => {
                 write!(f, "server busy: {open} of {capacity} job slots in flight")
+            }
+            ServeError::QuotaExceeded {
+                client,
+                open,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "client {client:?} at its admission quota: {open} of {limit} jobs in flight"
+                )
             }
             ServeError::Draining => write!(f, "server is draining; submissions are closed"),
             ServeError::Version {
@@ -231,6 +270,15 @@ impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
         match e {
             CoreError::Busy { open, capacity } => ServeError::Busy { open, capacity },
+            CoreError::QuotaExceeded {
+                client,
+                open,
+                limit,
+            } => ServeError::QuotaExceeded {
+                client,
+                open,
+                limit,
+            },
             CoreError::UnknownJob(id) => ServeError::UnknownJob(id),
             CoreError::JobFailed(m) => ServeError::JobFailed(m),
             CoreError::Netlist(m) => ServeError::Netlist(m),

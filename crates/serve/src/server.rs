@@ -46,6 +46,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Cycles between checkpoint snapshots of running jobs (0 = never).
     pub checkpoint_every: usize,
+    /// Artifact-cache byte cap; LRU eviction above it (0 = unbounded).
+    pub cache_cap_bytes: u64,
+    /// Max in-flight engine runs per client identity (0 = unlimited).
+    pub client_quota: usize,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +60,8 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             checkpoint_every: 8,
+            cache_cap_bytes: 0,
+            client_quota: 0,
         }
     }
 }
@@ -76,15 +82,18 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&config.listen)
             .map_err(|e| ServeError::io(format!("bind {}", config.listen), e))?;
-        let store = ArtifactStore::open(&config.cache_dir)?;
+        let store = ArtifactStore::open(&config.cache_dir)?.with_cap(config.cache_cap_bytes);
         Ok(Server {
             listener,
-            table: Arc::new(JobTable::new(
-                config.workers,
-                config.queue_capacity,
-                config.checkpoint_every,
-                store,
-            )),
+            table: Arc::new(
+                JobTable::new(
+                    config.workers,
+                    config.queue_capacity,
+                    config.checkpoint_every,
+                    store,
+                )
+                .with_client_quota(config.client_quota),
+            ),
             draining: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -212,7 +221,10 @@ fn dispatch(frame: &str, table: &JobTable, draining: &AtomicBool) -> Result<Valu
                 .and_then(Value::as_str)
                 .unwrap_or("netlist");
             let config = config_from_wire(request.get("config"))?;
-            let (job, admission) = table.submit(name, bench, config)?;
+            // The client identity rides at the top level, NOT inside
+            // `config`: it must never influence the artifact key.
+            let client = request.get("client").and_then(Value::as_str);
+            let (job, admission) = table.submit(name, bench, config, client)?;
             let status = table.status(&job)?;
             Ok(Value::Obj(vec![
                 ("ok".into(), Value::Bool(true)),
@@ -288,6 +300,20 @@ fn dispatch(frame: &str, table: &JobTable, draining: &AtomicBool) -> Result<Valu
                         ),
                     ]),
                 ),
+            ]))
+        }
+        "cache-cap" => {
+            // Live adjustment of the artifact cache's byte cap (0 lifts
+            // it); the fleet coordinator broadcasts this at startup so one
+            // `--cache-cap-bytes` flag governs every worker.
+            let bytes = request
+                .get("bytes")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ServeError::Protocol("cache-cap requires \"bytes\"".to_owned()))?;
+            table.store().set_cap(bytes);
+            Ok(Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("cap_bytes".into(), Value::num_u64(bytes)),
             ]))
         }
         "shutdown" => {

@@ -33,6 +33,8 @@ fn deny_level_netlists_are_rejected_without_an_engine_run() {
         workers: 1,
         queue_capacity: 4,
         checkpoint_every: 0,
+        cache_cap_bytes: 0,
+        client_quota: 0,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();
@@ -111,6 +113,8 @@ fn syntax_errors_keep_the_plain_netlist_wire_code() {
         workers: 1,
         queue_capacity: 4,
         checkpoint_every: 0,
+        cache_cap_bytes: 0,
+        client_quota: 0,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

@@ -18,17 +18,19 @@ fn overflowing_the_queue_is_a_typed_busy_rejection() {
         seed,
         ..StitchConfig::default()
     };
-    let (job1, admission) = table.submit("s444", &bench, config(1)).expect("first");
+    let (job1, admission) = table
+        .submit("s444", &bench, config(1), None)
+        .expect("first");
     assert_eq!(admission, Admission::Miss);
 
     // Same key while in flight: single-flight attaches, never queues — so
     // it succeeds even though the queue is full.
-    let (dup, admission) = table.submit("s444", &bench, config(1)).expect("dup");
+    let (dup, admission) = table.submit("s444", &bench, config(1), None).expect("dup");
     assert_eq!(dup, job1);
     assert_eq!(admission, Admission::DedupHit);
 
     // Distinct key: the bounded queue pushes back.
-    let overflow = table.submit("s444", &bench, config(2));
+    let overflow = table.submit("s444", &bench, config(2), None);
     match overflow {
         Err(CoreError::Busy { open, capacity }) => {
             assert_eq!(capacity, 1);
@@ -49,7 +51,9 @@ fn overflowing_the_queue_is_a_typed_busy_rejection() {
     // After the backlog clears, the same submission is admitted.
     let first = table.fetch(&job1).expect("first result");
     table.drain();
-    let (job2, admission) = table.submit("s444", &bench, config(2)).expect("retry");
+    let (job2, admission) = table
+        .submit("s444", &bench, config(2), None)
+        .expect("retry");
     assert_eq!(admission, Admission::Miss);
     let second = table.fetch(&job2).expect("second result");
     assert_ne!(*first, *second, "different seeds, different artifacts");

@@ -35,7 +35,9 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
 
     // Cold run.
     let table1 = table(&dir);
-    let (job, admission) = table1.submit("s444", &bench, config(7)).expect("submit");
+    let (job, admission) = table1
+        .submit("s444", &bench, config(7), None)
+        .expect("submit");
     assert_eq!(admission, Admission::Miss);
     let cold = table1.fetch(&job).expect("fetch");
     let runs_after_cold = engine_runs.get();
@@ -43,7 +45,9 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
     // Warm hit in the same table: identical bytes, no engine run. (The
     // live-job entry has retired by now — fetch blocked until completion —
     // so this exercises the store path, not single-flight.)
-    let (job, admission) = table1.submit("s444", &bench, config(7)).expect("resubmit");
+    let (job, admission) = table1
+        .submit("s444", &bench, config(7), None)
+        .expect("resubmit");
     assert_eq!(admission, Admission::CacheHit);
     assert_eq!(*table1.fetch(&job).expect("fetch"), *cold);
     assert_eq!(engine_runs.get(), runs_after_cold, "hit must not re-run");
@@ -52,7 +56,7 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
     // the canonicalized netlist.
     let reformatted = format!("# a comment\n\n{}", bench.replace('\n', "\n\n"));
     let (job, admission) = table1
-        .submit("s444", &reformatted, config(7))
+        .submit("s444", &reformatted, config(7), None)
         .expect("reformatted submit");
     assert_eq!(admission, Admission::CacheHit, "canonicalization failed");
     assert_eq!(*table1.fetch(&job).expect("fetch"), *cold);
@@ -61,7 +65,7 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
     drop(table1);
     let table2 = table(&dir);
     let (job, admission) = table2
-        .submit("s444", &bench, config(7))
+        .submit("s444", &bench, config(7), None)
         .expect("post-restart submit");
     assert_eq!(admission, Admission::CacheHit, "cache must survive restart");
     assert_eq!(*table2.fetch(&job).expect("fetch"), *cold);
@@ -69,7 +73,7 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
 
     // Any semantic config change must miss: seed…
     let (job, admission) = table2
-        .submit("s444", &bench, config(8))
+        .submit("s444", &bench, config(8), None)
         .expect("seed-change submit");
     assert_eq!(admission, Admission::Miss, "seed change must miss");
     let reseeded = table2.fetch(&job).expect("fetch");
@@ -80,7 +84,7 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
     let mut budgeted = config(7);
     budgeted.budget = Some(50_000);
     let (_, admission) = table2
-        .submit("s444", &bench, budgeted)
+        .submit("s444", &bench, budgeted, None)
         .expect("budget submit");
     assert_eq!(admission, Admission::Miss, "budget change must miss");
 
@@ -88,7 +92,7 @@ fn warm_hits_are_byte_identical_and_config_changes_miss() {
     let mut threaded = config(7);
     threaded.threads = 3;
     let (job, admission) = table2
-        .submit("s444", &bench, threaded)
+        .submit("s444", &bench, threaded, None)
         .expect("threaded submit");
     assert_eq!(
         admission,

@@ -1,0 +1,238 @@
+//! Serve-layer delta and admission-quota behavior: resubmitting an edited
+//! netlist reuses the cached ancestor's prescreen work while staying
+//! byte-identical to a cold run; a corrupt manifest sidecar degrades to a
+//! cold run (never wrong reuse); per-client quotas are typed rejections;
+//! and a size-capped store evicts deterministically under pressure.
+
+use tvs_netlist::bench;
+use tvs_serve::{Admission, ArtifactStore, CoreError, JobTable, ServeError};
+use tvs_stitch::StitchConfig;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvs-serve-delta-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The bench text of `name`'s profile netlist, plus the same text with one
+/// combinational gate's kind flipped to its same-arity dual.
+fn base_and_edited(name: &str) -> (String, String) {
+    let netlist = tvs_circuits::profile(name).expect("profile").build();
+    let base = bench::to_string(&netlist);
+    let gate_id = netlist
+        .gate_ids()
+        .find(|&id| {
+            let kind = netlist.gate(id).kind();
+            kind.is_combinational()
+                && !matches!(
+                    kind,
+                    tvs_netlist::GateKind::Not | tvs_netlist::GateKind::Buf
+                )
+        })
+        .expect("a flippable gate");
+    let gate = netlist.gate(gate_id);
+    let dual = match gate.kind() {
+        tvs_netlist::GateKind::And => tvs_netlist::GateKind::Or,
+        tvs_netlist::GateKind::Or => tvs_netlist::GateKind::And,
+        tvs_netlist::GateKind::Nand => tvs_netlist::GateKind::Nor,
+        tvs_netlist::GateKind::Nor => tvs_netlist::GateKind::Nand,
+        tvs_netlist::GateKind::Xor => tvs_netlist::GateKind::Xnor,
+        _ => tvs_netlist::GateKind::Xor,
+    };
+    let from = format!(
+        "{} = {}(",
+        netlist.gate_name(gate_id),
+        gate.kind().keyword()
+    );
+    let to = format!("{} = {}(", netlist.gate_name(gate_id), dual.keyword());
+    let edited = base.replacen(&from, &to, 1);
+    assert_ne!(base, edited, "edit did not take");
+    (base, edited)
+}
+
+fn run_to_artifact(table: &JobTable, name: &str, bench: &str, config: StitchConfig) -> String {
+    let (job, _) = table.submit(name, bench, config, None).expect("submit");
+    table.fetch(&job).expect("fetch").to_string()
+}
+
+#[test]
+fn resubmitting_an_edited_netlist_reuses_work_byte_identically() {
+    let (base, edited) = base_and_edited("s526");
+    let config = StitchConfig {
+        seed: 5,
+        ..StitchConfig::default()
+    };
+
+    // Warm path: base first (writes its manifest sidecar), then the edit.
+    let warm_dir = temp_dir("warm");
+    let warm = JobTable::new(1, 4, 0, ArtifactStore::open(&warm_dir).expect("store"));
+    run_to_artifact(&warm, "s526", &base, config.clone());
+    let reused_before = tvs_exec::counter("delta.faults_reused").get();
+    let plans_before = tvs_exec::counter("delta.plans").get();
+    let delta_artifact = run_to_artifact(&warm, "s526", &edited, config.clone());
+    assert!(
+        tvs_exec::counter("delta.plans").get() > plans_before,
+        "edited resubmission should have found the base manifest"
+    );
+    assert!(
+        tvs_exec::counter("delta.faults_reused").get() > reused_before,
+        "a one-gate edit must reuse at least one cached classification"
+    );
+
+    // Cold reference: the edited netlist on a fresh cache.
+    let cold_dir = temp_dir("cold");
+    let cold = JobTable::new(1, 4, 0, ArtifactStore::open(&cold_dir).expect("store"));
+    let cold_artifact = run_to_artifact(&cold, "s526", &edited, config);
+    assert_eq!(
+        delta_artifact, cold_artifact,
+        "delta run diverged from the cold run of the edited netlist"
+    );
+
+    warm.drain();
+    cold.drain();
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+}
+
+#[test]
+fn a_corrupt_manifest_sidecar_falls_back_to_a_cold_run() {
+    let (base, edited) = base_and_edited("s444");
+    let config = StitchConfig {
+        seed: 9,
+        ..StitchConfig::default()
+    };
+
+    let warm_dir = temp_dir("corrupt");
+    let warm = JobTable::new(1, 4, 0, ArtifactStore::open(&warm_dir).expect("store"));
+    run_to_artifact(&warm, "s444", &base, config.clone());
+
+    // Corrupt every manifest sidecar in the cache directory.
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&warm_dir).expect("read cache dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "manifest") {
+            let mut bytes = std::fs::read(&path).expect("read manifest");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x20;
+            std::fs::write(&path, bytes).expect("write corrupted manifest");
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted > 0, "the base run should have written a manifest");
+
+    let rejected_before = tvs_exec::counter("delta.manifest_rejected").get();
+    let delta_artifact = run_to_artifact(&warm, "s444", &edited, config.clone());
+    assert!(
+        tvs_exec::counter("delta.manifest_rejected").get() > rejected_before,
+        "the forged sidecar should have been rejected at parse"
+    );
+
+    let cold_dir = temp_dir("corrupt-cold");
+    let cold = JobTable::new(1, 4, 0, ArtifactStore::open(&cold_dir).expect("store"));
+    let cold_artifact = run_to_artifact(&cold, "s444", &edited, config);
+    assert_eq!(
+        delta_artifact, cold_artifact,
+        "fallback after manifest corruption must still match the cold run"
+    );
+
+    warm.drain();
+    cold.drain();
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+}
+
+#[test]
+fn a_client_at_its_quota_gets_a_typed_rejection() {
+    let dir = temp_dir("quota");
+    let netlist = tvs_circuits::profile("s526").expect("profile").build();
+    let bench = bench::to_string(&netlist);
+    let config = |seed: u64| StitchConfig {
+        seed,
+        ..StitchConfig::default()
+    };
+
+    // One worker, generous queue, one in-flight job per client.
+    let table =
+        JobTable::new(1, 8, 0, ArtifactStore::open(&dir).expect("store")).with_client_quota(1);
+    let (job1, admission) = table
+        .submit("s526", &bench, config(1), Some("alice"))
+        .expect("first");
+    assert_eq!(admission, Admission::Miss);
+
+    // Same client, distinct key, first job still in flight: quota trips.
+    let over = table.submit("s526", &bench, config(2), Some("alice"));
+    match over {
+        Err(CoreError::QuotaExceeded {
+            ref client,
+            open,
+            limit,
+        }) => {
+            assert_eq!(client, "alice");
+            assert_eq!(open, 1);
+            assert_eq!(limit, 1);
+            // The serve-layer wire form carries the same gauges under the
+            // stable "quota" code.
+            let wire = ServeError::from(over.unwrap_err()).to_wire().to_text();
+            assert!(wire.contains("\"error\":\"quota\""), "{wire}");
+            assert!(wire.contains("\"client\":\"alice\""), "{wire}");
+            assert!(wire.contains("\"limit\":1"), "{wire}");
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+
+    // Anonymous submissions and other clients are not throttled by alice.
+    let (_, admission) = table
+        .submit("s526", &bench, config(3), None)
+        .expect("anonymous");
+    assert_eq!(admission, Admission::Miss);
+    let (_, admission) = table
+        .submit("s526", &bench, config(4), Some("bob"))
+        .expect("other client");
+    assert_eq!(admission, Admission::Miss);
+
+    // Once the first job retires, alice may submit again.
+    table.fetch(&job1).expect("first result");
+    table.drain();
+    let (_, admission) = table
+        .submit("s526", &bench, config(5), Some("alice"))
+        .expect("after drain");
+    assert_eq!(admission, Admission::Miss);
+    table.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_size_capped_store_evicts_old_artifacts_under_pressure() {
+    let dir = temp_dir("evict");
+    let netlist = tvs_circuits::profile("s444").expect("profile").build();
+    let bench = bench::to_string(&netlist);
+
+    // A cap far below one artifact's size: each new job evicts its
+    // predecessor, and the newest entry is always spared.
+    let table = JobTable::new(1, 4, 0, {
+        ArtifactStore::open(&dir).expect("store").with_cap(1024)
+    });
+    let evictions_before = tvs_exec::counter("cache.evictions").get();
+    for seed in 1..=3u64 {
+        let config = StitchConfig {
+            seed,
+            ..StitchConfig::default()
+        };
+        run_to_artifact(&table, "s444", &bench, config);
+    }
+    assert!(
+        tvs_exec::counter("cache.evictions").get() > evictions_before,
+        "three over-cap artifacts must have triggered evictions"
+    );
+    let survivors = std::fs::read_dir(&dir)
+        .expect("read cache dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .count();
+    assert!(
+        survivors >= 1,
+        "the newest artifact is always spared by the evictor"
+    );
+    table.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

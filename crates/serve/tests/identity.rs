@@ -1,7 +1,6 @@
 //! Served artifacts are bit-identical to what a direct `tvs run`-style
 //! engine invocation produces, at any worker thread count.
 
-use tvs_serve::cache::ArtifactKey;
 use tvs_serve::jobs::render_artifact;
 use tvs_serve::{Admission, ArtifactStore, JobTable};
 use tvs_stitch::{StitchConfig, StitchEngine};
@@ -28,7 +27,7 @@ fn served_artifact_matches_direct_engine_run_at_any_thread_count() {
         .expect("engine")
         .run(&reference_config)
         .expect("direct run");
-    let key = ArtifactKey::compute(&bench, &reference_config);
+    let key = tvs_serve::cache::SubmissionIdentity::of(&netlist, &bench, &reference_config).key;
     let reference = render_artifact(&netlist, &report, &reference_config, key).to_text();
 
     // Serve the same job at several thread counts, each on a cold cache so
@@ -41,7 +40,7 @@ fn served_artifact_matches_direct_engine_run_at_any_thread_count() {
             threads,
             ..StitchConfig::default()
         };
-        let (job, admission) = table.submit("s444", &bench, config).expect("submit");
+        let (job, admission) = table.submit("s444", &bench, config, None).expect("submit");
         assert_eq!(admission, Admission::Miss);
         let served = table.fetch(&job).expect("fetch");
         assert_eq!(
@@ -60,7 +59,7 @@ fn artifact_embeds_a_replayable_program_and_honest_metrics() {
     let dir = temp_dir("artifact-shape");
     let table = JobTable::new(1, 4, 0, ArtifactStore::open(&dir).expect("store"));
     let (job, _) = table
-        .submit("s444", &bench, StitchConfig::default())
+        .submit("s444", &bench, StitchConfig::default(), None)
         .expect("submit");
     let artifact_text = table.fetch(&job).expect("fetch");
     let artifact = tvs_serve::json::parse(&artifact_text).expect("artifact parses");

@@ -28,6 +28,8 @@ fn eight_concurrent_identical_submissions_share_one_engine_run() {
         workers: 2,
         queue_capacity: 16,
         checkpoint_every: 4,
+        cache_cap_bytes: 0,
+        client_quota: 0,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

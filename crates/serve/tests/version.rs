@@ -35,6 +35,8 @@ fn mismatched_and_missing_versions_get_the_typed_error() {
         workers: 1,
         queue_capacity: 4,
         checkpoint_every: 0,
+        cache_cap_bytes: 0,
+        client_quota: 0,
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

@@ -45,7 +45,10 @@ pub use engine::StitchEngine;
 pub use metrics::{CompressionMetrics, CycleRecord};
 pub use policy::{Ratio, ShiftPolicy};
 pub use replay::{ReplayCycle, ReplayRow, ReplayTrace};
-pub use run::{RunOptions, RunProgress, StitchError, StitchReport, Termination};
+pub use run::{
+    PodemVerdict, PrescreenRecord, PrescreenTrace, RunOptions, RunProgress, StitchError,
+    StitchReport, Termination,
+};
 pub use select::SelectionStrategy;
 pub use sets::{FaultSets, FaultState, HiddenFault};
 pub use snapshot::{fnv1a, FaultEntry, Snapshot, SnapshotError, SNAPSHOT_VERSION};

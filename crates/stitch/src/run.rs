@@ -109,6 +109,76 @@ pub struct RunOptions<'cb> {
     /// sees state, never steers it, so it cannot perturb the deterministic
     /// result stream — the serve layer feeds live `status` responses from it.
     pub on_progress: Option<&'cb mut dyn FnMut(RunProgress)>,
+    /// Per-fault prescreen replay plan, aligned to the collapsed fault list:
+    /// `Some(record)` replays the recorded verdicts without re-running
+    /// simulation or PODEM for that fault, `None` recomputes them. The plan
+    /// only changes *how* verdicts are obtained, never their values, budget
+    /// charges or PRNG draws — a planned run is byte-identical to a cold
+    /// one. The delta layer derives plans from cone-manifest diffs, where
+    /// an unchanged fault support guarantees an unchanged verdict.
+    pub prescreen_plan: Option<Vec<Option<PrescreenRecord>>>,
+    /// Receives the [`PrescreenTrace`] once the prescreen finishes (never
+    /// invoked on resumed runs — their prescreen outcome lives in the
+    /// snapshot). The delta layer persists the trace as a cone manifest.
+    pub on_prescreen: Option<&'cb mut dyn FnMut(PrescreenTrace)>,
+}
+
+/// A prescreen PODEM verdict, stripped of its witness cube: the part of the
+/// per-fault outcome that must be replayed for a delta run to stay
+/// byte-identical to a cold one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodemVerdict {
+    /// The prover found a test (the fault stays tracked).
+    Test,
+    /// Proven untestable (classified prescreen-redundant).
+    Untestable,
+    /// The prover ran out of backtracks (tracked, but never targeted).
+    Aborted,
+}
+
+impl PodemVerdict {
+    /// One-letter code used by the manifest text form.
+    pub fn code(self) -> char {
+        match self {
+            PodemVerdict::Test => 'T',
+            PodemVerdict::Untestable => 'U',
+            PodemVerdict::Aborted => 'A',
+        }
+    }
+
+    /// Parses the one-letter manifest code.
+    pub fn from_code(c: char) -> Option<Self> {
+        Some(match c {
+            'T' => PodemVerdict::Test,
+            'U' => PodemVerdict::Untestable,
+            'A' => PodemVerdict::Aborted,
+            _ => return None,
+        })
+    }
+}
+
+/// One collapsed fault's recorded prescreen outcome: everything the replay
+/// path needs to skip that fault's simulation rounds and deep PODEM proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrescreenRecord {
+    /// Random-simulation round (0-based, < 8) where the fault was first
+    /// detected, or `None` if the 8 rounds never caught it.
+    pub first_detect_round: Option<u8>,
+    /// Deep PODEM verdict and its backtrack count, when the prescreen ran
+    /// the prover on this fault (`None` when simulation or static pruning
+    /// already settled it).
+    pub podem: Option<(PodemVerdict, u32)>,
+}
+
+/// The prescreen's full outcome, one record per collapsed fault, reported
+/// through [`RunOptions::on_prescreen`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrescreenTrace {
+    /// Per-fault records in collapsed fault-list order.
+    pub records: Vec<PrescreenRecord>,
+    /// How many faults were replayed from the plan end to end (simulation
+    /// rounds and, where applicable, the PODEM verdict).
+    pub reused: usize,
 }
 
 /// Live progress of an in-flight stitched run, reported through
@@ -187,10 +257,16 @@ impl StitchEngine<'_> {
         mut opts: RunOptions<'_>,
     ) -> Result<StitchReport, StitchError> {
         let _timer = tvs_exec::span("stitch.run");
+        let plan = opts.prescreen_plan.take();
         let mut run = match opts.resume.take() {
             Some(snapshot) => RunState::resume(self, config, snapshot)?,
-            None => RunState::new(self, config)?,
+            None => RunState::new(self, config, plan.as_deref())?,
         };
+        if let Some(trace) = run.prescreen_trace.take() {
+            if let Some(cb) = opts.on_prescreen.as_mut() {
+                cb(trace);
+            }
+        }
         let l = self.chain.length();
         let baseline_rate = run.baseline_rate();
 

@@ -18,7 +18,7 @@ use tvs_scan::CostModel;
 
 use crate::config::config_fingerprint;
 use crate::engine::StitchEngine;
-use crate::run::{StitchError, StopCause};
+use crate::run::{PodemVerdict, PrescreenRecord, PrescreenTrace, StitchError, StopCause};
 use crate::snapshot::{FaultEntry, Snapshot, SnapshotError};
 use crate::strategy::StrategyCtx;
 use crate::{CycleRecord, FaultSets, FaultState, StitchConfig};
@@ -63,12 +63,16 @@ pub(crate) struct RunState<'r, 'a> {
     pub(crate) window: VecDeque<(usize, f64)>,
     /// Set when the run must stop early (budget or worker panic).
     pub(crate) stop: Option<StopCause>,
+    /// The prescreen's per-fault outcome, captured on cold and planned runs
+    /// (absent on resume — the snapshot already holds the outcome).
+    pub(crate) prescreen_trace: Option<PrescreenTrace>,
 }
 
 impl<'r, 'a> RunState<'r, 'a> {
     pub(crate) fn new(
         eng: &'r StitchEngine<'a>,
         cfg: &'r StitchConfig,
+        plan: Option<&[Option<PrescreenRecord>]>,
     ) -> Result<Self, StitchError> {
         let scoap = Scoap::compute(eng.netlist, &eng.view);
         let baseline = generate_tests(eng.netlist, &cfg.baseline).map_err(|e| match e {
@@ -98,8 +102,9 @@ impl<'r, 'a> RunState<'r, 'a> {
             select_failed: false,
             window: VecDeque::new(),
             stop: None,
+            prescreen_trace: None,
         };
-        state.prescreen()?;
+        state.prescreen(plan)?;
         // Strategy cold start: the cursor (ADI counts, scheme genome, …) is
         // computed once against the freshly tracked fault sets, then the
         // strategy picks the opening shift size. Legacy strategies have an
@@ -274,6 +279,7 @@ impl<'r, 'a> RunState<'r, 'a> {
             select_failed: false,
             window: snap.window.iter().copied().collect(),
             stop: None,
+            prescreen_trace: None,
         })
     }
 
@@ -361,7 +367,16 @@ impl<'r, 'a> RunState<'r, 'a> {
     /// survivors get an unconstrained PODEM verdict. Aborted faults stay
     /// tracked (they can be caught fortuitously) but are never chosen as
     /// ATPG targets.
-    fn prescreen(&mut self) -> Result<(), StitchError> {
+    ///
+    /// With a replay `plan` (one optional [`PrescreenRecord`] per collapsed
+    /// fault), planned faults take their per-round detection and PODEM
+    /// verdicts from the record instead of recomputing them. Budget charges
+    /// and PRNG draws are identical either way — the plan changes *where*
+    /// verdicts come from, never what the prescreen does with them — so a
+    /// planned run is byte-identical to a cold one whenever the records are
+    /// accurate. A record missing its PODEM verdict where one is needed is
+    /// demoted to live computation rather than trusted.
+    fn prescreen(&mut self, plan: Option<&[Option<PrescreenRecord>]>) -> Result<(), StitchError> {
         // Chaos hook: a worker dying this early leaves no program to
         // salvage, so the whole run reports a typed error.
         if inject::fire("stitch.prescreen.panic") {
@@ -370,30 +385,51 @@ impl<'r, 'a> RunState<'r, 'a> {
             });
         }
         let faults = self.eng.faults.faults();
+        // A plan of the wrong length cannot describe this fault list.
+        let plan = plan.filter(|p| p.len() == faults.len());
+        let planned = |i: usize| plan.and_then(|p| p[i]);
+        let mut records: Vec<PrescreenRecord> = vec![PrescreenRecord::default(); faults.len()];
         let mut testable = vec![false; faults.len()];
         let mut alive: Vec<usize> = (0..faults.len()).collect();
-        for _ in 0..8 {
+        for round in 0..8u8 {
             if alive.is_empty() {
                 break;
             }
             let pattern: BitVec = (0..self.eng.view.input_count())
                 .map(|_| self.rng.next_bool())
                 .collect();
-            let subset: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
-            self.budget.charge(subset.len() as u64);
-            let hits = detect_parallel(
-                self.eng.netlist,
-                &self.eng.view,
-                &self.pool,
-                &pattern,
-                &subset,
-            );
+            self.budget.charge(alive.len() as u64);
+            // Planned faults replay their recorded detection round; the
+            // rest are simulated. The simulated subset keeps alive order,
+            // so a plan-free call builds exactly the cold subset.
+            let mut hit = vec![false; alive.len()];
+            let mut live_slots: Vec<usize> = Vec::new();
+            for (slot, &i) in alive.iter().enumerate() {
+                match planned(i) {
+                    Some(rec) => hit[slot] = rec.first_detect_round == Some(round),
+                    None => live_slots.push(slot),
+                }
+            }
+            if !live_slots.is_empty() {
+                let subset: Vec<Fault> = live_slots.iter().map(|&s| faults[alive[s]]).collect();
+                let hits = detect_parallel(
+                    self.eng.netlist,
+                    &self.eng.view,
+                    &self.pool,
+                    &pattern,
+                    &subset,
+                );
+                for (&slot, h) in live_slots.iter().zip(hits) {
+                    hit[slot] = h;
+                }
+            }
             alive = alive
                 .into_iter()
-                .zip(hits)
+                .zip(hit)
                 .filter_map(|(i, h)| {
                     if h {
                         testable[i] = true;
+                        records[i].first_detect_round = Some(round);
                         None
                     } else {
                         Some(i)
@@ -420,18 +456,37 @@ impl<'r, 'a> RunState<'r, 'a> {
         // would reach, but pattern- and budget-independent, hence identical
         // in every run path.
         let prune = StaticPrune::new(self.eng.netlist);
-        let needs: Vec<Fault> = faults
+        let needs: Vec<(usize, Fault)> = faults
             .iter()
             .enumerate()
             .filter(|&(i, f)| !testable[i] && !prune.is_untestable(f))
-            .map(|(_, &f)| f)
+            .map(|(i, &f)| (i, f))
             .collect();
-        let chunks: Vec<&[Fault]> = needs.chunks(32).collect();
+        // Planned faults carry their verdict; the rest go to the pool. A
+        // planned fault without a recorded verdict is a plan inconsistency:
+        // it is demoted to live computation, never guessed.
+        let mut verdict_at: Vec<Option<(PodemVerdict, u32)>> = vec![None; needs.len()];
+        let mut demoted = 0usize;
+        let mut live: Vec<Fault> = Vec::new();
+        let mut live_at: Vec<usize> = Vec::new();
+        for (slot, &(i, fault)) in needs.iter().enumerate() {
+            match planned(i).and_then(|rec| rec.podem) {
+                Some(verdict) => verdict_at[slot] = Some(verdict),
+                None => {
+                    if planned(i).is_some() {
+                        demoted += 1;
+                    }
+                    live.push(fault);
+                    live_at.push(slot);
+                }
+            }
+        }
+        let chunks: Vec<&[Fault]> = live.chunks(32).collect();
         let (netlist, view) = (self.eng.netlist, &self.eng.view);
         // Each verdict comes back with its backtrack count so the budget
         // charge reduces on the caller side, in fault order — deterministic
         // at any thread count.
-        let verdicts: Vec<(PodemResult, u32)> = self
+        let live_verdicts: Vec<(PodemResult, u32)> = self
             .pool
             .try_map(&chunks, |_, chunk| {
                 let mut prover = Podem::with_config(netlist, view, deep);
@@ -449,7 +504,15 @@ impl<'r, 'a> RunState<'r, 'a> {
             .into_iter()
             .flatten()
             .collect();
-        let mut verdicts = verdicts.into_iter();
+        for (&slot, (result, backtracks)) in live_at.iter().zip(live_verdicts) {
+            let kind = match result {
+                PodemResult::Test(_) => PodemVerdict::Test,
+                PodemResult::Untestable => PodemVerdict::Untestable,
+                PodemResult::Aborted => PodemVerdict::Aborted,
+            };
+            verdict_at[slot] = Some((kind, backtracks));
+        }
+        let mut verdicts = verdict_at.into_iter();
         for (i, &fault) in faults.iter().enumerate() {
             if testable[i] {
                 tracked.push(fault);
@@ -459,21 +522,28 @@ impl<'r, 'a> RunState<'r, 'a> {
                 self.prescreen_redundant.push(fault);
                 continue;
             }
-            // Defensive: the pool returns one verdict per screened fault; a
-            // short stream is treated as an abort rather than an invariant
-            // crash.
-            let (verdict, backtracks) = verdicts.next().unwrap_or((PodemResult::Aborted, 0));
+            // Defensive: one verdict per screened fault; a short stream is
+            // treated as an abort rather than an invariant crash.
+            let (verdict, backtracks) = verdicts
+                .next()
+                .flatten()
+                .unwrap_or((PodemVerdict::Aborted, 0));
+            records[i].podem = Some((verdict, backtracks));
             self.budget.charge(1 + u64::from(backtracks));
             match verdict {
-                PodemResult::Test(_) => tracked.push(fault),
-                PodemResult::Untestable => self.prescreen_redundant.push(fault),
-                PodemResult::Aborted => {
+                PodemVerdict::Test => tracked.push(fault),
+                PodemVerdict::Untestable => self.prescreen_redundant.push(fault),
+                PodemVerdict::Aborted => {
                     self.prescreen_aborted.push(fault);
                     self.never_target.insert(tracked.len());
                     tracked.push(fault);
                 }
             }
         }
+        let reused = plan
+            .map(|p| p.iter().filter(|r| r.is_some()).count() - demoted)
+            .unwrap_or(0);
+        self.prescreen_trace = Some(PrescreenTrace { records, reused });
         self.sets = FaultSets::new(tracked);
         Ok(())
     }

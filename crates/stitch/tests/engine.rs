@@ -181,6 +181,8 @@ fn progress_hook_observes_every_cycle() {
                 checkpoint_every: 0,
                 on_checkpoint: None,
                 on_progress: Some(&mut hook),
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .unwrap();

@@ -97,6 +97,8 @@ tvs — test vector stitching toolkit (DATE 2003 reproduction)
   tvs bench strategies [options]           strategies × profiles sweep with
                                            per-profile compression/coverage
                                            Pareto fronts
+  tvs bench delta [options]                delta-reuse ratio × edit size table
+                                           over the built-in profiles
 
 lint options:
   --profiles           analyze every built-in circuit profile
@@ -134,6 +136,12 @@ run options:
                            bit-identical to one that never stopped
   --stats-json <file>      write the instrumentation report as JSON (the
                            same serializer behind the daemon's stats op)
+  --cache-dir <dir>        artifact cache for cone manifests (default:
+                           tvs-cache); the run stores its own manifest there
+  --delta-from <key>       reuse prescreen verdicts from the cached cone
+                           manifest with this 16-hex artifact key; any
+                           mismatch falls back to a cold run with a notice,
+                           and the result is byte-identical either way
 
 serve options:
   --listen <addr>          TCP address to bind, e.g. 127.0.0.1:7077 (:0 picks
@@ -142,6 +150,10 @@ serve options:
   --workers <n>            engine worker threads (default: 2)
   --queue <n>              max open jobs before submits get busy (default: 64)
   --checkpoint-every <n>   snapshot running jobs every n cycles (default: 8)
+  --cache-cap-bytes <n>    evict oldest cached artifacts once the cache
+                           exceeds n bytes (default: 0 = unbounded)
+  --client-quota <n>       max open jobs per client id (default: 0 = none;
+                           anonymous submissions are exempt)
 
 fleet options:
   --listen <addr>            TCP address to bind (:0 picks a free port; the
@@ -154,9 +166,12 @@ fleet options:
                              forwarded ops (default: 1000)
   --fail-threshold <n>       consecutive probe failures that mark a worker
                              dead (default: 2)
+  --cache-cap-bytes <n>      broadcast this artifact-cache byte cap to every
+                             worker at startup (default: 0 = leave workers'
+                             own caps in place)
 
 fuzz options:
-  --target <t>      bench | frame | snapshot | e2e | all   (required)
+  --target <t>      bench | frame | snapshot | e2e | delta | all   (required)
   --rounds <n>      schedule-driven rounds per target (default: 256)
   --base-seed <n>   base of the deterministic seed schedule (default: 5707716)
   --seed-hex <hex>  replay one seed given as hex bytes (overrides --rounds)
@@ -171,6 +186,17 @@ bench strategies options:
   --threads <n>     worker threads per run (default: 1; results identical)
   --gate            fail (exit 11) if any strategy's coverage falls below
                     the most-faults baseline column on any profile
+
+bench delta options:
+  --out <f>         report path (default: BENCH_delta.json); byte-identical
+                    across reruns with the same options
+  --profiles <a,b>  comma-separated profile names (default: all 13)
+  --edits <a,b>     comma-separated edit sizes in flipped gates
+                    (default: 1,2,4,8)
+  --scale <f>       gate-count scaling factor (default: 1.0)
+  --floor <f>       one-gate reuse-ratio floor for --gate (default: 0.5)
+  --gate            fail (exit 11) if any profile's one-gate edit reuses no
+                    faults or falls below the floor
 
 exit codes: 0 ok · 2 usage · 3 bad input · 4 engine · 5 snapshot · 6 io ·
 7 lint · 8 serve · 9 fleet · 10 fuzz · 11 bench gate (1 stays reserved for
@@ -351,6 +377,8 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
     let mut checkpoint_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut stats_json_path: Option<String> = None;
+    let mut delta_from: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut stitch_args: Vec<String> = Vec::new();
     let rest = &args[1..];
     let mut i = 0;
@@ -372,6 +400,14 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
                 stats_json_path = Some(need(rest, i + 1, "stats json path")?.to_owned());
                 i += 1;
             }
+            "--delta-from" => {
+                delta_from = Some(need(rest, i + 1, "ancestor artifact key")?.to_owned());
+                i += 1;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(need(rest, i + 1, "cache directory")?.to_owned());
+                i += 1;
+            }
             other => stitch_args.push(other.to_owned()),
         }
         i += 1;
@@ -386,6 +422,46 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
         None => None,
     };
     let checkpoint_path = checkpoint_path.unwrap_or_else(|| format!("{circuit_path}.tvsnap"));
+
+    // Delta reuse is strictly best-effort: a missing store, absent or
+    // corrupt manifest, or interface/config mismatch prints a notice and
+    // the run proceeds cold. The result is byte-identical either way; only
+    // the work done differs.
+    let store = if delta_from.is_some() || cache_dir.is_some() {
+        let dir = cache_dir.clone().unwrap_or_else(|| "tvs-cache".to_owned());
+        match tvs::core::ArtifactStore::open(&dir) {
+            Ok(store) => Some((store, dir)),
+            Err(e) => {
+                println!("delta: cache {dir} unavailable ({e}); running cold");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let mut delta_applied: Option<(tvs::core::ArtifactKey, usize, usize)> = None;
+    let prescreen_plan = match (&store, &delta_from) {
+        (Some((store, dir)), Some(text)) => {
+            let ancestor = tvs::core::ArtifactKey::parse(text).ok_or_else(|| {
+                TvsError::usage(format!(
+                    "malformed artifact key {text:?} (expected 16 hex digits)"
+                ))
+            })?;
+            match load_delta_plan(store, ancestor, &netlist, &opts.config) {
+                Ok(plan) => {
+                    tvs::exec::counter("delta.plans").incr();
+                    tvs::exec::counter("delta.cones_dirty").add(plan.cones_dirty as u64);
+                    delta_applied = Some((ancestor, plan.faults_total, plan.cones_dirty));
+                    Some(plan.plan)
+                }
+                Err(reason) => {
+                    println!("delta: {reason} (ancestor {ancestor} in {dir}); running cold");
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
 
     let engine = StitchEngine::new(&netlist)?;
     // Snapshots are written atomically (tmp + rename) so an interrupt mid-
@@ -405,6 +481,9 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
             Err(e) => write_error = Some(TvsError::io(&*checkpoint_path, e)),
         }
     };
+    let mut trace: Option<tvs::stitch::PrescreenTrace> = None;
+    let mut on_prescreen = |t: tvs::stitch::PrescreenTrace| trace = Some(t);
+    let want_trace = store.is_some();
     let report = engine.run_with(
         &opts.config,
         RunOptions {
@@ -416,10 +495,39 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
                 None
             },
             on_progress: None,
+            prescreen_plan,
+            on_prescreen: if want_trace {
+                Some(&mut on_prescreen)
+            } else {
+                None
+            },
         },
     )?;
     if let Some(e) = write_error {
         return Err(e);
+    }
+
+    if let Some(trace) = &trace {
+        tvs::exec::counter("delta.faults_reused").add(trace.reused as u64);
+        if let Some((ancestor, total, dirty)) = &delta_applied {
+            println!(
+                "delta: reused {}/{total} prescreen verdicts from {ancestor} ({dirty} cones dirty)",
+                trace.reused
+            );
+        }
+    }
+    // Persist this run's own cone manifest so future edits can diff against
+    // it. Resumed runs skip the prescreen (no trace) and store nothing.
+    if let (Some((store, dir)), Some(trace)) = (&store, &trace) {
+        let canonical = bench::to_string(&netlist);
+        let key = tvs::core::SubmissionIdentity::of(&netlist, &canonical, &opts.config).key;
+        match tvs::delta::ConeManifest::build(&netlist, opts.config.fingerprint(), &trace.records) {
+            Ok(manifest) => match store.store_manifest(key, &manifest.to_text()) {
+                Ok(()) => println!("delta: manifest for key {key} stored in {dir}"),
+                Err(e) => println!("delta: manifest write failed ({e})"),
+            },
+            Err(e) => println!("delta: manifest build skipped ({e})"),
+        }
     }
 
     print_report(netlist.name(), &report);
@@ -447,6 +555,27 @@ fn run_cmd(args: &[String]) -> Result<(), TvsError> {
     Ok(())
 }
 
+/// Loads the ancestor manifest behind `--delta-from` and derives a prescreen
+/// replay plan for this run's netlist. Every failure mode comes back as a
+/// reason string for the cold-run notice — none of them is fatal.
+fn load_delta_plan(
+    store: &tvs::core::ArtifactStore,
+    ancestor: tvs::core::ArtifactKey,
+    netlist: &Netlist,
+    config: &StitchConfig,
+) -> Result<tvs::delta::DeltaPlan, String> {
+    let text = store
+        .load_manifest(ancestor)
+        .map_err(|e| format!("manifest unreadable: {e}"))?
+        .ok_or_else(|| "no manifest cached".to_owned())?;
+    let manifest = tvs::delta::ConeManifest::parse(&text).map_err(|e| {
+        tvs::exec::counter("delta.manifest_rejected").incr();
+        format!("manifest rejected: {e}")
+    })?;
+    tvs::delta::plan_for(&manifest, netlist, config.fingerprint())
+        .map_err(|e| format!("plan rejected: {e}"))
+}
+
 fn serve(args: &[String]) -> Result<(), TvsError> {
     let mut config = tvs::serve::ServerConfig::default();
     let mut i = 0;
@@ -472,6 +601,14 @@ fn serve(args: &[String]) -> Result<(), TvsError> {
                 config.checkpoint_every = parse_value(args, i + 1, "checkpoint interval")?;
                 i += 1;
             }
+            "--cache-cap-bytes" => {
+                config.cache_cap_bytes = parse_value(args, i + 1, "cache cap")?;
+                i += 1;
+            }
+            "--client-quota" => {
+                config.client_quota = parse_value(args, i + 1, "client quota")?;
+                i += 1;
+            }
             other => return Err(TvsError::usage(format!("unknown serve option {other:?}"))),
         }
         i += 1;
@@ -487,6 +624,15 @@ fn serve(args: &[String]) -> Result<(), TvsError> {
         config.queue_capacity,
         config.checkpoint_every
     );
+    if config.cache_cap_bytes > 0 {
+        println!("tvs-serve: cache cap {} bytes", config.cache_cap_bytes);
+    }
+    if config.client_quota > 0 {
+        println!(
+            "tvs-serve: client quota {} open jobs per client",
+            config.client_quota
+        );
+    }
     server.run()?;
     println!("tvs-serve: drained, exiting");
     Ok(())
@@ -528,6 +674,10 @@ fn fleet(args: &[String]) -> Result<(), TvsError> {
                 config.fail_threshold = parse_value::<u32>(args, i + 1, "fail threshold")?.max(1);
                 i += 1;
             }
+            "--cache-cap-bytes" => {
+                config.cache_cap_bytes = parse_value(args, i + 1, "cache cap")?;
+                i += 1;
+            }
             other => return Err(TvsError::usage(format!("unknown fleet option {other:?}"))),
         }
         i += 1;
@@ -549,6 +699,12 @@ fn fleet(args: &[String]) -> Result<(), TvsError> {
         config.probe_timeout.as_millis(),
         config.fail_threshold
     );
+    if config.cache_cap_bytes > 0 {
+        println!(
+            "tvs-fleet: broadcasting cache cap {} bytes to workers",
+            config.cache_cap_bytes
+        );
+    }
     coordinator.run()?;
     println!("tvs-fleet: drained, exiting");
     Ok(())
@@ -588,7 +744,7 @@ fn fuzz(args: &[String]) -> Result<(), TvsError> {
         i += 1;
     }
     let target = target.ok_or_else(|| {
-        TvsError::usage("fuzz requires --target (bench, frame, snapshot, e2e or all)")
+        TvsError::usage("fuzz requires --target (bench, frame, snapshot, e2e, delta or all)")
     })?;
     let targets: Vec<&str> = if target == "all" {
         tvs::fuzz::TARGETS.to_vec()
@@ -597,7 +753,7 @@ fn fuzz(args: &[String]) -> Result<(), TvsError> {
             Some(t) => vec![t],
             None => {
                 return Err(TvsError::usage(format!(
-                    "unknown fuzz target {target:?} (bench, frame, snapshot, e2e, all)"
+                    "unknown fuzz target {target:?} (bench, frame, snapshot, e2e, delta, all)"
                 )))
             }
         }
@@ -877,8 +1033,9 @@ fn gen(args: &[String]) -> Result<(), TvsError> {
 fn bench_cmd(args: &[String]) -> Result<(), TvsError> {
     match args.first().map(String::as_str) {
         Some("strategies") => bench_strategies(&args[1..]),
+        Some("delta") => bench_delta(&args[1..]),
         Some(other) => Err(TvsError::usage(format!(
-            "unknown bench experiment {other:?} (expected strategies)"
+            "unknown bench experiment {other:?} (expected strategies or delta)"
         ))),
         None => Err(TvsError::usage("missing bench experiment name")),
     }
@@ -949,6 +1106,88 @@ fn bench_strategies(args: &[String]) -> Result<(), TvsError> {
             }
             return Err(TvsError::Bench(format!(
                 "coverage regression vs most-faults baseline: {}",
+                lines.join("; ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn bench_delta(args: &[String]) -> Result<(), TvsError> {
+    use tvs::bench::delta::{reuse_failures, sweep, to_json, DeltaOpts};
+
+    let mut opts = DeltaOpts::default();
+    let mut out = "BENCH_delta.json".to_owned();
+    let mut gate = false;
+    let mut floor = 0.5f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = need(args, i + 1, "output path")?.to_owned();
+                i += 1;
+            }
+            "--profiles" => {
+                opts.profiles = need(args, i + 1, "profile list")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+                i += 1;
+            }
+            "--edits" => {
+                opts.edits = need(args, i + 1, "edit size list")?
+                    .split(',')
+                    .map(|t| {
+                        t.parse::<usize>()
+                            .map_err(|_| TvsError::usage(format!("malformed edit size {t:?}")))
+                    })
+                    .collect::<Result<Vec<usize>, TvsError>>()?;
+                i += 1;
+            }
+            "--scale" => {
+                opts.scale = parse_value(args, i + 1, "scaling factor")?;
+                i += 1;
+            }
+            "--floor" => {
+                floor = parse_value(args, i + 1, "reuse floor")?;
+                i += 1;
+            }
+            "--gate" => gate = true,
+            other => return Err(TvsError::usage(format!("unknown option {other:?}"))),
+        }
+        i += 1;
+    }
+    let result = sweep(&opts).map_err(TvsError::usage)?;
+    let json = to_json(&result);
+    fs::write(&out, &json).map_err(|e| TvsError::io(&*out, e))?;
+    println!(
+        "wrote {out}: {} profiles x {} edit sizes",
+        result.profiles.len(),
+        opts.edits.len()
+    );
+    for profile in &result.profiles {
+        let ratios: Vec<String> = profile
+            .rows
+            .iter()
+            .map(|r| format!("{}:{:.2}", r.edits, r.reuse_ratio()))
+            .collect();
+        println!(
+            "  {:8} {} gates, {} cones · reuse {}",
+            profile.name,
+            profile.gates,
+            profile.cones,
+            ratios.join(" ")
+        );
+    }
+    if gate {
+        let failures = reuse_failures(&result, floor);
+        if !failures.is_empty() {
+            let lines: Vec<String> = failures
+                .iter()
+                .map(|(profile, ratio)| format!("{profile} one-gate reuse {ratio:.4} < {floor}"))
+                .collect();
+            return Err(TvsError::Bench(format!(
+                "delta reuse below floor: {}",
                 lines.join("; ")
             )));
         }

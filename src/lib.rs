@@ -15,6 +15,7 @@
 //! | test generation | [`atpg`] | PODEM with pinned scan bits, compaction |
 //! | scan mechanics | [`scan`] | partial shift, VXOR/HXOR, cost accounting |
 //! | **stitching** | [`stitch`] | the paper's compression algorithm |
+//! | delta reuse | [`delta`] | cone-level content addressing, manifests, incremental recompression |
 //! | benchmarks | [`circuits`] | paper example + ISCAS89-calibrated profiles |
 //! | virtual tester | [`ate`] | pin-accurate program execution, screening, diagnosis |
 //! | execution | [`exec`] | deterministic work-stealing pool, counters, span timers |
@@ -53,6 +54,7 @@ pub use tvs_atpg as atpg;
 pub use tvs_bench as bench;
 pub use tvs_circuits as circuits;
 pub use tvs_core as core;
+pub use tvs_delta as delta;
 pub use tvs_exec as exec;
 pub use tvs_fault as fault;
 pub use tvs_fleet as fleet;

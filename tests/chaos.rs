@@ -191,6 +191,8 @@ fn truncated_and_corrupted_snapshots_are_typed_errors() {
                 checkpoint_every: 1,
                 on_checkpoint: Some(&mut keep),
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect("clean checkpointed run");

@@ -40,6 +40,8 @@ fn checkpointed_run(
                 checkpoint_every: every,
                 on_checkpoint: Some(&mut keep),
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect("checkpointed run");
@@ -58,6 +60,8 @@ fn resume_run(
             checkpoint_every: 0,
             on_checkpoint: None,
             on_progress: None,
+            prescreen_plan: None,
+            on_prescreen: None,
         },
     )
 }
@@ -196,6 +200,8 @@ fn budget_spend_survives_a_resume() {
                 checkpoint_every: 2,
                 on_checkpoint: Some(&mut keep),
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect("budgeted run");

@@ -41,6 +41,8 @@ fn real_snapshot_text() -> String {
                 checkpoint_every: 4,
                 on_checkpoint: Some(&mut keep),
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect("checkpointed run");
@@ -165,6 +167,8 @@ fn resume_from_tampered_state_is_typed() {
                 checkpoint_every: 0,
                 on_checkpoint: None,
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect_err("tampered fingerprint accepted");

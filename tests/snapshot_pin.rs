@@ -39,6 +39,8 @@ fn run_resumed(netlist: &tvs::netlist::Netlist, threads: usize) -> StitchReport 
                 checkpoint_every: 0,
                 on_checkpoint: None,
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect("resume from the pinned snapshot")

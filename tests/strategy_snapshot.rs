@@ -49,6 +49,8 @@ fn checkpointed_run(
                 checkpoint_every: every,
                 on_checkpoint: Some(&mut keep),
                 on_progress: None,
+                prescreen_plan: None,
+                on_prescreen: None,
             },
         )
         .expect("checkpointed run");
@@ -67,6 +69,8 @@ fn resume_run(
             checkpoint_every: 0,
             on_checkpoint: None,
             on_progress: None,
+            prescreen_plan: None,
+            on_prescreen: None,
         },
     )
 }
